@@ -1,0 +1,41 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures, times the
+regeneration with ``pytest-benchmark`` (single round -- these are experiment
+harnesses, not micro-kernels), and writes the rendered rows/series to
+``benchmarks/results/<name>.txt`` so the numbers can be inspected after the
+run and copied into EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    """Directory collecting the rendered experiment reports."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture()
+def write_report(results_dir):
+    """Write a named report to the results directory and echo it to stdout."""
+
+    def _write(name: str, text: str) -> Path:
+        path = results_dir / f"{name}.txt"
+        path.write_text(text)
+        print(f"\n===== {name} =====\n{text}")
+        return path
+
+    return _write
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run an experiment harness exactly once under the benchmark timer."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)

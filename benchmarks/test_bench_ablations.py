@@ -1,0 +1,185 @@
+"""Ablation benchmarks for the design choices called out in DESIGN.md.
+
+Each ablation isolates one mechanism of the co-design and measures its effect
+on the simulated batch latency, using the Fig. 7 RTE workload (BERT-base,
+batch 16):
+
+* length-aware scheduling vs padding vs micro-batching vs no pipelining;
+* sorted vs unsorted batch issue order;
+* HBM-backed inter-stage buffering vs 2-slot on-chip ping-pong buffers;
+* the Top-k operating point (k = 10..50) on the FPGA side;
+* sparse attention on/off with scheduling held fixed.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.datasets.length_distributions import sample_lengths
+from repro.evaluation.report import format_table
+from repro.hardware.accelerator import build_baseline_accelerator, build_sparse_accelerator
+from repro.scheduling.baselines import MicroBatchScheduler, PaddedScheduler, SequentialScheduler
+from repro.scheduling.length_aware import LengthAwareScheduler
+from repro.transformer.configs import BERT_BASE, RTE
+
+_LENGTHS = [int(x) for x in sample_lengths(RTE, 16, seed=2022)]
+
+
+def _accelerator(top_k: int = 30):
+    return build_sparse_accelerator(
+        BERT_BASE, top_k=top_k, avg_seq=RTE.avg_length, max_seq=RTE.max_length
+    )
+
+
+def test_bench_ablation_scheduling_policies(benchmark, write_report):
+    accelerator = _accelerator()
+    schedulers = {
+        "length-aware (ours)": LengthAwareScheduler(),
+        "padded to batch max": PaddedScheduler(),
+        "micro-batch (4)": MicroBatchScheduler(micro_batch_size=4),
+        "micro-batch (8)": MicroBatchScheduler(micro_batch_size=8),
+        "sequential (no pipeline)": SequentialScheduler(),
+        "sequential + padded": SequentialScheduler(padded=True),
+    }
+
+    def run_all():
+        return {name: sched.schedule(accelerator, _LENGTHS) for name, sched in schedulers.items()}
+
+    results = run_once(benchmark, run_all)
+    ours = results["length-aware (ours)"]
+    rows = [
+        {
+            "scheduler": name,
+            "makespan_ms": round(result.makespan_seconds * 1e3, 3),
+            "avg_stage_utilization": round(result.average_utilization, 3),
+            "slowdown_vs_ours": round(result.makespan_cycles / ours.makespan_cycles, 2),
+        }
+        for name, result in results.items()
+    ]
+    write_report(
+        "ablation_scheduling_policies",
+        format_table(rows, title="Ablation - scheduling policy (BERT-base, RTE batch of 16)"),
+    )
+    assert all(result.makespan_cycles >= ours.makespan_cycles for result in results.values())
+
+
+def test_bench_ablation_sorted_vs_unsorted_issue_order(benchmark, write_report):
+    accelerator = _accelerator()
+
+    def run_all():
+        return {
+            "sorted (decreasing length)": LengthAwareScheduler(sort_descending=True).schedule(
+                accelerator, _LENGTHS
+            ),
+            "ascending length": LengthAwareScheduler(sort_descending=False).schedule(
+                accelerator, _LENGTHS
+            ),
+        }
+
+    results = run_once(benchmark, run_all)
+    rows = [
+        {
+            "issue order": name,
+            "makespan_ms": round(result.makespan_seconds * 1e3, 3),
+            "avg_stage_utilization": round(result.average_utilization, 3),
+            "bubble_cycles": result.total_bubble_cycles,
+        }
+        for name, result in results.items()
+    ]
+    write_report(
+        "ablation_issue_order",
+        format_table(rows, title="Ablation - batch issue order under length-aware scheduling"),
+    )
+    sorted_result = results["sorted (decreasing length)"]
+    assert sorted_result.average_utilization >= 0.85
+
+
+def test_bench_ablation_interstage_buffering(benchmark, write_report):
+    accelerator = _accelerator()
+
+    def run_all():
+        return {
+            "HBM-backed buffering (ours)": LengthAwareScheduler(buffer_slots=None).schedule(
+                accelerator, _LENGTHS
+            ),
+            "2-slot on-chip ping-pong": LengthAwareScheduler(buffer_slots=2).schedule(
+                accelerator, _LENGTHS
+            ),
+            "1-slot on-chip buffer": LengthAwareScheduler(buffer_slots=1).schedule(
+                accelerator, _LENGTHS
+            ),
+        }
+
+    results = run_once(benchmark, run_all)
+    ours = results["HBM-backed buffering (ours)"]
+    rows = [
+        {
+            "inter-stage buffering": name,
+            "makespan_ms": round(result.makespan_seconds * 1e3, 3),
+            "avg_stage_utilization": round(result.average_utilization, 3),
+            "slowdown_vs_ours": round(result.makespan_cycles / ours.makespan_cycles, 3),
+        }
+        for name, result in results.items()
+    ]
+    write_report(
+        "ablation_interstage_buffering",
+        format_table(rows, title="Ablation - inter-stage buffer depth"),
+    )
+    assert results["1-slot on-chip buffer"].makespan_cycles >= ours.makespan_cycles
+
+
+def test_bench_ablation_top_k_operating_point(benchmark, write_report):
+    def run_all():
+        results = {}
+        for top_k in (10, 20, 30, 40, 50):
+            accelerator = _accelerator(top_k=top_k)
+            results[top_k] = LengthAwareScheduler().schedule(accelerator, _LENGTHS)
+        return results
+
+    results = run_once(benchmark, run_all)
+    rows = [
+        {
+            "top_k": top_k,
+            "makespan_ms": round(result.makespan_seconds * 1e3, 3),
+            "throughput_seqs_per_s": round(result.throughput_sequences_per_second, 1),
+        }
+        for top_k, result in results.items()
+    ]
+    write_report(
+        "ablation_top_k",
+        format_table(rows, title="Ablation - Top-k operating point (latency side; accuracy side is Fig. 6)"),
+    )
+    # Latency is only weakly sensitive to k end-to-end (attention is a small
+    # share of sparse work), which is why the accuracy sweep picks k = 30.
+    assert results[10].makespan_cycles <= results[50].makespan_cycles * 1.1
+
+
+def test_bench_ablation_sparse_attention_vs_dense(benchmark, write_report):
+    sparse_accel = _accelerator()
+    dense_accel = build_baseline_accelerator(
+        BERT_BASE, avg_seq=RTE.avg_length, max_seq=RTE.max_length
+    )
+    scheduler = LengthAwareScheduler()
+
+    def run_all():
+        return {
+            "sparse attention (Top-30)": scheduler.schedule(sparse_accel, _LENGTHS),
+            "dense attention": scheduler.schedule(dense_accel, _LENGTHS),
+        }
+
+    results = run_once(benchmark, run_all)
+    rows = [
+        {
+            "attention": name,
+            "makespan_ms": round(result.makespan_seconds * 1e3, 3),
+        }
+        for name, result in results.items()
+    ]
+    write_report(
+        "ablation_sparse_vs_dense_attention",
+        format_table(rows, title="Ablation - sparse vs dense attention with length-aware scheduling held fixed"),
+    )
+    assert (
+        results["sparse attention (Top-30)"].makespan_cycles
+        <= results["dense attention"].makespan_cycles
+    )

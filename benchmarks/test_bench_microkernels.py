@@ -1,0 +1,74 @@
+"""Micro-kernel benchmarks of the algorithmic building blocks.
+
+Unlike the experiment harnesses (one timed round), these are genuine
+pytest-benchmark micro-benchmarks: they time the NumPy implementations of the
+sparse-attention pipeline stages so regressions in the functional code show
+up as timing regressions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.lut import MultiplyLUT
+from repro.core.quantization import quantize
+from repro.core.sparse_attention import SparseAttentionConfig, approximate_scores, sparse_attention_head
+from repro.core.topk import StreamingTopK, topk_indices
+from repro.transformer.attention import scaled_dot_product_attention
+
+_RNG = np.random.default_rng(7)
+_SEQ = 128
+_DIM = 64
+_Q = _RNG.normal(size=(_SEQ, _DIM))
+_K = _RNG.normal(size=(_SEQ, _DIM))
+_V = _RNG.normal(size=(_SEQ, _DIM))
+
+
+def test_bench_kernel_quantize_4bit(benchmark):
+    result = benchmark(quantize, _Q, 4)
+    assert result.bits == 4
+
+
+def test_bench_kernel_approximate_scores(benchmark):
+    scores = benchmark(approximate_scores, _Q, _K, 4)
+    assert scores.shape == (_SEQ, _SEQ)
+
+
+def test_bench_kernel_lut_matmul_small(benchmark):
+    lut = MultiplyLUT(4)
+    a = _RNG.integers(-7, 8, size=(32, 64))
+    b = _RNG.integers(-7, 8, size=(64, 32))
+    result = benchmark(lut.matmul, a, b)
+    assert result.shape == (32, 32)
+
+
+def test_bench_kernel_topk_vectorized(benchmark):
+    scores = _RNG.normal(size=_SEQ)
+    result = benchmark(topk_indices, scores, 30)
+    assert len(result) == 30
+
+
+def test_bench_kernel_topk_streaming(benchmark):
+    scores = _RNG.normal(size=_SEQ)
+
+    def run():
+        unit = StreamingTopK(30)
+        for i, value in enumerate(scores):
+            unit.push(float(value), i)
+        return unit.result()
+
+    result = benchmark(run)
+    assert len(result) == 30
+
+
+def test_bench_kernel_dense_attention_head(benchmark):
+    context, _, _ = benchmark(scaled_dot_product_attention, _Q, _K, _V)
+    assert context.shape == (_SEQ, _DIM)
+
+
+@pytest.mark.parametrize("top_k", [10, 30])
+def test_bench_kernel_sparse_attention_head(benchmark, top_k):
+    config = SparseAttentionConfig(top_k=top_k, quant_bits=4)
+    result = benchmark(sparse_attention_head, _Q, _K, _V, config)
+    assert result.context.shape == (_SEQ, _DIM)

@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The execution environment ships setuptools without the ``wheel`` package, so
+PEP 517 editable installs (which build a wheel) fail.  Keeping a classic
+``setup.py`` lets ``pip install -e . --no-build-isolation`` fall back to the
+legacy ``setup.py develop`` path, which works offline.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,167 @@
+"""Command-line interface for regenerating the paper's experiments.
+
+Usage (after installation)::
+
+    python -m repro fig1                 # encoder time breakdown
+    python -m repro table1               # model / dataset statistics
+    python -m repro fig5                 # length-aware scheduling example
+    python -m repro fig6 --examples 4    # Top-k accuracy sweep (slow)
+    python -m repro fig7a                # end-to-end cross-platform speedups
+    python -m repro fig7b                # attention-core speedups
+    python -m repro table2               # energy-efficiency table
+    python -m repro all                  # everything except fig6
+
+Each command prints the same rows/series the paper reports for that table or
+figure; the benchmark suite (`pytest benchmarks/ --benchmark-only`) runs the
+same harnesses under a timer and stores the rendered output on disk.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .evaluation.fig1_breakdown import run_fig1_breakdown
+from .evaluation.fig5_timeline import run_fig5_schedule
+from .evaluation.fig6_accuracy import run_fig6_accuracy
+from .evaluation.fig7_throughput import run_fig7_throughput
+from .evaluation.report import format_key_values, format_table
+from .evaluation.table1_models import run_table1
+from .evaluation.table2_energy import run_table2_energy
+
+__all__ = ["main", "build_parser"]
+
+
+def _cmd_fig1(args: argparse.Namespace) -> str:
+    result = run_fig1_breakdown(sequence_length=args.sequence_length, mode=args.mode)
+    text = format_table(result.as_rows(), title="Fig. 1(c) - encoder time breakdown")
+    text += format_key_values(
+        {"self-attention share (%)": round(result.attention_share_percent, 1)}
+    )
+    return text
+
+
+def _cmd_table1(args: argparse.Namespace) -> str:
+    result = run_table1()
+    return format_table(result.model_rows, title="Table 1 - models") + "\n" + format_table(
+        result.dataset_rows, title="Table 1 - datasets"
+    )
+
+
+def _cmd_fig5(args: argparse.Namespace) -> str:
+    result = run_fig5_schedule()
+    text = format_table(result.as_rows(), title="Fig. 5 - scheduler comparison (cycles)")
+    text += format_key_values(
+        {
+            "saved vs sequential (cycles)": result.saved_cycles_vs_sequential,
+            "saved vs padded (cycles)": result.saved_cycles_vs_padded,
+            "length-aware utilization": round(result.length_aware.average_utilization, 3),
+        }
+    )
+    return text
+
+
+def _cmd_fig6(args: argparse.Namespace) -> str:
+    result = run_fig6_accuracy(num_examples=args.examples, max_length_cap=args.max_length)
+    text = format_table(result.as_rows(), title="Fig. 6 - Top-k sparse attention accuracy")
+    text += format_key_values(
+        {
+            f"average drop @ Top-{k}": round(result.average_drop(k), 2)
+            for k in sorted(result.top_k_values, reverse=True)
+        }
+    )
+    return text
+
+
+def _fig7(panel: str) -> str:
+    result = run_fig7_throughput(panel=panel)
+    title = "Fig. 7(a) - end-to-end speedups" if panel == "end_to_end" else "Fig. 7(b) - attention speedups"
+    text = format_table(result.as_rows(), title=title)
+    geomeans = result.geomean_speedups()
+    paper = result.paper_geomeans()
+    text += format_table(
+        [
+            {"platform": key, "measured geomean": round(value, 1), "paper geomean": paper[key]}
+            for key, value in geomeans.items()
+        ],
+        title="Geometric means",
+    )
+    return text
+
+
+def _cmd_fig7a(args: argparse.Namespace) -> str:
+    return _fig7("end_to_end")
+
+
+def _cmd_fig7b(args: argparse.Namespace) -> str:
+    return _fig7("attention")
+
+
+def _cmd_table2(args: argparse.Namespace) -> str:
+    result = run_table2_energy()
+    return format_table(result.as_rows(), title="Table 2 - throughput & energy efficiency")
+
+
+def _cmd_all(args: argparse.Namespace) -> str:
+    sections = [
+        _cmd_fig1(argparse.Namespace(sequence_length=128, mode="time")),
+        _cmd_table1(args),
+        _cmd_fig5(args),
+        _cmd_fig7a(args),
+        _cmd_fig7b(args),
+        _cmd_table2(args),
+    ]
+    return "\n".join(sections)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed separately for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate the tables and figures of the DAC 2022 length-adaptive Transformer paper.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    fig1 = subparsers.add_parser("fig1", help="encoder time-consumption breakdown")
+    fig1.add_argument("--sequence-length", type=int, default=128)
+    fig1.add_argument("--mode", choices=("time", "flops"), default="time")
+    fig1.set_defaults(func=_cmd_fig1)
+
+    subparsers.add_parser("table1", help="model and dataset statistics").set_defaults(
+        func=_cmd_table1
+    )
+    subparsers.add_parser("fig5", help="length-aware scheduling example").set_defaults(
+        func=_cmd_fig5
+    )
+
+    fig6 = subparsers.add_parser("fig6", help="Top-k sparse attention accuracy sweep")
+    fig6.add_argument("--examples", type=int, default=4)
+    fig6.add_argument("--max-length", type=int, default=96)
+    fig6.set_defaults(func=_cmd_fig6)
+
+    subparsers.add_parser("fig7a", help="end-to-end cross-platform speedups").set_defaults(
+        func=_cmd_fig7a
+    )
+    subparsers.add_parser("fig7b", help="attention-core cross-platform speedups").set_defaults(
+        func=_cmd_fig7b
+    )
+    subparsers.add_parser("table2", help="energy-efficiency comparison").set_defaults(
+        func=_cmd_table2
+    )
+    subparsers.add_parser("all", help="every experiment except the (slow) fig6 sweep").set_defaults(
+        func=_cmd_all
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    output = args.func(args)
+    print(output)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    sys.exit(main())

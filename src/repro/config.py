@@ -1,0 +1,105 @@
+"""Global constants shared across the reproduction.
+
+The values in this module come straight from the paper text (Section 5,
+Table 1, Table 2) or from the public datasheets the paper references
+(Alveo U280, HBM2).  Everything downstream -- hardware models, schedulers,
+evaluation harnesses -- reads these constants instead of hard-coding its own
+copies so that a single edit changes the whole experiment.
+"""
+
+from __future__ import annotations
+
+# ---------------------------------------------------------------------------
+# Reproducibility
+# ---------------------------------------------------------------------------
+
+#: Default seed used by every synthetic-data / synthetic-weight generator.
+DEFAULT_SEED = 2022
+
+# ---------------------------------------------------------------------------
+# FPGA platform (Xilinx Alveo U280, values quoted in Section 5.2)
+# ---------------------------------------------------------------------------
+
+#: Attainable design clock frequency reported by the paper (Hz).
+FPGA_CLOCK_HZ = 200e6
+
+#: DSP units available inside SLR0 of the Alveo U280 (the paper congests the
+#: design into SLR0 because only SLR0 is connected to the HBM stacks).
+FPGA_DSP_SLR0 = 3000
+
+#: Total BRAM36 blocks in SLR0 (from the U280 datasheet; the paper only states
+#: that BRAM/FF/LUT are congested inside SLR0).
+FPGA_BRAM_SLR0 = 672
+
+#: LUTs / flip-flops in SLR0 of the U280.
+FPGA_LUT_SLR0 = 430_000
+FPGA_FF_SLR0 = 860_000
+
+#: Maximum HBM bandwidth used by the design (bytes / second).
+FPGA_HBM_BANDWIDTH = 460e9
+
+#: On-chip memory capacity quoted in Section 4 (bytes).
+FPGA_ON_CHIP_MEMORY_BYTES = 35 * 1024 * 1024
+
+#: Peak attainable 8-bit fixed point throughput of the SLR0 design
+#: (ops / second): one multiply-accumulate (2 ops) per DSP per cycle.
+FPGA_PEAK_OPS = 2.0 * FPGA_DSP_SLR0 * FPGA_CLOCK_HZ  # = 1.2 TOPS
+
+#: Equivalent throughput the paper reports once sparse attention and
+#: length-aware scheduling are enabled (ops / second, dense-equivalent work).
+FPGA_REPORTED_EQUIVALENT_OPS = 3.6e12
+
+#: Board power used by the energy model (watts). The U280 has a 225 W TDP but
+#: the paper's 102 GOP/J at 3.6 TOPS equivalent corresponds to ~35 W of
+#: measured power, consistent with an SLR0-only design.
+FPGA_BOARD_POWER_W = 35.0
+
+# ---------------------------------------------------------------------------
+# Evaluation defaults (Section 5.2)
+# ---------------------------------------------------------------------------
+
+#: Batch size used for hardware throughput evaluation.
+DEFAULT_BATCH_SIZE = 16
+
+#: The sweet-spot Top-k chosen in Section 5.2 after the accuracy sweep.
+DEFAULT_TOP_K = 30
+
+#: Top-k sweep evaluated in Fig. 6.
+TOP_K_SWEEP = (50, 40, 30, 20, 10)
+
+#: Bit-width used to quantize Q and K for candidate pre-selection.  The paper
+#: evaluates 1-bit (sign) quantization for the accuracy study and uses 4-bit
+#: in the worked example of Fig. 3.
+DEFAULT_QK_QUANT_BITS = 4
+
+#: Bit width of the fixed-point model weights / activations (Section 5.1).
+MODEL_QUANT_BITS = 8
+
+# ---------------------------------------------------------------------------
+# Paper-reported headline numbers (used to sanity-check the reproduction and
+# to fill the literature rows of Table 2).
+# ---------------------------------------------------------------------------
+
+PAPER_END_TO_END_GEOMEAN_SPEEDUP = {
+    "cpu": 80.2,
+    "jetson_tx2": 41.3,
+    "rtx6000": 2.6,
+    "fpga_baseline": 3.1,
+}
+
+PAPER_ATTENTION_GEOMEAN_SPEEDUP = {
+    "cpu": 1073.0,
+    "jetson_tx2": 550.0,
+    "rtx6000": 35.0,
+    "fpga_baseline": 41.0,
+}
+
+#: Table 2 rows as reported in the paper (GOPS, GOP/J, avg accuracy drop %).
+PAPER_TABLE2 = {
+    "GPU RTX 6000": {"throughput_gops": 1380.0, "energy_eff_gopj": 8.0, "accuracy_drop": 1.8},
+    "GPU V100: E.T.": {"throughput_gops": 7550.0, "energy_eff_gopj": 25.0, "accuracy_drop": 2.1},
+    "Ours FPGA": {"throughput_gops": 3600.0, "energy_eff_gopj": 102.0, "accuracy_drop": 1.8},
+    "FPGA design [37]": {"throughput_gops": 76.0, "energy_eff_gopj": None, "accuracy_drop": 3.8},
+    "ASIC: A3": {"throughput_gops": 221.0, "energy_eff_gopj": 269.0, "accuracy_drop": 1.6},
+    "ASIC: SpAtten": {"throughput_gops": 360.0, "energy_eff_gopj": 382.0, "accuracy_drop": 1.1},
+}

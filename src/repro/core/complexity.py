@@ -1,0 +1,197 @@
+"""Arithmetic-complexity accounting for encoder operators.
+
+Both the operator-graph weights ``W(v, s)`` used by Algorithm 1 and the
+cross-platform performance models need a consistent definition of how much
+work each Transformer operator performs as a function of the sequence length
+``s``.  This module is that single source of truth.
+
+All counts follow the usual convention of 2 operations (one multiply + one
+add) per MAC.  "Dense-equivalent" work counts the operations a dense
+implementation would need, which is what the paper's "equivalent throughput"
+(3.6 TOPS) and Table 2 GOPS numbers are measured in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..transformer.configs import ModelConfig
+
+__all__ = [
+    "EncoderWorkBreakdown",
+    "linear_flops",
+    "attention_score_flops",
+    "attention_context_flops",
+    "sparse_attention_flops",
+    "softmax_flops",
+    "layer_norm_flops",
+    "gelu_flops",
+    "encoder_layer_breakdown",
+    "encoder_layer_flops",
+    "model_flops",
+    "sparse_model_flops",
+    "attention_only_flops",
+    "sparse_attention_only_flops",
+    "attention_core_flops",
+    "sparse_attention_core_flops",
+]
+
+
+def linear_flops(seq: int, in_dim: int, out_dim: int) -> int:
+    """MAC-based FLOPs of a ``(seq, in_dim) @ (in_dim, out_dim)`` linear layer."""
+    return 2 * seq * in_dim * out_dim
+
+
+def attention_score_flops(seq: int, hidden_dim: int) -> int:
+    """FLOPs of the dense ``Q.K^T`` score computation (all heads combined)."""
+    return 2 * seq * seq * hidden_dim
+
+
+def attention_context_flops(seq: int, hidden_dim: int) -> int:
+    """FLOPs of the dense ``probs @ V`` product (all heads combined)."""
+    return 2 * seq * seq * hidden_dim
+
+
+def sparse_attention_flops(seq: int, hidden_dim: int, top_k: int) -> int:
+    """Full-precision FLOPs of the Top-k sparse score + context computation."""
+    k_eff = min(top_k, seq)
+    return 2 * seq * k_eff * hidden_dim * 2  # exact scores + context
+
+
+def softmax_flops(seq: int, keys_per_row: int, num_heads: int) -> int:
+    """Approximate FLOPs of softmax over the score matrix (exp + sum + div)."""
+    return 5 * seq * keys_per_row * num_heads
+
+
+def layer_norm_flops(seq: int, hidden_dim: int) -> int:
+    """Approximate FLOPs of one LayerNorm over ``(seq, hidden_dim)``."""
+    return 8 * seq * hidden_dim
+
+
+def gelu_flops(seq: int, dim: int) -> int:
+    """Approximate FLOPs of the GELU activation (tanh approximation)."""
+    return 10 * seq * dim
+
+
+@dataclass(frozen=True)
+class EncoderWorkBreakdown:
+    """Per-operator FLOPs of one encoder layer at one sequence length."""
+
+    qkv_projection: int
+    attention_scores: int
+    attention_softmax: int
+    attention_context: int
+    attention_output_projection: int
+    feed_forward: int
+    layer_norms: int
+    activation: int
+
+    @property
+    def attention_total(self) -> int:
+        """Everything inside the self-attention block (Fig. 1(b))."""
+        return (
+            self.qkv_projection
+            + self.attention_scores
+            + self.attention_softmax
+            + self.attention_context
+            + self.attention_output_projection
+        )
+
+    @property
+    def other_total(self) -> int:
+        """Feed-forward + LayerNorms + activation (the "Other" part of Fig. 1(c))."""
+        return self.feed_forward + self.layer_norms + self.activation
+
+    @property
+    def total(self) -> int:
+        return self.attention_total + self.other_total
+
+    def as_dict(self) -> dict[str, int]:
+        """Operator-name to FLOPs mapping (used by the Fig. 1(c) harness)."""
+        return {
+            "qkv_projection": self.qkv_projection,
+            "attention_scores": self.attention_scores,
+            "attention_softmax": self.attention_softmax,
+            "attention_context": self.attention_context,
+            "attention_output_projection": self.attention_output_projection,
+            "feed_forward": self.feed_forward,
+            "layer_norms": self.layer_norms,
+            "activation": self.activation,
+        }
+
+
+def encoder_layer_breakdown(
+    config: ModelConfig,
+    seq: int,
+    top_k: int | None = None,
+) -> EncoderWorkBreakdown:
+    """Per-operator FLOPs of one encoder layer.
+
+    ``top_k=None`` gives the dense baseline; an integer gives the sparse
+    attention variant (only the score / softmax / context terms change).
+    """
+    h = config.hidden_dim
+    inter = config.intermediate_dim
+    keys_per_row = seq if top_k is None else min(top_k, seq)
+
+    scores = 2 * seq * keys_per_row * h
+    context = 2 * seq * keys_per_row * h
+
+    return EncoderWorkBreakdown(
+        qkv_projection=3 * linear_flops(seq, h, h),
+        attention_scores=scores,
+        attention_softmax=softmax_flops(seq, keys_per_row, config.num_heads),
+        attention_context=context,
+        attention_output_projection=linear_flops(seq, h, h),
+        feed_forward=linear_flops(seq, h, inter) + linear_flops(seq, inter, h),
+        layer_norms=2 * layer_norm_flops(seq, h),
+        activation=gelu_flops(seq, inter),
+    )
+
+
+def encoder_layer_flops(config: ModelConfig, seq: int, top_k: int | None = None) -> int:
+    """Total FLOPs of one encoder layer (dense or sparse attention)."""
+    return encoder_layer_breakdown(config, seq, top_k).total
+
+
+def model_flops(config: ModelConfig, seq: int) -> int:
+    """Dense FLOPs of the full encoder stack at sequence length ``seq``."""
+    return config.num_layers * encoder_layer_flops(config, seq, top_k=None)
+
+
+def sparse_model_flops(config: ModelConfig, seq: int, top_k: int) -> int:
+    """FLOPs of the full stack when the attention operator is Top-k sparse."""
+    return config.num_layers * encoder_layer_flops(config, seq, top_k=top_k)
+
+
+def attention_only_flops(config: ModelConfig, seq: int) -> int:
+    """Dense FLOPs of the self-attention blocks only (projections included)."""
+    return config.num_layers * encoder_layer_breakdown(config, seq).attention_total
+
+
+def sparse_attention_only_flops(config: ModelConfig, seq: int, top_k: int) -> int:
+    """Sparse-attention FLOPs of the self-attention blocks only (projections included)."""
+    return config.num_layers * encoder_layer_breakdown(config, seq, top_k=top_k).attention_total
+
+
+def attention_core_flops(config: ModelConfig, seq: int) -> int:
+    """Dense FLOPs of the attention core: scores + softmax + context.
+
+    This is the O(n^2) part the paper's Fig. 7(b) attention-throughput
+    comparison targets (the linear projections are excluded -- they belong to
+    stage 1 / stage 3 of the accelerator and are O(n)).
+    """
+    breakdown = encoder_layer_breakdown(config, seq)
+    per_layer = (
+        breakdown.attention_scores + breakdown.attention_softmax + breakdown.attention_context
+    )
+    return config.num_layers * per_layer
+
+
+def sparse_attention_core_flops(config: ModelConfig, seq: int, top_k: int) -> int:
+    """Sparse (Top-k) FLOPs of the attention core: exact scores + softmax + context."""
+    breakdown = encoder_layer_breakdown(config, seq, top_k=top_k)
+    per_layer = (
+        breakdown.attention_scores + breakdown.attention_softmax + breakdown.attention_context
+    )
+    return config.num_layers * per_layer

@@ -1,0 +1,134 @@
+"""Loop-fused attention row kernel (Fig. 4 of the paper).
+
+Stage 2.2 of the accelerator fuses, into a single II=1 loop nest, the
+operations applied to one query row and its selected key candidates:
+
+* the dot products ``S_row[j] = Q_row . Ks[j]`` accumulated column by column,
+* the ``1/sqrt(d)`` scaling applied at the final accumulation step,
+* masking, and
+* the exponential (the first half of the split softmax).
+
+Stage 2.3 then performs the normalization and the ``Z = S . Vs / sum(S)``
+product.  This module implements both the functional result of the fused
+kernel and its cycle cost, which the hardware model charges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["FusedRowResult", "fused_attention_row", "attention_row_reference", "fused_loop_cycles"]
+
+
+@dataclass
+class FusedRowResult:
+    """Output of the fused stage-2.2 / stage-2.3 kernels for one query row."""
+
+    context: np.ndarray
+    probs: np.ndarray
+    exp_scores: np.ndarray
+    scores: np.ndarray
+    cycles_stage22: int
+    cycles_stage23: int
+
+
+def fused_loop_cycles(num_candidates: int, head_dim: int, unroll: int = 1) -> int:
+    """Cycle count of the fused stage-2.2 loop nest.
+
+    The loop nest iterates ``head_dim`` times over the reduction dimension and
+    ``num_candidates`` times over the candidate dimension with ``II = 1`` and
+    an unroll factor ``p`` on the inner loop (Fig. 4's ``#pragma HLS UNROLL
+    factor = p``); scaling, masking and the exponential are folded into the
+    last reduction step and add no extra iterations.
+    """
+    if num_candidates <= 0:
+        return 0
+    inner = -(-num_candidates // unroll)  # ceil division
+    return head_dim * inner
+
+
+def attention_row_reference(
+    q_row: np.ndarray,
+    keys: np.ndarray,
+    values: np.ndarray,
+    mask: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Unfused reference for one query row (used to validate the fused kernel)."""
+    d = q_row.shape[-1]
+    scores = keys @ q_row / np.sqrt(d)
+    if mask is not None:
+        scores = np.where(mask, scores, -np.inf)
+    shifted = scores - np.max(scores)
+    exps = np.exp(shifted)
+    denom = exps.sum()
+    probs = exps / denom if denom > 0 else np.zeros_like(exps)
+    return probs @ values, probs
+
+
+def fused_attention_row(
+    q_row: np.ndarray,
+    keys: np.ndarray,
+    values: np.ndarray,
+    mask: np.ndarray | None = None,
+    unroll: int = 1,
+) -> FusedRowResult:
+    """Compute attention for one query row with the paper's fused loop order.
+
+    Parameters
+    ----------
+    q_row:
+        Query vector of shape ``(d,)``.
+    keys, values:
+        Selected candidate matrices ``Ks`` / ``Vs`` of shape ``(c, d)``.
+    mask:
+        Optional boolean vector of shape ``(c,)``; ``True`` marks valid
+        candidates.
+    unroll:
+        Hardware unroll factor ``p`` of the inner loop (affects cycles only).
+    """
+    q_row = np.asarray(q_row, dtype=np.float64)
+    keys = np.asarray(keys, dtype=np.float64)
+    values = np.asarray(values, dtype=np.float64)
+    if keys.ndim != 2 or values.ndim != 2:
+        raise ValueError("keys and values must be 2-D (candidates, head_dim)")
+    if keys.shape != values.shape[:1] + (keys.shape[1],) or keys.shape[0] != values.shape[0]:
+        raise ValueError("keys and values must have the same number of candidates")
+    num_candidates, d = keys.shape
+    if q_row.shape != (d,):
+        raise ValueError(f"q_row must have shape ({d},), got {q_row.shape}")
+
+    # --- Stage 2.2: fused dot product + scale + mask + exp --------------
+    # The hardware accumulates S_row[j] over the reduction dimension i and,
+    # on the final reduction step (i == d - 1), applies the scaling, mask
+    # and exponential before writing the result to the store buffer.
+    scores = np.zeros(num_candidates, dtype=np.float64)
+    for i in range(d):
+        scores += q_row[i] * keys[:, i]
+        if i == d - 1:
+            scores *= 1.0 / np.sqrt(d)
+            if mask is not None:
+                scores = np.where(mask, scores, -np.inf)
+    # Max-subtraction keeps the fixed-point exponent range bounded; softmax is
+    # invariant to it so the functional result is unchanged.
+    finite = scores[np.isfinite(scores)]
+    shift = finite.max() if finite.size else 0.0
+    exp_scores = np.exp(scores - shift)
+    exp_scores[~np.isfinite(scores)] = 0.0
+    cycles_stage22 = fused_loop_cycles(num_candidates, d, unroll)
+
+    # --- Stage 2.3: normalization and the S.V product -------------------
+    denom = exp_scores.sum()
+    probs = exp_scores / denom if denom > 0 else np.zeros_like(exp_scores)
+    context = probs @ values
+    cycles_stage23 = fused_loop_cycles(num_candidates, d, unroll) + num_candidates
+
+    return FusedRowResult(
+        context=context,
+        probs=probs,
+        exp_scores=exp_scores,
+        scores=scores,
+        cycles_stage22=cycles_stage22,
+        cycles_stage23=cycles_stage23,
+    )

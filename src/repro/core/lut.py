@@ -1,0 +1,97 @@
+"""Look-up-table integer multiplication model.
+
+The paper replaces the multiplications of the approximate Q'.K'^T computation
+with look-ups: two 4-bit signed operands only have 16 x 16 = 256 possible
+products, so a 256-entry LUT implemented in FPGA fabric produces the product
+in a single cycle without spending a DSP.  This module models that unit
+faithfully (including its capacity limits) so both the functional path and
+the hardware cost model can use it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .quantization import quantization_levels
+
+__all__ = ["MultiplyLUT", "lut_matmul"]
+
+
+class MultiplyLUT:
+    """A pre-computed product table for two signed integer operand sets.
+
+    Parameters
+    ----------
+    bits_a, bits_b:
+        Bit widths of the two operands.  The table size is
+        ``(2^bits_a) * (2^bits_b)`` entries; for the paper's 4-bit x 4-bit
+        case that is 256 entries.
+    """
+
+    def __init__(self, bits_a: int, bits_b: int | None = None) -> None:
+        if bits_b is None:
+            bits_b = bits_a
+        if bits_a < 1 or bits_b < 1:
+            raise ValueError("operand bit widths must be >= 1")
+        self.bits_a = bits_a
+        self.bits_b = bits_b
+        self._levels_a = quantization_levels(bits_a)
+        self._levels_b = quantization_levels(bits_b)
+        values_a = np.arange(-self._levels_a, self._levels_a + 1)
+        values_b = np.arange(-self._levels_b, self._levels_b + 1)
+        # table[i, j] = (i - levels_a) * (j - levels_b)
+        self._table = np.outer(values_a, values_b)
+
+    # ------------------------------------------------------------------
+    # Properties the hardware model reads
+    # ------------------------------------------------------------------
+
+    @property
+    def num_entries(self) -> int:
+        """Number of entries in the physical table (addressable products)."""
+        return int(2**self.bits_a * 2**self.bits_b)
+
+    @property
+    def table(self) -> np.ndarray:
+        """The product table (useful for tests and for BRAM sizing)."""
+        return self._table
+
+    def storage_bits(self) -> int:
+        """Bits of on-chip storage required to hold the table."""
+        product_bits = self.bits_a + self.bits_b
+        return self.num_entries * product_bits
+
+    # ------------------------------------------------------------------
+    # Functional path
+    # ------------------------------------------------------------------
+
+    def multiply(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Element-wise product of two integer arrays via table look-up."""
+        a = np.asarray(a, dtype=np.int64)
+        b = np.asarray(b, dtype=np.int64)
+        if np.any(np.abs(a) > self._levels_a):
+            raise ValueError(f"operand a exceeds {self.bits_a}-bit range")
+        if np.any(np.abs(b) > self._levels_b):
+            raise ValueError(f"operand b exceeds {self.bits_b}-bit range")
+        return self._table[a + self._levels_a, b + self._levels_b]
+
+    def matmul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Integer matrix product computed entirely from LUT look-ups.
+
+        ``a`` has shape ``(m, d)`` and ``b`` shape ``(d, n)``; the result is
+        the exact integer product, accumulated in int64 (the accumulator on
+        the FPGA is a wide adder tree, not a LUT).
+        """
+        a = np.asarray(a, dtype=np.int64)
+        b = np.asarray(b, dtype=np.int64)
+        if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[0]:
+            raise ValueError(f"incompatible shapes for matmul: {a.shape} x {b.shape}")
+        # products[m, d, n] then summed over d; equivalent to per-element LUT
+        # reads feeding an adder tree.
+        products = self.multiply(a[:, :, None], b[None, :, :])
+        return products.sum(axis=1)
+
+
+def lut_matmul(a: np.ndarray, b: np.ndarray, bits: int = 4) -> np.ndarray:
+    """Convenience wrapper: LUT-based integer matmul with equal operand widths."""
+    return MultiplyLUT(bits).matmul(a, b)

@@ -1,0 +1,132 @@
+"""Quantization primitives for the sparse-attention pre-selection stage.
+
+Section 3.2 of the paper quantizes the full-precision Q and K matrices into a
+low-bit integer representation before the approximate score computation:
+
+    x' = round((2^(b-1) - 1) / |M| * x)
+
+where ``M`` is the per-tensor scaling factor (the maximum absolute value) and
+``b`` the bit width.  The key property the paper relies on is that the
+quantizer is monotonically non-decreasing, so the *ordering* of attention
+scores -- which is all softmax-based Top-k selection cares about -- is
+approximately preserved.  1-bit quantization degenerates to the sign function
+used in the accuracy evaluation (Section 5.1); 8-bit symmetric quantization is
+applied to the model weights/activations following TernaryBERT [36].
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "QuantizedTensor",
+    "quantization_levels",
+    "compute_scale",
+    "quantize",
+    "dequantize",
+    "quantize_symmetric",
+    "sign_quantize",
+    "quantize_model_tensor",
+    "quantization_error",
+]
+
+
+def quantization_levels(bits: int) -> int:
+    """Largest representable magnitude of a signed ``bits``-wide integer.
+
+    For example 4-bit quantization uses levels in ``[-7, 7]`` (the paper's
+    ``2^3 - 1 = 7``), 8-bit uses ``[-127, 127]`` and 1-bit degenerates to the
+    sign function with levels ``{-1, +1}``.
+    """
+    if bits < 1:
+        raise ValueError(f"bit width must be >= 1, got {bits}")
+    if bits == 1:
+        return 1
+    return 2 ** (bits - 1) - 1
+
+
+@dataclass(frozen=True)
+class QuantizedTensor:
+    """An integer tensor together with the scale that maps it back to floats.
+
+    ``values`` holds integers in ``[-levels, levels]``; ``dequantize`` returns
+    ``values * scale`` where ``scale = M / levels``.
+    """
+
+    values: np.ndarray
+    scale: float
+    bits: int
+
+    @property
+    def levels(self) -> int:
+        """Magnitude of the largest representable integer."""
+        return quantization_levels(self.bits)
+
+    def dequantize(self) -> np.ndarray:
+        """Map the integer representation back into floating point."""
+        return self.values.astype(np.float64) * self.scale
+
+
+def compute_scale(x: np.ndarray, bits: int) -> float:
+    """Per-tensor symmetric scale: float value represented by one integer step."""
+    levels = quantization_levels(bits)
+    max_abs = float(np.max(np.abs(x))) if x.size else 0.0
+    if max_abs == 0.0:
+        return 1.0
+    return max_abs / levels
+
+
+def quantize(x: np.ndarray, bits: int) -> QuantizedTensor:
+    """Quantize ``x`` symmetrically to ``bits`` (the paper's Q/K quantizer).
+
+    1-bit quantization is the sign function (zero maps to +1), matching the
+    quantizer used for the Fig. 6 accuracy study.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if bits == 1:
+        scale = float(np.mean(np.abs(x))) if x.size else 1.0
+        if scale == 0.0:
+            scale = 1.0
+        values = np.where(x >= 0.0, 1, -1).astype(np.int64)
+        return QuantizedTensor(values=values, scale=scale, bits=1)
+
+    levels = quantization_levels(bits)
+    scale = compute_scale(x, bits)
+    values = np.clip(np.round(x / scale), -levels, levels).astype(np.int64)
+    return QuantizedTensor(values=values, scale=scale, bits=bits)
+
+
+def dequantize(q: QuantizedTensor) -> np.ndarray:
+    """Free-function form of :meth:`QuantizedTensor.dequantize`."""
+    return q.dequantize()
+
+
+def quantize_symmetric(x: np.ndarray, bits: int) -> np.ndarray:
+    """Quantize and immediately dequantize (fake quantization).
+
+    This is the form used to emulate the 8-bit fixed-point model of
+    Section 5.1: the tensor keeps its float dtype but only takes values
+    representable in ``bits``-wide fixed point.
+    """
+    return quantize(x, bits).dequantize()
+
+
+def sign_quantize(x: np.ndarray) -> np.ndarray:
+    """1-bit sign quantization used for the accuracy evaluation (Section 5.1)."""
+    return quantize(x, 1).values
+
+
+def quantize_model_tensor(x: np.ndarray, bits: int = 8) -> np.ndarray:
+    """Alias for fake-quantizing a model weight/activation tensor."""
+    return quantize_symmetric(x, bits)
+
+
+def quantization_error(x: np.ndarray, bits: int) -> float:
+    """Root-mean-square error introduced by ``bits``-wide quantization."""
+    x = np.asarray(x, dtype=np.float64)
+    if x.size == 0:
+        return 0.0
+    err = x - quantize_symmetric(x, bits)
+    return float(np.sqrt(np.mean(err**2)))

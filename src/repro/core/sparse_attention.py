@@ -1,0 +1,299 @@
+"""Quantized Top-k sparse attention (the paper's core algorithmic contribution).
+
+The operator follows the six steps of Fig. 3:
+
+0. compute full-precision Q and K (done by the caller / stage 1 MM unit),
+1. (baseline only) dense scores + softmax,
+2. quantize Q and K to a low-bit integer representation,
+3. compute approximate scores ``Q'.K'^T`` with LUT integer multiplies,
+4. rank the approximate scores per query row and select the Top-k candidates,
+5. compute exact full-precision scores only for the selected candidates,
+6. softmax over the selected candidates and multiply with the selected V rows.
+
+Because only ``k`` candidates per query row reach the exact path, the exact
+attention work drops from ``O(n^2 d)`` to ``O(n k d)`` -- linear in the
+sequence length for a fixed ``k`` -- and the off-chip traffic for K/V rows
+drops proportionally, which is the property the accelerator exploits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..transformer.attention import AttentionOutput, merge_heads, project_qkv, split_heads
+from ..transformer.functional import linear
+from .loop_fusion import fused_attention_row
+from .lut import MultiplyLUT
+from .quantization import quantize
+from .topk import topk_indices
+
+__all__ = [
+    "SparseAttentionConfig",
+    "SparseHeadResult",
+    "approximate_scores",
+    "select_candidates",
+    "sparse_attention_head",
+    "sparse_multi_head_attention",
+    "make_sparse_attention_impl",
+    "SparseAttentionStats",
+]
+
+
+@dataclass(frozen=True)
+class SparseAttentionConfig:
+    """Hyper-parameters of the sparse attention operator.
+
+    Attributes
+    ----------
+    top_k:
+        Number of key/value candidates kept per query row (the paper sweeps
+        10..50 and picks 30).
+    quant_bits:
+        Bit width used to quantize Q and K for pre-selection (1 or 4 in the
+        paper).
+    use_lut:
+        Route the approximate integer matmul through the
+        :class:`~repro.core.lut.MultiplyLUT` model (functionally identical to
+        a plain integer matmul; kept switchable because the LUT path is much
+        slower in NumPy).
+    unroll:
+        Hardware unroll factor forwarded to the fused row kernel (cycle model
+        only).
+    """
+
+    top_k: int = 30
+    quant_bits: int = 4
+    use_lut: bool = False
+    unroll: int = 8
+
+    def __post_init__(self) -> None:
+        if self.top_k < 1:
+            raise ValueError("top_k must be >= 1")
+        if self.quant_bits < 1:
+            raise ValueError("quant_bits must be >= 1")
+        if self.unroll < 1:
+            raise ValueError("unroll must be >= 1")
+
+
+@dataclass
+class SparseAttentionStats:
+    """Work accounting for one sparse attention call (summed over heads)."""
+
+    seq_length: int = 0
+    num_heads: int = 0
+    head_dim: int = 0
+    top_k: int = 0
+    dense_score_flops: int = 0
+    approx_score_ops: int = 0
+    exact_score_flops: int = 0
+    context_flops: int = 0
+    selected_candidates: int = 0
+    possible_candidates: int = 0
+
+    @property
+    def sparsity(self) -> float:
+        """Fraction of the score matrix that was *skipped* by pre-selection."""
+        if self.possible_candidates == 0:
+            return 0.0
+        return 1.0 - self.selected_candidates / self.possible_candidates
+
+    @property
+    def exact_flops(self) -> int:
+        """Full-precision FLOPs actually spent (exact scores + context)."""
+        return self.exact_score_flops + self.context_flops
+
+    @property
+    def flop_reduction(self) -> float:
+        """Dense-score FLOPs divided by the exact FLOPs actually spent."""
+        if self.exact_flops == 0:
+            return float("inf")
+        dense_total = 2 * self.dense_score_flops  # scores + context at full length
+        return dense_total / self.exact_flops
+
+
+@dataclass
+class SparseHeadResult:
+    """Per-head sparse attention output."""
+
+    context: np.ndarray
+    probs: np.ndarray
+    selected: list[np.ndarray]
+    approx_scores: np.ndarray
+    stats: SparseAttentionStats
+
+
+def approximate_scores(
+    q: np.ndarray,
+    k: np.ndarray,
+    quant_bits: int = 4,
+    use_lut: bool = False,
+) -> np.ndarray:
+    """Step 2-3 of Fig. 3: quantize Q and K and compute integer scores.
+
+    Returns an integer-valued score matrix whose *ordering* approximates the
+    ordering of the exact ``Q.K^T`` scores.  The absolute values are in the
+    quantized domain and are never used beyond ranking.
+    """
+    q_quant = quantize(q, quant_bits)
+    k_quant = quantize(k, quant_bits)
+    if use_lut and quant_bits > 1:
+        lut = MultiplyLUT(quant_bits)
+        return lut.matmul(q_quant.values, k_quant.values.T)
+    return q_quant.values @ k_quant.values.T
+
+
+def select_candidates(
+    approx_scores: np.ndarray,
+    top_k: int,
+    key_mask: np.ndarray | None = None,
+) -> list[np.ndarray]:
+    """Step 4 of Fig. 3: per-query-row Top-k candidate selection.
+
+    Padding keys (``key_mask == False``) are never selected.  The returned
+    indices are sorted in ascending order, which is how the data-loading
+    stage (2.1) gathers the Ks / Vs rows from memory.
+    """
+    approx_scores = np.asarray(approx_scores)
+    if approx_scores.ndim != 2:
+        raise ValueError("approx_scores must be 2-D (queries, keys)")
+    n_keys = approx_scores.shape[1]
+    if key_mask is not None:
+        key_mask = np.asarray(key_mask, dtype=bool)
+        if key_mask.shape != (n_keys,):
+            raise ValueError("key_mask must have one entry per key")
+
+    selected: list[np.ndarray] = []
+    for row in approx_scores:
+        scores = row.astype(np.float64)
+        if key_mask is not None:
+            scores = np.where(key_mask, scores, -np.inf)
+            valid = int(key_mask.sum())
+        else:
+            valid = n_keys
+        k_eff = min(top_k, valid) if valid > 0 else 0
+        if k_eff == 0:
+            selected.append(np.empty(0, dtype=np.int64))
+            continue
+        result = topk_indices(scores, k_eff)
+        selected.append(np.sort(result.indices))
+    return selected
+
+
+def sparse_attention_head(
+    q: np.ndarray,
+    k: np.ndarray,
+    v: np.ndarray,
+    config: SparseAttentionConfig,
+    key_mask: np.ndarray | None = None,
+) -> SparseHeadResult:
+    """Sparse attention for one head: pre-selection + exact sparse computation.
+
+    ``q``, ``k`` and ``v`` have shape ``(seq, head_dim)``.  Returns the
+    context of shape ``(seq, head_dim)`` and a dense probability matrix with
+    zeros at unselected positions (so that it can be compared entry-wise with
+    the dense baseline).
+    """
+    q = np.asarray(q, dtype=np.float64)
+    k = np.asarray(k, dtype=np.float64)
+    v = np.asarray(v, dtype=np.float64)
+    seq, d = q.shape
+    if k.shape != (seq, d) or v.shape != (seq, d):
+        raise ValueError("q, k, v must all have shape (seq, head_dim)")
+
+    stats = SparseAttentionStats(
+        seq_length=seq, num_heads=1, head_dim=d, top_k=config.top_k
+    )
+    stats.dense_score_flops = 2 * seq * seq * d
+    stats.possible_candidates = seq * seq
+
+    approx = approximate_scores(q, k, config.quant_bits, config.use_lut)
+    stats.approx_score_ops = 2 * seq * seq * d  # low-bit ops, not FLOPs
+
+    candidates = select_candidates(approx, config.top_k, key_mask)
+
+    context = np.zeros((seq, d), dtype=np.float64)
+    probs = np.zeros((seq, seq), dtype=np.float64)
+    for i, selected in enumerate(candidates):
+        if selected.size == 0:
+            continue
+        result = fused_attention_row(
+            q[i], k[selected], v[selected], mask=None, unroll=config.unroll
+        )
+        context[i] = result.context
+        probs[i, selected] = result.probs
+        c = selected.size
+        stats.selected_candidates += c
+        stats.exact_score_flops += 2 * c * d
+        stats.context_flops += 2 * c * d
+
+    return SparseHeadResult(
+        context=context,
+        probs=probs,
+        selected=candidates,
+        approx_scores=approx,
+        stats=stats,
+    )
+
+
+def sparse_multi_head_attention(
+    hidden_states: np.ndarray,
+    weights,
+    num_heads: int,
+    mask: np.ndarray | None = None,
+    config: SparseAttentionConfig | None = None,
+) -> AttentionOutput:
+    """Drop-in replacement for dense multi-head attention.
+
+    Matches the signature of
+    :func:`repro.transformer.attention.multi_head_attention` so it can be
+    plugged into the encoder via ``attention_impl``.  The returned
+    ``AttentionOutput.scores`` field carries the quantized approximate scores
+    (the only scores the sparse path materializes in full).
+    """
+    config = config or SparseAttentionConfig()
+    q, k, v = project_qkv(hidden_states, weights)
+    qh = split_heads(q, num_heads)
+    kh = split_heads(k, num_heads)
+    vh = split_heads(v, num_heads)
+
+    key_mask = np.asarray(mask, dtype=bool) if mask is not None else None
+
+    contexts = []
+    probs = []
+    scores = []
+    for h in range(num_heads):
+        result = sparse_attention_head(qh[h], kh[h], vh[h], config, key_mask)
+        contexts.append(result.context)
+        probs.append(result.probs)
+        scores.append(result.approx_scores.astype(np.float64))
+
+    merged = merge_heads(np.stack(contexts, axis=0))
+    output = linear(merged, weights.wo, weights.bo)
+    return AttentionOutput(output=output, probs=np.stack(probs), scores=np.stack(scores))
+
+
+def make_sparse_attention_impl(
+    top_k: int = 30,
+    quant_bits: int = 4,
+    use_lut: bool = False,
+    unroll: int = 8,
+):
+    """Build an ``attention_impl`` callable for :class:`TransformerModel`.
+
+    Example
+    -------
+    >>> from repro.transformer import TransformerModel, BERT_BASE
+    >>> impl = make_sparse_attention_impl(top_k=30, quant_bits=1)
+    >>> model = TransformerModel(BERT_BASE, attention_impl=impl)
+    """
+    config = SparseAttentionConfig(
+        top_k=top_k, quant_bits=quant_bits, use_lut=use_lut, unroll=unroll
+    )
+
+    def impl(hidden_states, weights, num_heads, mask):
+        return sparse_multi_head_attention(hidden_states, weights, num_heads, mask, config)
+
+    impl.config = config  # type: ignore[attr-defined]
+    return impl

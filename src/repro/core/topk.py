@@ -1,0 +1,134 @@
+"""Hardware-faithful Top-k selection.
+
+Stage 1 of the accelerator streams approximate attention scores through a
+merge-sort based Top-k unit (the paper cites its own scalable II=1 merge-sort
+design [29]).  This module provides:
+
+* :class:`StreamingTopK` -- an insertion network model that processes one
+  score per "cycle" exactly like the hardware unit, keeping a sorted k-entry
+  register file and counting the comparisons it performs, and
+* :func:`topk_indices` -- a fast vectorized reference used by the functional
+  path, proven equivalent to the streaming model by the test suite.
+
+Ties are broken toward the lower index, matching the deterministic behaviour
+of the streaming hardware (an earlier element is never displaced by a later
+element of equal value).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["TopKResult", "StreamingTopK", "topk_indices", "topk_mask"]
+
+
+@dataclass
+class TopKResult:
+    """Indices and values of the selected candidates, in descending score order."""
+
+    indices: np.ndarray
+    values: np.ndarray
+    comparisons: int = 0
+
+    def __len__(self) -> int:
+        return len(self.indices)
+
+
+class StreamingTopK:
+    """Cycle-by-cycle model of the merge-sort Top-k hardware unit.
+
+    The unit holds a register file of the ``k`` best (value, index) pairs seen
+    so far, sorted in descending order.  Each incoming element is compared
+    against the current minimum; if it wins, it is inserted at its sorted
+    position (a shift of the tail registers, one comparison per displaced
+    entry).  The paper's unit is pipelined at II=1, so one element enters per
+    clock regardless of the insertion depth.
+    """
+
+    def __init__(self, k: int) -> None:
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.k = k
+        self._values: list[float] = []
+        self._indices: list[int] = []
+        self.comparisons = 0
+        self.elements_seen = 0
+
+    def push(self, value: float, index: int) -> None:
+        """Feed one (value, index) pair into the unit."""
+        self.elements_seen += 1
+        values, indices = self._values, self._indices
+        if len(values) < self.k:
+            pos = self._insert_position(value)
+            values.insert(pos, value)
+            indices.insert(pos, index)
+            return
+        self.comparisons += 1
+        if value <= values[-1]:
+            return
+        values.pop()
+        indices.pop()
+        pos = self._insert_position(value)
+        values.insert(pos, value)
+        indices.insert(pos, index)
+
+    def _insert_position(self, value: float) -> int:
+        """Find the insertion slot keeping descending order with stable ties."""
+        pos = 0
+        for existing in self._values:
+            self.comparisons += 1
+            if value > existing:
+                break
+            pos += 1
+        return pos
+
+    def result(self) -> TopKResult:
+        """Return the selected candidates in descending-value order."""
+        return TopKResult(
+            indices=np.asarray(self._indices, dtype=np.int64),
+            values=np.asarray(self._values, dtype=np.float64),
+            comparisons=self.comparisons,
+        )
+
+    def cycles(self) -> int:
+        """Cycles consumed: the unit is II=1, so one per element streamed in."""
+        return self.elements_seen
+
+
+def topk_indices(scores: np.ndarray, k: int) -> TopKResult:
+    """Vectorized Top-k over a 1-D score vector.
+
+    Semantics match :class:`StreamingTopK`: descending values, ties broken
+    toward the lower index, and ``k`` clipped to the vector length.
+    """
+    scores = np.asarray(scores, dtype=np.float64)
+    if scores.ndim != 1:
+        raise ValueError("topk_indices expects a 1-D score vector")
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    k = min(k, scores.shape[0])
+    # Stable sort on (-value, index): lexsort sorts by the last key first.
+    order = np.lexsort((np.arange(scores.shape[0]), -scores))
+    selected = order[:k]
+    return TopKResult(indices=selected, values=scores[selected])
+
+
+def topk_mask(scores: np.ndarray, k: int) -> np.ndarray:
+    """Boolean mask (same shape as ``scores``) of the Top-k entries per row.
+
+    ``scores`` may be 1-D or 2-D; for 2-D input the selection is applied to
+    every row independently (one query row at a time, as the hardware does).
+    """
+    scores = np.asarray(scores, dtype=np.float64)
+    if scores.ndim == 1:
+        mask = np.zeros(scores.shape, dtype=bool)
+        mask[topk_indices(scores, k).indices] = True
+        return mask
+    if scores.ndim == 2:
+        mask = np.zeros(scores.shape, dtype=bool)
+        for row in range(scores.shape[0]):
+            mask[row, topk_indices(scores[row], k).indices] = True
+        return mask
+    raise ValueError("topk_mask supports 1-D or 2-D score arrays")

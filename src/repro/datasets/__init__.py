@@ -1,0 +1,27 @@
+"""Synthetic workloads: length distributions, token corpora, proxy tasks."""
+
+from .batching import make_batches, sorted_batches
+from .length_distributions import (
+    FIG5_EXAMPLE_LENGTHS,
+    length_statistics,
+    padding_overhead,
+    sample_lengths,
+)
+from .synthetic import SyntheticSequence, generate_corpus, generate_token_sequence
+from .tasks import ProxyExample, ProxyTask, build_proxy_task, evaluate_model_on_task
+
+__all__ = [
+    "FIG5_EXAMPLE_LENGTHS",
+    "ProxyExample",
+    "ProxyTask",
+    "SyntheticSequence",
+    "build_proxy_task",
+    "evaluate_model_on_task",
+    "generate_corpus",
+    "generate_token_sequence",
+    "length_statistics",
+    "make_batches",
+    "padding_overhead",
+    "sample_lengths",
+    "sorted_batches",
+]

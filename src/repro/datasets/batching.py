@@ -1,0 +1,39 @@
+"""Batching utilities for the hardware-scheduling experiments."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import config as global_config
+
+__all__ = ["make_batches", "sorted_batches"]
+
+
+def make_batches(
+    lengths: np.ndarray | list[int],
+    batch_size: int = global_config.DEFAULT_BATCH_SIZE,
+    drop_last: bool = False,
+) -> list[list[int]]:
+    """Split a list of sequence lengths into consecutive batches."""
+    if batch_size < 1:
+        raise ValueError("batch_size must be >= 1")
+    lengths = [int(x) for x in lengths]
+    batches = [lengths[i : i + batch_size] for i in range(0, len(lengths), batch_size)]
+    if drop_last and batches and len(batches[-1]) < batch_size:
+        batches.pop()
+    return [b for b in batches if b]
+
+
+def sorted_batches(
+    lengths: np.ndarray | list[int],
+    batch_size: int = global_config.DEFAULT_BATCH_SIZE,
+    drop_last: bool = False,
+) -> list[list[int]]:
+    """Globally sort by decreasing length before batching.
+
+    This is the bucketing strategy serving systems use to keep similar-length
+    sequences together; the length-aware scheduler additionally sorts within
+    each batch (a no-op after this global sort).
+    """
+    ordered = sorted((int(x) for x in lengths), reverse=True)
+    return make_batches(ordered, batch_size=batch_size, drop_last=drop_last)

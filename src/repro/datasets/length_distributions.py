@@ -1,0 +1,116 @@
+"""Sequence-length distribution generators matching Table 1 statistics.
+
+The paper's hardware evaluation only depends on the *length distribution* of
+each dataset (SQuAD v1.1, RTE, MRPC): the average length drives the useful
+work, the maximum length drives the padding overhead of the baselines, and
+the Max/Avg ratio in Table 1 quantifies that overhead.  Real NLP length
+distributions are right-skewed, so lengths are sampled from a log-normal
+distribution whose parameters are fit to the (avg, max) pair and then clipped
+to ``[min_length, max_length]``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import config as global_config
+from ..transformer.configs import DatasetConfig, get_dataset_config
+
+__all__ = [
+    "FIG5_EXAMPLE_LENGTHS",
+    "sample_lengths",
+    "length_statistics",
+    "padding_overhead",
+]
+
+#: The batch of five sequence lengths used in the Fig. 5 worked example.
+FIG5_EXAMPLE_LENGTHS = (140, 100, 82, 78, 72)
+
+
+def _lognormal_parameters(avg: float, maximum: float) -> tuple[float, float]:
+    """Fit (mu, sigma) of a log-normal so its mean is ``avg`` and its ~99.9th
+    percentile is near ``maximum``.
+
+    With X ~ LogNormal(mu, sigma): E[X] = exp(mu + sigma^2 / 2) and
+    P99.9 ~= exp(mu + 3.09 sigma).  Solving the two equations gives sigma from
+    the Max/Avg ratio and mu from the mean.
+    """
+    if maximum <= avg:
+        # Degenerate case (MRPC-like, narrow distribution): small spread.
+        sigma = 0.1
+    else:
+        ratio = maximum / avg
+        # ln(ratio) = 3.09 sigma - sigma^2 / 2 ; solve the quadratic for sigma.
+        a, b, c = 0.5, -3.09, float(np.log(ratio))
+        disc = b * b - 4 * a * c
+        sigma = (-b - np.sqrt(disc)) / (2 * a) if disc > 0 else 0.5
+        sigma = float(np.clip(sigma, 0.05, 2.0))
+    mu = float(np.log(avg) - 0.5 * sigma**2)
+    return mu, sigma
+
+
+def sample_lengths(
+    dataset: DatasetConfig | str,
+    num_sequences: int,
+    seed: int = global_config.DEFAULT_SEED,
+) -> np.ndarray:
+    """Sample ``num_sequences`` sequence lengths matching the dataset statistics.
+
+    The sample is clipped to ``[min_length, max_length]`` and at least one
+    sequence is pinned to the maximum length so that padding-based baselines
+    experience the full Table 1 Max/Avg overhead even for small batches.
+    """
+    if isinstance(dataset, str):
+        dataset = get_dataset_config(dataset)
+    if num_sequences < 1:
+        raise ValueError("num_sequences must be >= 1")
+    rng = np.random.default_rng(seed)
+    mu, sigma = _lognormal_parameters(dataset.avg_length, dataset.max_length)
+    lengths = rng.lognormal(mean=mu, sigma=sigma, size=num_sequences)
+    lengths = np.clip(np.round(lengths), dataset.min_length, dataset.max_length).astype(np.int64)
+    # Nudge the sample mean toward the dataset average (clipping biases it).
+    current_mean = lengths.mean()
+    if current_mean > 0:
+        scaled = np.clip(
+            np.round(lengths * (dataset.avg_length / current_mean)),
+            dataset.min_length,
+            dataset.max_length,
+        ).astype(np.int64)
+        # Keep the rescaled sample only if it is closer to the target mean.
+        if abs(scaled.mean() - dataset.avg_length) < abs(current_mean - dataset.avg_length):
+            lengths = scaled
+    if num_sequences >= 2:
+        lengths[int(rng.integers(0, num_sequences))] = dataset.max_length
+    return lengths
+
+
+def length_statistics(lengths: np.ndarray) -> dict[str, float]:
+    """Summary statistics of a length sample (mirrors the Table 1 columns)."""
+    lengths = np.asarray(lengths)
+    if lengths.size == 0:
+        raise ValueError("empty length sample")
+    avg = float(lengths.mean())
+    maximum = float(lengths.max())
+    return {
+        "min": float(lengths.min()),
+        "avg": avg,
+        "max": maximum,
+        "max_avg_ratio": maximum / avg if avg else float("nan"),
+    }
+
+
+def padding_overhead(lengths: np.ndarray, pad_to: int | None = None) -> float:
+    """Computation overhead factor of padding the batch to a common length.
+
+    The factor is (padded work) / (useful work) assuming O(n) operators, i.e.
+    ``pad_to * batch / sum(lengths)`` -- the quantity the paper calls the
+    Max/Avg computational overhead (5.7x for SQuAD v2.0 in the introduction).
+    """
+    lengths = np.asarray(lengths, dtype=np.float64)
+    if lengths.size == 0:
+        raise ValueError("empty length sample")
+    target = float(pad_to) if pad_to is not None else float(lengths.max())
+    useful = float(lengths.sum())
+    if useful == 0:
+        return float("nan")
+    return target * lengths.size / useful

@@ -1,0 +1,113 @@
+"""Synthetic token-sequence generation.
+
+The proxy-task corpora are built from synthetic token id sequences.  Token
+ids follow a Zipf-like distribution (natural-language token frequencies are
+heavy-tailed), which matters because it gives the embedding outputs -- and
+therefore the attention score matrices -- the skewed structure that Top-k
+selection exploits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .. import config as global_config
+from ..transformer.configs import DatasetConfig, ModelConfig, get_dataset_config
+from .length_distributions import sample_lengths
+
+__all__ = ["SyntheticSequence", "generate_token_sequence", "generate_corpus"]
+
+#: Reserved token ids (mirroring BERT's special tokens).
+CLS_TOKEN_ID = 101
+SEP_TOKEN_ID = 102
+PAD_TOKEN_ID = 0
+_FIRST_REGULAR_TOKEN = 1000
+
+
+@dataclass(frozen=True)
+class SyntheticSequence:
+    """One synthetic input: token ids plus segment ids and its true length."""
+
+    token_ids: np.ndarray
+    segment_ids: np.ndarray
+    length: int
+
+    def __post_init__(self) -> None:
+        if self.token_ids.shape != self.segment_ids.shape:
+            raise ValueError("token_ids and segment_ids must have the same shape")
+        if self.length != self.token_ids.shape[0]:
+            raise ValueError("length must equal the number of tokens")
+
+
+def generate_token_sequence(
+    length: int,
+    vocab_size: int,
+    rng: np.random.Generator,
+    zipf_exponent: float = 1.2,
+    two_segments: bool = True,
+) -> SyntheticSequence:
+    """Generate one synthetic sequence of exactly ``length`` tokens.
+
+    The sequence starts with [CLS], contains one [SEP] in the middle when
+    ``two_segments`` is set (sentence-pair tasks such as RTE/MRPC/SQuAD), and
+    ends with [SEP].
+    """
+    if length < 4:
+        raise ValueError("sequences must have at least 4 tokens ([CLS] ... [SEP])")
+    if vocab_size <= _FIRST_REGULAR_TOKEN:
+        raise ValueError("vocab_size too small for the reserved token range")
+
+    num_regular = length - (3 if two_segments else 2)
+    # Zipf-distributed ranks mapped into the regular-token id range.
+    ranks = rng.zipf(zipf_exponent, size=num_regular)
+    token_body = _FIRST_REGULAR_TOKEN + (ranks % (vocab_size - _FIRST_REGULAR_TOKEN))
+
+    if two_segments:
+        split = num_regular // 2
+        token_ids = np.concatenate(
+            (
+                [CLS_TOKEN_ID],
+                token_body[:split],
+                [SEP_TOKEN_ID],
+                token_body[split:],
+                [SEP_TOKEN_ID],
+            )
+        ).astype(np.int64)
+        segment_ids = np.concatenate(
+            (np.zeros(split + 2, dtype=np.int64), np.ones(length - split - 2, dtype=np.int64))
+        )
+    else:
+        token_ids = np.concatenate(([CLS_TOKEN_ID], token_body, [SEP_TOKEN_ID])).astype(np.int64)
+        segment_ids = np.zeros(length, dtype=np.int64)
+
+    return SyntheticSequence(token_ids=token_ids, segment_ids=segment_ids, length=length)
+
+
+def generate_corpus(
+    dataset: DatasetConfig | str,
+    model_config: ModelConfig,
+    num_sequences: int,
+    seed: int = global_config.DEFAULT_SEED,
+    max_length_cap: int | None = None,
+) -> list[SyntheticSequence]:
+    """Generate a corpus whose length distribution matches the dataset.
+
+    ``max_length_cap`` additionally truncates lengths (useful to keep the
+    functional accuracy experiments fast while preserving the distribution
+    shape); hardware experiments use the uncapped distribution.
+    """
+    if isinstance(dataset, str):
+        dataset = get_dataset_config(dataset)
+    rng = np.random.default_rng(seed)
+    lengths = sample_lengths(dataset, num_sequences, seed=seed)
+    if max_length_cap is not None:
+        lengths = np.minimum(lengths, max_length_cap)
+    lengths = np.maximum(lengths, 8)
+    lengths = np.minimum(lengths, model_config.max_position)
+    # All three evaluation tasks (SQuAD, RTE, MRPC) are sentence-pair inputs.
+    return [
+        generate_token_sequence(int(length), model_config.vocab_size, rng, two_segments=True)
+        for length in lengths
+    ]

@@ -1,0 +1,33 @@
+"""Experiment harness: one module per paper table / figure."""
+
+from .fig1_breakdown import BreakdownRow, Fig1Result, run_fig1_breakdown
+from .fig5_timeline import Fig5Result, run_fig5_schedule
+from .fig6_accuracy import Fig6PairResult, Fig6Result, reduced_config, run_fig6_accuracy
+from .fig7_throughput import Fig7Result, Fig7Workload, run_fig7_throughput
+from .report import format_key_values, format_table
+from .runner import ExperimentReport, run_all_experiments
+from .table1_models import Table1Result, run_table1
+from .table2_energy import Table2Result, run_table2_energy
+
+__all__ = [
+    "BreakdownRow",
+    "ExperimentReport",
+    "Fig1Result",
+    "Fig5Result",
+    "Fig6PairResult",
+    "Fig6Result",
+    "Fig7Result",
+    "Fig7Workload",
+    "Table1Result",
+    "Table2Result",
+    "format_key_values",
+    "format_table",
+    "reduced_config",
+    "run_all_experiments",
+    "run_fig1_breakdown",
+    "run_fig5_schedule",
+    "run_fig6_accuracy",
+    "run_fig7_throughput",
+    "run_table1",
+    "run_table2_energy",
+]

@@ -1,0 +1,57 @@
+"""Plain-text report rendering for the experiment harnesses."""
+
+from __future__ import annotations
+
+__all__ = ["format_table", "format_key_values"]
+
+
+def format_table(rows: list[dict], title: str | None = None) -> str:
+    """Render a list of dictionaries as an aligned plain-text table.
+
+    Column order follows the keys of the first row; missing values render as
+    an empty cell.
+    """
+    if not rows:
+        return (title + "\n(empty)\n") if title else "(empty)\n"
+    columns = list(rows[0].keys())
+    for row in rows[1:]:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+
+    def cell(value) -> str:
+        if value is None:
+            return ""
+        if isinstance(value, float):
+            return f"{value:.3f}".rstrip("0").rstrip(".")
+        return str(value)
+
+    table = [[cell(row.get(col)) for col in columns] for row in rows]
+    widths = [
+        max(len(columns[i]), max((len(r[i]) for r in table), default=0)) for i in range(len(columns))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(col.ljust(widths[i]) for i, col in enumerate(columns))
+    lines.append(header)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in table:
+        lines.append(" | ".join(value.ljust(widths[i]) for i, value in enumerate(row)))
+    return "\n".join(lines) + "\n"
+
+
+def format_key_values(values: dict, title: str | None = None) -> str:
+    """Render a flat dictionary as aligned ``key: value`` lines."""
+    lines = []
+    if title:
+        lines.append(title)
+    if values:
+        width = max(len(str(key)) for key in values)
+        for key, value in values.items():
+            if isinstance(value, float):
+                rendered = f"{value:.3f}".rstrip("0").rstrip(".")
+            else:
+                rendered = str(value)
+            lines.append(f"{str(key).ljust(width)} : {rendered}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,62 @@
+"""FPGA hardware model: resources, HBM, PE arrays, stages, accelerator."""
+
+from .accelerator import (
+    Accelerator,
+    STAGE_NAMES,
+    allocate_matmul_parallelism,
+    build_baseline_accelerator,
+    build_sparse_accelerator,
+)
+from .buffers import BufferSizing, DoubleBuffer, bram_blocks_for_bytes
+from .cycle_model import OperatorCycleModel, OperatorTiming
+from .hbm import HbmModel
+from .pe_array import MatMulUnit, PeArrayGeometry
+from .resources import (
+    FpgaResources,
+    ResourceBudget,
+    U280_SLR0,
+    resources_for_matmul,
+    resources_for_operator,
+)
+from .roofline import (
+    DeviceRoofline,
+    RooflinePoint,
+    accelerator_roofline,
+    ctc_ratio,
+    device_roofline,
+    stage_roofline,
+)
+from .stages import StageHardware, StageOperator
+from .state_machine import EncoderState, IllegalTransitionError, StageStateMachine
+
+__all__ = [
+    "Accelerator",
+    "BufferSizing",
+    "DeviceRoofline",
+    "DoubleBuffer",
+    "EncoderState",
+    "FpgaResources",
+    "HbmModel",
+    "IllegalTransitionError",
+    "MatMulUnit",
+    "OperatorCycleModel",
+    "OperatorTiming",
+    "PeArrayGeometry",
+    "ResourceBudget",
+    "RooflinePoint",
+    "STAGE_NAMES",
+    "StageHardware",
+    "StageOperator",
+    "StageStateMachine",
+    "U280_SLR0",
+    "accelerator_roofline",
+    "allocate_matmul_parallelism",
+    "bram_blocks_for_bytes",
+    "build_baseline_accelerator",
+    "build_sparse_accelerator",
+    "ctc_ratio",
+    "device_roofline",
+    "resources_for_matmul",
+    "resources_for_operator",
+    "stage_roofline",
+]

@@ -1,0 +1,90 @@
+"""Roofline-style cycle model for individual encoder operators.
+
+Each operator assigned to a coarse-grained stage executes on its allocated
+hardware (DSP MACs for matmuls, fabric lanes for element-wise / softmax /
+select operators) while its off-chip traffic streams over HBM.  Computation
+and communication are overlapped through data prefetching (Section 4.2), so
+the operator latency is the maximum of its compute cycles and its memory
+cycles -- the classic roofline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..operators.graph import Operator
+from .hbm import HbmModel
+
+__all__ = ["OperatorCycleModel", "OperatorTiming"]
+
+
+@dataclass(frozen=True)
+class OperatorTiming:
+    """Latency decomposition of one operator execution."""
+
+    name: str
+    compute_cycles: int
+    memory_cycles: int
+
+    @property
+    def cycles(self) -> int:
+        """Roofline latency: compute and communication overlap."""
+        return max(self.compute_cycles, self.memory_cycles)
+
+    @property
+    def memory_bound(self) -> bool:
+        """True when HBM traffic, not arithmetic, limits the operator."""
+        return self.memory_cycles > self.compute_cycles
+
+
+@dataclass(frozen=True)
+class OperatorCycleModel:
+    """Converts an operator's work into cycles on its allocated hardware.
+
+    Attributes
+    ----------
+    hbm:
+        Off-chip memory model used for the traffic term.
+    pipeline_depth:
+        Fixed fill/drain overhead added to every operator invocation.
+    fabric_ops_per_lane:
+        Work items retired per cycle by one lane of a non-matmul operator.
+    """
+
+    hbm: HbmModel = HbmModel()
+    pipeline_depth: int = 16
+    fabric_ops_per_lane: int = 1
+
+    def compute_cycles(self, operator: Operator, seq: int, parallelism: int) -> int:
+        """Cycles spent on arithmetic at the given parallelism."""
+        if parallelism < 1:
+            raise ValueError("parallelism must be >= 1")
+        work = operator.weight(seq)
+        if work <= 0:
+            return 0
+        if operator.kind == "matmul":
+            macs = -(-work // 2)  # 2 ops per MAC
+            steady = -(-macs // parallelism)
+        else:
+            per_cycle = parallelism * self.fabric_ops_per_lane
+            steady = -(-work // per_cycle)
+        return steady + self.pipeline_depth
+
+    def memory_cycles(self, operator: Operator, seq: int) -> int:
+        """Cycles spent moving the operator's off-chip traffic."""
+        traffic = operator.traffic(seq)
+        if traffic <= 0:
+            return 0
+        return self.hbm.transfer_cycles(traffic)
+
+    def timing(self, operator: Operator, seq: int, parallelism: int) -> OperatorTiming:
+        """Roofline timing of one operator execution."""
+        return OperatorTiming(
+            name=operator.name,
+            compute_cycles=self.compute_cycles(operator, seq, parallelism),
+            memory_cycles=self.memory_cycles(operator, seq),
+        )
+
+    def cycles(self, operator: Operator, seq: int, parallelism: int) -> int:
+        """Shorthand for ``timing(...).cycles``."""
+        return self.timing(operator, seq, parallelism).cycles

@@ -1,0 +1,75 @@
+"""HBM (off-chip memory) bandwidth model.
+
+The U280 exposes 32 HBM pseudo-channels; the paper's design streams the
+activations, the Top-k index/value pairs (inter-stage buffering) and the
+weights through them at up to 460 GB/s aggregate bandwidth.  The model below
+converts a byte count into cycles at a configurable achievable-bandwidth
+fraction, which is what the per-stage roofline needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .. import config as global_config
+
+__all__ = ["HbmModel"]
+
+
+@dataclass(frozen=True)
+class HbmModel:
+    """Bandwidth/latency model of the HBM subsystem.
+
+    Attributes
+    ----------
+    peak_bandwidth:
+        Aggregate peak bandwidth in bytes/second (460 GB/s on the U280).
+    efficiency:
+        Fraction of the peak achievable by streaming accesses (bursts over
+        AXI reach ~80-90%; random accesses much less).
+    clock_hz:
+        Kernel clock used to convert seconds into cycles.
+    num_channels:
+        Number of pseudo-channels (32 on the U280); per-channel bandwidth is
+        ``peak_bandwidth / num_channels``.
+    """
+
+    peak_bandwidth: float = global_config.FPGA_HBM_BANDWIDTH
+    efficiency: float = 0.85
+    clock_hz: float = global_config.FPGA_CLOCK_HZ
+    num_channels: int = 32
+
+    def __post_init__(self) -> None:
+        if not (0.0 < self.efficiency <= 1.0):
+            raise ValueError("efficiency must be in (0, 1]")
+        if self.peak_bandwidth <= 0 or self.clock_hz <= 0:
+            raise ValueError("bandwidth and clock must be positive")
+
+    @property
+    def effective_bandwidth(self) -> float:
+        """Achievable bandwidth in bytes/second."""
+        return self.peak_bandwidth * self.efficiency
+
+    @property
+    def bytes_per_cycle(self) -> float:
+        """Achievable bytes transferred per kernel clock cycle."""
+        return self.effective_bandwidth / self.clock_hz
+
+    def transfer_cycles(self, num_bytes: int, channels_used: int | None = None) -> int:
+        """Cycles needed to move ``num_bytes`` using ``channels_used`` channels."""
+        if num_bytes < 0:
+            raise ValueError("byte count must be non-negative")
+        if num_bytes == 0:
+            return 0
+        if channels_used is None:
+            bandwidth_fraction = 1.0
+        else:
+            if not (1 <= channels_used <= self.num_channels):
+                raise ValueError("channels_used out of range")
+            bandwidth_fraction = channels_used / self.num_channels
+        per_cycle = self.bytes_per_cycle * bandwidth_fraction
+        return max(1, int(round(num_bytes / per_cycle)))
+
+    def transfer_seconds(self, num_bytes: int) -> float:
+        """Wall-clock seconds to move ``num_bytes`` at full effective bandwidth."""
+        return self.transfer_cycles(num_bytes) / self.clock_hz

@@ -1,0 +1,84 @@
+"""Tiled processing-element (MatMul unit) model.
+
+Fig. 2(a) shows the MM unit: a tiled array of multiply-accumulate PEs fed by
+input FIFOs through a crossbar, with double buffers on the input and output
+data paths.  For the stage-level latency model we only need the steady-state
+throughput of the array (one 8-bit MAC per DSP per cycle) plus the pipeline
+fill/drain overheads, which this module provides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .resources import FpgaResources, resources_for_matmul
+
+__all__ = ["MatMulUnit", "PeArrayGeometry"]
+
+
+@dataclass(frozen=True)
+class PeArrayGeometry:
+    """Physical tiling of the PE array.
+
+    ``rows x cols`` PEs; each PE performs one 8-bit MAC per cycle.
+    """
+
+    rows: int
+    cols: int
+
+    def __post_init__(self) -> None:
+        if self.rows < 1 or self.cols < 1:
+            raise ValueError("PE array dimensions must be >= 1")
+
+    @property
+    def num_pes(self) -> int:
+        return self.rows * self.cols
+
+
+@dataclass(frozen=True)
+class MatMulUnit:
+    """Throughput/latency model of one MatMul (MM) unit.
+
+    Attributes
+    ----------
+    geometry:
+        PE tiling; the number of PEs equals the number of DSPs consumed.
+    pipeline_depth:
+        Fill/drain latency of the MAC pipeline in cycles.
+    """
+
+    geometry: PeArrayGeometry
+    pipeline_depth: int = 8
+
+    @property
+    def parallelism(self) -> int:
+        """MACs performed per cycle."""
+        return self.geometry.num_pes
+
+    def resources(self) -> FpgaResources:
+        """FPGA resources consumed by this unit."""
+        return resources_for_matmul(self.parallelism)
+
+    def matmul_cycles(self, m: int, k: int, n: int) -> int:
+        """Cycles to compute an ``(m, k) @ (k, n)`` product.
+
+        The array is output-stationary: ``m * n`` output elements each need
+        ``k`` MACs, executed ``parallelism`` at a time at II=1, plus the
+        pipeline fill/drain.
+        """
+        if min(m, k, n) <= 0:
+            return 0
+        total_macs = m * k * n
+        steady = -(-total_macs // self.parallelism)  # ceil
+        return steady + self.pipeline_depth
+
+    def flops_cycles(self, flops: int) -> int:
+        """Cycles to execute ``flops`` (2 ops per MAC) on this unit."""
+        if flops <= 0:
+            return 0
+        macs = -(-flops // 2)
+        return -(-macs // self.parallelism) + self.pipeline_depth
+
+    def throughput_ops(self, clock_hz: float) -> float:
+        """Peak ops/second (2 ops per MAC per cycle)."""
+        return 2.0 * self.parallelism * clock_hz

@@ -1,0 +1,177 @@
+"""FPGA resource model (Xilinx Alveo U280, SLR0).
+
+The paper constrains the whole design to SLR0 of the U280 because only SLR0
+connects to the HBM stacks.  This module models the four resource classes
+that bound the design (DSP slices, BRAM36 blocks, LUTs, flip-flops) and the
+bookkeeping needed by Algorithm 1's "resource constraints are satisfied"
+check and by the design-space exploration of the stage parallelism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .. import config as global_config
+
+__all__ = ["FpgaResources", "ResourceBudget", "U280_SLR0", "resources_for_matmul", "resources_for_operator"]
+
+
+@dataclass(frozen=True)
+class FpgaResources:
+    """A bundle of FPGA resources (a requirement or a capacity)."""
+
+    dsp: int = 0
+    bram: int = 0
+    lut: int = 0
+    ff: int = 0
+
+    def __add__(self, other: "FpgaResources") -> "FpgaResources":
+        return FpgaResources(
+            dsp=self.dsp + other.dsp,
+            bram=self.bram + other.bram,
+            lut=self.lut + other.lut,
+            ff=self.ff + other.ff,
+        )
+
+    def __sub__(self, other: "FpgaResources") -> "FpgaResources":
+        return FpgaResources(
+            dsp=self.dsp - other.dsp,
+            bram=self.bram - other.bram,
+            lut=self.lut - other.lut,
+            ff=self.ff - other.ff,
+        )
+
+    def scaled(self, factor: int) -> "FpgaResources":
+        """Resources of ``factor`` replicated instances."""
+        return FpgaResources(
+            dsp=self.dsp * factor,
+            bram=self.bram * factor,
+            lut=self.lut * factor,
+            ff=self.ff * factor,
+        )
+
+    def fits_within(self, capacity: "FpgaResources") -> bool:
+        """True when every resource class is within ``capacity``."""
+        return (
+            self.dsp <= capacity.dsp
+            and self.bram <= capacity.bram
+            and self.lut <= capacity.lut
+            and self.ff <= capacity.ff
+        )
+
+    def utilization(self, capacity: "FpgaResources") -> dict[str, float]:
+        """Fractional utilization per resource class."""
+
+        def frac(used: int, avail: int) -> float:
+            return used / avail if avail else 0.0
+
+        return {
+            "dsp": frac(self.dsp, capacity.dsp),
+            "bram": frac(self.bram, capacity.bram),
+            "lut": frac(self.lut, capacity.lut),
+            "ff": frac(self.ff, capacity.ff),
+        }
+
+
+#: Capacity of SLR0 on the Alveo U280 (paper Section 5.2 + U280 datasheet).
+U280_SLR0 = FpgaResources(
+    dsp=global_config.FPGA_DSP_SLR0,
+    bram=global_config.FPGA_BRAM_SLR0,
+    lut=global_config.FPGA_LUT_SLR0,
+    ff=global_config.FPGA_FF_SLR0,
+)
+
+
+class ResourceBudget:
+    """Mutable allocation tracker over a fixed capacity.
+
+    Used by the stage allocator: operators reserve resources as they are
+    assigned to a stage; an allocation that would exceed the capacity fails,
+    which is the signal to open a new coarse-grained stage.
+    """
+
+    def __init__(self, capacity: FpgaResources) -> None:
+        self.capacity = capacity
+        self._allocated = FpgaResources()
+
+    @property
+    def allocated(self) -> FpgaResources:
+        """Resources currently reserved."""
+        return self._allocated
+
+    @property
+    def remaining(self) -> FpgaResources:
+        """Resources still available."""
+        return self.capacity - self._allocated
+
+    def can_allocate(self, request: FpgaResources) -> bool:
+        """Check whether ``request`` fits without modifying the budget."""
+        return (self._allocated + request).fits_within(self.capacity)
+
+    def allocate(self, request: FpgaResources) -> None:
+        """Reserve ``request``; raises ``ValueError`` when it does not fit."""
+        if not self.can_allocate(request):
+            raise ValueError(
+                f"allocation {request} exceeds remaining capacity {self.remaining}"
+            )
+        self._allocated = self._allocated + request
+
+    def release(self, request: FpgaResources) -> None:
+        """Return previously reserved resources to the pool."""
+        released = self._allocated - request
+        if min(released.dsp, released.bram, released.lut, released.ff) < 0:
+            raise ValueError("releasing more resources than are allocated")
+        self._allocated = released
+
+    def reset(self) -> None:
+        """Drop every reservation."""
+        self._allocated = FpgaResources()
+
+    def utilization(self) -> dict[str, float]:
+        """Fractional utilization per resource class."""
+        return self._allocated.utilization(self.capacity)
+
+
+def resources_for_matmul(parallelism: int) -> FpgaResources:
+    """Resource cost of a MatMul (MM) unit with ``parallelism`` 8-bit MACs.
+
+    One 8-bit multiply-accumulate occupies one DSP slice (paper Section 5.2);
+    the accompanying input/output FIFOs and the accumulator registers cost
+    LUTs/FFs.  Tile buffers are shared across MAC lanes (the crossbar of
+    Fig. 2(a) broadcasts operands), so BRAM grows sub-linearly with the lane
+    count.
+    """
+    if parallelism < 1:
+        raise ValueError("parallelism must be >= 1")
+    brams = max(2, parallelism // 16)
+    return FpgaResources(
+        dsp=parallelism,
+        bram=brams,
+        lut=80 * parallelism,
+        ff=120 * parallelism,
+    )
+
+
+def resources_for_operator(kind: str, parallelism: int) -> FpgaResources:
+    """Resource cost of ``parallelism`` lanes of a non-matmul operator.
+
+    Element-wise, softmax, LayerNorm, Top-k select and data-movement operators
+    are implemented in fabric (LUT/FF) plus a small amount of BRAM; softmax
+    and LayerNorm additionally use a handful of DSPs for the divide /
+    square-root datapath.
+    """
+    if parallelism < 1:
+        raise ValueError("parallelism must be >= 1")
+    if kind == "matmul":
+        return resources_for_matmul(parallelism)
+    if kind in ("softmax", "layernorm"):
+        return FpgaResources(dsp=4 * parallelism, bram=2, lut=600 * parallelism, ff=900 * parallelism)
+    if kind == "select":
+        # Merge-sort Top-k unit: comparator network in fabric, BRAM result FIFO.
+        return FpgaResources(dsp=0, bram=4, lut=400 * parallelism, ff=600 * parallelism)
+    if kind == "lut":
+        # LUT-based low-bit multiplier array (the approximate-score unit).
+        return FpgaResources(dsp=0, bram=2, lut=100 * parallelism, ff=80 * parallelism)
+    if kind in ("elementwise", "misc"):
+        return FpgaResources(dsp=parallelism, bram=1, lut=150 * parallelism, ff=200 * parallelism)
+    raise ValueError(f"unknown operator kind '{kind}'")

@@ -1,0 +1,138 @@
+"""Roofline and computation-to-communication (CTC) analysis.
+
+Section 4 of the paper motivates the FPGA mapping with the
+computation-to-communication ratio: on-chip buffering and loop fusion raise
+the CTC ratio of each stage until the design is compute-bound ("push the
+hardware design to the computation roof").  This module quantifies that
+argument for any accelerator built by this library:
+
+* the device roofline (peak 8-bit ops/s vs HBM bandwidth and the resulting
+  ridge-point operational intensity), and
+* per-stage operational intensity, attained performance and the bound
+  (compute vs memory) at a given sequence length.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .. import config as global_config
+from .accelerator import Accelerator
+from .hbm import HbmModel
+from .stages import StageHardware
+
+__all__ = [
+    "RooflinePoint",
+    "DeviceRoofline",
+    "stage_roofline",
+    "accelerator_roofline",
+    "device_roofline",
+    "ctc_ratio",
+]
+
+
+@dataclass(frozen=True)
+class DeviceRoofline:
+    """The device-level roofline: compute roof, memory roof and ridge point."""
+
+    peak_ops_per_second: float
+    memory_bandwidth: float
+
+    @property
+    def ridge_operational_intensity(self) -> float:
+        """Operations per byte at which the design becomes compute-bound."""
+        return self.peak_ops_per_second / self.memory_bandwidth
+
+    def attainable(self, operational_intensity: float) -> float:
+        """Attainable ops/s at a given operational intensity (ops per byte)."""
+        if operational_intensity <= 0:
+            return 0.0
+        return min(self.peak_ops_per_second, operational_intensity * self.memory_bandwidth)
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """Roofline placement of one pipeline stage at one sequence length."""
+
+    stage: str
+    operations: int
+    bytes_moved: int
+    cycles: int
+    clock_hz: float
+    peak_ops_per_second: float
+
+    @property
+    def operational_intensity(self) -> float:
+        """Ops per off-chip byte (infinite when the stage is fully on-chip)."""
+        if self.bytes_moved == 0:
+            return float("inf")
+        return self.operations / self.bytes_moved
+
+    @property
+    def attained_ops_per_second(self) -> float:
+        """Operations retired per second by the stage hardware."""
+        if self.cycles == 0:
+            return 0.0
+        return self.operations * self.clock_hz / self.cycles
+
+    @property
+    def compute_bound(self) -> bool:
+        """True when the stage sits right of the ridge point (arithmetic-limited)."""
+        ridge = self.peak_ops_per_second / global_config.FPGA_HBM_BANDWIDTH
+        return self.operational_intensity >= ridge
+
+    def as_row(self) -> dict:
+        return {
+            "stage": self.stage,
+            "ops_per_byte": (
+                round(self.operational_intensity, 1)
+                if self.operational_intensity != float("inf")
+                else "on-chip"
+            ),
+            "attained_gops": round(self.attained_ops_per_second / 1e9, 1),
+            "bound": "compute" if self.compute_bound else "memory",
+        }
+
+
+def ctc_ratio(stage: StageHardware, seq: int) -> float:
+    """Computation-to-communication ratio of one stage at sequence length ``seq``.
+
+    Defined as arithmetic operations per off-chip byte moved; stages whose
+    operators keep all data on chip have an infinite CTC ratio.
+    """
+    operations = sum(so.operator.weight(seq) for so in stage.operators)
+    traffic = sum(so.operator.traffic(seq) for so in stage.operators)
+    if traffic == 0:
+        return float("inf")
+    return operations / traffic
+
+
+def stage_roofline(stage: StageHardware, seq: int, clock_hz: float) -> RooflinePoint:
+    """Place one stage on the roofline at sequence length ``seq``."""
+    operations = sum(so.operator.weight(seq) for so in stage.operators)
+    traffic = sum(so.operator.traffic(seq) for so in stage.operators)
+    peak = 2.0 * stage.resources().dsp * clock_hz
+    return RooflinePoint(
+        stage=stage.name,
+        operations=operations,
+        bytes_moved=traffic,
+        cycles=stage.latency_cycles(seq),
+        clock_hz=clock_hz,
+        peak_ops_per_second=max(peak, 1.0),
+    )
+
+
+def accelerator_roofline(accelerator: Accelerator, seq: int) -> list[RooflinePoint]:
+    """Roofline placement of every stage of an accelerator."""
+    return [stage_roofline(stage, seq, accelerator.clock_hz) for stage in accelerator.stages]
+
+
+def device_roofline(
+    accelerator: Accelerator, hbm: HbmModel | None = None
+) -> DeviceRoofline:
+    """Device-level roofline for the resources the accelerator actually uses."""
+    hbm = hbm or HbmModel(clock_hz=accelerator.clock_hz)
+    return DeviceRoofline(
+        peak_ops_per_second=accelerator.peak_ops(),
+        memory_bandwidth=hbm.effective_bandwidth,
+    )

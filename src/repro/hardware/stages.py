@@ -1,0 +1,130 @@
+"""Coarse-grained pipeline stage hardware model.
+
+A stage bundles the operators assigned to it by the stage-allocation
+algorithm together with their parallelism (DSP MACs / fabric lanes), the
+double buffer feeding the next stage, and an intra-stage pipelining flag
+(stage 2 of the paper is itself split into sub-stages 2.1/2.2/2.3 that
+overlap at row granularity).  Its single responsibility is to answer
+"how many cycles does this stage take to process a sequence of length s?"
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..operators.graph import Operator
+from .buffers import BufferSizing
+from .cycle_model import OperatorCycleModel, OperatorTiming
+from .resources import FpgaResources, resources_for_operator
+
+__all__ = ["StageOperator", "StageHardware"]
+
+
+@dataclass(frozen=True)
+class StageOperator:
+    """One operator placed in a stage together with its hardware parallelism."""
+
+    operator: Operator
+    parallelism: int
+
+    def __post_init__(self) -> None:
+        if self.parallelism < 1:
+            raise ValueError("parallelism must be >= 1")
+
+    def resources(self) -> FpgaResources:
+        """FPGA resources consumed by this operator's datapath."""
+        return resources_for_operator(self.operator.kind, self.parallelism)
+
+
+@dataclass
+class StageHardware:
+    """Hardware of one coarse-grained pipeline stage.
+
+    Attributes
+    ----------
+    name:
+        Stage label (e.g. ``"MM|At-Sel"``, ``"At-Comp"``, ``"FdFwd"``).
+    operators:
+        Operators mapped to the stage with their parallelism.
+    cycle_model:
+        Shared roofline cycle model.
+    intra_pipelined:
+        When ``True`` the stage's operators overlap at row granularity (the
+        sub-stage pipelining of stage 2), so the stage latency approaches the
+        slowest operator rather than the sum.
+    output_buffer:
+        Sizing of the double buffer between this stage and the next.
+    replication:
+        Number of replicated stage instances R(G_k, s) working on different
+        sequences concurrently.
+    """
+
+    name: str
+    operators: list[StageOperator]
+    cycle_model: OperatorCycleModel = field(default_factory=OperatorCycleModel)
+    intra_pipelined: bool = False
+    output_buffer: BufferSizing | None = None
+    replication: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.operators:
+            raise ValueError(f"stage '{self.name}' has no operators")
+        if self.replication < 1:
+            raise ValueError("replication must be >= 1")
+
+    # ------------------------------------------------------------------
+    # Latency
+    # ------------------------------------------------------------------
+
+    def operator_timings(self, seq: int) -> list[OperatorTiming]:
+        """Roofline timing of each operator at sequence length ``seq``."""
+        return [
+            self.cycle_model.timing(so.operator, seq, so.parallelism) for so in self.operators
+        ]
+
+    def latency_cycles(self, seq: int) -> int:
+        """Stage latency in cycles to process one sequence of length ``seq``.
+
+        With intra-stage pipelining the operators overlap at row granularity,
+        so the latency is the slowest operator plus one pipeline-fill term per
+        additional operator; without it the operators run back to back.
+        """
+        timings = self.operator_timings(seq)
+        if not self.intra_pipelined:
+            return sum(t.cycles for t in timings)
+        slowest = max(t.cycles for t in timings)
+        fill = self.cycle_model.pipeline_depth * (len(timings) - 1)
+        return slowest + fill
+
+    def latency_seconds(self, seq: int, clock_hz: float) -> float:
+        """Stage latency in seconds at the given clock."""
+        return self.latency_cycles(seq) / clock_hz
+
+    def bottleneck_operator(self, seq: int) -> OperatorTiming:
+        """The operator with the largest roofline latency at length ``seq``."""
+        return max(self.operator_timings(seq), key=lambda t: t.cycles)
+
+    # ------------------------------------------------------------------
+    # Resources
+    # ------------------------------------------------------------------
+
+    def resources(self) -> FpgaResources:
+        """Total resources of one stage instance, including its output buffer."""
+        total = FpgaResources()
+        for so in self.operators:
+            total = total + so.resources()
+        if self.output_buffer is not None:
+            total = total + self.output_buffer.resources()
+        return total
+
+    def total_resources(self) -> FpgaResources:
+        """Resources including stage replication."""
+        return self.resources().scaled(self.replication)
+
+    def total_dsp(self) -> int:
+        """DSPs consumed by all replicas of the stage."""
+        return self.total_resources().dsp
+
+    def operator_names(self) -> list[str]:
+        """Names of the operators mapped to this stage."""
+        return [so.operator.name for so in self.operators]

@@ -1,0 +1,106 @@
+"""Encoder stage state machine (Fig. 2(b)).
+
+Each coarse-grained stage of the accelerator is controlled by a small state
+machine that walks ``Start -> StateMM -> StateAtten -> StateFF -> End`` for a
+sequence's pass through the encoder, with an ``Idle``/``Working`` flag per
+stage.  The length-aware scheduler drives one state machine per in-flight
+sequence; the machine enforces the legal state order and records the dwell
+time in each state, which is what the utilization accounting consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+__all__ = ["EncoderState", "StageStateMachine", "IllegalTransitionError"]
+
+
+class EncoderState(Enum):
+    """States of the per-sequence encoder controller (Fig. 2(b))."""
+
+    START = "start"
+    MM_ATSEL = "mm_atsel"      # Stage 1: linear transformation + candidate pre-selection
+    ATTENTION = "attention"    # Stage 2: sparse attention computation
+    FEEDFORWARD = "feedforward"  # Stage 3: feed-forward
+    END = "end"
+    IDLE = "idle"
+
+
+class IllegalTransitionError(RuntimeError):
+    """Raised when the controller is asked to perform an out-of-order transition."""
+
+
+#: Legal state transitions of the controller.
+_LEGAL_TRANSITIONS: dict[EncoderState, tuple[EncoderState, ...]] = {
+    EncoderState.START: (EncoderState.MM_ATSEL, EncoderState.IDLE),
+    EncoderState.IDLE: (EncoderState.MM_ATSEL,),
+    EncoderState.MM_ATSEL: (EncoderState.ATTENTION,),
+    EncoderState.ATTENTION: (EncoderState.FEEDFORWARD,),
+    EncoderState.FEEDFORWARD: (EncoderState.END, EncoderState.MM_ATSEL),
+    EncoderState.END: (),
+}
+
+
+@dataclass
+class StageStateMachine:
+    """Per-sequence controller tracking its progress through the encoder stages.
+
+    A sequence passes through ``MM_ATSEL -> ATTENTION -> FEEDFORWARD`` once per
+    encoder layer; after the last layer it transitions to ``END``.  The
+    machine records how many cycles were spent in each state, which the
+    hardware-utilization report (Fig. 5(b)) aggregates.
+    """
+
+    sequence_id: int
+    num_layers: int
+    state: EncoderState = EncoderState.START
+    layer: int = 0
+    cycles_in_state: dict[str, int] = field(default_factory=dict)
+    history: list[tuple[EncoderState, int, int]] = field(default_factory=list)
+
+    def transition(self, new_state: EncoderState, start_cycle: int, end_cycle: int) -> None:
+        """Move to ``new_state`` having occupied it from ``start_cycle`` to ``end_cycle``."""
+        if new_state not in _LEGAL_TRANSITIONS[self.state]:
+            raise IllegalTransitionError(
+                f"sequence {self.sequence_id}: illegal transition {self.state.value} -> {new_state.value}"
+            )
+        if end_cycle < start_cycle:
+            raise ValueError("end_cycle must be >= start_cycle")
+        if new_state == EncoderState.MM_ATSEL and self.state == EncoderState.FEEDFORWARD:
+            self.layer += 1
+            if self.layer >= self.num_layers:
+                raise IllegalTransitionError(
+                    f"sequence {self.sequence_id}: all {self.num_layers} layers already processed"
+                )
+        self.state = new_state
+        duration = end_cycle - start_cycle
+        key = new_state.value
+        self.cycles_in_state[key] = self.cycles_in_state.get(key, 0) + duration
+        self.history.append((new_state, start_cycle, end_cycle))
+
+    def finish(self) -> None:
+        """Mark the sequence complete after its last feed-forward stage."""
+        if self.state != EncoderState.FEEDFORWARD:
+            raise IllegalTransitionError(
+                f"sequence {self.sequence_id}: cannot finish from state {self.state.value}"
+            )
+        if self.layer != self.num_layers - 1:
+            raise IllegalTransitionError(
+                f"sequence {self.sequence_id}: finished after layer {self.layer + 1} of {self.num_layers}"
+            )
+        self.state = EncoderState.END
+        self.history.append((EncoderState.END, -1, -1))
+
+    @property
+    def is_done(self) -> bool:
+        """True once every encoder layer has been processed."""
+        return self.state == EncoderState.END
+
+    def total_busy_cycles(self) -> int:
+        """Cycles spent in any working state (excludes idle time)."""
+        return sum(
+            cycles
+            for state, cycles in self.cycles_in_state.items()
+            if state not in (EncoderState.IDLE.value, EncoderState.END.value)
+        )

@@ -1,0 +1,33 @@
+"""Accuracy, throughput and energy metrics."""
+
+from .accuracy import (
+    accuracy_score,
+    binary_f1_score,
+    exact_match,
+    prediction_agreement,
+    span_f1_score,
+)
+from .fidelity import attention_mass_coverage, output_relative_error, topk_recall
+from .throughput import (
+    energy_efficiency_gopj,
+    geomean,
+    gops,
+    sequences_per_second,
+    speedup,
+)
+
+__all__ = [
+    "accuracy_score",
+    "attention_mass_coverage",
+    "binary_f1_score",
+    "energy_efficiency_gopj",
+    "exact_match",
+    "geomean",
+    "gops",
+    "output_relative_error",
+    "prediction_agreement",
+    "sequences_per_second",
+    "span_f1_score",
+    "speedup",
+    "topk_recall",
+]

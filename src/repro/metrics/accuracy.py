@@ -1,0 +1,82 @@
+"""Accuracy metrics used by the Fig. 6 proxy-task evaluation.
+
+The paper reports F1 for SQuAD v1.1 and MRPC and raw accuracy for RTE
+(Section 5.1); the same metrics are implemented here for the proxy tasks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "accuracy_score",
+    "binary_f1_score",
+    "span_f1_score",
+    "exact_match",
+    "prediction_agreement",
+]
+
+
+def accuracy_score(labels: np.ndarray, predictions: np.ndarray) -> float:
+    """Fraction of exact label matches (0..1)."""
+    labels = np.asarray(labels)
+    predictions = np.asarray(predictions)
+    if labels.shape != predictions.shape:
+        raise ValueError("labels and predictions must have the same shape")
+    if labels.size == 0:
+        raise ValueError("cannot score an empty label set")
+    return float(np.mean(labels == predictions))
+
+
+def binary_f1_score(labels: np.ndarray, predictions: np.ndarray, positive_label: int = 1) -> float:
+    """F1 of the positive class for a binary classification task (0..1)."""
+    labels = np.asarray(labels)
+    predictions = np.asarray(predictions)
+    if labels.shape != predictions.shape:
+        raise ValueError("labels and predictions must have the same shape")
+    if labels.size == 0:
+        raise ValueError("cannot score an empty label set")
+    true_positive = int(np.sum((predictions == positive_label) & (labels == positive_label)))
+    false_positive = int(np.sum((predictions == positive_label) & (labels != positive_label)))
+    false_negative = int(np.sum((predictions != positive_label) & (labels == positive_label)))
+    if true_positive == 0 and (false_positive > 0 or false_negative > 0):
+        return 0.0
+    if true_positive == 0:
+        # No positives anywhere: perfect agreement on the negative class.
+        return 1.0
+    precision = true_positive / (true_positive + false_positive)
+    recall = true_positive / (true_positive + false_negative)
+    return 2 * precision * recall / (precision + recall)
+
+
+def _span_tokens(span: tuple[int, int]) -> set[int]:
+    start, end = span
+    if end < start:
+        return set()
+    return set(range(start, end + 1))
+
+
+def span_f1_score(gold_span: tuple[int, int], predicted_span: tuple[int, int]) -> float:
+    """Token-overlap F1 between two (start, end) spans, as used for SQuAD."""
+    gold = _span_tokens(tuple(int(x) for x in gold_span))
+    pred = _span_tokens(tuple(int(x) for x in predicted_span))
+    if not gold and not pred:
+        return 1.0
+    if not gold or not pred:
+        return 0.0
+    overlap = len(gold & pred)
+    if overlap == 0:
+        return 0.0
+    precision = overlap / len(pred)
+    recall = overlap / len(gold)
+    return 2 * precision * recall / (precision + recall)
+
+
+def exact_match(gold_span: tuple[int, int], predicted_span: tuple[int, int]) -> float:
+    """1.0 when the predicted span equals the gold span exactly, else 0.0."""
+    return 1.0 if tuple(gold_span) == tuple(predicted_span) else 0.0
+
+
+def prediction_agreement(reference: np.ndarray, candidate: np.ndarray) -> float:
+    """Agreement rate between two prediction vectors (0..1)."""
+    return accuracy_score(reference, candidate)

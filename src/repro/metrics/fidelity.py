@@ -1,0 +1,80 @@
+"""Attention-fidelity metrics for analysing the sparse approximation.
+
+These metrics quantify *why* the Fig. 6 accuracy behaves the way it does,
+independently of any downstream task:
+
+* :func:`topk_recall` -- how many of the truly dominant attention scores the
+  quantized pre-selection recovers (the property Section 3.2 argues is
+  preserved because quantization is monotone);
+* :func:`attention_mass_coverage` -- how much of the dense softmax probability
+  mass the selected candidates carry;
+* :func:`output_relative_error` -- the relative error the approximation
+  induces on the attention output (the quantity that propagates into the
+  encoder).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["topk_recall", "attention_mass_coverage", "output_relative_error"]
+
+
+def topk_recall(exact_scores: np.ndarray, selected: list[np.ndarray], k: int) -> float:
+    """Fraction of the exact Top-k candidates recovered by the selection.
+
+    Parameters
+    ----------
+    exact_scores:
+        Dense score matrix of shape ``(queries, keys)`` (pre-softmax).
+    selected:
+        Per-query-row selected key indices (as produced by
+        :func:`repro.core.sparse_attention.select_candidates`).
+    k:
+        The Top-k budget the selection was run with.
+    """
+    exact_scores = np.asarray(exact_scores)
+    if exact_scores.ndim != 2:
+        raise ValueError("exact_scores must be 2-D (queries, keys)")
+    if len(selected) != exact_scores.shape[0]:
+        raise ValueError("one selection per query row is required")
+    recalls = []
+    for row, chosen in zip(exact_scores, selected):
+        k_eff = min(k, row.shape[0])
+        if k_eff == 0:
+            continue
+        true_top = set(np.argsort(row, kind="stable")[-k_eff:])
+        recalls.append(len(true_top & set(int(i) for i in chosen)) / k_eff)
+    if not recalls:
+        raise ValueError("no query rows to score")
+    return float(np.mean(recalls))
+
+
+def attention_mass_coverage(dense_probs: np.ndarray, selected: list[np.ndarray]) -> float:
+    """Average dense softmax probability mass carried by the selected candidates."""
+    dense_probs = np.asarray(dense_probs)
+    if dense_probs.ndim != 2:
+        raise ValueError("dense_probs must be 2-D (queries, keys)")
+    if len(selected) != dense_probs.shape[0]:
+        raise ValueError("one selection per query row is required")
+    coverage = []
+    for row, chosen in zip(dense_probs, selected):
+        total = row.sum()
+        if total <= 0:
+            continue
+        coverage.append(float(row[np.asarray(chosen, dtype=np.int64)].sum() / total))
+    if not coverage:
+        raise ValueError("no query rows to score")
+    return float(np.mean(coverage))
+
+
+def output_relative_error(dense_output: np.ndarray, sparse_output: np.ndarray) -> float:
+    """Relative Frobenius-norm error of the sparse attention output."""
+    dense_output = np.asarray(dense_output, dtype=np.float64)
+    sparse_output = np.asarray(sparse_output, dtype=np.float64)
+    if dense_output.shape != sparse_output.shape:
+        raise ValueError("outputs must have the same shape")
+    denom = float(np.linalg.norm(dense_output))
+    if denom == 0.0:
+        return 0.0
+    return float(np.linalg.norm(sparse_output - dense_output) / denom)

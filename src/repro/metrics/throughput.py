@@ -1,0 +1,53 @@
+"""Throughput, speedup and energy-efficiency metrics (Fig. 7, Table 2)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "gops",
+    "speedup",
+    "geomean",
+    "energy_efficiency_gopj",
+    "sequences_per_second",
+]
+
+
+def gops(total_ops: float, seconds: float) -> float:
+    """Giga-operations per second."""
+    if seconds <= 0:
+        raise ValueError("elapsed time must be positive")
+    return total_ops / seconds / 1e9
+
+
+def speedup(baseline_seconds: float, optimized_seconds: float) -> float:
+    """Latency ratio baseline / optimized (>1 means the optimized design wins)."""
+    if optimized_seconds <= 0:
+        raise ValueError("optimized time must be positive")
+    if baseline_seconds < 0:
+        raise ValueError("baseline time must be non-negative")
+    return baseline_seconds / optimized_seconds
+
+
+def geomean(values) -> float:
+    """Geometric mean of positive values (the aggregation used in Fig. 7)."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("geomean of an empty sequence is undefined")
+    if np.any(arr <= 0):
+        raise ValueError("geomean requires strictly positive values")
+    return float(np.exp(np.mean(np.log(arr))))
+
+
+def energy_efficiency_gopj(total_ops: float, seconds: float, power_watts: float) -> float:
+    """Energy efficiency in GOP/J = GOPS / W."""
+    if power_watts <= 0:
+        raise ValueError("power must be positive")
+    return gops(total_ops, seconds) / power_watts
+
+
+def sequences_per_second(num_sequences: int, seconds: float) -> float:
+    """End-to-end serving throughput."""
+    if seconds <= 0:
+        raise ValueError("elapsed time must be positive")
+    return num_sequences / seconds

@@ -1,0 +1,20 @@
+"""Encoder operator DAG with per-operator complexity weights."""
+
+from .encoder_graph import (
+    STAGE1_OPERATORS,
+    STAGE2_OPERATORS,
+    STAGE3_OPERATORS,
+    build_dense_encoder_graph,
+    build_sparse_encoder_graph,
+)
+from .graph import Operator, OperatorGraph
+
+__all__ = [
+    "Operator",
+    "OperatorGraph",
+    "STAGE1_OPERATORS",
+    "STAGE2_OPERATORS",
+    "STAGE3_OPERATORS",
+    "build_dense_encoder_graph",
+    "build_sparse_encoder_graph",
+]

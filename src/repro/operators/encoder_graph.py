@@ -1,0 +1,212 @@
+"""Concrete encoder operator graphs (dense baseline and sparse-attention design).
+
+These graphs mirror Fig. 1(a)/(b) of the paper.  The dense graph contains the
+standard encoder operators; the sparse graph replaces the dense score /
+softmax / context operators with the pre-selection (At-Sel) and sparse
+attention computation (At-Comp) operators of the proposed design and adds the
+Top-k sort.  Every operator carries its ``W(v, s)`` complexity function so
+Algorithm 1 and the hardware models can be driven from the same description.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.complexity import (
+    gelu_flops,
+    layer_norm_flops,
+    linear_flops,
+    softmax_flops,
+)
+from ..transformer.configs import ModelConfig
+from .graph import Operator, OperatorGraph
+
+__all__ = [
+    "build_dense_encoder_graph",
+    "build_sparse_encoder_graph",
+    "STAGE1_OPERATORS",
+    "STAGE2_OPERATORS",
+    "STAGE3_OPERATORS",
+]
+
+#: Canonical operator-name groups of the paper's three coarse-grained stages.
+STAGE1_OPERATORS = ("qkv_linear", "qk_quantize", "approx_scores", "topk_select")
+STAGE2_OPERATORS = ("candidate_load", "sparse_scores_exp", "normalize_context", "attn_output_linear")
+STAGE3_OPERATORS = ("attn_layernorm", "ffn_linear1", "gelu", "ffn_linear2", "ffn_layernorm")
+
+
+def _activation_bytes(seq: int, dim: int, bytes_per_element: int = 1) -> int:
+    """Off-chip bytes of a ``(seq, dim)`` activation tensor (8-bit fixed point)."""
+    return seq * dim * bytes_per_element
+
+
+def build_dense_encoder_graph(config: ModelConfig) -> OperatorGraph:
+    """Operator graph of one baseline (dense-attention) encoder layer."""
+    h = config.hidden_dim
+    inter = config.intermediate_dim
+    heads = config.num_heads
+
+    graph = OperatorGraph()
+    graph.add_operator(
+        Operator(
+            "qkv_linear",
+            "matmul",
+            lambda s: 3 * linear_flops(s, h, h),
+            lambda s: 4 * _activation_bytes(s, h),
+        )
+    )
+    graph.add_operator(
+        Operator("attention_scores", "matmul", lambda s: 2 * s * s * h, lambda s: 2 * _activation_bytes(s, h))
+    )
+    graph.add_operator(Operator("scale_mask", "elementwise", lambda s: s * s * heads))
+    graph.add_operator(Operator("softmax", "softmax", lambda s: softmax_flops(s, s, heads)))
+    graph.add_operator(
+        Operator("attention_context", "matmul", lambda s: 2 * s * s * h, lambda s: _activation_bytes(s, h))
+    )
+    graph.add_operator(
+        Operator(
+            "attn_output_linear",
+            "matmul",
+            lambda s: linear_flops(s, h, h),
+            lambda s: _activation_bytes(s, h),
+        )
+    )
+    graph.add_operator(Operator("attn_layernorm", "layernorm", lambda s: layer_norm_flops(s, h)))
+    graph.add_operator(
+        Operator(
+            "ffn_linear1",
+            "matmul",
+            lambda s: linear_flops(s, h, inter),
+            lambda s: _activation_bytes(s, h),
+        )
+    )
+    graph.add_operator(Operator("gelu", "elementwise", lambda s: gelu_flops(s, inter)))
+    graph.add_operator(
+        Operator(
+            "ffn_linear2",
+            "matmul",
+            lambda s: linear_flops(s, inter, h),
+            lambda s: _activation_bytes(s, inter),
+        )
+    )
+    graph.add_operator(Operator("ffn_layernorm", "layernorm", lambda s: layer_norm_flops(s, h)))
+
+    graph.add_chain(
+        [
+            "qkv_linear",
+            "attention_scores",
+            "scale_mask",
+            "softmax",
+            "attention_context",
+            "attn_output_linear",
+            "attn_layernorm",
+            "ffn_linear1",
+            "gelu",
+            "ffn_linear2",
+            "ffn_layernorm",
+        ]
+    )
+    return graph
+
+
+def build_sparse_encoder_graph(config: ModelConfig, top_k: int = 30, quant_bits: int = 4) -> OperatorGraph:
+    """Operator graph of one encoder layer using the proposed sparse attention.
+
+    The graph contains the paper's additional operators: Q/K quantization
+    (bits selector), the low-bit approximate score matmul, and the merge-sort
+    Top-k selection, followed by the sparse exact attention (whose work is
+    linear in the sequence length for fixed ``top_k``).
+    """
+    h = config.hidden_dim
+    inter = config.intermediate_dim
+    heads = config.num_heads
+    head_dim = config.head_dim
+
+    def k_eff(s: int) -> int:
+        return min(top_k, s)
+
+    graph = OperatorGraph()
+    # ---- Stage 1: linear transformation + candidate pre-selection -------
+    graph.add_operator(
+        Operator(
+            "qkv_linear",
+            "matmul",
+            lambda s: 3 * linear_flops(s, h, h),
+            lambda s: 4 * _activation_bytes(s, h),
+        )
+    )
+    graph.add_operator(
+        Operator("qk_quantize", "elementwise", lambda s: 2 * s * h)
+    )
+    # The approximate score matmul runs on LUT fabric (one table look-up per
+    # low-bit product, Fig. 2(a) "Bits selector" + LUT hardware), not on DSPs.
+    # Its work is discounted relative to 8-bit MACs because several low-bit
+    # products fit in one LUT lane per cycle.
+    graph.add_operator(
+        Operator("approx_scores", "lut", lambda s: (2 * s * s * h) // max(quant_bits, 1) // 2)
+    )
+    graph.add_operator(
+        Operator("topk_select", "select", lambda s: s * s * heads, lambda s: 2 * s * k_eff(s) * heads)
+    )
+    # ---- Stage 2: sparse attention computation --------------------------
+    graph.add_operator(
+        Operator(
+            "candidate_load",
+            "misc",
+            lambda s: s * k_eff(s) * heads,
+            lambda s: 2 * s * k_eff(s) * head_dim * heads,
+        )
+    )
+    graph.add_operator(
+        Operator("sparse_scores_exp", "matmul", lambda s: 2 * s * k_eff(s) * h + softmax_flops(s, k_eff(s), heads))
+    )
+    graph.add_operator(
+        Operator("normalize_context", "matmul", lambda s: 2 * s * k_eff(s) * h + 2 * s * k_eff(s) * heads)
+    )
+    graph.add_operator(
+        Operator(
+            "attn_output_linear",
+            "matmul",
+            lambda s: linear_flops(s, h, h),
+            lambda s: _activation_bytes(s, h),
+        )
+    )
+    # ---- Stage 3: feed-forward ------------------------------------------
+    graph.add_operator(Operator("attn_layernorm", "layernorm", lambda s: layer_norm_flops(s, h)))
+    graph.add_operator(
+        Operator(
+            "ffn_linear1",
+            "matmul",
+            lambda s: linear_flops(s, h, inter),
+            lambda s: _activation_bytes(s, h),
+        )
+    )
+    graph.add_operator(Operator("gelu", "elementwise", lambda s: gelu_flops(s, inter)))
+    graph.add_operator(
+        Operator(
+            "ffn_linear2",
+            "matmul",
+            lambda s: linear_flops(s, inter, h),
+            lambda s: _activation_bytes(s, inter),
+        )
+    )
+    graph.add_operator(Operator("ffn_layernorm", "layernorm", lambda s: layer_norm_flops(s, h)))
+
+    graph.add_chain(
+        [
+            "qkv_linear",
+            "qk_quantize",
+            "approx_scores",
+            "topk_select",
+            "candidate_load",
+            "sparse_scores_exp",
+            "normalize_context",
+            "attn_output_linear",
+            "attn_layernorm",
+            "ffn_linear1",
+            "gelu",
+            "ffn_linear2",
+            "ffn_layernorm",
+        ]
+    )
+    return graph

@@ -1,0 +1,190 @@
+"""Operator dependency graph used by the stage-allocation algorithm.
+
+Algorithm 1 of the paper operates on the Encoder operator graph
+``G = (V, E)``: each vertex is an operator with an arithmetic-complexity
+weight ``W(v, s)`` that depends on the sequence length ``s``, and each edge is
+a data dependency.  The stage allocator needs the per-vertex critical-path
+priority ``P(v, s)`` of Eq. 1.  This module provides the graph data structure
+and those computations; :mod:`repro.operators.encoder_graph` builds the
+concrete encoder graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+__all__ = ["Operator", "OperatorGraph"]
+
+#: Signature of a per-operator complexity function: FLOPs at sequence length s.
+ComplexityFn = Callable[[int], int]
+
+
+@dataclass(frozen=True)
+class Operator:
+    """One vertex of the encoder operator graph.
+
+    Attributes
+    ----------
+    name:
+        Unique identifier (e.g. ``"qkv_linear"``).
+    kind:
+        Operator category used for hardware-unit mapping: one of
+        ``{"matmul", "elementwise", "softmax", "layernorm", "select", "misc"}``.
+    complexity:
+        ``W(v, s)``: arithmetic work (FLOPs / ops) at sequence length ``s``.
+    bytes_moved:
+        Off-chip traffic (bytes) at sequence length ``s``; defaults to zero
+        (fully on-chip operator).
+    """
+
+    name: str
+    kind: str
+    complexity: ComplexityFn
+    bytes_moved: ComplexityFn | None = None
+
+    def weight(self, seq: int) -> int:
+        """``W(v, s)`` -- arithmetic work at sequence length ``seq``."""
+        return int(self.complexity(seq))
+
+    def traffic(self, seq: int) -> int:
+        """Off-chip bytes moved at sequence length ``seq`` (0 if on-chip)."""
+        if self.bytes_moved is None:
+            return 0
+        return int(self.bytes_moved(seq))
+
+
+class OperatorGraph:
+    """A directed acyclic graph of :class:`Operator` vertices."""
+
+    def __init__(self) -> None:
+        self._operators: dict[str, Operator] = {}
+        self._successors: dict[str, list[str]] = {}
+        self._predecessors: dict[str, list[str]] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def add_operator(self, operator: Operator) -> None:
+        """Add a vertex; the name must be unique."""
+        if operator.name in self._operators:
+            raise ValueError(f"duplicate operator name '{operator.name}'")
+        self._operators[operator.name] = operator
+        self._successors[operator.name] = []
+        self._predecessors[operator.name] = []
+
+    def add_edge(self, src: str, dst: str) -> None:
+        """Add a data dependency ``src -> dst``."""
+        if src not in self._operators or dst not in self._operators:
+            raise KeyError(f"unknown operator in edge {src} -> {dst}")
+        if dst in self._successors[src]:
+            return
+        self._successors[src].append(dst)
+        self._predecessors[dst].append(src)
+
+    def add_chain(self, names: Iterable[str]) -> None:
+        """Add edges along a linear chain of already-added operators."""
+        names = list(names)
+        for src, dst in zip(names, names[1:]):
+            self.add_edge(src, dst)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._operators)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._operators
+
+    def operator(self, name: str) -> Operator:
+        """Look up a vertex by name."""
+        return self._operators[name]
+
+    @property
+    def operators(self) -> list[Operator]:
+        """All vertices, in insertion order."""
+        return list(self._operators.values())
+
+    @property
+    def edges(self) -> list[tuple[str, str]]:
+        """All edges as ``(src, dst)`` pairs."""
+        return [(src, dst) for src, dsts in self._successors.items() for dst in dsts]
+
+    def successors(self, name: str) -> list[Operator]:
+        """Direct successors of ``name``."""
+        return [self._operators[n] for n in self._successors[name]]
+
+    def predecessors(self, name: str) -> list[Operator]:
+        """Direct predecessors of ``name``."""
+        return [self._operators[n] for n in self._predecessors[name]]
+
+    def sources(self) -> list[Operator]:
+        """Vertices with no predecessors."""
+        return [op for op in self.operators if not self._predecessors[op.name]]
+
+    def sinks(self) -> list[Operator]:
+        """Vertices with no successors."""
+        return [op for op in self.operators if not self._successors[op.name]]
+
+    # ------------------------------------------------------------------
+    # Algorithms
+    # ------------------------------------------------------------------
+
+    def topological_order(self) -> list[Operator]:
+        """Kahn topological sort; raises ``ValueError`` on a cycle."""
+        in_degree = {name: len(preds) for name, preds in self._predecessors.items()}
+        ready = [name for name, deg in in_degree.items() if deg == 0]
+        order: list[str] = []
+        while ready:
+            name = ready.pop(0)
+            order.append(name)
+            for succ in self._successors[name]:
+                in_degree[succ] -= 1
+                if in_degree[succ] == 0:
+                    ready.append(succ)
+        if len(order) != len(self._operators):
+            raise ValueError("operator graph contains a cycle")
+        return [self._operators[name] for name in order]
+
+    def weights(self, seq: int) -> dict[str, int]:
+        """``W(V, s)``: arithmetic weight of every vertex at length ``seq``."""
+        return {op.name: op.weight(seq) for op in self.operators}
+
+    def priorities(self, seq: int) -> dict[str, int]:
+        """``P(V, s)`` of Eq. 1: critical-path length from each vertex to a sink.
+
+        ``P(v) = W(v) + max_{u in Succ(v)} P(u)`` with ``P(sink) = W(sink)``.
+        """
+        weights = self.weights(seq)
+        priorities: dict[str, int] = {}
+        for op in reversed(self.topological_order()):
+            succ = self._successors[op.name]
+            if not succ:
+                priorities[op.name] = weights[op.name]
+            else:
+                priorities[op.name] = weights[op.name] + max(priorities[s] for s in succ)
+        return priorities
+
+    def total_work(self, seq: int) -> int:
+        """Total arithmetic work of the graph at sequence length ``seq``."""
+        return sum(self.weights(seq).values())
+
+    def critical_path_work(self, seq: int) -> int:
+        """Work along the longest (critical) path at sequence length ``seq``."""
+        priorities = self.priorities(seq)
+        return max(priorities[op.name] for op in self.sources())
+
+    def subgraph(self, names: Iterable[str]) -> "OperatorGraph":
+        """Induced subgraph over ``names`` (used to materialize stage graphs)."""
+        names = set(names)
+        sub = OperatorGraph()
+        for op in self.operators:
+            if op.name in names:
+                sub.add_operator(op)
+        for src, dst in self.edges:
+            if src in names and dst in names:
+                sub.add_edge(src, dst)
+        return sub

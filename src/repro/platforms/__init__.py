@@ -1,0 +1,22 @@
+"""Cross-platform performance and energy models (CPU / GPU / FPGA)."""
+
+from .base import AnalyticalPlatform, PlatformResult
+from .devices import CPU_GPU_PLATFORMS, JETSON_TX2, RTX_6000, V100_ET, XEON_5218
+from .energy import EnergyReport, LITERATURE_TABLE2_ROWS, energy_report_from_result
+from .fpga import FpgaPlatform, build_baseline_fpga, build_proposed_fpga
+
+__all__ = [
+    "AnalyticalPlatform",
+    "CPU_GPU_PLATFORMS",
+    "EnergyReport",
+    "FpgaPlatform",
+    "JETSON_TX2",
+    "LITERATURE_TABLE2_ROWS",
+    "PlatformResult",
+    "RTX_6000",
+    "V100_ET",
+    "XEON_5218",
+    "build_baseline_fpga",
+    "build_proposed_fpga",
+    "energy_report_from_result",
+]

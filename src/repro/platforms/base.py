@@ -1,0 +1,152 @@
+"""Analytical roofline platform model (CPU / GPU baselines).
+
+Instruction-driven platforms (CPU, edge GPU, server GPU) execute the dense
+Transformer with every sequence of the batch padded to the batch maximum --
+the standard behaviour of PyTorch / TensorRT batching the paper describes.
+The model charges:
+
+    latency = (dense FLOPs at the padded length, summed over the batch)
+              / sustained throughput  +  fixed per-batch overhead
+
+which is the level of abstraction at which the paper's Fig. 7 comparisons
+(and our reproduction of their *shape*) are meaningful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.complexity import attention_core_flops, model_flops
+from ..transformer.configs import ModelConfig
+from .calibration import BATCH_OVERHEAD_S
+
+__all__ = ["PlatformResult", "AnalyticalPlatform"]
+
+
+@dataclass(frozen=True)
+class PlatformResult:
+    """Latency and work accounting of one batch on one platform."""
+
+    platform: str
+    latency_seconds: float
+    useful_ops: float
+    executed_ops: float
+    power_watts: float
+
+    @property
+    def effective_gops(self) -> float:
+        """Executed operations per second, in GOPS."""
+        if self.latency_seconds <= 0:
+            return 0.0
+        return self.executed_ops / self.latency_seconds / 1e9
+
+    @property
+    def useful_gops(self) -> float:
+        """Useful (non-padding, dense-equivalent) operations per second."""
+        if self.latency_seconds <= 0:
+            return 0.0
+        return self.useful_ops / self.latency_seconds / 1e9
+
+    @property
+    def energy_joules(self) -> float:
+        """Energy of the batch."""
+        return self.latency_seconds * self.power_watts
+
+    @property
+    def energy_efficiency_gopj(self) -> float:
+        """Useful GOP per joule (the Table 2 metric)."""
+        if self.energy_joules <= 0:
+            return 0.0
+        return self.useful_ops / 1e9 / self.energy_joules
+
+
+@dataclass(frozen=True)
+class AnalyticalPlatform:
+    """A sustained-throughput platform model.
+
+    Attributes
+    ----------
+    name:
+        Display name used in reports.
+    effective_gops:
+        Sustained throughput on dense Transformer inference (GOPS).
+    power_watts:
+        Board/package power while running the workload.
+    batch_overhead_seconds:
+        Fixed per-batch overhead (framework dispatch, kernel launches).
+    pads_to_max:
+        Whether the platform pads every sequence to the batch maximum.
+    """
+
+    name: str
+    effective_gops: float
+    power_watts: float
+    batch_overhead_seconds: float = BATCH_OVERHEAD_S
+    pads_to_max: bool = True
+
+    def __post_init__(self) -> None:
+        if self.effective_gops <= 0:
+            raise ValueError("effective_gops must be positive")
+        if self.power_watts <= 0:
+            raise ValueError("power_watts must be positive")
+
+    # ------------------------------------------------------------------
+    # Work accounting
+    # ------------------------------------------------------------------
+
+    def _billed_lengths(self, lengths: list[int]) -> list[int]:
+        if not lengths:
+            raise ValueError("empty batch")
+        if self.pads_to_max:
+            pad = max(lengths)
+            return [pad] * len(lengths)
+        return list(lengths)
+
+    def executed_model_ops(self, model_config: ModelConfig, lengths: list[int]) -> float:
+        """Dense FLOPs the platform actually executes for the batch."""
+        return float(sum(model_flops(model_config, s) for s in self._billed_lengths(lengths)))
+
+    def executed_attention_ops(self, model_config: ModelConfig, lengths: list[int]) -> float:
+        """Dense attention-core FLOPs (scores/softmax/context) the platform executes."""
+        return float(
+            sum(attention_core_flops(model_config, s) for s in self._billed_lengths(lengths))
+        )
+
+    @staticmethod
+    def useful_model_ops(model_config: ModelConfig, lengths: list[int]) -> float:
+        """Dense-equivalent FLOPs of the un-padded batch (the Table 2 numerator)."""
+        return float(sum(model_flops(model_config, s) for s in lengths))
+
+    @staticmethod
+    def useful_attention_ops(model_config: ModelConfig, lengths: list[int]) -> float:
+        """Dense-equivalent attention-core FLOPs of the un-padded batch."""
+        return float(sum(attention_core_flops(model_config, s) for s in lengths))
+
+    # ------------------------------------------------------------------
+    # Latency
+    # ------------------------------------------------------------------
+
+    def _latency_from_ops(self, ops: float) -> float:
+        return ops / (self.effective_gops * 1e9) + self.batch_overhead_seconds
+
+    def end_to_end(self, model_config: ModelConfig, lengths: list[int]) -> PlatformResult:
+        """Latency of a full encoder-stack forward pass over the batch."""
+        executed = self.executed_model_ops(model_config, lengths)
+        return PlatformResult(
+            platform=self.name,
+            latency_seconds=self._latency_from_ops(executed),
+            useful_ops=self.useful_model_ops(model_config, lengths),
+            executed_ops=executed,
+            power_watts=self.power_watts,
+        )
+
+    def attention_only(self, model_config: ModelConfig, lengths: list[int]) -> PlatformResult:
+        """Latency of the self-attention blocks only (Fig. 7(b) workload)."""
+        executed = self.executed_attention_ops(model_config, lengths)
+        return PlatformResult(
+            platform=self.name,
+            latency_seconds=self._latency_from_ops(executed),
+            useful_ops=self.useful_attention_ops(model_config, lengths),
+            executed_ops=executed,
+            power_watts=self.power_watts,
+        )

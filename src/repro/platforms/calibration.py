@@ -1,0 +1,58 @@
+"""Calibration constants of the cross-platform analytical models.
+
+The paper measures CPU (Xeon Gold 5218 + PyTorch), edge GPU (Jetson TX2) and
+server GPU (Quadro RTX 6000 + PyTorch/TensorRT) latencies on real hardware.
+Those devices are not available here, so each platform is modeled as a
+sustained-throughput (roofline) abstraction: latency = work / sustained
+throughput + fixed per-batch overhead.  The sustained-throughput constants
+below are the single calibration knob per platform and are chosen from
+
+* Table 2 of the paper where it directly reports a sustained throughput
+  (RTX 6000: 1380 GOPS), and
+* public peak specs derated by a typical Transformer-inference efficiency for
+  the platforms the paper does not tabulate (CPU, Jetson TX2).
+
+Only *relative* numbers (speedups, Fig. 7) are meaningful, exactly as in the
+paper.  See DESIGN.md Section 5 for the substitution policy.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "CPU_EFFECTIVE_GOPS",
+    "CPU_POWER_W",
+    "JETSON_EFFECTIVE_GOPS",
+    "JETSON_POWER_W",
+    "RTX6000_EFFECTIVE_GOPS",
+    "RTX6000_POWER_W",
+    "V100_ET_EFFECTIVE_GOPS",
+    "V100_ET_POWER_W",
+    "BATCH_OVERHEAD_S",
+]
+
+#: Intel Xeon Gold 5218 running PyTorch FP32 BERT inference.  Peak AVX-512
+#: throughput is ~2.2 TFLOPS; dense transformer inference through PyTorch
+#: sustains a few percent of that on short-sequence batches.
+CPU_EFFECTIVE_GOPS = 45.0
+#: Xeon Gold 5218 TDP.
+CPU_POWER_W = 125.0
+
+#: NVIDIA Jetson TX2 (edge GPU), FP16 peak 1.3 TFLOPS; sustained BERT
+#: inference efficiency is low on its 8 GB LPDDR4 memory system.
+JETSON_EFFECTIVE_GOPS = 90.0
+#: Jetson TX2 module power (max performance mode).
+JETSON_POWER_W = 15.0
+
+#: Quadro RTX 6000 sustained throughput -- taken directly from Table 2 of the
+#: paper (1380 GOPS at 8 GOP/J).
+RTX6000_EFFECTIVE_GOPS = 1380.0
+#: Implied power of the RTX 6000 row in Table 2 (1380 GOPS / 8 GOP/J).
+RTX6000_POWER_W = RTX6000_EFFECTIVE_GOPS / 8.0
+
+#: E.T. on a V100 (literature row of Table 2): 7550 GOPS at 25 GOP/J.
+V100_ET_EFFECTIVE_GOPS = 7550.0
+V100_ET_POWER_W = V100_ET_EFFECTIVE_GOPS / 25.0
+
+#: Fixed per-batch overhead (kernel launches, host-device transfers, Python
+#: dispatch) charged to the instruction-driven platforms.
+BATCH_OVERHEAD_S = 2.0e-3

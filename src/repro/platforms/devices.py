@@ -1,0 +1,49 @@
+"""Concrete CPU / GPU platform instances evaluated in Fig. 7 and Table 2."""
+
+from __future__ import annotations
+
+from .base import AnalyticalPlatform
+from .calibration import (
+    CPU_EFFECTIVE_GOPS,
+    CPU_POWER_W,
+    JETSON_EFFECTIVE_GOPS,
+    JETSON_POWER_W,
+    RTX6000_EFFECTIVE_GOPS,
+    RTX6000_POWER_W,
+    V100_ET_EFFECTIVE_GOPS,
+    V100_ET_POWER_W,
+)
+
+__all__ = ["XEON_5218", "JETSON_TX2", "RTX_6000", "V100_ET", "CPU_GPU_PLATFORMS"]
+
+#: Intel Xeon Gold 5218 running PyTorch (the paper's "CPU" bars).
+XEON_5218 = AnalyticalPlatform(
+    name="CPU Xeon Gold 5218",
+    effective_gops=CPU_EFFECTIVE_GOPS,
+    power_watts=CPU_POWER_W,
+)
+
+#: NVIDIA Jetson TX2 (the paper's "edge GPU" bars).
+JETSON_TX2 = AnalyticalPlatform(
+    name="Jetson TX2",
+    effective_gops=JETSON_EFFECTIVE_GOPS,
+    power_watts=JETSON_POWER_W,
+)
+
+#: NVIDIA Quadro RTX 6000 (the paper's "GPU server" bars and Table 2 row).
+RTX_6000 = AnalyticalPlatform(
+    name="GPU RTX 6000",
+    effective_gops=RTX6000_EFFECTIVE_GOPS,
+    power_watts=RTX6000_POWER_W,
+)
+
+#: E.T. on a V100 (a literature comparison row of Table 2, modeled for the
+#: energy table only).
+V100_ET = AnalyticalPlatform(
+    name="GPU V100: E.T.",
+    effective_gops=V100_ET_EFFECTIVE_GOPS,
+    power_watts=V100_ET_POWER_W,
+)
+
+#: The instruction-driven platforms compared against the FPGA in Fig. 7.
+CPU_GPU_PLATFORMS = (XEON_5218, JETSON_TX2, RTX_6000)

@@ -1,0 +1,89 @@
+"""Energy-efficiency accounting (Table 2).
+
+Table 2 compares sustained throughput (GOPS, measured in dense-equivalent
+operations), energy efficiency (GOP/J) and average accuracy drop across the
+GPU baseline, an optimized GPU design (E.T.), a prior FPGA design, two ASIC
+accelerators and the proposed FPGA design.  Rows that come from the
+literature are reported as data (there is nothing to execute); the GPU
+RTX 6000 and "Ours FPGA" rows are produced by this reproduction's models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .. import config as global_config
+from .base import PlatformResult
+
+__all__ = ["EnergyReport", "energy_report_from_result", "LITERATURE_TABLE2_ROWS"]
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """One Table 2 row."""
+
+    platform: str
+    throughput_gops: float
+    energy_efficiency_gopj: float | None
+    accuracy_drop_percent: float | None
+    source: str = "measured"  # "measured" (our models) or "literature"
+
+    def as_row(self) -> dict:
+        """Serialize into the Table 2 column layout."""
+        return {
+            "work_platform": self.platform,
+            "throughput_gops": round(self.throughput_gops, 1),
+            "energy_eff_gopj": (
+                round(self.energy_efficiency_gopj, 1)
+                if self.energy_efficiency_gopj is not None
+                else None
+            ),
+            "accuracy_drop_percent": self.accuracy_drop_percent,
+            "source": self.source,
+        }
+
+
+def energy_report_from_result(
+    result: PlatformResult,
+    accuracy_drop_percent: float | None = None,
+    use_useful_ops: bool = True,
+) -> EnergyReport:
+    """Build a Table 2 row from a platform latency result.
+
+    ``use_useful_ops`` reports dense-equivalent throughput (the convention of
+    the paper's 3.6 TOPS "equivalent hardware throughput"): the operations
+    that a dense, un-padded execution would have needed, divided by the
+    measured latency.
+    """
+    ops = result.useful_ops if use_useful_ops else result.executed_ops
+    gops = ops / result.latency_seconds / 1e9 if result.latency_seconds > 0 else 0.0
+    gopj = (
+        ops / 1e9 / result.energy_joules if result.energy_joules > 0 else None
+    )
+    return EnergyReport(
+        platform=result.platform,
+        throughput_gops=gops,
+        energy_efficiency_gopj=gopj,
+        accuracy_drop_percent=accuracy_drop_percent,
+        source="measured",
+    )
+
+
+def _literature_rows() -> list[EnergyReport]:
+    rows = []
+    for name in ("GPU V100: E.T.", "FPGA design [37]", "ASIC: A3", "ASIC: SpAtten"):
+        data = global_config.PAPER_TABLE2[name]
+        rows.append(
+            EnergyReport(
+                platform=name,
+                throughput_gops=data["throughput_gops"],
+                energy_efficiency_gopj=data["energy_eff_gopj"],
+                accuracy_drop_percent=data["accuracy_drop"],
+                source="literature",
+            )
+        )
+    return rows
+
+
+#: The Table 2 comparison rows that come straight from the cited works.
+LITERATURE_TABLE2_ROWS = tuple(_literature_rows())

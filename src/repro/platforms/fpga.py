@@ -1,0 +1,176 @@
+"""FPGA platform wrappers: the proposed design and the FPGA baseline.
+
+The FPGA is the only platform whose latency is obtained by actually
+*simulating* the coarse-grained pipeline (via :mod:`repro.scheduling`), not
+by a closed-form roofline: the length-aware scheduling effects the paper
+claims (bubble elimination, ~100% stage utilization) only show up in such a
+simulation.
+
+Two configurations are exported, mirroring the Fig. 7 bars:
+
+* :func:`build_proposed_fpga` -- sparse attention + length-aware scheduling;
+* :func:`build_baseline_fpga` -- dense attention + max-length padding and no
+  length-aware scheduling (the paper's "FPGA baseline").
+
+Each platform carries two accelerators: the full encoder design (Fig. 7(a))
+and an attention-core-only design in which the device budget serves the
+attention datapath alone (Fig. 7(b), "the self-attention computation
+hardware throughput is also recorded during the evaluation").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .. import config as global_config
+from ..core.complexity import (
+    attention_core_flops,
+    model_flops,
+    sparse_attention_core_flops,
+    sparse_model_flops,
+)
+from ..hardware.accelerator import (
+    Accelerator,
+    build_baseline_accelerator,
+    build_sparse_accelerator,
+)
+from ..scheduling.baselines import PaddedScheduler
+from ..scheduling.length_aware import LengthAwareScheduler
+from ..transformer.configs import DatasetConfig, ModelConfig
+from .base import PlatformResult
+
+__all__ = ["FpgaPlatform", "build_proposed_fpga", "build_baseline_fpga"]
+
+
+@dataclass
+class FpgaPlatform:
+    """One FPGA design point: accelerators plus their batch scheduler."""
+
+    name: str
+    model_config: ModelConfig
+    accelerator: Accelerator
+    attention_accelerator: Accelerator
+    scheduler: object
+    sparse_top_k: int | None = None
+    power_watts: float = global_config.FPGA_BOARD_POWER_W
+
+    # ------------------------------------------------------------------
+    # Work accounting
+    # ------------------------------------------------------------------
+
+    def executed_model_ops(self, lengths: list[int]) -> float:
+        """Operations the design actually executes (sparse, un-padded when proposed)."""
+        billed = self._billed_lengths(lengths)
+        if self.sparse_top_k is None:
+            return float(sum(model_flops(self.model_config, s) for s in billed))
+        return float(
+            sum(sparse_model_flops(self.model_config, s, self.sparse_top_k) for s in billed)
+        )
+
+    def executed_attention_ops(self, lengths: list[int]) -> float:
+        """Attention-core operations actually executed."""
+        billed = self._billed_lengths(lengths)
+        if self.sparse_top_k is None:
+            return float(sum(attention_core_flops(self.model_config, s) for s in billed))
+        return float(
+            sum(
+                sparse_attention_core_flops(self.model_config, s, self.sparse_top_k)
+                for s in billed
+            )
+        )
+
+    def _billed_lengths(self, lengths: list[int]) -> list[int]:
+        if isinstance(self.scheduler, PaddedScheduler):
+            pad = self.scheduler.pad_to or max(lengths)
+            return [pad] * len(lengths)
+        return list(lengths)
+
+    # ------------------------------------------------------------------
+    # Latency
+    # ------------------------------------------------------------------
+
+    def end_to_end(self, lengths: list[int]) -> PlatformResult:
+        """Latency of the full encoder stack over the batch (pipeline simulation)."""
+        lengths = [int(x) for x in lengths]
+        result = self.scheduler.schedule(self.accelerator, lengths)
+        return PlatformResult(
+            platform=self.name,
+            latency_seconds=result.makespan_seconds,
+            useful_ops=float(sum(model_flops(self.model_config, s) for s in lengths)),
+            executed_ops=self.executed_model_ops(lengths),
+            power_watts=self.power_watts,
+        )
+
+    def attention_only(self, lengths: list[int]) -> PlatformResult:
+        """Latency of the attention core only (Fig. 7(b) workload)."""
+        lengths = [int(x) for x in lengths]
+        result = self.scheduler.schedule(self.attention_accelerator, lengths)
+        return PlatformResult(
+            platform=self.name,
+            latency_seconds=result.makespan_seconds,
+            useful_ops=float(sum(attention_core_flops(self.model_config, s) for s in lengths)),
+            executed_ops=self.executed_attention_ops(lengths),
+            power_watts=self.power_watts,
+        )
+
+    def schedule(self, lengths: list[int]):
+        """Expose the raw :class:`ScheduleResult` (used by the Fig. 5 harness)."""
+        return self.scheduler.schedule(self.accelerator, [int(x) for x in lengths])
+
+
+def build_proposed_fpga(
+    model_config: ModelConfig,
+    dataset: DatasetConfig,
+    top_k: int = global_config.DEFAULT_TOP_K,
+    quant_bits: int = global_config.DEFAULT_QK_QUANT_BITS,
+) -> FpgaPlatform:
+    """The proposed design: sparse attention + length-aware dynamic pipelining."""
+    accelerator = build_sparse_accelerator(
+        model_config,
+        top_k=top_k,
+        avg_seq=dataset.avg_length,
+        max_seq=dataset.max_length,
+        quant_bits=quant_bits,
+    )
+    attention_accelerator = build_sparse_accelerator(
+        model_config,
+        top_k=top_k,
+        avg_seq=dataset.avg_length,
+        max_seq=dataset.max_length,
+        quant_bits=quant_bits,
+        attention_core_only=True,
+    )
+    return FpgaPlatform(
+        name="FPGA length-aware (ours)",
+        model_config=model_config,
+        accelerator=accelerator,
+        attention_accelerator=attention_accelerator,
+        scheduler=LengthAwareScheduler(),
+        sparse_top_k=top_k,
+    )
+
+
+def build_baseline_fpga(
+    model_config: ModelConfig,
+    dataset: DatasetConfig,
+) -> FpgaPlatform:
+    """The FPGA baseline: dense attention, padding to the maximum, no length-awareness."""
+    accelerator = build_baseline_accelerator(
+        model_config,
+        avg_seq=dataset.avg_length,
+        max_seq=dataset.max_length,
+    )
+    attention_accelerator = build_baseline_accelerator(
+        model_config,
+        avg_seq=dataset.avg_length,
+        max_seq=dataset.max_length,
+        attention_core_only=True,
+    )
+    return FpgaPlatform(
+        name="FPGA baseline",
+        model_config=model_config,
+        accelerator=accelerator,
+        attention_accelerator=attention_accelerator,
+        scheduler=PaddedScheduler(pad_to=None, pipelined=True, buffer_slots=None),
+        sparse_top_k=None,
+    )

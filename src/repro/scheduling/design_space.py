@@ -1,0 +1,108 @@
+"""Design-space exploration over Top-k and pipeline replication.
+
+Section 5.2 of the paper: "We exploit the design space to maximize the
+hardware throughput and CTC ratio for the hardware design" -- concretely, the
+operator parallelism inside each stage (handled by the allocation code) and
+the pipeline replication factor ``R(G_k, s)`` from Algorithm 1.  This module
+enumerates candidate design points, evaluates each one by simulating the
+length-aware pipeline on a representative batch, and returns them ranked by
+throughput so the best point can be picked exactly as the authors describe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .. import config as global_config
+from ..hardware.accelerator import Accelerator, build_sparse_accelerator
+from ..transformer.configs import DatasetConfig, ModelConfig
+from .length_aware import LengthAwareScheduler
+from .pipeline import ScheduleResult
+
+__all__ = ["DesignPoint", "explore_design_space", "best_design_point"]
+
+
+@dataclass
+class DesignPoint:
+    """One evaluated configuration of the design space."""
+
+    top_k: int
+    replication: int
+    accelerator: Accelerator
+    schedule: ScheduleResult
+
+    @property
+    def throughput_sequences_per_second(self) -> float:
+        return self.schedule.throughput_sequences_per_second
+
+    @property
+    def makespan_seconds(self) -> float:
+        return self.schedule.makespan_seconds
+
+    @property
+    def average_utilization(self) -> float:
+        return self.schedule.average_utilization
+
+    def as_row(self) -> dict:
+        """Summary row for reports."""
+        return {
+            "top_k": self.top_k,
+            "replication": self.replication,
+            "batch_latency_ms": round(self.makespan_seconds * 1e3, 3),
+            "throughput_seq_per_s": round(self.throughput_sequences_per_second, 1),
+            "avg_stage_utilization": round(self.average_utilization, 3),
+            "dsp_used": self.accelerator.resources().dsp,
+        }
+
+
+def explore_design_space(
+    model_config: ModelConfig,
+    dataset: DatasetConfig,
+    lengths: list[int],
+    top_k_candidates: tuple[int, ...] = (global_config.DEFAULT_TOP_K,),
+    replication_candidates: tuple[int, ...] = (1, 2, 4),
+    scheduler: LengthAwareScheduler | None = None,
+) -> list[DesignPoint]:
+    """Evaluate every (top_k, replication) candidate on the given batch.
+
+    Returns the design points sorted by decreasing throughput.  Candidates
+    whose replicated design does not fit the device are skipped.
+    """
+    if not lengths:
+        raise ValueError("a non-empty batch of sequence lengths is required")
+    scheduler = scheduler or LengthAwareScheduler()
+    points: list[DesignPoint] = []
+    for top_k in top_k_candidates:
+        for replication in replication_candidates:
+            accelerator = build_sparse_accelerator(
+                model_config,
+                top_k=top_k,
+                avg_seq=dataset.avg_length,
+                max_seq=dataset.max_length,
+                replication=replication,
+            )
+            if not accelerator.fits_capacity():
+                continue
+            schedule = scheduler.schedule(accelerator, lengths)
+            points.append(
+                DesignPoint(
+                    top_k=top_k,
+                    replication=replication,
+                    accelerator=accelerator,
+                    schedule=schedule,
+                )
+            )
+    if not points:
+        raise ValueError("no feasible design point for the given candidates")
+    points.sort(key=lambda p: p.throughput_sequences_per_second, reverse=True)
+    return points
+
+
+def best_design_point(
+    model_config: ModelConfig,
+    dataset: DatasetConfig,
+    lengths: list[int],
+    **kwargs,
+) -> DesignPoint:
+    """Convenience wrapper returning only the highest-throughput design point."""
+    return explore_design_space(model_config, dataset, lengths, **kwargs)[0]

@@ -1,0 +1,312 @@
+"""Encoder coarse-grained stage allocation (Algorithm 1 of the paper).
+
+The algorithm takes the encoder operator graph ``G = (V, E)``, the operator
+weights ``W(V, s_avg)`` and the critical-path priorities ``P(V, s_avg)``
+(Eq. 1) and partitions the operators into coarse-grained pipeline stages:
+
+1. visit the operators in decreasing priority order (i.e. along the critical
+   path from the encoder input toward its output);
+2. tentatively add the operator to the current stage and rescale the
+   parallelism of the operators already in the stage,
+   ``N'(v_j) = N(v_j) * ceil(W(v_j)/W(v_i))``, so that every operator in the
+   stage finishes in roughly the same time;
+3. if the rescaled design still satisfies the device resource constraints the
+   operator joins the current stage; otherwise a new stage is opened.
+
+The output is an ordered list of stage assignments (operator subsets plus
+their parallelism), which :func:`plan_to_accelerator` converts into the
+hardware model of :mod:`repro.hardware`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .. import config as global_config
+from ..hardware.buffers import BufferSizing
+from ..hardware.cycle_model import OperatorCycleModel
+from ..hardware.hbm import HbmModel
+from ..hardware.resources import FpgaResources, U280_SLR0, resources_for_operator
+from ..hardware.stages import StageHardware, StageOperator
+from ..hardware.accelerator import Accelerator
+from ..operators.graph import OperatorGraph
+from ..transformer.configs import ModelConfig
+
+__all__ = ["StageAssignment", "StagePlan", "allocate_stages", "plan_to_accelerator"]
+
+
+@dataclass
+class StageAssignment:
+    """Operators assigned to one coarse-grained stage with their parallelism."""
+
+    index: int
+    operator_names: list[str] = field(default_factory=list)
+    parallelism: dict[str, int] = field(default_factory=dict)
+
+    def resources(self, graph: OperatorGraph) -> FpgaResources:
+        """Total resources of this stage at its current parallelism."""
+        total = FpgaResources()
+        for name in self.operator_names:
+            op = graph.operator(name)
+            total = total + resources_for_operator(op.kind, self.parallelism[name])
+        return total
+
+    def work(self, graph: OperatorGraph, seq: int) -> int:
+        """Arithmetic work of the stage at sequence length ``seq``."""
+        return sum(graph.operator(name).weight(seq) for name in self.operator_names)
+
+
+@dataclass
+class StagePlan:
+    """Result of Algorithm 1: an ordered list of stage assignments."""
+
+    graph: OperatorGraph
+    stages: list[StageAssignment]
+    avg_seq: int
+    capacity: FpgaResources
+
+    @property
+    def num_stages(self) -> int:
+        return len(self.stages)
+
+    def total_resources(self) -> FpgaResources:
+        """Device resources consumed by the whole plan."""
+        total = FpgaResources()
+        for stage in self.stages:
+            total = total + stage.resources(self.graph)
+        return total
+
+    def fits_capacity(self) -> bool:
+        """True when the plan fits the device."""
+        return self.total_resources().fits_within(self.capacity)
+
+    def stage_of(self, operator_name: str) -> int:
+        """Index of the stage an operator was assigned to."""
+        for stage in self.stages:
+            if operator_name in stage.operator_names:
+                return stage.index
+        raise KeyError(f"operator '{operator_name}' is not in the plan")
+
+    def stage_work(self, seq: int) -> list[int]:
+        """Per-stage arithmetic work at sequence length ``seq``."""
+        return [stage.work(self.graph, seq) for stage in self.stages]
+
+
+def _plan_resources(
+    graph: OperatorGraph,
+    stages: list[StageAssignment],
+    trial_parallelism: dict[str, int] | None = None,
+) -> FpgaResources:
+    """Resources of all stages, optionally overriding some parallelisms."""
+    total = FpgaResources()
+    for stage in stages:
+        for name in stage.operator_names:
+            parallelism = stage.parallelism[name]
+            if trial_parallelism and name in trial_parallelism:
+                parallelism = trial_parallelism[name]
+            op = graph.operator(name)
+            total = total + resources_for_operator(op.kind, parallelism)
+    return total
+
+
+def allocate_stages(
+    graph: OperatorGraph,
+    avg_seq: int,
+    capacity: FpgaResources = U280_SLR0,
+    dsp_budget_fraction: float = 0.85,
+    stage_budget_fraction: float = 1.0 / 3.0,
+    max_parallelism: int = 1024,
+) -> StagePlan:
+    """Run Algorithm 1 over ``graph`` at the average sequence length.
+
+    The algorithm visits the operators in decreasing priority ``P(v, s_avg)``
+    and keeps appending them to the current stage.  Each operator receives a
+    parallelism proportional to its weight, ``N(v) = ceil(W(v) / quantum)``
+    with a device-wide work quantum -- this realises the paper's rescaling
+    step ``N'(v_j) = N(v_j) * ceil(W(v_j)/W(v_i))`` (every operator in a stage
+    finishes in roughly the same time) with a reference that is insensitive to
+    arrival order.  When the stage's accumulated hardware exceeds its resource
+    share a new stage is opened.  A final global scaling step ("we further
+    adjust the operator parallelism ... to obtain the optimal setting")
+    stretches or shrinks the whole design onto the device budget.
+
+    Parameters
+    ----------
+    graph:
+        Encoder operator graph (dense or sparse variant).
+    avg_seq:
+        ``s_avg`` -- the dataset's average sequence length, at which the
+        weights and priorities are evaluated.
+    capacity:
+        Device resources available to the datapaths.
+    dsp_budget_fraction:
+        Fraction of the device handed to the compute datapaths.
+    stage_budget_fraction:
+        Fraction of the compute budget a single coarse stage may occupy
+        before a new stage is opened (1/3 reproduces the paper's three-stage
+        partition for the encoder graphs).
+    max_parallelism:
+        Upper bound on any single operator's parallelism (keeps the rescaling
+        step from exploding when one operator dominates another by orders of
+        magnitude).
+    """
+    if len(graph) == 0:
+        raise ValueError("cannot allocate stages for an empty graph")
+    budget = FpgaResources(
+        dsp=int(capacity.dsp * dsp_budget_fraction),
+        bram=int(capacity.bram * dsp_budget_fraction),
+        lut=int(capacity.lut * dsp_budget_fraction),
+        ff=int(capacity.ff * dsp_budget_fraction),
+    )
+    stage_budget = FpgaResources(
+        dsp=max(int(budget.dsp * stage_budget_fraction), 1),
+        bram=max(int(budget.bram * stage_budget_fraction), 1),
+        lut=max(int(budget.lut * stage_budget_fraction), 1),
+        ff=max(int(budget.ff * stage_budget_fraction), 1),
+    )
+
+    weights = graph.weights(avg_seq)
+    priorities = graph.priorities(avg_seq)
+    # Decreasing order of priority = topological order along the critical path.
+    ordered = sorted(graph.operators, key=lambda op: priorities[op.name], reverse=True)
+
+    # Work quantum: the amount of work one hardware lane handles per stage
+    # interval when the whole DSP budget is spread work-proportionally over
+    # the graph.  N(v) = ceil(W(v) / quantum) then gives every operator the
+    # lane count that makes its latency (approximately) one interval, which is
+    # the balanced-parallelism condition the paper's rescaling step encodes.
+    total_work = max(sum(max(w, 1) for w in weights.values()), 1)
+    quantum = max(total_work // max(budget.dsp, 1), 1)
+
+    def lanes_for(name: str) -> int:
+        # Fabric (non-DSP) operators are cheap per lane, so they are given a
+        # finer work quantum; this keeps the element-wise/LayerNorm/Top-k
+        # datapaths off the stage critical path, mirroring how the paper hides
+        # them behind the MM units with loop fusion.
+        op_quantum = quantum if graph.operator(name).kind == "matmul" else max(quantum // 8, 1)
+        return int(min(max(-(-max(weights[name], 1) // op_quantum), 1), max_parallelism))
+
+    def stage_resources(names: list[str]) -> FpgaResources:
+        total = FpgaResources()
+        for name in names:
+            total = total + resources_for_operator(graph.operator(name).kind, lanes_for(name))
+        return total
+
+    stages: list[StageAssignment] = []
+    current = StageAssignment(index=0)
+    stages.append(current)
+
+    for op in ordered:
+        if not current.operator_names:
+            # First operator of a fresh stage is always accepted.
+            current.operator_names.append(op.name)
+            current.parallelism[op.name] = lanes_for(op.name)
+            continue
+
+        trial_names = current.operator_names + [op.name]
+        if stage_resources(trial_names).fits_within(stage_budget):
+            current.operator_names.append(op.name)
+            current.parallelism[op.name] = lanes_for(op.name)
+        else:
+            current = StageAssignment(index=len(stages))
+            current.operator_names.append(op.name)
+            current.parallelism[op.name] = lanes_for(op.name)
+            stages.append(current)
+
+    plan = StagePlan(graph=graph, stages=stages, avg_seq=avg_seq, capacity=capacity)
+    _scale_plan_to_budget(plan, budget, max_parallelism)
+    return plan
+
+
+def _scale_plan_to_budget(plan: StagePlan, budget: FpgaResources, max_parallelism: int) -> None:
+    """Scale every operator's parallelism onto the device budget.
+
+    This is the paper's follow-up step: "we further adjust the operator
+    parallelism N(v_i, s_i) ... to obtain the optimal setting".  All
+    parallelisms are multiplied by a common factor -- up when the device has
+    head-room, down when the relative allocation overflows it -- found by a
+    simple bisection, preserving the intra-stage balance picked by the main
+    loop.
+    """
+
+    def fits(factor: float) -> bool:
+        total = FpgaResources()
+        for stage in plan.stages:
+            for name in stage.operator_names:
+                op = plan.graph.operator(name)
+                scaled = max(1, min(int(stage.parallelism[name] * factor), max_parallelism))
+                total = total + resources_for_operator(op.kind, scaled)
+        return total.fits_within(budget)
+
+    low, high = 0.0, 1.0
+    if fits(1.0):
+        # Grow until the budget is exhausted.
+        while fits(high * 2) and high < 4096:
+            high *= 2
+        low = high / 2 if high > 1.0 else 1.0
+    else:
+        # Shrink until the design fits.
+        while not fits(high) and high > 1e-6:
+            high /= 2
+        low, high = high, high * 2
+
+    # Bisection refinement between low (fits) and high (may not fit).
+    for _ in range(24):
+        mid = (low + high) / 2
+        if fits(mid):
+            low = mid
+        else:
+            high = mid
+
+    factor = low if low > 0 else 1.0
+    for stage in plan.stages:
+        for name in stage.operator_names:
+            stage.parallelism[name] = max(
+                1, min(int(stage.parallelism[name] * factor), max_parallelism)
+            )
+
+
+def plan_to_accelerator(
+    plan: StagePlan,
+    model_config: ModelConfig,
+    max_seq: int = 512,
+    clock_hz: float = global_config.FPGA_CLOCK_HZ,
+    hbm: HbmModel | None = None,
+    top_k: int | None = None,
+    name: str | None = None,
+) -> Accelerator:
+    """Materialize a :class:`StagePlan` into the hardware accelerator model."""
+    hbm = hbm or HbmModel(clock_hz=clock_hz)
+    cycle_model = OperatorCycleModel(hbm=hbm)
+    stage_hw: list[StageHardware] = []
+    for stage in plan.stages:
+        if not stage.operator_names:
+            continue
+        operators = [
+            StageOperator(
+                operator=plan.graph.operator(op_name),
+                parallelism=max(stage.parallelism[op_name], 1),
+            )
+            for op_name in stage.operator_names
+        ]
+        buffer = BufferSizing(
+            name=f"stage{stage.index}-out",
+            bytes_per_slot=max_seq * model_config.hidden_dim,
+        )
+        stage_hw.append(
+            StageHardware(
+                name=f"Stage{stage.index + 1}",
+                operators=operators,
+                cycle_model=cycle_model,
+                intra_pipelined=True,
+                output_buffer=buffer,
+            )
+        )
+    return Accelerator(
+        name=name or f"algorithm1-{model_config.name}",
+        model_config=model_config,
+        stages=stage_hw,
+        clock_hz=clock_hz,
+        capacity=plan.capacity,
+        top_k=top_k,
+    )

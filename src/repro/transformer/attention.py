@@ -1,0 +1,134 @@
+"""Dense multi-head self-attention (the baseline the paper approximates).
+
+The implementation mirrors Fig. 1(b) of the paper: linear Q/K/V
+transformations, scaled dot-product scores, masking, softmax, the score-value
+matrix multiply, and the output projection.  It is deliberately written as a
+sequence of explicit steps because the sparse attention operator
+(:mod:`repro.core.sparse_attention`) replaces only the score/softmax/SV part
+and must produce bit-compatible shapes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .functional import linear, masked_softmax
+from .weights import AttentionWeights
+
+__all__ = [
+    "AttentionOutput",
+    "split_heads",
+    "merge_heads",
+    "project_qkv",
+    "scaled_dot_product_attention",
+    "multi_head_attention",
+]
+
+
+@dataclass
+class AttentionOutput:
+    """Result of a multi-head attention call.
+
+    Attributes
+    ----------
+    output:
+        Context tensor of shape ``(seq, hidden)`` after the output projection.
+    probs:
+        Attention probabilities per head, shape ``(heads, seq, seq)``.
+    scores:
+        Pre-softmax scaled scores per head, shape ``(heads, seq, seq)``.
+    """
+
+    output: np.ndarray
+    probs: np.ndarray
+    scores: np.ndarray
+
+
+def split_heads(x: np.ndarray, num_heads: int) -> np.ndarray:
+    """Reshape ``(seq, hidden)`` into ``(heads, seq, head_dim)``."""
+    seq, hidden = x.shape
+    if hidden % num_heads != 0:
+        raise ValueError(f"hidden size {hidden} not divisible by {num_heads} heads")
+    head_dim = hidden // num_heads
+    return x.reshape(seq, num_heads, head_dim).transpose(1, 0, 2)
+
+
+def merge_heads(x: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`split_heads`: ``(heads, seq, head_dim)`` -> ``(seq, hidden)``."""
+    heads, seq, head_dim = x.shape
+    return x.transpose(1, 0, 2).reshape(seq, heads * head_dim)
+
+
+def project_qkv(
+    hidden_states: np.ndarray, weights: AttentionWeights
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Stage-1 linear transformation producing the Q, K and V matrices."""
+    q = linear(hidden_states, weights.wq, weights.bq)
+    k = linear(hidden_states, weights.wk, weights.bk)
+    v = linear(hidden_states, weights.wv, weights.bv)
+    return q, k, v
+
+
+def scaled_dot_product_attention(
+    q: np.ndarray,
+    k: np.ndarray,
+    v: np.ndarray,
+    mask: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Dense scaled dot-product attention for a single head.
+
+    Parameters
+    ----------
+    q, k, v:
+        Arrays of shape ``(seq_q, d)``, ``(seq_k, d)``, ``(seq_k, d)``.
+    mask:
+        Optional boolean mask broadcastable to ``(seq_q, seq_k)``;
+        ``True`` marks attendable positions.
+
+    Returns
+    -------
+    (context, probs, scores):
+        ``context`` is ``(seq_q, d)``; ``probs`` and ``scores`` are
+        ``(seq_q, seq_k)``.
+    """
+    d = q.shape[-1]
+    scores = (q @ k.T) / np.sqrt(d)
+    probs = masked_softmax(scores, mask)
+    context = probs @ v
+    return context, probs, scores
+
+
+def multi_head_attention(
+    hidden_states: np.ndarray,
+    weights: AttentionWeights,
+    num_heads: int,
+    mask: np.ndarray | None = None,
+) -> AttentionOutput:
+    """Full dense multi-head self-attention over one (unbatched) sequence.
+
+    ``hidden_states`` has shape ``(seq, hidden)``.  ``mask`` is a boolean
+    vector of shape ``(seq,)`` marking real (non-padding) tokens, or ``None``.
+    """
+    q, k, v = project_qkv(hidden_states, weights)
+    qh = split_heads(q, num_heads)
+    kh = split_heads(k, num_heads)
+    vh = split_heads(v, num_heads)
+
+    key_mask = None
+    if mask is not None:
+        key_mask = np.asarray(mask, dtype=bool)[None, :]  # broadcast over query rows
+
+    contexts = []
+    probs = []
+    scores = []
+    for h in range(num_heads):
+        ctx, p, s = scaled_dot_product_attention(qh[h], kh[h], vh[h], key_mask)
+        contexts.append(ctx)
+        probs.append(p)
+        scores.append(s)
+
+    merged = merge_heads(np.stack(contexts, axis=0))
+    output = linear(merged, weights.wo, weights.bo)
+    return AttentionOutput(output=output, probs=np.stack(probs), scores=np.stack(scores))

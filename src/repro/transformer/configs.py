@@ -1,0 +1,139 @@
+"""Model and dataset configurations used throughout the paper (Table 1).
+
+The four evaluated models -- DistilBERT, BERT-base, RoBERTa and BERT-large --
+share the standard post-norm Transformer encoder architecture and differ only
+in depth, hidden size and head count, which is exactly what Table 1 records.
+The three evaluation datasets -- SQuAD v1.1, RTE and MRPC -- are represented
+by their sequence-length statistics (average, maximum, and the resulting
+padding overhead), which is all the hardware experiments need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """Architecture hyper-parameters of a BERT-style encoder stack."""
+
+    name: str
+    num_layers: int
+    hidden_dim: int
+    num_heads: int
+    intermediate_dim: int = 0
+    vocab_size: int = 30522
+    max_position: int = 1024
+    type_vocab_size: int = 2
+    layer_norm_eps: float = 1e-12
+
+    def __post_init__(self) -> None:
+        if self.hidden_dim % self.num_heads != 0:
+            raise ValueError(
+                f"hidden_dim {self.hidden_dim} must be divisible by num_heads {self.num_heads}"
+            )
+        if self.intermediate_dim == 0:
+            # BERT convention: the feed-forward expansion factor is 4.
+            object.__setattr__(self, "intermediate_dim", 4 * self.hidden_dim)
+
+    @property
+    def head_dim(self) -> int:
+        """Per-head dimensionality d = hidden_dim / num_heads."""
+        return self.hidden_dim // self.num_heads
+
+    @property
+    def num_parameters(self) -> int:
+        """Approximate encoder-stack parameter count (weights only)."""
+        per_layer = (
+            4 * self.hidden_dim * self.hidden_dim  # Q, K, V, output projections
+            + 2 * self.hidden_dim * self.intermediate_dim  # feed-forward
+        )
+        return self.num_layers * per_layer
+
+
+@dataclass(frozen=True)
+class DatasetConfig:
+    """Sequence-length statistics of an evaluation dataset (Table 1)."""
+
+    name: str
+    avg_length: int
+    max_length: int
+    min_length: int = 8
+    metric: str = "f1"
+    num_classes: int = 2
+
+    @property
+    def max_avg_ratio(self) -> float:
+        """Computational overhead introduced by padding to the maximum length."""
+        return self.max_length / self.avg_length
+
+
+# ---------------------------------------------------------------------------
+# Model zoo (Table 1, top half)
+# ---------------------------------------------------------------------------
+
+DISTILBERT = ModelConfig(name="DistilBERT", num_layers=6, hidden_dim=768, num_heads=12)
+BERT_BASE = ModelConfig(name="BERT-base", num_layers=12, hidden_dim=768, num_heads=12)
+ROBERTA = ModelConfig(name="RoBERTa", num_layers=12, hidden_dim=768, num_heads=12, vocab_size=50265)
+BERT_LARGE = ModelConfig(name="BERT-large", num_layers=24, hidden_dim=1024, num_heads=16)
+
+MODEL_ZOO = {
+    "distilbert": DISTILBERT,
+    "bert-base": BERT_BASE,
+    "roberta": ROBERTA,
+    "bert-large": BERT_LARGE,
+}
+
+
+# ---------------------------------------------------------------------------
+# Dataset statistics (Table 1, bottom half)
+# ---------------------------------------------------------------------------
+
+SQUAD_V11 = DatasetConfig(name="SQuAD v1.1", avg_length=177, max_length=821, min_length=32, metric="f1")
+RTE = DatasetConfig(name="RTE", avg_length=68, max_length=253, min_length=16, metric="accuracy")
+MRPC = DatasetConfig(name="MRPC", avg_length=53, max_length=86, min_length=16, metric="f1")
+
+DATASET_ZOO = {
+    "squad": SQUAD_V11,
+    "rte": RTE,
+    "mrpc": MRPC,
+}
+
+
+def get_model_config(name: str) -> ModelConfig:
+    """Look up a model configuration by its canonical lower-case key."""
+    key = name.lower()
+    if key not in MODEL_ZOO:
+        raise KeyError(f"Unknown model '{name}'. Available: {sorted(MODEL_ZOO)}")
+    return MODEL_ZOO[key]
+
+
+def get_dataset_config(name: str) -> DatasetConfig:
+    """Look up a dataset configuration by its canonical lower-case key."""
+    key = name.lower()
+    if key not in DATASET_ZOO:
+        raise KeyError(f"Unknown dataset '{name}'. Available: {sorted(DATASET_ZOO)}")
+    return DATASET_ZOO[key]
+
+
+#: The (model, dataset) pairs evaluated in Fig. 6 of the paper, in figure order.
+FIG6_EVALUATION_PAIRS = (
+    ("bert-base", "squad"),
+    ("bert-base", "rte"),
+    ("bert-base", "mrpc"),
+    ("bert-large", "squad"),
+    ("distilbert", "squad"),
+    ("distilbert", "rte"),
+    ("distilbert", "mrpc"),
+    ("roberta", "squad"),
+    ("roberta", "rte"),
+    ("roberta", "mrpc"),
+)
+
+#: The (model, dataset) pairs used for the hardware evaluation in Fig. 7.
+FIG7_EVALUATION_PAIRS = (
+    ("bert-base", "squad"),
+    ("bert-base", "rte"),
+    ("bert-base", "mrpc"),
+    ("bert-large", "squad"),
+)

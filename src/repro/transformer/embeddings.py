@@ -1,0 +1,61 @@
+"""Input embedding layer of the BERT-style encoder."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .functional import layer_norm
+from .weights import EmbeddingWeights
+
+__all__ = ["embed_tokens"]
+
+
+def embed_tokens(
+    token_ids: np.ndarray,
+    weights: EmbeddingWeights,
+    segment_ids: np.ndarray | None = None,
+    layer_norm_eps: float = 1e-12,
+) -> np.ndarray:
+    """Map token ids to embedding vectors.
+
+    Sums token, position and segment embeddings and applies the embedding
+    LayerNorm, exactly as the BERT input pipeline does.
+
+    Parameters
+    ----------
+    token_ids:
+        Integer array of shape ``(seq,)``.
+    weights:
+        Embedding tables.
+    segment_ids:
+        Optional integer array of shape ``(seq,)``; defaults to all zeros.
+
+    Returns
+    -------
+    Array of shape ``(seq, hidden)``.
+    """
+    token_ids = np.asarray(token_ids, dtype=np.int64)
+    if token_ids.ndim != 1:
+        raise ValueError("embed_tokens operates on a single sequence of shape (seq,)")
+    seq = token_ids.shape[0]
+    if seq > weights.position.shape[0]:
+        raise ValueError(
+            f"sequence length {seq} exceeds the maximum position embedding "
+            f"{weights.position.shape[0]}"
+        )
+    if np.any(token_ids < 0) or np.any(token_ids >= weights.token.shape[0]):
+        raise ValueError("token id out of vocabulary range")
+
+    if segment_ids is None:
+        segment_ids = np.zeros(seq, dtype=np.int64)
+    else:
+        segment_ids = np.asarray(segment_ids, dtype=np.int64)
+        if segment_ids.shape != (seq,):
+            raise ValueError("segment_ids must have the same shape as token_ids")
+
+    embedded = (
+        weights.token[token_ids]
+        + weights.position[:seq]
+        + weights.segment[segment_ids]
+    )
+    return layer_norm(embedded, weights.ln_gamma, weights.ln_beta, eps=layer_norm_eps)

@@ -1,0 +1,93 @@
+"""Transformer encoder layer and encoder stack.
+
+The encoder follows Fig. 1(a) of the paper: self-attention, residual + Layer
+Norm, a two-layer feed-forward block with GELU, and a second residual + Layer
+Norm.  The attention implementation is pluggable so the same encoder runs the
+dense baseline or the paper's quantized Top-k sparse attention; everything
+else is shared, which is exactly the property the accuracy study relies on.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol
+
+import numpy as np
+
+from .attention import AttentionOutput, multi_head_attention
+from .functional import gelu, layer_norm, linear
+from .weights import EncoderLayerWeights, ModelWeights
+
+__all__ = [
+    "AttentionImpl",
+    "dense_attention_impl",
+    "encoder_layer_forward",
+    "encoder_forward",
+]
+
+
+class AttentionImpl(Protocol):
+    """Signature of a pluggable multi-head attention implementation."""
+
+    def __call__(
+        self,
+        hidden_states: np.ndarray,
+        weights,
+        num_heads: int,
+        mask: np.ndarray | None,
+    ) -> AttentionOutput:
+        """Compute multi-head self-attention over one sequence."""
+
+
+def dense_attention_impl(
+    hidden_states: np.ndarray,
+    weights,
+    num_heads: int,
+    mask: np.ndarray | None,
+) -> AttentionOutput:
+    """The baseline dense attention, used when no override is supplied."""
+    return multi_head_attention(hidden_states, weights, num_heads, mask)
+
+
+def encoder_layer_forward(
+    hidden_states: np.ndarray,
+    layer: EncoderLayerWeights,
+    num_heads: int,
+    mask: np.ndarray | None = None,
+    attention_impl: AttentionImpl | None = None,
+    layer_norm_eps: float = 1e-12,
+) -> np.ndarray:
+    """Run one encoder layer over a single ``(seq, hidden)`` sequence."""
+    impl = attention_impl or dense_attention_impl
+    attn = impl(hidden_states, layer.attention, num_heads, mask)
+
+    attn_out = layer_norm(
+        hidden_states + attn.output, layer.attn_ln_gamma, layer.attn_ln_beta, eps=layer_norm_eps
+    )
+
+    ffn_hidden = gelu(linear(attn_out, layer.ffn_w1, layer.ffn_b1))
+    ffn_out = linear(ffn_hidden, layer.ffn_w2, layer.ffn_b2)
+
+    return layer_norm(
+        attn_out + ffn_out, layer.ffn_ln_gamma, layer.ffn_ln_beta, eps=layer_norm_eps
+    )
+
+
+def encoder_forward(
+    hidden_states: np.ndarray,
+    weights: ModelWeights,
+    mask: np.ndarray | None = None,
+    attention_impl: AttentionImpl | None = None,
+) -> np.ndarray:
+    """Run the full encoder stack over a single ``(seq, hidden)`` sequence."""
+    config = weights.config
+    out = hidden_states
+    for layer in weights.layers:
+        out = encoder_layer_forward(
+            out,
+            layer,
+            num_heads=config.num_heads,
+            mask=mask,
+            attention_impl=attention_impl,
+            layer_norm_eps=config.layer_norm_eps,
+        )
+    return out

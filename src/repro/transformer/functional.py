@@ -1,0 +1,111 @@
+"""Numerical building blocks of the Transformer encoder.
+
+Every primitive the encoder needs -- softmax, GELU, layer normalization,
+linear transformation and masking -- is implemented here as a pure NumPy
+function.  The hardware model charges cycles per primitive, and the sparse
+attention operator re-uses the same primitives so that the dense reference
+and the approximate path differ only where the algorithm differs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "softmax",
+    "masked_softmax",
+    "gelu",
+    "relu",
+    "layer_norm",
+    "linear",
+    "attention_mask_from_lengths",
+    "stable_exp",
+]
+
+
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax along ``axis``."""
+    shifted = x - np.max(x, axis=axis, keepdims=True)
+    exps = np.exp(shifted)
+    return exps / np.sum(exps, axis=axis, keepdims=True)
+
+
+def stable_exp(x: np.ndarray) -> np.ndarray:
+    """Exponential with the row maximum subtracted (the hardware-friendly form).
+
+    Stage 2.2 of the accelerator computes exponentials in a fused loop and
+    defers the normalization to stage 2.3; subtracting the running maximum
+    keeps the intermediate values representable in fixed point.
+    """
+    return np.exp(x - np.max(x, axis=-1, keepdims=True))
+
+
+def masked_softmax(scores: np.ndarray, mask: np.ndarray | None, axis: int = -1) -> np.ndarray:
+    """Softmax that assigns zero probability to masked-out positions.
+
+    Parameters
+    ----------
+    scores:
+        Attention scores of shape ``(..., n)``.
+    mask:
+        Boolean array broadcastable to ``scores``; ``True`` marks valid
+        positions.  ``None`` means every position is valid.
+    """
+    if mask is None:
+        return softmax(scores, axis=axis)
+    masked = np.where(mask, scores, -np.inf)
+    # Fully masked rows produce -inf - (-inf) = NaN inside the softmax; they
+    # are defined as all-zero rows, so the intermediate warnings are silenced.
+    with np.errstate(invalid="ignore"):
+        probs = softmax(masked, axis=axis)
+    return np.nan_to_num(probs, nan=0.0)
+
+
+def gelu(x: np.ndarray) -> np.ndarray:
+    """Gaussian Error Linear Unit (tanh approximation used by BERT)."""
+    return 0.5 * x * (1.0 + np.tanh(np.sqrt(2.0 / np.pi) * (x + 0.044715 * x**3)))
+
+
+def relu(x: np.ndarray) -> np.ndarray:
+    """Rectified linear unit."""
+    return np.maximum(x, 0.0)
+
+
+def layer_norm(
+    x: np.ndarray,
+    gamma: np.ndarray,
+    beta: np.ndarray,
+    eps: float = 1e-12,
+) -> np.ndarray:
+    """Layer normalization over the last dimension."""
+    mean = x.mean(axis=-1, keepdims=True)
+    var = x.var(axis=-1, keepdims=True)
+    return gamma * (x - mean) / np.sqrt(var + eps) + beta
+
+
+def linear(x: np.ndarray, weight: np.ndarray, bias: np.ndarray | None = None) -> np.ndarray:
+    """Affine transformation ``x @ weight + bias``.
+
+    ``weight`` uses the ``(in_features, out_features)`` layout so the matrix
+    multiply maps directly onto the accelerator's MM unit tiling.
+    """
+    out = x @ weight
+    if bias is not None:
+        out = out + bias
+    return out
+
+
+def attention_mask_from_lengths(lengths: np.ndarray, max_length: int) -> np.ndarray:
+    """Build a boolean padding mask of shape ``(batch, max_length)``.
+
+    ``True`` marks real tokens, ``False`` marks padding.  This is the mask the
+    CPU / GPU baselines must apply after padding every sequence in the batch
+    to the maximum length.
+    """
+    lengths = np.asarray(lengths, dtype=np.int64)
+    if np.any(lengths < 0):
+        raise ValueError("sequence lengths must be non-negative")
+    if np.any(lengths > max_length):
+        raise ValueError("a sequence length exceeds max_length")
+    positions = np.arange(max_length)[None, :]
+    return positions < lengths[:, None]

@@ -1,0 +1,162 @@
+"""End-to-end BERT-style model with task heads.
+
+``TransformerModel`` bundles the embedding layer, the encoder stack and the
+two task heads used by the paper's evaluation datasets:
+
+* a sequence-classification head (RTE, MRPC), and
+* a span-extraction head producing start/end logits (SQuAD v1.1).
+
+The attention implementation is pluggable (dense baseline or the paper's
+quantized Top-k sparse attention), which is how the Fig. 6 accuracy study and
+the example applications switch algorithms without touching anything else.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .configs import ModelConfig
+from .embeddings import embed_tokens
+from .encoder import AttentionImpl, encoder_forward
+from .functional import linear, softmax
+from .weights import ModelWeights, generate_model_weights
+
+__all__ = ["SequenceClassifierOutput", "SpanExtractionOutput", "TransformerModel"]
+
+
+@dataclass
+class SequenceClassifierOutput:
+    """Classification result for one sequence."""
+
+    logits: np.ndarray
+    probs: np.ndarray
+    prediction: int
+
+
+@dataclass
+class SpanExtractionOutput:
+    """Span-extraction (question answering) result for one sequence."""
+
+    start_logits: np.ndarray
+    end_logits: np.ndarray
+    start: int
+    end: int
+
+    @property
+    def span(self) -> tuple[int, int]:
+        """Predicted ``(start, end)`` token span (inclusive)."""
+        return self.start, self.end
+
+
+class TransformerModel:
+    """A BERT-style encoder with classification and span-extraction heads.
+
+    Parameters
+    ----------
+    config:
+        Architecture definition.
+    weights:
+        Pre-built weights; generated deterministically from ``seed`` when
+        omitted.
+    attention_impl:
+        Optional override of the attention operator (see
+        :mod:`repro.core.sparse_attention`).
+    seed:
+        Seed for synthetic weight generation when ``weights`` is ``None``.
+    """
+
+    def __init__(
+        self,
+        config: ModelConfig,
+        weights: ModelWeights | None = None,
+        attention_impl: AttentionImpl | None = None,
+        seed: int = 0,
+        num_classes: int = 2,
+    ) -> None:
+        self.config = config
+        self.weights = weights or generate_model_weights(config, seed=seed, num_classes=num_classes)
+        self.attention_impl = attention_impl
+
+    # ------------------------------------------------------------------
+    # Core forward passes
+    # ------------------------------------------------------------------
+
+    def encode(
+        self,
+        token_ids: np.ndarray,
+        mask: np.ndarray | None = None,
+        segment_ids: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Embed and encode one sequence; returns ``(seq, hidden)`` states."""
+        hidden = embed_tokens(
+            token_ids,
+            self.weights.embeddings,
+            segment_ids=segment_ids,
+            layer_norm_eps=self.config.layer_norm_eps,
+        )
+        return encoder_forward(hidden, self.weights, mask=mask, attention_impl=self.attention_impl)
+
+    def pooled_output(self, encoded: np.ndarray) -> np.ndarray:
+        """BERT pooler: tanh projection of the first ([CLS]) token."""
+        if self.weights.pooler_w is None or self.weights.pooler_b is None:
+            raise ValueError("model weights have no pooler head")
+        return np.tanh(linear(encoded[0], self.weights.pooler_w, self.weights.pooler_b))
+
+    # ------------------------------------------------------------------
+    # Task heads
+    # ------------------------------------------------------------------
+
+    def classify(
+        self,
+        token_ids: np.ndarray,
+        mask: np.ndarray | None = None,
+        segment_ids: np.ndarray | None = None,
+    ) -> SequenceClassifierOutput:
+        """Sequence classification (RTE / MRPC style tasks)."""
+        if self.weights.classifier_w is None or self.weights.classifier_b is None:
+            raise ValueError("model weights have no classification head")
+        encoded = self.encode(token_ids, mask=mask, segment_ids=segment_ids)
+        pooled = self.pooled_output(encoded)
+        logits = linear(pooled, self.weights.classifier_w, self.weights.classifier_b)
+        probs = softmax(logits)
+        return SequenceClassifierOutput(logits=logits, probs=probs, prediction=int(np.argmax(logits)))
+
+    def extract_span(
+        self,
+        token_ids: np.ndarray,
+        mask: np.ndarray | None = None,
+        segment_ids: np.ndarray | None = None,
+    ) -> SpanExtractionOutput:
+        """Span extraction (SQuAD style question answering)."""
+        if self.weights.qa_w is None or self.weights.qa_b is None:
+            raise ValueError("model weights have no QA head")
+        encoded = self.encode(token_ids, mask=mask, segment_ids=segment_ids)
+        logits = linear(encoded, self.weights.qa_w, self.weights.qa_b)
+        start_logits = logits[:, 0]
+        end_logits = logits[:, 1]
+        if mask is not None:
+            valid = np.asarray(mask, dtype=bool)
+            start_logits = np.where(valid, start_logits, -np.inf)
+            end_logits = np.where(valid, end_logits, -np.inf)
+        start = int(np.argmax(start_logits))
+        # The end token must not precede the start token.
+        end_candidates = end_logits.copy()
+        end_candidates[:start] = -np.inf
+        end = int(np.argmax(end_candidates))
+        return SpanExtractionOutput(
+            start_logits=start_logits, end_logits=end_logits, start=start, end=end
+        )
+
+    # ------------------------------------------------------------------
+    # Convenience
+    # ------------------------------------------------------------------
+
+    def with_attention(self, attention_impl: AttentionImpl | None) -> "TransformerModel":
+        """Return a model sharing these weights but using a different attention."""
+        clone = TransformerModel.__new__(TransformerModel)
+        clone.config = self.config
+        clone.weights = self.weights
+        clone.attention_impl = attention_impl
+        return clone

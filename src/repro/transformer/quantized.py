@@ -1,0 +1,96 @@
+"""Post-training 8-bit fixed-point quantization of the whole model.
+
+Section 5.1 of the paper: "The state-of-the-art models are quantized into 8
+bits fixed-point representation without accuracy drop", citing TernaryBERT.
+The accelerator assumes 8-bit weights and activations (one DSP per MAC), so
+the reproduction provides the same post-training transform: every weight
+tensor is fake-quantized symmetrically per tensor, and the resulting model is
+a drop-in replacement whose predictions can be compared against the
+full-precision one (the "without accuracy drop" claim becomes a testable
+property instead of an assumption).
+"""
+
+from __future__ import annotations
+
+import copy
+
+import numpy as np
+
+from ..core.quantization import quantize_symmetric
+from .weights import AttentionWeights, EmbeddingWeights, EncoderLayerWeights, ModelWeights
+
+__all__ = ["quantize_model_weights", "weight_quantization_error"]
+
+
+def _quantize_array(array: np.ndarray | None, bits: int) -> np.ndarray | None:
+    if array is None:
+        return None
+    return quantize_symmetric(array, bits)
+
+
+def quantize_model_weights(weights: ModelWeights, bits: int = 8) -> ModelWeights:
+    """Return a copy of ``weights`` with every tensor fake-quantized to ``bits``.
+
+    LayerNorm scale/shift parameters are left in full precision (they are
+    folded into the normalization datapath on the accelerator, as is standard
+    practice and as TernaryBERT does).
+    """
+    quantized = copy.deepcopy(weights)
+
+    emb = quantized.embeddings
+    quantized.embeddings = EmbeddingWeights(
+        token=_quantize_array(emb.token, bits),
+        position=_quantize_array(emb.position, bits),
+        segment=_quantize_array(emb.segment, bits),
+        ln_gamma=emb.ln_gamma,
+        ln_beta=emb.ln_beta,
+    )
+
+    new_layers: list[EncoderLayerWeights] = []
+    for layer in quantized.layers:
+        attention = AttentionWeights(
+            wq=_quantize_array(layer.attention.wq, bits),
+            wk=_quantize_array(layer.attention.wk, bits),
+            wv=_quantize_array(layer.attention.wv, bits),
+            wo=_quantize_array(layer.attention.wo, bits),
+            bq=_quantize_array(layer.attention.bq, bits),
+            bk=_quantize_array(layer.attention.bk, bits),
+            bv=_quantize_array(layer.attention.bv, bits),
+            bo=_quantize_array(layer.attention.bo, bits),
+        )
+        new_layers.append(
+            EncoderLayerWeights(
+                attention=attention,
+                attn_ln_gamma=layer.attn_ln_gamma,
+                attn_ln_beta=layer.attn_ln_beta,
+                ffn_w1=_quantize_array(layer.ffn_w1, bits),
+                ffn_b1=_quantize_array(layer.ffn_b1, bits),
+                ffn_w2=_quantize_array(layer.ffn_w2, bits),
+                ffn_b2=_quantize_array(layer.ffn_b2, bits),
+                ffn_ln_gamma=layer.ffn_ln_gamma,
+                ffn_ln_beta=layer.ffn_ln_beta,
+            )
+        )
+    quantized.layers = new_layers
+
+    quantized.pooler_w = _quantize_array(quantized.pooler_w, bits)
+    quantized.pooler_b = _quantize_array(quantized.pooler_b, bits)
+    quantized.classifier_w = _quantize_array(quantized.classifier_w, bits)
+    quantized.classifier_b = _quantize_array(quantized.classifier_b, bits)
+    quantized.qa_w = _quantize_array(quantized.qa_w, bits)
+    quantized.qa_b = _quantize_array(quantized.qa_b, bits)
+    return quantized
+
+
+def weight_quantization_error(weights: ModelWeights, bits: int = 8) -> float:
+    """Largest relative per-tensor RMS error introduced by ``bits``-wide quantization."""
+    quantized = quantize_model_weights(weights, bits)
+    worst = 0.0
+    for original_layer, quantized_layer in zip(weights.layers, quantized.layers):
+        for name in ("wq", "wk", "wv", "wo"):
+            original = getattr(original_layer.attention, name)
+            approx = getattr(quantized_layer.attention, name)
+            scale = float(np.sqrt(np.mean(original**2))) or 1.0
+            error = float(np.sqrt(np.mean((original - approx) ** 2))) / scale
+            worst = max(worst, error)
+    return worst

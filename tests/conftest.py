@@ -1,0 +1,56 @@
+"""Shared fixtures for the test suite.
+
+Most functional tests run on a deliberately tiny Transformer configuration so
+the NumPy forward passes finish in milliseconds; the behaviour under test
+(quantized Top-k selection, scheduling, resource accounting) does not depend
+on model scale.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.transformer.configs import ModelConfig
+from repro.transformer.model import TransformerModel
+from repro.transformer.weights import generate_model_weights
+
+
+@pytest.fixture(scope="session")
+def tiny_config() -> ModelConfig:
+    """A 2-layer, 4-head, 64-dim encoder used across functional tests."""
+    return ModelConfig(
+        name="tiny",
+        num_layers=2,
+        hidden_dim=64,
+        num_heads=4,
+        vocab_size=2000,
+        max_position=256,
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_weights(tiny_config):
+    """Deterministic weights for the tiny configuration."""
+    return generate_model_weights(tiny_config, seed=7)
+
+
+@pytest.fixture(scope="session")
+def tiny_model(tiny_config, tiny_weights) -> TransformerModel:
+    """A dense-attention model built on the tiny configuration."""
+    return TransformerModel(tiny_config, weights=tiny_weights)
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    """Fresh deterministic RNG per test."""
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture(scope="session")
+def small_sequence(tiny_config):
+    """A fixed 24-token input (token ids and segment ids)."""
+    rng = np.random.default_rng(99)
+    token_ids = rng.integers(1000, tiny_config.vocab_size, size=24)
+    segment_ids = np.zeros(24, dtype=np.int64)
+    return token_ids, segment_ids

@@ -1,0 +1,87 @@
+"""Tests for the operator-complexity accounting."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.complexity import (
+    attention_core_flops,
+    attention_only_flops,
+    encoder_layer_breakdown,
+    encoder_layer_flops,
+    linear_flops,
+    model_flops,
+    sparse_attention_core_flops,
+    sparse_model_flops,
+)
+from repro.transformer.configs import BERT_BASE, BERT_LARGE, DISTILBERT
+
+
+class TestBasicCounts:
+    def test_linear_flops_are_two_per_mac(self):
+        assert linear_flops(10, 8, 4) == 2 * 10 * 8 * 4
+
+    def test_breakdown_totals_are_consistent(self):
+        breakdown = encoder_layer_breakdown(BERT_BASE, 128)
+        assert breakdown.total == breakdown.attention_total + breakdown.other_total
+        assert breakdown.total == sum(breakdown.as_dict().values())
+
+    def test_layer_flops_equals_breakdown_total(self):
+        assert encoder_layer_flops(BERT_BASE, 128) == encoder_layer_breakdown(BERT_BASE, 128).total
+
+    def test_model_flops_scale_with_layers(self):
+        assert model_flops(BERT_BASE, 128) == 12 * encoder_layer_flops(BERT_BASE, 128)
+        assert model_flops(DISTILBERT, 128) == 6 * encoder_layer_flops(DISTILBERT, 128)
+
+    def test_bert_large_costs_more_than_base(self):
+        assert model_flops(BERT_LARGE, 128) > 2 * model_flops(BERT_BASE, 128)
+
+
+class TestSparseVsDense:
+    def test_sparse_never_exceeds_dense(self):
+        for seq in (16, 64, 177, 821):
+            assert sparse_model_flops(BERT_BASE, seq, 30) <= model_flops(BERT_BASE, seq)
+
+    def test_sparse_equals_dense_when_k_covers_sequence(self):
+        seq = 24
+        assert sparse_model_flops(BERT_BASE, seq, seq) == model_flops(BERT_BASE, seq)
+
+    def test_attention_core_scales_quadratically_dense(self):
+        ratio = attention_core_flops(BERT_BASE, 256) / attention_core_flops(BERT_BASE, 128)
+        assert ratio == pytest.approx(4.0, rel=0.05)
+
+    def test_sparse_attention_core_scales_linearly(self):
+        ratio = sparse_attention_core_flops(BERT_BASE, 512, 30) / sparse_attention_core_flops(
+            BERT_BASE, 256, 30
+        )
+        assert ratio == pytest.approx(2.0, rel=0.05)
+
+    def test_top30_attention_core_reduction_over_80_percent_at_squad_length(self):
+        dense = attention_core_flops(BERT_BASE, 177)
+        sparse = sparse_attention_core_flops(BERT_BASE, 177, 30)
+        assert 1 - sparse / dense > 0.8
+
+    def test_attention_core_is_subset_of_attention_total(self):
+        assert attention_core_flops(BERT_BASE, 128) < attention_only_flops(BERT_BASE, 128)
+
+
+class TestComplexityProperties:
+    @given(st.integers(8, 1024), st.integers(1, 64))
+    @settings(max_examples=50, deadline=None)
+    def test_sparse_monotone_in_k(self, seq, k):
+        """More candidates never means less work."""
+        assert sparse_model_flops(BERT_BASE, seq, k) <= sparse_model_flops(BERT_BASE, seq, k + 8)
+
+    @given(st.integers(8, 512))
+    @settings(max_examples=50, deadline=None)
+    def test_dense_monotone_in_sequence_length(self, seq):
+        assert model_flops(BERT_BASE, seq) < model_flops(BERT_BASE, seq + 16)
+
+    @given(st.integers(8, 512), st.integers(1, 64))
+    @settings(max_examples=50, deadline=None)
+    def test_all_counts_positive(self, seq, k):
+        assert model_flops(BERT_BASE, seq) > 0
+        assert sparse_model_flops(BERT_BASE, seq, k) > 0
+        assert attention_core_flops(BERT_BASE, seq) > 0

@@ -1,0 +1,76 @@
+"""Recreation of the paper's Fig. 3 worked example.
+
+Fig. 3 walks one query row and four key vectors through the full sparse
+attention flow: exact scores and softmax (baseline), 4-bit quantization,
+approximate scores, Top-2 selection, exact sparse scores and sparse softmax.
+These tests pin the reproduction to the numbers printed in the figure.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.quantization import quantize
+from repro.core.topk import topk_indices
+from repro.transformer.functional import softmax
+
+#: One query row and the four key rows of Fig. 3 (already scaled by 1/sqrt(d);
+#: the figure lists the resulting dot products directly).
+FIG3_EXACT_SCORES = np.array([1.17, 0.30, 1.05, -0.83])
+
+#: The 4-bit quantized approximate scores printed in step 3 of the figure.
+FIG3_APPROX_SCORES = np.array([48.0, 10.0, 41.0, -29.0])
+
+
+class TestFig3Baseline:
+    def test_step1_softmax_of_exact_scores(self):
+        # Step 1 of the figure: softmax(1.17, 0.30, 1.05, -0.83) = (0.41, 0.17, 0.37, 0.05)
+        probs = softmax(FIG3_EXACT_SCORES)
+        assert probs == pytest.approx([0.41, 0.17, 0.37, 0.05], abs=0.01)
+
+
+class TestFig3QuantizedSelection:
+    def test_step3_quantized_ranking_matches_exact_ranking(self):
+        # The quantized scores preserve the ordering of the exact scores.
+        assert list(np.argsort(FIG3_APPROX_SCORES)) == list(np.argsort(FIG3_EXACT_SCORES))
+
+    def test_step4_top2_selects_k1_and_k3(self):
+        selected = set(topk_indices(FIG3_APPROX_SCORES, 2).indices)
+        assert selected == {0, 2}
+
+    def test_step6_sparse_softmax(self):
+        # Step 6: softmax over the selected exact scores (1.17, 1.05) gives
+        # (0.53, 0.47); unselected candidates get probability 0.
+        selected_scores = FIG3_EXACT_SCORES[[0, 2]]
+        probs = softmax(selected_scores)
+        assert probs == pytest.approx([0.53, 0.47], abs=0.01)
+
+    def test_sparse_result_approximates_dense_result(self):
+        # The figure's point: (0.53, 0, 0.47, 0) approximates (0.41, 0.17, 0.37, 0.05).
+        dense = softmax(FIG3_EXACT_SCORES)
+        sparse = np.zeros(4)
+        sparse[[0, 2]] = softmax(FIG3_EXACT_SCORES[[0, 2]])
+        assert np.abs(dense - sparse).max() < 0.2
+        assert np.argmax(dense) == np.argmax(sparse)
+
+
+class TestFig3QuantizerBehaviour:
+    def test_four_bit_quantization_of_the_figure_matrix(self):
+        # Quantizing the figure's K matrix with the paper's formula keeps the
+        # element with the largest magnitude at level +/-7.
+        k_matrix = np.array(
+            [
+                [0.41, 1.09, 0.11],
+                [0.66, 1.88, 0.11],
+                [-1.95, 1.13, 1.41],
+                [1.48, 1.33, 0.41],
+            ]
+        )
+        q = quantize(k_matrix, 4)
+        assert np.abs(q.values).max() == 7
+        # Ordering of each column is preserved under quantization.
+        for col in range(3):
+            assert list(np.argsort(q.values[:, col], kind="stable")) == list(
+                np.argsort(k_matrix[:, col], kind="stable")
+            )

@@ -1,0 +1,107 @@
+"""Tests for the fused attention-row kernel (Fig. 4)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.loop_fusion import (
+    attention_row_reference,
+    fused_attention_row,
+    fused_loop_cycles,
+)
+
+
+class TestFusedAttentionRow:
+    def test_matches_unfused_reference(self, rng):
+        q = rng.normal(size=16)
+        keys = rng.normal(size=(10, 16))
+        values = rng.normal(size=(10, 16))
+        fused = fused_attention_row(q, keys, values)
+        ref_context, ref_probs = attention_row_reference(q, keys, values)
+        assert np.allclose(fused.context, ref_context)
+        assert np.allclose(fused.probs, ref_probs)
+
+    def test_probs_sum_to_one(self, rng):
+        q = rng.normal(size=8)
+        keys = rng.normal(size=(5, 8))
+        values = rng.normal(size=(5, 8))
+        assert fused_attention_row(q, keys, values).probs.sum() == pytest.approx(1.0)
+
+    def test_masked_candidates_get_zero_probability(self, rng):
+        q = rng.normal(size=8)
+        keys = rng.normal(size=(6, 8))
+        values = rng.normal(size=(6, 8))
+        mask = np.array([True, True, False, True, False, True])
+        result = fused_attention_row(q, keys, values, mask=mask)
+        assert np.all(result.probs[~mask] == 0.0)
+        assert result.probs.sum() == pytest.approx(1.0)
+
+    def test_all_masked_returns_zero_context(self, rng):
+        q = rng.normal(size=4)
+        keys = rng.normal(size=(3, 4))
+        values = rng.normal(size=(3, 4))
+        result = fused_attention_row(q, keys, values, mask=np.zeros(3, dtype=bool))
+        assert np.all(result.context == 0.0)
+
+    def test_scaling_applied_at_final_iteration(self, rng):
+        # The fused loop applies 1/sqrt(d) exactly once; the scores it exposes
+        # therefore equal the scaled dot products.
+        q = rng.normal(size=9)
+        keys = rng.normal(size=(4, 9))
+        values = rng.normal(size=(4, 9))
+        result = fused_attention_row(q, keys, values)
+        expected = keys @ q / np.sqrt(9)
+        assert np.allclose(result.scores, expected)
+
+    def test_shape_validation(self, rng):
+        with pytest.raises(ValueError):
+            fused_attention_row(rng.normal(size=4), rng.normal(size=(3, 5)), rng.normal(size=(3, 5)))
+        with pytest.raises(ValueError):
+            fused_attention_row(rng.normal(size=5), rng.normal(size=5), rng.normal(size=5))
+
+    def test_cycle_counts_reported(self, rng):
+        q = rng.normal(size=8)
+        keys = rng.normal(size=(12, 8))
+        values = rng.normal(size=(12, 8))
+        result = fused_attention_row(q, keys, values, unroll=4)
+        assert result.cycles_stage22 == fused_loop_cycles(12, 8, 4)
+        assert result.cycles_stage23 > 0
+
+
+class TestFusedLoopCycles:
+    def test_ii_one_loop_nest(self):
+        # head_dim iterations of the reduction, candidates/unroll inner trips.
+        assert fused_loop_cycles(num_candidates=30, head_dim=64, unroll=1) == 64 * 30
+
+    def test_unrolling_divides_inner_trip_count(self):
+        assert fused_loop_cycles(30, 64, unroll=2) == 64 * 15
+        assert fused_loop_cycles(30, 64, unroll=8) == 64 * 4  # ceil(30/8) = 4
+
+    def test_zero_candidates_cost_nothing(self):
+        assert fused_loop_cycles(0, 64) == 0
+
+    def test_unroll_speedup_is_monotone(self):
+        cycles = [fused_loop_cycles(100, 64, unroll=u) for u in (1, 2, 4, 8, 16)]
+        assert cycles == sorted(cycles, reverse=True)
+
+
+class TestFusedKernelProperties:
+    @given(
+        st.integers(2, 12),   # candidates
+        st.integers(2, 16),   # head_dim
+        st.integers(0, 2**32 - 1),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_fused_equals_reference_for_random_inputs(self, candidates, head_dim, seed):
+        """Loop fusion is a pure re-ordering: results match the naive kernel."""
+        rng = np.random.default_rng(seed)
+        q = rng.normal(size=head_dim)
+        keys = rng.normal(size=(candidates, head_dim))
+        values = rng.normal(size=(candidates, head_dim))
+        fused = fused_attention_row(q, keys, values)
+        ref_context, ref_probs = attention_row_reference(q, keys, values)
+        assert np.allclose(fused.context, ref_context, atol=1e-10)
+        assert np.allclose(fused.probs, ref_probs, atol=1e-10)

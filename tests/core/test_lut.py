@@ -1,0 +1,83 @@
+"""Tests for the look-up-table integer multiply model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.lut import MultiplyLUT, lut_matmul
+
+
+class TestMultiplyLUT:
+    def test_paper_table_size_for_four_bits(self):
+        # "if we multiply two 4-bit integers, the look-up table only needs 256 entries"
+        assert MultiplyLUT(4).num_entries == 256
+
+    def test_table_entries_are_exact_products(self):
+        lut = MultiplyLUT(3)
+        for a in range(-3, 4):
+            for b in range(-3, 4):
+                assert lut.multiply(np.array(a), np.array(b)) == a * b
+
+    def test_elementwise_multiply_matches_numpy(self, rng):
+        lut = MultiplyLUT(4)
+        a = rng.integers(-7, 8, size=(5, 6))
+        b = rng.integers(-7, 8, size=(5, 6))
+        assert np.array_equal(lut.multiply(a, b), a * b)
+
+    def test_matmul_matches_numpy(self, rng):
+        lut = MultiplyLUT(4)
+        a = rng.integers(-7, 8, size=(4, 9))
+        b = rng.integers(-7, 8, size=(9, 3))
+        assert np.array_equal(lut.matmul(a, b), a @ b)
+
+    def test_mixed_widths(self, rng):
+        lut = MultiplyLUT(4, 2)
+        a = rng.integers(-7, 8, size=8)
+        b = rng.integers(-1, 2, size=8)
+        assert np.array_equal(lut.multiply(a, b), a * b)
+
+    def test_out_of_range_operand_rejected(self):
+        lut = MultiplyLUT(4)
+        with pytest.raises(ValueError):
+            lut.multiply(np.array([8]), np.array([1]))
+        with pytest.raises(ValueError):
+            lut.multiply(np.array([1]), np.array([-8]))
+
+    def test_matmul_shape_mismatch_rejected(self):
+        lut = MultiplyLUT(4)
+        with pytest.raises(ValueError):
+            lut.matmul(np.zeros((2, 3), dtype=int), np.zeros((4, 2), dtype=int))
+
+    def test_storage_bits_scale_with_entries(self):
+        assert MultiplyLUT(4).storage_bits() == 256 * 8
+        assert MultiplyLUT(2).storage_bits() == 16 * 4
+
+    def test_invalid_bit_width_rejected(self):
+        with pytest.raises(ValueError):
+            MultiplyLUT(0)
+
+    def test_convenience_wrapper(self, rng):
+        a = rng.integers(-7, 8, size=(3, 4))
+        b = rng.integers(-7, 8, size=(4, 5))
+        assert np.array_equal(lut_matmul(a, b, bits=4), a @ b)
+
+
+class TestLutProperties:
+    @given(
+        st.integers(2, 5),
+        st.integers(1, 6),
+        st.integers(1, 6),
+        st.integers(1, 6),
+        st.integers(0, 2**32 - 1),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_matmul_always_exact(self, bits, m, k, n, seed):
+        """LUT-based matmul is bit-exact for any in-range operands."""
+        rng = np.random.default_rng(seed)
+        levels = 2 ** (bits - 1) - 1
+        a = rng.integers(-levels, levels + 1, size=(m, k))
+        b = rng.integers(-levels, levels + 1, size=(k, n))
+        assert np.array_equal(MultiplyLUT(bits).matmul(a, b), a @ b)

@@ -1,0 +1,150 @@
+"""Unit and property-based tests for the quantization primitives."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.quantization import (
+    QuantizedTensor,
+    compute_scale,
+    dequantize,
+    quantization_error,
+    quantization_levels,
+    quantize,
+    quantize_model_tensor,
+    quantize_symmetric,
+    sign_quantize,
+)
+
+
+class TestQuantizationLevels:
+    def test_four_bit_levels_match_paper(self):
+        # The paper's Fig. 3 example uses 2^3 - 1 = 7 as the 4-bit level count.
+        assert quantization_levels(4) == 7
+
+    def test_eight_bit_levels(self):
+        assert quantization_levels(8) == 127
+
+    def test_one_bit_is_sign(self):
+        assert quantization_levels(1) == 1
+
+    def test_invalid_bits_raise(self):
+        with pytest.raises(ValueError):
+            quantization_levels(0)
+
+
+class TestQuantize:
+    def test_values_bounded_by_levels(self, rng):
+        x = rng.normal(size=(8, 16))
+        q = quantize(x, 4)
+        assert np.all(np.abs(q.values) <= 7)
+        assert q.bits == 4
+
+    def test_round_trip_error_bounded_by_half_step(self, rng):
+        x = rng.normal(size=(32,))
+        q = quantize(x, 8)
+        recovered = q.dequantize()
+        assert np.max(np.abs(recovered - x)) <= 0.5 * q.scale + 1e-12
+
+    def test_max_abs_value_maps_to_max_level(self):
+        x = np.array([0.1, -0.77, 0.5])
+        q = quantize(x, 4)
+        assert np.abs(q.values).max() == 7
+
+    def test_zero_tensor_has_unit_scale(self):
+        q = quantize(np.zeros(5), 4)
+        assert q.scale == 1.0
+        assert np.all(q.values == 0)
+
+    def test_one_bit_is_sign_function(self):
+        x = np.array([-2.0, -0.1, 0.0, 0.3, 5.0])
+        q = quantize(x, 1)
+        assert list(q.values) == [-1, -1, 1, 1, 1]
+
+    def test_sign_quantize_helper(self):
+        x = np.array([[1.5, -0.2], [-3.0, 0.0]])
+        assert np.array_equal(sign_quantize(x), np.array([[1, -1], [-1, 1]]))
+
+    def test_dequantize_free_function_matches_method(self, rng):
+        x = rng.normal(size=10)
+        q = quantize(x, 4)
+        assert np.array_equal(dequantize(q), q.dequantize())
+
+    def test_quantized_tensor_levels_property(self):
+        q = QuantizedTensor(values=np.array([1, -2]), scale=0.5, bits=4)
+        assert q.levels == 7
+
+    def test_paper_fig3_scaling_factor(self):
+        # The K matrix in Fig. 3 has scaling factor M = 0.77 and each element
+        # is multiplied by (2^3 - 1) / 0.77 before rounding.
+        k = np.array(
+            [
+                [0.41, 1.09, 0.11],
+                [0.66, 1.88, 0.11],
+                [-1.95, 1.13, 1.41],
+                [1.48, 1.33, 0.41],
+            ]
+        )
+        q = quantize(k.T, 4)  # per-tensor scale uses the max |value| = 1.95
+        assert q.scale == pytest.approx(1.95 / 7)
+
+
+class TestFakeQuantization:
+    def test_symmetric_roundtrip_preserves_shape_and_dtype(self, rng):
+        x = rng.normal(size=(3, 5, 7))
+        y = quantize_symmetric(x, 8)
+        assert y.shape == x.shape
+        assert y.dtype == np.float64
+
+    def test_model_tensor_alias(self, rng):
+        x = rng.normal(size=(4, 4))
+        assert np.array_equal(quantize_model_tensor(x, 8), quantize_symmetric(x, 8))
+
+    def test_error_decreases_with_more_bits(self, rng):
+        x = rng.normal(size=1000)
+        errors = [quantization_error(x, bits) for bits in (2, 4, 6, 8)]
+        assert errors == sorted(errors, reverse=True)
+
+    def test_error_of_empty_tensor_is_zero(self):
+        assert quantization_error(np.array([]), 4) == 0.0
+
+    def test_eight_bit_error_is_small(self, rng):
+        x = rng.normal(size=500)
+        assert quantization_error(x, 8) < 0.05 * np.std(x)
+
+
+class TestQuantizationProperties:
+    @given(
+        arrays(np.float64, shape=st.integers(2, 40), elements=st.floats(-100, 100)),
+        st.integers(2, 8),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_monotonicity_preserved(self, x, bits):
+        """Quantization is monotone: order of values never inverts (only ties)."""
+        q = quantize(x, bits).values
+        order = np.argsort(x, kind="stable")
+        sorted_q = q[order]
+        assert np.all(np.diff(sorted_q) >= 0)
+
+    @given(
+        arrays(np.float64, shape=st.integers(1, 40), elements=st.floats(-1e4, 1e4)),
+        st.integers(2, 8),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_values_within_levels(self, x, bits):
+        q = quantize(x, bits)
+        assert np.all(np.abs(q.values) <= quantization_levels(bits))
+
+    @given(arrays(np.float64, shape=st.integers(1, 30), elements=st.floats(-50, 50)))
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_error_bounded(self, x):
+        q = quantize(x, 6)
+        assert np.max(np.abs(q.dequantize() - x)) <= 0.5 * q.scale + 1e-9
+
+    def test_scale_positive_for_nonzero_input(self, rng):
+        x = rng.normal(size=64)
+        assert compute_scale(x, 4) > 0

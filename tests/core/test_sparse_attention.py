@@ -1,0 +1,232 @@
+"""Tests for the quantized Top-k sparse attention operator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.sparse_attention import (
+    SparseAttentionConfig,
+    approximate_scores,
+    make_sparse_attention_impl,
+    select_candidates,
+    sparse_attention_head,
+    sparse_multi_head_attention,
+)
+from repro.transformer.attention import multi_head_attention, project_qkv, split_heads
+
+
+def _random_qkv(rng, seq=20, dim=16):
+    return (
+        rng.normal(size=(seq, dim)),
+        rng.normal(size=(seq, dim)),
+        rng.normal(size=(seq, dim)),
+    )
+
+
+class TestSparseAttentionConfig:
+    def test_defaults_match_paper_sweet_spot(self):
+        config = SparseAttentionConfig()
+        assert config.top_k == 30
+        assert config.quant_bits in (1, 4)
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ValueError):
+            SparseAttentionConfig(top_k=0)
+        with pytest.raises(ValueError):
+            SparseAttentionConfig(quant_bits=0)
+        with pytest.raises(ValueError):
+            SparseAttentionConfig(unroll=0)
+
+
+class TestApproximateScores:
+    def test_shape(self, rng):
+        q, k, _ = _random_qkv(rng)
+        assert approximate_scores(q, k, 4).shape == (20, 20)
+
+    def test_lut_path_matches_integer_matmul(self, rng):
+        q, k, _ = _random_qkv(rng, seq=8, dim=6)
+        assert np.array_equal(
+            approximate_scores(q, k, 4, use_lut=True),
+            approximate_scores(q, k, 4, use_lut=False),
+        )
+
+    def test_ranking_correlates_with_exact_scores(self, rng):
+        q, k, _ = _random_qkv(rng, seq=30, dim=32)
+        exact = q @ k.T
+        approx = approximate_scores(q, k, 4)
+        # Spearman-like check: the top-5 approximate candidates of each row
+        # recover most of the top-5 exact candidates.
+        overlaps = []
+        for row in range(30):
+            top_exact = set(np.argsort(exact[row])[-5:])
+            top_approx = set(np.argsort(approx[row])[-5:])
+            overlaps.append(len(top_exact & top_approx) / 5)
+        assert np.mean(overlaps) > 0.7
+
+    def test_one_bit_scores_are_bounded_by_dim(self, rng):
+        q, k, _ = _random_qkv(rng, seq=10, dim=12)
+        approx = approximate_scores(q, k, 1)
+        assert np.all(np.abs(approx) <= 12)
+
+
+class TestSelectCandidates:
+    def test_selects_top_k_per_row(self, rng):
+        scores = rng.integers(-50, 50, size=(6, 40))
+        selected = select_candidates(scores, 10)
+        assert len(selected) == 6
+        assert all(len(s) == 10 for s in selected)
+
+    def test_indices_sorted_ascending(self, rng):
+        scores = rng.integers(-50, 50, size=(3, 20))
+        for indices in select_candidates(scores, 5):
+            assert np.all(np.diff(indices) > 0)
+
+    def test_padding_keys_never_selected(self, rng):
+        scores = rng.integers(-50, 50, size=(4, 10))
+        key_mask = np.array([True] * 6 + [False] * 4)
+        for indices in select_candidates(scores, 8, key_mask):
+            assert np.all(indices < 6)
+            assert len(indices) == 6  # clipped to the number of valid keys
+
+    def test_fully_masked_row_returns_empty(self, rng):
+        scores = rng.integers(0, 5, size=(2, 4))
+        selected = select_candidates(scores, 2, np.zeros(4, dtype=bool))
+        assert all(len(s) == 0 for s in selected)
+
+    def test_requires_2d_scores(self):
+        with pytest.raises(ValueError):
+            select_candidates(np.zeros(4), 2)
+
+    def test_mask_shape_validated(self, rng):
+        with pytest.raises(ValueError):
+            select_candidates(rng.normal(size=(2, 4)), 2, np.ones(3, dtype=bool))
+
+
+class TestSparseAttentionHead:
+    def test_full_k_recovers_dense_attention(self, rng):
+        q, k, v = _random_qkv(rng, seq=12, dim=8)
+        config = SparseAttentionConfig(top_k=12, quant_bits=8)
+        result = sparse_attention_head(q, k, v, config)
+        dense = (lambda s: (np.exp(s - s.max(-1, keepdims=True)) / np.exp(s - s.max(-1, keepdims=True)).sum(-1, keepdims=True)))(
+            q @ k.T / np.sqrt(8)
+        )
+        assert np.allclose(result.probs, dense, atol=1e-8)
+        assert np.allclose(result.context, dense @ v, atol=1e-8)
+
+    def test_output_shapes(self, rng):
+        q, k, v = _random_qkv(rng)
+        result = sparse_attention_head(q, k, v, SparseAttentionConfig(top_k=5))
+        assert result.context.shape == (20, 16)
+        assert result.probs.shape == (20, 20)
+        assert len(result.selected) == 20
+
+    def test_row_probabilities_sum_to_one(self, rng):
+        q, k, v = _random_qkv(rng)
+        result = sparse_attention_head(q, k, v, SparseAttentionConfig(top_k=6))
+        assert np.allclose(result.probs.sum(axis=1), 1.0)
+
+    def test_unselected_positions_have_zero_probability(self, rng):
+        q, k, v = _random_qkv(rng)
+        result = sparse_attention_head(q, k, v, SparseAttentionConfig(top_k=4))
+        assert np.all((result.probs > 0).sum(axis=1) <= 4)
+
+    def test_sparsity_statistics(self, rng):
+        q, k, v = _random_qkv(rng, seq=40, dim=16)
+        result = sparse_attention_head(q, k, v, SparseAttentionConfig(top_k=8))
+        stats = result.stats
+        assert stats.selected_candidates == 40 * 8
+        assert stats.sparsity == pytest.approx(1 - 8 / 40)
+        assert stats.flop_reduction > 1.0
+
+    def test_top30_reduces_attention_complexity_by_80_percent(self, rng):
+        # Section 5.1: "With a Top-30 sparse attention, the attention
+        # computation complexity can be reduced by more than 80% in average"
+        # for the evaluated datasets (average length >= 150 here).
+        q, k, v = _random_qkv(rng, seq=160, dim=16)
+        result = sparse_attention_head(q, k, v, SparseAttentionConfig(top_k=30))
+        assert result.stats.sparsity > 0.8
+
+    def test_key_mask_respected(self, rng):
+        q, k, v = _random_qkv(rng, seq=10, dim=8)
+        key_mask = np.array([True] * 7 + [False] * 3)
+        result = sparse_attention_head(q, k, v, SparseAttentionConfig(top_k=5), key_mask)
+        assert np.all(result.probs[:, 7:] == 0.0)
+
+    def test_shape_mismatch_rejected(self, rng):
+        with pytest.raises(ValueError):
+            sparse_attention_head(
+                rng.normal(size=(5, 4)),
+                rng.normal(size=(6, 4)),
+                rng.normal(size=(5, 4)),
+                SparseAttentionConfig(top_k=2),
+            )
+
+
+class TestSparseMultiHeadAttention:
+    def test_output_matches_dense_when_k_covers_sequence(self, rng, tiny_weights):
+        layer = tiny_weights.layers[0].attention
+        hidden = rng.normal(size=(10, 64))
+        dense = multi_head_attention(hidden, layer, num_heads=4)
+        config = SparseAttentionConfig(top_k=10, quant_bits=8)
+        sparse = sparse_multi_head_attention(hidden, layer, 4, config=config)
+        assert np.allclose(sparse.output, dense.output, atol=1e-6)
+
+    def test_smaller_k_gives_larger_deviation(self, rng, tiny_weights):
+        layer = tiny_weights.layers[0].attention
+        hidden = rng.normal(size=(24, 64))
+        dense = multi_head_attention(hidden, layer, num_heads=4)
+        deviations = []
+        for k in (24, 8, 2):
+            sparse = sparse_multi_head_attention(
+                hidden, layer, 4, config=SparseAttentionConfig(top_k=k, quant_bits=4)
+            )
+            deviations.append(np.linalg.norm(sparse.output - dense.output))
+        assert deviations[0] <= deviations[1] <= deviations[2]
+
+    def test_padding_mask_zeroes_padded_probabilities(self, rng, tiny_weights):
+        layer = tiny_weights.layers[0].attention
+        hidden = rng.normal(size=(12, 64))
+        mask = np.array([True] * 9 + [False] * 3)
+        sparse = sparse_multi_head_attention(
+            hidden, layer, 4, mask=mask, config=SparseAttentionConfig(top_k=5)
+        )
+        assert np.all(sparse.probs[:, :, 9:] == 0.0)
+
+    def test_make_impl_carries_config(self):
+        impl = make_sparse_attention_impl(top_k=17, quant_bits=1)
+        assert impl.config.top_k == 17
+        assert impl.config.quant_bits == 1
+
+    def test_impl_signature_compatible_with_encoder(self, rng, tiny_weights):
+        impl = make_sparse_attention_impl(top_k=6)
+        hidden = rng.normal(size=(10, 64))
+        out = impl(hidden, tiny_weights.layers[0].attention, 4, None)
+        assert out.output.shape == (10, 64)
+
+
+class TestSparseAttentionProperties:
+    @given(st.integers(2, 16), st.integers(1, 16), st.integers(0, 2**32 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_probabilities_always_normalized(self, seq, top_k, seed):
+        """Sparse softmax rows always sum to 1 (over the selected candidates)."""
+        rng = np.random.default_rng(seed)
+        q = rng.normal(size=(seq, 8))
+        k = rng.normal(size=(seq, 8))
+        v = rng.normal(size=(seq, 8))
+        result = sparse_attention_head(q, k, v, SparseAttentionConfig(top_k=top_k))
+        assert np.allclose(result.probs.sum(axis=1), 1.0, atol=1e-9)
+
+    @given(st.integers(4, 20), st.integers(0, 2**32 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_selected_count_never_exceeds_k(self, seq, seed):
+        rng = np.random.default_rng(seed)
+        q = rng.normal(size=(seq, 8))
+        k = rng.normal(size=(seq, 8))
+        v = rng.normal(size=(seq, 8))
+        config = SparseAttentionConfig(top_k=5)
+        result = sparse_attention_head(q, k, v, config)
+        for indices in result.selected:
+            assert len(indices) <= 5

@@ -1,0 +1,137 @@
+"""Tests for the hardware-style Top-k selection unit."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.topk import StreamingTopK, TopKResult, topk_indices, topk_mask
+
+
+class TestTopKIndices:
+    def test_selects_largest_values(self):
+        scores = np.array([0.1, 5.0, -2.0, 3.0, 4.0])
+        result = topk_indices(scores, 3)
+        assert set(result.indices) == {1, 4, 3}
+
+    def test_values_sorted_descending(self):
+        scores = np.array([0.3, 0.9, 0.1, 0.5])
+        result = topk_indices(scores, 3)
+        assert list(result.values) == sorted(result.values, reverse=True)
+
+    def test_ties_prefer_lower_index(self):
+        scores = np.array([1.0, 2.0, 2.0, 0.5])
+        result = topk_indices(scores, 2)
+        assert list(result.indices) == [1, 2]
+
+    def test_k_clipped_to_length(self):
+        result = topk_indices(np.array([1.0, 2.0]), 10)
+        assert len(result) == 2
+
+    def test_invalid_k_rejected(self):
+        with pytest.raises(ValueError):
+            topk_indices(np.array([1.0]), 0)
+
+    def test_two_dimensional_input_rejected(self):
+        with pytest.raises(ValueError):
+            topk_indices(np.zeros((2, 2)), 1)
+
+    def test_paper_fig3_example(self):
+        # Fig. 3 step 4: approximate scores (48, 10, 41, -29) select k1 and k3.
+        approx = np.array([48.0, 10.0, 41.0, -29.0])
+        result = topk_indices(approx, 2)
+        assert set(result.indices) == {0, 2}
+
+
+class TestStreamingTopK:
+    def test_matches_vectorized_reference(self, rng):
+        scores = rng.normal(size=50)
+        unit = StreamingTopK(8)
+        for i, value in enumerate(scores):
+            unit.push(float(value), i)
+        streaming = unit.result()
+        reference = topk_indices(scores, 8)
+        assert np.array_equal(streaming.indices, reference.indices)
+        assert np.allclose(streaming.values, reference.values)
+
+    def test_cycles_equal_elements_streamed(self, rng):
+        unit = StreamingTopK(4)
+        for i in range(33):
+            unit.push(float(rng.normal()), i)
+        assert unit.cycles() == 33
+
+    def test_comparisons_are_counted(self):
+        unit = StreamingTopK(2)
+        for i, value in enumerate([1.0, 2.0, 3.0]):
+            unit.push(value, i)
+        assert unit.result().comparisons > 0
+
+    def test_fewer_elements_than_k(self):
+        unit = StreamingTopK(10)
+        unit.push(1.0, 0)
+        unit.push(2.0, 1)
+        result = unit.result()
+        assert len(result) == 2
+        assert list(result.indices) == [1, 0]
+
+    def test_invalid_k_rejected(self):
+        with pytest.raises(ValueError):
+            StreamingTopK(0)
+
+    def test_ties_keep_earlier_element(self):
+        unit = StreamingTopK(1)
+        unit.push(5.0, 0)
+        unit.push(5.0, 1)
+        assert list(unit.result().indices) == [0]
+
+
+class TestTopKMask:
+    def test_mask_selects_k_entries_per_row(self, rng):
+        scores = rng.normal(size=(6, 20))
+        mask = topk_mask(scores, 5)
+        assert mask.shape == scores.shape
+        assert np.all(mask.sum(axis=1) == 5)
+
+    def test_one_dimensional_mask(self):
+        mask = topk_mask(np.array([3.0, 1.0, 2.0]), 2)
+        assert list(mask) == [True, False, True]
+
+    def test_three_dimensional_rejected(self):
+        with pytest.raises(ValueError):
+            topk_mask(np.zeros((2, 2, 2)), 1)
+
+    def test_masked_entries_are_the_largest(self, rng):
+        scores = rng.normal(size=30)
+        mask = topk_mask(scores, 10)
+        assert scores[mask].min() >= scores[~mask].max()
+
+
+class TestTopKProperties:
+    @given(
+        arrays(np.float64, shape=st.integers(1, 60), elements=st.floats(-1e3, 1e3)),
+        st.integers(1, 20),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_streaming_equals_vectorized(self, scores, k):
+        """The cycle-level streaming unit and the vectorized reference agree."""
+        unit = StreamingTopK(k)
+        for i, value in enumerate(scores):
+            unit.push(float(value), i)
+        streaming = unit.result()
+        reference = topk_indices(scores, k)
+        assert np.array_equal(streaming.indices, reference.indices)
+
+    @given(
+        arrays(np.float64, shape=st.integers(1, 60), elements=st.floats(-1e3, 1e3)),
+        st.integers(1, 20),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_selected_values_dominate_unselected(self, scores, k):
+        result = topk_indices(scores, k)
+        selected = set(int(i) for i in result.indices)
+        unselected = [scores[i] for i in range(len(scores)) if i not in selected]
+        if unselected:
+            assert min(scores[i] for i in selected) >= max(unselected)

@@ -1,0 +1,89 @@
+"""Tests for the sequence-length distribution generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets.length_distributions import (
+    FIG5_EXAMPLE_LENGTHS,
+    length_statistics,
+    padding_overhead,
+    sample_lengths,
+)
+from repro.transformer.configs import MRPC, RTE, SQUAD_V11
+
+
+class TestSampleLengths:
+    def test_fig5_example_batch_matches_paper(self):
+        assert FIG5_EXAMPLE_LENGTHS == (140, 100, 82, 78, 72)
+
+    def test_deterministic_for_same_seed(self):
+        a = sample_lengths(SQUAD_V11, 100, seed=5)
+        b = sample_lengths(SQUAD_V11, 100, seed=5)
+        assert np.array_equal(a, b)
+
+    def test_lengths_respect_bounds(self):
+        for dataset in (SQUAD_V11, RTE, MRPC):
+            lengths = sample_lengths(dataset, 500)
+            assert lengths.min() >= dataset.min_length
+            assert lengths.max() <= dataset.max_length
+
+    def test_mean_close_to_table1_average(self):
+        for dataset in (SQUAD_V11, RTE, MRPC):
+            lengths = sample_lengths(dataset, 3000)
+            assert lengths.mean() == pytest.approx(dataset.avg_length, rel=0.15)
+
+    def test_maximum_is_reached(self):
+        lengths = sample_lengths(SQUAD_V11, 64)
+        assert lengths.max() == SQUAD_V11.max_length
+
+    def test_dataset_lookup_by_name(self):
+        lengths = sample_lengths("mrpc", 10)
+        assert lengths.max() <= MRPC.max_length
+
+    def test_invalid_count_rejected(self):
+        with pytest.raises(ValueError):
+            sample_lengths(SQUAD_V11, 0)
+
+    def test_distribution_is_right_skewed_for_squad(self):
+        lengths = sample_lengths(SQUAD_V11, 3000)
+        assert np.median(lengths) < lengths.mean()
+
+
+class TestStatisticsAndOverhead:
+    def test_length_statistics_fields(self):
+        stats = length_statistics(np.array([10, 20, 30]))
+        assert stats["min"] == 10
+        assert stats["max"] == 30
+        assert stats["avg"] == 20
+        assert stats["max_avg_ratio"] == pytest.approx(1.5)
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(ValueError):
+            length_statistics(np.array([]))
+        with pytest.raises(ValueError):
+            padding_overhead(np.array([]))
+
+    def test_padding_overhead_formula(self):
+        assert padding_overhead(np.array([50, 100])) == pytest.approx(200 / 150)
+
+    def test_padding_overhead_with_fixed_target(self):
+        assert padding_overhead(np.array([50, 100]), pad_to=200) == pytest.approx(400 / 150)
+
+    def test_uniform_batch_has_no_overhead(self):
+        assert padding_overhead(np.array([64, 64, 64])) == pytest.approx(1.0)
+
+    def test_squad_padding_overhead_is_large(self):
+        lengths = sample_lengths(SQUAD_V11, 1000)
+        assert padding_overhead(lengths, pad_to=SQUAD_V11.max_length) > 3.0
+
+    @given(st.integers(1, 200), st.integers(0, 2**31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_sampling_always_within_bounds(self, count, seed):
+        lengths = sample_lengths(RTE, count, seed=seed)
+        assert lengths.shape == (count,)
+        assert lengths.min() >= RTE.min_length
+        assert lengths.max() <= RTE.max_length

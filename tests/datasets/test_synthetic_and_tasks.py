@@ -1,0 +1,130 @@
+"""Tests for synthetic corpora, proxy tasks and batching."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.sparse_attention import make_sparse_attention_impl
+from repro.datasets.batching import make_batches, sorted_batches
+from repro.datasets.synthetic import (
+    CLS_TOKEN_ID,
+    SEP_TOKEN_ID,
+    generate_corpus,
+    generate_token_sequence,
+)
+from repro.datasets.tasks import build_proxy_task, evaluate_model_on_task
+from repro.transformer.configs import MRPC, SQUAD_V11
+from repro.transformer.model import TransformerModel
+
+
+class TestTokenGeneration:
+    def test_exact_length(self, rng, tiny_config):
+        seq = generate_token_sequence(37, tiny_config.vocab_size, rng)
+        assert seq.length == 37
+        assert seq.token_ids.shape == (37,)
+
+    def test_special_token_structure(self, rng, tiny_config):
+        seq = generate_token_sequence(20, tiny_config.vocab_size, rng)
+        assert seq.token_ids[0] == CLS_TOKEN_ID
+        assert seq.token_ids[-1] == SEP_TOKEN_ID
+        assert np.sum(seq.token_ids == SEP_TOKEN_ID) == 2  # sentence-pair input
+
+    def test_segment_ids_split_at_separator(self, rng, tiny_config):
+        seq = generate_token_sequence(30, tiny_config.vocab_size, rng)
+        assert seq.segment_ids[0] == 0
+        assert seq.segment_ids[-1] == 1
+
+    def test_single_segment_mode(self, rng, tiny_config):
+        seq = generate_token_sequence(20, tiny_config.vocab_size, rng, two_segments=False)
+        assert np.all(seq.segment_ids == 0)
+        assert np.sum(seq.token_ids == SEP_TOKEN_ID) == 1
+
+    def test_tokens_within_vocabulary(self, rng, tiny_config):
+        seq = generate_token_sequence(50, tiny_config.vocab_size, rng)
+        assert seq.token_ids.max() < tiny_config.vocab_size
+        assert seq.token_ids.min() >= 0
+
+    def test_too_short_sequence_rejected(self, rng, tiny_config):
+        with pytest.raises(ValueError):
+            generate_token_sequence(3, tiny_config.vocab_size, rng)
+
+
+class TestCorpus:
+    def test_corpus_size_and_determinism(self, tiny_config):
+        a = generate_corpus(MRPC, tiny_config, 10, seed=3)
+        b = generate_corpus(MRPC, tiny_config, 10, seed=3)
+        assert len(a) == 10
+        assert all(np.array_equal(x.token_ids, y.token_ids) for x, y in zip(a, b))
+
+    def test_length_cap_applied(self, tiny_config):
+        corpus = generate_corpus(SQUAD_V11, tiny_config, 20, max_length_cap=64)
+        assert max(seq.length for seq in corpus) <= 64
+
+    def test_lengths_respect_model_max_position(self, tiny_config):
+        corpus = generate_corpus(SQUAD_V11, tiny_config, 20)
+        assert max(seq.length for seq in corpus) <= tiny_config.max_position
+
+
+class TestProxyTasks:
+    def test_classification_task_for_mrpc(self, tiny_model):
+        task = build_proxy_task(MRPC, tiny_model, num_examples=4, max_length_cap=48)
+        assert task.task_type == "classification"
+        assert len(task) == 4
+        assert all(example.label in (0, 1) for example in task.examples)
+
+    def test_span_task_for_squad(self, tiny_model):
+        task = build_proxy_task(SQUAD_V11, tiny_model, num_examples=3, max_length_cap=48)
+        assert task.task_type == "span"
+        assert all(example.span is not None for example in task.examples)
+
+    def test_teacher_scores_perfectly_on_its_own_labels(self, tiny_model):
+        task = build_proxy_task(MRPC, tiny_model, num_examples=4, max_length_cap=48)
+        scores = evaluate_model_on_task(tiny_model, task)
+        assert scores["score"] == pytest.approx(100.0)
+
+    def test_sparse_teacher_rejected(self, tiny_model):
+        sparse = tiny_model.with_attention(make_sparse_attention_impl(top_k=4))
+        with pytest.raises(ValueError):
+            build_proxy_task(MRPC, sparse, num_examples=2)
+
+    def test_empty_task_rejected(self, tiny_model):
+        task = build_proxy_task(MRPC, tiny_model, num_examples=2, max_length_cap=48)
+        task.examples = []
+        with pytest.raises(ValueError):
+            evaluate_model_on_task(tiny_model, task)
+
+    def test_aggressive_sparsity_degrades_span_score(self, tiny_config):
+        teacher = TransformerModel(tiny_config, seed=2)
+        task = build_proxy_task(SQUAD_V11, teacher, num_examples=5, max_length_cap=96, seed=2)
+        sparse = teacher.with_attention(make_sparse_attention_impl(top_k=2, quant_bits=1))
+        scores = evaluate_model_on_task(sparse, task)
+        assert scores["score"] < 100.0
+
+    def test_task_lengths_exposed(self, tiny_model):
+        task = build_proxy_task(MRPC, tiny_model, num_examples=4, max_length_cap=48)
+        assert len(task.lengths) == 4
+        assert all(length >= 8 for length in task.lengths)
+
+
+class TestBatching:
+    def test_make_batches_sizes(self):
+        batches = make_batches(list(range(10)), batch_size=4)
+        assert [len(b) for b in batches] == [4, 4, 2]
+
+    def test_drop_last(self):
+        batches = make_batches(list(range(10)), batch_size=4, drop_last=True)
+        assert [len(b) for b in batches] == [4, 4]
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ValueError):
+            make_batches([1, 2], batch_size=0)
+
+    def test_sorted_batches_are_descending(self):
+        batches = sorted_batches([5, 100, 30, 70, 10, 60], batch_size=3)
+        assert batches[0] == [100, 70, 60]
+        assert batches[1] == [30, 10, 5]
+
+    def test_default_batch_size_is_sixteen(self):
+        batches = make_batches(list(range(40)))
+        assert len(batches[0]) == 16

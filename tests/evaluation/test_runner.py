@@ -1,0 +1,39 @@
+"""Tests for the run-everything experiment runner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation.runner import run_all_experiments
+
+
+class TestRunner:
+    @pytest.fixture(scope="class")
+    def reports(self, tmp_path_factory):
+        output_dir = tmp_path_factory.mktemp("reports")
+        return output_dir, run_all_experiments(output_dir=output_dir)
+
+    def test_all_fast_experiments_present(self, reports):
+        _, collected = reports
+        assert set(collected) == {"fig1", "table1", "fig5", "fig7a", "fig7b", "table2"}
+
+    def test_reports_are_rendered(self, reports):
+        _, collected = reports
+        for report in collected.values():
+            assert report.text.strip()
+            assert report.result is not None
+
+    def test_files_written(self, reports):
+        output_dir, collected = reports
+        for name in collected:
+            path = output_dir / f"{name}.txt"
+            assert path.exists()
+            assert path.read_text() == collected[name].text
+
+    def test_fig6_is_opt_in(self, reports):
+        _, collected = reports
+        assert "fig6" not in collected
+
+    def test_runner_without_output_dir(self):
+        collected = run_all_experiments()
+        assert "fig7a" in collected

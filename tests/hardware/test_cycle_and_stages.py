@@ -1,0 +1,128 @@
+"""Tests for the operator cycle model and the coarse-grained stage hardware."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware.buffers import BufferSizing
+from repro.hardware.cycle_model import OperatorCycleModel
+from repro.hardware.hbm import HbmModel
+from repro.hardware.stages import StageHardware, StageOperator
+from repro.operators.graph import Operator
+
+
+def _matmul_op(name="mm", flops_per_token=1_000_000, bytes_per_token=0):
+    return Operator(
+        name,
+        "matmul",
+        lambda s: flops_per_token * s,
+        (lambda s: bytes_per_token * s) if bytes_per_token else None,
+    )
+
+
+def _fabric_op(name="ew", work_per_token=1000):
+    return Operator(name, "elementwise", lambda s: work_per_token * s)
+
+
+class TestOperatorCycleModel:
+    def test_compute_cycles_scale_with_parallelism(self):
+        model = OperatorCycleModel(pipeline_depth=0)
+        op = _matmul_op()
+        assert model.compute_cycles(op, 10, 100) == pytest.approx(
+            model.compute_cycles(op, 10, 200) * 2, rel=0.01
+        )
+
+    def test_memory_bound_operator_detected(self):
+        model = OperatorCycleModel(hbm=HbmModel())
+        # Tiny compute, huge traffic.
+        op = Operator("dma", "misc", lambda s: s, bytes_moved=lambda s: 10_000_000 * s)
+        timing = model.timing(op, 10, parallelism=1024)
+        assert timing.memory_bound
+        assert timing.cycles == timing.memory_cycles
+
+    def test_compute_bound_operator(self):
+        model = OperatorCycleModel()
+        timing = model.timing(_matmul_op(bytes_per_token=1), 100, parallelism=8)
+        assert not timing.memory_bound
+
+    def test_zero_work_is_free(self):
+        model = OperatorCycleModel()
+        op = Operator("nop", "misc", lambda s: 0)
+        assert model.cycles(op, 100, 4) == 0
+
+    def test_invalid_parallelism_rejected(self):
+        with pytest.raises(ValueError):
+            OperatorCycleModel().compute_cycles(_matmul_op(), 10, 0)
+
+    def test_pipeline_depth_added_once(self):
+        model = OperatorCycleModel(pipeline_depth=100)
+        op = Operator("small", "matmul", lambda s: 2)
+        assert model.compute_cycles(op, 1, 1) == 101
+
+
+class TestStageHardware:
+    def _make_stage(self, intra_pipelined: bool) -> StageHardware:
+        return StageHardware(
+            name="stage",
+            operators=[
+                StageOperator(_matmul_op("mm1", 1_000_000), parallelism=100),
+                StageOperator(_matmul_op("mm2", 500_000), parallelism=50),
+                StageOperator(_fabric_op("ew"), parallelism=16),
+            ],
+            cycle_model=OperatorCycleModel(pipeline_depth=16),
+            intra_pipelined=intra_pipelined,
+            output_buffer=BufferSizing(name="out", bytes_per_slot=1024),
+        )
+
+    def test_sequential_stage_latency_is_sum(self):
+        stage = self._make_stage(intra_pipelined=False)
+        timings = stage.operator_timings(10)
+        assert stage.latency_cycles(10) == sum(t.cycles for t in timings)
+
+    def test_pipelined_stage_latency_is_max_plus_fill(self):
+        stage = self._make_stage(intra_pipelined=True)
+        timings = stage.operator_timings(10)
+        expected = max(t.cycles for t in timings) + 16 * (len(timings) - 1)
+        assert stage.latency_cycles(10) == expected
+
+    def test_pipelined_is_never_slower_than_sequential(self):
+        sequential = self._make_stage(intra_pipelined=False)
+        pipelined = self._make_stage(intra_pipelined=True)
+        for seq in (8, 64, 512):
+            assert pipelined.latency_cycles(seq) <= sequential.latency_cycles(seq)
+
+    def test_latency_monotone_in_sequence_length(self):
+        stage = self._make_stage(intra_pipelined=True)
+        assert stage.latency_cycles(100) < stage.latency_cycles(200)
+
+    def test_bottleneck_operator_identified(self):
+        stage = self._make_stage(intra_pipelined=True)
+        assert stage.bottleneck_operator(64).name == "mm1"
+
+    def test_resources_include_operators_and_buffer(self):
+        stage = self._make_stage(intra_pipelined=True)
+        assert stage.resources().dsp == 100 + 50 + 16
+        assert stage.resources().bram >= 1
+
+    def test_replication_scales_resources(self):
+        stage = self._make_stage(intra_pipelined=True)
+        stage.replication = 2
+        assert stage.total_resources().dsp == 2 * stage.resources().dsp
+
+    def test_latency_seconds(self):
+        stage = self._make_stage(intra_pipelined=True)
+        assert stage.latency_seconds(64, 200e6) == pytest.approx(
+            stage.latency_cycles(64) / 200e6
+        )
+
+    def test_empty_stage_rejected(self):
+        with pytest.raises(ValueError):
+            StageHardware(name="empty", operators=[])
+
+    def test_invalid_parallelism_rejected(self):
+        with pytest.raises(ValueError):
+            StageOperator(_matmul_op(), parallelism=0)
+
+    def test_operator_names_listed(self):
+        stage = self._make_stage(intra_pipelined=False)
+        assert stage.operator_names() == ["mm1", "mm2", "ew"]

@@ -1,0 +1,133 @@
+"""Tests for the HBM, PE-array and buffer models."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import config as global_config
+from repro.hardware.buffers import BufferSizing, DoubleBuffer, bram_blocks_for_bytes
+from repro.hardware.hbm import HbmModel
+from repro.hardware.pe_array import MatMulUnit, PeArrayGeometry
+
+
+class TestHbmModel:
+    def test_default_matches_paper_bandwidth(self):
+        assert HbmModel().peak_bandwidth == global_config.FPGA_HBM_BANDWIDTH
+
+    def test_transfer_cycles_scale_linearly(self):
+        hbm = HbmModel()
+        assert hbm.transfer_cycles(2_000_000) == pytest.approx(
+            2 * hbm.transfer_cycles(1_000_000), rel=0.01
+        )
+
+    def test_zero_bytes_cost_nothing(self):
+        assert HbmModel().transfer_cycles(0) == 0
+
+    def test_minimum_one_cycle(self):
+        assert HbmModel().transfer_cycles(1) == 1
+
+    def test_partial_channels_reduce_bandwidth(self):
+        hbm = HbmModel()
+        full = hbm.transfer_cycles(10_000_000)
+        half = hbm.transfer_cycles(10_000_000, channels_used=16)
+        assert half == pytest.approx(2 * full, rel=0.01)
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(ValueError):
+            HbmModel(efficiency=0.0)
+        with pytest.raises(ValueError):
+            HbmModel().transfer_cycles(-1)
+        with pytest.raises(ValueError):
+            HbmModel().transfer_cycles(10, channels_used=64)
+
+    def test_transfer_seconds_consistent_with_cycles(self):
+        hbm = HbmModel()
+        assert hbm.transfer_seconds(10_000_000) == pytest.approx(
+            hbm.transfer_cycles(10_000_000) / hbm.clock_hz
+        )
+
+
+class TestMatMulUnit:
+    def test_parallelism_is_pe_count(self):
+        unit = MatMulUnit(PeArrayGeometry(rows=8, cols=16))
+        assert unit.parallelism == 128
+
+    def test_matmul_cycles_roofline(self):
+        unit = MatMulUnit(PeArrayGeometry(4, 4), pipeline_depth=8)
+        # 8x8x8 macs = 512, 16 PEs -> 32 steady cycles + 8 fill.
+        assert unit.matmul_cycles(8, 8, 8) == 40
+
+    def test_empty_matmul_is_free(self):
+        unit = MatMulUnit(PeArrayGeometry(4, 4))
+        assert unit.matmul_cycles(0, 8, 8) == 0
+
+    def test_flops_cycles(self):
+        unit = MatMulUnit(PeArrayGeometry(2, 2), pipeline_depth=0)
+        assert unit.flops_cycles(2 * 64) == 16  # 64 MACs over 4 PEs
+
+    def test_throughput(self):
+        unit = MatMulUnit(PeArrayGeometry(10, 10))
+        assert unit.throughput_ops(200e6) == pytest.approx(2 * 100 * 200e6)
+
+    def test_resources_match_parallelism(self):
+        unit = MatMulUnit(PeArrayGeometry(4, 8))
+        assert unit.resources().dsp == 32
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            PeArrayGeometry(0, 4)
+
+
+class TestBuffers:
+    def test_bram_blocks_for_bytes(self):
+        assert bram_blocks_for_bytes(0) == 0
+        assert bram_blocks_for_bytes(1) == 1
+        assert bram_blocks_for_bytes(4608) == 1
+        assert bram_blocks_for_bytes(4609) == 2
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            bram_blocks_for_bytes(-1)
+
+    def test_buffer_sizing_resources(self):
+        sizing = BufferSizing(name="s1", bytes_per_slot=10_000, num_slots=2)
+        assert sizing.total_bytes == 20_000
+        assert sizing.resources().bram == bram_blocks_for_bytes(20_000)
+
+    def test_double_buffer_push_pop_fifo_order(self):
+        buffer = DoubleBuffer(name="b")
+        buffer.push("a")
+        buffer.push("b")
+        assert buffer.is_full
+        assert buffer.pop() == "a"
+        assert buffer.pop() == "b"
+        assert buffer.is_empty
+
+    def test_overflow_and_underflow_rejected(self):
+        buffer = DoubleBuffer(num_slots=1)
+        buffer.push(1)
+        with pytest.raises(RuntimeError):
+            buffer.push(2)
+        buffer.pop()
+        with pytest.raises(RuntimeError):
+            buffer.pop()
+
+    def test_peek_and_reset(self):
+        buffer = DoubleBuffer()
+        buffer.push(42)
+        assert buffer.peek() == 42
+        assert buffer.occupancy == 1
+        buffer.reset()
+        assert buffer.is_empty
+
+    def test_invalid_slot_count_rejected(self):
+        with pytest.raises(ValueError):
+            DoubleBuffer(num_slots=0)
+
+    @given(st.integers(0, 10_000_000))
+    @settings(max_examples=40, deadline=None)
+    def test_hbm_cycles_non_negative_and_monotone(self, num_bytes):
+        hbm = HbmModel()
+        assert hbm.transfer_cycles(num_bytes) <= hbm.transfer_cycles(num_bytes + 4096)

@@ -1,0 +1,114 @@
+"""Tests for the FPGA resource model."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import config as global_config
+from repro.hardware.resources import (
+    FpgaResources,
+    ResourceBudget,
+    U280_SLR0,
+    resources_for_matmul,
+    resources_for_operator,
+)
+
+
+class TestFpgaResources:
+    def test_addition_and_subtraction(self):
+        a = FpgaResources(dsp=10, bram=2, lut=100, ff=200)
+        b = FpgaResources(dsp=5, bram=1, lut=50, ff=25)
+        assert (a + b).dsp == 15
+        assert (a - b).lut == 50
+
+    def test_scaling(self):
+        a = FpgaResources(dsp=3, bram=1, lut=10, ff=20)
+        assert a.scaled(4) == FpgaResources(dsp=12, bram=4, lut=40, ff=80)
+
+    def test_fits_within(self):
+        small = FpgaResources(dsp=10, bram=1, lut=10, ff=10)
+        assert small.fits_within(U280_SLR0)
+        assert not U280_SLR0.fits_within(small)
+
+    def test_utilization_fractions(self):
+        used = FpgaResources(dsp=1500, bram=336, lut=215_000, ff=430_000)
+        util = used.utilization(U280_SLR0)
+        assert util["dsp"] == pytest.approx(0.5)
+        assert util["bram"] == pytest.approx(0.5)
+
+    def test_u280_slr0_matches_paper_constants(self):
+        assert U280_SLR0.dsp == global_config.FPGA_DSP_SLR0 == 3000
+
+
+class TestResourceBudget:
+    def test_allocate_and_release(self):
+        budget = ResourceBudget(FpgaResources(dsp=100, bram=10, lut=1000, ff=1000))
+        request = FpgaResources(dsp=60, bram=2, lut=100, ff=100)
+        budget.allocate(request)
+        assert budget.remaining.dsp == 40
+        budget.release(request)
+        assert budget.remaining.dsp == 100
+
+    def test_over_allocation_rejected(self):
+        budget = ResourceBudget(FpgaResources(dsp=10, bram=10, lut=10, ff=10))
+        with pytest.raises(ValueError):
+            budget.allocate(FpgaResources(dsp=11))
+
+    def test_can_allocate_does_not_mutate(self):
+        budget = ResourceBudget(FpgaResources(dsp=10, bram=10, lut=10, ff=10))
+        assert budget.can_allocate(FpgaResources(dsp=10))
+        assert budget.allocated.dsp == 0
+
+    def test_release_more_than_allocated_rejected(self):
+        budget = ResourceBudget(FpgaResources(dsp=10, bram=10, lut=10, ff=10))
+        with pytest.raises(ValueError):
+            budget.release(FpgaResources(dsp=1))
+
+    def test_reset(self):
+        budget = ResourceBudget(FpgaResources(dsp=10, bram=10, lut=10, ff=10))
+        budget.allocate(FpgaResources(dsp=5))
+        budget.reset()
+        assert budget.allocated.dsp == 0
+
+    def test_utilization_reporting(self):
+        budget = ResourceBudget(FpgaResources(dsp=100, bram=100, lut=100, ff=100))
+        budget.allocate(FpgaResources(dsp=25, bram=50, lut=10, ff=1))
+        util = budget.utilization()
+        assert util["dsp"] == pytest.approx(0.25)
+        assert util["bram"] == pytest.approx(0.5)
+
+
+class TestOperatorResourceCosts:
+    def test_matmul_uses_one_dsp_per_mac_lane(self):
+        # Section 5.2: "8 bits fixed-point number multiply & accumulate
+        # consumes 1 DSP unit".
+        assert resources_for_matmul(64).dsp == 64
+
+    def test_invalid_parallelism_rejected(self):
+        with pytest.raises(ValueError):
+            resources_for_matmul(0)
+        with pytest.raises(ValueError):
+            resources_for_operator("softmax", 0)
+
+    def test_lut_operator_consumes_no_dsp(self):
+        assert resources_for_operator("lut", 128).dsp == 0
+
+    def test_select_operator_consumes_no_dsp(self):
+        assert resources_for_operator("select", 16).dsp == 0
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            resources_for_operator("fft", 4)
+
+    def test_matmul_kind_routes_to_matmul_cost(self):
+        assert resources_for_operator("matmul", 32) == resources_for_matmul(32)
+
+    @given(st.integers(1, 2048))
+    @settings(max_examples=40, deadline=None)
+    def test_costs_monotone_in_parallelism(self, parallelism):
+        smaller = resources_for_matmul(parallelism)
+        larger = resources_for_matmul(parallelism + 16)
+        assert larger.dsp > smaller.dsp
+        assert larger.lut > smaller.lut

@@ -1,0 +1,92 @@
+"""Tests for the roofline / CTC-ratio analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware.accelerator import build_baseline_accelerator, build_sparse_accelerator
+from repro.hardware.roofline import (
+    DeviceRoofline,
+    accelerator_roofline,
+    ctc_ratio,
+    device_roofline,
+    stage_roofline,
+)
+from repro.transformer.configs import BERT_BASE
+
+
+@pytest.fixture(scope="module")
+def accelerator():
+    return build_sparse_accelerator(BERT_BASE, top_k=30, avg_seq=128, max_seq=512)
+
+
+class TestDeviceRoofline:
+    def test_ridge_point(self):
+        roof = DeviceRoofline(peak_ops_per_second=1.2e12, memory_bandwidth=400e9)
+        assert roof.ridge_operational_intensity == pytest.approx(3.0)
+
+    def test_attainable_performance_clips_at_peak(self):
+        roof = DeviceRoofline(peak_ops_per_second=1.2e12, memory_bandwidth=400e9)
+        assert roof.attainable(1.0) == pytest.approx(400e9)
+        assert roof.attainable(100.0) == pytest.approx(1.2e12)
+        assert roof.attainable(0.0) == 0.0
+
+    def test_device_roofline_from_accelerator(self, accelerator):
+        roof = device_roofline(accelerator)
+        assert roof.peak_ops_per_second == pytest.approx(accelerator.peak_ops())
+        assert roof.ridge_operational_intensity > 0
+
+
+class TestStageRoofline:
+    def test_every_stage_gets_a_point(self, accelerator):
+        points = accelerator_roofline(accelerator, 128)
+        assert len(points) == len(accelerator.stages)
+        assert all(point.operations > 0 for point in points)
+
+    def test_stages_are_compute_bound_at_the_design_point(self, accelerator):
+        # The paper's argument: on-chip buffering raises the CTC ratio until
+        # the stages sit at the computation roof.
+        points = accelerator_roofline(accelerator, 128)
+        assert all(point.compute_bound for point in points)
+
+    def test_attained_performance_below_stage_peak(self, accelerator):
+        for point in accelerator_roofline(accelerator, 128):
+            assert point.attained_ops_per_second <= point.peak_ops_per_second * 1.05
+
+    def test_row_serialization(self, accelerator):
+        row = stage_roofline(accelerator.stages[0], 128, accelerator.clock_hz).as_row()
+        assert set(row) == {"stage", "ops_per_byte", "attained_gops", "bound"}
+
+
+class TestCtcRatio:
+    def test_proposed_stages_keep_high_ctc_at_long_lengths(self):
+        # The paper's CTC argument: on-chip buffering keeps every coarse stage
+        # well above the device's ridge point even at the maximum SQuAD
+        # length.  The matmul-heavy stages perform hundreds of ops per byte;
+        # the candidate-loading attention stage is the most memory-intensive
+        # one but still stays comfortably compute-bound.
+        sparse = build_sparse_accelerator(BERT_BASE, top_k=30, avg_seq=177, max_seq=821)
+        ratios = {stage.name: ctc_ratio(stage, 821) for stage in sparse.stages}
+        assert ratios["MM|At-Sel"] > 100.0
+        assert ratios["FdFwd"] > 100.0
+        assert ratios["At-Comp"] > 10.0
+
+    def test_ctc_is_infinite_for_fully_onchip_stage(self, accelerator):
+        attention_stage = accelerator.stage_by_name("At-Comp")
+        # Remove the only operator with traffic to emulate a fully on-chip stage.
+        onchip_ops = [so for so in attention_stage.operators if so.operator.traffic(128) == 0]
+        attention_stage_onchip = type(attention_stage)(
+            name="onchip",
+            operators=onchip_ops,
+            cycle_model=attention_stage.cycle_model,
+            intra_pipelined=True,
+        )
+        assert ctc_ratio(attention_stage_onchip, 128) == float("inf")
+
+    def test_ctc_grows_with_topk_sparsity(self):
+        # Fewer candidates -> less K/V traffic per unit of qkv work in stage 2.
+        dense_baseline = build_baseline_accelerator(BERT_BASE, avg_seq=177, max_seq=821)
+        sparse = build_sparse_accelerator(BERT_BASE, top_k=30, avg_seq=177, max_seq=821)
+        dense_attention = dense_baseline.stage_by_name("At-Comp")
+        sparse_attention = sparse.stage_by_name("At-Comp")
+        assert ctc_ratio(sparse_attention, 821) != ctc_ratio(dense_attention, 821)

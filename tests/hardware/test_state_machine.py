@@ -1,0 +1,78 @@
+"""Tests for the Fig. 2(b) encoder stage state machine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware.state_machine import (
+    EncoderState,
+    IllegalTransitionError,
+    StageStateMachine,
+)
+
+
+def _run_one_layer(machine: StageStateMachine, start: int = 0, stage_cycles: int = 10) -> int:
+    t = start
+    for state in (EncoderState.MM_ATSEL, EncoderState.ATTENTION, EncoderState.FEEDFORWARD):
+        machine.transition(state, t, t + stage_cycles)
+        t += stage_cycles
+    return t
+
+
+class TestStateMachine:
+    def test_single_layer_walkthrough(self):
+        machine = StageStateMachine(sequence_id=0, num_layers=1)
+        _run_one_layer(machine)
+        machine.finish()
+        assert machine.is_done
+
+    def test_multi_layer_walkthrough(self):
+        machine = StageStateMachine(sequence_id=1, num_layers=3)
+        t = 0
+        for _ in range(3):
+            t = _run_one_layer(machine, t)
+        machine.finish()
+        assert machine.is_done
+        assert machine.layer == 2
+
+    def test_skipping_attention_is_illegal(self):
+        machine = StageStateMachine(sequence_id=0, num_layers=1)
+        machine.transition(EncoderState.MM_ATSEL, 0, 5)
+        with pytest.raises(IllegalTransitionError):
+            machine.transition(EncoderState.FEEDFORWARD, 5, 10)
+
+    def test_finishing_early_is_illegal(self):
+        machine = StageStateMachine(sequence_id=0, num_layers=2)
+        _run_one_layer(machine)
+        with pytest.raises(IllegalTransitionError):
+            machine.finish()
+
+    def test_finishing_from_wrong_state_is_illegal(self):
+        machine = StageStateMachine(sequence_id=0, num_layers=1)
+        machine.transition(EncoderState.MM_ATSEL, 0, 5)
+        with pytest.raises(IllegalTransitionError):
+            machine.finish()
+
+    def test_extra_layer_is_illegal(self):
+        machine = StageStateMachine(sequence_id=0, num_layers=1)
+        _run_one_layer(machine)
+        with pytest.raises(IllegalTransitionError):
+            machine.transition(EncoderState.MM_ATSEL, 30, 40)
+
+    def test_negative_duration_rejected(self):
+        machine = StageStateMachine(sequence_id=0, num_layers=1)
+        with pytest.raises(ValueError):
+            machine.transition(EncoderState.MM_ATSEL, 10, 5)
+
+    def test_busy_cycle_accounting(self):
+        machine = StageStateMachine(sequence_id=0, num_layers=2)
+        t = _run_one_layer(machine, 0, stage_cycles=10)
+        _run_one_layer(machine, t, stage_cycles=20)
+        assert machine.total_busy_cycles() == 3 * 10 + 3 * 20
+        assert machine.cycles_in_state[EncoderState.MM_ATSEL.value] == 30
+
+    def test_history_records_every_transition(self):
+        machine = StageStateMachine(sequence_id=0, num_layers=1)
+        _run_one_layer(machine)
+        machine.finish()
+        assert len(machine.history) == 4  # three stages + END

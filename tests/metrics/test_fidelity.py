@@ -1,0 +1,89 @@
+"""Tests for the attention-fidelity metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.sparse_attention import SparseAttentionConfig, sparse_attention_head
+from repro.metrics.fidelity import attention_mass_coverage, output_relative_error, topk_recall
+from repro.transformer.functional import softmax
+
+
+class TestTopkRecall:
+    def test_perfect_recall_when_selection_matches(self):
+        scores = np.array([[1.0, 5.0, 3.0, 0.0]])
+        assert topk_recall(scores, [np.array([1, 2])], k=2) == 1.0
+
+    def test_zero_recall_when_disjoint(self):
+        scores = np.array([[9.0, 8.0, 1.0, 0.0]])
+        assert topk_recall(scores, [np.array([2, 3])], k=2) == 0.0
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            topk_recall(np.zeros(4), [np.array([0])], k=1)
+        with pytest.raises(ValueError):
+            topk_recall(np.zeros((2, 4)), [np.array([0])], k=1)
+
+    def test_quantized_selection_has_high_recall(self, rng):
+        q = rng.normal(size=(24, 32))
+        k = rng.normal(size=(24, 32))
+        v = rng.normal(size=(24, 32))
+        result = sparse_attention_head(q, k, v, SparseAttentionConfig(top_k=8, quant_bits=4))
+        exact = q @ k.T
+        assert topk_recall(exact, result.selected, k=8) > 0.7
+
+
+class TestMassCoverage:
+    def test_full_selection_covers_everything(self, rng):
+        probs = softmax(rng.normal(size=(3, 6)))
+        selected = [np.arange(6)] * 3
+        assert attention_mass_coverage(probs, selected) == pytest.approx(1.0)
+
+    def test_partial_selection_covers_less(self, rng):
+        probs = softmax(rng.normal(size=(3, 10)))
+        selected = [np.array([0, 1])] * 3
+        assert attention_mass_coverage(probs, selected) < 1.0
+
+    def test_topk_selection_covers_most_mass(self, rng):
+        q = rng.normal(size=(16, 32))
+        k = rng.normal(size=(16, 32))
+        v = rng.normal(size=(16, 32))
+        result = sparse_attention_head(q, k, v, SparseAttentionConfig(top_k=8, quant_bits=4))
+        dense_probs = softmax(q @ k.T / np.sqrt(32))
+        assert attention_mass_coverage(dense_probs, result.selected) > 0.7
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            attention_mass_coverage(np.zeros(4), [np.array([0])])
+
+
+class TestOutputError:
+    def test_zero_for_identical_outputs(self, rng):
+        x = rng.normal(size=(5, 8))
+        assert output_relative_error(x, x) == 0.0
+
+    def test_scale_invariant_definition(self, rng):
+        x = rng.normal(size=(5, 8))
+        noisy = x + 0.1 * np.linalg.norm(x) / np.sqrt(x.size) * rng.normal(size=x.shape)
+        error = output_relative_error(x, noisy)
+        assert 0.0 < error < 0.3
+
+    def test_error_decreases_with_larger_k(self, rng):
+        q = rng.normal(size=(32, 16))
+        k = rng.normal(size=(32, 16))
+        v = rng.normal(size=(32, 16))
+        dense_probs = softmax(q @ k.T / np.sqrt(16))
+        dense_output = dense_probs @ v
+        errors = []
+        for top_k in (4, 16, 32):
+            result = sparse_attention_head(q, k, v, SparseAttentionConfig(top_k=top_k, quant_bits=8))
+            errors.append(output_relative_error(dense_output, result.context))
+        assert errors[0] >= errors[1] >= errors[2]
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            output_relative_error(np.zeros((2, 2)), np.zeros((3, 2)))
+
+    def test_zero_reference_is_defined(self):
+        assert output_relative_error(np.zeros((2, 2)), np.ones((2, 2))) == 0.0

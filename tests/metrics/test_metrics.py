@@ -1,0 +1,111 @@
+"""Tests for accuracy, throughput and energy metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics.accuracy import (
+    accuracy_score,
+    binary_f1_score,
+    exact_match,
+    prediction_agreement,
+    span_f1_score,
+)
+from repro.metrics.throughput import (
+    energy_efficiency_gopj,
+    geomean,
+    gops,
+    sequences_per_second,
+    speedup,
+)
+
+
+class TestAccuracyMetrics:
+    def test_accuracy_score(self):
+        assert accuracy_score(np.array([1, 0, 1]), np.array([1, 1, 1])) == pytest.approx(2 / 3)
+
+    def test_accuracy_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            accuracy_score(np.array([1]), np.array([1, 2]))
+
+    def test_accuracy_empty_rejected(self):
+        with pytest.raises(ValueError):
+            accuracy_score(np.array([]), np.array([]))
+
+    def test_binary_f1_perfect(self):
+        labels = np.array([1, 0, 1, 1])
+        assert binary_f1_score(labels, labels) == 1.0
+
+    def test_binary_f1_no_positives_predicted(self):
+        assert binary_f1_score(np.array([1, 1]), np.array([0, 0])) == 0.0
+
+    def test_binary_f1_all_negative_agreement(self):
+        assert binary_f1_score(np.array([0, 0]), np.array([0, 0])) == 1.0
+
+    def test_binary_f1_mixed(self):
+        labels = np.array([1, 1, 0, 0])
+        preds = np.array([1, 0, 1, 0])
+        # precision = 1/2, recall = 1/2 -> F1 = 1/2
+        assert binary_f1_score(labels, preds) == pytest.approx(0.5)
+
+    def test_span_f1_exact(self):
+        assert span_f1_score((3, 7), (3, 7)) == 1.0
+
+    def test_span_f1_partial_overlap(self):
+        # gold {2..5}, pred {4..7}: overlap 2, precision 0.5, recall 0.5.
+        assert span_f1_score((2, 5), (4, 7)) == pytest.approx(0.5)
+
+    def test_span_f1_disjoint(self):
+        assert span_f1_score((0, 2), (5, 7)) == 0.0
+
+    def test_span_f1_degenerate_spans(self):
+        assert span_f1_score((5, 2), (7, 3)) == 1.0  # both empty
+        assert span_f1_score((0, 1), (7, 3)) == 0.0
+
+    def test_exact_match(self):
+        assert exact_match((1, 2), (1, 2)) == 1.0
+        assert exact_match((1, 2), (1, 3)) == 0.0
+
+    def test_prediction_agreement_alias(self):
+        a = np.array([1, 2, 3])
+        b = np.array([1, 2, 4])
+        assert prediction_agreement(a, b) == pytest.approx(2 / 3)
+
+
+class TestThroughputMetrics:
+    def test_gops(self):
+        assert gops(2e12, 2.0) == pytest.approx(1000.0)
+
+    def test_gops_invalid_time(self):
+        with pytest.raises(ValueError):
+            gops(1e9, 0.0)
+
+    def test_speedup(self):
+        assert speedup(10.0, 2.0) == 5.0
+        with pytest.raises(ValueError):
+            speedup(1.0, 0.0)
+
+    def test_geomean_matches_known_value(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+        assert geomean([80.2]) == pytest.approx(80.2)
+
+    def test_geomean_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])
+        with pytest.raises(ValueError):
+            geomean([])
+
+    def test_energy_efficiency(self):
+        assert energy_efficiency_gopj(1e12, 1.0, 100.0) == pytest.approx(10.0)
+
+    def test_sequences_per_second(self):
+        assert sequences_per_second(16, 0.5) == 32.0
+
+    @given(st.lists(st.floats(0.1, 1000.0), min_size=1, max_size=10))
+    @settings(max_examples=50, deadline=None)
+    def test_geomean_bounded_by_min_and_max(self, values):
+        g = geomean(values)
+        assert min(values) - 1e-9 <= g <= max(values) + 1e-9

@@ -1,0 +1,78 @@
+"""Tests for the concrete encoder operator graphs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.operators.encoder_graph import (
+    STAGE1_OPERATORS,
+    STAGE2_OPERATORS,
+    STAGE3_OPERATORS,
+    build_dense_encoder_graph,
+    build_sparse_encoder_graph,
+)
+from repro.transformer.configs import BERT_BASE
+
+
+class TestDenseGraph:
+    def test_is_a_connected_chain(self):
+        graph = build_dense_encoder_graph(BERT_BASE)
+        assert len(graph.sources()) == 1
+        assert len(graph.sinks()) == 1
+        graph.topological_order()  # must not raise
+
+    def test_contains_standard_encoder_operators(self):
+        graph = build_dense_encoder_graph(BERT_BASE)
+        for name in ("qkv_linear", "attention_scores", "softmax", "ffn_linear1", "ffn_layernorm"):
+            assert name in graph
+
+    def test_attention_scores_scale_quadratically(self):
+        graph = build_dense_encoder_graph(BERT_BASE)
+        op = graph.operator("attention_scores")
+        assert op.weight(256) == pytest.approx(4 * op.weight(128))
+
+    def test_ffn_scales_linearly(self):
+        graph = build_dense_encoder_graph(BERT_BASE)
+        op = graph.operator("ffn_linear1")
+        assert op.weight(256) == 2 * op.weight(128)
+
+
+class TestSparseGraph:
+    def test_contains_pre_selection_operators(self):
+        graph = build_sparse_encoder_graph(BERT_BASE, top_k=30)
+        for name in ("qk_quantize", "approx_scores", "topk_select", "candidate_load"):
+            assert name in graph
+
+    def test_stage_groups_cover_all_operators(self):
+        graph = build_sparse_encoder_graph(BERT_BASE, top_k=30)
+        grouped = set(STAGE1_OPERATORS) | set(STAGE2_OPERATORS) | set(STAGE3_OPERATORS)
+        assert {op.name for op in graph.operators} == grouped
+
+    def test_exact_attention_work_is_linear_in_sequence_length(self):
+        graph = build_sparse_encoder_graph(BERT_BASE, top_k=30)
+        op = graph.operator("sparse_scores_exp")
+        assert op.weight(800) == pytest.approx(2 * op.weight(400), rel=0.02)
+
+    def test_exact_attention_work_saturates_for_short_sequences(self):
+        # For sequences shorter than k the effective k equals the length.
+        graph = build_sparse_encoder_graph(BERT_BASE, top_k=30)
+        op = graph.operator("sparse_scores_exp")
+        assert op.weight(10) < op.weight(30)
+
+    def test_sparse_total_work_below_dense_at_long_lengths(self):
+        dense = build_dense_encoder_graph(BERT_BASE)
+        sparse = build_sparse_encoder_graph(BERT_BASE, top_k=30)
+        assert sparse.total_work(512) < dense.total_work(512)
+
+    def test_approx_scores_run_on_lut_fabric(self):
+        graph = build_sparse_encoder_graph(BERT_BASE, top_k=30)
+        assert graph.operator("approx_scores").kind == "lut"
+
+    def test_priorities_put_stage1_before_stage3(self):
+        graph = build_sparse_encoder_graph(BERT_BASE, top_k=30)
+        priorities = graph.priorities(128)
+        assert priorities["qkv_linear"] > priorities["ffn_layernorm"]
+
+    def test_candidate_load_moves_offchip_bytes(self):
+        graph = build_sparse_encoder_graph(BERT_BASE, top_k=30)
+        assert graph.operator("candidate_load").traffic(128) > 0

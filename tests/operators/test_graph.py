@@ -1,0 +1,129 @@
+"""Tests for the operator DAG data structure and Eq. 1 priorities."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.operators.graph import Operator, OperatorGraph
+
+
+def _linear_op(name: str, weight: int) -> Operator:
+    return Operator(name, "matmul", lambda s, w=weight: w * s)
+
+
+def _chain_graph(weights: list[int]) -> OperatorGraph:
+    graph = OperatorGraph()
+    names = [f"op{i}" for i in range(len(weights))]
+    for name, weight in zip(names, weights):
+        graph.add_operator(_linear_op(name, weight))
+    graph.add_chain(names)
+    return graph
+
+
+class TestGraphConstruction:
+    def test_duplicate_operator_rejected(self):
+        graph = OperatorGraph()
+        graph.add_operator(_linear_op("a", 1))
+        with pytest.raises(ValueError):
+            graph.add_operator(_linear_op("a", 2))
+
+    def test_edge_with_unknown_vertex_rejected(self):
+        graph = OperatorGraph()
+        graph.add_operator(_linear_op("a", 1))
+        with pytest.raises(KeyError):
+            graph.add_edge("a", "b")
+
+    def test_duplicate_edges_are_ignored(self):
+        graph = _chain_graph([1, 2])
+        graph.add_edge("op0", "op1")
+        assert len(graph.edges) == 1
+
+    def test_contains_and_len(self):
+        graph = _chain_graph([1, 2, 3])
+        assert len(graph) == 3
+        assert "op1" in graph
+        assert "missing" not in graph
+
+    def test_sources_and_sinks(self):
+        graph = _chain_graph([1, 2, 3])
+        assert [op.name for op in graph.sources()] == ["op0"]
+        assert [op.name for op in graph.sinks()] == ["op2"]
+
+    def test_successors_predecessors(self):
+        graph = _chain_graph([1, 2, 3])
+        assert [op.name for op in graph.successors("op0")] == ["op1"]
+        assert [op.name for op in graph.predecessors("op2")] == ["op1"]
+
+
+class TestGraphAlgorithms:
+    def test_topological_order_respects_edges(self):
+        graph = _chain_graph([1, 2, 3, 4])
+        order = [op.name for op in graph.topological_order()]
+        assert order == ["op0", "op1", "op2", "op3"]
+
+    def test_cycle_detection(self):
+        graph = _chain_graph([1, 2])
+        graph.add_edge("op1", "op0")
+        with pytest.raises(ValueError):
+            graph.topological_order()
+
+    def test_weights_scale_with_sequence_length(self):
+        graph = _chain_graph([3, 5])
+        assert graph.weights(10) == {"op0": 30, "op1": 50}
+        assert graph.total_work(10) == 80
+
+    def test_chain_priorities_follow_eq1(self):
+        # P(v) = W(v) + max over successors, with P(sink) = W(sink).
+        graph = _chain_graph([1, 2, 3])
+        priorities = graph.priorities(10)
+        assert priorities == {"op2": 30, "op1": 50, "op0": 60}
+
+    def test_branching_priorities_take_maximum_successor(self):
+        graph = OperatorGraph()
+        for name, weight in (("root", 1), ("light", 2), ("heavy", 10), ("sink", 1)):
+            graph.add_operator(_linear_op(name, weight))
+        graph.add_edge("root", "light")
+        graph.add_edge("root", "heavy")
+        graph.add_edge("light", "sink")
+        graph.add_edge("heavy", "sink")
+        priorities = graph.priorities(1)
+        assert priorities["root"] == 1 + max(priorities["light"], priorities["heavy"])
+        assert priorities["heavy"] == 11
+
+    def test_critical_path_work(self):
+        graph = _chain_graph([1, 2, 3])
+        assert graph.critical_path_work(10) == 60
+
+    def test_subgraph_induces_edges(self):
+        graph = _chain_graph([1, 2, 3])
+        sub = graph.subgraph(["op0", "op1"])
+        assert len(sub) == 2
+        assert sub.edges == [("op0", "op1")]
+
+    def test_operator_traffic_defaults_to_zero(self):
+        op = _linear_op("a", 1)
+        assert op.traffic(100) == 0
+
+    def test_operator_traffic_uses_bytes_fn(self):
+        op = Operator("a", "matmul", lambda s: s, bytes_moved=lambda s: 7 * s)
+        assert op.traffic(3) == 21
+
+
+class TestGraphProperties:
+    @given(st.lists(st.integers(1, 100), min_size=2, max_size=10), st.integers(1, 500))
+    @settings(max_examples=50, deadline=None)
+    def test_source_priority_equals_total_chain_work(self, weights, seq):
+        """For a chain, the source's priority is the whole critical path."""
+        graph = _chain_graph(weights)
+        priorities = graph.priorities(seq)
+        assert priorities["op0"] == sum(w * seq for w in weights)
+
+    @given(st.lists(st.integers(1, 50), min_size=1, max_size=8), st.integers(1, 100))
+    @settings(max_examples=50, deadline=None)
+    def test_priorities_decrease_along_a_chain(self, weights, seq):
+        graph = _chain_graph(weights)
+        priorities = graph.priorities(seq)
+        values = [priorities[f"op{i}"] for i in range(len(weights))]
+        assert values == sorted(values, reverse=True)

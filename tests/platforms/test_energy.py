@@ -1,0 +1,68 @@
+"""Tests for the Table 2 energy-efficiency accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import config as global_config
+from repro.platforms.base import PlatformResult
+from repro.platforms.energy import (
+    LITERATURE_TABLE2_ROWS,
+    energy_report_from_result,
+)
+
+
+def _result(latency=0.1, useful=1e12, executed=2e12, power=50.0):
+    return PlatformResult(
+        platform="test",
+        latency_seconds=latency,
+        useful_ops=useful,
+        executed_ops=executed,
+        power_watts=power,
+    )
+
+
+class TestEnergyReport:
+    def test_useful_ops_convention(self):
+        report = energy_report_from_result(_result(), accuracy_drop_percent=1.5)
+        assert report.throughput_gops == pytest.approx(1e12 / 0.1 / 1e9)
+        assert report.energy_efficiency_gopj == pytest.approx(1e12 / 1e9 / (0.1 * 50.0))
+        assert report.accuracy_drop_percent == 1.5
+        assert report.source == "measured"
+
+    def test_executed_ops_convention(self):
+        report = energy_report_from_result(_result(), use_useful_ops=False)
+        assert report.throughput_gops == pytest.approx(2e13 / 1e9)
+
+    def test_as_row_serialization(self):
+        row = energy_report_from_result(_result(), accuracy_drop_percent=2.0).as_row()
+        assert set(row) == {
+            "work_platform",
+            "throughput_gops",
+            "energy_eff_gopj",
+            "accuracy_drop_percent",
+            "source",
+        }
+
+    def test_zero_latency_guard(self):
+        report = energy_report_from_result(_result(latency=0.0))
+        assert report.throughput_gops == 0.0
+        assert report.energy_efficiency_gopj is None
+
+
+class TestLiteratureRows:
+    def test_all_cited_designs_present(self):
+        names = {row.platform for row in LITERATURE_TABLE2_ROWS}
+        assert names == {"GPU V100: E.T.", "FPGA design [37]", "ASIC: A3", "ASIC: SpAtten"}
+
+    def test_values_match_paper_table(self):
+        for row in LITERATURE_TABLE2_ROWS:
+            paper = global_config.PAPER_TABLE2[row.platform]
+            assert row.throughput_gops == paper["throughput_gops"]
+            assert row.energy_efficiency_gopj == paper["energy_eff_gopj"]
+            assert row.source == "literature"
+
+    def test_prior_fpga_design_has_no_energy_number(self):
+        prior = next(r for r in LITERATURE_TABLE2_ROWS if r.platform == "FPGA design [37]")
+        assert prior.energy_efficiency_gopj is None
+        assert prior.as_row()["energy_eff_gopj"] is None

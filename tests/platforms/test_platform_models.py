@@ -1,0 +1,121 @@
+"""Tests for the analytical CPU/GPU platform models and the FPGA wrappers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.platforms.base import AnalyticalPlatform, PlatformResult
+from repro.platforms.devices import JETSON_TX2, RTX_6000, V100_ET, XEON_5218
+from repro.platforms.fpga import build_baseline_fpga, build_proposed_fpga
+from repro.transformer.configs import BERT_BASE, MRPC, RTE, SQUAD_V11
+
+_LENGTHS = [120, 90, 60, 45]
+
+
+class TestAnalyticalPlatform:
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            AnalyticalPlatform(name="x", effective_gops=0, power_watts=10)
+        with pytest.raises(ValueError):
+            AnalyticalPlatform(name="x", effective_gops=10, power_watts=0)
+
+    def test_padding_inflates_executed_work(self):
+        executed = XEON_5218.executed_model_ops(BERT_BASE, _LENGTHS)
+        useful = XEON_5218.useful_model_ops(BERT_BASE, _LENGTHS)
+        assert executed > useful
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ValueError):
+            XEON_5218.end_to_end(BERT_BASE, [])
+
+    def test_latency_ordering_follows_throughput(self):
+        cpu = XEON_5218.end_to_end(BERT_BASE, _LENGTHS)
+        edge = JETSON_TX2.end_to_end(BERT_BASE, _LENGTHS)
+        gpu = RTX_6000.end_to_end(BERT_BASE, _LENGTHS)
+        assert cpu.latency_seconds > edge.latency_seconds > gpu.latency_seconds
+
+    def test_attention_only_is_cheaper_than_end_to_end(self):
+        full = RTX_6000.end_to_end(BERT_BASE, _LENGTHS)
+        attention = RTX_6000.attention_only(BERT_BASE, _LENGTHS)
+        assert attention.latency_seconds < full.latency_seconds
+
+    def test_effective_gops_close_to_calibration(self):
+        result = RTX_6000.end_to_end(BERT_BASE, [512] * 16)
+        assert result.effective_gops == pytest.approx(1380.0, rel=0.1)
+
+    def test_energy_accounting(self):
+        result = XEON_5218.end_to_end(BERT_BASE, _LENGTHS)
+        assert result.energy_joules == pytest.approx(result.latency_seconds * 125.0)
+        assert result.energy_efficiency_gopj > 0
+
+    def test_v100_row_has_higher_throughput_than_rtx(self):
+        assert V100_ET.effective_gops > RTX_6000.effective_gops
+
+    def test_platform_result_zero_latency_guard(self):
+        result = PlatformResult(
+            platform="x", latency_seconds=0.0, useful_ops=1.0, executed_ops=1.0, power_watts=1.0
+        )
+        assert result.effective_gops == 0.0
+        assert result.energy_efficiency_gopj == 0.0
+
+
+class TestFpgaPlatforms:
+    @pytest.fixture(scope="class")
+    def proposed(self):
+        return build_proposed_fpga(BERT_BASE, RTE)
+
+    @pytest.fixture(scope="class")
+    def baseline(self):
+        return build_baseline_fpga(BERT_BASE, RTE)
+
+    def test_proposed_executes_less_work_than_it_is_credited_for(self, proposed):
+        result = proposed.end_to_end(_LENGTHS)
+        assert result.executed_ops < result.useful_ops
+
+    def test_baseline_executes_padded_dense_work(self, baseline):
+        result = baseline.end_to_end(_LENGTHS)
+        assert result.executed_ops > result.useful_ops
+
+    def test_proposed_faster_than_baseline(self, proposed, baseline):
+        assert (
+            proposed.end_to_end(_LENGTHS).latency_seconds
+            < baseline.end_to_end(_LENGTHS).latency_seconds
+        )
+
+    def test_proposed_beats_cpu_by_large_margin(self, proposed):
+        fpga = proposed.end_to_end(_LENGTHS)
+        cpu = XEON_5218.end_to_end(BERT_BASE, _LENGTHS)
+        assert cpu.latency_seconds / fpga.latency_seconds > 10
+
+    def test_attention_only_speedup_exceeds_end_to_end_speedup(self, proposed, baseline):
+        # Sparse attention shrinks the attention core far more than the whole
+        # encoder, so the attention-only advantage is larger (Fig. 7b vs 7a).
+        e2e = baseline.end_to_end(_LENGTHS).latency_seconds / proposed.end_to_end(
+            _LENGTHS
+        ).latency_seconds
+        attn = baseline.attention_only(_LENGTHS).latency_seconds / proposed.attention_only(
+            _LENGTHS
+        ).latency_seconds
+        assert attn > e2e
+
+    def test_fpga_power_is_board_power(self, proposed):
+        assert proposed.end_to_end(_LENGTHS).power_watts == pytest.approx(35.0)
+
+    def test_schedule_exposes_timeline(self, proposed):
+        result = proposed.schedule(_LENGTHS)
+        assert result.makespan_cycles > 0
+        assert result.timeline.verify_no_overlap_per_stage()
+
+    def test_energy_efficiency_beats_gpu(self, proposed):
+        # The headline Table 2 claim: at least 4x the GPU's GOP/J.
+        fpga = proposed.end_to_end([RTE.avg_length] * 8 + [RTE.max_length] * 2)
+        gpu = RTX_6000.end_to_end(BERT_BASE, [RTE.avg_length] * 8 + [RTE.max_length] * 2)
+        assert fpga.energy_efficiency_gopj > 4 * gpu.energy_efficiency_gopj
+
+    def test_designs_specialize_to_dataset_lengths(self):
+        squad_design = build_proposed_fpga(BERT_BASE, SQUAD_V11)
+        mrpc_design = build_proposed_fpga(BERT_BASE, MRPC)
+        assert squad_design.accelerator.name != ""
+        # Both fit the device even though their operating points differ widely.
+        assert squad_design.accelerator.fits_capacity()
+        assert mrpc_design.accelerator.fits_capacity()

@@ -1,0 +1,87 @@
+"""Tests for pipeline replication and the design-space exploration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware.accelerator import build_sparse_accelerator
+from repro.scheduling.design_space import best_design_point, explore_design_space
+from repro.scheduling.length_aware import LengthAwareScheduler
+from repro.transformer.configs import MRPC, ModelConfig
+
+_SMALL_MODEL = ModelConfig(name="dse-2L", num_layers=2, hidden_dim=768, num_heads=12)
+_LENGTHS = [86, 80, 72, 64, 60, 55, 52, 48, 44, 40, 36, 32]
+
+
+class TestReplication:
+    def test_replicated_design_fits_and_halves_per_replica_resources(self):
+        single = build_sparse_accelerator(_SMALL_MODEL, avg_seq=53, max_seq=86, replication=1)
+        double = build_sparse_accelerator(_SMALL_MODEL, avg_seq=53, max_seq=86, replication=2)
+        assert double.fits_capacity()
+        assert double.stages[0].replication == 2
+        # Each replica is built against roughly half the device.
+        assert double.stages[0].resources().dsp < single.stages[0].resources().dsp
+
+    def test_invalid_replication_rejected(self):
+        with pytest.raises(ValueError):
+            build_sparse_accelerator(_SMALL_MODEL, avg_seq=53, max_seq=86, replication=0)
+
+    def test_replicated_stages_overlap_in_the_schedule(self):
+        double = build_sparse_accelerator(_SMALL_MODEL, avg_seq=53, max_seq=86, replication=2)
+        result = LengthAwareScheduler().schedule(double, _LENGTHS)
+        # Replica labels appear in the timeline and each replica has no overlap.
+        stage_names = result.timeline.stage_names()
+        assert any("[0]" in name for name in stage_names)
+        assert any("[1]" in name for name in stage_names)
+        assert result.timeline.verify_no_overlap_per_stage()
+
+    def test_replication_does_not_break_total_work(self):
+        single = build_sparse_accelerator(_SMALL_MODEL, avg_seq=53, max_seq=86, replication=1)
+        double = build_sparse_accelerator(_SMALL_MODEL, avg_seq=53, max_seq=86, replication=2)
+        scheduler = LengthAwareScheduler()
+        single_result = scheduler.schedule(single, _LENGTHS)
+        double_result = scheduler.schedule(double, _LENGTHS)
+        # Two half-sized replicas should land within ~2x of the single design
+        # either way (they trade per-sequence latency for concurrency).
+        ratio = double_result.makespan_cycles / single_result.makespan_cycles
+        assert 0.5 < ratio < 2.0
+
+
+class TestDesignSpaceExploration:
+    def test_returns_ranked_feasible_points(self):
+        points = explore_design_space(
+            _SMALL_MODEL,
+            MRPC,
+            _LENGTHS,
+            top_k_candidates=(30,),
+            replication_candidates=(1, 2),
+        )
+        assert len(points) == 2
+        throughputs = [p.throughput_sequences_per_second for p in points]
+        assert throughputs == sorted(throughputs, reverse=True)
+
+    def test_best_point_is_first(self):
+        best = best_design_point(
+            _SMALL_MODEL,
+            MRPC,
+            _LENGTHS,
+            top_k_candidates=(30,),
+            replication_candidates=(1, 2),
+        )
+        assert best.replication in (1, 2)
+        assert best.throughput_sequences_per_second > 0
+
+    def test_rows_are_serializable(self):
+        points = explore_design_space(
+            _SMALL_MODEL,
+            MRPC,
+            _LENGTHS,
+            top_k_candidates=(20, 30),
+            replication_candidates=(1,),
+        )
+        rows = [p.as_row() for p in points]
+        assert {"top_k", "replication", "throughput_seq_per_s"} <= set(rows[0])
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ValueError):
+            explore_design_space(_SMALL_MODEL, MRPC, [])

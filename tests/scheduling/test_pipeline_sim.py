@@ -1,0 +1,115 @@
+"""Tests for the event-driven coarse-grained pipeline simulator."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware.accelerator import build_sparse_accelerator
+from repro.scheduling.length_aware import build_layer_ordered_jobs, sort_batch_by_length
+from repro.scheduling.pipeline import PipelineJob, simulate_coarse_pipeline
+from repro.transformer.configs import ModelConfig
+
+#: A shallow model keeps the simulated job count small and the tests fast.
+_SMALL_MODEL = ModelConfig(name="sim-2L", num_layers=2, hidden_dim=768, num_heads=12)
+
+
+@pytest.fixture(scope="module")
+def accelerator():
+    return build_sparse_accelerator(_SMALL_MODEL, top_k=30, avg_seq=96, max_seq=160)
+
+
+def _jobs(lengths, num_layers=2, billed=None):
+    order = sort_batch_by_length(lengths)
+    return build_layer_ordered_jobs(lengths, order, num_layers, billed_lengths=billed)
+
+
+class TestPipelineJob:
+    def test_invalid_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            PipelineJob(sequence_id=0, layer=0, actual_length=0, billed_length=1)
+        with pytest.raises(ValueError):
+            PipelineJob(sequence_id=0, layer=0, actual_length=10, billed_length=5)
+
+
+class TestSimulator:
+    def test_empty_job_list(self, accelerator):
+        timeline = simulate_coarse_pipeline(accelerator, [])
+        assert timeline.makespan == 0
+
+    def test_every_job_visits_every_stage(self, accelerator):
+        jobs = _jobs([120, 80, 60])
+        timeline = simulate_coarse_pipeline(accelerator, jobs)
+        assert len(timeline) == len(jobs) * len(accelerator.stages)
+
+    def test_stage_exclusivity(self, accelerator):
+        jobs = _jobs([150, 100, 70, 50])
+        timeline = simulate_coarse_pipeline(accelerator, jobs)
+        assert timeline.verify_no_overlap_per_stage()
+
+    def test_data_dependency_between_stages(self, accelerator):
+        jobs = _jobs([120, 90])
+        timeline = simulate_coarse_pipeline(accelerator, jobs)
+        for seq in (0, 1):
+            events = timeline.events_for_sequence(seq)
+            for earlier, later in zip(events, events[1:]):
+                assert later.start >= earlier.start
+
+    def test_layer_dependency_respected(self, accelerator):
+        jobs = _jobs([100])
+        timeline = simulate_coarse_pipeline(accelerator, jobs)
+        events = timeline.events_for_sequence(0)
+        layer0_end = max(e.end for e in events if e.layer == 0)
+        layer1_start = min(e.start for e in events if e.layer == 1)
+        assert layer1_start >= layer0_end
+
+    def test_pipelined_beats_sequential(self, accelerator):
+        jobs = _jobs([150, 120, 90, 60])
+        pipelined = simulate_coarse_pipeline(accelerator, jobs, pipelined=True)
+        sequential = simulate_coarse_pipeline(accelerator, jobs, pipelined=False)
+        assert pipelined.makespan < sequential.makespan
+
+    def test_sequential_makespan_is_sum_of_all_stage_latencies(self, accelerator):
+        jobs = _jobs([100, 80])
+        sequential = simulate_coarse_pipeline(accelerator, jobs, pipelined=False, buffer_slots=None)
+        expected = sum(
+            sum(accelerator.stage_latencies(job.billed_length)) for job in jobs
+        )
+        assert sequential.makespan == expected
+
+    def test_backpressure_never_speeds_things_up(self, accelerator):
+        jobs = _jobs([150, 120, 90, 60])
+        unconstrained = simulate_coarse_pipeline(accelerator, jobs, buffer_slots=None)
+        constrained = simulate_coarse_pipeline(accelerator, jobs, buffer_slots=1)
+        assert constrained.makespan >= unconstrained.makespan
+
+    def test_barriers_drain_the_pipeline(self, accelerator):
+        jobs = _jobs([150, 120, 90, 60])
+        free = simulate_coarse_pipeline(accelerator, jobs)
+        with_barrier = simulate_coarse_pipeline(accelerator, jobs, barriers={4})
+        assert with_barrier.makespan >= free.makespan
+
+    def test_billed_length_controls_latency(self, accelerator):
+        lengths = [60, 60, 60]
+        actual = simulate_coarse_pipeline(accelerator, _jobs(lengths))
+        padded = simulate_coarse_pipeline(accelerator, _jobs(lengths, billed=[160, 160, 160]))
+        assert padded.makespan > actual.makespan
+
+
+class TestSimulatorProperties:
+    @given(
+        st.lists(st.integers(16, 160), min_size=1, max_size=6),
+        st.integers(0, 1),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_makespan_at_least_critical_path_and_at_most_serial(self, lengths, pipelined_flag):
+        """Any legal schedule sits between the critical path and full serialization."""
+        accelerator = build_sparse_accelerator(_SMALL_MODEL, top_k=30, avg_seq=96, max_seq=160)
+        jobs = _jobs(lengths)
+        timeline = simulate_coarse_pipeline(accelerator, jobs, pipelined=bool(pipelined_flag))
+        serial = sum(sum(accelerator.stage_latencies(j.billed_length)) for j in jobs)
+        slowest_sequence = max(
+            _SMALL_MODEL.num_layers * sum(accelerator.stage_latencies(length)) for length in lengths
+        )
+        assert slowest_sequence <= timeline.makespan <= serial

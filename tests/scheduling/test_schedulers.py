@@ -1,0 +1,152 @@
+"""Tests for the length-aware scheduler and the baseline schedulers."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware.accelerator import build_sparse_accelerator
+from repro.scheduling.baselines import MicroBatchScheduler, PaddedScheduler, SequentialScheduler
+from repro.scheduling.length_aware import LengthAwareScheduler, sort_batch_by_length
+from repro.transformer.configs import ModelConfig
+
+_SMALL_MODEL = ModelConfig(name="sched-2L", num_layers=2, hidden_dim=768, num_heads=12)
+_LENGTHS = [140, 100, 82, 78, 72]
+
+
+@pytest.fixture(scope="module")
+def accelerator():
+    return build_sparse_accelerator(_SMALL_MODEL, top_k=30, avg_seq=94, max_seq=160)
+
+
+class TestSortBatch:
+    def test_descending_order(self):
+        assert sort_batch_by_length([10, 30, 20]) == [1, 2, 0]
+
+    def test_ascending_order(self):
+        assert sort_batch_by_length([10, 30, 20], descending=False) == [0, 2, 1]
+
+    def test_ties_keep_original_order(self):
+        assert sort_batch_by_length([5, 7, 5]) == [1, 0, 2]
+
+
+class TestLengthAwareScheduler:
+    def test_result_metadata(self, accelerator):
+        result = LengthAwareScheduler().schedule(accelerator, _LENGTHS)
+        assert result.scheduler == "length-aware"
+        assert result.lengths == _LENGTHS
+        assert result.billed_lengths == _LENGTHS
+        assert result.num_layers == 2
+
+    def test_high_stage_utilization(self, accelerator):
+        # The headline claim of Section 4.2: stages run essentially bubble-free.
+        result = LengthAwareScheduler().schedule(accelerator, _LENGTHS)
+        assert result.average_utilization > 0.9
+
+    def test_beats_padded_schedule(self, accelerator):
+        length_aware = LengthAwareScheduler().schedule(accelerator, _LENGTHS)
+        padded = PaddedScheduler().schedule(accelerator, _LENGTHS)
+        assert length_aware.speedup_over(padded) > 1.2
+
+    def test_beats_sequential_schedule(self, accelerator):
+        length_aware = LengthAwareScheduler().schedule(accelerator, _LENGTHS)
+        sequential = SequentialScheduler().schedule(accelerator, _LENGTHS)
+        assert length_aware.speedup_over(sequential) > 1.5
+
+    def test_uniform_lengths_have_no_bubbles(self, accelerator):
+        result = LengthAwareScheduler().schedule(accelerator, [96] * 6)
+        assert result.average_utilization > 0.95
+
+    def test_empty_batch_rejected(self, accelerator):
+        with pytest.raises(ValueError):
+            LengthAwareScheduler().schedule(accelerator, [])
+
+    def test_invalid_length_rejected(self, accelerator):
+        with pytest.raises(ValueError):
+            LengthAwareScheduler().schedule(accelerator, [10, 0])
+
+    def test_throughput_reported(self, accelerator):
+        result = LengthAwareScheduler().schedule(accelerator, _LENGTHS)
+        assert result.throughput_sequences_per_second > 0
+        assert result.makespan_seconds == pytest.approx(
+            result.makespan_cycles / accelerator.clock_hz
+        )
+
+
+class TestPaddedScheduler:
+    def test_bills_every_sequence_at_the_maximum(self, accelerator):
+        result = PaddedScheduler().schedule(accelerator, _LENGTHS)
+        assert result.billed_lengths == [140] * 5
+
+    def test_explicit_pad_target(self, accelerator):
+        result = PaddedScheduler(pad_to=160).schedule(accelerator, _LENGTHS)
+        assert result.billed_lengths == [160] * 5
+
+    def test_pad_target_smaller_than_batch_max_rejected(self, accelerator):
+        with pytest.raises(ValueError):
+            PaddedScheduler(pad_to=100).schedule(accelerator, _LENGTHS)
+
+    def test_non_pipelined_mode_is_slower(self, accelerator):
+        pipelined = PaddedScheduler(pipelined=True).schedule(accelerator, _LENGTHS)
+        serial = PaddedScheduler(pipelined=False).schedule(accelerator, _LENGTHS)
+        assert serial.makespan_cycles > pipelined.makespan_cycles
+
+    def test_empty_batch_rejected(self, accelerator):
+        with pytest.raises(ValueError):
+            PaddedScheduler().schedule(accelerator, [])
+
+
+class TestMicroBatchScheduler:
+    def test_padding_is_per_micro_batch(self, accelerator):
+        result = MicroBatchScheduler(micro_batch_size=2).schedule(accelerator, _LENGTHS)
+        # Sorted: 140, 100 | 82, 78 | 72 -> billed 140, 140, 82, 82, 72.
+        billed = {length: bill for length, bill in zip(result.lengths, result.billed_lengths)}
+        assert billed[140] == 140
+        assert billed[100] == 140
+        assert billed[82] == 82
+        assert billed[78] == 82
+        assert billed[72] == 72
+
+    def test_never_beats_length_aware_but_reduces_padded_work(self, accelerator):
+        # Micro-batching reduces the padding overhead relative to full-batch
+        # padding, yet its inter-micro-batch barriers drain the coarse
+        # pipeline, so it never beats the length-aware schedule -- the FPGA
+        # behaviour the paper criticizes in Section 2.
+        length_aware = LengthAwareScheduler().schedule(accelerator, _LENGTHS)
+        micro = MicroBatchScheduler(micro_batch_size=2).schedule(accelerator, _LENGTHS)
+        padded = PaddedScheduler().schedule(accelerator, _LENGTHS)
+        assert micro.makespan_cycles >= length_aware.makespan_cycles
+        assert sum(micro.billed_lengths) < sum(padded.billed_lengths)
+
+    def test_micro_batch_of_one_bills_actual_lengths(self, accelerator):
+        result = MicroBatchScheduler(micro_batch_size=1).schedule(accelerator, _LENGTHS)
+        assert sorted(result.billed_lengths) == sorted(_LENGTHS)
+
+    def test_invalid_micro_batch_size_rejected(self):
+        with pytest.raises(ValueError):
+            MicroBatchScheduler(micro_batch_size=0)
+
+    def test_barriers_create_bubbles(self, accelerator):
+        length_aware = LengthAwareScheduler().schedule(accelerator, _LENGTHS)
+        micro = MicroBatchScheduler(micro_batch_size=2).schedule(accelerator, _LENGTHS)
+        assert micro.total_bubble_cycles >= length_aware.total_bubble_cycles
+
+
+class TestSequentialScheduler:
+    def test_padded_variant_is_slowest(self, accelerator):
+        plain = SequentialScheduler().schedule(accelerator, _LENGTHS)
+        padded = SequentialScheduler(padded=True).schedule(accelerator, _LENGTHS)
+        assert padded.makespan_cycles > plain.makespan_cycles
+        assert padded.scheduler.endswith("-padded")
+
+
+class TestSchedulerProperties:
+    @given(st.lists(st.integers(16, 160), min_size=1, max_size=6))
+    @settings(max_examples=15, deadline=None)
+    def test_length_aware_never_slower_than_padded(self, lengths):
+        """Billing actual lengths can only reduce work, never increase it."""
+        accelerator = build_sparse_accelerator(_SMALL_MODEL, top_k=30, avg_seq=96, max_seq=160)
+        length_aware = LengthAwareScheduler().schedule(accelerator, lengths)
+        padded = PaddedScheduler().schedule(accelerator, lengths)
+        assert length_aware.makespan_cycles <= padded.makespan_cycles

@@ -1,0 +1,96 @@
+"""Tests for Algorithm 1 (coarse-grained stage allocation)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware.resources import FpgaResources, U280_SLR0
+from repro.operators.encoder_graph import build_dense_encoder_graph, build_sparse_encoder_graph
+from repro.operators.graph import Operator, OperatorGraph
+from repro.scheduling.stage_allocation import allocate_stages, plan_to_accelerator
+from repro.transformer.configs import BERT_BASE
+
+
+@pytest.fixture(scope="module")
+def sparse_graph():
+    return build_sparse_encoder_graph(BERT_BASE, top_k=30)
+
+
+@pytest.fixture(scope="module")
+def sparse_plan(sparse_graph):
+    return allocate_stages(sparse_graph, avg_seq=128)
+
+
+class TestAlgorithm1:
+    def test_every_operator_assigned_exactly_once(self, sparse_graph, sparse_plan):
+        assigned = [name for stage in sparse_plan.stages for name in stage.operator_names]
+        assert sorted(assigned) == sorted(op.name for op in sparse_graph.operators)
+
+    def test_plan_fits_device(self, sparse_plan):
+        assert sparse_plan.fits_capacity()
+
+    def test_produces_multiple_coarse_stages(self, sparse_plan):
+        assert sparse_plan.num_stages >= 2
+
+    def test_priority_order_respected(self, sparse_graph, sparse_plan):
+        # Operators are assigned in decreasing priority; therefore an
+        # operator's stage index can never be smaller than that of a
+        # higher-priority operator... stages are opened monotonically.
+        priorities = sparse_graph.priorities(128)
+        ordered = sorted(sparse_graph.operators, key=lambda op: priorities[op.name], reverse=True)
+        stage_indices = [sparse_plan.stage_of(op.name) for op in ordered]
+        assert stage_indices == sorted(stage_indices)
+
+    def test_parallelism_rescaling_gives_heavier_operators_more_lanes(self, sparse_plan, sparse_graph):
+        weights = sparse_graph.weights(128)
+        for stage in sparse_plan.stages:
+            matmuls = [
+                name
+                for name in stage.operator_names
+                if sparse_graph.operator(name).kind == "matmul"
+            ]
+            if len(matmuls) < 2:
+                continue
+            heavy = max(matmuls, key=lambda n: weights[n])
+            light = min(matmuls, key=lambda n: weights[n])
+            if weights[heavy] > 4 * weights[light]:
+                assert stage.parallelism[heavy] >= stage.parallelism[light]
+
+    def test_scaling_fills_most_of_the_budget(self, sparse_plan):
+        assert sparse_plan.total_resources().dsp > 0.3 * U280_SLR0.dsp
+
+    def test_small_budget_creates_more_stages(self, sparse_graph):
+        small_capacity = FpgaResources(dsp=64, bram=64, lut=40_000, ff=80_000)
+        small_plan = allocate_stages(sparse_graph, avg_seq=128, capacity=small_capacity)
+        large_plan = allocate_stages(sparse_graph, avg_seq=128)
+        assert small_plan.num_stages >= large_plan.num_stages
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(ValueError):
+            allocate_stages(OperatorGraph(), avg_seq=128)
+
+    def test_dense_graph_also_allocates(self):
+        graph = build_dense_encoder_graph(BERT_BASE)
+        plan = allocate_stages(graph, avg_seq=128)
+        assert plan.fits_capacity()
+        assert plan.num_stages >= 1
+
+    def test_stage_work_reported(self, sparse_plan):
+        work = sparse_plan.stage_work(128)
+        assert len(work) == sparse_plan.num_stages
+        assert all(w > 0 for w in work)
+
+    def test_unknown_operator_lookup_raises(self, sparse_plan):
+        with pytest.raises(KeyError):
+            sparse_plan.stage_of("does_not_exist")
+
+
+class TestPlanToAccelerator:
+    def test_accelerator_built_from_plan(self, sparse_plan):
+        accel = plan_to_accelerator(sparse_plan, BERT_BASE, max_seq=256, top_k=30)
+        assert len(accel.stages) == sparse_plan.num_stages
+        assert accel.layer_latency_cycles(128) > 0
+
+    def test_accelerator_latency_monotone_in_length(self, sparse_plan):
+        accel = plan_to_accelerator(sparse_plan, BERT_BASE, max_seq=256, top_k=30)
+        assert accel.layer_latency_cycles(64) < accel.layer_latency_cycles(256)

@@ -1,0 +1,95 @@
+"""Tests for the pipeline timeline data structure."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.scheduling.timeline import Timeline, TimelineEvent
+
+
+def _event(seq, layer, stage, start, end, length=10):
+    return TimelineEvent(
+        sequence_id=seq, layer=layer, stage=stage, start=start, end=end, length=length
+    )
+
+
+@pytest.fixture()
+def simple_timeline() -> Timeline:
+    timeline = Timeline()
+    # Two sequences through two stages, perfectly packed in stage order.
+    timeline.extend(
+        [
+            _event(0, 0, "S1", 0, 10),
+            _event(0, 0, "S2", 10, 22),
+            _event(1, 0, "S1", 10, 18),
+            _event(1, 0, "S2", 22, 30),
+        ]
+    )
+    return timeline
+
+
+class TestTimeline:
+    def test_makespan(self, simple_timeline):
+        assert simple_timeline.makespan == 30
+
+    def test_empty_timeline(self):
+        timeline = Timeline()
+        assert timeline.makespan == 0
+        assert timeline.average_utilization() == 0.0
+        assert len(timeline) == 0
+
+    def test_event_validation(self):
+        with pytest.raises(ValueError):
+            _event(0, 0, "S1", 10, 5)
+
+    def test_events_for_stage_sorted(self, simple_timeline):
+        events = simple_timeline.events_for_stage("S1")
+        assert [e.sequence_id for e in events] == [0, 1]
+
+    def test_events_for_sequence(self, simple_timeline):
+        events = simple_timeline.events_for_sequence(0)
+        assert [e.stage for e in events] == ["S1", "S2"]
+
+    def test_stage_names_in_first_appearance_order(self, simple_timeline):
+        assert simple_timeline.stage_names() == ["S1", "S2"]
+
+    def test_stage_occupancy_busy_and_bubbles(self, simple_timeline):
+        occupancy = simple_timeline.stage_occupancy()
+        s1 = occupancy["S1"]
+        assert s1.busy_cycles == 18
+        assert s1.active_span == 18
+        assert s1.bubble_cycles == 0
+        assert s1.utilization == pytest.approx(1.0)
+        s2 = occupancy["S2"]
+        assert s2.busy_cycles == 20
+        assert s2.bubble_cycles == 0
+
+    def test_bubble_detection(self):
+        timeline = Timeline()
+        timeline.extend([_event(0, 0, "S1", 0, 10), _event(1, 0, "S1", 15, 25)])
+        occ = timeline.stage_occupancy()["S1"]
+        assert occ.bubble_cycles == 5
+        assert occ.utilization == pytest.approx(20 / 25)
+        assert timeline.total_bubble_cycles() == 5
+
+    def test_sequence_latency(self, simple_timeline):
+        assert simple_timeline.sequence_latency(0) == 22
+        assert simple_timeline.sequence_latency(1) == 20
+        assert simple_timeline.sequence_latency(42) == 0
+
+    def test_overlap_detection(self):
+        timeline = Timeline()
+        timeline.extend([_event(0, 0, "S1", 0, 10), _event(1, 0, "S1", 5, 12)])
+        assert not timeline.verify_no_overlap_per_stage()
+
+    def test_no_overlap_confirmed(self, simple_timeline):
+        assert simple_timeline.verify_no_overlap_per_stage()
+
+    def test_total_busy_cycles(self, simple_timeline):
+        assert simple_timeline.total_busy_cycles() == 10 + 12 + 8 + 8
+
+    def test_as_rows_sorted_by_start(self, simple_timeline):
+        rows = simple_timeline.as_rows()
+        assert len(rows) == 4
+        starts = [row["start"] for row in rows]
+        assert starts == sorted(starts)

@@ -1,0 +1,60 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_commands_parse(self):
+        parser = build_parser()
+        for command in ("fig1", "table1", "fig5", "fig7a", "fig7b", "table2", "all"):
+            args = parser.parse_args([command])
+            assert callable(args.func)
+
+    def test_fig1_options(self):
+        args = build_parser().parse_args(["fig1", "--sequence-length", "256", "--mode", "flops"])
+        assert args.sequence_length == 256
+        assert args.mode == "flops"
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig99"])
+
+
+class TestCommands:
+    def test_fig1_command_prints_breakdown(self, capsys):
+        assert main(["fig1"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 1(c)" in out
+        assert "self-attention share" in out
+
+    def test_table1_command(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "BERT-large" in out
+        assert "SQuAD v1.1" in out
+
+    def test_fig5_command(self, capsys):
+        assert main(["fig5"]) == 0
+        out = capsys.readouterr().out
+        assert "length-aware" in out
+        assert "saved vs sequential" in out
+
+    def test_fig7a_command(self, capsys):
+        assert main(["fig7a"]) == 0
+        out = capsys.readouterr().out
+        assert "Geometric means" in out
+        assert "rtx6000" in out
+
+    def test_table2_command(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "Ours FPGA" in out
+        assert "ASIC: SpAtten" in out

@@ -1,0 +1,91 @@
+"""Tests for dense multi-head attention."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.transformer.attention import (
+    merge_heads,
+    multi_head_attention,
+    project_qkv,
+    scaled_dot_product_attention,
+    split_heads,
+)
+
+
+class TestHeadReshaping:
+    def test_split_then_merge_is_identity(self, rng):
+        x = rng.normal(size=(10, 64))
+        assert np.allclose(merge_heads(split_heads(x, 4)), x)
+
+    def test_split_shapes(self, rng):
+        heads = split_heads(rng.normal(size=(6, 64)), 4)
+        assert heads.shape == (4, 6, 16)
+
+    def test_split_rejects_indivisible_hidden(self, rng):
+        with pytest.raises(ValueError):
+            split_heads(rng.normal(size=(6, 10)), 3)
+
+
+class TestScaledDotProduct:
+    def test_probabilities_normalized(self, rng):
+        q = rng.normal(size=(7, 8))
+        k = rng.normal(size=(7, 8))
+        v = rng.normal(size=(7, 8))
+        _, probs, _ = scaled_dot_product_attention(q, k, v)
+        assert np.allclose(probs.sum(axis=-1), 1.0)
+
+    def test_scaling_by_sqrt_d(self, rng):
+        q = rng.normal(size=(5, 16))
+        k = rng.normal(size=(5, 16))
+        v = rng.normal(size=(5, 16))
+        _, _, scores = scaled_dot_product_attention(q, k, v)
+        assert np.allclose(scores, q @ k.T / 4.0)
+
+    def test_mask_blocks_positions(self, rng):
+        q = rng.normal(size=(4, 8))
+        k = rng.normal(size=(4, 8))
+        v = rng.normal(size=(4, 8))
+        mask = np.array([[True, True, False, False]])
+        _, probs, _ = scaled_dot_product_attention(q, k, v, mask)
+        assert np.all(probs[:, 2:] == 0.0)
+
+    def test_identical_keys_give_uniform_attention(self):
+        q = np.ones((3, 4))
+        k = np.ones((5, 4))
+        v = np.arange(20, dtype=float).reshape(5, 4)
+        context, probs, _ = scaled_dot_product_attention(q, k, v)
+        assert np.allclose(probs, 0.2)
+        assert np.allclose(context, v.mean(axis=0))
+
+
+class TestMultiHeadAttention:
+    def test_output_shape(self, rng, tiny_weights):
+        hidden = rng.normal(size=(12, 64))
+        out = multi_head_attention(hidden, tiny_weights.layers[0].attention, 4)
+        assert out.output.shape == (12, 64)
+        assert out.probs.shape == (4, 12, 12)
+        assert out.scores.shape == (4, 12, 12)
+
+    def test_projection_shapes(self, rng, tiny_weights):
+        hidden = rng.normal(size=(9, 64))
+        q, k, v = project_qkv(hidden, tiny_weights.layers[0].attention)
+        assert q.shape == k.shape == v.shape == (9, 64)
+
+    def test_padding_mask_applied_to_all_heads(self, rng, tiny_weights):
+        hidden = rng.normal(size=(10, 64))
+        mask = np.array([True] * 7 + [False] * 3)
+        out = multi_head_attention(hidden, tiny_weights.layers[0].attention, 4, mask=mask)
+        assert np.all(out.probs[:, :, 7:] == 0.0)
+
+    def test_deterministic(self, rng, tiny_weights):
+        hidden = rng.normal(size=(8, 64))
+        a = multi_head_attention(hidden, tiny_weights.layers[0].attention, 4)
+        b = multi_head_attention(hidden, tiny_weights.layers[0].attention, 4)
+        assert np.array_equal(a.output, b.output)
+
+    def test_head_probabilities_normalized(self, rng, tiny_weights):
+        hidden = rng.normal(size=(11, 64))
+        out = multi_head_attention(hidden, tiny_weights.layers[0].attention, 4)
+        assert np.allclose(out.probs.sum(axis=-1), 1.0)

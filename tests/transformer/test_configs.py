@@ -1,0 +1,96 @@
+"""Tests for the model / dataset configuration zoo (Table 1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.transformer.configs import (
+    BERT_BASE,
+    BERT_LARGE,
+    DATASET_ZOO,
+    DISTILBERT,
+    FIG6_EVALUATION_PAIRS,
+    FIG7_EVALUATION_PAIRS,
+    MODEL_ZOO,
+    MRPC,
+    ROBERTA,
+    RTE,
+    SQUAD_V11,
+    ModelConfig,
+    get_dataset_config,
+    get_model_config,
+)
+
+
+class TestModelZoo:
+    def test_table1_model_rows(self):
+        # Table 1 (top): layers / hidden dim / heads for the four models.
+        assert (DISTILBERT.num_layers, DISTILBERT.hidden_dim, DISTILBERT.num_heads) == (6, 768, 12)
+        assert (BERT_BASE.num_layers, BERT_BASE.hidden_dim, BERT_BASE.num_heads) == (12, 768, 12)
+        assert (ROBERTA.num_layers, ROBERTA.hidden_dim, ROBERTA.num_heads) == (12, 768, 12)
+        assert (BERT_LARGE.num_layers, BERT_LARGE.hidden_dim, BERT_LARGE.num_heads) == (24, 1024, 16)
+
+    def test_head_dim(self):
+        assert BERT_BASE.head_dim == 64
+        assert BERT_LARGE.head_dim == 64
+
+    def test_intermediate_dim_defaults_to_4x(self):
+        assert BERT_BASE.intermediate_dim == 4 * 768
+
+    def test_invalid_head_count_rejected(self):
+        with pytest.raises(ValueError):
+            ModelConfig(name="bad", num_layers=1, hidden_dim=100, num_heads=3)
+
+    def test_parameter_count_ordering(self):
+        assert DISTILBERT.num_parameters < BERT_BASE.num_parameters < BERT_LARGE.num_parameters
+
+    def test_lookup_by_name(self):
+        assert get_model_config("BERT-BASE") is BERT_BASE
+        with pytest.raises(KeyError):
+            get_model_config("gpt-3")
+
+    def test_zoo_contains_all_four_models(self):
+        assert set(MODEL_ZOO) == {"distilbert", "bert-base", "roberta", "bert-large"}
+
+
+class TestDatasetZoo:
+    def test_table1_dataset_rows(self):
+        # Table 1 (bottom): average / maximum sequence length per dataset.
+        assert (SQUAD_V11.avg_length, SQUAD_V11.max_length) == (177, 821)
+        assert (RTE.avg_length, RTE.max_length) == (68, 253)
+        assert (MRPC.avg_length, MRPC.max_length) == (53, 86)
+
+    def test_max_avg_ratios_match_table1(self):
+        assert SQUAD_V11.max_avg_ratio == pytest.approx(4.6, abs=0.05)
+        assert RTE.max_avg_ratio == pytest.approx(3.7, abs=0.05)
+        assert MRPC.max_avg_ratio == pytest.approx(1.6, abs=0.05)
+
+    def test_metrics(self):
+        assert SQUAD_V11.metric == "f1"
+        assert RTE.metric == "accuracy"
+        assert MRPC.metric == "f1"
+
+    def test_lookup_by_name(self):
+        assert get_dataset_config("SQUAD") is SQUAD_V11
+        with pytest.raises(KeyError):
+            get_dataset_config("imdb")
+
+    def test_zoo_contains_all_three_datasets(self):
+        assert set(DATASET_ZOO) == {"squad", "rte", "mrpc"}
+
+
+class TestEvaluationPairs:
+    def test_fig6_has_ten_pairs(self):
+        assert len(FIG6_EVALUATION_PAIRS) == 10
+
+    def test_fig7_has_four_pairs(self):
+        assert len(FIG7_EVALUATION_PAIRS) == 4
+
+    def test_all_pairs_resolve(self):
+        for model_key, dataset_key in FIG6_EVALUATION_PAIRS + FIG7_EVALUATION_PAIRS:
+            assert get_model_config(model_key)
+            assert get_dataset_config(dataset_key)
+
+    def test_bert_large_only_evaluated_on_squad(self):
+        large_pairs = [d for m, d in FIG6_EVALUATION_PAIRS if m == "bert-large"]
+        assert large_pairs == ["squad"]

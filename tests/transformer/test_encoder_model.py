@@ -1,0 +1,123 @@
+"""Tests for the encoder stack, embeddings and the full task-head model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.sparse_attention import make_sparse_attention_impl
+from repro.transformer.embeddings import embed_tokens
+from repro.transformer.encoder import encoder_forward, encoder_layer_forward
+from repro.transformer.model import TransformerModel
+
+
+class TestEmbeddings:
+    def test_output_shape(self, tiny_weights, small_sequence):
+        token_ids, segment_ids = small_sequence
+        out = embed_tokens(token_ids, tiny_weights.embeddings, segment_ids)
+        assert out.shape == (24, 64)
+
+    def test_rows_are_layer_normalized(self, tiny_weights, small_sequence):
+        token_ids, _ = small_sequence
+        out = embed_tokens(token_ids, tiny_weights.embeddings)
+        assert np.allclose(out.mean(axis=-1), 0.0, atol=1e-9)
+
+    def test_out_of_vocab_rejected(self, tiny_weights):
+        with pytest.raises(ValueError):
+            embed_tokens(np.array([10**6]), tiny_weights.embeddings)
+
+    def test_too_long_sequence_rejected(self, tiny_weights, tiny_config):
+        ids = np.ones(tiny_config.max_position + 1, dtype=np.int64)
+        with pytest.raises(ValueError):
+            embed_tokens(ids, tiny_weights.embeddings)
+
+    def test_segment_shape_mismatch_rejected(self, tiny_weights):
+        with pytest.raises(ValueError):
+            embed_tokens(np.array([1, 2, 3]), tiny_weights.embeddings, np.array([0, 1]))
+
+    def test_batched_input_rejected(self, tiny_weights):
+        with pytest.raises(ValueError):
+            embed_tokens(np.ones((2, 5), dtype=np.int64), tiny_weights.embeddings)
+
+
+class TestEncoder:
+    def test_layer_preserves_shape(self, rng, tiny_weights, tiny_config):
+        hidden = rng.normal(size=(15, 64))
+        out = encoder_layer_forward(hidden, tiny_weights.layers[0], tiny_config.num_heads)
+        assert out.shape == hidden.shape
+
+    def test_stack_runs_all_layers(self, rng, tiny_weights):
+        hidden = rng.normal(size=(10, 64))
+        full = encoder_forward(hidden, tiny_weights)
+        one = encoder_layer_forward(hidden, tiny_weights.layers[0], 4)
+        assert not np.allclose(full, one)
+
+    def test_outputs_are_layer_normalized(self, rng, tiny_weights):
+        hidden = rng.normal(size=(10, 64))
+        out = encoder_forward(hidden, tiny_weights)
+        assert np.allclose(out.mean(axis=-1), 0.0, atol=1e-9)
+
+    def test_custom_attention_impl_is_used(self, rng, tiny_weights, tiny_config):
+        hidden = rng.normal(size=(20, 64))
+        dense = encoder_forward(hidden, tiny_weights)
+        sparse = encoder_forward(
+            hidden, tiny_weights, attention_impl=make_sparse_attention_impl(top_k=3, quant_bits=1)
+        )
+        assert not np.allclose(dense, sparse)
+
+    def test_sparse_with_full_k_matches_dense(self, rng, tiny_weights):
+        hidden = rng.normal(size=(12, 64))
+        dense = encoder_forward(hidden, tiny_weights)
+        sparse = encoder_forward(
+            hidden, tiny_weights, attention_impl=make_sparse_attention_impl(top_k=12, quant_bits=8)
+        )
+        assert np.allclose(dense, sparse, atol=1e-6)
+
+
+class TestTransformerModel:
+    def test_encode_shape(self, tiny_model, small_sequence):
+        token_ids, segment_ids = small_sequence
+        encoded = tiny_model.encode(token_ids, segment_ids=segment_ids)
+        assert encoded.shape == (24, 64)
+
+    def test_classification_output(self, tiny_model, small_sequence):
+        token_ids, segment_ids = small_sequence
+        out = tiny_model.classify(token_ids, segment_ids=segment_ids)
+        assert out.logits.shape == (2,)
+        assert out.probs.sum() == pytest.approx(1.0)
+        assert out.prediction in (0, 1)
+
+    def test_span_extraction_output(self, tiny_model, small_sequence):
+        token_ids, segment_ids = small_sequence
+        out = tiny_model.extract_span(token_ids, segment_ids=segment_ids)
+        assert 0 <= out.start <= out.end < 24
+
+    def test_span_respects_padding_mask(self, tiny_model, small_sequence):
+        token_ids, segment_ids = small_sequence
+        mask = np.zeros(24, dtype=bool)
+        mask[:10] = True
+        out = tiny_model.extract_span(token_ids, mask=mask, segment_ids=segment_ids)
+        assert out.start < 10
+
+    def test_with_attention_shares_weights(self, tiny_model):
+        sparse = tiny_model.with_attention(make_sparse_attention_impl(top_k=4))
+        assert sparse.weights is tiny_model.weights
+        assert sparse.attention_impl is not None
+        assert tiny_model.attention_impl is None
+
+    def test_deterministic_predictions(self, tiny_model, small_sequence):
+        token_ids, segment_ids = small_sequence
+        a = tiny_model.classify(token_ids, segment_ids=segment_ids)
+        b = tiny_model.classify(token_ids, segment_ids=segment_ids)
+        assert np.array_equal(a.logits, b.logits)
+
+    def test_model_generates_weights_when_not_provided(self, tiny_config):
+        model = TransformerModel(tiny_config, seed=11)
+        assert model.weights.config is tiny_config
+
+    def test_sparse_model_differs_from_dense_on_long_input(self, tiny_model, rng, tiny_config):
+        token_ids = rng.integers(1000, tiny_config.vocab_size, size=48)
+        dense = tiny_model.classify(token_ids)
+        sparse_model = tiny_model.with_attention(make_sparse_attention_impl(top_k=2, quant_bits=1))
+        sparse = sparse_model.classify(token_ids)
+        assert not np.allclose(dense.logits, sparse.logits)

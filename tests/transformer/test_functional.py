@@ -1,0 +1,151 @@
+"""Tests for the numerical primitives (softmax, GELU, LayerNorm, masking)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.transformer.functional import (
+    attention_mask_from_lengths,
+    gelu,
+    layer_norm,
+    linear,
+    masked_softmax,
+    relu,
+    softmax,
+    stable_exp,
+)
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self, rng):
+        x = rng.normal(size=(5, 9))
+        assert np.allclose(softmax(x).sum(axis=-1), 1.0)
+
+    def test_invariant_to_constant_shift(self, rng):
+        x = rng.normal(size=(4, 6))
+        assert np.allclose(softmax(x), softmax(x + 1000.0))
+
+    def test_handles_large_values_without_overflow(self):
+        x = np.array([1e4, 1e4 + 1.0])
+        probs = softmax(x)
+        assert np.all(np.isfinite(probs))
+        assert probs[1] > probs[0]
+
+    def test_axis_argument(self, rng):
+        x = rng.normal(size=(3, 4))
+        assert np.allclose(softmax(x, axis=0).sum(axis=0), 1.0)
+
+    def test_stable_exp_matches_shifted_exponential(self, rng):
+        x = rng.normal(size=(2, 5))
+        expected = np.exp(x - x.max(axis=-1, keepdims=True))
+        assert np.allclose(stable_exp(x), expected)
+
+
+class TestMaskedSoftmax:
+    def test_masked_positions_get_zero(self, rng):
+        scores = rng.normal(size=(4, 6))
+        mask = np.array([True, True, False, True, False, True])
+        probs = masked_softmax(scores, mask[None, :])
+        assert np.all(probs[:, ~mask] == 0.0)
+        assert np.allclose(probs.sum(axis=-1), 1.0)
+
+    def test_none_mask_is_plain_softmax(self, rng):
+        scores = rng.normal(size=(3, 5))
+        assert np.allclose(masked_softmax(scores, None), softmax(scores))
+
+    def test_fully_masked_row_is_all_zero(self):
+        scores = np.ones((2, 3))
+        probs = masked_softmax(scores, np.zeros(3, dtype=bool)[None, :])
+        assert np.all(probs == 0.0)
+
+
+class TestActivations:
+    def test_gelu_at_zero(self):
+        assert gelu(np.array([0.0]))[0] == pytest.approx(0.0)
+
+    def test_gelu_approaches_identity_for_large_inputs(self):
+        x = np.array([10.0, -10.0])
+        out = gelu(x)
+        assert out[0] == pytest.approx(10.0, rel=1e-3)
+        assert out[1] == pytest.approx(0.0, abs=1e-3)
+
+    def test_gelu_is_monotone_on_positive_axis(self):
+        x = np.linspace(0, 5, 100)
+        assert np.all(np.diff(gelu(x)) > 0)
+
+    def test_relu(self):
+        assert np.array_equal(relu(np.array([-1.0, 0.0, 2.0])), np.array([0.0, 0.0, 2.0]))
+
+
+class TestLayerNorm:
+    def test_output_has_zero_mean_unit_variance(self, rng):
+        x = rng.normal(loc=3.0, scale=5.0, size=(6, 32))
+        out = layer_norm(x, np.ones(32), np.zeros(32))
+        assert np.allclose(out.mean(axis=-1), 0.0, atol=1e-9)
+        assert np.allclose(out.var(axis=-1), 1.0, atol=1e-3)
+
+    def test_gamma_beta_applied(self, rng):
+        x = rng.normal(size=(4, 8))
+        gamma = np.full(8, 2.0)
+        beta = np.full(8, -1.0)
+        out = layer_norm(x, gamma, beta)
+        base = layer_norm(x, np.ones(8), np.zeros(8))
+        assert np.allclose(out, 2.0 * base - 1.0)
+
+    def test_constant_row_stays_finite(self):
+        x = np.full((1, 16), 3.0)
+        out = layer_norm(x, np.ones(16), np.zeros(16))
+        assert np.all(np.isfinite(out))
+
+
+class TestLinearAndMask:
+    def test_linear_matches_numpy(self, rng):
+        x = rng.normal(size=(5, 8))
+        w = rng.normal(size=(8, 3))
+        b = rng.normal(size=3)
+        assert np.allclose(linear(x, w, b), x @ w + b)
+
+    def test_linear_without_bias(self, rng):
+        x = rng.normal(size=(5, 8))
+        w = rng.normal(size=(8, 3))
+        assert np.allclose(linear(x, w), x @ w)
+
+    def test_mask_from_lengths(self):
+        mask = attention_mask_from_lengths(np.array([2, 4]), 5)
+        assert mask.shape == (2, 5)
+        assert list(mask[0]) == [True, True, False, False, False]
+        assert list(mask[1]) == [True, True, True, True, False]
+
+    def test_mask_rejects_lengths_exceeding_max(self):
+        with pytest.raises(ValueError):
+            attention_mask_from_lengths(np.array([10]), 5)
+
+    def test_mask_rejects_negative_lengths(self):
+        with pytest.raises(ValueError):
+            attention_mask_from_lengths(np.array([-1]), 5)
+
+
+class TestFunctionalProperties:
+    @given(
+        arrays(np.float64, shape=st.tuples(st.integers(1, 6), st.integers(2, 12)),
+               elements=st.floats(-50, 50)),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_softmax_is_a_distribution(self, x):
+        probs = softmax(x)
+        assert np.all(probs >= 0)
+        assert np.allclose(probs.sum(axis=-1), 1.0)
+
+    @given(
+        arrays(np.float64, shape=st.tuples(st.integers(1, 5), st.integers(4, 16)),
+               elements=st.floats(-30, 30)),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_layer_norm_centers_rows(self, x):
+        dim = x.shape[-1]
+        out = layer_norm(x, np.ones(dim), np.zeros(dim))
+        assert np.allclose(out.mean(axis=-1), 0.0, atol=1e-7)

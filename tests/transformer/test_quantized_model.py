@@ -1,0 +1,69 @@
+"""Tests for post-training 8-bit model quantization (Section 5.1 assumption)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.transformer.model import TransformerModel
+from repro.transformer.quantized import quantize_model_weights, weight_quantization_error
+
+
+class TestQuantizedModelWeights:
+    def test_original_weights_untouched(self, tiny_weights):
+        original = tiny_weights.layers[0].attention.wq.copy()
+        quantize_model_weights(tiny_weights, bits=8)
+        assert np.array_equal(tiny_weights.layers[0].attention.wq, original)
+
+    def test_quantized_weights_differ_but_slightly(self, tiny_weights):
+        quantized = quantize_model_weights(tiny_weights, bits=8)
+        original = tiny_weights.layers[0].attention.wq
+        approx = quantized.layers[0].attention.wq
+        assert not np.array_equal(original, approx)
+        assert np.max(np.abs(original - approx)) < 0.05 * np.max(np.abs(original))
+
+    def test_layernorm_parameters_kept_full_precision(self, tiny_weights):
+        quantized = quantize_model_weights(tiny_weights, bits=8)
+        assert np.array_equal(
+            quantized.layers[0].attn_ln_gamma, tiny_weights.layers[0].attn_ln_gamma
+        )
+
+    def test_eight_bit_error_is_small(self, tiny_weights):
+        assert weight_quantization_error(tiny_weights, bits=8) < 0.01
+
+    def test_error_grows_as_bits_shrink(self, tiny_weights):
+        errors = [weight_quantization_error(tiny_weights, bits) for bits in (8, 6, 4, 2)]
+        assert errors == sorted(errors)
+
+    def test_eight_bit_model_preserves_predictions(self, tiny_config, tiny_weights, small_sequence):
+        # The paper's working assumption ("quantized into 8 bits fixed-point
+        # representation without accuracy drop") verified on the tiny model.
+        token_ids, segment_ids = small_sequence
+        full = TransformerModel(tiny_config, weights=tiny_weights)
+        quantized = TransformerModel(
+            tiny_config, weights=quantize_model_weights(tiny_weights, bits=8)
+        )
+        assert (
+            full.classify(token_ids, segment_ids=segment_ids).prediction
+            == quantized.classify(token_ids, segment_ids=segment_ids).prediction
+        )
+        assert np.allclose(
+            full.classify(token_ids, segment_ids=segment_ids).logits,
+            quantized.classify(token_ids, segment_ids=segment_ids).logits,
+            atol=0.1,
+        )
+
+    def test_two_bit_model_does_degrade(self, tiny_config, tiny_weights, small_sequence):
+        token_ids, segment_ids = small_sequence
+        full = TransformerModel(tiny_config, weights=tiny_weights)
+        crushed = TransformerModel(
+            tiny_config, weights=quantize_model_weights(tiny_weights, bits=2)
+        )
+        full_logits = full.classify(token_ids, segment_ids=segment_ids).logits
+        crushed_logits = crushed.classify(token_ids, segment_ids=segment_ids).logits
+        assert not np.allclose(full_logits, crushed_logits, atol=0.05)
+
+    def test_heads_are_quantized_too(self, tiny_weights):
+        quantized = quantize_model_weights(tiny_weights, bits=8)
+        assert quantized.classifier_w is not None
+        assert not np.array_equal(quantized.classifier_w, tiny_weights.classifier_w)

@@ -1,0 +1,58 @@
+"""Tests for synthetic weight generation."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.transformer.weights import generate_model_weights
+
+
+class TestWeightGeneration:
+    def test_deterministic_for_same_seed(self, tiny_config):
+        a = generate_model_weights(tiny_config, seed=3)
+        b = generate_model_weights(tiny_config, seed=3)
+        assert np.array_equal(a.layers[0].attention.wq, b.layers[0].attention.wq)
+        assert np.array_equal(a.embeddings.token, b.embeddings.token)
+
+    def test_different_seeds_differ(self, tiny_config):
+        a = generate_model_weights(tiny_config, seed=3)
+        b = generate_model_weights(tiny_config, seed=4)
+        assert not np.array_equal(a.layers[0].attention.wq, b.layers[0].attention.wq)
+
+    def test_shapes_match_config(self, tiny_config, tiny_weights):
+        h = tiny_config.hidden_dim
+        inter = tiny_config.intermediate_dim
+        assert len(tiny_weights.layers) == tiny_config.num_layers
+        layer = tiny_weights.layers[0]
+        assert layer.attention.wq.shape == (h, h)
+        assert layer.ffn_w1.shape == (h, inter)
+        assert layer.ffn_w2.shape == (inter, h)
+        assert tiny_weights.embeddings.token.shape == (tiny_config.vocab_size, h)
+        assert tiny_weights.embeddings.position.shape == (tiny_config.max_position, h)
+
+    def test_heads_present(self, tiny_weights):
+        assert tiny_weights.classifier_w is not None
+        assert tiny_weights.qa_w is not None
+        assert tiny_weights.qa_w.shape[1] == 2
+
+    def test_qa_head_optional(self, tiny_config):
+        weights = generate_model_weights(tiny_config, seed=0, with_qa_head=False)
+        assert weights.qa_w is None
+
+    def test_classifier_width_follows_num_classes(self, tiny_config):
+        weights = generate_model_weights(tiny_config, seed=0, num_classes=5)
+        assert weights.classifier_w.shape[1] == 5
+
+    def test_parameter_count_positive_and_consistent(self, tiny_config, tiny_weights):
+        count = tiny_weights.num_parameters()
+        assert count > tiny_config.num_parameters  # embeddings and heads included
+
+    def test_layer_norm_parameters_initialized_to_identity(self, tiny_weights):
+        layer = tiny_weights.layers[0]
+        assert np.all(layer.attn_ln_gamma == 1.0)
+        assert np.all(layer.ffn_ln_beta == 0.0)
+
+    def test_weight_scale_is_reasonable(self, tiny_weights, tiny_config):
+        # Fan-in scaled init: std approximately 1/sqrt(hidden).
+        std = tiny_weights.layers[0].attention.wq.std()
+        assert 0.5 / np.sqrt(tiny_config.hidden_dim) < std < 2.0 / np.sqrt(tiny_config.hidden_dim)

@@ -10,6 +10,8 @@ Reproduction library.  The public API is organized in subpackages:
   dynamic pipelining (plus padding / micro-batch baselines).
 * :mod:`repro.platforms` -- CPU / GPU / FPGA performance and energy models.
 * :mod:`repro.datasets` -- synthetic workloads matching Table 1 statistics.
+* :mod:`repro.serving` -- event-driven online serving simulator (arrival
+  processes, dynamic batching, multi-accelerator routing).
 * :mod:`repro.evaluation` -- per-figure/table experiment harnesses.
 
 The most common entry points are re-exported at the top level below.
@@ -30,6 +32,15 @@ from .scheduling import (
     SequentialScheduler,
     allocate_stages,
 )
+from .serving import (
+    BurstyArrivals,
+    ClosedLoopArrivals,
+    OnlineServingReport,
+    PoissonArrivals,
+    ServingReport,
+    simulate_online,
+    simulate_serving,
+)
 from .transformer import (
     BERT_BASE,
     BERT_LARGE,
@@ -47,13 +58,18 @@ __all__ = [
     "Accelerator",
     "BERT_BASE",
     "BERT_LARGE",
+    "BurstyArrivals",
+    "ClosedLoopArrivals",
     "DISTILBERT",
     "LengthAwareScheduler",
     "MicroBatchScheduler",
     "ModelConfig",
+    "OnlineServingReport",
     "PaddedScheduler",
+    "PoissonArrivals",
     "ROBERTA",
     "SequentialScheduler",
+    "ServingReport",
     "SparseAttentionConfig",
     "TransformerModel",
     "allocate_stages",
@@ -63,6 +79,8 @@ __all__ = [
     "get_dataset_config",
     "get_model_config",
     "make_sparse_attention_impl",
+    "simulate_online",
+    "simulate_serving",
     "sparse_attention_head",
     "sparse_multi_head_attention",
     "__version__",

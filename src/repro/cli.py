@@ -10,10 +10,15 @@ Usage (after installation)::
     python -m repro fig7b                # attention-core speedups
     python -m repro table2               # energy-efficiency table
     python -m repro all                  # everything except fig6
+    python -m repro serve --dataset mrpc --qps 800   # online serving at a fixed load
+    python -m repro serve --dataset rte              # latency-vs-load sweep
+    python -m repro serve --num-accelerators 4 --routing least-loaded --arrival bursty
 
 Each command prints the same rows/series the paper reports for that table or
-figure; the benchmark suite (`pytest benchmarks/ --benchmark-only`) runs the
-same harnesses under a timer and stores the rendered output on disk.
+figure (``serve`` goes beyond the paper: it drives the accelerator model with
+open-loop traffic); the benchmark suite (`pytest benchmarks/
+--benchmark-only`) runs the same harnesses under a timer and stores the
+rendered output on disk.
 """
 
 from __future__ import annotations
@@ -21,13 +26,17 @@ from __future__ import annotations
 import argparse
 import sys
 
+from . import config as global_config
 from .evaluation.fig1_breakdown import run_fig1_breakdown
 from .evaluation.fig5_timeline import run_fig5_schedule
 from .evaluation.fig6_accuracy import run_fig6_accuracy
 from .evaluation.fig7_throughput import run_fig7_throughput
 from .evaluation.report import format_key_values, format_table
+from .evaluation.serving_sweep import build_serving_fleet, run_serving_sweep
 from .evaluation.table1_models import run_table1
 from .evaluation.table2_energy import run_table2_energy
+from .serving import get_arrival_process, get_batch_policy, get_router, simulate_online
+from .transformer.configs import DATASET_ZOO, MODEL_ZOO, get_model_config
 
 __all__ = ["main", "build_parser"]
 
@@ -102,6 +111,72 @@ def _cmd_table2(args: argparse.Namespace) -> str:
     return format_table(result.as_rows(), title="Table 2 - throughput & energy efficiency")
 
 
+def _cmd_serve(args: argparse.Namespace) -> str:
+    model = get_model_config(args.model)
+    timeout_s = args.timeout_ms * 1e-3
+    if args.qps is None:
+        result = run_serving_sweep(
+            datasets=(args.dataset,),
+            batch_policies=(args.batch_policy,),
+            num_requests=args.requests,
+            batch_size=args.batch_size,
+            num_accelerators=args.num_accelerators,
+            router=args.routing,
+            arrival=args.arrival,
+            timeout_s=timeout_s,
+            model=model,
+            seed=args.seed,
+        )
+        text = format_table(
+            result.as_rows(),
+            title=f"Latency vs offered load ({model.name}, {args.num_accelerators} device(s))",
+        )
+        text += format_key_values(
+            {
+                f"closed-loop capacity ({name})": f"{qps:.1f} seq/s"
+                for name, qps in result.capacity_qps.items()
+            }
+        )
+        return text
+
+    fleet = build_serving_fleet(model, args.dataset, args.num_accelerators)
+    report = simulate_online(
+        fleet,
+        args.dataset,
+        arrivals=get_arrival_process(args.arrival, rate_qps=args.qps),
+        num_requests=args.requests,
+        batch_policy=get_batch_policy(
+            args.batch_policy, batch_size=args.batch_size, timeout_s=timeout_s
+        ),
+        router=get_router(args.routing),
+        seed=args.seed,
+    )
+    text = format_table([report.as_row()], title="Online serving simulation")
+    text += format_table(
+        [
+            {
+                "device": device.index,
+                "batches": device.num_batches,
+                "requests": device.num_requests,
+                "busy_s": round(device.busy_seconds, 4),
+                "duty_cycle": round(device.duty_cycle(report.makespan_seconds), 3),
+                "pipeline_util": round(device.mean_pipeline_utilization, 3),
+            }
+            for device in report.devices
+        ],
+        title="Per-device utilization",
+    )
+    text += format_key_values(
+        {
+            "queueing delay p50 (ms)": round(report.queueing_delay_percentile(50) * 1e3, 2),
+            "queueing delay p99 (ms)": round(report.queueing_delay_percentile(99) * 1e3, 2),
+            "max queue depth": report.max_queue_depth,
+            "router": report.router,
+        }
+    )
+    return text
+
+
 def _cmd_all(args: argparse.Namespace) -> str:
     sections = [
         _cmd_fig1(argparse.Namespace(sequence_length=128, mode="time")),
@@ -112,6 +187,27 @@ def _cmd_all(args: argparse.Namespace) -> str:
         _cmd_table2(args),
     ]
     return "\n".join(sections)
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError("must be >= 1")
+    return value
+
+
+def _positive_float(text: str) -> float:
+    value = float(text)
+    if value <= 0:
+        raise argparse.ArgumentTypeError("must be > 0")
+    return value
+
+
+def _nonnegative_float(text: str) -> float:
+    value = float(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError("must be >= 0")
+    return value
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -151,6 +247,36 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers.add_parser("all", help="every experiment except the (slow) fig6 sweep").set_defaults(
         func=_cmd_all
     )
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="online serving simulation (fixed QPS) or latency-vs-load sweep (no --qps)",
+    )
+    serve.add_argument("--dataset", choices=sorted(DATASET_ZOO), default="mrpc")
+    serve.add_argument(
+        "--qps",
+        type=_positive_float,
+        default=None,
+        help="offered load; omit to sweep load fractions",
+    )
+    serve.add_argument("--requests", type=_positive_int, default=192)
+    serve.add_argument(
+        "--batch-size", type=_positive_int, default=global_config.DEFAULT_BATCH_SIZE
+    )
+    serve.add_argument(
+        "--batch-policy", choices=("fixed", "timeout", "bucketed"), default="timeout"
+    )
+    serve.add_argument("--timeout-ms", type=_nonnegative_float, default=20.0)
+    serve.add_argument(
+        "--routing",
+        choices=("round-robin", "least-loaded", "length-sharded"),
+        default="least-loaded",
+    )
+    serve.add_argument("--num-accelerators", type=_positive_int, default=1)
+    serve.add_argument("--arrival", choices=("poisson", "bursty"), default="poisson")
+    serve.add_argument("--model", choices=sorted(MODEL_ZOO), default="bert-base")
+    serve.add_argument("--seed", type=int, default=global_config.DEFAULT_SEED)
+    serve.set_defaults(func=_cmd_serve)
     return parser
 
 

@@ -6,6 +6,12 @@ from .fig6_accuracy import Fig6PairResult, Fig6Result, reduced_config, run_fig6_
 from .fig7_throughput import Fig7Result, Fig7Workload, run_fig7_throughput
 from .report import format_key_values, format_table
 from .runner import ExperimentReport, run_all_experiments
+from .serving_sweep import (
+    ServingSweepResult,
+    SweepPoint,
+    build_serving_fleet,
+    run_serving_sweep,
+)
 from .table1_models import Table1Result, run_table1
 from .table2_energy import Table2Result, run_table2_energy
 
@@ -18,8 +24,11 @@ __all__ = [
     "Fig6Result",
     "Fig7Result",
     "Fig7Workload",
+    "ServingSweepResult",
+    "SweepPoint",
     "Table1Result",
     "Table2Result",
+    "build_serving_fleet",
     "format_key_values",
     "format_table",
     "reduced_config",
@@ -28,6 +37,7 @@ __all__ = [
     "run_fig5_schedule",
     "run_fig6_accuracy",
     "run_fig7_throughput",
+    "run_serving_sweep",
     "run_table1",
     "run_table2_energy",
 ]

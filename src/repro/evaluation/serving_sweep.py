@@ -1,0 +1,160 @@
+"""Latency-vs-offered-load sweep of the online serving simulator.
+
+The closed-batch experiments (Fig. 7, ``serving_throughput``) report the
+drain rate of pre-formed batches.  This harness answers the deployment-side
+question instead: *what latency does a user see at a given offered QPS, and
+where does the system saturate?*  For each Table 1 dataset it builds the
+proposed accelerator (or a fleet of them), measures the closed-loop capacity,
+then subjects the design to open-loop traffic at a grid of load fractions and
+records p50/p95/p99 latency, sustained throughput, queue depth, and fleet
+utilization -- the data behind a classic latency-vs-load hockey-stick curve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..hardware.accelerator import Accelerator, build_sparse_accelerator
+from ..serving.arrivals import get_arrival_process
+from ..serving.engine import OnlineServingReport, simulate_online
+from ..serving.closed_loop import simulate_serving
+from ..serving.policies import get_batch_policy
+from ..serving.routing import get_router
+from ..transformer.configs import BERT_BASE, ModelConfig, get_dataset_config
+from .. import config as global_config
+
+__all__ = ["SweepPoint", "ServingSweepResult", "build_serving_fleet", "run_serving_sweep"]
+
+#: Offered-load grid (fractions of the measured closed-loop capacity); the
+#: last point sits past saturation so the latency divergence is visible.
+DEFAULT_LOAD_FRACTIONS = (0.25, 0.5, 0.75, 0.9, 1.1)
+
+
+@dataclass
+class SweepPoint:
+    """One (dataset, policy, load) measurement."""
+
+    dataset: str
+    batch_policy: str
+    load_fraction: float
+    offered_qps: float
+    capacity_qps: float
+    report: OnlineServingReport
+
+    def as_row(self) -> dict:
+        return {
+            "dataset": self.dataset,
+            "policy": self.batch_policy,
+            "load": round(self.load_fraction, 2),
+            "offered_qps": round(self.offered_qps, 1),
+            "sustained_qps": round(self.report.sustained_qps, 1),
+            "p50_ms": round(self.report.latency_percentile(50) * 1e3, 2),
+            "p95_ms": round(self.report.latency_percentile(95) * 1e3, 2),
+            "p99_ms": round(self.report.latency_percentile(99) * 1e3, 2),
+            "waiting": round(self.report.mean_waiting_requests, 1),
+            "device_util": round(self.report.average_device_utilization, 3),
+        }
+
+
+@dataclass
+class ServingSweepResult:
+    """All sweep points plus the per-dataset capacity reference."""
+
+    model: str
+    num_accelerators: int
+    batch_size: int
+    num_requests: int
+    capacity_qps: dict[str, float] = field(default_factory=dict)
+    points: list[SweepPoint] = field(default_factory=list)
+
+    def as_rows(self) -> list[dict]:
+        return [point.as_row() for point in self.points]
+
+    def p99_curve(self, dataset: str, batch_policy: str | None = None) -> list[tuple[float, float]]:
+        """(load fraction, p99 seconds) pairs for one dataset, sorted by load."""
+        curve = [
+            (p.load_fraction, p.report.latency_percentile(99))
+            for p in self.points
+            if p.dataset == dataset and (batch_policy is None or p.batch_policy == batch_policy)
+        ]
+        return sorted(curve)
+
+
+def build_serving_fleet(
+    model: ModelConfig,
+    dataset_name: str,
+    num_accelerators: int = 1,
+    top_k: int = global_config.DEFAULT_TOP_K,
+) -> list[Accelerator]:
+    """Build ``num_accelerators`` copies of the proposed design for a dataset."""
+    if num_accelerators < 1:
+        raise ValueError("num_accelerators must be >= 1")
+    dataset = get_dataset_config(dataset_name)
+    return [
+        build_sparse_accelerator(
+            model, top_k=top_k, avg_seq=dataset.avg_length, max_seq=dataset.max_length
+        )
+        for _ in range(num_accelerators)
+    ]
+
+
+def run_serving_sweep(
+    datasets: tuple[str, ...] = ("mrpc", "rte", "squad"),
+    load_fractions: tuple[float, ...] = DEFAULT_LOAD_FRACTIONS,
+    batch_policies: tuple[str, ...] = ("timeout",),
+    num_requests: int = 192,
+    batch_size: int = global_config.DEFAULT_BATCH_SIZE,
+    num_accelerators: int = 1,
+    router: str = "least-loaded",
+    arrival: str = "poisson",
+    timeout_s: float = 20e-3,
+    model: ModelConfig = BERT_BASE,
+    seed: int = global_config.DEFAULT_SEED,
+) -> ServingSweepResult:
+    """Sweep offered load for each dataset and batch policy.
+
+    The offered QPS at each point is ``load_fraction`` times the dataset's
+    measured closed-loop capacity (fixed batches of ``batch_size`` drained
+    back to back over the whole fleet), so a load of 1.0 is the drain rate
+    the closed-batch benchmarks report and anything above it is overload.
+    """
+    result = ServingSweepResult(
+        model=model.name,
+        num_accelerators=num_accelerators,
+        batch_size=batch_size,
+        num_requests=num_requests,
+    )
+    for dataset_name in datasets:
+        dataset = get_dataset_config(dataset_name)
+        fleet = build_serving_fleet(model, dataset_name, num_accelerators)
+        closed = simulate_serving(
+            fleet[0], dataset, num_requests=num_requests, batch_size=batch_size, seed=seed
+        )
+        capacity = closed.throughput_sequences_per_second * num_accelerators
+        result.capacity_qps[dataset.name] = capacity
+        for policy_name in batch_policies:
+            for fraction in load_fractions:
+                offered = capacity * fraction
+                policy = get_batch_policy(
+                    policy_name, batch_size=batch_size, timeout_s=timeout_s
+                )
+                report = simulate_online(
+                    fleet,
+                    dataset,
+                    arrivals=get_arrival_process(arrival, rate_qps=offered),
+                    num_requests=num_requests,
+                    batch_policy=policy,
+                    router=get_router(router),
+                    seed=seed,
+                )
+                result.points.append(
+                    SweepPoint(
+                        dataset=dataset.name,
+                        batch_policy=policy.name,
+                        load_fraction=fraction,
+                        offered_qps=offered,
+                        capacity_qps=capacity,
+                        report=report,
+                    )
+                )
+    return result

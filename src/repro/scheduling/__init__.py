@@ -8,7 +8,6 @@ from .length_aware import (
     sort_batch_by_length,
 )
 from .pipeline import PipelineJob, ScheduleResult, simulate_coarse_pipeline
-from .serving import ServingReport, simulate_serving
 from .stage_allocation import (
     StageAssignment,
     StagePlan,
@@ -16,6 +15,21 @@ from .stage_allocation import (
     plan_to_accelerator,
 )
 from .timeline import StageOccupancy, Timeline, TimelineEvent
+
+# ``ServingReport`` / ``simulate_serving`` moved to :mod:`repro.serving`
+# (closed-loop mode of the online engine).  They are re-exported lazily to
+# avoid a circular import: ``repro.serving`` builds on the scheduler modules
+# of this package.
+_SERVING_EXPORTS = ("ServingReport", "simulate_serving")
+
+
+def __getattr__(name: str):
+    if name in _SERVING_EXPORTS:
+        from ..serving.closed_loop import ServingReport, simulate_serving
+
+        return {"ServingReport": ServingReport, "simulate_serving": simulate_serving}[name]
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 __all__ = [
     "DesignPoint",

@@ -1,133 +1,29 @@
-"""Batch-serving simulation over a whole synthetic dataset.
+"""Deprecated location of the batch-serving simulation.
 
-The paper evaluates throughput on batches of 16 drawn from each dataset; a
-deployed serving system processes a long stream of such batches.  This module
-simulates that stream on any accelerator + scheduler combination: the request
-lengths are drawn from the dataset's Table 1 distribution, bucketed into
-batches (optionally globally sorted, the common serving-side trick), each
-batch is scheduled on the FPGA model, and the aggregate throughput plus the
-per-sequence latency distribution are reported.  It is the piece a downstream
-user needs to answer "what does this accelerator give me on my traffic?".
+The closed-loop stream drain that used to live here is now a thin special
+case of the event-driven online serving engine: see
+:mod:`repro.serving.closed_loop` (implementation) and
+:mod:`repro.serving.engine` (the general open-loop simulator with arrival
+processes, batch-formation policies, and multi-accelerator routing).
+
+This module remains as a re-export shim so existing imports keep working::
+
+    from repro.scheduling.serving import ServingReport, simulate_serving
+
+New code should import from :mod:`repro.serving` instead.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import warnings
 
-import numpy as np
-
-from .. import config as global_config
-from ..datasets.batching import make_batches, sorted_batches
-from ..datasets.length_distributions import sample_lengths
-from ..hardware.accelerator import Accelerator
-from ..transformer.configs import DatasetConfig
-from .length_aware import LengthAwareScheduler
-from .pipeline import ScheduleResult
+from ..serving.closed_loop import ServingReport, simulate_serving
 
 __all__ = ["ServingReport", "simulate_serving"]
 
-
-@dataclass
-class ServingReport:
-    """Aggregate results of serving a request stream."""
-
-    dataset: str
-    accelerator: str
-    scheduler: str
-    batch_size: int
-    num_requests: int
-    batch_results: list[ScheduleResult] = field(default_factory=list)
-    sequence_latencies_seconds: list[float] = field(default_factory=list)
-
-    @property
-    def total_seconds(self) -> float:
-        """Wall-clock time to drain the whole request stream (batches run back to back)."""
-        return float(sum(result.makespan_seconds for result in self.batch_results))
-
-    @property
-    def throughput_sequences_per_second(self) -> float:
-        """Aggregate serving throughput."""
-        if self.total_seconds == 0:
-            return 0.0
-        return self.num_requests / self.total_seconds
-
-    @property
-    def average_utilization(self) -> float:
-        """Mean stage utilization across batches."""
-        if not self.batch_results:
-            return 0.0
-        return float(np.mean([result.average_utilization for result in self.batch_results]))
-
-    def latency_percentile(self, percentile: float) -> float:
-        """Per-sequence latency percentile (seconds), including queueing inside the batch."""
-        if not self.sequence_latencies_seconds:
-            raise ValueError("no sequences were served")
-        return float(np.percentile(self.sequence_latencies_seconds, percentile))
-
-    def as_row(self) -> dict:
-        """Summary row for reports."""
-        return {
-            "dataset": self.dataset,
-            "scheduler": self.scheduler,
-            "batch_size": self.batch_size,
-            "requests": self.num_requests,
-            "throughput_seq_per_s": round(self.throughput_sequences_per_second, 1),
-            "p50_latency_ms": round(self.latency_percentile(50) * 1e3, 2),
-            "p99_latency_ms": round(self.latency_percentile(99) * 1e3, 2),
-            "avg_stage_utilization": round(self.average_utilization, 3),
-        }
-
-
-def simulate_serving(
-    accelerator: Accelerator,
-    dataset: DatasetConfig,
-    num_requests: int = 256,
-    batch_size: int = global_config.DEFAULT_BATCH_SIZE,
-    scheduler=None,
-    sort_globally: bool = True,
-    seed: int = global_config.DEFAULT_SEED,
-) -> ServingReport:
-    """Serve ``num_requests`` synthetic requests drawn from ``dataset``.
-
-    Parameters
-    ----------
-    accelerator:
-        The FPGA design to serve on.
-    dataset:
-        Which Table 1 length distribution the requests follow.
-    num_requests:
-        Total number of sequences in the stream.
-    batch_size:
-        Sequences per hardware batch (the paper uses 16).
-    scheduler:
-        Any scheduler with a ``schedule(accelerator, lengths)`` method;
-        defaults to the length-aware scheduler.
-    sort_globally:
-        Bucket similar-length requests into the same batch before scheduling
-        (standard serving practice; the intra-batch sort is the scheduler's
-        job either way).
-    """
-    if num_requests < 1:
-        raise ValueError("num_requests must be >= 1")
-    scheduler = scheduler or LengthAwareScheduler()
-    lengths = [int(x) for x in sample_lengths(dataset, num_requests, seed=seed)]
-    batches = (
-        sorted_batches(lengths, batch_size=batch_size)
-        if sort_globally
-        else make_batches(lengths, batch_size=batch_size)
-    )
-
-    report = ServingReport(
-        dataset=dataset.name,
-        accelerator=accelerator.name,
-        scheduler=getattr(scheduler, "name", type(scheduler).__name__),
-        batch_size=batch_size,
-        num_requests=num_requests,
-    )
-    for batch in batches:
-        result = scheduler.schedule(accelerator, batch)
-        report.batch_results.append(result)
-        for index in range(len(batch)):
-            latency_cycles = result.timeline.sequence_latency(index)
-            report.sequence_latencies_seconds.append(latency_cycles / accelerator.clock_hz)
-    return report
+warnings.warn(
+    "repro.scheduling.serving is deprecated; import ServingReport and "
+    "simulate_serving from repro.serving instead",
+    DeprecationWarning,
+    stacklevel=2,
+)

@@ -1,0 +1,70 @@
+"""Online (open-loop) serving simulation on top of the hardware model.
+
+The subsystem turns the per-batch accelerator model into a traffic-facing
+service simulator:
+
+* :mod:`~repro.serving.arrivals` -- request streams (Poisson, bursty MMPP,
+  trace replay, closed-loop).
+* :mod:`~repro.serving.policies` -- batch formation (fixed-size, timeout
+  dynamic batching, length-bucketed continuous batching).
+* :mod:`~repro.serving.routing` -- multi-accelerator dispatch (round-robin,
+  least-loaded, length-sharded).
+* :mod:`~repro.serving.engine` -- the event-driven simulator and its report
+  (latency percentiles, sustained QPS, queue-depth timeline, fleet
+  utilization).
+* :mod:`~repro.serving.closed_loop` -- the legacy batch-drain API
+  (``simulate_serving``) expressed as a special case of the engine.
+"""
+
+from .arrivals import (
+    ArrivalProcess,
+    BurstyArrivals,
+    ClosedLoopArrivals,
+    PoissonArrivals,
+    TraceArrivals,
+    get_arrival_process,
+)
+from .closed_loop import ServingReport, simulate_serving
+from .engine import BatchRecord, DeviceSummary, OnlineServingReport, simulate_online
+from .policies import (
+    BatchPolicy,
+    FixedSizeBatcher,
+    LengthBucketedBatcher,
+    TimeoutBatcher,
+    get_batch_policy,
+)
+from .request import Request, RequestRecord
+from .routing import (
+    LeastLoadedRouter,
+    LengthShardedRouter,
+    RoundRobinRouter,
+    Router,
+    get_router,
+)
+
+__all__ = [
+    "ArrivalProcess",
+    "BatchPolicy",
+    "BatchRecord",
+    "BurstyArrivals",
+    "ClosedLoopArrivals",
+    "DeviceSummary",
+    "FixedSizeBatcher",
+    "LeastLoadedRouter",
+    "LengthBucketedBatcher",
+    "LengthShardedRouter",
+    "OnlineServingReport",
+    "PoissonArrivals",
+    "Request",
+    "RequestRecord",
+    "RoundRobinRouter",
+    "Router",
+    "ServingReport",
+    "TimeoutBatcher",
+    "TraceArrivals",
+    "get_arrival_process",
+    "get_batch_policy",
+    "get_router",
+    "simulate_online",
+    "simulate_serving",
+]

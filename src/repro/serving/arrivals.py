@@ -1,0 +1,261 @@
+"""Arrival processes generating open-loop request streams.
+
+The serving engine is traffic-agnostic: it consumes a list of
+:class:`~repro.serving.request.Request` objects sorted by arrival time.  The
+processes here generate such lists from the dataset's Table 1 length
+distribution:
+
+* :class:`PoissonArrivals` -- memoryless traffic at a fixed offered QPS, the
+  standard open-loop load model for latency-vs-throughput curves.
+* :class:`BurstyArrivals` -- a two-state Markov-modulated Poisson process
+  (MMPP-2): the stream alternates between a quiet state and a burst state
+  whose rate is ``burst_ratio`` times higher, while the long-run average rate
+  stays at the requested QPS.  This stresses queueing in a way Poisson traffic
+  does not.
+* :class:`TraceArrivals` -- replay of an explicit (time, length) trace,
+  e.g. recorded production traffic.
+* :class:`ClosedLoopArrivals` -- every request present at t=0; this reduces
+  the online engine to the legacy batch-drain simulation and is the mode the
+  `scheduling.serving` shim uses.
+
+Lengths are always drawn with :func:`repro.datasets.length_distributions.sample_lengths`
+so the open-loop stream follows the exact same per-dataset distribution as the
+closed-batch experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .. import config as global_config
+from ..datasets.length_distributions import sample_lengths
+from ..transformer.configs import DatasetConfig, get_dataset_config
+from .request import Request
+
+__all__ = [
+    "ArrivalProcess",
+    "PoissonArrivals",
+    "BurstyArrivals",
+    "TraceArrivals",
+    "ClosedLoopArrivals",
+    "get_arrival_process",
+]
+
+
+def _dataset_lengths(
+    dataset: DatasetConfig | str, num_requests: int, seed: int
+) -> list[int]:
+    if isinstance(dataset, str):
+        dataset = get_dataset_config(dataset)
+    return [int(x) for x in sample_lengths(dataset, num_requests, seed=seed)]
+
+
+class ArrivalProcess:
+    """Base class: generate a deterministic request stream for a dataset."""
+
+    name: str = "arrivals"
+
+    #: Offered request rate (requests/second) when the process has one.
+    rate_qps: float | None = None
+
+    def arrival_times(self, num_requests: int, rng: np.random.Generator) -> np.ndarray:
+        """Return ``num_requests`` non-decreasing arrival times (seconds)."""
+        raise NotImplementedError
+
+    def generate(
+        self,
+        dataset: DatasetConfig | str,
+        num_requests: int | None,
+        seed: int = global_config.DEFAULT_SEED,
+    ) -> list[Request]:
+        """Materialize the request stream (sorted by arrival time, then id)."""
+        if num_requests is None:
+            raise ValueError(f"arrival process '{self.name}' needs num_requests")
+        if num_requests < 1:
+            raise ValueError("num_requests must be >= 1")
+        lengths = _dataset_lengths(dataset, num_requests, seed)
+        # A distinct stream for timing keeps arrival times independent of the
+        # length sample (and identical to the closed-batch sample for a seed).
+        rng = np.random.default_rng([seed, 0x5E12])
+        times = np.asarray(self.arrival_times(num_requests, rng), dtype=np.float64)
+        if len(times) != num_requests:
+            raise ValueError("arrival process returned the wrong number of times")
+        times = np.maximum.accumulate(np.maximum(times, 0.0))
+        return [
+            Request(request_id=i, length=lengths[i], arrival_time=float(times[i]))
+            for i in range(num_requests)
+        ]
+
+
+@dataclass
+class PoissonArrivals(ArrivalProcess):
+    """Memoryless arrivals at a fixed offered rate."""
+
+    rate_qps: float = 100.0
+    name: str = "poisson"
+
+    def __post_init__(self) -> None:
+        if self.rate_qps <= 0:
+            raise ValueError("rate_qps must be > 0")
+
+    def arrival_times(self, num_requests: int, rng: np.random.Generator) -> np.ndarray:
+        gaps = rng.exponential(scale=1.0 / self.rate_qps, size=num_requests)
+        return np.cumsum(gaps)
+
+
+@dataclass
+class BurstyArrivals(ArrivalProcess):
+    """Two-state MMPP: quiet periods interleaved with high-rate bursts.
+
+    ``burst_fraction`` of the time is spent in the burst state, whose rate is
+    ``burst_ratio`` times the quiet rate; the quiet rate is solved so the
+    long-run average equals ``rate_qps``.  State dwell times are exponential
+    with mean ``mean_dwell_s`` (quiet) and ``mean_dwell_s * burst_fraction /
+    (1 - burst_fraction)`` (burst), which yields the requested stationary mix.
+    """
+
+    rate_qps: float = 100.0
+    burst_ratio: float = 5.0
+    burst_fraction: float = 0.2
+    mean_dwell_s: float = 0.5
+    name: str = "bursty"
+
+    def __post_init__(self) -> None:
+        if self.rate_qps <= 0:
+            raise ValueError("rate_qps must be > 0")
+        if self.burst_ratio < 1:
+            raise ValueError("burst_ratio must be >= 1")
+        if not 0 < self.burst_fraction < 1:
+            raise ValueError("burst_fraction must be in (0, 1)")
+        if self.mean_dwell_s <= 0:
+            raise ValueError("mean_dwell_s must be > 0")
+
+    def arrival_times(self, num_requests: int, rng: np.random.Generator) -> np.ndarray:
+        quiet_rate = self.rate_qps / (1.0 - self.burst_fraction + self.burst_fraction * self.burst_ratio)
+        burst_rate = quiet_rate * self.burst_ratio
+        dwell = {
+            False: self.mean_dwell_s,
+            True: self.mean_dwell_s * self.burst_fraction / (1.0 - self.burst_fraction),
+        }
+        times = np.empty(num_requests, dtype=np.float64)
+        now = 0.0
+        bursting = False
+        state_end = rng.exponential(dwell[bursting])
+        for i in range(num_requests):
+            while True:
+                rate = burst_rate if bursting else quiet_rate
+                gap = rng.exponential(1.0 / rate)
+                if now + gap <= state_end:
+                    now += gap
+                    times[i] = now
+                    break
+                # No arrival before the state flips: jump to the transition
+                # and redraw in the new state (valid because the exponential
+                # gap is memoryless).
+                now = state_end
+                bursting = not bursting
+                state_end = now + rng.exponential(dwell[bursting])
+        return times
+
+
+@dataclass
+class TraceArrivals(ArrivalProcess):
+    """Replay an explicit arrival-time trace (optionally with lengths).
+
+    ``trace`` is a sequence of arrival times, or of ``(time, length)`` pairs.
+    When lengths are omitted they are drawn from the dataset distribution, so
+    a recorded timing trace can be re-weighted onto any Table 1 dataset.  The
+    whole trace is replayed unless ``generate`` is given an explicit
+    ``num_requests`` cap.
+    """
+
+    trace: tuple = ()
+    name: str = "trace"
+
+    def __post_init__(self) -> None:
+        self.trace = tuple(self.trace)
+        if not self.trace:
+            raise ValueError("trace must contain at least one entry")
+
+    def _entries(self) -> tuple[list[float], list[int] | None]:
+        first = self.trace[0]
+        if isinstance(first, (tuple, list)):
+            times = [float(t) for t, _ in self.trace]
+            lengths = [int(n) for _, n in self.trace]
+            return times, lengths
+        return [float(t) for t in self.trace], None
+
+    def generate(
+        self,
+        dataset: DatasetConfig | str,
+        num_requests: int | None = None,
+        seed: int = global_config.DEFAULT_SEED,
+    ) -> list[Request]:
+        times, lengths = self._entries()
+        count = len(times) if num_requests is None else min(num_requests, len(times))
+        times = times[:count]
+        if lengths is None:
+            lengths = _dataset_lengths(dataset, count, seed)
+        else:
+            lengths = lengths[:count]
+        order = sorted(range(count), key=lambda i: (times[i], i))
+        return [
+            Request(request_id=rank, length=lengths[i], arrival_time=max(times[i], 0.0))
+            for rank, i in enumerate(order)
+        ]
+
+
+@dataclass
+class ClosedLoopArrivals(ArrivalProcess):
+    """Every request is already queued at t=0 (the legacy batch-drain mode).
+
+    ``sort_by_length`` reproduces the serving-side global sort of
+    :func:`repro.datasets.batching.sorted_batches`: requests enter the FIFO
+    queue in decreasing length order, so fixed-size batches match the legacy
+    bucketing exactly.
+    """
+
+    sort_by_length: bool = True
+    name: str = "closed-loop"
+    rate_qps: float | None = field(default=None, init=False)
+
+    def generate(
+        self,
+        dataset: DatasetConfig | str,
+        num_requests: int | None,
+        seed: int = global_config.DEFAULT_SEED,
+    ) -> list[Request]:
+        if num_requests is None:
+            raise ValueError(f"arrival process '{self.name}' needs num_requests")
+        if num_requests < 1:
+            raise ValueError("num_requests must be >= 1")
+        lengths = _dataset_lengths(dataset, num_requests, seed)
+        if self.sort_by_length:
+            lengths = sorted(lengths, reverse=True)
+        return [
+            Request(request_id=i, length=length, arrival_time=0.0)
+            for i, length in enumerate(lengths)
+        ]
+
+
+_ARRIVAL_FACTORIES = {
+    "poisson": PoissonArrivals,
+    "bursty": BurstyArrivals,
+    "closed": ClosedLoopArrivals,
+    "closed-loop": ClosedLoopArrivals,
+}
+
+
+def get_arrival_process(name: str, rate_qps: float | None = None, **kwargs) -> ArrivalProcess:
+    """Build an arrival process by CLI name (``poisson``, ``bursty``, ``closed``)."""
+    key = name.lower()
+    if key not in _ARRIVAL_FACTORIES:
+        raise KeyError(f"Unknown arrival process '{name}'. Available: {sorted(set(_ARRIVAL_FACTORIES))}")
+    factory = _ARRIVAL_FACTORIES[key]
+    if factory is ClosedLoopArrivals:
+        return factory(**kwargs)
+    if rate_qps is None:
+        raise ValueError(f"arrival process '{name}' needs rate_qps")
+    return factory(rate_qps=rate_qps, **kwargs)

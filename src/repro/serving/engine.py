@@ -1,0 +1,376 @@
+"""Event-driven online serving simulator.
+
+This is the open-loop counterpart of the closed-batch experiments: requests
+arrive over wall-clock time (any :mod:`~repro.serving.arrivals` process),
+wait in a central queue, are cut into batches by a
+:mod:`~repro.serving.policies` policy, routed onto one of several
+:class:`~repro.hardware.accelerator.Accelerator` devices by a
+:mod:`~repro.serving.routing` policy, and each dispatched batch is timed with
+an existing batch scheduler (length-aware by default).  The engine therefore
+*composes with* the hardware and scheduling layers rather than re-modeling
+them: a batch's service time is exactly the coarse-pipeline makespan the
+Fig. 5 simulator produces, and a request's completion is its own last stage
+exit inside that pipeline.
+
+The report answers the deployment questions the closed-batch benchmarks
+cannot: per-request latency percentiles (p50/p95/p99) at a given offered
+QPS, the sustained throughput, the queue-depth timeline (blow-up past
+saturation), and per-device utilization of the fleet.
+"""
+
+from __future__ import annotations
+
+import math
+import warnings
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from .. import config as global_config
+from ..hardware.accelerator import Accelerator
+from ..scheduling.length_aware import LengthAwareScheduler
+from ..scheduling.pipeline import ScheduleResult
+from ..transformer.configs import DatasetConfig, get_dataset_config
+from .arrivals import ArrivalProcess
+from .policies import BatchPolicy, FixedSizeBatcher, LengthBucketedBatcher
+from .request import Request, RequestRecord
+from .routing import LeastLoadedRouter, LengthShardedRouter, Router
+
+__all__ = ["BatchRecord", "DeviceSummary", "OnlineServingReport", "simulate_online"]
+
+_EPS = 1e-12
+
+
+@dataclass
+class BatchRecord:
+    """One dispatched batch: where and when it ran, plus its schedule."""
+
+    batch_id: int
+    device_index: int
+    dispatch_time: float
+    start_time: float
+    result: ScheduleResult
+    request_ids: list[int]
+
+    @property
+    def end_time(self) -> float:
+        return self.start_time + self.result.makespan_seconds
+
+
+@dataclass
+class DeviceSummary:
+    """Aggregate accounting for one accelerator in the fleet."""
+
+    index: int
+    accelerator: str
+    num_batches: int = 0
+    num_requests: int = 0
+    busy_seconds: float = 0.0
+    pipeline_utilizations: list[float] = field(default_factory=list)
+
+    @property
+    def mean_pipeline_utilization(self) -> float:
+        """Mean intra-batch stage utilization (bubbles inside the pipeline)."""
+        if not self.pipeline_utilizations:
+            return 0.0
+        return float(np.mean(self.pipeline_utilizations))
+
+    def duty_cycle(self, horizon_seconds: float) -> float:
+        """Fraction of the simulated horizon this device spent executing."""
+        if horizon_seconds <= 0:
+            return 0.0
+        return min(self.busy_seconds / horizon_seconds, 1.0)
+
+
+@dataclass
+class OnlineServingReport:
+    """Results of one open-loop serving simulation."""
+
+    dataset: str
+    arrival_process: str
+    batch_policy: str
+    router: str
+    scheduler: str
+    offered_qps: float | None
+    num_requests: int
+    records: list[RequestRecord] = field(default_factory=list)
+    batches: list[BatchRecord] = field(default_factory=list)
+    devices: list[DeviceSummary] = field(default_factory=list)
+    #: Stepwise (time, waiting-requests) samples of the central queue.
+    queue_depth_timeline: list[tuple[float, int]] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # Latency / throughput
+    # ------------------------------------------------------------------
+
+    @property
+    def latencies_seconds(self) -> list[float]:
+        """End-to-end per-request latencies in completion order."""
+        return [record.latency for record in self.records]
+
+    @property
+    def makespan_seconds(self) -> float:
+        """Time at which the last request completed."""
+        if not self.records:
+            return 0.0
+        return max(record.completion_time for record in self.records)
+
+    @property
+    def sustained_qps(self) -> float:
+        """Completed requests per second of simulated time."""
+        if self.makespan_seconds <= 0:
+            return 0.0
+        return self.num_requests / self.makespan_seconds
+
+    def latency_percentile(self, percentile: float) -> float:
+        """End-to-end latency percentile in seconds."""
+        if not self.records:
+            raise ValueError("no requests were served")
+        return float(np.percentile(self.latencies_seconds, percentile))
+
+    def queueing_delay_percentile(self, percentile: float) -> float:
+        """Queueing-delay percentile (arrival to execution start) in seconds."""
+        if not self.records:
+            raise ValueError("no requests were served")
+        return float(np.percentile([r.queueing_delay for r in self.records], percentile))
+
+    # ------------------------------------------------------------------
+    # Queue / fleet accounting
+    # ------------------------------------------------------------------
+
+    @property
+    def max_queue_depth(self) -> int:
+        return max((depth for _, depth in self.queue_depth_timeline), default=0)
+
+    @property
+    def mean_queue_depth(self) -> float:
+        """Time-weighted mean depth of the central queue."""
+        samples = self.queue_depth_timeline
+        if len(samples) < 2:
+            return float(samples[0][1]) if samples else 0.0
+        horizon = max(self.makespan_seconds, samples[-1][0])
+        if horizon <= samples[0][0]:
+            return float(samples[-1][1])
+        area = 0.0
+        for (t0, depth), (t1, _) in zip(samples, samples[1:]):
+            area += depth * (t1 - t0)
+        area += samples[-1][1] * (horizon - samples[-1][0])
+        return area / (horizon - samples[0][0])
+
+    @property
+    def mean_waiting_requests(self) -> float:
+        """Time-averaged number of requests waiting to start (Little's law).
+
+        Unlike :attr:`mean_queue_depth` this also counts requests already cut
+        into a batch but still stuck behind a device's backlog, so it is the
+        number that blows up past saturation.
+        """
+        horizon = self.makespan_seconds
+        if horizon <= 0:
+            return 0.0
+        return sum(record.queueing_delay for record in self.records) / horizon
+
+    @property
+    def average_device_utilization(self) -> float:
+        """Mean duty cycle of the fleet over the simulated horizon."""
+        horizon = self.makespan_seconds
+        if not self.devices or horizon <= 0:
+            return 0.0
+        return float(np.mean([device.duty_cycle(horizon) for device in self.devices]))
+
+    @property
+    def average_pipeline_utilization(self) -> float:
+        """Mean intra-batch stage utilization across every dispatched batch."""
+        utils = [b.result.average_utilization for b in self.batches]
+        return float(np.mean(utils)) if utils else 0.0
+
+    def as_row(self) -> dict:
+        """Summary row for reports."""
+        row = {
+            "dataset": self.dataset,
+            "arrivals": self.arrival_process,
+            "policy": self.batch_policy,
+            "devices": len(self.devices),
+            "requests": self.num_requests,
+            "offered_qps": round(self.offered_qps, 1) if self.offered_qps else None,
+            "sustained_qps": round(self.sustained_qps, 1),
+            "p50_ms": round(self.latency_percentile(50) * 1e3, 2),
+            "p95_ms": round(self.latency_percentile(95) * 1e3, 2),
+            "p99_ms": round(self.latency_percentile(99) * 1e3, 2),
+            "waiting": round(self.mean_waiting_requests, 1),
+            "device_util": round(self.average_device_utilization, 3),
+        }
+        return row
+
+
+def simulate_online(
+    accelerators: Accelerator | Sequence[Accelerator],
+    dataset: DatasetConfig | str,
+    arrivals: ArrivalProcess | Sequence[Request],
+    num_requests: int | None = None,
+    batch_policy: BatchPolicy | None = None,
+    router: Router | None = None,
+    scheduler=None,
+    seed: int = global_config.DEFAULT_SEED,
+) -> OnlineServingReport:
+    """Run the event-driven serving simulation.
+
+    Parameters
+    ----------
+    accelerators:
+        One accelerator or a fleet; every device runs the same batch
+        scheduler but keeps its own backlog.
+    dataset:
+        Table 1 dataset whose length distribution the stream follows.
+    arrivals:
+        An arrival process (generates ``num_requests`` requests with ``seed``)
+        or an explicit pre-built request list (``num_requests`` is ignored).
+        ``num_requests`` is required for generative processes;
+        :class:`~repro.serving.arrivals.TraceArrivals` replays its full trace
+        when ``num_requests`` is omitted.
+    batch_policy:
+        Batch-formation policy; defaults to a fixed batch of 16.
+    router:
+        Fleet routing policy; defaults to least-loaded.
+    scheduler:
+        Batch scheduler with ``schedule(accelerator, lengths)``; defaults to
+        the length-aware scheduler.
+    seed:
+        Drives both arrival times and sequence lengths; the whole simulation
+        is deterministic given the seed.
+    """
+    if isinstance(dataset, str):
+        dataset = get_dataset_config(dataset)
+    if isinstance(accelerators, Accelerator):
+        accelerators = [accelerators]
+    accelerators = list(accelerators)
+    if not accelerators:
+        raise ValueError("need at least one accelerator")
+
+    if isinstance(arrivals, ArrivalProcess):
+        requests = arrivals.generate(dataset, num_requests, seed=seed)
+        arrival_name = arrivals.name
+        offered_qps = arrivals.rate_qps
+    else:
+        requests = sorted(arrivals, key=lambda r: (r.arrival_time, r.request_id))
+        arrival_name = "explicit"
+        last = requests[-1].arrival_time if requests else 0.0
+        offered_qps = len(requests) / last if last > 0 else None
+    if not requests:
+        raise ValueError("the arrival stream is empty")
+
+    batch_policy = batch_policy or FixedSizeBatcher()
+    router = router or LeastLoadedRouter()
+    scheduler = scheduler or LengthAwareScheduler()
+    batch_policy.prepare(dataset)
+    router.prepare(len(accelerators), dataset)
+    if (
+        isinstance(router, LengthShardedRouter)
+        and len(accelerators) > 1
+        and not isinstance(batch_policy, LengthBucketedBatcher)
+    ):
+        # FIFO-formed batches mix the whole length distribution, so every
+        # batch's mean length lands in the same shard and the rest of the
+        # fleet idles.
+        warnings.warn(
+            "length-sharded routing needs length-bucketed batching to spread "
+            "batches across devices; with a FIFO batch policy most batches "
+            "route to a single shard",
+            UserWarning,
+            stacklevel=2,
+        )
+
+    report = OnlineServingReport(
+        dataset=dataset.name,
+        arrival_process=arrival_name,
+        batch_policy=batch_policy.name,
+        router=router.name,
+        scheduler=getattr(scheduler, "name", type(scheduler).__name__),
+        offered_qps=offered_qps,
+        num_requests=len(requests),
+        devices=[
+            DeviceSummary(index=i, accelerator=acc.name) for i, acc in enumerate(accelerators)
+        ],
+    )
+    free_at = [0.0] * len(accelerators)
+
+    def dispatch(batch: list[Request], now: float) -> None:
+        index = router.select(list(free_at), batch, now)
+        if not 0 <= index < len(accelerators):
+            raise IndexError(f"router '{router.name}' picked invalid device {index}")
+        device = accelerators[index]
+        start = max(now, free_at[index])
+        result = scheduler.schedule(device, [r.length for r in batch])
+        # A request finishes when its own last stage exits the pipeline.
+        completion_cycles: dict[int, int] = {}
+        for event in result.timeline.events:
+            if event.end > completion_cycles.get(event.sequence_id, 0):
+                completion_cycles[event.sequence_id] = event.end
+        batch_id = len(report.batches)
+        for position, request in enumerate(batch):
+            report.records.append(
+                RequestRecord(
+                    request=request,
+                    dispatch_time=now,
+                    start_time=start,
+                    completion_time=start + completion_cycles[position] / device.clock_hz,
+                    device_index=index,
+                    batch_id=batch_id,
+                )
+            )
+        report.batches.append(
+            BatchRecord(
+                batch_id=batch_id,
+                device_index=index,
+                dispatch_time=now,
+                start_time=start,
+                result=result,
+                request_ids=[r.request_id for r in batch],
+            )
+        )
+        summary = report.devices[index]
+        summary.num_batches += 1
+        summary.num_requests += len(batch)
+        summary.busy_seconds += result.makespan_seconds
+        summary.pipeline_utilizations.append(result.average_utilization)
+        free_at[index] = start + result.makespan_seconds
+
+    queue: list[Request] = []
+    depth_timeline = report.queue_depth_timeline
+    next_index = 0
+    total = len(requests)
+    now = 0.0
+
+    while next_index < total or queue:
+        while next_index < total and requests[next_index].arrival_time <= now + _EPS:
+            queue.append(requests[next_index])
+            next_index += 1
+        depth_timeline.append((now, len(queue)))
+
+        draining = next_index >= total
+        while True:
+            batch = batch_policy.form_batch(queue, now, draining)
+            if batch is None:
+                break
+            if not batch:
+                raise RuntimeError(f"batch policy '{batch_policy.name}' formed an empty batch")
+            dispatch(batch, now)
+            depth_timeline.append((now, len(queue)))
+
+        if next_index >= total and not queue:
+            break
+        next_event = requests[next_index].arrival_time if next_index < total else math.inf
+        deadline = batch_policy.next_action_time(queue, now)
+        if deadline is not None:
+            next_event = min(next_event, deadline)
+        if math.isinf(next_event):
+            raise RuntimeError(
+                f"batch policy '{batch_policy.name}' left {len(queue)} requests stranded"
+            )
+        if next_event <= now + _EPS and draining:
+            raise RuntimeError(f"batch policy '{batch_policy.name}' is not making progress")
+        now = max(now, next_event)
+
+    report.records.sort(key=lambda r: (r.completion_time, r.request.request_id))
+    return report

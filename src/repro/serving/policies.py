@@ -1,0 +1,202 @@
+"""Batch-formation policies for the online serving engine.
+
+The engine keeps one central FIFO queue of pending requests and repeatedly
+asks its policy whether a batch can be cut *now*.  A policy sees the queue,
+the current simulation time, and whether the arrival stream is exhausted
+(``draining``); it pops the requests it dispatches.  Policies also expose the
+next wall-clock time at which they would act without any new arrival (their
+timeout deadline), which is how the event loop schedules timer wake-ups.
+
+* :class:`FixedSizeBatcher` -- wait for a full batch; no deadline.  With all
+  requests present at t=0 this is exactly the legacy closed-batch drain.
+* :class:`TimeoutBatcher` -- dynamic batching: dispatch on a full batch or
+  when the oldest request has waited ``timeout_s``, whichever comes first
+  (the classic server-side batching knob).
+* :class:`LengthBucketedBatcher` -- continuous batching with length locality:
+  requests are grouped into length buckets so a batch mixes similar lengths
+  (keeping the padding/sorting benefit of the length-aware scheduler under
+  open-loop traffic), with the same timeout escape hatch.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .. import config as global_config
+from ..transformer.configs import DatasetConfig
+from .request import Request
+
+__all__ = [
+    "BatchPolicy",
+    "FixedSizeBatcher",
+    "TimeoutBatcher",
+    "LengthBucketedBatcher",
+    "get_batch_policy",
+]
+
+#: Tolerance when comparing floating-point deadlines against the clock.
+_TIME_EPS = 1e-9
+
+
+class BatchPolicy:
+    """Base class for batch-formation policies."""
+
+    name: str = "batch-policy"
+
+    def prepare(self, dataset: DatasetConfig) -> None:
+        """Optional hook: learn dataset statistics before the run starts."""
+
+    def next_action_time(self, queue: list[Request], now: float) -> float | None:
+        """Earliest time the policy will act without a new arrival (or None)."""
+        return None
+
+    def form_batch(
+        self, queue: list[Request], now: float, draining: bool
+    ) -> list[Request] | None:
+        """Pop and return one batch if one can be cut at ``now``, else None."""
+        raise NotImplementedError
+
+
+@dataclass
+class FixedSizeBatcher(BatchPolicy):
+    """Dispatch only full batches of ``batch_size`` (flush the tail at drain)."""
+
+    batch_size: int = global_config.DEFAULT_BATCH_SIZE
+    name: str = "fixed-size"
+
+    def __post_init__(self) -> None:
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+
+    def form_batch(
+        self, queue: list[Request], now: float, draining: bool
+    ) -> list[Request] | None:
+        if len(queue) >= self.batch_size or (draining and queue):
+            batch = queue[: self.batch_size]
+            del queue[: self.batch_size]
+            return batch
+        return None
+
+
+@dataclass
+class TimeoutBatcher(BatchPolicy):
+    """Dispatch on a full batch or when the oldest request ages past the timeout."""
+
+    batch_size: int = global_config.DEFAULT_BATCH_SIZE
+    timeout_s: float = 5e-3
+    name: str = "timeout"
+
+    def __post_init__(self) -> None:
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if self.timeout_s < 0:
+            raise ValueError("timeout_s must be >= 0")
+
+    def next_action_time(self, queue: list[Request], now: float) -> float | None:
+        if not queue:
+            return None
+        return queue[0].arrival_time + self.timeout_s
+
+    def form_batch(
+        self, queue: list[Request], now: float, draining: bool
+    ) -> list[Request] | None:
+        if not queue:
+            return None
+        timed_out = now + _TIME_EPS >= queue[0].arrival_time + self.timeout_s
+        if len(queue) >= self.batch_size or timed_out or draining:
+            batch = queue[: self.batch_size]
+            del queue[: self.batch_size]
+            return batch
+        return None
+
+
+@dataclass
+class LengthBucketedBatcher(BatchPolicy):
+    """Continuous batching with per-length-bucket queues.
+
+    The queue is partitioned by sequence length into ``num_buckets`` bands
+    between the dataset's min and max length; a band dispatches as soon as it
+    holds a full batch, and the oldest waiting request (across all bands)
+    forces its band out after ``timeout_s``.  Explicit ``bucket_edges``
+    override the automatic banding.
+    """
+
+    batch_size: int = global_config.DEFAULT_BATCH_SIZE
+    timeout_s: float = 5e-3
+    num_buckets: int = 4
+    bucket_edges: tuple[float, ...] | None = None
+    name: str = "length-bucketed"
+    _edges: list[float] = field(default_factory=list, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if self.timeout_s < 0:
+            raise ValueError("timeout_s must be >= 0")
+        if self.num_buckets < 1:
+            raise ValueError("num_buckets must be >= 1")
+        if self.bucket_edges is not None:
+            self._edges = sorted(float(e) for e in self.bucket_edges)
+
+    def prepare(self, dataset: DatasetConfig) -> None:
+        if self.bucket_edges is None:
+            self._edges = [
+                float(e)
+                for e in np.linspace(
+                    dataset.min_length, dataset.max_length, self.num_buckets + 1
+                )[1:-1]
+            ]
+
+    def _bucket(self, length: int) -> int:
+        return bisect_right(self._edges, length)
+
+    def _pop_bucket(self, queue: list[Request], bucket: int) -> list[Request]:
+        members = [r for r in queue if self._bucket(r.length) == bucket]
+        batch = members[: self.batch_size]
+        taken = {r.request_id for r in batch}
+        queue[:] = [r for r in queue if r.request_id not in taken]
+        return batch
+
+    def next_action_time(self, queue: list[Request], now: float) -> float | None:
+        if not queue:
+            return None
+        return queue[0].arrival_time + self.timeout_s
+
+    def form_batch(
+        self, queue: list[Request], now: float, draining: bool
+    ) -> list[Request] | None:
+        if not queue:
+            return None
+        counts: dict[int, int] = {}
+        for request in queue:
+            counts[self._bucket(request.length)] = counts.get(self._bucket(request.length), 0) + 1
+        full = sorted(b for b, count in counts.items() if count >= self.batch_size)
+        if full:
+            return self._pop_bucket(queue, full[0])
+        oldest = queue[0]
+        if draining or now + _TIME_EPS >= oldest.arrival_time + self.timeout_s:
+            return self._pop_bucket(queue, self._bucket(oldest.length))
+        return None
+
+
+_POLICY_FACTORIES = {
+    "fixed": FixedSizeBatcher,
+    "fixed-size": FixedSizeBatcher,
+    "timeout": TimeoutBatcher,
+    "bucketed": LengthBucketedBatcher,
+    "length-bucketed": LengthBucketedBatcher,
+}
+
+
+def get_batch_policy(name: str, **kwargs) -> BatchPolicy:
+    """Build a batch policy by CLI name (``fixed``, ``timeout``, ``bucketed``)."""
+    key = name.lower()
+    if key not in _POLICY_FACTORIES:
+        raise KeyError(f"Unknown batch policy '{name}'. Available: {sorted(set(_POLICY_FACTORIES))}")
+    factory = _POLICY_FACTORIES[key]
+    if factory is FixedSizeBatcher:
+        kwargs.pop("timeout_s", None)
+    return factory(**kwargs)

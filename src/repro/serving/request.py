@@ -1,0 +1,57 @@
+"""Request objects flowing through the online serving simulator.
+
+A :class:`Request` is one inference call: a sequence of a given length that
+arrives at a given wall-clock time.  Once the engine has dispatched and
+finished it, the request is wrapped in a :class:`RequestRecord` that pins down
+every timestamp of its life cycle -- arrival, batch formation (dispatch),
+execution start on the device, and completion -- so that queueing delay,
+service time, and end-to-end latency can all be reported separately.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Request", "RequestRecord"]
+
+
+@dataclass(frozen=True)
+class Request:
+    """One inference request in the open-loop stream."""
+
+    request_id: int
+    length: int
+    arrival_time: float
+
+    def __post_init__(self) -> None:
+        if self.length < 1:
+            raise ValueError("request length must be >= 1")
+        if self.arrival_time < 0:
+            raise ValueError("arrival_time must be >= 0")
+
+
+@dataclass(frozen=True)
+class RequestRecord:
+    """A completed request with its full timing breakdown (seconds)."""
+
+    request: Request
+    dispatch_time: float
+    start_time: float
+    completion_time: float
+    device_index: int
+    batch_id: int
+
+    @property
+    def latency(self) -> float:
+        """End-to-end latency: arrival to completion."""
+        return self.completion_time - self.request.arrival_time
+
+    @property
+    def queueing_delay(self) -> float:
+        """Time spent waiting before the batch started executing."""
+        return self.start_time - self.request.arrival_time
+
+    @property
+    def service_time(self) -> float:
+        """Time spent inside the accelerator pipeline."""
+        return self.completion_time - self.start_time

@@ -1,0 +1,118 @@
+"""Routing policies dispatching formed batches onto a fleet of accelerators.
+
+A deployment serves traffic with several boards (or several SLR-replicated
+designs); once the batch policy cuts a batch, the router decides which device
+executes it:
+
+* :class:`RoundRobinRouter` -- rotate through the fleet regardless of load.
+* :class:`LeastLoadedRouter` -- send the batch to the device with the
+  smallest backlog (earliest ``free_at``); ties break on device index so the
+  simulation stays deterministic.
+* :class:`LengthShardedRouter` -- partition the length axis across devices so
+  each board sees a narrow length band.  Because each device is balanced for
+  an operating length, sharding keeps batches near their device's sweet spot
+  (the multi-device analogue of length bucketing).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..transformer.configs import DatasetConfig
+from .request import Request
+
+__all__ = [
+    "Router",
+    "RoundRobinRouter",
+    "LeastLoadedRouter",
+    "LengthShardedRouter",
+    "get_router",
+]
+
+
+class Router:
+    """Base class: pick the device index that should run a batch."""
+
+    name: str = "router"
+
+    def prepare(self, num_devices: int, dataset: DatasetConfig) -> None:
+        """Optional hook: learn the fleet size / dataset before the run."""
+
+    def select(self, free_at: list[float], batch: list[Request], now: float) -> int:
+        """Return the index of the device that receives ``batch``.
+
+        ``free_at[i]`` is the time device ``i`` finishes its current backlog.
+        """
+        raise NotImplementedError
+
+
+@dataclass
+class RoundRobinRouter(Router):
+    """Cycle through the devices in index order."""
+
+    name: str = "round-robin"
+    _next: int = field(default=0, repr=False)
+
+    def prepare(self, num_devices: int, dataset: DatasetConfig) -> None:
+        # Reset the cursor so a reused router gives identical runs.
+        self._next = 0
+
+    def select(self, free_at: list[float], batch: list[Request], now: float) -> int:
+        index = self._next % len(free_at)
+        self._next += 1
+        return index
+
+
+@dataclass
+class LeastLoadedRouter(Router):
+    """Send the batch to the device with the smallest backlog."""
+
+    name: str = "least-loaded"
+
+    def select(self, free_at: list[float], batch: list[Request], now: float) -> int:
+        backlogs = [max(t - now, 0.0) for t in free_at]
+        return min(range(len(backlogs)), key=lambda i: (backlogs[i], i))
+
+
+@dataclass
+class LengthShardedRouter(Router):
+    """Shard the length axis: device ``i`` owns the ``i``-th length band.
+
+    Bands are equal-width between the dataset min and max length unless
+    explicit ``edges`` are given; a batch routes by its mean length.
+    """
+
+    edges: tuple[float, ...] | None = None
+    name: str = "length-sharded"
+    _edges: list[float] = field(default_factory=list, repr=False)
+
+    def prepare(self, num_devices: int, dataset: DatasetConfig) -> None:
+        if self.edges is not None:
+            self._edges = sorted(float(e) for e in self.edges)
+        else:
+            self._edges = [
+                float(e)
+                for e in np.linspace(dataset.min_length, dataset.max_length, num_devices + 1)[1:-1]
+            ]
+
+    def select(self, free_at: list[float], batch: list[Request], now: float) -> int:
+        mean_length = sum(r.length for r in batch) / len(batch)
+        return min(bisect_right(self._edges, mean_length), len(free_at) - 1)
+
+
+_ROUTER_FACTORIES = {
+    "round-robin": RoundRobinRouter,
+    "least-loaded": LeastLoadedRouter,
+    "length-sharded": LengthShardedRouter,
+}
+
+
+def get_router(name: str, **kwargs) -> Router:
+    """Build a router by CLI name (``round-robin``, ``least-loaded``, ``length-sharded``)."""
+    key = name.lower()
+    if key not in _ROUTER_FACTORIES:
+        raise KeyError(f"Unknown router '{name}'. Available: {sorted(_ROUTER_FACTORIES)}")
+    return _ROUTER_FACTORIES[key](**kwargs)

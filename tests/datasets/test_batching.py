@@ -1,0 +1,55 @@
+"""Edge-case tests for the batching utilities feeding the serving layers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.batching import make_batches, sorted_batches
+from repro.datasets.length_distributions import sample_lengths
+from repro.transformer.configs import MRPC, RTE
+
+
+class TestEmptyStream:
+    def test_make_batches_of_nothing_is_empty(self):
+        assert make_batches([], batch_size=16) == []
+
+    def test_sorted_batches_of_nothing_is_empty(self):
+        assert sorted_batches([], batch_size=16) == []
+
+    def test_drop_last_on_empty_stream(self):
+        assert make_batches([], batch_size=16, drop_last=True) == []
+
+
+class TestBatchSizeLargerThanStream:
+    def test_single_partial_batch_kept_by_default(self):
+        batches = make_batches([30, 40, 50], batch_size=16)
+        assert batches == [[30, 40, 50]]
+
+    def test_drop_last_discards_the_partial_batch(self):
+        assert make_batches([30, 40, 50], batch_size=16, drop_last=True) == []
+
+    def test_sorted_batches_partial_batch_is_sorted(self):
+        assert sorted_batches([30, 50, 40], batch_size=16) == [[50, 40, 30]]
+
+    def test_batch_size_must_be_positive(self):
+        with pytest.raises(ValueError):
+            make_batches([1, 2, 3], batch_size=0)
+
+
+class TestSeedDeterminism:
+    def test_same_seed_gives_identical_batched_stream(self):
+        a = make_batches(sample_lengths(MRPC, 48, seed=123), batch_size=16)
+        b = make_batches(sample_lengths(MRPC, 48, seed=123), batch_size=16)
+        assert a == b
+
+    def test_different_seeds_give_different_streams(self):
+        a = make_batches(sample_lengths(RTE, 48, seed=123), batch_size=16)
+        b = make_batches(sample_lengths(RTE, 48, seed=124), batch_size=16)
+        assert a != b
+
+    def test_global_sort_is_deterministic_too(self):
+        a = sorted_batches(sample_lengths(RTE, 48, seed=7), batch_size=16)
+        b = sorted_batches(sample_lengths(RTE, 48, seed=7), batch_size=16)
+        assert a == b
+        flattened = [length for batch in a for length in batch]
+        assert flattened == sorted(flattened, reverse=True)

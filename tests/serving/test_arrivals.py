@@ -1,0 +1,120 @@
+"""Tests for the arrival processes feeding the online serving engine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.length_distributions import sample_lengths
+from repro.serving.arrivals import (
+    BurstyArrivals,
+    ClosedLoopArrivals,
+    PoissonArrivals,
+    TraceArrivals,
+    get_arrival_process,
+)
+from repro.transformer.configs import MRPC, RTE
+
+
+class TestPoissonArrivals:
+    def test_deterministic_given_seed(self):
+        a = PoissonArrivals(rate_qps=100).generate(MRPC, 64, seed=7)
+        b = PoissonArrivals(rate_qps=100).generate(MRPC, 64, seed=7)
+        assert a == b
+
+    def test_different_seed_changes_stream(self):
+        a = PoissonArrivals(rate_qps=100).generate(MRPC, 64, seed=7)
+        b = PoissonArrivals(rate_qps=100).generate(MRPC, 64, seed=8)
+        assert a != b
+
+    def test_times_sorted_and_rate_roughly_matches(self):
+        requests = PoissonArrivals(rate_qps=200).generate(MRPC, 2000, seed=1)
+        times = [r.arrival_time for r in requests]
+        assert times == sorted(times)
+        measured = len(requests) / times[-1]
+        assert measured == pytest.approx(200, rel=0.15)
+
+    def test_lengths_follow_dataset_sample(self):
+        requests = PoissonArrivals(rate_qps=100).generate(MRPC, 32, seed=3)
+        expected = [int(x) for x in sample_lengths(MRPC, 32, seed=3)]
+        assert [r.length for r in requests] == expected
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ValueError):
+            PoissonArrivals(rate_qps=0.0)
+
+
+class TestBurstyArrivals:
+    def test_mean_rate_is_preserved(self):
+        # Short dwell times so the measurement averages over many quiet/burst
+        # cycles (with few cycles the empirical rate has huge variance).
+        process = BurstyArrivals(rate_qps=300, burst_ratio=6.0, mean_dwell_s=0.02)
+        requests = process.generate(RTE, 3000, seed=5)
+        times = [r.arrival_time for r in requests]
+        assert times == sorted(times)
+        measured = len(requests) / times[-1]
+        assert measured == pytest.approx(300, rel=0.2)
+
+    def test_burstier_traffic_has_higher_gap_variance(self):
+        poisson = PoissonArrivals(rate_qps=200).generate(RTE, 2000, seed=11)
+        bursty = BurstyArrivals(rate_qps=200, burst_ratio=10.0, burst_fraction=0.1).generate(
+            RTE, 2000, seed=11
+        )
+        cv = lambda ts: float(np.std(np.diff(ts)) / np.mean(np.diff(ts)))
+        assert cv([r.arrival_time for r in bursty]) > cv([r.arrival_time for r in poisson])
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            BurstyArrivals(rate_qps=100, burst_ratio=0.5)
+        with pytest.raises(ValueError):
+            BurstyArrivals(rate_qps=100, burst_fraction=1.0)
+
+
+class TestTraceArrivals:
+    def test_replays_time_length_pairs(self):
+        trace = ((0.0, 40), (0.5, 80), (0.25, 60))
+        requests = TraceArrivals(trace=trace).generate(MRPC)
+        assert [r.arrival_time for r in requests] == [0.0, 0.25, 0.5]
+        assert [r.length for r in requests] == [40, 60, 80]
+
+    def test_times_only_trace_samples_lengths(self):
+        requests = TraceArrivals(trace=(0.0, 0.1, 0.2)).generate(MRPC, seed=3)
+        assert [r.arrival_time for r in requests] == [0.0, 0.1, 0.2]
+        assert [r.length for r in requests] == [
+            int(x) for x in sample_lengths(MRPC, 3, seed=3)
+        ]
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError):
+            TraceArrivals(trace=())
+
+
+class TestClosedLoopArrivals:
+    def test_everything_arrives_at_time_zero(self):
+        requests = ClosedLoopArrivals().generate(MRPC, 32, seed=2)
+        assert all(r.arrival_time == 0.0 for r in requests)
+
+    def test_sorted_by_decreasing_length(self):
+        lengths = [r.length for r in ClosedLoopArrivals().generate(MRPC, 32, seed=2)]
+        assert lengths == sorted(lengths, reverse=True)
+
+    def test_unsorted_keeps_sample_order(self):
+        lengths = [
+            r.length for r in ClosedLoopArrivals(sort_by_length=False).generate(MRPC, 32, seed=2)
+        ]
+        assert lengths == [int(x) for x in sample_lengths(MRPC, 32, seed=2)]
+
+
+class TestFactory:
+    def test_builds_by_name(self):
+        assert isinstance(get_arrival_process("poisson", rate_qps=10), PoissonArrivals)
+        assert isinstance(get_arrival_process("bursty", rate_qps=10), BurstyArrivals)
+        assert isinstance(get_arrival_process("closed"), ClosedLoopArrivals)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError):
+            get_arrival_process("fractal", rate_qps=10)
+
+    def test_rate_required_for_open_loop(self):
+        with pytest.raises(ValueError):
+            get_arrival_process("poisson")

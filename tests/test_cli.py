@@ -14,9 +14,34 @@ class TestParser:
 
     def test_known_commands_parse(self):
         parser = build_parser()
-        for command in ("fig1", "table1", "fig5", "fig7a", "fig7b", "table2", "all"):
+        for command in ("fig1", "table1", "fig5", "fig7a", "fig7b", "table2", "all", "serve"):
             args = parser.parse_args([command])
             assert callable(args.func)
+
+    def test_serve_options(self):
+        args = build_parser().parse_args(
+            [
+                "serve",
+                "--dataset", "rte",
+                "--qps", "250",
+                "--num-accelerators", "3",
+                "--batch-policy", "bucketed",
+                "--routing", "length-sharded",
+                "--arrival", "bursty",
+                "--seed", "7",
+            ]
+        )
+        assert args.dataset == "rte"
+        assert args.qps == 250.0
+        assert args.num_accelerators == 3
+        assert args.batch_policy == "bucketed"
+        assert args.routing == "length-sharded"
+        assert args.arrival == "bursty"
+        assert args.seed == 7
+
+    def test_serve_rejects_unknown_dataset(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--dataset", "imagenet"])
 
     def test_fig1_options(self):
         args = build_parser().parse_args(["fig1", "--sequence-length", "256", "--mode", "flops"])
@@ -58,3 +83,16 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "Ours FPGA" in out
         assert "ASIC: SpAtten" in out
+
+    def test_serve_command_fixed_qps(self, capsys):
+        assert main(["serve", "--dataset", "mrpc", "--qps", "200", "--requests", "32"]) == 0
+        out = capsys.readouterr().out
+        assert "Online serving simulation" in out
+        assert "Per-device utilization" in out
+        assert "queueing delay p99 (ms)" in out
+
+    def test_serve_command_load_sweep(self, capsys):
+        assert main(["serve", "--dataset", "mrpc", "--requests", "32"]) == 0
+        out = capsys.readouterr().out
+        assert "Latency vs offered load" in out
+        assert "closed-loop capacity (MRPC)" in out

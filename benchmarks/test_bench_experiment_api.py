@@ -1,0 +1,23 @@
+"""Benchmark the registry-driven experiment API end to end.
+
+Runs the fastest paper experiment (``fig5``) through ``run_report`` -- config
+construction, registry dispatch, simulation, rendering, and the
+machine-readable payload -- and stores both the plain-text and JSON forms, so
+regressions in the experiment plumbing itself (not just the harness bodies)
+show up in the benchmark history.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.experiments import run_report
+
+from conftest import run_once
+
+
+def test_experiment_api_fig5(benchmark, write_report):
+    report = run_once(benchmark, run_report, "fig5")
+    assert report.payload["experiment"] == "fig5"
+    write_report("experiment_api_fig5", report.text)
+    write_report("experiment_api_fig5_json", json.dumps(report.payload, indent=2))

@@ -32,6 +32,13 @@ from .scheduling import (
     SequentialScheduler,
     allocate_stages,
 )
+from .experiments import (
+    ExperimentConfig,
+    ExperimentSpec,
+    list_experiments,
+    run_experiment,
+    run_report,
+)
 from .serving import (
     BurstyArrivals,
     ClosedLoopArrivals,
@@ -61,6 +68,8 @@ __all__ = [
     "BurstyArrivals",
     "ClosedLoopArrivals",
     "DISTILBERT",
+    "ExperimentConfig",
+    "ExperimentSpec",
     "LengthAwareScheduler",
     "MicroBatchScheduler",
     "ModelConfig",
@@ -78,7 +87,10 @@ __all__ = [
     "config",
     "get_dataset_config",
     "get_model_config",
+    "list_experiments",
     "make_sparse_attention_impl",
+    "run_experiment",
+    "run_report",
     "simulate_online",
     "simulate_serving",
     "sparse_attention_head",

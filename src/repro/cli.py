@@ -12,271 +12,222 @@ Usage (after installation)::
     python -m repro all                  # everything except fig6
     python -m repro serve --dataset mrpc --qps 800   # online serving at a fixed load
     python -m repro serve --dataset rte              # latency-vs-load sweep
-    python -m repro serve --num-accelerators 4 --routing least-loaded --arrival bursty
+    python -m repro serving-sweep --datasets mrpc rte --num-accelerators 4
 
-Each command prints the same rows/series the paper reports for that table or
-figure (``serve`` goes beyond the paper: it drives the accelerator model with
-open-loop traffic); the benchmark suite (`pytest benchmarks/
---benchmark-only`) runs the same harnesses under a timer and stores the
-rendered output on disk.
+Every subcommand and its flags are generated from the experiment registry
+(:mod:`repro.experiments`): each registered spec contributes one subcommand
+whose flags mirror the fields of its frozen config dataclass.  All commands
+share the same plumbing:
+
+* ``--format table`` (default) renders the paper's plain-text rows;
+  ``--format json`` emits the machine-readable payload (config + result).
+* ``--output-dir DIR`` additionally writes the report to ``DIR/<name>.txt``
+  or ``DIR/<name>.json``.
+* ``--config FILE`` loads a JSON config file; explicit flags and repeatable
+  ``--set key=value`` overrides win over the file.
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
+import json
 import sys
+import typing
+from pathlib import Path
 
-from . import config as global_config
-from .evaluation.fig1_breakdown import run_fig1_breakdown
-from .evaluation.fig5_timeline import run_fig5_schedule
-from .evaluation.fig6_accuracy import run_fig6_accuracy
-from .evaluation.fig7_throughput import run_fig7_throughput
-from .evaluation.report import format_key_values, format_table
-from .evaluation.serving_sweep import build_serving_fleet, run_serving_sweep
-from .evaluation.table1_models import run_table1
-from .evaluation.table2_energy import run_table2_energy
-from .serving import get_arrival_process, get_batch_policy, get_router, simulate_online
-from .transformer.configs import DATASET_ZOO, MODEL_ZOO, get_model_config
+from .experiments import ExperimentSpec, list_experiments, result_payload
+from .experiments.config import (
+    ExperimentConfig,
+    coerce_value,
+    element_type,
+    strip_optional,
+)
 
 __all__ = ["main", "build_parser"]
 
+#: Sentinel default for generated flags, so absent flags never shadow the
+#: config file or the dataclass defaults.
+_UNSET = object()
 
-def _cmd_fig1(args: argparse.Namespace) -> str:
-    result = run_fig1_breakdown(sequence_length=args.sequence_length, mode=args.mode)
-    text = format_table(result.as_rows(), title="Fig. 1(c) - encoder time breakdown")
-    text += format_key_values(
-        {"self-attention share (%)": round(result.attention_share_percent, 1)}
-    )
-    return text
+_COMMON_DESTS = ("format", "output_dir", "config", "set")
 
 
-def _cmd_table1(args: argparse.Namespace) -> str:
-    result = run_table1()
-    return format_table(result.model_rows, title="Table 1 - models") + "\n" + format_table(
-        result.dataset_rows, title="Table 1 - datasets"
-    )
+class _CliInputError(Exception):
+    """A bad --config/--set/flag combination (reported via parser.error)."""
 
 
-def _cmd_fig5(args: argparse.Namespace) -> str:
-    result = run_fig5_schedule()
-    text = format_table(result.as_rows(), title="Fig. 5 - scheduler comparison (cycles)")
-    text += format_key_values(
-        {
-            "saved vs sequential (cycles)": result.saved_cycles_vs_sequential,
-            "saved vs padded (cycles)": result.saved_cycles_vs_padded,
-            "length-aware utilization": round(result.length_aware.average_utilization, 3),
-        }
-    )
-    return text
+def _optional_scalar(scalar_type):
+    """Argparse type for ``X | None`` fields: accepts the 'none' sentinel.
+
+    Delegates to :func:`coerce_value` so the generated flags, ``--set``, and
+    ``--config`` all share one definition of the None sentinel.
+    """
+
+    def parse(text: str):
+        return coerce_value(text, scalar_type | None)
+
+    parse.__name__ = f"optional {scalar_type.__name__}"
+    return parse
 
 
-def _cmd_fig6(args: argparse.Namespace) -> str:
-    result = run_fig6_accuracy(num_examples=args.examples, max_length_cap=args.max_length)
-    text = format_table(result.as_rows(), title="Fig. 6 - Top-k sparse attention accuracy")
-    text += format_key_values(
-        {
-            f"average drop @ Top-{k}": round(result.average_drop(k), 2)
-            for k in sorted(result.top_k_values, reverse=True)
-        }
-    )
-    return text
-
-
-def _fig7(panel: str) -> str:
-    result = run_fig7_throughput(panel=panel)
-    title = "Fig. 7(a) - end-to-end speedups" if panel == "end_to_end" else "Fig. 7(b) - attention speedups"
-    text = format_table(result.as_rows(), title=title)
-    geomeans = result.geomean_speedups()
-    paper = result.paper_geomeans()
-    text += format_table(
-        [
-            {"platform": key, "measured geomean": round(value, 1), "paper geomean": paper[key]}
-            for key, value in geomeans.items()
-        ],
-        title="Geometric means",
-    )
-    return text
-
-
-def _cmd_fig7a(args: argparse.Namespace) -> str:
-    return _fig7("end_to_end")
-
-
-def _cmd_fig7b(args: argparse.Namespace) -> str:
-    return _fig7("attention")
-
-
-def _cmd_table2(args: argparse.Namespace) -> str:
-    result = run_table2_energy()
-    return format_table(result.as_rows(), title="Table 2 - throughput & energy efficiency")
-
-
-def _cmd_serve(args: argparse.Namespace) -> str:
-    model = get_model_config(args.model)
-    timeout_s = args.timeout_ms * 1e-3
-    if args.qps is None:
-        result = run_serving_sweep(
-            datasets=(args.dataset,),
-            batch_policies=(args.batch_policy,),
-            num_requests=args.requests,
-            batch_size=args.batch_size,
-            num_accelerators=args.num_accelerators,
-            router=args.routing,
-            arrival=args.arrival,
-            timeout_s=timeout_s,
-            model=model,
-            seed=args.seed,
+def _add_config_arguments(
+    parser: argparse.ArgumentParser, config_cls: type[ExperimentConfig]
+) -> None:
+    """Generate one ``--flag`` per field of the experiment's config dataclass."""
+    hints = typing.get_type_hints(config_cls)
+    for field in dataclasses.fields(config_cls):
+        if not field.init or field.name.startswith("_"):
+            continue
+        if field.name in _COMMON_DESTS:
+            raise ValueError(
+                f"{config_cls.__name__}.{field.name} collides with a reserved CLI flag"
+            )
+        flag = "--" + field.name.replace("_", "-")
+        annotation, optional = strip_optional(hints[field.name])
+        origin = typing.get_origin(annotation)
+        if field.default is not dataclasses.MISSING:
+            default_text = f"(default: {field.default})"
+        else:
+            default_text = ""
+        help_text = " ".join(
+            part for part in (field.metadata.get("help", ""), default_text) if part
         )
-        text = format_table(
-            result.as_rows(),
-            title=f"Latency vs offered load ({model.name}, {args.num_accelerators} device(s))",
-        )
-        text += format_key_values(
-            {
-                f"closed-loop capacity ({name})": f"{qps:.1f} seq/s"
-                for name, qps in result.capacity_qps.items()
-            }
-        )
+        kwargs: dict = {"dest": field.name, "default": _UNSET, "help": help_text}
+        choices = field.metadata.get("choices")
+        if origin in (tuple, list):
+            kwargs.update(
+                nargs="+", type=element_type(annotation), metavar=field.name.upper()[:-1]
+            )
+        elif annotation is bool:
+            kwargs["action"] = argparse.BooleanOptionalAction
+        else:
+            scalar = annotation if annotation in (int, float, str) else str
+            kwargs["type"] = _optional_scalar(scalar) if optional else scalar
+        if choices is not None:
+            kwargs["choices"] = choices
+        parser.add_argument(flag, **kwargs)
+
+
+def _add_output_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--format",
+        choices=("table", "json"),
+        default="table",
+        help="report format: plain-text tables or the machine-readable JSON payload",
+    )
+    parser.add_argument(
+        "--output-dir",
+        default=None,
+        help="also write the report(s) to this directory",
+    )
+
+
+def _add_config_source_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--config",
+        default=None,
+        metavar="FILE",
+        help="JSON config file (flags and --set override it)",
+    )
+    parser.add_argument(
+        "--set",
+        action="append",
+        default=None,
+        metavar="KEY=VALUE",
+        help="override one config field (repeatable; tuples are comma-separated)",
+    )
+
+
+def _build_config(spec: ExperimentSpec, args: argparse.Namespace) -> ExperimentConfig:
+    """Defaults < --config file < explicit flags < --set overrides."""
+    if args.config is not None:
+        config = spec.config_cls.from_file(args.config)
+    else:
+        config = spec.config_cls()
+    changes = {}
+    for field in dataclasses.fields(spec.config_cls):
+        value = getattr(args, field.name, _UNSET)
+        if value is _UNSET:
+            continue
+        changes[field.name] = tuple(value) if isinstance(value, list) else value
+    if changes:
+        config = config.replace(**changes)
+    if args.set:
+        config = config.with_overrides(args.set)
+    return config
+
+
+def _write_output(output_dir: str | None, name: str, fmt: str, text: str) -> None:
+    if output_dir is None:
+        return
+    directory = Path(output_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    suffix = "json" if fmt == "json" else "txt"
+    payload = text if text.endswith("\n") else text + "\n"
+    (directory / f"{name}.{suffix}").write_text(payload)
+
+
+def _make_command(spec: ExperimentSpec):
+    def command(args: argparse.Namespace) -> str:
+        try:
+            config = _build_config(spec, args)
+        except (ValueError, KeyError, FileNotFoundError) as error:
+            # Config construction failures are user input errors; anything
+            # raised later, inside spec.run(), is a real failure and keeps
+            # its traceback.
+            message = error.args[0] if error.args else str(error)
+            raise _CliInputError(str(message)) from error
+        result = spec.run(config)
+        if args.format == "json":
+            text = json.dumps(result_payload(spec, config, result), indent=2)
+        else:
+            text = spec.render(result)
+        _write_output(args.output_dir, spec.name, args.format, text)
         return text
 
-    fleet = build_serving_fleet(model, args.dataset, args.num_accelerators)
-    report = simulate_online(
-        fleet,
-        args.dataset,
-        arrivals=get_arrival_process(args.arrival, rate_qps=args.qps),
-        num_requests=args.requests,
-        batch_policy=get_batch_policy(
-            args.batch_policy, batch_size=args.batch_size, timeout_s=timeout_s
-        ),
-        router=get_router(args.routing),
-        seed=args.seed,
-    )
-    text = format_table([report.as_row()], title="Online serving simulation")
-    text += format_table(
-        [
-            {
-                "device": device.index,
-                "batches": device.num_batches,
-                "requests": device.num_requests,
-                "busy_s": round(device.busy_seconds, 4),
-                "duty_cycle": round(device.duty_cycle(report.makespan_seconds), 3),
-                "pipeline_util": round(device.mean_pipeline_utilization, 3),
-            }
-            for device in report.devices
-        ],
-        title="Per-device utilization",
-    )
-    text += format_key_values(
-        {
-            "queueing delay p50 (ms)": round(report.queueing_delay_percentile(50) * 1e3, 2),
-            "queueing delay p99 (ms)": round(report.queueing_delay_percentile(99) * 1e3, 2),
-            "max queue depth": report.max_queue_depth,
-            "router": report.router,
-        }
-    )
-    return text
+    return command
 
 
 def _cmd_all(args: argparse.Namespace) -> str:
-    sections = [
-        _cmd_fig1(argparse.Namespace(sequence_length=128, mode="time")),
-        _cmd_table1(args),
-        _cmd_fig5(args),
-        _cmd_fig7a(args),
-        _cmd_fig7b(args),
-        _cmd_table2(args),
-    ]
-    return "\n".join(sections)
+    """Run every paper experiment with registry defaults."""
+    from .evaluation.runner import run_all_experiments
 
-
-def _positive_int(text: str) -> int:
-    value = int(text)
-    if value < 1:
-        raise argparse.ArgumentTypeError("must be >= 1")
-    return value
-
-
-def _positive_float(text: str) -> float:
-    value = float(text)
-    if value <= 0:
-        raise argparse.ArgumentTypeError("must be > 0")
-    return value
-
-
-def _nonnegative_float(text: str) -> float:
-    value = float(text)
-    if value < 0:
-        raise argparse.ArgumentTypeError("must be >= 0")
-    return value
+    reports = run_all_experiments(
+        output_dir=args.output_dir,
+        include_fig6=args.include_fig6,
+        write_json=args.format == "json",
+    ).values()
+    if args.format == "json":
+        return json.dumps({report.name: report.payload for report in reports}, indent=2)
+    return "\n".join(report.text for report in reports)
 
 
 def build_parser() -> argparse.ArgumentParser:
-    """Construct the argument parser (exposed separately for testing)."""
+    """Construct the argument parser from the experiment registry."""
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Regenerate the tables and figures of the DAC 2022 length-adaptive Transformer paper.",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
-
-    fig1 = subparsers.add_parser("fig1", help="encoder time-consumption breakdown")
-    fig1.add_argument("--sequence-length", type=int, default=128)
-    fig1.add_argument("--mode", choices=("time", "flops"), default="time")
-    fig1.set_defaults(func=_cmd_fig1)
-
-    subparsers.add_parser("table1", help="model and dataset statistics").set_defaults(
-        func=_cmd_table1
+    for spec in list_experiments():
+        sub = subparsers.add_parser(
+            spec.name, help=spec.description, description=spec.title
+        )
+        _add_config_arguments(sub, spec.config_cls)
+        _add_output_arguments(sub)
+        _add_config_source_arguments(sub)
+        sub.set_defaults(func=_make_command(spec))
+    all_parser = subparsers.add_parser(
+        "all", help="every paper experiment except the (slow) fig6 sweep"
     )
-    subparsers.add_parser("fig5", help="length-aware scheduling example").set_defaults(
-        func=_cmd_fig5
+    all_parser.add_argument(
+        "--include-fig6", action="store_true", help="also run the slow fig6 sweep"
     )
-
-    fig6 = subparsers.add_parser("fig6", help="Top-k sparse attention accuracy sweep")
-    fig6.add_argument("--examples", type=int, default=4)
-    fig6.add_argument("--max-length", type=int, default=96)
-    fig6.set_defaults(func=_cmd_fig6)
-
-    subparsers.add_parser("fig7a", help="end-to-end cross-platform speedups").set_defaults(
-        func=_cmd_fig7a
-    )
-    subparsers.add_parser("fig7b", help="attention-core cross-platform speedups").set_defaults(
-        func=_cmd_fig7b
-    )
-    subparsers.add_parser("table2", help="energy-efficiency comparison").set_defaults(
-        func=_cmd_table2
-    )
-    subparsers.add_parser("all", help="every experiment except the (slow) fig6 sweep").set_defaults(
-        func=_cmd_all
-    )
-
-    serve = subparsers.add_parser(
-        "serve",
-        help="online serving simulation (fixed QPS) or latency-vs-load sweep (no --qps)",
-    )
-    serve.add_argument("--dataset", choices=sorted(DATASET_ZOO), default="mrpc")
-    serve.add_argument(
-        "--qps",
-        type=_positive_float,
-        default=None,
-        help="offered load; omit to sweep load fractions",
-    )
-    serve.add_argument("--requests", type=_positive_int, default=192)
-    serve.add_argument(
-        "--batch-size", type=_positive_int, default=global_config.DEFAULT_BATCH_SIZE
-    )
-    serve.add_argument(
-        "--batch-policy", choices=("fixed", "timeout", "bucketed"), default="timeout"
-    )
-    serve.add_argument("--timeout-ms", type=_nonnegative_float, default=20.0)
-    serve.add_argument(
-        "--routing",
-        choices=("round-robin", "least-loaded", "length-sharded"),
-        default="least-loaded",
-    )
-    serve.add_argument("--num-accelerators", type=_positive_int, default=1)
-    serve.add_argument("--arrival", choices=("poisson", "bursty"), default="poisson")
-    serve.add_argument("--model", choices=sorted(MODEL_ZOO), default="bert-base")
-    serve.add_argument("--seed", type=int, default=global_config.DEFAULT_SEED)
-    serve.set_defaults(func=_cmd_serve)
+    # `all` runs each experiment at registry defaults, so it takes only the
+    # output flags -- a --config/--set here would be silently ignored.
+    _add_output_arguments(all_parser)
+    all_parser.set_defaults(func=_cmd_all)
     return parser
 
 
@@ -284,7 +235,10 @@ def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    output = args.func(args)
+    try:
+        output = args.func(args)
+    except _CliInputError as error:
+        parser.error(str(error))
     print(output)
     return 0
 

@@ -18,7 +18,7 @@ drops proportionally, which is the property the accelerator exploits.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

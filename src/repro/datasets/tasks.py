@@ -19,7 +19,7 @@ import numpy as np
 
 from .. import config as global_config
 from ..metrics.accuracy import binary_f1_score, exact_match, span_f1_score
-from ..transformer.configs import DatasetConfig, ModelConfig, get_dataset_config
+from ..transformer.configs import DatasetConfig, get_dataset_config
 from ..transformer.model import TransformerModel
 from .synthetic import SyntheticSequence, generate_corpus
 

@@ -1,32 +1,54 @@
-"""Experiment harness: one module per paper table / figure."""
+"""Experiment harness: one module per paper table / figure.
 
-from .fig1_breakdown import BreakdownRow, Fig1Result, run_fig1_breakdown
-from .fig5_timeline import Fig5Result, run_fig5_schedule
-from .fig6_accuracy import Fig6PairResult, Fig6Result, reduced_config, run_fig6_accuracy
-from .fig7_throughput import Fig7Result, Fig7Workload, run_fig7_throughput
+Importing this package registers every experiment spec into the central
+registry (see :mod:`repro.experiments`); the modules also keep their legacy
+``run_*`` entry points as deprecated shims over the registry.
+"""
+
+from .fig1_breakdown import BreakdownRow, Fig1Config, Fig1Result, run_fig1_breakdown
+from .fig5_timeline import Fig5Config, Fig5Result, run_fig5_schedule
+from .fig6_accuracy import (
+    Fig6Config,
+    Fig6PairResult,
+    Fig6Result,
+    reduced_config,
+    run_fig6_accuracy,
+)
+from .fig7_throughput import Fig7Config, Fig7Result, Fig7Workload, run_fig7_throughput
 from .report import format_key_values, format_table
 from .runner import ExperimentReport, run_all_experiments
+from .serve import ServeConfig, ServeResult
 from .serving_sweep import (
+    ServingSweepConfig,
     ServingSweepResult,
     SweepPoint,
     build_serving_fleet,
     run_serving_sweep,
 )
-from .table1_models import Table1Result, run_table1
-from .table2_energy import Table2Result, run_table2_energy
+from .table1_models import Table1Config, Table1Result, run_table1
+from .table2_energy import Table2Config, Table2Result, run_table2_energy
 
 __all__ = [
     "BreakdownRow",
     "ExperimentReport",
+    "Fig1Config",
     "Fig1Result",
+    "Fig5Config",
     "Fig5Result",
+    "Fig6Config",
     "Fig6PairResult",
     "Fig6Result",
+    "Fig7Config",
     "Fig7Result",
     "Fig7Workload",
+    "ServeConfig",
+    "ServeResult",
+    "ServingSweepConfig",
     "ServingSweepResult",
     "SweepPoint",
+    "Table1Config",
     "Table1Result",
+    "Table2Config",
     "Table2Result",
     "build_serving_fleet",
     "format_key_values",

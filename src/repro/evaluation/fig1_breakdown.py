@@ -19,9 +19,19 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..core.complexity import encoder_layer_breakdown
-from ..transformer.configs import BERT_BASE, ModelConfig
+from ..experiments import ExperimentSpec, cfg_field, register_experiment
+from ..experiments.config import ExperimentConfig
+from ..experiments.spec import deprecated_call
+from ..transformer.configs import BERT_BASE, MODEL_ZOO, ModelConfig, get_model_config
+from .report import format_key_values, format_table
 
-__all__ = ["BreakdownRow", "Fig1Result", "run_fig1_breakdown", "GPU_OPERATOR_EFFICIENCY"]
+__all__ = [
+    "BreakdownRow",
+    "Fig1Config",
+    "Fig1Result",
+    "run_fig1_breakdown",
+    "GPU_OPERATOR_EFFICIENCY",
+]
 
 #: Human-readable labels matching the legend of Fig. 1(c).
 _OPERATOR_LABELS = {
@@ -96,11 +106,39 @@ class Fig1Result:
             for row in self.rows
         ]
 
+    def to_dict(self) -> dict:
+        """Machine-readable form (JSON-ready)."""
+        return {
+            "model": self.model,
+            "sequence_length": self.sequence_length,
+            "mode": self.mode,
+            "attention_share_percent": self.attention_share_percent,
+            "rows": [
+                {
+                    "operator": row.operator,
+                    "label": row.label,
+                    "flops": row.flops,
+                    "share_percent": row.share_percent,
+                    "is_attention": row.is_attention,
+                }
+                for row in self.rows
+            ],
+        }
 
-def run_fig1_breakdown(
-    model_config: ModelConfig = BERT_BASE,
-    sequence_length: int = 128,
-    mode: str = "time",
+
+@dataclass(frozen=True)
+class Fig1Config(ExperimentConfig):
+    """Configuration of the Fig. 1(c) encoder-breakdown experiment."""
+
+    model: str = cfg_field("bert-base", choices=sorted(MODEL_ZOO), help="model zoo key")
+    sequence_length: int = cfg_field(128, help="input sequence length (tokens)")
+    mode: str = cfg_field(
+        "time", choices=("time", "flops"), help="GPU time shares or raw FLOP shares"
+    )
+
+
+def _fig1_impl(
+    model_config: ModelConfig, sequence_length: int, mode: str
 ) -> Fig1Result:
     """Regenerate the Fig. 1(c) operator breakdown.
 
@@ -139,3 +177,41 @@ def run_fig1_breakdown(
         rows=rows,
         attention_share_percent=attention_share,
     )
+
+
+def _run_spec(config: Fig1Config) -> Fig1Result:
+    return _fig1_impl(
+        get_model_config(config.model), config.sequence_length, config.mode
+    )
+
+
+def _render(result: Fig1Result) -> str:
+    text = format_table(result.as_rows(), title="Fig. 1(c) - encoder time breakdown")
+    text += format_key_values(
+        {"self-attention share (%)": round(result.attention_share_percent, 1)}
+    )
+    return text
+
+
+SPEC = register_experiment(
+    ExperimentSpec(
+        name="fig1",
+        title="Fig. 1(c) - encoder time breakdown",
+        description="encoder time-consumption breakdown",
+        config_cls=Fig1Config,
+        run=_run_spec,
+        render=_render,
+        order=10,
+        include_in_all=True,
+    )
+)
+
+
+def run_fig1_breakdown(
+    model_config: ModelConfig = BERT_BASE,
+    sequence_length: int = 128,
+    mode: str = "time",
+) -> Fig1Result:
+    """Deprecated: use ``run_experiment("fig1", Fig1Config(...))`` instead."""
+    deprecated_call("run_fig1_breakdown", 'run_experiment("fig1", ...)')
+    return _fig1_impl(model_config, sequence_length, mode)

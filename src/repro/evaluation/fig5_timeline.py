@@ -13,13 +13,17 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..datasets.length_distributions import FIG5_EXAMPLE_LENGTHS
+from ..experiments import ExperimentSpec, cfg_field, register_experiment
+from ..experiments.config import ExperimentConfig
+from ..experiments.spec import deprecated_call
 from ..hardware.accelerator import build_sparse_accelerator
 from ..scheduling.baselines import PaddedScheduler, SequentialScheduler
 from ..scheduling.length_aware import LengthAwareScheduler
 from ..scheduling.pipeline import ScheduleResult
-from ..transformer.configs import BERT_BASE, ModelConfig
+from ..transformer.configs import BERT_BASE, MODEL_ZOO, ModelConfig, get_model_config
+from .report import format_key_values, format_table
 
-__all__ = ["Fig5Result", "run_fig5_schedule"]
+__all__ = ["Fig5Config", "Fig5Result", "run_fig5_schedule"]
 
 
 @dataclass
@@ -65,8 +69,40 @@ class Fig5Result:
             )
         return rows
 
+    def to_dict(self) -> dict:
+        """Machine-readable form (JSON-ready schedule summaries)."""
+        return {
+            "model": self.model,
+            "lengths": list(self.lengths),
+            "schedules": self.as_rows(),
+            "saved_cycles_vs_sequential": self.saved_cycles_vs_sequential,
+            "saved_cycles_vs_padded": self.saved_cycles_vs_padded,
+            "speedup_vs_sequential": self.speedup_vs_sequential,
+            "speedup_vs_padded": self.speedup_vs_padded,
+            "length_aware_utilization": self.length_aware.average_utilization,
+        }
 
-def run_fig5_schedule(
+
+@dataclass(frozen=True)
+class Fig5Config(ExperimentConfig):
+    """Configuration of the Fig. 5 scheduler-comparison experiment."""
+
+    model: str = cfg_field("bert-base", choices=sorted(MODEL_ZOO), help="model zoo key")
+    lengths: tuple[int, ...] = cfg_field(
+        tuple(FIG5_EXAMPLE_LENGTHS), help="batch sequence lengths"
+    )
+    num_layers: int | None = cfg_field(
+        2, help="encoder stack depth (none keeps the full model)"
+    )
+    top_k: int = cfg_field(30, help="Top-k sparse attention budget")
+
+    def validate(self) -> None:
+        super().validate()
+        if not self.lengths:
+            raise ValueError("lengths must contain at least one sequence")
+
+
+def _fig5_impl(
     model_config: ModelConfig = BERT_BASE,
     lengths: tuple[int, ...] = FIG5_EXAMPLE_LENGTHS,
     num_layers_override: int | None = 2,
@@ -100,3 +136,49 @@ def run_fig5_schedule(
         padded=padded,
         sequential=sequential,
     )
+
+
+def _run_spec(config: Fig5Config) -> Fig5Result:
+    return _fig5_impl(
+        get_model_config(config.model),
+        lengths=config.lengths,
+        num_layers_override=config.num_layers,
+        top_k=config.top_k,
+    )
+
+
+def _render(result: Fig5Result) -> str:
+    text = format_table(result.as_rows(), title="Fig. 5 - scheduler comparison (cycles)")
+    text += format_key_values(
+        {
+            "saved vs sequential (cycles)": result.saved_cycles_vs_sequential,
+            "saved vs padded (cycles)": result.saved_cycles_vs_padded,
+            "length-aware utilization": round(result.length_aware.average_utilization, 3),
+        }
+    )
+    return text
+
+
+SPEC = register_experiment(
+    ExperimentSpec(
+        name="fig5",
+        title="Fig. 5 - length-aware dynamic pipeline",
+        description="length-aware scheduling example",
+        config_cls=Fig5Config,
+        run=_run_spec,
+        render=_render,
+        order=30,
+        include_in_all=True,
+    )
+)
+
+
+def run_fig5_schedule(
+    model_config: ModelConfig = BERT_BASE,
+    lengths: tuple[int, ...] = FIG5_EXAMPLE_LENGTHS,
+    num_layers_override: int | None = 2,
+    top_k: int = 30,
+) -> Fig5Result:
+    """Deprecated: use ``run_experiment("fig5", Fig5Config(...))`` instead."""
+    deprecated_call("run_fig5_schedule", 'run_experiment("fig5", ...)')
+    return _fig5_impl(model_config, lengths, num_layers_override, top_k)

@@ -23,15 +23,29 @@ import numpy as np
 from .. import config as global_config
 from ..core.sparse_attention import make_sparse_attention_impl
 from ..datasets.tasks import build_proxy_task, evaluate_model_on_task
+from ..experiments import ExperimentSpec, cfg_field, register_experiment
+from ..experiments.config import ExperimentConfig
+from ..experiments.spec import deprecated_call
 from ..transformer.configs import (
     FIG6_EVALUATION_PAIRS,
     ModelConfig,
     get_dataset_config,
     get_model_config,
 )
+from .pairs import _validate_pairs
 from ..transformer.model import TransformerModel
+from .report import format_key_values, format_table
 
-__all__ = ["Fig6PairResult", "Fig6Result", "reduced_config", "run_fig6_accuracy"]
+__all__ = [
+    "Fig6Config",
+    "Fig6PairResult",
+    "Fig6Result",
+    "reduced_config",
+    "run_fig6_accuracy",
+]
+
+#: Default (model, dataset) pairs in the CLI-friendly "model:dataset" form.
+_DEFAULT_PAIRS = tuple(f"{model}:{dataset}" for model, dataset in FIG6_EVALUATION_PAIRS)
 
 
 def reduced_config(config: ModelConfig, vocab_size: int = 8192) -> ModelConfig:
@@ -104,8 +118,56 @@ class Fig6Result:
     def as_rows(self) -> list[dict]:
         return [pair.as_row() for pair in self.pairs]
 
+    def to_dict(self) -> dict:
+        """Machine-readable form (JSON-ready; dict keys are strings)."""
+        return {
+            "top_k_values": list(self.top_k_values),
+            "pairs": [
+                {
+                    "model": pair.model,
+                    "dataset": pair.dataset,
+                    "metric": pair.metric,
+                    "baseline_score": pair.baseline_score,
+                    "scores_by_k": {str(k): v for k, v in pair.scores_by_k.items()},
+                    "drops_by_k": {str(k): pair.drop(k) for k in pair.scores_by_k},
+                }
+                for pair in self.pairs
+            ],
+            "average_drop_by_k": {
+                str(k): self.average_drop(k) for k in self.top_k_values
+            },
+            "max_drop_by_k": {str(k): self.max_drop(k) for k in self.top_k_values},
+        }
 
-def run_fig6_accuracy(
+
+@dataclass(frozen=True)
+class Fig6Config(ExperimentConfig):
+    """Configuration of the Fig. 6 Top-k accuracy sweep."""
+
+    pairs: tuple[str, ...] = cfg_field(
+        _DEFAULT_PAIRS, help="(model:dataset) pairs to evaluate"
+    )
+    top_k_values: tuple[int, ...] = cfg_field(
+        global_config.TOP_K_SWEEP, help="Top-k budgets to sweep"
+    )
+    # The CLI defaults match the pre-registry `repro fig6` flags (4 examples,
+    # 96-token cap), not the heavier library defaults of `_fig6_impl`.
+    examples: int = cfg_field(4, help="proxy-corpus size per pair")
+    max_length: int = cfg_field(96, help="sequence-length cap of the proxy corpus")
+    quant_bits: int = cfg_field(1, help="Q/K quantization bit width")
+    reduced: bool = cfg_field(True, help="use architecturally scaled-down models")
+    seed: int = global_config.DEFAULT_SEED
+
+    def validate(self) -> None:
+        super().validate()
+        if not self.pairs:
+            raise ValueError("pairs must not be empty")
+        if not self.top_k_values:
+            raise ValueError("top_k_values must not be empty")
+        _validate_pairs(self.pairs)
+
+
+def _fig6_impl(
     pairs=FIG6_EVALUATION_PAIRS,
     top_k_values: tuple[int, ...] = global_config.TOP_K_SWEEP,
     num_examples: int = 8,
@@ -167,3 +229,57 @@ def run_fig6_accuracy(
         results.append(pair_result)
 
     return Fig6Result(pairs=results, top_k_values=tuple(top_k_values))
+
+
+def _run_spec(config: Fig6Config) -> Fig6Result:
+    pairs = [tuple(pair.split(":", 1)) for pair in config.pairs]
+    return _fig6_impl(
+        pairs=pairs,
+        top_k_values=config.top_k_values,
+        num_examples=config.examples,
+        max_length_cap=config.max_length,
+        quant_bits=config.quant_bits,
+        reduced=config.reduced,
+        seed=config.seed,
+    )
+
+
+def _render(result: Fig6Result) -> str:
+    text = format_table(result.as_rows(), title="Fig. 6 - Top-k sparse attention accuracy")
+    text += format_key_values(
+        {
+            f"average drop @ Top-{k}": round(result.average_drop(k), 2)
+            for k in sorted(result.top_k_values, reverse=True)
+        }
+    )
+    return text
+
+
+SPEC = register_experiment(
+    ExperimentSpec(
+        name="fig6",
+        title="Fig. 6 - Top-k sparse attention accuracy",
+        description="Top-k sparse attention accuracy sweep (slow)",
+        config_cls=Fig6Config,
+        run=_run_spec,
+        render=_render,
+        order=40,
+        include_in_all=False,
+    )
+)
+
+
+def run_fig6_accuracy(
+    pairs=FIG6_EVALUATION_PAIRS,
+    top_k_values: tuple[int, ...] = global_config.TOP_K_SWEEP,
+    num_examples: int = 8,
+    max_length_cap: int = 128,
+    quant_bits: int = 1,
+    reduced: bool = True,
+    seed: int = global_config.DEFAULT_SEED,
+) -> Fig6Result:
+    """Deprecated: use ``run_experiment("fig6", Fig6Config(...))`` instead."""
+    deprecated_call("run_fig6_accuracy", 'run_experiment("fig6", ...)')
+    return _fig6_impl(
+        pairs, top_k_values, num_examples, max_length_cap, quant_bits, reduced, seed
+    )

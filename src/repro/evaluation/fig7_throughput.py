@@ -17,6 +17,9 @@ from dataclasses import dataclass, field
 
 from .. import config as global_config
 from ..datasets.length_distributions import sample_lengths
+from ..experiments import ExperimentSpec, cfg_field, register_experiment
+from ..experiments.config import ExperimentConfig
+from ..experiments.spec import deprecated_call
 from ..metrics.throughput import geomean
 from ..platforms.base import PlatformResult
 from ..platforms.devices import CPU_GPU_PLATFORMS
@@ -26,8 +29,13 @@ from ..transformer.configs import (
     get_dataset_config,
     get_model_config,
 )
+from .pairs import _validate_pairs
+from .report import format_table
 
-__all__ = ["Fig7Workload", "Fig7Result", "run_fig7_throughput"]
+__all__ = ["Fig7Config", "Fig7Workload", "Fig7Result", "run_fig7_throughput"]
+
+#: Default (model, dataset) workloads in the CLI-friendly "model:dataset" form.
+_DEFAULT_PAIRS = tuple(f"{model}:{dataset}" for model, dataset in FIG7_EVALUATION_PAIRS)
 
 #: Canonical platform keys used in the speedup tables, in figure order.
 PLATFORM_KEYS = ("cpu", "jetson_tx2", "rtx6000", "fpga_baseline")
@@ -95,6 +103,35 @@ class Fig7Result:
     def as_rows(self) -> list[dict]:
         return [w.as_row() for w in self.workloads]
 
+    def to_dict(self) -> dict:
+        """Machine-readable form (JSON-ready)."""
+        return {
+            "panel": self.panel,
+            "workloads": self.as_rows(),
+            "geomean_speedups": self.geomean_speedups(),
+            "paper_geomeans": self.paper_geomeans(),
+        }
+
+
+@dataclass(frozen=True)
+class Fig7Config(ExperimentConfig):
+    """Configuration shared by the two Fig. 7 panels."""
+
+    pairs: tuple[str, ...] = cfg_field(
+        _DEFAULT_PAIRS, help="(model:dataset) workloads to evaluate"
+    )
+    batch_size: int = cfg_field(
+        global_config.DEFAULT_BATCH_SIZE, help="sampled batch size per workload"
+    )
+    top_k: int = cfg_field(global_config.DEFAULT_TOP_K, help="Top-k budget")
+    seed: int = global_config.DEFAULT_SEED
+
+    def validate(self) -> None:
+        super().validate()
+        if not self.pairs:
+            raise ValueError("pairs must not be empty")
+        _validate_pairs(self.pairs)
+
 
 def _evaluate_workload(
     model_key: str,
@@ -139,7 +176,7 @@ def _evaluate_workload(
     )
 
 
-def run_fig7_throughput(
+def _fig7_impl(
     panel: str = "end_to_end",
     pairs=FIG7_EVALUATION_PAIRS,
     batch_size: int = global_config.DEFAULT_BATCH_SIZE,
@@ -156,3 +193,72 @@ def run_fig7_throughput(
         for model_key, dataset_key in pairs
     ]
     return Fig7Result(panel=panel, workloads=workloads)
+
+
+def _run_panel(panel: str, config: Fig7Config) -> Fig7Result:
+    pairs = [tuple(pair.split(":", 1)) for pair in config.pairs]
+    return _fig7_impl(
+        panel=panel,
+        pairs=pairs,
+        batch_size=config.batch_size,
+        top_k=config.top_k,
+        seed=config.seed,
+    )
+
+
+def _render(result: Fig7Result) -> str:
+    title = (
+        "Fig. 7(a) - end-to-end speedups"
+        if result.panel == "end_to_end"
+        else "Fig. 7(b) - attention speedups"
+    )
+    text = format_table(result.as_rows(), title=title)
+    geomeans = result.geomean_speedups()
+    paper = result.paper_geomeans()
+    text += format_table(
+        [
+            {"platform": key, "measured geomean": round(value, 1), "paper geomean": paper[key]}
+            for key, value in geomeans.items()
+        ],
+        title="Geometric means",
+    )
+    return text
+
+
+SPEC_A = register_experiment(
+    ExperimentSpec(
+        name="fig7a",
+        title="Fig. 7(a) - end-to-end speedups",
+        description="end-to-end cross-platform speedups",
+        config_cls=Fig7Config,
+        run=lambda config: _run_panel("end_to_end", config),
+        render=_render,
+        order=50,
+        include_in_all=True,
+    )
+)
+
+SPEC_B = register_experiment(
+    ExperimentSpec(
+        name="fig7b",
+        title="Fig. 7(b) - attention-core speedups",
+        description="attention-core cross-platform speedups",
+        config_cls=Fig7Config,
+        run=lambda config: _run_panel("attention", config),
+        render=_render,
+        order=60,
+        include_in_all=True,
+    )
+)
+
+
+def run_fig7_throughput(
+    panel: str = "end_to_end",
+    pairs=FIG7_EVALUATION_PAIRS,
+    batch_size: int = global_config.DEFAULT_BATCH_SIZE,
+    top_k: int = global_config.DEFAULT_TOP_K,
+    seed: int = global_config.DEFAULT_SEED,
+) -> Fig7Result:
+    """Deprecated: use ``run_experiment("fig7a" | "fig7b", Fig7Config(...))``."""
+    deprecated_call("run_fig7_throughput", 'run_experiment("fig7a"/"fig7b", ...)')
+    return _fig7_impl(panel, pairs, batch_size, top_k, seed)

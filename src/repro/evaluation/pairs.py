@@ -1,0 +1,27 @@
+"""Shared validation for the "model:dataset" pair strings of fig6/fig7."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..transformer.configs import DATASET_ZOO, MODEL_ZOO
+
+__all__ = ["_validate_pairs"]
+
+
+def _validate_pairs(pairs: Iterable[str]) -> None:
+    """Reject malformed pairs and unknown model/dataset keys at config time."""
+    for pair in pairs:
+        if ":" not in pair:
+            raise ValueError(
+                f"pair '{pair}' must be of the form model:dataset (e.g. bert-base:mrpc)"
+            )
+        model, dataset = pair.split(":", 1)
+        if model not in MODEL_ZOO:
+            raise ValueError(
+                f"pair '{pair}': unknown model '{model}'; valid: {sorted(MODEL_ZOO)}"
+            )
+        if dataset not in DATASET_ZOO:
+            raise ValueError(
+                f"pair '{pair}': unknown dataset '{dataset}'; valid: {sorted(DATASET_ZOO)}"
+            )

@@ -1,97 +1,22 @@
 """Run every experiment and collect the rendered reports.
 
 `run_all_experiments` is the programmatic equivalent of running the whole
-benchmark suite: it executes each table/figure harness once, renders the
-rows/series with the plain-text formatter, optionally writes one file per
-experiment to an output directory, and returns everything in a dictionary so
-notebooks or downstream tooling can post-process the results.
+benchmark suite: it iterates the experiment registry (every spec flagged
+``include_in_all``, i.e. the paper's tables and figures), renders each
+result, optionally writes one file per experiment to an output directory,
+and returns everything in a dictionary so notebooks or downstream tooling
+can post-process the results.  Each report also carries the experiment's
+machine-readable ``payload`` (config + ``result.to_dict()``).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import json
 from pathlib import Path
 
-from .fig1_breakdown import run_fig1_breakdown
-from .fig5_timeline import run_fig5_schedule
-from .fig6_accuracy import run_fig6_accuracy
-from .fig7_throughput import run_fig7_throughput
-from .report import format_key_values, format_table
-from .table1_models import run_table1
-from .table2_energy import run_table2_energy
+from ..experiments import ExperimentReport, list_experiments, run_report
 
 __all__ = ["ExperimentReport", "run_all_experiments"]
-
-
-@dataclass
-class ExperimentReport:
-    """One experiment's result object plus its rendered report."""
-
-    name: str
-    title: str
-    result: object
-    text: str
-
-
-def _fig1_report() -> ExperimentReport:
-    result = run_fig1_breakdown()
-    text = format_table(result.as_rows(), title="Fig. 1(c) - encoder time breakdown")
-    text += format_key_values(
-        {"self-attention share (%)": round(result.attention_share_percent, 1)}
-    )
-    return ExperimentReport("fig1", "Encoder time breakdown", result, text)
-
-
-def _table1_report() -> ExperimentReport:
-    result = run_table1()
-    text = format_table(result.model_rows, title="Table 1 - models")
-    text += "\n" + format_table(result.dataset_rows, title="Table 1 - datasets")
-    return ExperimentReport("table1", "Models and datasets", result, text)
-
-
-def _fig5_report() -> ExperimentReport:
-    result = run_fig5_schedule()
-    text = format_table(result.as_rows(), title="Fig. 5 - scheduler comparison")
-    text += format_key_values(
-        {
-            "saved vs sequential (cycles)": result.saved_cycles_vs_sequential,
-            "saved vs padded (cycles)": result.saved_cycles_vs_padded,
-        }
-    )
-    return ExperimentReport("fig5", "Length-aware dynamic pipeline", result, text)
-
-
-def _fig6_report(num_examples: int, max_length_cap: int) -> ExperimentReport:
-    result = run_fig6_accuracy(num_examples=num_examples, max_length_cap=max_length_cap)
-    text = format_table(result.as_rows(), title="Fig. 6 - Top-k sparse attention accuracy")
-    text += format_key_values(
-        {
-            f"average drop @ Top-{k}": round(result.average_drop(k), 2)
-            for k in sorted(result.top_k_values, reverse=True)
-        }
-    )
-    return ExperimentReport("fig6", "Top-k accuracy sweep", result, text)
-
-
-def _fig7_report(panel: str, name: str, title: str) -> ExperimentReport:
-    result = run_fig7_throughput(panel=panel)
-    text = format_table(result.as_rows(), title=title)
-    geomeans = result.geomean_speedups()
-    paper = result.paper_geomeans()
-    text += format_table(
-        [
-            {"platform": key, "measured": round(value, 1), "paper": paper[key]}
-            for key, value in geomeans.items()
-        ],
-        title="Geometric means",
-    )
-    return ExperimentReport(name, title, result, text)
-
-
-def _table2_report() -> ExperimentReport:
-    result = run_table2_energy()
-    text = format_table(result.as_rows(), title="Table 2 - throughput & energy efficiency")
-    return ExperimentReport("table2", "Energy efficiency", result, text)
 
 
 def run_all_experiments(
@@ -99,33 +24,42 @@ def run_all_experiments(
     include_fig6: bool = False,
     fig6_examples: int = 4,
     fig6_max_length: int = 80,
+    write_json: bool = False,
 ) -> dict[str, ExperimentReport]:
-    """Run every experiment harness and return the reports keyed by name.
+    """Run every registered paper experiment and return the reports by name.
 
     Parameters
     ----------
     output_dir:
         When given, each rendered report is also written to
-        ``<output_dir>/<name>.txt``.
+        ``<output_dir>/<name>.txt`` (plus ``<name>.json`` with
+        ``write_json``).
     include_fig6:
         The Fig. 6 accuracy sweep runs real NumPy forward passes and takes
         tens of seconds; it is opt-in.
     """
-    reports = [
-        _fig1_report(),
-        _table1_report(),
-        _fig5_report(),
-        _fig7_report("end_to_end", "fig7a", "Fig. 7(a) - end-to-end speedups"),
-        _fig7_report("attention", "fig7b", "Fig. 7(b) - attention-core speedups"),
-        _table2_report(),
+    # list_experiments() is sorted by spec.order, which already slots fig6
+    # between fig5 and fig7a.
+    names = [
+        spec.name
+        for spec in list_experiments()
+        if spec.include_in_all or (include_fig6 and spec.name == "fig6")
     ]
-    if include_fig6:
-        reports.insert(3, _fig6_report(fig6_examples, fig6_max_length))
 
-    collected = {report.name: report for report in reports}
+    collected: dict[str, ExperimentReport] = {}
+    for name in names:
+        config = None
+        if name == "fig6":
+            config = {"examples": fig6_examples, "max_length": fig6_max_length}
+        collected[name] = run_report(name, config)
+
     if output_dir is not None:
         directory = Path(output_dir)
         directory.mkdir(parents=True, exist_ok=True)
         for report in collected.values():
             (directory / f"{report.name}.txt").write_text(report.text)
+            if write_json:
+                (directory / f"{report.name}.json").write_text(
+                    json.dumps(report.payload, indent=2) + "\n"
+                )
     return collected

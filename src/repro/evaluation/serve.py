@@ -1,0 +1,252 @@
+"""The ``serve`` experiment: online serving at a fixed load (or a sweep).
+
+This is the registry-facing face of the serving engine.  With a rate-driven
+arrival process (``poisson`` / ``bursty``) and an explicit ``qps`` the
+experiment runs one open-loop simulation; without ``qps`` it falls back to
+the latency-vs-load sweep over that single dataset.  The ``trace`` and
+``closed-loop`` arrival processes need no rate: a trace replays a recorded
+``(time[, length])`` stream from a JSON file, and closed-loop queues every
+request at t=0 (the legacy batch-drain mode).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from .. import config as global_config
+from ..experiments import ExperimentSpec, cfg_field, register_experiment
+from ..experiments.config import ExperimentConfig
+from ..registry import REGISTRY
+from ..serving import (
+    OnlineServingReport,
+    TraceArrivals,
+    get_arrival_process,
+    get_batch_policy,
+    get_router,
+    simulate_online,
+)
+from ..serving.arrivals import _is_rate_driven
+from ..transformer.configs import DATASET_ZOO, MODEL_ZOO, get_model_config
+from .report import format_key_values, format_table
+from .serving_sweep import (
+    ServingSweepResult,
+    _sweep_impl,
+    build_serving_fleet,
+    render_sweep,
+)
+
+__all__ = ["ServeConfig", "ServeResult"]
+
+
+def _resolve_component(kind: str, name: str):
+    """Registry lookup that reports unknown names as config ValueErrors."""
+    try:
+        return REGISTRY.resolve(kind, name)
+    except KeyError as error:
+        raise ValueError(error.args[0]) from error
+
+
+@dataclass(frozen=True)
+class ServeConfig(ExperimentConfig):
+    """Configuration of the online serving experiment."""
+
+    dataset: str = cfg_field("mrpc", choices=sorted(DATASET_ZOO), help="Table 1 dataset")
+    qps: float | None = cfg_field(
+        None, help="offered load (seq/s); omit to sweep load fractions"
+    )
+    requests: int = cfg_field(192, help="number of requests to simulate")
+    batch_size: int = global_config.DEFAULT_BATCH_SIZE
+    # Any registered name or alias is accepted (validated against the
+    # registry below), so plug-in policies/routers/arrivals work unchanged.
+    batch_policy: str = cfg_field(
+        "timeout", help="batch formation (fixed, timeout, bucketed, or plug-in)"
+    )
+    timeout_ms: float = cfg_field(20.0, help="dynamic-batching timeout (ms)")
+    num_buckets: int = cfg_field(4, help="length buckets (bucketed policy)")
+    bucket_width: float | None = cfg_field(
+        None, help="fixed bucket width in tokens (overrides num-buckets)"
+    )
+    routing: str = cfg_field(
+        "least-loaded",
+        help="fleet routing policy (round-robin, least-loaded, length-sharded, or plug-in)",
+    )
+    num_accelerators: int = cfg_field(1, help="fleet size")
+    arrival: str = cfg_field(
+        "poisson",
+        help="arrival process (poisson, bursty, trace, closed-loop, or plug-in)",
+    )
+    trace_file: str | None = cfg_field(
+        None, help="JSON trace of arrival times (or [time, length] pairs)"
+    )
+    model: str = cfg_field("bert-base", choices=sorted(MODEL_ZOO), help="model zoo key")
+    seed: int = global_config.DEFAULT_SEED
+
+    def validate(self) -> None:
+        super().validate()
+        if self.qps is not None and self.qps <= 0:
+            raise ValueError("qps must be > 0")
+        if self.requests < 1:
+            raise ValueError("requests must be >= 1")
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if self.num_accelerators < 1:
+            raise ValueError("num_accelerators must be >= 1")
+        if self.timeout_ms < 0:
+            raise ValueError("timeout_ms must be >= 0")
+        arrival = _resolve_component("arrival", self.arrival)
+        _resolve_component("batch-policy", self.batch_policy)
+        _resolve_component("router", self.routing)
+        if self._replays_trace():
+            if self.trace_file is None:
+                raise ValueError("arrival 'trace' needs trace_file")
+            if not Path(self.trace_file).is_file():
+                raise ValueError(f"trace file {self.trace_file} does not exist")
+        if not _is_rate_driven(arrival) and self.qps is not None:
+            raise ValueError(
+                f"arrival '{self.arrival}' is not rate-driven; drop qps "
+                "(trace replays its recorded times, closed-loop queues everything at t=0)"
+            )
+
+    def is_rate_driven(self) -> bool:
+        """Whether the configured arrival process is driven by an offered rate."""
+        return _is_rate_driven(REGISTRY.resolve("arrival", self.arrival))
+
+    def _replays_trace(self) -> bool:
+        # Registry names resolve case-insensitively; match that here.
+        return self.arrival.lower() == "trace"
+
+
+@dataclass
+class ServeResult:
+    """Either one online simulation or a latency-vs-load sweep."""
+
+    mode: str  # "online" or "sweep"
+    model: str
+    num_accelerators: int
+    report: OnlineServingReport | None = None
+    sweep: ServingSweepResult | None = None
+
+    def to_dict(self) -> dict:
+        """Machine-readable form (JSON-ready)."""
+        payload: dict = {
+            "mode": self.mode,
+            "model": self.model,
+            "num_accelerators": self.num_accelerators,
+        }
+        if self.report is not None:
+            payload["report"] = self.report.to_dict()
+        if self.sweep is not None:
+            payload["sweep"] = self.sweep.to_dict()
+        return payload
+
+
+def _load_trace(path: str) -> tuple:
+    """Read a JSON arrival trace: a list of times or of [time, length] pairs."""
+    try:
+        data = json.loads(Path(path).read_text())
+    except json.JSONDecodeError as error:
+        raise ValueError(f"trace file {path} is not valid JSON: {error}") from error
+    if not isinstance(data, list) or not data:
+        raise ValueError(f"trace file {path} must contain a non-empty JSON list")
+    return tuple(tuple(entry) if isinstance(entry, list) else entry for entry in data)
+
+
+def _build_arrivals(config: ServeConfig):
+    if config._replays_trace():
+        return TraceArrivals(trace=_load_trace(config.trace_file))
+    return get_arrival_process(config.arrival, rate_qps=config.qps)
+
+
+def _run_spec(config: ServeConfig) -> ServeResult:
+    model = get_model_config(config.model)
+    timeout_s = config.timeout_ms * 1e-3
+    if config.is_rate_driven() and config.qps is None:
+        sweep = _sweep_impl(
+            datasets=(config.dataset,),
+            batch_policies=(config.batch_policy,),
+            num_requests=config.requests,
+            batch_size=config.batch_size,
+            num_accelerators=config.num_accelerators,
+            router=config.routing,
+            arrival=config.arrival,
+            timeout_s=timeout_s,
+            num_buckets=config.num_buckets,
+            bucket_width=config.bucket_width,
+            model=model,
+            seed=config.seed,
+        )
+        return ServeResult(
+            mode="sweep",
+            model=model.name,
+            num_accelerators=config.num_accelerators,
+            sweep=sweep,
+        )
+
+    fleet = build_serving_fleet(model, config.dataset, config.num_accelerators)
+    report = simulate_online(
+        fleet,
+        config.dataset,
+        arrivals=_build_arrivals(config),
+        num_requests=config.requests,
+        batch_policy=get_batch_policy(
+            config.batch_policy,
+            batch_size=config.batch_size,
+            timeout_s=timeout_s,
+            num_buckets=config.num_buckets,
+            bucket_width=config.bucket_width,
+        ),
+        router=get_router(config.routing),
+        seed=config.seed,
+    )
+    return ServeResult(
+        mode="online",
+        model=model.name,
+        num_accelerators=config.num_accelerators,
+        report=report,
+    )
+
+
+def _render(result: ServeResult) -> str:
+    if result.mode == "sweep":
+        return render_sweep(result.sweep)
+    report = result.report
+    text = format_table([report.as_row()], title="Online serving simulation")
+    text += format_table(
+        [
+            {
+                "device": device.index,
+                "batches": device.num_batches,
+                "requests": device.num_requests,
+                "busy_s": round(device.busy_seconds, 4),
+                "duty_cycle": round(device.duty_cycle(report.makespan_seconds), 3),
+                "pipeline_util": round(device.mean_pipeline_utilization, 3),
+            }
+            for device in report.devices
+        ],
+        title="Per-device utilization",
+    )
+    text += format_key_values(
+        {
+            "queueing delay p50 (ms)": round(report.queueing_delay_percentile(50) * 1e3, 2),
+            "queueing delay p99 (ms)": round(report.queueing_delay_percentile(99) * 1e3, 2),
+            "max queue depth": report.max_queue_depth,
+            "router": report.router,
+        }
+    )
+    return text
+
+
+SPEC = register_experiment(
+    ExperimentSpec(
+        name="serve",
+        title="Online serving simulation",
+        description="online serving simulation (fixed QPS) or latency-vs-load sweep (no --qps)",
+        config_cls=ServeConfig,
+        run=_run_spec,
+        render=_render,
+        order=80,
+        include_in_all=False,
+    )
+)

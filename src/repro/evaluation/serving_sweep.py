@@ -14,16 +14,34 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..experiments import ExperimentSpec, cfg_field, register_experiment
+from ..experiments.config import ExperimentConfig
+from ..experiments.spec import deprecated_call
 from ..hardware.accelerator import Accelerator, build_sparse_accelerator
-from ..serving.arrivals import get_arrival_process
+from ..registry import REGISTRY
+from ..serving.arrivals import _is_rate_driven, get_arrival_process
 from ..serving.engine import OnlineServingReport, simulate_online
 from ..serving.closed_loop import simulate_serving
 from ..serving.policies import get_batch_policy
 from ..serving.routing import get_router
-from ..transformer.configs import BERT_BASE, ModelConfig, get_dataset_config
+from ..transformer.configs import (
+    BERT_BASE,
+    DATASET_ZOO,
+    MODEL_ZOO,
+    ModelConfig,
+    get_dataset_config,
+    get_model_config,
+)
+from .report import format_key_values, format_table
 from .. import config as global_config
 
-__all__ = ["SweepPoint", "ServingSweepResult", "build_serving_fleet", "run_serving_sweep"]
+__all__ = [
+    "ServingSweepConfig",
+    "ServingSweepResult",
+    "SweepPoint",
+    "build_serving_fleet",
+    "run_serving_sweep",
+]
 
 #: Offered-load grid (fractions of the measured closed-loop capacity); the
 #: last point sits past saturation so the latency divergence is visible.
@@ -79,6 +97,84 @@ class ServingSweepResult:
         ]
         return sorted(curve)
 
+    def to_dict(self) -> dict:
+        """Machine-readable form (JSON-ready summary rows)."""
+        return {
+            "model": self.model,
+            "num_accelerators": self.num_accelerators,
+            "batch_size": self.batch_size,
+            "num_requests": self.num_requests,
+            "capacity_qps": dict(self.capacity_qps),
+            "points": self.as_rows(),
+        }
+
+
+@dataclass(frozen=True)
+class ServingSweepConfig(ExperimentConfig):
+    """Configuration of the latency-vs-offered-load serving sweep."""
+
+    datasets: tuple[str, ...] = cfg_field(
+        ("mrpc", "rte", "squad"), help="Table 1 datasets to sweep"
+    )
+    load_fractions: tuple[float, ...] = cfg_field(
+        DEFAULT_LOAD_FRACTIONS, help="offered load as fractions of capacity"
+    )
+    batch_policies: tuple[str, ...] = cfg_field(
+        ("timeout",), help="batch-formation policies to compare"
+    )
+    requests: int = cfg_field(192, help="requests per sweep point")
+    batch_size: int = global_config.DEFAULT_BATCH_SIZE
+    num_accelerators: int = cfg_field(1, help="fleet size")
+    router: str = cfg_field(
+        "least-loaded",
+        help="fleet routing policy (round-robin, least-loaded, length-sharded, or plug-in)",
+    )
+    arrival: str = cfg_field(
+        "poisson",
+        help="open-loop arrival process (poisson, bursty, or a rate-driven plug-in)",
+    )
+    timeout_ms: float = cfg_field(20.0, help="dynamic-batching timeout (ms)")
+    num_buckets: int = cfg_field(4, help="length buckets (bucketed policy)")
+    bucket_width: float | None = cfg_field(
+        None, help="fixed bucket width in tokens (overrides num-buckets)"
+    )
+    model: str = cfg_field("bert-base", choices=sorted(MODEL_ZOO), help="model zoo key")
+    seed: int = global_config.DEFAULT_SEED
+
+    def validate(self) -> None:
+        super().validate()
+        if not self.datasets:
+            raise ValueError("datasets must not be empty")
+        if not self.load_fractions:
+            raise ValueError("load_fractions must not be empty")
+        if any(fraction <= 0 for fraction in self.load_fractions):
+            raise ValueError("load_fractions must all be > 0")
+        if not self.batch_policies:
+            raise ValueError("batch_policies must not be empty")
+        unknown = sorted(set(self.datasets) - set(DATASET_ZOO))
+        if unknown:
+            raise ValueError(f"unknown datasets {unknown}; valid: {sorted(DATASET_ZOO)}")
+        try:
+            for policy in self.batch_policies:
+                REGISTRY.resolve("batch-policy", policy)
+            REGISTRY.resolve("router", self.router)
+            arrival = REGISTRY.resolve("arrival", self.arrival)
+        except KeyError as error:
+            raise ValueError(error.args[0]) from error
+        if not _is_rate_driven(arrival):
+            raise ValueError(
+                f"arrival '{self.arrival}' is not rate-driven; the sweep sets the "
+                "offered rate from the measured capacity"
+            )
+        if self.requests < 1:
+            raise ValueError("requests must be >= 1")
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if self.num_accelerators < 1:
+            raise ValueError("num_accelerators must be >= 1")
+        if self.timeout_ms < 0:
+            raise ValueError("timeout_ms must be >= 0")
+
 
 def build_serving_fleet(
     model: ModelConfig,
@@ -98,7 +194,7 @@ def build_serving_fleet(
     ]
 
 
-def run_serving_sweep(
+def _sweep_impl(
     datasets: tuple[str, ...] = ("mrpc", "rte", "squad"),
     load_fractions: tuple[float, ...] = DEFAULT_LOAD_FRACTIONS,
     batch_policies: tuple[str, ...] = ("timeout",),
@@ -108,6 +204,8 @@ def run_serving_sweep(
     router: str = "least-loaded",
     arrival: str = "poisson",
     timeout_s: float = 20e-3,
+    num_buckets: int = 4,
+    bucket_width: float | None = None,
     model: ModelConfig = BERT_BASE,
     seed: int = global_config.DEFAULT_SEED,
 ) -> ServingSweepResult:
@@ -136,7 +234,11 @@ def run_serving_sweep(
             for fraction in load_fractions:
                 offered = capacity * fraction
                 policy = get_batch_policy(
-                    policy_name, batch_size=batch_size, timeout_s=timeout_s
+                    policy_name,
+                    batch_size=batch_size,
+                    timeout_s=timeout_s,
+                    num_buckets=num_buckets,
+                    bucket_width=bucket_width,
                 )
                 report = simulate_online(
                     fleet,
@@ -158,3 +260,83 @@ def run_serving_sweep(
                     )
                 )
     return result
+
+
+def _run_spec(config: ServingSweepConfig) -> ServingSweepResult:
+    return _sweep_impl(
+        datasets=config.datasets,
+        load_fractions=config.load_fractions,
+        batch_policies=config.batch_policies,
+        num_requests=config.requests,
+        batch_size=config.batch_size,
+        num_accelerators=config.num_accelerators,
+        router=config.router,
+        arrival=config.arrival,
+        timeout_s=config.timeout_ms * 1e-3,
+        num_buckets=config.num_buckets,
+        bucket_width=config.bucket_width,
+        model=get_model_config(config.model),
+        seed=config.seed,
+    )
+
+
+def render_sweep(result: ServingSweepResult) -> str:
+    """Render the sweep as the CLI's plain-text report."""
+    text = format_table(
+        result.as_rows(),
+        title=(
+            f"Latency vs offered load ({result.model}, "
+            f"{result.num_accelerators} device(s))"
+        ),
+    )
+    text += format_key_values(
+        {
+            f"closed-loop capacity ({name})": f"{qps:.1f} seq/s"
+            for name, qps in result.capacity_qps.items()
+        }
+    )
+    return text
+
+
+SPEC = register_experiment(
+    ExperimentSpec(
+        name="serving-sweep",
+        title="Latency vs offered load sweep",
+        description="latency-vs-load sweep of the online serving simulator",
+        config_cls=ServingSweepConfig,
+        run=_run_spec,
+        render=render_sweep,
+        order=90,
+        include_in_all=False,
+    )
+)
+
+
+def run_serving_sweep(
+    datasets: tuple[str, ...] = ("mrpc", "rte", "squad"),
+    load_fractions: tuple[float, ...] = DEFAULT_LOAD_FRACTIONS,
+    batch_policies: tuple[str, ...] = ("timeout",),
+    num_requests: int = 192,
+    batch_size: int = global_config.DEFAULT_BATCH_SIZE,
+    num_accelerators: int = 1,
+    router: str = "least-loaded",
+    arrival: str = "poisson",
+    timeout_s: float = 20e-3,
+    model: ModelConfig = BERT_BASE,
+    seed: int = global_config.DEFAULT_SEED,
+) -> ServingSweepResult:
+    """Deprecated: use ``run_experiment("serving-sweep", ServingSweepConfig(...))``."""
+    deprecated_call("run_serving_sweep", 'run_experiment("serving-sweep", ...)')
+    return _sweep_impl(
+        datasets=datasets,
+        load_fractions=load_fractions,
+        batch_policies=batch_policies,
+        num_requests=num_requests,
+        batch_size=batch_size,
+        num_accelerators=num_accelerators,
+        router=router,
+        arrival=arrival,
+        timeout_s=timeout_s,
+        model=model,
+        seed=seed,
+    )

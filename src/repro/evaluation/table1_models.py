@@ -12,9 +12,13 @@ from dataclasses import dataclass
 
 from .. import config as global_config
 from ..datasets.length_distributions import length_statistics, sample_lengths
+from ..experiments import ExperimentSpec, cfg_field, register_experiment
+from ..experiments.config import ExperimentConfig
+from ..experiments.spec import deprecated_call
 from ..transformer.configs import DATASET_ZOO, MODEL_ZOO
+from .report import format_table
 
-__all__ = ["Table1Result", "run_table1"]
+__all__ = ["Table1Config", "Table1Result", "run_table1"]
 
 
 @dataclass
@@ -24,8 +28,22 @@ class Table1Result:
     model_rows: list[dict]
     dataset_rows: list[dict]
 
+    def to_dict(self) -> dict:
+        """Machine-readable form (JSON-ready)."""
+        return {"model_rows": self.model_rows, "dataset_rows": self.dataset_rows}
 
-def run_table1(
+
+@dataclass(frozen=True)
+class Table1Config(ExperimentConfig):
+    """Configuration of the Table 1 statistics experiment."""
+
+    num_sampled_sequences: int = cfg_field(
+        2000, help="synthetic sample size per dataset"
+    )
+    seed: int = global_config.DEFAULT_SEED
+
+
+def _table1_impl(
     num_sampled_sequences: int = 2000,
     seed: int = global_config.DEFAULT_SEED,
 ) -> Table1Result:
@@ -61,3 +79,38 @@ def run_table1(
             }
         )
     return Table1Result(model_rows=model_rows, dataset_rows=dataset_rows)
+
+
+def _run_spec(config: Table1Config) -> Table1Result:
+    return _table1_impl(config.num_sampled_sequences, config.seed)
+
+
+def _render(result: Table1Result) -> str:
+    return (
+        format_table(result.model_rows, title="Table 1 - models")
+        + "\n"
+        + format_table(result.dataset_rows, title="Table 1 - datasets")
+    )
+
+
+SPEC = register_experiment(
+    ExperimentSpec(
+        name="table1",
+        title="Table 1 - models and datasets",
+        description="model and dataset statistics",
+        config_cls=Table1Config,
+        run=_run_spec,
+        render=_render,
+        order=20,
+        include_in_all=True,
+    )
+)
+
+
+def run_table1(
+    num_sampled_sequences: int = 2000,
+    seed: int = global_config.DEFAULT_SEED,
+) -> Table1Result:
+    """Deprecated: use ``run_experiment("table1", Table1Config(...))`` instead."""
+    deprecated_call("run_table1", 'run_experiment("table1", ...)')
+    return _table1_impl(num_sampled_sequences, seed)

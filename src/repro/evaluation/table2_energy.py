@@ -13,14 +13,18 @@ from dataclasses import dataclass
 import numpy as np
 
 from .. import config as global_config
+from ..experiments import ExperimentSpec, cfg_field, register_experiment
+from ..experiments.config import ExperimentConfig
+from ..experiments.spec import deprecated_call
 from ..platforms.energy import (
     EnergyReport,
     LITERATURE_TABLE2_ROWS,
     energy_report_from_result,
 )
-from .fig7_throughput import Fig7Result, run_fig7_throughput
+from .fig7_throughput import Fig7Result, _fig7_impl
+from .report import format_table
 
-__all__ = ["Table2Result", "run_table2_energy"]
+__all__ = ["Table2Config", "Table2Result", "run_table2_energy"]
 
 
 @dataclass
@@ -44,8 +48,29 @@ class Table2Result:
         """The paper's Table 2 numbers for side-by-side comparison."""
         return dict(global_config.PAPER_TABLE2)
 
+    def to_dict(self) -> dict:
+        """Machine-readable form (JSON-ready)."""
+        return {"rows": self.as_rows(), "paper_rows": self.paper_rows()}
 
-def run_table2_energy(
+
+@dataclass(frozen=True)
+class Table2Config(ExperimentConfig):
+    """Configuration of the Table 2 energy-efficiency experiment."""
+
+    accuracy_drop_ours: float = cfg_field(
+        1.8, help="accuracy drop (pp) reported for the proposed design"
+    )
+    accuracy_drop_gpu: float = cfg_field(
+        1.8, help="accuracy drop (pp) reported for the GPU row"
+    )
+    batch_size: int = cfg_field(
+        global_config.DEFAULT_BATCH_SIZE, help="sampled batch size per workload"
+    )
+    top_k: int = cfg_field(global_config.DEFAULT_TOP_K, help="Top-k budget")
+    seed: int = global_config.DEFAULT_SEED
+
+
+def _table2_impl(
     fig7: Fig7Result | None = None,
     accuracy_drop_ours: float = 1.8,
     accuracy_drop_gpu: float = 1.8,
@@ -53,12 +78,12 @@ def run_table2_energy(
 ) -> Table2Result:
     """Regenerate Table 2.
 
-    ``fig7`` may be the result of a previous :func:`run_fig7_throughput` call
-    (end-to-end panel); omitting it runs the workloads here.  The accuracy
-    drops default to the paper's reported averages; callers that also ran the
-    Fig. 6 sweep can substitute their measured drops.
+    ``fig7`` may be the result of a previous Fig. 7 run (end-to-end panel);
+    omitting it runs the workloads here.  The accuracy drops default to the
+    paper's reported averages; callers that also ran the Fig. 6 sweep can
+    substitute their measured drops.
     """
-    fig7 = fig7 or run_fig7_throughput(panel="end_to_end", **fig7_kwargs)
+    fig7 = fig7 or _fig7_impl(panel="end_to_end", **fig7_kwargs)
 
     # The paper's "equivalent hardware throughput" counts the dense, padded
     # work a conventional platform would have executed for the same batch,
@@ -101,3 +126,42 @@ def run_table2_energy(
 
     rows = [gpu, ours] + list(LITERATURE_TABLE2_ROWS)
     return Table2Result(rows=rows, fig7=fig7)
+
+
+def _run_spec(config: Table2Config) -> Table2Result:
+    return _table2_impl(
+        accuracy_drop_ours=config.accuracy_drop_ours,
+        accuracy_drop_gpu=config.accuracy_drop_gpu,
+        batch_size=config.batch_size,
+        top_k=config.top_k,
+        seed=config.seed,
+    )
+
+
+def _render(result: Table2Result) -> str:
+    return format_table(result.as_rows(), title="Table 2 - throughput & energy efficiency")
+
+
+SPEC = register_experiment(
+    ExperimentSpec(
+        name="table2",
+        title="Table 2 - throughput & energy efficiency",
+        description="energy-efficiency comparison",
+        config_cls=Table2Config,
+        run=_run_spec,
+        render=_render,
+        order=70,
+        include_in_all=True,
+    )
+)
+
+
+def run_table2_energy(
+    fig7: Fig7Result | None = None,
+    accuracy_drop_ours: float = 1.8,
+    accuracy_drop_gpu: float = 1.8,
+    **fig7_kwargs,
+) -> Table2Result:
+    """Deprecated: use ``run_experiment("table2", Table2Config(...))`` instead."""
+    deprecated_call("run_table2_energy", 'run_experiment("table2", ...)')
+    return _table2_impl(fig7, accuracy_drop_ours, accuracy_drop_gpu, **fig7_kwargs)

@@ -1,0 +1,53 @@
+"""Unified experiment API: typed specs, a central registry, typed results.
+
+Every experiment of the reproduction (each paper table/figure plus the
+serving workloads) registers an :class:`ExperimentSpec` -- a frozen config
+dataclass, a ``run(config)`` entry point, and a plain-text renderer -- into
+the shared :mod:`repro.registry`.  The CLI, the run-everything runner, the
+benchmark suite, and notebooks all drive experiments through this one door:
+
+    from repro.experiments import list_experiments, run_experiment
+
+    for spec in list_experiments():
+        print(spec.name, "-", spec.title)
+
+    result = run_experiment("fig1", {"sequence_length": 256, "mode": "flops"})
+    result.to_dict()                      # machine-readable form
+
+Configs round-trip through JSON (``to_dict`` / ``from_dict`` /
+``from_file``) and accept ``key=value`` override strings, which is what the
+CLI's ``--config`` and ``--set`` flags use.  Serving-side components
+(arrival processes, batch policies, routers) plug into the same registry
+under their own kinds via :func:`repro.registry.register`.
+"""
+
+from ..registry import available, create, register
+from .config import ExperimentConfig, cfg_field, coerce_value, parse_assignment
+from .spec import (
+    ExperimentReport,
+    ExperimentSpec,
+    get_experiment,
+    list_experiments,
+    register_experiment,
+    result_payload,
+    run_experiment,
+    run_report,
+)
+
+__all__ = [
+    "ExperimentConfig",
+    "ExperimentReport",
+    "ExperimentSpec",
+    "available",
+    "cfg_field",
+    "coerce_value",
+    "create",
+    "get_experiment",
+    "list_experiments",
+    "parse_assignment",
+    "register",
+    "register_experiment",
+    "result_payload",
+    "run_experiment",
+    "run_report",
+]

@@ -19,7 +19,7 @@ into end-to-end throughput numbers.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from .. import config as global_config
 from ..operators.encoder_graph import (

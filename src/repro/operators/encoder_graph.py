@@ -10,7 +10,6 @@ Algorithm 1 and the hardware models can be driven from the same description.
 
 from __future__ import annotations
 
-import numpy as np
 
 from ..core.complexity import (
     gelu_flops,

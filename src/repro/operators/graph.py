@@ -11,7 +11,7 @@ concrete encoder graph.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Iterable
 
 __all__ = ["Operator", "OperatorGraph"]

@@ -1,0 +1,126 @@
+"""Central kind/name registry for pluggable components.
+
+Every extensible axis of the codebase -- experiments, arrival processes,
+batch-formation policies, routers -- registers its implementations here under
+a ``(kind, name)`` pair, so adding a new component never requires editing the
+CLI or the engine:
+
+    from repro.registry import register, create
+
+    @register("arrival", "pareto")
+    @dataclass
+    class ParetoArrivals(ArrivalProcess):
+        ...
+
+    process = create("arrival", "pareto", rate_qps=200.0)
+
+``register`` accepts aliases (e.g. ``"closed"`` for ``"closed-loop"``) and
+``create`` instantiates by name with keyword parameters.  Lookup failures
+raise :class:`KeyError` listing the registered names of that kind.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable
+
+__all__ = [
+    "Registry",
+    "register",
+    "create",
+    "resolve",
+    "available",
+    "kinds",
+    "REGISTRY",
+]
+
+
+class Registry:
+    """A two-level ``kind -> name -> factory`` registry.
+
+    Factories are usually classes, but any callable returning the component
+    works.  Within one kind, names and aliases share a namespace and must be
+    unique.
+    """
+
+    def __init__(self) -> None:
+        self._factories: dict[str, dict[str, Callable[..., Any]]] = {}
+        self._canonical: dict[str, dict[str, str]] = {}
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+
+    def add(
+        self,
+        kind: str,
+        name: str,
+        factory: Callable[..., Any],
+        aliases: Iterable[str] = (),
+    ) -> None:
+        """Register ``factory`` under ``(kind, name)`` plus any aliases."""
+        table = self._factories.setdefault(kind, {})
+        canon = self._canonical.setdefault(kind, {})
+        for key in (name, *aliases):
+            key = key.lower()
+            if key in table and table[key] is not factory:
+                raise ValueError(f"{kind} '{key}' is already registered")
+            table[key] = factory
+            canon[key] = name.lower()
+
+    def register(
+        self, kind: str, name: str | None = None, *, aliases: Iterable[str] = ()
+    ) -> Callable[[Callable[..., Any]], Callable[..., Any]]:
+        """Decorator form of :meth:`add`; the name defaults to ``cls.name``."""
+
+        def decorate(factory: Callable[..., Any]) -> Callable[..., Any]:
+            key = name if name is not None else getattr(factory, "name", None)
+            if not key:
+                raise ValueError(
+                    f"cannot infer a registry name for {factory!r}; pass one explicitly"
+                )
+            self.add(kind, key, factory, aliases=aliases)
+            return factory
+
+        return decorate
+
+    # ------------------------------------------------------------------
+    # Lookup / construction
+    # ------------------------------------------------------------------
+
+    def resolve(self, kind: str, name: str) -> Callable[..., Any]:
+        """Return the factory registered under ``(kind, name)`` (or alias)."""
+        table = self._factories.get(kind)
+        if not table:
+            raise KeyError(f"no components of kind '{kind}' are registered")
+        factory = table.get(name.lower())
+        if factory is None:
+            raise KeyError(
+                f"Unknown {kind} '{name}'. Available: {self.available(kind)}"
+            )
+        return factory
+
+    def create(self, kind: str, name: str, **params: Any) -> Any:
+        """Instantiate the component registered under ``(kind, name)``."""
+        return self.resolve(kind, name)(**params)
+
+    def available(self, kind: str) -> list[str]:
+        """Sorted canonical (alias-free) names registered for ``kind``."""
+        return sorted(set(self._canonical.get(kind, {}).values()))
+
+    def kinds(self) -> list[str]:
+        """Sorted kinds with at least one registration."""
+        return sorted(self._factories)
+
+    def __contains__(self, kind_name: tuple[str, str]) -> bool:
+        kind, name = kind_name
+        return name.lower() in self._factories.get(kind, {})
+
+
+#: The process-wide default registry all built-in components use.
+REGISTRY = Registry()
+
+register = REGISTRY.register
+create = REGISTRY.create
+resolve = REGISTRY.resolve
+available = REGISTRY.available
+kinds = REGISTRY.kinds

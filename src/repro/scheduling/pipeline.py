@@ -21,7 +21,7 @@ Constraints modeled, matching Section 4.2 and Fig. 2/5 of the paper:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..hardware.accelerator import Accelerator
 from .timeline import Timeline, TimelineEvent

@@ -9,7 +9,7 @@ and the latency "saved" relative to a non-overlapped schedule.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 __all__ = ["TimelineEvent", "StageOccupancy", "Timeline"]
 

@@ -25,12 +25,15 @@ closed-batch experiments.
 
 from __future__ import annotations
 
+import dataclasses
+import inspect
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from .. import config as global_config
 from ..datasets.length_distributions import sample_lengths
+from ..registry import REGISTRY, register
 from ..transformer.configs import DatasetConfig, get_dataset_config
 from .request import Request
 
@@ -89,6 +92,7 @@ class ArrivalProcess:
         ]
 
 
+@register("arrival", "poisson")
 @dataclass
 class PoissonArrivals(ArrivalProcess):
     """Memoryless arrivals at a fixed offered rate."""
@@ -105,6 +109,7 @@ class PoissonArrivals(ArrivalProcess):
         return np.cumsum(gaps)
 
 
+@register("arrival", "bursty")
 @dataclass
 class BurstyArrivals(ArrivalProcess):
     """Two-state MMPP: quiet periods interleaved with high-rate bursts.
@@ -160,6 +165,7 @@ class BurstyArrivals(ArrivalProcess):
         return times
 
 
+@register("arrival", "trace")
 @dataclass
 class TraceArrivals(ArrivalProcess):
     """Replay an explicit arrival-time trace (optionally with lengths).
@@ -207,6 +213,7 @@ class TraceArrivals(ArrivalProcess):
         ]
 
 
+@register("arrival", "closed-loop", aliases=("closed",))
 @dataclass
 class ClosedLoopArrivals(ArrivalProcess):
     """Every request is already queued at t=0 (the legacy batch-drain mode).
@@ -240,22 +247,29 @@ class ClosedLoopArrivals(ArrivalProcess):
         ]
 
 
-_ARRIVAL_FACTORIES = {
-    "poisson": PoissonArrivals,
-    "bursty": BurstyArrivals,
-    "closed": ClosedLoopArrivals,
-    "closed-loop": ClosedLoopArrivals,
-}
+def _is_rate_driven(factory) -> bool:
+    """Whether a factory's constructor declares an explicit ``rate_qps``."""
+    if dataclasses.is_dataclass(factory):
+        return any(f.name == "rate_qps" and f.init for f in dataclasses.fields(factory))
+    try:
+        return "rate_qps" in inspect.signature(factory).parameters
+    except (TypeError, ValueError):
+        return False
 
 
 def get_arrival_process(name: str, rate_qps: float | None = None, **kwargs) -> ArrivalProcess:
-    """Build an arrival process by CLI name (``poisson``, ``bursty``, ``closed``)."""
-    key = name.lower()
-    if key not in _ARRIVAL_FACTORIES:
-        raise KeyError(f"Unknown arrival process '{name}'. Available: {sorted(set(_ARRIVAL_FACTORIES))}")
-    factory = _ARRIVAL_FACTORIES[key]
-    if factory is ClosedLoopArrivals:
-        return factory(**kwargs)
-    if rate_qps is None:
-        raise ValueError(f"arrival process '{name}' needs rate_qps")
-    return factory(rate_qps=rate_qps, **kwargs)
+    """Build an arrival process by registered name (``poisson``, ``bursty``, ...).
+
+    Thin convenience wrapper over ``repro.registry.create("arrival", name)``:
+    it injects ``rate_qps`` only into factories whose constructor declares it
+    (dataclass field or explicit parameter) and raises :class:`ValueError`
+    when such a rate-driven process is asked for without one.  Third-party
+    processes registered with ``@register("arrival", ...)`` are constructed
+    the same way.
+    """
+    factory = REGISTRY.resolve("arrival", name)
+    if _is_rate_driven(factory):
+        if rate_qps is None:
+            raise ValueError(f"arrival process '{name}' needs rate_qps")
+        kwargs["rate_qps"] = rate_qps
+    return factory(**kwargs)

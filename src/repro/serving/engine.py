@@ -185,6 +185,47 @@ class OnlineServingReport:
         utils = [b.result.average_utilization for b in self.batches]
         return float(np.mean(utils)) if utils else 0.0
 
+    def to_dict(self) -> dict:
+        """Machine-readable summary (JSON-ready; omits per-request records)."""
+        return {
+            "dataset": self.dataset,
+            "arrival_process": self.arrival_process,
+            "batch_policy": self.batch_policy,
+            "router": self.router,
+            "scheduler": self.scheduler,
+            "offered_qps": self.offered_qps,
+            "num_requests": self.num_requests,
+            "num_batches": len(self.batches),
+            "sustained_qps": self.sustained_qps,
+            "makespan_seconds": self.makespan_seconds,
+            "latency_ms": {
+                "p50": self.latency_percentile(50) * 1e3,
+                "p95": self.latency_percentile(95) * 1e3,
+                "p99": self.latency_percentile(99) * 1e3,
+            },
+            "queueing_delay_ms": {
+                "p50": self.queueing_delay_percentile(50) * 1e3,
+                "p99": self.queueing_delay_percentile(99) * 1e3,
+            },
+            "max_queue_depth": self.max_queue_depth,
+            "mean_queue_depth": self.mean_queue_depth,
+            "mean_waiting_requests": self.mean_waiting_requests,
+            "average_device_utilization": self.average_device_utilization,
+            "average_pipeline_utilization": self.average_pipeline_utilization,
+            "devices": [
+                {
+                    "device": device.index,
+                    "accelerator": device.accelerator,
+                    "batches": device.num_batches,
+                    "requests": device.num_requests,
+                    "busy_seconds": device.busy_seconds,
+                    "duty_cycle": device.duty_cycle(self.makespan_seconds),
+                    "pipeline_utilization": device.mean_pipeline_utilization,
+                }
+                for device in self.devices
+            ],
+        }
+
     def as_row(self) -> dict:
         """Summary row for reports."""
         row = {

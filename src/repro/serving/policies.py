@@ -20,12 +20,14 @@ timeout deadline), which is how the event loop schedules timer wake-ups.
 
 from __future__ import annotations
 
+import dataclasses
 from bisect import bisect_right
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from .. import config as global_config
+from ..registry import REGISTRY, register
 from ..transformer.configs import DatasetConfig
 from .request import Request
 
@@ -60,6 +62,7 @@ class BatchPolicy:
         raise NotImplementedError
 
 
+@register("batch-policy", "fixed-size", aliases=("fixed",))
 @dataclass
 class FixedSizeBatcher(BatchPolicy):
     """Dispatch only full batches of ``batch_size`` (flush the tail at drain)."""
@@ -81,6 +84,7 @@ class FixedSizeBatcher(BatchPolicy):
         return None
 
 
+@register("batch-policy", "timeout")
 @dataclass
 class TimeoutBatcher(BatchPolicy):
     """Dispatch on a full batch or when the oldest request ages past the timeout."""
@@ -113,6 +117,7 @@ class TimeoutBatcher(BatchPolicy):
         return None
 
 
+@register("batch-policy", "length-bucketed", aliases=("bucketed",))
 @dataclass
 class LengthBucketedBatcher(BatchPolicy):
     """Continuous batching with per-length-bucket queues.
@@ -120,13 +125,15 @@ class LengthBucketedBatcher(BatchPolicy):
     The queue is partitioned by sequence length into ``num_buckets`` bands
     between the dataset's min and max length; a band dispatches as soon as it
     holds a full batch, and the oldest waiting request (across all bands)
-    forces its band out after ``timeout_s``.  Explicit ``bucket_edges``
-    override the automatic banding.
+    forces its band out after ``timeout_s``.  ``bucket_width`` switches the
+    banding to fixed-width bands of that many tokens, and explicit
+    ``bucket_edges`` override both automatic schemes.
     """
 
     batch_size: int = global_config.DEFAULT_BATCH_SIZE
     timeout_s: float = 5e-3
     num_buckets: int = 4
+    bucket_width: float | None = None
     bucket_edges: tuple[float, ...] | None = None
     name: str = "length-bucketed"
     _edges: list[float] = field(default_factory=list, repr=False)
@@ -138,11 +145,24 @@ class LengthBucketedBatcher(BatchPolicy):
             raise ValueError("timeout_s must be >= 0")
         if self.num_buckets < 1:
             raise ValueError("num_buckets must be >= 1")
+        if self.bucket_width is not None and self.bucket_width <= 0:
+            raise ValueError("bucket_width must be > 0")
         if self.bucket_edges is not None:
             self._edges = sorted(float(e) for e in self.bucket_edges)
 
     def prepare(self, dataset: DatasetConfig) -> None:
-        if self.bucket_edges is None:
+        if self.bucket_edges is not None:
+            return
+        if self.bucket_width is not None:
+            self._edges = [
+                float(e)
+                for e in np.arange(
+                    dataset.min_length + self.bucket_width,
+                    dataset.max_length,
+                    self.bucket_width,
+                )
+            ]
+        else:
             self._edges = [
                 float(e)
                 for e in np.linspace(
@@ -182,21 +202,27 @@ class LengthBucketedBatcher(BatchPolicy):
         return None
 
 
-_POLICY_FACTORIES = {
-    "fixed": FixedSizeBatcher,
-    "fixed-size": FixedSizeBatcher,
-    "timeout": TimeoutBatcher,
-    "bucketed": LengthBucketedBatcher,
-    "length-bucketed": LengthBucketedBatcher,
-}
+#: Shared CLI knobs that not every policy declares; get_batch_policy drops
+#: exactly these when the chosen policy has no such field, so one flag set
+#: drives every policy while typos still raise TypeError.
+_OPTIONAL_POLICY_KNOBS = frozenset({"timeout_s", "num_buckets", "bucket_width"})
 
 
 def get_batch_policy(name: str, **kwargs) -> BatchPolicy:
-    """Build a batch policy by CLI name (``fixed``, ``timeout``, ``bucketed``)."""
-    key = name.lower()
-    if key not in _POLICY_FACTORIES:
-        raise KeyError(f"Unknown batch policy '{name}'. Available: {sorted(set(_POLICY_FACTORIES))}")
-    factory = _POLICY_FACTORIES[key]
-    if factory is FixedSizeBatcher:
-        kwargs.pop("timeout_s", None)
+    """Build a batch policy by registered name (``fixed``, ``timeout``, ``bucketed``).
+
+    Thin convenience wrapper over ``repro.registry.create("batch-policy",
+    name)`` that drops the shared CLI knobs the chosen policy does not
+    declare (e.g. ``timeout_s`` for the fixed-size batcher, ``bucket_width``
+    for the FIFO policies).  Any other unexpected keyword still raises
+    :class:`TypeError`.
+    """
+    factory = REGISTRY.resolve("batch-policy", name)
+    if dataclasses.is_dataclass(factory):
+        accepted = {f.name for f in dataclasses.fields(factory) if f.init}
+        kwargs = {
+            key: value
+            for key, value in kwargs.items()
+            if key in accepted or key not in _OPTIONAL_POLICY_KNOBS
+        }
     return factory(**kwargs)

@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..registry import REGISTRY, register
 from ..transformer.configs import DatasetConfig
 from .request import Request
 
@@ -49,6 +50,7 @@ class Router:
         raise NotImplementedError
 
 
+@register("router", "round-robin")
 @dataclass
 class RoundRobinRouter(Router):
     """Cycle through the devices in index order."""
@@ -66,6 +68,7 @@ class RoundRobinRouter(Router):
         return index
 
 
+@register("router", "least-loaded")
 @dataclass
 class LeastLoadedRouter(Router):
     """Send the batch to the device with the smallest backlog."""
@@ -77,6 +80,7 @@ class LeastLoadedRouter(Router):
         return min(range(len(backlogs)), key=lambda i: (backlogs[i], i))
 
 
+@register("router", "length-sharded")
 @dataclass
 class LengthShardedRouter(Router):
     """Shard the length axis: device ``i`` owns the ``i``-th length band.
@@ -103,16 +107,11 @@ class LengthShardedRouter(Router):
         return min(bisect_right(self._edges, mean_length), len(free_at) - 1)
 
 
-_ROUTER_FACTORIES = {
-    "round-robin": RoundRobinRouter,
-    "least-loaded": LeastLoadedRouter,
-    "length-sharded": LengthShardedRouter,
-}
-
-
 def get_router(name: str, **kwargs) -> Router:
-    """Build a router by CLI name (``round-robin``, ``least-loaded``, ``length-sharded``)."""
-    key = name.lower()
-    if key not in _ROUTER_FACTORIES:
-        raise KeyError(f"Unknown router '{name}'. Available: {sorted(_ROUTER_FACTORIES)}")
-    return _ROUTER_FACTORIES[key](**kwargs)
+    """Build a router by registered name (``round-robin``, ``least-loaded``, ...).
+
+    Equivalent to ``repro.registry.create("router", name, **kwargs)``;
+    third-party routers registered with ``@register("router", ...)`` resolve
+    the same way.
+    """
+    return REGISTRY.create("router", name, **kwargs)

@@ -10,7 +10,7 @@ padding overhead), which is all the hardware experiments need.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 @dataclass(frozen=True)

@@ -9,7 +9,7 @@ else is shared, which is exactly the property the accuracy study relies on.
 
 from __future__ import annotations
 
-from typing import Callable, Protocol
+from typing import Protocol
 
 import numpy as np
 

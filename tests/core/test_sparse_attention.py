@@ -15,7 +15,7 @@ from repro.core.sparse_attention import (
     sparse_attention_head,
     sparse_multi_head_attention,
 )
-from repro.transformer.attention import multi_head_attention, project_qkv, split_heads
+from repro.transformer.attention import multi_head_attention
 
 
 def _random_qkv(rng, seq=20, dim=16):

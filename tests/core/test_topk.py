@@ -8,7 +8,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 from hypothesis.extra.numpy import arrays
 
-from repro.core.topk import StreamingTopK, TopKResult, topk_indices, topk_mask
+from repro.core.topk import StreamingTopK, topk_indices, topk_mask
 
 
 class TestTopKIndices:

@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import pytest
 
-from repro import config as global_config
 from repro.evaluation.fig1_breakdown import run_fig1_breakdown
 from repro.evaluation.fig5_timeline import run_fig5_schedule
 from repro.evaluation.fig6_accuracy import reduced_config, run_fig6_accuracy

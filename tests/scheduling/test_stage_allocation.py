@@ -6,7 +6,7 @@ import pytest
 
 from repro.hardware.resources import FpgaResources, U280_SLR0
 from repro.operators.encoder_graph import build_dense_encoder_graph, build_sparse_encoder_graph
-from repro.operators.graph import Operator, OperatorGraph
+from repro.operators.graph import OperatorGraph
 from repro.scheduling.stage_allocation import allocate_stages, plan_to_accelerator
 from repro.transformer.configs import BERT_BASE
 

@@ -60,7 +60,9 @@ class TestBurstyArrivals:
         bursty = BurstyArrivals(rate_qps=200, burst_ratio=10.0, burst_fraction=0.1).generate(
             RTE, 2000, seed=11
         )
-        cv = lambda ts: float(np.std(np.diff(ts)) / np.mean(np.diff(ts)))
+        def cv(ts):
+            return float(np.std(np.diff(ts)) / np.mean(np.diff(ts)))
+
         assert cv([r.arrival_time for r in bursty]) > cv([r.arrival_time for r in poisson])
 
     def test_parameter_validation(self):

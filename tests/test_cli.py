@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -96,3 +98,171 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "Latency vs offered load" in out
         assert "closed-loop capacity (MRPC)" in out
+
+    def test_serve_command_closed_loop_arrival(self, capsys):
+        assert main(["serve", "--arrival", "closed-loop", "--requests", "32"]) == 0
+        out = capsys.readouterr().out
+        assert "Online serving simulation" in out
+        assert "closed-loop" in out
+
+    def test_serve_command_trace_arrival(self, capsys, tmp_path):
+        trace = tmp_path / "trace.json"
+        trace.write_text(json.dumps([[0.002 * i, 32 + i % 48] for i in range(48)]))
+        assert main(
+            ["serve", "--arrival", "trace", "--trace-file", str(trace), "--requests", "48"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Online serving simulation" in out
+        assert "trace" in out
+
+    def test_serve_trace_without_file_errors(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["serve", "--arrival", "trace"])
+
+    def test_serve_bucket_width_flag(self, capsys):
+        assert main(
+            [
+                "serve",
+                "--qps", "200",
+                "--requests", "32",
+                "--batch-policy", "bucketed",
+                "--bucket-width", "24",
+            ]
+        ) == 0
+        assert "length-bucketed" in capsys.readouterr().out
+
+    def test_serving_sweep_command(self, capsys):
+        assert main(
+            [
+                "serving-sweep",
+                "--datasets", "mrpc",
+                "--load-fractions", "0.5", "1.1",
+                "--requests", "32",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Latency vs offered load" in out
+
+
+#: (argv, ...) per command: the fast configuration of every registered
+#: subcommand, used to check the machine-readable output paths.
+FAST_COMMANDS = {
+    "fig1": ["fig1"],
+    "table1": ["table1", "--num-sampled-sequences", "200"],
+    "fig5": ["fig5"],
+    "fig6": [
+        "fig6",
+        "--pairs", "distilbert:mrpc",
+        "--examples", "1",
+        "--max-length", "32",
+        "--top-k-values", "30", "10",
+    ],
+    "fig7a": ["fig7a", "--batch-size", "8"],
+    "fig7b": ["fig7b", "--batch-size", "8"],
+    "table2": ["table2", "--batch-size", "8"],
+    "serve": ["serve", "--qps", "200", "--requests", "24"],
+    "serving-sweep": [
+        "serving-sweep",
+        "--datasets", "mrpc",
+        "--load-fractions", "0.5",
+        "--requests", "24",
+    ],
+}
+
+
+class TestJsonFormat:
+    @pytest.mark.parametrize("name", sorted(FAST_COMMANDS), ids=str)
+    def test_every_command_emits_parseable_json(self, name, capsys):
+        assert main(FAST_COMMANDS[name] + ["--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["experiment"] == name
+        assert isinstance(payload["config"], dict)
+        assert isinstance(payload["result"], dict)
+
+    def test_all_command_emits_parseable_json(self, capsys):
+        assert main(["all", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload) == {"fig1", "table1", "fig5", "fig7a", "fig7b", "table2"}
+        for name, entry in payload.items():
+            assert entry["experiment"] == name
+
+    def test_output_dir_writes_json_files(self, capsys, tmp_path):
+        assert main(["fig1", "--format", "json", "--output-dir", str(tmp_path)]) == 0
+        written = json.loads((tmp_path / "fig1.json").read_text())
+        assert written == json.loads(capsys.readouterr().out)
+
+    def test_all_output_dir_writes_per_experiment_files(self, capsys, tmp_path):
+        assert main(["all", "--output-dir", str(tmp_path)]) == 0
+        names = {path.stem for path in tmp_path.glob("*.txt")}
+        assert names == {"fig1", "table1", "fig5", "fig7a", "fig7b", "table2"}
+
+
+class TestConfigPlumbing:
+    def test_set_overrides_flag_defaults(self, capsys):
+        assert main(["fig1", "--set", "sequence-length=256", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["config"]["sequence_length"] == 256
+
+    def test_explicit_flag_beats_config_file(self, capsys, tmp_path):
+        config_file = tmp_path / "fig1.json"
+        config_file.write_text(json.dumps({"sequence_length": 64, "mode": "flops"}))
+        assert main(
+            [
+                "fig1",
+                "--config", str(config_file),
+                "--sequence-length", "512",
+                "--format", "json",
+            ]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["config"]["sequence_length"] == 512
+        assert payload["config"]["mode"] == "flops"
+
+    def test_set_beats_explicit_flag(self, capsys):
+        assert main(
+            ["fig1", "--sequence-length", "64", "--set", "sequence_length=96",
+             "--format", "json"]
+        ) == 0
+        assert json.loads(capsys.readouterr().out)["config"]["sequence_length"] == 96
+
+    def test_bad_set_key_errors(self):
+        with pytest.raises(SystemExit):
+            main(["fig1", "--set", "sequencelength=256"])
+
+    def test_config_file_with_unknown_key_errors(self, tmp_path):
+        config_file = tmp_path / "bad.json"
+        config_file.write_text(json.dumps({"nonsense": 1}))
+        with pytest.raises(SystemExit):
+            main(["fig1", "--config", str(config_file)])
+
+    def test_all_rejects_config_and_set(self):
+        # `all` runs registry defaults; silently ignoring --config/--set
+        # would misrepresent what ran, so the flags don't exist there.
+        with pytest.raises(SystemExit):
+            main(["all", "--set", "seed=1"])
+        with pytest.raises(SystemExit):
+            main(["all", "--config", "whatever.json"])
+
+    def test_unknown_registry_name_via_set_is_a_clean_error(self, capsys):
+        # batch_policies has no argparse choices; the registry KeyError must
+        # surface as a parser error, not a traceback.
+        with pytest.raises(SystemExit):
+            main(
+                ["serving-sweep", "--datasets", "mrpc", "--load-fractions", "0.5",
+                 "--requests", "16", "--set", "batch_policies=bogus"]
+            )
+        assert "Unknown batch-policy" in capsys.readouterr().err
+
+    def test_sweep_mode_honors_bucket_width(self, capsys):
+        argv = [
+            "serve", "--batch-policy", "bucketed", "--requests", "48",
+            "--dataset", "mrpc", "--format", "json",
+        ]
+        narrow = main(argv + ["--bucket-width", "8"])
+        out_narrow = capsys.readouterr().out
+        wide = main(argv + ["--bucket-width", "200"])
+        out_wide = capsys.readouterr().out
+        assert narrow == wide == 0
+        points_narrow = json.loads(out_narrow)["result"]["sweep"]["points"]
+        points_wide = json.loads(out_wide)["result"]["sweep"]["points"]
+        assert points_narrow != points_wide

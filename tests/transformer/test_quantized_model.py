@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.transformer.model import TransformerModel
 from repro.transformer.quantized import quantize_model_weights, weight_quantization_error

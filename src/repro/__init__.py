@@ -9,6 +9,8 @@ Reproduction library.  The public API is organized in subpackages:
 * :mod:`repro.scheduling` -- Algorithm 1 stage allocation and length-aware
   dynamic pipelining (plus padding / micro-batch baselines).
 * :mod:`repro.platforms` -- CPU / GPU / FPGA performance and energy models.
+* :mod:`repro.devices` -- unified Device API: one cost-model protocol over
+  the cycle-accurate and analytical backends, for heterogeneous fleets.
 * :mod:`repro.datasets` -- synthetic workloads matching Table 1 statistics.
 * :mod:`repro.serving` -- event-driven online serving simulator (arrival
   processes, dynamic batching, multi-accelerator routing).
@@ -18,6 +20,13 @@ The most common entry points are re-exported at the top level below.
 """
 
 from . import config
+from .devices import (
+    AnalyticalDevice,
+    CycleAccurateDevice,
+    Device,
+    build_device,
+    build_fleet,
+)
 from .core import (
     SparseAttentionConfig,
     make_sparse_attention_impl,
@@ -63,11 +72,14 @@ __version__ = "1.0.0"
 
 __all__ = [
     "Accelerator",
+    "AnalyticalDevice",
     "BERT_BASE",
     "BERT_LARGE",
     "BurstyArrivals",
     "ClosedLoopArrivals",
+    "CycleAccurateDevice",
     "DISTILBERT",
+    "Device",
     "ExperimentConfig",
     "ExperimentSpec",
     "LengthAwareScheduler",
@@ -83,6 +95,8 @@ __all__ = [
     "TransformerModel",
     "allocate_stages",
     "build_baseline_accelerator",
+    "build_device",
+    "build_fleet",
     "build_sparse_accelerator",
     "config",
     "get_dataset_config",

@@ -189,6 +189,37 @@ def _make_command(spec: ExperimentSpec):
     return command
 
 
+def _cmd_list(args: argparse.Namespace) -> str:
+    """List every registered component kind/name (devices, arrivals, ...)."""
+    from .evaluation.report import format_table
+    from .registry import REGISTRY
+
+    list_experiments()  # import side effects register every built-in kind
+    kinds = REGISTRY.kinds()
+    if args.kind is not None:
+        if args.kind not in kinds:
+            raise _CliInputError(
+                f"unknown kind '{args.kind}'; registered kinds: {kinds}"
+            )
+        kinds = [args.kind]
+    if args.format == "json":
+        return json.dumps({kind: REGISTRY.available(kind) for kind in kinds}, indent=2)
+
+    def summary(kind: str, name: str) -> str:
+        component = REGISTRY.resolve(kind, name)
+        description = getattr(component, "description", None)
+        if isinstance(description, str):
+            return description
+        return getattr(component, "__name__", type(component).__name__)
+
+    rows = [
+        {"kind": kind, "name": name, "summary": summary(kind, name)}
+        for kind in kinds
+        for name in REGISTRY.available(kind)
+    ]
+    return format_table(rows, title="Registered components")
+
+
 def _cmd_all(args: argparse.Namespace) -> str:
     """Run every paper experiment with registry defaults."""
     from .evaluation.runner import run_all_experiments
@@ -228,6 +259,22 @@ def build_parser() -> argparse.ArgumentParser:
     # output flags -- a --config/--set here would be silently ignored.
     _add_output_arguments(all_parser)
     all_parser.set_defaults(func=_cmd_all)
+    list_parser = subparsers.add_parser(
+        "list",
+        help="list every registered component (devices, arrivals, policies, routers, experiments)",
+    )
+    list_parser.add_argument(
+        "--kind",
+        default=None,
+        help="restrict to one kind (device, arrival, batch-policy, router, experiment)",
+    )
+    list_parser.add_argument(
+        "--format",
+        choices=("table", "json"),
+        default="table",
+        help="plain-text table or machine-readable JSON",
+    )
+    list_parser.set_defaults(func=_cmd_list)
     return parser
 
 

@@ -1,0 +1,174 @@
+"""Adapters wrapping the two existing backend families behind :class:`Device`.
+
+* :class:`CycleAccurateDevice` -- an :class:`~repro.hardware.accelerator.Accelerator`
+  plus a batch scheduler: latency is the simulated coarse-pipeline makespan,
+  per-request completions are each sequence's last stage exit, and the
+  admission interval is when the first coarse stage drains (so a new batch
+  can stream in behind the old one -- device-level continuous batching).
+* :class:`AnalyticalDevice` -- any platform model producing a
+  :class:`~repro.platforms.base.PlatformResult` (the roofline
+  :class:`~repro.platforms.base.AnalyticalPlatform` CPU/GPU models, or a
+  :class:`~repro.platforms.fpga.FpgaPlatform`): the batch completes as one
+  unit and batches serialize, which is how instruction-driven platforms
+  behave under the paper's padding assumptions.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Sequence
+
+from .. import config as global_config
+from ..hardware.accelerator import Accelerator
+from ..platforms.base import AnalyticalPlatform, PlatformResult
+from ..scheduling.length_aware import LengthAwareScheduler
+from .protocol import BatchExecution, Device
+
+__all__ = ["AnalyticalDevice", "CycleAccurateDevice"]
+
+#: Retained schedule simulations per device (routing + dispatch of the same
+#: batch composition hit the cache, so occupancy probes stay cheap).
+_DEFAULT_CACHE_SIZE = 64
+
+
+class CycleAccurateDevice(Device):
+    """A simulated FPGA design (accelerator + batch scheduler) as a Device."""
+
+    backend = "cycle-accurate"
+
+    def __init__(
+        self,
+        accelerator: Accelerator,
+        scheduler=None,
+        name: str | None = None,
+        power_watts: float = global_config.FPGA_BOARD_POWER_W,
+        cache_size: int = _DEFAULT_CACHE_SIZE,
+    ) -> None:
+        self.accelerator = accelerator
+        self.scheduler = scheduler or LengthAwareScheduler()
+        self.name = name or accelerator.name
+        self.power_watts = power_watts
+        self._cache: OrderedDict[tuple[int, ...], BatchExecution] = OrderedDict()
+        self._cache_size = max(int(cache_size), 1)
+        super().__init__()
+
+    @property
+    def scheduler_name(self) -> str | None:
+        return getattr(self.scheduler, "name", type(self.scheduler).__name__)
+
+    def execute(self, lengths: Sequence[int]) -> BatchExecution:
+        key = tuple(int(x) for x in lengths)
+        cached = self._cache.get(key)
+        if cached is not None:
+            self._cache.move_to_end(key)
+            return cached
+        result = self.scheduler.schedule(self.accelerator, list(key))
+        clock = self.accelerator.clock_hz
+        first_stage = self.accelerator.stages[0].name
+        completion_cycles: dict[int, int] = {}
+        admit_cycles = 0
+        for event in result.timeline.events:
+            if event.end > completion_cycles.get(event.sequence_id, 0):
+                completion_cycles[event.sequence_id] = event.end
+            # Replicated entry stages are labeled "<name>[replica]".
+            if event.stage == first_stage or event.stage.startswith(first_stage + "["):
+                admit_cycles = max(admit_cycles, event.end)
+        latency = result.makespan_seconds
+        execution = BatchExecution(
+            device=self.name,
+            lengths=list(key),
+            latency_seconds=latency,
+            completion_offsets=[completion_cycles[i] / clock for i in range(len(key))],
+            admit_seconds=min(admit_cycles / clock, latency),
+            utilization=result.average_utilization,
+            energy_joules=latency * self.power_watts,
+            schedule=result,
+        )
+        self._cache[key] = execution
+        while len(self._cache) > self._cache_size:
+            self._cache.popitem(last=False)
+        return execution
+
+    def describe(self) -> dict:
+        return {
+            "name": self.name,
+            "backend": self.backend,
+            "accelerator": self.accelerator.name,
+            "model": self.accelerator.model_config.name,
+            "scheduler": self.scheduler_name,
+            "clock_hz": self.accelerator.clock_hz,
+            "power_watts": self.power_watts,
+            "top_k": self.accelerator.top_k,
+            "stages": [stage.name for stage in self.accelerator.stages],
+        }
+
+
+class AnalyticalDevice(Device):
+    """A closed-form platform model (roofline CPU/GPU, Fig. 7 wrappers) as a Device."""
+
+    backend = "analytical"
+
+    def __init__(
+        self,
+        platform,
+        model_config=None,
+        name: str | None = None,
+        workload: str = "end_to_end",
+    ) -> None:
+        if workload not in ("end_to_end", "attention"):
+            raise ValueError("workload must be 'end_to_end' or 'attention'")
+        self.platform = platform
+        self.model_config = model_config
+        self.workload = workload
+        #: Drives :meth:`Device.served_energy_joules`; analytical batches
+        #: never overlap, so power x busy time equals the per-batch sum.
+        self.power_watts = getattr(platform, "power_watts", None)
+        # AnalyticalPlatform methods take (model_config, lengths); platform
+        # wrappers that carry their own model (FpgaPlatform) take (lengths).
+        self._needs_model = isinstance(platform, AnalyticalPlatform)
+        if self._needs_model and model_config is None:
+            raise ValueError("an AnalyticalPlatform device needs a model_config")
+        self.name = name or platform.name
+        super().__init__()
+
+    def _platform_result(self, lengths: list[int]) -> PlatformResult:
+        method = (
+            self.platform.end_to_end
+            if self.workload == "end_to_end"
+            else self.platform.attention_only
+        )
+        if self._needs_model:
+            return method(self.model_config, lengths)
+        return method(lengths)
+
+    def execute(self, lengths: Sequence[int]) -> BatchExecution:
+        batch = [int(x) for x in lengths]
+        result = self._platform_result(batch)
+        latency = result.latency_seconds
+        return BatchExecution(
+            device=self.name,
+            lengths=batch,
+            latency_seconds=latency,
+            # The whole padded batch completes as one unit, and the next
+            # batch cannot overlap it: no internal pipeline to stream into.
+            completion_offsets=[latency] * len(batch),
+            admit_seconds=latency,
+            utilization=None,
+            energy_joules=result.energy_joules,
+            schedule=None,
+        )
+
+    def describe(self) -> dict:
+        description = {
+            "name": self.name,
+            "backend": self.backend,
+            "platform": self.platform.name,
+            "workload": self.workload,
+            "power_watts": getattr(self.platform, "power_watts", None),
+        }
+        if self.model_config is not None:
+            description["model"] = self.model_config.name
+        gops = getattr(self.platform, "effective_gops", None)
+        if gops is not None:
+            description["effective_gops"] = gops
+        return description

@@ -1,0 +1,191 @@
+"""Registered device catalog: every serving backend under ``kind="device"``.
+
+Importing this module registers the built-in devices into
+:data:`repro.registry.REGISTRY`, the same way arrival processes, batch
+policies, routers, and experiments register.  Every factory shares one
+signature -- ``(model=..., dataset=..., name=None, **backend_knobs)`` --
+where ``model``/``dataset`` name the operating point (FPGA designs are
+balanced for the dataset's length statistics; analytical platforms ignore
+the dataset but accept it so fleet specs stay uniform):
+
+    from repro.devices import build_device, build_fleet
+
+    device = build_device("sparse-fpga", model="bert-base", dataset="mrpc")
+    fleet = build_fleet(("sparse-fpga", "gpu-rtx6000"), dataset="mrpc")
+
+Third-party backends plug in with ``@register("device", "my-device")`` and
+become reachable from the CLI (``--devices my-device``) with no core edits.
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import Iterable
+
+from .. import config as global_config
+from ..hardware.accelerator import build_baseline_accelerator, build_sparse_accelerator
+from ..platforms.devices import JETSON_TX2, RTX_6000, V100_ET, XEON_5218
+from ..registry import REGISTRY, register
+from ..scheduling.baselines import PaddedScheduler
+from ..scheduling.length_aware import LengthAwareScheduler
+from ..transformer.configs import (
+    DatasetConfig,
+    ModelConfig,
+    get_dataset_config,
+    get_model_config,
+)
+from .adapters import AnalyticalDevice, CycleAccurateDevice
+from .protocol import Device
+
+__all__ = ["build_device", "build_fleet", "split_fleet_spec"]
+
+
+def split_fleet_spec(specs: str | Iterable[str]) -> list[str]:
+    """Flatten fleet specs into individual device names.
+
+    Accepts a single string or an iterable, where every entry may itself be
+    comma-separated (the CLI's ``--devices sparse-fpga,gpu-rtx6000`` form).
+    This is the one place the spec syntax is defined; config validation and
+    fleet construction both go through it.
+    """
+    if isinstance(specs, str):
+        specs = (specs,)
+    return [part.strip() for spec in specs for part in str(spec).split(",") if part.strip()]
+
+
+def _model(model: ModelConfig | str) -> ModelConfig:
+    return get_model_config(model) if isinstance(model, str) else model
+
+
+def _dataset(dataset: DatasetConfig | str) -> DatasetConfig:
+    return get_dataset_config(dataset) if isinstance(dataset, str) else dataset
+
+
+@register("device", "sparse-fpga", aliases=("fpga", "ours"))
+def sparse_fpga_device(
+    model: ModelConfig | str = "bert-base",
+    dataset: DatasetConfig | str = "mrpc",
+    name: str | None = None,
+    top_k: int = global_config.DEFAULT_TOP_K,
+    quant_bits: int = global_config.DEFAULT_QK_QUANT_BITS,
+    replication: int = 1,
+) -> Device:
+    """The proposed design: sparse attention + length-aware scheduling."""
+    model_config, dataset_config = _model(model), _dataset(dataset)
+    accelerator = build_sparse_accelerator(
+        model_config,
+        top_k=top_k,
+        avg_seq=dataset_config.avg_length,
+        max_seq=dataset_config.max_length,
+        quant_bits=quant_bits,
+        replication=replication,
+    )
+    return CycleAccurateDevice(
+        accelerator, scheduler=LengthAwareScheduler(), name=name or "sparse-fpga"
+    )
+
+
+@register("device", "baseline-fpga", aliases=("fpga-baseline",))
+def baseline_fpga_device(
+    model: ModelConfig | str = "bert-base",
+    dataset: DatasetConfig | str = "mrpc",
+    name: str | None = None,
+) -> Device:
+    """The Fig. 7 FPGA baseline: dense attention, max-length padding."""
+    model_config, dataset_config = _model(model), _dataset(dataset)
+    accelerator = build_baseline_accelerator(
+        model_config,
+        avg_seq=dataset_config.avg_length,
+        max_seq=dataset_config.max_length,
+    )
+    scheduler = PaddedScheduler(pad_to=None, pipelined=True, buffer_slots=None)
+    return CycleAccurateDevice(accelerator, scheduler=scheduler, name=name or "baseline-fpga")
+
+
+def _register_analytical(key: str, platform, aliases: tuple[str, ...]) -> None:
+    def build(
+        model: ModelConfig | str = "bert-base",
+        dataset: DatasetConfig | str = "mrpc",  # noqa: ARG001 - uniform signature
+        name: str | None = None,
+        workload: str = "end_to_end",
+    ) -> Device:
+        del dataset  # analytical platforms have no length-balanced design point
+        return AnalyticalDevice(
+            platform, model_config=_model(model), name=name or key, workload=workload
+        )
+
+    build.__name__ = f"{key.replace('-', '_')}_device"
+    build.__doc__ = f"Analytical roofline model of {platform.name}."
+    REGISTRY.add("device", key, build, aliases=aliases)
+
+
+_register_analytical("gpu-rtx6000", RTX_6000, aliases=("gpu", "rtx6000"))
+_register_analytical("gpu-jetson", JETSON_TX2, aliases=("jetson", "jetson-tx2"))
+_register_analytical("cpu-xeon", XEON_5218, aliases=("cpu", "xeon"))
+_register_analytical("gpu-v100-et", V100_ET, aliases=("v100-et",))
+
+
+#: Shared fleet knobs that not every device declares; build_device drops
+#: exactly these when the chosen factory has no such parameter, so one knob
+#: set can drive a mixed fleet while typos still raise TypeError.
+_OPTIONAL_DEVICE_KNOBS = frozenset({"top_k"})
+
+
+def build_device(
+    spec: str,
+    model: ModelConfig | str = "bert-base",
+    dataset: DatasetConfig | str = "mrpc",
+    **overrides,
+) -> Device:
+    """Build one registered device at a (model, dataset) operating point.
+
+    Overrides in :data:`_OPTIONAL_DEVICE_KNOBS` (currently ``top_k``) are
+    forwarded only to factories that declare them -- resolved through the
+    registry, so aliases like ``fpga``/``ours`` behave like their canonical
+    name; any other unexpected keyword still raises :class:`TypeError`.
+    """
+    factory = REGISTRY.resolve("device", spec)
+    try:
+        parameters = inspect.signature(factory).parameters
+    except (TypeError, ValueError):  # pragma: no cover - exotic factories
+        parameters = None
+    if parameters is None or any(
+        p.kind is inspect.Parameter.VAR_KEYWORD for p in parameters.values()
+    ):
+        # A **kwargs factory declares nothing by name; forward everything.
+        accepted = None
+    else:
+        accepted = set(parameters)
+    if accepted is not None:
+        overrides = {
+            key: value
+            for key, value in overrides.items()
+            if key in accepted or key not in _OPTIONAL_DEVICE_KNOBS
+        }
+    return factory(model=model, dataset=dataset, **overrides)
+
+
+def build_fleet(
+    specs: str | Iterable[str],
+    model: ModelConfig | str = "bert-base",
+    dataset: DatasetConfig | str = "mrpc",
+    replicas: int = 1,
+    **overrides,
+) -> list[Device]:
+    """Build a fleet from device specs (``("sparse-fpga", "gpu-rtx6000")``).
+
+    Each spec may itself be comma-separated (the CLI's
+    ``--devices sparse-fpga,gpu-rtx6000`` form); ``replicas`` instantiates
+    the whole list that many times, and ``overrides`` are forwarded to every
+    factory (so they must be accepted by all devices in the fleet).
+    """
+    names = split_fleet_spec(specs)
+    if not names:
+        raise ValueError("the device fleet spec is empty")
+    if replicas < 1:
+        raise ValueError("replicas must be >= 1")
+    return [
+        build_device(name, model=model, dataset=dataset, **overrides)
+        for _ in range(replicas)
+        for name in names
+    ]

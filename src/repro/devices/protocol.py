@@ -1,0 +1,210 @@
+"""The unified cost-model protocol every serving backend implements.
+
+The paper's evaluation spans platforms that the repo historically modeled
+through two incompatible interfaces: the cycle-accurate
+:class:`~repro.hardware.accelerator.Accelerator` (per-stage latencies in
+cycles, driven by a batch scheduler) and the analytical
+:class:`~repro.platforms.base.AnalyticalPlatform` (dense FLOPs over a
+sustained-throughput roofline).  :class:`Device` is the single surface the
+serving engine, routers, and evaluation harnesses talk to instead:
+
+* ``batch_latency_seconds(lengths)`` -- batch service time;
+* ``energy_joules(lengths)`` -- batch energy, or ``None`` when the backend
+  has no power model;
+* ``occupancy(now)`` -- how full the device is at a wall-clock instant
+  (0 idle .. 1 cannot admit a batch), a gauge for plug-in routers/admission
+  policies and reports (the built-in router reads backlogs through
+  ``next_start``, and built-in admission control counts waiting requests);
+* ``describe()`` -- a JSON-ready self-description for reports.
+
+A backend implements :meth:`Device.execute`, returning one
+:class:`BatchExecution` -- latency, per-request completion offsets, and the
+*admission interval* after which the device's entry stage is free again.
+The admission interval is what enables device-level continuous batching: a
+coarse pipeline can accept the next batch as soon as its first stage has
+drained (``admit_seconds``), while an instruction-driven platform serializes
+batches (``admit_seconds == latency_seconds``).  The base class layers the
+serving-state bookkeeping (backlog clocks, busy-interval accounting) on top
+of that single method, so adapters stay pure cost models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..scheduling.pipeline import ScheduleResult
+
+__all__ = ["BatchExecution", "Device"]
+
+#: Slack when validating float bookkeeping (admission never exceeds latency).
+_EPS = 1e-9
+
+
+@dataclass
+class BatchExecution:
+    """One batch run through a device's cost model.
+
+    ``completion_offsets[i]`` is the time after batch start at which the
+    ``i``-th request of the batch completes; ``admit_seconds`` is the time
+    after batch start at which the device can admit the *next* batch (its
+    entry stage is free), which equals ``latency_seconds`` on backends with
+    no internal pipeline.
+    """
+
+    device: str
+    lengths: list[int]
+    latency_seconds: float
+    completion_offsets: list[float]
+    admit_seconds: float
+    #: Mean internal stage utilization, when the backend simulates stages.
+    utilization: float | None = None
+    #: Batch energy, when the backend has a power model.
+    energy_joules: float | None = None
+    #: The underlying cycle-accurate schedule, when one was simulated.
+    schedule: "ScheduleResult | None" = None
+
+    def __post_init__(self) -> None:
+        if not self.lengths:
+            raise ValueError("a batch execution needs at least one request")
+        if len(self.completion_offsets) != len(self.lengths):
+            raise ValueError("one completion offset per request is required")
+        if self.latency_seconds <= 0:
+            raise ValueError("latency_seconds must be > 0")
+        if not 0 < self.admit_seconds <= self.latency_seconds + _EPS:
+            raise ValueError("admit_seconds must be in (0, latency_seconds]")
+        if self.energy_joules is not None and self.energy_joules < 0:
+            raise ValueError("energy_joules must be >= 0")
+
+    @property
+    def makespan_seconds(self) -> float:
+        """Alias kept for symmetry with :class:`ScheduleResult`."""
+        return self.latency_seconds
+
+
+class Device:
+    """Base class: one serving backend behind the unified cost-model protocol.
+
+    Subclasses implement :meth:`execute`; everything else -- latency/energy
+    convenience queries and the serving-state clocks the engine and routers
+    read -- is shared here.  The serving state models two instants per
+    device:
+
+    * ``admit`` -- when the entry stage frees up (next batch may start if
+      device-level continuous batching is enabled);
+    * ``drain`` -- when the whole pipeline has drained (next batch may start
+      in the legacy block-per-batch mode).
+
+    Continuous batching admits optimistically at ``admit``: the new batch's
+    internal schedule is computed in isolation, so contention between a
+    draining batch's tail stages and the admitted batch's head stages is
+    approximated by the entry-stage constraint alone.
+    """
+
+    name: str = "device"
+    backend: str = "abstract"
+
+    def __init__(self) -> None:
+        self.reset()
+
+    # ------------------------------------------------------------------
+    # Cost-model queries (pure)
+    # ------------------------------------------------------------------
+
+    def execute(self, lengths: Sequence[int]) -> BatchExecution:
+        """Run the cost model for one batch of sequence lengths."""
+        raise NotImplementedError
+
+    def batch_latency_seconds(self, lengths: Sequence[int]) -> float:
+        """Service time of one batch, in seconds."""
+        return self.execute(lengths).latency_seconds
+
+    def energy_joules(self, lengths: Sequence[int]) -> float | None:
+        """Energy of one batch, or ``None`` when the backend has no power model."""
+        return self.execute(lengths).energy_joules
+
+    def describe(self) -> dict:
+        """JSON-ready self-description (reports, ``repro list`` output)."""
+        return {"name": self.name, "backend": self.backend}
+
+    @property
+    def scheduler_name(self) -> str | None:
+        """Name of the batch scheduler, when the backend drives one."""
+        return None
+
+    # ------------------------------------------------------------------
+    # Serving state (the engine resets, dispatches, and reads this)
+    # ------------------------------------------------------------------
+
+    def reset(self, continuous_batching: bool = False) -> None:
+        """Clear the serving clocks; called once per simulation."""
+        self._continuous = bool(continuous_batching)
+        self._admit_at = 0.0
+        self._drained_at = 0.0
+        self._busy_accum = 0.0
+        self._span_start = 0.0
+        self._span_end = 0.0
+
+    @property
+    def continuous_batching(self) -> bool:
+        """Whether the device admits a new batch while the previous drains."""
+        return self._continuous
+
+    def next_start(self, now: float) -> float:
+        """Earliest time a batch dispatched at ``now`` could start executing."""
+        gate = self._admit_at if self._continuous else self._drained_at
+        return max(now, gate)
+
+    def occupancy(self, now: float) -> float:
+        """How full the device is at ``now``: 0 idle, 1 cannot admit a batch.
+
+        The gauge honors the serving discipline set at :meth:`reset`: in
+        block-per-batch mode the device is fully occupied until the pipeline
+        drains; under continuous batching it decays linearly once the entry
+        stage frees (later stages still draining), so a plug-in router or
+        admission policy can distinguish "can take a batch now" from "fully
+        idle".
+        """
+        if now >= self._drained_at:
+            return 0.0
+        gate = self._admit_at if self._continuous else self._drained_at
+        if now < gate:
+            return 1.0
+        span = self._drained_at - self._admit_at
+        if span <= 0:
+            return 1.0
+        return min(max((self._drained_at - now) / span, 0.0), 1.0)
+
+    def dispatch(self, execution: BatchExecution, start: float) -> None:
+        """Record that ``execution`` starts on this device at ``start``."""
+        end = start + execution.latency_seconds
+        self._admit_at = max(self._admit_at, start + execution.admit_seconds)
+        self._drained_at = max(self._drained_at, end)
+        # Merged busy-interval accounting: overlapping admissions must not be
+        # double-counted in the duty cycle.
+        if start > self._span_end:
+            self._busy_accum += self._span_end - self._span_start
+            self._span_start = start
+            self._span_end = end
+        else:
+            self._span_end = max(self._span_end, end)
+
+    def busy_seconds(self) -> float:
+        """Total time with at least one batch in flight (merged intervals)."""
+        return self._busy_accum + (self._span_end - self._span_start)
+
+    def served_energy_joules(self) -> float | None:
+        """Energy attributable to the work dispatched since the last reset.
+
+        Power-modeled devices charge their power over the *merged* busy
+        intervals, so overlapping admissions (device-level continuous
+        batching) are not double-counted the way summing per-batch
+        ``energy_joules`` would.  Returns ``None`` when the backend has no
+        power model; backends whose energy is not power x time should
+        override this.
+        """
+        power = getattr(self, "power_watts", None)
+        if power is None:
+            return None
+        return power * self.busy_seconds()

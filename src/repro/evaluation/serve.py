@@ -1,12 +1,16 @@
 """The ``serve`` experiment: online serving at a fixed load (or a sweep).
 
-This is the registry-facing face of the serving engine.  With a rate-driven
-arrival process (``poisson`` / ``bursty``) and an explicit ``qps`` the
-experiment runs one open-loop simulation; without ``qps`` it falls back to
-the latency-vs-load sweep over that single dataset.  The ``trace`` and
-``closed-loop`` arrival processes need no rate: a trace replays a recorded
-``(time[, length])`` stream from a JSON file, and closed-loop queues every
-request at t=0 (the legacy batch-drain mode).
+This is the registry-facing face of the serving engine, built on the unified
+Device API: ``--devices`` takes any registered device names (mixed fleets
+like ``sparse-fpga,gpu-rtx6000`` included), ``--continuous-batching``
+enables device-level continuous batching, and ``--max-queue-depth`` turns on
+admission control.  With a rate-driven arrival process (``poisson`` /
+``bursty``) and an explicit ``qps`` the experiment runs one open-loop
+simulation; without ``qps`` it falls back to the latency-vs-load sweep over
+that single dataset.  The ``trace`` and ``closed-loop`` arrival processes
+need no rate: a trace replays a recorded ``(time[, length])`` stream from a
+JSON file, and closed-loop queues every request at t=0 (the legacy
+batch-drain mode).
 """
 
 from __future__ import annotations
@@ -16,6 +20,7 @@ from dataclasses import dataclass
 from pathlib import Path
 
 from .. import config as global_config
+from ..devices import build_fleet, split_fleet_spec
 from ..experiments import ExperimentSpec, cfg_field, register_experiment
 from ..experiments.config import ExperimentConfig
 from ..registry import REGISTRY
@@ -31,9 +36,9 @@ from ..serving.arrivals import _is_rate_driven
 from ..transformer.configs import DATASET_ZOO, MODEL_ZOO, get_model_config
 from .report import format_key_values, format_table
 from .serving_sweep import (
+    DEFAULT_WARMUP_FRACTION,
     ServingSweepResult,
     _sweep_impl,
-    build_serving_fleet,
     render_sweep,
 )
 
@@ -59,7 +64,9 @@ class ServeConfig(ExperimentConfig):
     requests: int = cfg_field(192, help="number of requests to simulate")
     batch_size: int = global_config.DEFAULT_BATCH_SIZE
     # Any registered name or alias is accepted (validated against the
-    # registry below), so plug-in policies/routers/arrivals work unchanged.
+    # registry below), so plug-in policies/arrivals/devices work unchanged;
+    # plug-in routers see Device fleets and should read backlogs via
+    # Router.backlog_seconds (see repro.serving.routing).
     batch_policy: str = cfg_field(
         "timeout", help="batch formation (fixed, timeout, bucketed, or plug-in)"
     )
@@ -72,7 +79,30 @@ class ServeConfig(ExperimentConfig):
         "least-loaded",
         help="fleet routing policy (round-robin, least-loaded, length-sharded, or plug-in)",
     )
-    num_accelerators: int = cfg_field(1, help="fleet size")
+    devices: tuple[str, ...] = cfg_field(
+        ("sparse-fpga",),
+        help=(
+            "device fleet: registered device names, mixed freely "
+            "(e.g. sparse-fpga,gpu-rtx6000); see `python -m repro list`"
+        ),
+    )
+    num_accelerators: int = cfg_field(1, help="replicas of the device fleet")
+    continuous_batching: bool = cfg_field(
+        False, help="device-level continuous batching (admit while draining)"
+    )
+    max_queue_depth: int | None = cfg_field(
+        None, help="shed arrivals beyond this many waiting requests"
+    )
+    # Matches the serving-sweep default so `serve` without --qps and
+    # `serving-sweep` report identical statistics for the same simulation.
+    warmup_fraction: float = cfg_field(
+        DEFAULT_WARMUP_FRACTION,
+        help=(
+            "warm-up fraction of the arrival horizon discarded from "
+            "steady-state statistics (sweep rows; a 'steady' block in "
+            "online mode)"
+        ),
+    )
     arrival: str = cfg_field(
         "poisson",
         help="arrival process (poisson, bursty, trace, closed-loop, or plug-in)",
@@ -95,6 +125,15 @@ class ServeConfig(ExperimentConfig):
             raise ValueError("num_accelerators must be >= 1")
         if self.timeout_ms < 0:
             raise ValueError("timeout_ms must be >= 0")
+        if self.max_queue_depth is not None and self.max_queue_depth < 1:
+            raise ValueError("max_queue_depth must be >= 1 (or none)")
+        if not 0.0 <= self.warmup_fraction < 1.0:
+            raise ValueError("warmup_fraction must be in [0, 1)")
+        names = split_fleet_spec(self.devices)
+        if not names:
+            raise ValueError("devices must name at least one registered device")
+        for name in names:
+            _resolve_component("device", name)
         arrival = _resolve_component("arrival", self.arrival)
         _resolve_component("batch-policy", self.batch_policy)
         _resolve_component("router", self.routing)
@@ -125,8 +164,25 @@ class ServeResult:
     mode: str  # "online" or "sweep"
     model: str
     num_accelerators: int
+    devices: tuple[str, ...] = ("sparse-fpga",)
+    warmup_fraction: float = 0.0
     report: OnlineServingReport | None = None
     sweep: ServingSweepResult | None = None
+
+    def steady_stats(self) -> dict | None:
+        """Post-warm-up statistics of an online run (None when not applicable)."""
+        if self.report is None or self.warmup_fraction <= 0.0:
+            return None
+        warmup = self.warmup_fraction
+        return {
+            "warmup_fraction": warmup,
+            "sustained_qps": self.report.steady_qps(warmup),
+            "latency_ms": {
+                "p50": self.report.steady_latency_percentile(50, warmup) * 1e3,
+                "p95": self.report.steady_latency_percentile(95, warmup) * 1e3,
+                "p99": self.report.steady_latency_percentile(99, warmup) * 1e3,
+            },
+        }
 
     def to_dict(self) -> dict:
         """Machine-readable form (JSON-ready)."""
@@ -134,9 +190,13 @@ class ServeResult:
             "mode": self.mode,
             "model": self.model,
             "num_accelerators": self.num_accelerators,
+            "devices": list(self.devices),
         }
         if self.report is not None:
             payload["report"] = self.report.to_dict()
+            steady = self.steady_stats()
+            if steady is not None:
+                payload["steady"] = steady
         if self.sweep is not None:
             payload["sweep"] = self.sweep.to_dict()
         return payload
@@ -162,18 +222,23 @@ def _build_arrivals(config: ServeConfig):
 def _run_spec(config: ServeConfig) -> ServeResult:
     model = get_model_config(config.model)
     timeout_s = config.timeout_ms * 1e-3
+    device_names = tuple(split_fleet_spec(config.devices))
     if config.is_rate_driven() and config.qps is None:
         sweep = _sweep_impl(
             datasets=(config.dataset,),
             batch_policies=(config.batch_policy,),
             num_requests=config.requests,
             batch_size=config.batch_size,
+            devices=device_names,
             num_accelerators=config.num_accelerators,
             router=config.routing,
             arrival=config.arrival,
             timeout_s=timeout_s,
             num_buckets=config.num_buckets,
             bucket_width=config.bucket_width,
+            continuous_batching=config.continuous_batching,
+            max_queue_depth=config.max_queue_depth,
+            warmup_fraction=config.warmup_fraction,
             model=model,
             seed=config.seed,
         )
@@ -181,10 +246,16 @@ def _run_spec(config: ServeConfig) -> ServeResult:
             mode="sweep",
             model=model.name,
             num_accelerators=config.num_accelerators,
+            devices=device_names,
             sweep=sweep,
         )
 
-    fleet = build_serving_fleet(model, config.dataset, config.num_accelerators)
+    fleet = build_fleet(
+        device_names,
+        model=model,
+        dataset=config.dataset,
+        replicas=config.num_accelerators,
+    )
     report = simulate_online(
         fleet,
         config.dataset,
@@ -198,12 +269,16 @@ def _run_spec(config: ServeConfig) -> ServeResult:
             bucket_width=config.bucket_width,
         ),
         router=get_router(config.routing),
+        continuous_batching=config.continuous_batching,
+        max_queue_depth=config.max_queue_depth,
         seed=config.seed,
     )
     return ServeResult(
         mode="online",
         model=model.name,
         num_accelerators=config.num_accelerators,
+        devices=device_names,
+        warmup_fraction=config.warmup_fraction,
         report=report,
     )
 
@@ -217,24 +292,37 @@ def _render(result: ServeResult) -> str:
         [
             {
                 "device": device.index,
+                "name": device.accelerator,
+                "backend": device.backend,
                 "batches": device.num_batches,
                 "requests": device.num_requests,
                 "busy_s": round(device.busy_seconds, 4),
                 "duty_cycle": round(device.duty_cycle(report.makespan_seconds), 3),
                 "pipeline_util": round(device.mean_pipeline_utilization, 3),
+                "energy_j": (
+                    round(device.energy_joules, 3)
+                    if device.energy_joules is not None
+                    else None
+                ),
             }
             for device in report.devices
         ],
         title="Per-device utilization",
     )
-    text += format_key_values(
-        {
-            "queueing delay p50 (ms)": round(report.queueing_delay_percentile(50) * 1e3, 2),
-            "queueing delay p99 (ms)": round(report.queueing_delay_percentile(99) * 1e3, 2),
-            "max queue depth": report.max_queue_depth,
-            "router": report.router,
-        }
-    )
+    footer = {
+        "queueing delay p50 (ms)": round(report.queueing_delay_percentile(50) * 1e3, 2),
+        "queueing delay p99 (ms)": round(report.queueing_delay_percentile(99) * 1e3, 2),
+        "max queue depth": report.max_queue_depth,
+        "shed requests": report.num_shed,
+        "continuous batching": report.continuous_batching,
+        "router": report.router,
+    }
+    steady = result.steady_stats()
+    if steady is not None:
+        footer["steady-state p99 (ms)"] = round(steady["latency_ms"]["p99"], 2)
+        footer["steady-state qps"] = round(steady["sustained_qps"], 1)
+        footer["warm-up fraction discarded"] = steady["warmup_fraction"]
+    text += format_key_values(footer)
     return text
 
 

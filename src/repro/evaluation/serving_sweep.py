@@ -3,26 +3,29 @@
 The closed-batch experiments (Fig. 7, ``serving_throughput``) report the
 drain rate of pre-formed batches.  This harness answers the deployment-side
 question instead: *what latency does a user see at a given offered QPS, and
-where does the system saturate?*  For each Table 1 dataset it builds the
-proposed accelerator (or a fleet of them), measures the closed-loop capacity,
-then subjects the design to open-loop traffic at a grid of load fractions and
-records p50/p95/p99 latency, sustained throughput, queue depth, and fleet
-utilization -- the data behind a classic latency-vs-load hockey-stick curve.
+where does the system saturate?*  For each Table 1 dataset it builds a fleet
+of registered :mod:`repro.devices` backends (the proposed sparse FPGA by
+default -- mixed fleets work the same way), measures the fleet's closed-loop
+capacity, then subjects it to open-loop traffic at a grid of load fractions
+and records p50/p95/p99 latency, sustained throughput, queue depth, and
+fleet utilization -- the data behind a classic latency-vs-load hockey-stick
+curve.  A configurable warm-up fraction of the arrival horizon is discarded
+before computing the percentiles/QPS, so the cold-start transient (idle
+devices, empty queues) does not dilute the steady-state statistics.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..devices import Device, build_fleet, split_fleet_spec
 from ..experiments import ExperimentSpec, cfg_field, register_experiment
 from ..experiments.config import ExperimentConfig
 from ..experiments.spec import deprecated_call
-from ..hardware.accelerator import Accelerator, build_sparse_accelerator
 from ..registry import REGISTRY
-from ..serving.arrivals import _is_rate_driven, get_arrival_process
+from ..serving.arrivals import ClosedLoopArrivals, _is_rate_driven, get_arrival_process
 from ..serving.engine import OnlineServingReport, simulate_online
-from ..serving.closed_loop import simulate_serving
-from ..serving.policies import get_batch_policy
+from ..serving.policies import FixedSizeBatcher, get_batch_policy
 from ..serving.routing import get_router
 from ..transformer.configs import (
     BERT_BASE,
@@ -47,6 +50,9 @@ __all__ = [
 #: last point sits past saturation so the latency divergence is visible.
 DEFAULT_LOAD_FRACTIONS = (0.25, 0.5, 0.75, 0.9, 1.1)
 
+#: Fraction of the horizon discarded as warm-up in the sweep statistics.
+DEFAULT_WARMUP_FRACTION = 0.1
+
 
 @dataclass
 class SweepPoint:
@@ -58,19 +64,26 @@ class SweepPoint:
     offered_qps: float
     capacity_qps: float
     report: OnlineServingReport
+    #: Warm-up fraction applied to this point's percentiles / QPS.
+    warmup_fraction: float = 0.0
 
     def as_row(self) -> dict:
+        # qps and latency percentiles are steady-state (warm-up discarded);
+        # waiting / device_util / shed_rate stay whole-run diagnostics (queue
+        # build-up and duty cycle are properties of the entire simulation).
+        warmup = self.warmup_fraction
         return {
             "dataset": self.dataset,
             "policy": self.batch_policy,
             "load": round(self.load_fraction, 2),
             "offered_qps": round(self.offered_qps, 1),
-            "sustained_qps": round(self.report.sustained_qps, 1),
-            "p50_ms": round(self.report.latency_percentile(50) * 1e3, 2),
-            "p95_ms": round(self.report.latency_percentile(95) * 1e3, 2),
-            "p99_ms": round(self.report.latency_percentile(99) * 1e3, 2),
+            "sustained_qps": round(self.report.steady_qps(warmup), 1),
+            "p50_ms": round(self.report.steady_latency_percentile(50, warmup) * 1e3, 2),
+            "p95_ms": round(self.report.steady_latency_percentile(95, warmup) * 1e3, 2),
+            "p99_ms": round(self.report.steady_latency_percentile(99, warmup) * 1e3, 2),
             "waiting": round(self.report.mean_waiting_requests, 1),
             "device_util": round(self.report.average_device_utilization, 3),
+            "shed_rate": round(self.report.shed_rate, 3),
         }
 
 
@@ -82,6 +95,9 @@ class ServingSweepResult:
     num_accelerators: int
     batch_size: int
     num_requests: int
+    devices: tuple[str, ...] = ("sparse-fpga",)
+    warmup_fraction: float = 0.0
+    continuous_batching: bool = False
     capacity_qps: dict[str, float] = field(default_factory=dict)
     points: list[SweepPoint] = field(default_factory=list)
 
@@ -89,9 +105,9 @@ class ServingSweepResult:
         return [point.as_row() for point in self.points]
 
     def p99_curve(self, dataset: str, batch_policy: str | None = None) -> list[tuple[float, float]]:
-        """(load fraction, p99 seconds) pairs for one dataset, sorted by load."""
+        """(load fraction, steady-state p99 seconds) pairs, sorted by load."""
         curve = [
-            (p.load_fraction, p.report.latency_percentile(99))
+            (p.load_fraction, p.report.steady_latency_percentile(99, p.warmup_fraction))
             for p in self.points
             if p.dataset == dataset and (batch_policy is None or p.batch_policy == batch_policy)
         ]
@@ -102,8 +118,11 @@ class ServingSweepResult:
         return {
             "model": self.model,
             "num_accelerators": self.num_accelerators,
+            "devices": list(self.devices),
             "batch_size": self.batch_size,
             "num_requests": self.num_requests,
+            "warmup_fraction": self.warmup_fraction,
+            "continuous_batching": self.continuous_batching,
             "capacity_qps": dict(self.capacity_qps),
             "points": self.as_rows(),
         }
@@ -124,7 +143,11 @@ class ServingSweepConfig(ExperimentConfig):
     )
     requests: int = cfg_field(192, help="requests per sweep point")
     batch_size: int = global_config.DEFAULT_BATCH_SIZE
-    num_accelerators: int = cfg_field(1, help="fleet size")
+    devices: tuple[str, ...] = cfg_field(
+        ("sparse-fpga",),
+        help="registered device fleet (e.g. sparse-fpga gpu-rtx6000; comma forms work too)",
+    )
+    num_accelerators: int = cfg_field(1, help="replicas of the device fleet")
     router: str = cfg_field(
         "least-loaded",
         help="fleet routing policy (round-robin, least-loaded, length-sharded, or plug-in)",
@@ -137,6 +160,16 @@ class ServingSweepConfig(ExperimentConfig):
     num_buckets: int = cfg_field(4, help="length buckets (bucketed policy)")
     bucket_width: float | None = cfg_field(
         None, help="fixed bucket width in tokens (overrides num-buckets)"
+    )
+    continuous_batching: bool = cfg_field(
+        False, help="device-level continuous batching (admit while draining)"
+    )
+    max_queue_depth: int | None = cfg_field(
+        None, help="shed arrivals beyond this many waiting requests"
+    )
+    warmup_fraction: float = cfg_field(
+        DEFAULT_WARMUP_FRACTION,
+        help="fraction of the arrival horizon discarded as warm-up in the statistics",
     )
     model: str = cfg_field("bert-base", choices=sorted(MODEL_ZOO), help="model zoo key")
     seed: int = global_config.DEFAULT_SEED
@@ -158,6 +191,9 @@ class ServingSweepConfig(ExperimentConfig):
             for policy in self.batch_policies:
                 REGISTRY.resolve("batch-policy", policy)
             REGISTRY.resolve("router", self.router)
+            device_names = split_fleet_spec(self.devices)
+            for name in device_names:
+                REGISTRY.resolve("device", name)
             arrival = REGISTRY.resolve("arrival", self.arrival)
         except KeyError as error:
             raise ValueError(error.args[0]) from error
@@ -166,6 +202,8 @@ class ServingSweepConfig(ExperimentConfig):
                 f"arrival '{self.arrival}' is not rate-driven; the sweep sets the "
                 "offered rate from the measured capacity"
             )
+        if not device_names:
+            raise ValueError("devices must name at least one registered device")
         if self.requests < 1:
             raise ValueError("requests must be >= 1")
         if self.batch_size < 1:
@@ -174,6 +212,10 @@ class ServingSweepConfig(ExperimentConfig):
             raise ValueError("num_accelerators must be >= 1")
         if self.timeout_ms < 0:
             raise ValueError("timeout_ms must be >= 0")
+        if self.max_queue_depth is not None and self.max_queue_depth < 1:
+            raise ValueError("max_queue_depth must be >= 1 (or none)")
+        if not 0.0 <= self.warmup_fraction < 1.0:
+            raise ValueError("warmup_fraction must be in [0, 1)")
 
 
 def build_serving_fleet(
@@ -181,17 +223,47 @@ def build_serving_fleet(
     dataset_name: str,
     num_accelerators: int = 1,
     top_k: int = global_config.DEFAULT_TOP_K,
-) -> list[Accelerator]:
-    """Build ``num_accelerators`` copies of the proposed design for a dataset."""
+    device: str = "sparse-fpga",
+) -> list[Device]:
+    """Build ``num_accelerators`` registered devices for a dataset.
+
+    Kept as the legacy single-backend helper; :func:`repro.devices.build_fleet`
+    is the general (mixed-fleet) entry point.  ``top_k`` reaches any device
+    (canonical name or alias) whose factory declares it.
+    """
     if num_accelerators < 1:
         raise ValueError("num_accelerators must be >= 1")
-    dataset = get_dataset_config(dataset_name)
-    return [
-        build_sparse_accelerator(
-            model, top_k=top_k, avg_seq=dataset.avg_length, max_seq=dataset.max_length
-        )
-        for _ in range(num_accelerators)
-    ]
+    return build_fleet(
+        (device,), model=model, dataset=dataset_name, replicas=num_accelerators, top_k=top_k
+    )
+
+
+def _measure_capacity(
+    fleet: list[Device],
+    dataset_name: str,
+    num_requests: int,
+    batch_size: int,
+    router: str,
+    continuous_batching: bool,
+    seed: int,
+) -> float:
+    """Closed-loop drain rate of the whole fleet (sequences/second).
+
+    Every request is queued at t=0 in globally sorted order and drained in
+    fixed batches -- the fleet generalization of the legacy single-device
+    capacity measurement, valid for heterogeneous fleets too.
+    """
+    closed = simulate_online(
+        fleet,
+        dataset_name,
+        arrivals=ClosedLoopArrivals(sort_by_length=True),
+        num_requests=num_requests,
+        batch_policy=FixedSizeBatcher(batch_size=batch_size),
+        router=get_router(router),
+        continuous_batching=continuous_batching,
+        seed=seed,
+    )
+    return closed.sustained_qps
 
 
 def _sweep_impl(
@@ -200,36 +272,43 @@ def _sweep_impl(
     batch_policies: tuple[str, ...] = ("timeout",),
     num_requests: int = 192,
     batch_size: int = global_config.DEFAULT_BATCH_SIZE,
+    devices: tuple[str, ...] = ("sparse-fpga",),
     num_accelerators: int = 1,
     router: str = "least-loaded",
     arrival: str = "poisson",
     timeout_s: float = 20e-3,
     num_buckets: int = 4,
     bucket_width: float | None = None,
+    continuous_batching: bool = False,
+    max_queue_depth: int | None = None,
+    warmup_fraction: float = 0.0,
     model: ModelConfig = BERT_BASE,
     seed: int = global_config.DEFAULT_SEED,
 ) -> ServingSweepResult:
     """Sweep offered load for each dataset and batch policy.
 
-    The offered QPS at each point is ``load_fraction`` times the dataset's
-    measured closed-loop capacity (fixed batches of ``batch_size`` drained
-    back to back over the whole fleet), so a load of 1.0 is the drain rate
-    the closed-batch benchmarks report and anything above it is overload.
+    The offered QPS at each point is ``load_fraction`` times the fleet's
+    measured closed-loop capacity, so a load of 1.0 is the drain rate the
+    closed-batch benchmarks report and anything above it is overload.
     """
     result = ServingSweepResult(
         model=model.name,
         num_accelerators=num_accelerators,
         batch_size=batch_size,
         num_requests=num_requests,
+        devices=tuple(split_fleet_spec(devices)),
+        warmup_fraction=warmup_fraction,
+        continuous_batching=continuous_batching,
     )
     for dataset_name in datasets:
-        dataset = get_dataset_config(dataset_name)
-        fleet = build_serving_fleet(model, dataset_name, num_accelerators)
-        closed = simulate_serving(
-            fleet[0], dataset, num_requests=num_requests, batch_size=batch_size, seed=seed
+        fleet = build_fleet(
+            devices, model=model, dataset=dataset_name, replicas=num_accelerators
         )
-        capacity = closed.throughput_sequences_per_second * num_accelerators
-        result.capacity_qps[dataset.name] = capacity
+        capacity = _measure_capacity(
+            fleet, dataset_name, num_requests, batch_size, router,
+            continuous_batching, seed,
+        )
+        result.capacity_qps[get_dataset_config(dataset_name).name] = capacity
         for policy_name in batch_policies:
             for fraction in load_fractions:
                 offered = capacity * fraction
@@ -242,21 +321,24 @@ def _sweep_impl(
                 )
                 report = simulate_online(
                     fleet,
-                    dataset,
+                    dataset_name,
                     arrivals=get_arrival_process(arrival, rate_qps=offered),
                     num_requests=num_requests,
                     batch_policy=policy,
                     router=get_router(router),
+                    continuous_batching=continuous_batching,
+                    max_queue_depth=max_queue_depth,
                     seed=seed,
                 )
                 result.points.append(
                     SweepPoint(
-                        dataset=dataset.name,
+                        dataset=report.dataset,
                         batch_policy=policy.name,
                         load_fraction=fraction,
                         offered_qps=offered,
                         capacity_qps=capacity,
                         report=report,
+                        warmup_fraction=warmup_fraction,
                     )
                 )
     return result
@@ -269,12 +351,16 @@ def _run_spec(config: ServingSweepConfig) -> ServingSweepResult:
         batch_policies=config.batch_policies,
         num_requests=config.requests,
         batch_size=config.batch_size,
+        devices=config.devices,
         num_accelerators=config.num_accelerators,
         router=config.router,
         arrival=config.arrival,
         timeout_s=config.timeout_ms * 1e-3,
         num_buckets=config.num_buckets,
         bucket_width=config.bucket_width,
+        continuous_batching=config.continuous_batching,
+        max_queue_depth=config.max_queue_depth,
+        warmup_fraction=config.warmup_fraction,
         model=get_model_config(config.model),
         seed=config.seed,
     )
@@ -286,15 +372,16 @@ def render_sweep(result: ServingSweepResult) -> str:
         result.as_rows(),
         title=(
             f"Latency vs offered load ({result.model}, "
-            f"{result.num_accelerators} device(s))"
+            f"{result.num_accelerators} x {','.join(result.devices)})"
         ),
     )
-    text += format_key_values(
-        {
-            f"closed-loop capacity ({name})": f"{qps:.1f} seq/s"
-            for name, qps in result.capacity_qps.items()
-        }
-    )
+    footer = {
+        f"closed-loop capacity ({name})": f"{qps:.1f} seq/s"
+        for name, qps in result.capacity_qps.items()
+    }
+    footer["warm-up fraction discarded"] = result.warmup_fraction
+    footer["continuous batching"] = result.continuous_batching
+    text += format_key_values(footer)
     return text
 
 
@@ -325,7 +412,14 @@ def run_serving_sweep(
     model: ModelConfig = BERT_BASE,
     seed: int = global_config.DEFAULT_SEED,
 ) -> ServingSweepResult:
-    """Deprecated: use ``run_experiment("serving-sweep", ServingSweepConfig(...))``."""
+    """Deprecated: use ``run_experiment("serving-sweep", ServingSweepConfig(...))``.
+
+    Keeps the legacy serving discipline -- a homogeneous sparse-FPGA fleet,
+    block-per-batch devices, no warm-up discarding -- but the capacity
+    reference is now measured by draining the *whole fleet* closed-loop
+    (instead of one device's drain rate times the fleet size), so recorded
+    capacity/offered-QPS numbers shift by ~1% on multi-device sweeps.
+    """
     deprecated_call("run_serving_sweep", 'run_experiment("serving-sweep", ...)')
     return _sweep_impl(
         datasets=datasets,

@@ -4,11 +4,18 @@ Two rows of Table 2 are produced by this reproduction's own models -- the GPU
 RTX 6000 baseline and "Ours FPGA" -- averaged over the four Fig. 7 workloads;
 the remaining rows (E.T. on V100, the prior FPGA design, the A3 and SpAtten
 ASICs) are literature numbers quoted by the paper and reported as data.
+
+On top of the closed-batch table, ``serving_dataset`` adds a *serving-side*
+energy comparison computed through the unified Device API
+(:mod:`repro.devices`): the listed devices drain the same request stream
+under round-robin routing, and each device's per-request energy comes from
+its own backend model (cycle-accurate makespan x board power for FPGA
+designs, roofline latency x package power for CPU/GPU platforms).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -21,6 +28,11 @@ from ..platforms.energy import (
     LITERATURE_TABLE2_ROWS,
     energy_report_from_result,
 )
+from ..devices import build_fleet
+from ..registry import REGISTRY
+from ..serving import ClosedLoopArrivals, FixedSizeBatcher, simulate_online
+from ..serving.routing import RoundRobinRouter
+from ..transformer.configs import DATASET_ZOO
 from .fig7_throughput import Fig7Result, _fig7_impl
 from .report import format_table
 
@@ -33,6 +45,8 @@ class Table2Result:
 
     rows: list[EnergyReport]
     fig7: Fig7Result
+    #: Device-level serving-energy rows (present when serving_dataset is set).
+    serving: list[dict] = field(default_factory=list)
 
     def row(self, platform: str) -> EnergyReport:
         """Look up one row by its platform label."""
@@ -50,7 +64,10 @@ class Table2Result:
 
     def to_dict(self) -> dict:
         """Machine-readable form (JSON-ready)."""
-        return {"rows": self.as_rows(), "paper_rows": self.paper_rows()}
+        payload = {"rows": self.as_rows(), "paper_rows": self.paper_rows()}
+        if self.serving:
+            payload["serving"] = list(self.serving)
+        return payload
 
 
 @dataclass(frozen=True)
@@ -67,13 +84,91 @@ class Table2Config(ExperimentConfig):
         global_config.DEFAULT_BATCH_SIZE, help="sampled batch size per workload"
     )
     top_k: int = cfg_field(global_config.DEFAULT_TOP_K, help="Top-k budget")
+    serving_dataset: str | None = cfg_field(
+        None,
+        help="also report device-level serving energy on this Table 1 dataset (e.g. mrpc)",
+    )
+    serving_devices: tuple[str, ...] = cfg_field(
+        ("sparse-fpga", "gpu-rtx6000"),
+        help="registered devices compared in the serving-energy section",
+    )
+    serving_requests: int = cfg_field(96, help="requests in the serving-energy simulation")
     seed: int = global_config.DEFAULT_SEED
+
+    def validate(self) -> None:
+        super().validate()
+        if self.serving_requests < 1:
+            raise ValueError("serving_requests must be >= 1")
+        if self.serving_dataset is not None:
+            if self.serving_dataset not in DATASET_ZOO:
+                raise ValueError(
+                    f"unknown serving_dataset '{self.serving_dataset}'; "
+                    f"valid: {sorted(DATASET_ZOO)}"
+                )
+            if not self.serving_devices:
+                raise ValueError("serving_devices must not be empty")
+            try:
+                for name in self.serving_devices:
+                    REGISTRY.resolve("device", name)
+            except KeyError as error:
+                raise ValueError(error.args[0]) from error
+
+
+def _serving_energy_rows(
+    dataset: str,
+    devices: tuple[str, ...],
+    num_requests: int,
+    batch_size: int,
+    top_k: int,
+    seed: int,
+    model: str = "bert-base",
+) -> list[dict]:
+    """Per-device serving energy through the unified Device API.
+
+    Each listed device is instantiated at the dataset's operating point and
+    the fleet drains the same closed-loop request stream under round-robin
+    routing (equal traffic per device), so joules-per-request compare
+    like-for-like across cycle-accurate and analytical backends.  ``top_k``
+    reaches the devices that take a Top-k budget, keeping the serving
+    section at the same operating point as the main table rows.
+    """
+    fleet = build_fleet(devices, model=model, dataset=dataset, top_k=top_k)
+    report = simulate_online(
+        fleet,
+        dataset,
+        arrivals=ClosedLoopArrivals(sort_by_length=True),
+        num_requests=num_requests,
+        batch_policy=FixedSizeBatcher(batch_size=batch_size),
+        router=RoundRobinRouter(),
+        seed=seed,
+    )
+    rows = []
+    for summary in report.devices:
+        energy = summary.energy_joules
+        rows.append(
+            {
+                "device": summary.accelerator,
+                "backend": summary.backend,
+                "requests": summary.num_requests,
+                "busy_seconds": round(summary.busy_seconds, 4),
+                "energy_joules": round(energy, 3) if energy is not None else None,
+                "mj_per_request": (
+                    round(energy / summary.num_requests * 1e3, 2)
+                    if energy is not None and summary.num_requests
+                    else None
+                ),
+            }
+        )
+    return rows
 
 
 def _table2_impl(
     fig7: Fig7Result | None = None,
     accuracy_drop_ours: float = 1.8,
     accuracy_drop_gpu: float = 1.8,
+    serving_dataset: str | None = None,
+    serving_devices: tuple[str, ...] = ("sparse-fpga", "gpu-rtx6000"),
+    serving_requests: int = 96,
     **fig7_kwargs,
 ) -> Table2Result:
     """Regenerate Table 2.
@@ -81,7 +176,9 @@ def _table2_impl(
     ``fig7`` may be the result of a previous Fig. 7 run (end-to-end panel);
     omitting it runs the workloads here.  The accuracy drops default to the
     paper's reported averages; callers that also ran the Fig. 6 sweep can
-    substitute their measured drops.
+    substitute their measured drops.  ``serving_dataset`` additionally runs
+    the device-level serving-energy comparison (see
+    :func:`_serving_energy_rows`).
     """
     fig7 = fig7 or _fig7_impl(panel="end_to_end", **fig7_kwargs)
 
@@ -125,13 +222,26 @@ def _table2_impl(
     )
 
     rows = [gpu, ours] + list(LITERATURE_TABLE2_ROWS)
-    return Table2Result(rows=rows, fig7=fig7)
+    serving: list[dict] = []
+    if serving_dataset is not None:
+        serving = _serving_energy_rows(
+            dataset=serving_dataset,
+            devices=serving_devices,
+            num_requests=serving_requests,
+            batch_size=fig7_kwargs.get("batch_size", global_config.DEFAULT_BATCH_SIZE),
+            top_k=fig7_kwargs.get("top_k", global_config.DEFAULT_TOP_K),
+            seed=fig7_kwargs.get("seed", global_config.DEFAULT_SEED),
+        )
+    return Table2Result(rows=rows, fig7=fig7, serving=serving)
 
 
 def _run_spec(config: Table2Config) -> Table2Result:
     return _table2_impl(
         accuracy_drop_ours=config.accuracy_drop_ours,
         accuracy_drop_gpu=config.accuracy_drop_gpu,
+        serving_dataset=config.serving_dataset,
+        serving_devices=config.serving_devices,
+        serving_requests=config.serving_requests,
         batch_size=config.batch_size,
         top_k=config.top_k,
         seed=config.seed,
@@ -139,7 +249,12 @@ def _run_spec(config: Table2Config) -> Table2Result:
 
 
 def _render(result: Table2Result) -> str:
-    return format_table(result.as_rows(), title="Table 2 - throughput & energy efficiency")
+    text = format_table(result.as_rows(), title="Table 2 - throughput & energy efficiency")
+    if result.serving:
+        text += format_table(
+            result.serving, title="Device-level serving energy (equal traffic per device)"
+        )
+    return text
 
 
 SPEC = register_experiment(

@@ -7,11 +7,12 @@ service simulator:
   trace replay, closed-loop).
 * :mod:`~repro.serving.policies` -- batch formation (fixed-size, timeout
   dynamic batching, length-bucketed continuous batching).
-* :mod:`~repro.serving.routing` -- multi-accelerator dispatch (round-robin,
-  least-loaded, length-sharded).
+* :mod:`~repro.serving.routing` -- multi-device dispatch (round-robin,
+  least-loaded, length-sharded) over :mod:`repro.devices` fleets.
 * :mod:`~repro.serving.engine` -- the event-driven simulator and its report
   (latency percentiles, sustained QPS, queue-depth timeline, fleet
-  utilization).
+  utilization and energy, admission control, device-level continuous
+  batching).
 * :mod:`~repro.serving.closed_loop` -- the legacy batch-drain API
   (``simulate_serving``) expressed as a special case of the engine.
 """

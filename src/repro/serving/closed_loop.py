@@ -133,11 +133,12 @@ def simulate_serving(
         online_report=online,
     )
     for batch in online.batches:
-        report.batch_results.append(batch.result)
+        schedule = batch.execution.schedule
+        report.batch_results.append(schedule)
         # Legacy latency: a sequence's span inside its own batch pipeline
         # (first stage entry to last stage exit), excluding the wait behind
         # earlier batches.
         for index in range(len(batch.request_ids)):
-            latency_cycles = batch.result.timeline.sequence_latency(index)
+            latency_cycles = schedule.timeline.sequence_latency(index)
             report.sequence_latencies_seconds.append(latency_cycles / accelerator.clock_hz)
     return report

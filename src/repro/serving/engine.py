@@ -1,25 +1,40 @@
-"""Event-driven online serving simulator.
+"""Event-driven online serving simulator over a fleet of Devices.
 
 This is the open-loop counterpart of the closed-batch experiments: requests
 arrive over wall-clock time (any :mod:`~repro.serving.arrivals` process),
 wait in a central queue, are cut into batches by a
 :mod:`~repro.serving.policies` policy, routed onto one of several
-:class:`~repro.hardware.accelerator.Accelerator` devices by a
-:mod:`~repro.serving.routing` policy, and each dispatched batch is timed with
-an existing batch scheduler (length-aware by default).  The engine therefore
-*composes with* the hardware and scheduling layers rather than re-modeling
-them: a batch's service time is exactly the coarse-pipeline makespan the
-Fig. 5 simulator produces, and a request's completion is its own last stage
-exit inside that pipeline.
+:class:`~repro.devices.Device` backends by a :mod:`~repro.serving.routing`
+policy, and each dispatched batch is costed by its device's own model --
+cycle-accurate coarse-pipeline simulation for FPGA designs, closed-form
+roofline for CPU/GPU platforms.  Fleets may mix backends freely; raw
+:class:`~repro.hardware.accelerator.Accelerator` instances are accepted for
+backward compatibility and wrapped into
+:class:`~repro.devices.CycleAccurateDevice` on the fly.
+
+Two serving disciplines are modeled per device:
+
+* **block per batch** (default) -- a device accepts the next batch only once
+  the previous one has fully drained;
+* **device-level continuous batching** (``continuous_batching=True``) -- a
+  device admits the next batch as soon as its entry stage frees up, so a new
+  batch streams into the coarse pipeline while the previous one drains.
+  Instruction-driven analytical devices have no internal pipeline and
+  serialize either way.
+
+Admission control is available via ``max_queue_depth``: arrivals beyond that
+queue depth are shed, and the shed rate is part of the report.
 
 The report answers the deployment questions the closed-batch benchmarks
 cannot: per-request latency percentiles (p50/p95/p99) at a given offered
-QPS, the sustained throughput, the queue-depth timeline (blow-up past
-saturation), and per-device utilization of the fleet.
+QPS, the sustained throughput (with optional warm-up discarding), the
+queue-depth timeline (blow-up past saturation), per-device utilization, and
+per-device energy where the backend has a power model.
 """
 
 from __future__ import annotations
 
+import heapq
 import math
 import warnings
 from dataclasses import dataclass, field
@@ -28,9 +43,9 @@ from typing import Sequence
 import numpy as np
 
 from .. import config as global_config
+from ..devices import BatchExecution, CycleAccurateDevice, Device
 from ..hardware.accelerator import Accelerator
 from ..scheduling.length_aware import LengthAwareScheduler
-from ..scheduling.pipeline import ScheduleResult
 from ..transformer.configs import DatasetConfig, get_dataset_config
 from .arrivals import ArrivalProcess
 from .policies import BatchPolicy, FixedSizeBatcher, LengthBucketedBatcher
@@ -44,29 +59,48 @@ _EPS = 1e-12
 
 @dataclass
 class BatchRecord:
-    """One dispatched batch: where and when it ran, plus its schedule."""
+    """One dispatched batch: where and when it ran, plus its execution."""
 
     batch_id: int
     device_index: int
     dispatch_time: float
     start_time: float
-    result: ScheduleResult
+    execution: BatchExecution
     request_ids: list[int]
 
     @property
     def end_time(self) -> float:
-        return self.start_time + self.result.makespan_seconds
+        return self.start_time + self.execution.latency_seconds
+
+    @property
+    def result(self):
+        """Legacy accessor: the cycle-accurate :class:`ScheduleResult`.
+
+        Raises a pointed error for analytical batches instead of returning a
+        different type; backend-neutral fields live on :attr:`execution`.
+        """
+        if self.execution.schedule is None:
+            raise AttributeError(
+                f"batch {self.batch_id} ran on analytical device "
+                f"'{self.execution.device}', which simulates no schedule; "
+                "use .execution for backend-neutral fields"
+            )
+        return self.execution.schedule
 
 
 @dataclass
 class DeviceSummary:
-    """Aggregate accounting for one accelerator in the fleet."""
+    """Aggregate accounting for one device in the fleet."""
 
     index: int
     accelerator: str
+    backend: str = "cycle-accurate"
     num_batches: int = 0
     num_requests: int = 0
     busy_seconds: float = 0.0
+    #: Total energy of the dispatched batches (None when the backend has no
+    #: power model).
+    energy_joules: float | None = None
     pipeline_utilizations: list[float] = field(default_factory=list)
 
     @property
@@ -94,6 +128,11 @@ class OnlineServingReport:
     scheduler: str
     offered_qps: float | None
     num_requests: int
+    continuous_batching: bool = False
+    #: Admission-control limit the run was configured with (None = no shedding).
+    queue_limit: int | None = None
+    #: Requests dropped by admission control (queue at the limit on arrival).
+    num_shed: int = 0
     records: list[RequestRecord] = field(default_factory=list)
     batches: list[BatchRecord] = field(default_factory=list)
     devices: list[DeviceSummary] = field(default_factory=list)
@@ -103,6 +142,18 @@ class OnlineServingReport:
     # ------------------------------------------------------------------
     # Latency / throughput
     # ------------------------------------------------------------------
+
+    @property
+    def num_completed(self) -> int:
+        """Requests actually served (offered minus shed)."""
+        return len(self.records)
+
+    @property
+    def shed_rate(self) -> float:
+        """Fraction of offered requests dropped by admission control."""
+        if self.num_requests <= 0:
+            return 0.0
+        return self.num_shed / self.num_requests
 
     @property
     def latencies_seconds(self) -> list[float]:
@@ -121,7 +172,7 @@ class OnlineServingReport:
         """Completed requests per second of simulated time."""
         if self.makespan_seconds <= 0:
             return 0.0
-        return self.num_requests / self.makespan_seconds
+        return self.num_completed / self.makespan_seconds
 
     def latency_percentile(self, percentile: float) -> float:
         """End-to-end latency percentile in seconds."""
@@ -136,11 +187,63 @@ class OnlineServingReport:
         return float(np.percentile([r.queueing_delay for r in self.records], percentile))
 
     # ------------------------------------------------------------------
+    # Warm-up / steady-state statistics
+    # ------------------------------------------------------------------
+
+    @property
+    def arrival_horizon_seconds(self) -> float:
+        """Time of the last served arrival (the warm-up window's base)."""
+        return max((r.request.arrival_time for r in self.records), default=0.0)
+
+    def steady_records(self, warmup_fraction: float = 0.0) -> list[RequestRecord]:
+        """Records of requests that arrived after the warm-up window.
+
+        ``warmup_fraction`` of the *arrival horizon* is discarded so the
+        cold-start transient (empty queues, idle devices) does not pollute
+        steady-state percentiles.  The cutoff is based on arrival times, not
+        the makespan: under overload completions trail arrivals by a long
+        drain, and a makespan-based cutoff could discard every record.  The
+        last arrival always survives; the fallback to the full list only
+        guards degenerate float edge cases.
+        """
+        if not 0.0 <= warmup_fraction < 1.0:
+            raise ValueError("warmup_fraction must be in [0, 1)")
+        if warmup_fraction == 0.0 or not self.records:
+            return list(self.records)
+        cutoff = warmup_fraction * self.arrival_horizon_seconds
+        steady = [r for r in self.records if r.request.arrival_time >= cutoff]
+        return steady or list(self.records)
+
+    def steady_latency_percentile(
+        self, percentile: float, warmup_fraction: float = 0.0
+    ) -> float:
+        """Latency percentile over the post-warm-up records."""
+        records = self.steady_records(warmup_fraction)
+        if not records:
+            raise ValueError("no requests were served")
+        return float(np.percentile([r.latency for r in records], percentile))
+
+    def steady_qps(self, warmup_fraction: float = 0.0) -> float:
+        """Completed requests per second over the post-warm-up window."""
+        if warmup_fraction == 0.0:
+            return self.sustained_qps
+        records = self.steady_records(warmup_fraction)
+        if not records:
+            return 0.0
+        cutoff = warmup_fraction * self.arrival_horizon_seconds
+        start = min(cutoff, min(r.request.arrival_time for r in records))
+        window = max(r.completion_time for r in records) - start
+        if window <= 0:
+            return 0.0
+        return len(records) / window
+
+    # ------------------------------------------------------------------
     # Queue / fleet accounting
     # ------------------------------------------------------------------
 
     @property
     def max_queue_depth(self) -> int:
+        """Deepest the central queue got during the run."""
         return max((depth for _, depth in self.queue_depth_timeline), default=0)
 
     @property
@@ -181,9 +284,17 @@ class OnlineServingReport:
 
     @property
     def average_pipeline_utilization(self) -> float:
-        """Mean intra-batch stage utilization across every dispatched batch."""
-        utils = [b.result.average_utilization for b in self.batches]
+        """Mean intra-batch stage utilization across simulated-pipeline batches."""
+        utils = [
+            b.execution.utilization for b in self.batches if b.execution.utilization is not None
+        ]
         return float(np.mean(utils)) if utils else 0.0
+
+    @property
+    def total_energy_joules(self) -> float | None:
+        """Fleet energy over the run (None when no device reports energy)."""
+        measured = [d.energy_joules for d in self.devices if d.energy_joules is not None]
+        return float(sum(measured)) if measured else None
 
     def to_dict(self) -> dict:
         """Machine-readable summary (JSON-ready; omits per-request records)."""
@@ -193,8 +304,13 @@ class OnlineServingReport:
             "batch_policy": self.batch_policy,
             "router": self.router,
             "scheduler": self.scheduler,
+            "continuous_batching": self.continuous_batching,
+            "queue_limit": self.queue_limit,
             "offered_qps": self.offered_qps,
             "num_requests": self.num_requests,
+            "num_completed": self.num_completed,
+            "num_shed": self.num_shed,
+            "shed_rate": self.shed_rate,
             "num_batches": len(self.batches),
             "sustained_qps": self.sustained_qps,
             "makespan_seconds": self.makespan_seconds,
@@ -212,15 +328,18 @@ class OnlineServingReport:
             "mean_waiting_requests": self.mean_waiting_requests,
             "average_device_utilization": self.average_device_utilization,
             "average_pipeline_utilization": self.average_pipeline_utilization,
+            "total_energy_joules": self.total_energy_joules,
             "devices": [
                 {
                     "device": device.index,
                     "accelerator": device.accelerator,
+                    "backend": device.backend,
                     "batches": device.num_batches,
                     "requests": device.num_requests,
                     "busy_seconds": device.busy_seconds,
                     "duty_cycle": device.duty_cycle(self.makespan_seconds),
                     "pipeline_utilization": device.mean_pipeline_utilization,
+                    "energy_joules": device.energy_joules,
                 }
                 for device in self.devices
             ],
@@ -241,12 +360,59 @@ class OnlineServingReport:
             "p99_ms": round(self.latency_percentile(99) * 1e3, 2),
             "waiting": round(self.mean_waiting_requests, 1),
             "device_util": round(self.average_device_utilization, 3),
+            "shed_rate": round(self.shed_rate, 3),
         }
         return row
 
 
+def _as_fleet(
+    devices: Accelerator | Device | Sequence[Accelerator | Device], scheduler
+) -> list[Device]:
+    """Normalize the fleet argument to Device instances.
+
+    Raw accelerators are wrapped into :class:`CycleAccurateDevice` with the
+    given batch scheduler (length-aware by default), preserving the legacy
+    ``simulate_online(accelerator, ...)`` call shape; Device instances keep
+    the scheduler they were built with.
+    """
+    if isinstance(devices, (Accelerator, Device)):
+        devices = [devices]
+    fleet: list[Device] = []
+    wrap_scheduler = None
+    for entry in devices:
+        if isinstance(entry, Device):
+            if any(entry is seen for seen in fleet):
+                # Serving state lives on the Device (admission/drain clocks),
+                # so one instance in two slots would silently serialize the
+                # "fleet" and double-count its busy time and energy.
+                raise ValueError(
+                    f"device '{entry.name}' appears twice in the fleet; build a "
+                    "separate instance per slot (e.g. repro.devices.build_fleet "
+                    "with replicas=2)"
+                )
+            fleet.append(entry)
+        elif isinstance(entry, Accelerator):
+            if wrap_scheduler is None:
+                wrap_scheduler = scheduler or LengthAwareScheduler()
+            fleet.append(CycleAccurateDevice(entry, scheduler=wrap_scheduler))
+        else:
+            raise TypeError(
+                f"fleet entries must be Device or Accelerator, got {type(entry).__name__}"
+            )
+    return fleet
+
+
+def _fleet_scheduler_label(fleet: list[Device]) -> str:
+    names = {device.scheduler_name for device in fleet if device.scheduler_name}
+    if not names:
+        return "n/a"
+    if len(names) == 1:
+        return next(iter(names))
+    return "mixed"
+
+
 def simulate_online(
-    accelerators: Accelerator | Sequence[Accelerator],
+    devices: Accelerator | Device | Sequence[Accelerator | Device],
     dataset: DatasetConfig | str,
     arrivals: ArrivalProcess | Sequence[Request],
     num_requests: int | None = None,
@@ -254,14 +420,18 @@ def simulate_online(
     router: Router | None = None,
     scheduler=None,
     seed: int = global_config.DEFAULT_SEED,
+    continuous_batching: bool = False,
+    max_queue_depth: int | None = None,
 ) -> OnlineServingReport:
     """Run the event-driven serving simulation.
 
     Parameters
     ----------
-    accelerators:
-        One accelerator or a fleet; every device runs the same batch
-        scheduler but keeps its own backlog.
+    devices:
+        One device or a fleet.  Entries are :class:`~repro.devices.Device`
+        instances (cycle-accurate or analytical, freely mixed) or raw
+        :class:`~repro.hardware.accelerator.Accelerator` objects, which are
+        wrapped with ``scheduler``.  Every device keeps its own backlog.
     dataset:
         Table 1 dataset whose length distribution the stream follows.
     arrivals:
@@ -275,19 +445,29 @@ def simulate_online(
     router:
         Fleet routing policy; defaults to least-loaded.
     scheduler:
-        Batch scheduler with ``schedule(accelerator, lengths)``; defaults to
-        the length-aware scheduler.
+        Batch scheduler used when wrapping raw accelerators; defaults to the
+        length-aware scheduler.  Device instances keep their own scheduler.
     seed:
         Drives both arrival times and sequence lengths; the whole simulation
         is deterministic given the seed.
+    continuous_batching:
+        Enable device-level continuous batching: a device admits the next
+        batch as soon as its entry stage frees (instead of blocking until the
+        whole pipeline drains).
+    max_queue_depth:
+        Admission control: an arrival is shed (dropped) when this many
+        requests are already waiting to start service -- in the central
+        formation queue or cut into a batch that has not reached its device
+        yet.  Shed traffic is reported via ``num_shed`` / ``shed_rate``.
+        ``None`` disables shedding.
     """
     if isinstance(dataset, str):
         dataset = get_dataset_config(dataset)
-    if isinstance(accelerators, Accelerator):
-        accelerators = [accelerators]
-    accelerators = list(accelerators)
-    if not accelerators:
-        raise ValueError("need at least one accelerator")
+    fleet = _as_fleet(devices, scheduler)
+    if not fleet:
+        raise ValueError("need at least one device")
+    if max_queue_depth is not None and max_queue_depth < 1:
+        raise ValueError("max_queue_depth must be >= 1 (or None to disable shedding)")
 
     if isinstance(arrivals, ArrivalProcess):
         requests = arrivals.generate(dataset, num_requests, seed=seed)
@@ -303,12 +483,11 @@ def simulate_online(
 
     batch_policy = batch_policy or FixedSizeBatcher()
     router = router or LeastLoadedRouter()
-    scheduler = scheduler or LengthAwareScheduler()
     batch_policy.prepare(dataset)
-    router.prepare(len(accelerators), dataset)
+    router.prepare(len(fleet), dataset)
     if (
         isinstance(router, LengthShardedRouter)
-        and len(accelerators) > 1
+        and len(fleet) > 1
         and not isinstance(batch_policy, LengthBucketedBatcher)
     ):
         # FIFO-formed batches mix the whole length distribution, so every
@@ -322,32 +501,47 @@ def simulate_online(
             stacklevel=2,
         )
 
+    for device in fleet:
+        device.reset(continuous_batching=continuous_batching)
+
     report = OnlineServingReport(
         dataset=dataset.name,
         arrival_process=arrival_name,
         batch_policy=batch_policy.name,
         router=router.name,
-        scheduler=getattr(scheduler, "name", type(scheduler).__name__),
+        scheduler=_fleet_scheduler_label(fleet),
         offered_qps=offered_qps,
         num_requests=len(requests),
+        continuous_batching=continuous_batching,
+        queue_limit=max_queue_depth,
         devices=[
-            DeviceSummary(index=i, accelerator=acc.name) for i, acc in enumerate(accelerators)
+            DeviceSummary(index=i, accelerator=device.name, backend=device.backend)
+            for i, device in enumerate(fleet)
         ],
     )
-    free_at = [0.0] * len(accelerators)
+
+    #: Start times of dispatched requests that have not begun executing yet;
+    #: together with the formation queue they are the "waiting" population
+    #: the admission-control limit bounds.
+    pending_starts: list[float] = []
+
+    def waiting_requests(queue: list[Request], now: float) -> int:
+        while pending_starts and pending_starts[0] <= now + _EPS:
+            heapq.heappop(pending_starts)
+        return len(queue) + len(pending_starts)
 
     def dispatch(batch: list[Request], now: float) -> None:
-        index = router.select(list(free_at), batch, now)
-        if not 0 <= index < len(accelerators):
+        index = router.select(fleet, batch, now)
+        if not 0 <= index < len(fleet):
             raise IndexError(f"router '{router.name}' picked invalid device {index}")
-        device = accelerators[index]
-        start = max(now, free_at[index])
-        result = scheduler.schedule(device, [r.length for r in batch])
-        # A request finishes when its own last stage exits the pipeline.
-        completion_cycles: dict[int, int] = {}
-        for event in result.timeline.events:
-            if event.end > completion_cycles.get(event.sequence_id, 0):
-                completion_cycles[event.sequence_id] = event.end
+        device = fleet[index]
+        start = device.next_start(now)
+        execution = device.execute([r.length for r in batch])
+        if max_queue_depth is not None and start > now + _EPS:
+            # Only admission control reads the waiting population; skip the
+            # bookkeeping entirely when no limit is set.
+            for _ in batch:
+                heapq.heappush(pending_starts, start)
         batch_id = len(report.batches)
         for position, request in enumerate(batch):
             report.records.append(
@@ -355,7 +549,7 @@ def simulate_online(
                     request=request,
                     dispatch_time=now,
                     start_time=start,
-                    completion_time=start + completion_cycles[position] / device.clock_hz,
+                    completion_time=start + execution.completion_offsets[position],
                     device_index=index,
                     batch_id=batch_id,
                 )
@@ -366,16 +560,21 @@ def simulate_online(
                 device_index=index,
                 dispatch_time=now,
                 start_time=start,
-                result=result,
+                execution=execution,
                 request_ids=[r.request_id for r in batch],
             )
         )
+        device.dispatch(execution, start)
         summary = report.devices[index]
         summary.num_batches += 1
         summary.num_requests += len(batch)
-        summary.busy_seconds += result.makespan_seconds
-        summary.pipeline_utilizations.append(result.average_utilization)
-        free_at[index] = start + result.makespan_seconds
+        if execution.utilization is not None:
+            summary.pipeline_utilizations.append(execution.utilization)
+        # Power-modeled devices are charged over merged busy intervals at the
+        # end of the run (served_energy_joules); per-batch accumulation is
+        # only for backends whose energy is not power x time.
+        if execution.energy_joules is not None and device.served_energy_joules() is None:
+            summary.energy_joules = (summary.energy_joules or 0.0) + execution.energy_joules
 
     queue: list[Request] = []
     depth_timeline = report.queue_depth_timeline
@@ -385,8 +584,15 @@ def simulate_online(
 
     while next_index < total or queue:
         while next_index < total and requests[next_index].arrival_time <= now + _EPS:
-            queue.append(requests[next_index])
+            request = requests[next_index]
             next_index += 1
+            if (
+                max_queue_depth is not None
+                and waiting_requests(queue, now) >= max_queue_depth
+            ):
+                report.num_shed += 1
+            else:
+                queue.append(request)
         depth_timeline.append((now, len(queue)))
 
         draining = next_index >= total
@@ -413,5 +619,14 @@ def simulate_online(
             raise RuntimeError(f"batch policy '{batch_policy.name}' is not making progress")
         now = max(now, next_event)
 
+    for index, device in enumerate(fleet):
+        summary = report.devices[index]
+        summary.busy_seconds = device.busy_seconds()
+        # Power-modeled devices charge power over merged busy intervals, so
+        # overlapping admissions under continuous batching are not
+        # double-counted; other backends keep the per-batch accumulation.
+        served_energy = device.served_energy_joules()
+        if served_energy is not None and summary.num_batches > 0:
+            summary.energy_joules = served_energy
     report.records.sort(key=lambda r: (r.completion_time, r.request.request_id))
     return report

@@ -1,17 +1,28 @@
-"""Routing policies dispatching formed batches onto a fleet of accelerators.
+"""Routing policies dispatching formed batches onto a fleet of devices.
 
-A deployment serves traffic with several boards (or several SLR-replicated
-designs); once the batch policy cuts a batch, the router decides which device
-executes it:
+A deployment serves traffic with several devices -- FPGA boards, GPUs, or a
+mix (the fleet is any list of :class:`~repro.devices.Device` backends); once
+the batch policy cuts a batch, the router decides which device executes it:
 
 * :class:`RoundRobinRouter` -- rotate through the fleet regardless of load.
 * :class:`LeastLoadedRouter` -- send the batch to the device with the
-  smallest backlog (earliest ``free_at``); ties break on device index so the
-  simulation stays deterministic.
+  smallest backlog (earliest next admission); ties break on device index so
+  the simulation stays deterministic.  On a heterogeneous fleet the faster
+  device drains its backlog sooner, so traffic naturally shifts toward it.
 * :class:`LengthShardedRouter` -- partition the length axis across devices so
   each board sees a narrow length band.  Because each device is balanced for
   an operating length, sharding keeps batches near their device's sweet spot
   (the multi-device analogue of length bucketing).
+
+``select`` receives the fleet itself, so routers can inspect per-device
+state (backlog via :meth:`~repro.devices.Device.next_start`, fullness via
+:meth:`~repro.devices.Device.occupancy`, speed via ``describe()``).
+
+.. note:: Since the Device API redesign the engine passes ``Device``
+   instances, not ``free_at`` floats, into ``select``.  Plug-in routers that
+   treated fleet entries as numbers must read backlogs through
+   :meth:`Router.backlog_seconds`, which accepts both Devices and legacy
+   floats (calling ``select`` directly with a float list keeps working).
 """
 
 from __future__ import annotations
@@ -42,10 +53,24 @@ class Router:
     def prepare(self, num_devices: int, dataset: DatasetConfig) -> None:
         """Optional hook: learn the fleet size / dataset before the run."""
 
-    def select(self, free_at: list[float], batch: list[Request], now: float) -> int:
+    @staticmethod
+    def backlog_seconds(entry, now: float) -> float:
+        """Seconds until ``entry`` can start a new batch.
+
+        ``entry`` is a :class:`~repro.devices.Device` (its
+        :meth:`~repro.devices.Device.next_start` is honored, including the
+        continuous-batching admission gate) or a legacy ``free_at`` float.
+        """
+        next_start = getattr(entry, "next_start", None)
+        if next_start is not None:
+            return max(next_start(now) - now, 0.0)
+        return max(float(entry) - now, 0.0)
+
+    def select(self, fleet: list, batch: list[Request], now: float) -> int:
         """Return the index of the device that receives ``batch``.
 
-        ``free_at[i]`` is the time device ``i`` finishes its current backlog.
+        ``fleet`` is the list of devices (or legacy per-device ``free_at``
+        floats) the simulation runs on.
         """
         raise NotImplementedError
 
@@ -62,8 +87,8 @@ class RoundRobinRouter(Router):
         # Reset the cursor so a reused router gives identical runs.
         self._next = 0
 
-    def select(self, free_at: list[float], batch: list[Request], now: float) -> int:
-        index = self._next % len(free_at)
+    def select(self, fleet: list, batch: list[Request], now: float) -> int:
+        index = self._next % len(fleet)
         self._next += 1
         return index
 
@@ -75,8 +100,8 @@ class LeastLoadedRouter(Router):
 
     name: str = "least-loaded"
 
-    def select(self, free_at: list[float], batch: list[Request], now: float) -> int:
-        backlogs = [max(t - now, 0.0) for t in free_at]
+    def select(self, fleet: list, batch: list[Request], now: float) -> int:
+        backlogs = [self.backlog_seconds(entry, now) for entry in fleet]
         return min(range(len(backlogs)), key=lambda i: (backlogs[i], i))
 
 
@@ -102,9 +127,9 @@ class LengthShardedRouter(Router):
                 for e in np.linspace(dataset.min_length, dataset.max_length, num_devices + 1)[1:-1]
             ]
 
-    def select(self, free_at: list[float], batch: list[Request], now: float) -> int:
+    def select(self, fleet: list, batch: list[Request], now: float) -> int:
         mean_length = sum(r.length for r in batch) / len(batch)
-        return min(bisect_right(self._edges, mean_length), len(free_at) - 1)
+        return min(bisect_right(self._edges, mean_length), len(fleet) - 1)
 
 
 def get_router(name: str, **kwargs) -> Router:

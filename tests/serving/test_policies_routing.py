@@ -132,6 +132,31 @@ class TestRouters:
         assert router.select([0.0, 0.0], long, now=0.0) == 1
 
 
+class TestRoutersOverDevices:
+    """Routers read per-device state through the unified Device protocol."""
+
+    class _StubDevice:
+        def __init__(self, free_at: float):
+            self._free_at = free_at
+
+        def next_start(self, now: float) -> float:
+            return max(now, self._free_at)
+
+    def test_backlog_seconds_handles_devices_and_floats(self):
+        from repro.serving.routing import Router
+
+        assert Router.backlog_seconds(5.0, now=1.0) == pytest.approx(4.0)
+        assert Router.backlog_seconds(0.5, now=1.0) == 0.0
+        device = self._StubDevice(free_at=3.0)
+        assert Router.backlog_seconds(device, now=1.0) == pytest.approx(2.0)
+        assert Router.backlog_seconds(device, now=4.0) == 0.0
+
+    def test_least_loaded_picks_earliest_admitting_device(self):
+        router = LeastLoadedRouter()
+        fleet = [self._StubDevice(5.0), self._StubDevice(1.5), self._StubDevice(3.0)]
+        assert router.select(fleet, _queue((30, 0.0)), now=1.0) == 1
+
+
 class TestFactories:
     def test_batch_policy_by_name(self):
         assert isinstance(get_batch_policy("fixed", batch_size=8), FixedSizeBatcher)

@@ -131,6 +131,64 @@ class TestCommands:
         ) == 0
         assert "length-bucketed" in capsys.readouterr().out
 
+    def test_serve_mixed_fleet_continuous_batching(self, capsys):
+        assert main(
+            [
+                "serve",
+                "--devices", "sparse-fpga,gpu-rtx6000",
+                "--qps", "600",
+                "--requests", "32",
+                "--continuous-batching",
+                "--max-queue-depth", "64",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "cycle-accurate" in out
+        assert "analytical" in out
+        assert "continuous batching" in out
+
+    def test_serve_mixed_fleet_json_reports_both_backends(self, capsys):
+        assert main(
+            [
+                "serve",
+                "--devices", "sparse-fpga", "gpu-rtx6000",
+                "--qps", "600",
+                "--requests", "32",
+                "--format", "json",
+            ]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        report = payload["result"]["report"]
+        backends = {device["backend"] for device in report["devices"]}
+        assert backends == {"cycle-accurate", "analytical"}
+        assert payload["result"]["devices"] == ["sparse-fpga", "gpu-rtx6000"]
+
+    def test_serve_rejects_unknown_device(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["serve", "--devices", "tpu-v9", "--qps", "100", "--requests", "8"])
+        assert "Unknown device" in capsys.readouterr().err
+
+    def test_list_command_prints_registry(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for expected in ("device", "sparse-fpga", "gpu-rtx6000", "arrival",
+                         "batch-policy", "router", "experiment"):
+            assert expected in out
+
+    def test_list_command_json_and_kind_filter(self, capsys):
+        assert main(["list", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert {"arrival", "batch-policy", "device", "experiment", "router"} <= set(payload)
+        assert "sparse-fpga" in payload["device"]
+        assert main(["list", "--kind", "device", "--format", "json"]) == 0
+        only_devices = json.loads(capsys.readouterr().out)
+        assert set(only_devices) == {"device"}
+
+    def test_list_command_rejects_unknown_kind(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["list", "--kind", "flux-capacitor"])
+        assert "unknown kind" in capsys.readouterr().err
+
     def test_serving_sweep_command(self, capsys):
         assert main(
             [
@@ -142,6 +200,42 @@ class TestCommands:
         ) == 0
         out = capsys.readouterr().out
         assert "Latency vs offered load" in out
+
+    def test_serving_sweep_warmup_flag(self, capsys):
+        argv = [
+            "serving-sweep",
+            "--datasets", "mrpc",
+            "--load-fractions", "0.5",
+            "--requests", "48",
+            "--format", "json",
+        ]
+        assert main(argv + ["--warmup-fraction", "0"]) == 0
+        raw = json.loads(capsys.readouterr().out)["result"]
+        assert main(argv + ["--warmup-fraction", "0.4"]) == 0
+        warmed = json.loads(capsys.readouterr().out)["result"]
+        assert raw["warmup_fraction"] == 0.0
+        assert warmed["warmup_fraction"] == 0.4
+        # Same simulation, different statistics window.
+        assert raw["capacity_qps"] == warmed["capacity_qps"]
+        assert raw["points"] != warmed["points"]
+
+    def test_table2_serving_energy_section(self, capsys):
+        assert main(
+            [
+                "table2",
+                "--batch-size", "8",
+                "--serving-dataset", "mrpc",
+                "--serving-requests", "24",
+                "--format", "json",
+            ]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        serving = payload["result"]["serving"]
+        assert {row["device"] for row in serving} == {"sparse-fpga", "gpu-rtx6000"}
+        assert all(row["mj_per_request"] > 0 for row in serving)
+        # The proposed FPGA should be far more energy-efficient per request.
+        by_device = {row["device"]: row for row in serving}
+        assert by_device["sparse-fpga"]["mj_per_request"] < by_device["gpu-rtx6000"]["mj_per_request"]
 
 
 #: (argv, ...) per command: the fast configuration of every registered

@@ -5,15 +5,30 @@ regeneration with ``pytest-benchmark`` (single round -- these are experiment
 harnesses, not micro-kernels), and writes the rendered rows/series to
 ``benchmarks/results/<name>.txt`` so the numbers can be inspected after the
 run and copied into EXPERIMENTS.md.
+
+On top of the per-test text reports, the session writes one machine-readable
+record per ``test_bench_*`` test to ``benchmarks/results/bench_latest.json``:
+``{"name", "seconds", "metrics"}`` where ``metrics`` holds whatever key
+numbers the test registered through :func:`record_metric` (throughput,
+speedup, hit rate, ...).  ``python -m repro bench`` runs the suite and prints
+that JSON, which is also what CI uploads as the performance-trajectory
+artifact.
 """
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 import pytest
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Machine-readable records accumulated over the session (one per bench test).
+_BENCH_RECORDS: list[dict] = []
+#: Metrics registered by the currently running test, keyed by test name.
+_BENCH_METRICS: dict[str, dict] = {}
+_CURRENT_TEST: dict = {"name": None}
 
 
 @pytest.fixture(scope="session")
@@ -34,6 +49,72 @@ def write_report(results_dir):
         return path
 
     return _write
+
+
+@pytest.fixture(autouse=True)
+def _track_current_test(request):
+    """Let :func:`record_metric` attribute metrics to the running test."""
+    _CURRENT_TEST["name"] = request.node.name
+    yield
+    _CURRENT_TEST["name"] = None
+
+
+def record_metric(**metrics) -> None:
+    """Attach key numbers to the running benchmark's JSON record.
+
+    Call from inside a ``test_bench_*`` test::
+
+        record_metric(capacity_qps=capacity, speedup=ref_seconds / fast_seconds)
+    """
+    name = _CURRENT_TEST["name"]
+    if name is not None:
+        _BENCH_METRICS.setdefault(name, {}).update(metrics)
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_makereport(item, call):
+    outcome = yield
+    report = outcome.get_result()
+    if (
+        report.when == "call"
+        and report.passed
+        and item.name.startswith("test_bench")
+        and Path(item.fspath).parent == Path(__file__).parent
+    ):
+        _BENCH_RECORDS.append(
+            {
+                "name": item.name,
+                "seconds": report.duration,
+                "metrics": _BENCH_METRICS.pop(item.name, {}),
+            }
+        )
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Write the machine-readable benchmark trajectory record.
+
+    Records merge by test name into the existing file, so a selected subset
+    (``repro bench --select fast_path``) refreshes its own records without
+    destroying the rest of the trajectory.
+    """
+    if not _BENCH_RECORDS:
+        return
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / "bench_latest.json"
+    merged: dict[str, dict] = {}
+    if path.is_file():
+        try:
+            for record in json.loads(path.read_text()).get("records", []):
+                merged[record["name"]] = record
+        except (json.JSONDecodeError, TypeError, KeyError):
+            merged = {}  # corrupt file: rebuild from this session
+    for record in _BENCH_RECORDS:
+        merged[record["name"]] = record
+    payload = {
+        "schema": 1,
+        "records": [merged[name] for name in sorted(merged)],
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n")
 
 
 def run_once(benchmark, func, *args, **kwargs):

@@ -10,7 +10,7 @@ grows with load and diverges past saturation).
 
 from __future__ import annotations
 
-from conftest import run_once
+from conftest import record_metric, run_once
 
 from repro.evaluation.report import format_key_values, format_table
 from repro.evaluation.serving_sweep import run_serving_sweep
@@ -37,6 +37,12 @@ def test_bench_serving_sweep(benchmark, write_report):
         }
     )
     write_report("serving_sweep", text)
+    record_metric(
+        **{
+            f"capacity_qps_{name}": round(qps, 1)
+            for name, qps in result.capacity_qps.items()
+        }
+    )
 
     for dataset, capacity in result.capacity_qps.items():
         curve = result.p99_curve(dataset)

@@ -189,6 +189,40 @@ def _make_command(spec: ExperimentSpec):
     return command
 
 
+def _cmd_bench(args: argparse.Namespace) -> str:
+    """Run the benchmark suite and print the machine-readable results.
+
+    Each ``test_bench_*`` writes one record (name, wall seconds, key metrics)
+    into ``<benchmarks>/results/bench_latest.json``; this command runs the
+    suite through pytest and prints that JSON, so ``repro bench`` is the one
+    entry point both humans and CI use to refresh the perf trajectory.
+    """
+    import pytest
+
+    bench_dir = Path(args.benchmarks_dir)
+    if not bench_dir.is_dir():
+        raise _CliInputError(
+            f"benchmark directory '{bench_dir}' not found; run from the repository "
+            "root or pass --benchmarks-dir"
+        )
+    pytest_args = ["-q", "--no-header", str(bench_dir)]
+    if args.select:
+        pytest_args += ["-k", args.select]
+    exit_code = pytest.main(pytest_args)
+    if exit_code == pytest.ExitCode.NO_TESTS_COLLECTED:
+        raise _CliInputError(
+            f"--select '{args.select}' matched no benchmark; try e.g. fast_path or serving"
+        )
+    if exit_code != 0:
+        raise _CliInputError(f"benchmark run failed (pytest exit code {int(exit_code)})")
+    results = bench_dir / "results" / "bench_latest.json"
+    if not results.is_file():
+        raise _CliInputError(f"benchmark run produced no {results}")
+    text = results.read_text().rstrip("\n")
+    _write_output(args.output_dir, "bench", "json", text)
+    return text
+
+
 def _cmd_list(args: argparse.Namespace) -> str:
     """List every registered component kind/name (devices, arrivals, ...)."""
     from .evaluation.report import format_table
@@ -224,10 +258,13 @@ def _cmd_all(args: argparse.Namespace) -> str:
     """Run every paper experiment with registry defaults."""
     from .evaluation.runner import run_all_experiments
 
+    if args.jobs < 1:
+        raise _CliInputError("--jobs must be >= 1")
     reports = run_all_experiments(
         output_dir=args.output_dir,
         include_fig6=args.include_fig6,
         write_json=args.format == "json",
+        jobs=args.jobs,
     ).values()
     if args.format == "json":
         return json.dumps({report.name: report.payload for report in reports}, indent=2)
@@ -255,10 +292,37 @@ def build_parser() -> argparse.ArgumentParser:
     all_parser.add_argument(
         "--include-fig6", action="store_true", help="also run the slow fig6 sweep"
     )
+    all_parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes to fan the experiments across (default: 1)",
+    )
     # `all` runs each experiment at registry defaults, so it takes only the
     # output flags -- a --config/--set here would be silently ignored.
     _add_output_arguments(all_parser)
     all_parser.set_defaults(func=_cmd_all)
+    bench_parser = subparsers.add_parser(
+        "bench",
+        help="run the benchmark suite and print benchmarks/results/bench_latest.json",
+    )
+    bench_parser.add_argument(
+        "--benchmarks-dir",
+        default="benchmarks",
+        help="benchmark suite location (default: ./benchmarks)",
+    )
+    bench_parser.add_argument(
+        "--select",
+        default=None,
+        metavar="EXPR",
+        help="pytest -k expression to run a subset (e.g. fast_path)",
+    )
+    bench_parser.add_argument(
+        "--output-dir",
+        default=None,
+        help="also write the JSON record to this directory (bench.json)",
+    )
+    bench_parser.set_defaults(func=_cmd_bench)
     list_parser = subparsers.add_parser(
         "list",
         help="list every registered component (devices, arrivals, policies, routers, experiments)",

@@ -23,13 +23,21 @@ Importing this package registers the built-in devices under
 from .adapters import AnalyticalDevice, CycleAccurateDevice
 from .catalog import build_device, build_fleet, split_fleet_spec
 from .protocol import BatchExecution, Device
+from .schedule_cache import (
+    GLOBAL_SCHEDULE_CACHE,
+    ScheduleCache,
+    schedule_cache_enabled,
+)
 
 __all__ = [
     "AnalyticalDevice",
     "BatchExecution",
     "CycleAccurateDevice",
     "Device",
+    "GLOBAL_SCHEDULE_CACHE",
+    "ScheduleCache",
     "build_device",
     "build_fleet",
+    "schedule_cache_enabled",
     "split_fleet_spec",
 ]

@@ -15,24 +15,89 @@
 
 from __future__ import annotations
 
-from collections import OrderedDict
+import hashlib
+import itertools
+from dataclasses import dataclass
 from typing import Sequence
 
 from .. import config as global_config
 from ..hardware.accelerator import Accelerator
 from ..platforms.base import AnalyticalPlatform, PlatformResult
-from ..scheduling.length_aware import LengthAwareScheduler
+from ..scheduling.length_aware import LengthAwareScheduler, sort_batch_by_length
+from ..scheduling.pipeline import ScheduleResult
 from .protocol import BatchExecution, Device
+from .schedule_cache import (
+    GLOBAL_SCHEDULE_CACHE,
+    ScheduleCache,
+    quantize_lengths,
+    schedule_cache_enabled,
+)
 
 __all__ = ["AnalyticalDevice", "CycleAccurateDevice"]
 
-#: Retained schedule simulations per device (routing + dispatch of the same
-#: batch composition hit the cache, so occupancy probes stay cheap).
-_DEFAULT_CACHE_SIZE = 64
+
+@dataclass
+class _CanonicalSchedule:
+    """One cached simulation of a canonicalized batch.
+
+    ``slot_completion_seconds[r]`` is the completion offset of the request at
+    issue slot ``r`` of the canonical order; callers remap slots to their own
+    request order through the scheduler's issue permutation.
+    ``key_digest`` is a process-independent fingerprint of the cache key, used
+    by the sweep harness to replay hit accounting deterministically.
+    """
+
+    result: ScheduleResult
+    slot_completion_seconds: list[float]
+    latency_seconds: float
+    admit_seconds: float
+    utilization: float
+    key_digest: str = ""
+
+
+def _key_digest(key: tuple) -> str:
+    """Stable, process-independent fingerprint of a cache key.
+
+    ``repr`` of the (nested tuples of ints/floats/strs) key is deterministic,
+    unlike ``hash()``, which is salted per process for strings.
+    """
+    return hashlib.blake2b(repr(key).encode(), digest_size=12).hexdigest()
+
+
+#: Serial for schedulers whose repr is not value-based (see _scheduler_cache_key).
+_SCHEDULER_SERIAL = itertools.count()
+
+
+def _scheduler_cache_key(scheduler) -> str:
+    """Cache-key component pinning the scheduler's configuration.
+
+    Cross-instance sharing is *opt-in*: only schedulers that declare
+    ``cache_canonicalization`` (all built-ins do) are trusted to have a
+    value-based repr that spells out every knob that can alter a schedule.
+    Any other plug-in scheduler gets a process-unique serial -- its own
+    batches still hit the cache, but two instances never share an entry, so
+    a partial repr (or the default address-based ``object`` repr, whose
+    address the allocator can recycle) can never serve a differently
+    configured scheduler's schedule.
+    """
+    text = repr(scheduler)
+    if getattr(scheduler, "cache_canonicalization", None) is None or " object at 0x" in text:
+        return f"{type(scheduler).__qualname__}#{next(_SCHEDULER_SERIAL)}"
+    return text
 
 
 class CycleAccurateDevice(Device):
-    """A simulated FPGA design (accelerator + batch scheduler) as a Device."""
+    """A simulated FPGA design (accelerator + batch scheduler) as a Device.
+
+    Schedule simulations are shared through the process-wide
+    :data:`~repro.devices.schedule_cache.GLOBAL_SCHEDULE_CACHE`: the key
+    includes the canonicalized length tuple *and* the per-unique-length stage
+    latency rows, so identical designs in a fleet (replicas, or independently
+    built equal designs) share hits exactly, while designs that differ in any
+    latency-visible way can never collide.  ``cache_length_bucket=Q``
+    additionally rounds lengths up to multiples of ``Q`` before scheduling
+    (conservative, approximate, off by default).
+    """
 
     backend = "cycle-accurate"
 
@@ -42,52 +107,198 @@ class CycleAccurateDevice(Device):
         scheduler=None,
         name: str | None = None,
         power_watts: float = global_config.FPGA_BOARD_POWER_W,
-        cache_size: int = _DEFAULT_CACHE_SIZE,
+        cache_length_bucket: int | None = None,
+        schedule_cache: ScheduleCache | None = None,
     ) -> None:
         self.accelerator = accelerator
         self.scheduler = scheduler or LengthAwareScheduler()
         self.name = name or accelerator.name
         self.power_watts = power_watts
-        self._cache: OrderedDict[tuple[int, ...], BatchExecution] = OrderedDict()
-        self._cache_size = max(int(cache_size), 1)
+        if cache_length_bucket is not None and cache_length_bucket < 1:
+            raise ValueError("cache_length_bucket must be >= 1 (or None for exact)")
+        self.cache_length_bucket = cache_length_bucket
+        self._schedule_cache = (
+            schedule_cache if schedule_cache is not None else GLOBAL_SCHEDULE_CACHE
+        )
+        # The structure/scheduler parts of the cache key never change after
+        # construction (schedulers are plain dataclasses: their repr pins
+        # every knob that can alter a schedule).
+        self._structure_key = (
+            tuple(
+                (
+                    stage.name,
+                    max(getattr(stage, "replication", 1), 1),
+                    bool(getattr(stage, "intra_pipelined", False)),
+                )
+                for stage in accelerator.stages
+            ),
+            int(accelerator.model_config.num_layers),
+            float(accelerator.clock_hz),
+        )
+        self._scheduler_key = _scheduler_cache_key(self.scheduler)
         super().__init__()
 
     @property
     def scheduler_name(self) -> str | None:
         return getattr(self.scheduler, "name", type(self.scheduler).__name__)
 
-    def execute(self, lengths: Sequence[int]) -> BatchExecution:
-        key = tuple(int(x) for x in lengths)
-        cached = self._cache.get(key)
-        if cached is not None:
-            self._cache.move_to_end(key)
-            return cached
-        result = self.scheduler.schedule(self.accelerator, list(key))
-        clock = self.accelerator.clock_hz
-        first_stage = self.accelerator.stages[0].name
-        completion_cycles: dict[int, int] = {}
-        admit_cycles = 0
-        for event in result.timeline.events:
-            if event.end > completion_cycles.get(event.sequence_id, 0):
-                completion_cycles[event.sequence_id] = event.end
-            # Replicated entry stages are labeled "<name>[replica]".
-            if event.stage == first_stage or event.stage.startswith(first_stage + "["):
-                admit_cycles = max(admit_cycles, event.end)
-        latency = result.makespan_seconds
-        execution = BatchExecution(
-            device=self.name,
-            lengths=list(key),
-            latency_seconds=latency,
-            completion_offsets=[completion_cycles[i] / clock for i in range(len(key))],
-            admit_seconds=min(admit_cycles / clock, latency),
-            utilization=result.average_utilization,
-            energy_joules=latency * self.power_watts,
-            schedule=result,
+    def reset(self, continuous_batching: bool = False) -> None:
+        super().reset(continuous_batching=continuous_batching)
+        #: Per-device counters over one serving run (the shared cache keeps
+        #: its own process-lifetime totals).
+        self.cache_hits = 0
+        self.cache_misses = 0
+        #: Probe accounting for deterministic replay: how many schedule
+        #: lookups this run issued and the set of distinct key fingerprints.
+        self.cache_probe_total = 0
+        self.cache_probe_unique: set[str] = set()
+        self._cache_active = schedule_cache_enabled()
+
+    # ------------------------------------------------------------------
+    # Cache plumbing
+    # ------------------------------------------------------------------
+
+    def _canonical_order(self) -> str:
+        """How this device's scheduler canonicalizes a batch.
+
+        Built-in schedulers advertise ``cache_canonicalization``; unknown
+        schedulers fall back to ``"exact"`` (order-sensitive keys, no
+        cross-permutation sharing, always correct).
+        """
+        return getattr(self.scheduler, "cache_canonicalization", "exact")
+
+    def _cache_key(self, canonical: tuple[int, ...]) -> tuple:
+        rows = tuple(
+            (length, self.accelerator.stage_latency_row(length))
+            for length in sorted(set(canonical))
         )
-        self._cache[key] = execution
-        while len(self._cache) > self._cache_size:
-            self._cache.popitem(last=False)
-        return execution
+        pad_to = getattr(self.scheduler, "pad_to", None)
+        if pad_to is not None:
+            pad_to = int(pad_to)
+            rows += ((pad_to, self.accelerator.stage_latency_row(pad_to)),)
+        return (canonical, rows, self._structure_key, self._scheduler_key)
+
+    def _simulate_canonical(self, canonical: tuple[int, ...]) -> _CanonicalSchedule:
+        result = self.scheduler.schedule(self.accelerator, list(canonical))
+        clock = self.accelerator.clock_hz
+        completion = result.sequence_completion_cycles()
+        latency = result.makespan_seconds
+        return _CanonicalSchedule(
+            result=result,
+            slot_completion_seconds=[
+                completion[i] / clock for i in range(len(canonical))
+            ],
+            latency_seconds=latency,
+            admit_seconds=min(result.entry_admit_cycles() / clock, latency),
+            utilization=result.average_utilization,
+        )
+
+    @staticmethod
+    def _issue_order(billed: tuple[int, ...], mode: str) -> list[int] | None:
+        """The scheduler's issue permutation for this batch (None = identity).
+
+        Delegates to the schedulers' own :func:`sort_batch_by_length` so the
+        offset remapping can never drift from the order the cached canonical
+        simulation actually used (tie-breaks included).
+        """
+        if mode == "sort-desc":
+            return sort_batch_by_length(list(billed), descending=True)
+        if mode == "sort-asc":
+            return sort_batch_by_length(list(billed), descending=False)
+        return None
+
+    def execute(self, lengths: Sequence[int]) -> BatchExecution:
+        call = tuple(int(x) for x in lengths)
+        if self.cache_length_bucket is None:
+            billed = call
+        else:
+            billed = quantize_lengths(call, self.cache_length_bucket)
+            pad_to = getattr(self.scheduler, "pad_to", None)
+            if pad_to is not None:
+                # Never quantize a valid length past a fixed padding target:
+                # the scheduler bills such sequences at pad_to anyway, and
+                # rounding beyond it would reject a batch that is fine
+                # unquantized.  Lengths already above pad_to stay as they
+                # are (and fail exactly like the unquantized call would).
+                pad_to = int(pad_to)
+                billed = tuple(
+                    min(quantized, pad_to) if original <= pad_to else quantized
+                    for quantized, original in zip(billed, call)
+                )
+        mode = self._canonical_order()
+        if mode in ("sort-desc", "uniform"):
+            canonical = tuple(sorted(billed, reverse=True))
+        elif mode == "sort-asc":
+            canonical = tuple(sorted(billed))
+        else:
+            canonical = billed
+        entry = None
+        # One source of truth per run: the reset()-time snapshot (the engine
+        # resets every device at simulation start), so counters and reported
+        # stats can never disagree about whether the cache was active.
+        use_cache = self._cache_active
+        if use_cache:
+            key = self._cache_key(canonical)
+            entry = self._schedule_cache.lookup(key)
+            if entry is None:
+                self.cache_misses += 1
+            else:
+                self.cache_hits += 1
+        if entry is None:
+            entry = self._simulate_canonical(canonical)
+            if use_cache:
+                entry.key_digest = _key_digest(key)
+                self._schedule_cache.store(key, entry)
+        if use_cache:
+            self.cache_probe_total += 1
+            self.cache_probe_unique.add(entry.key_digest)
+        order = self._issue_order(billed, mode)
+        if order is None:
+            offsets = list(entry.slot_completion_seconds)
+        else:
+            offsets = [0.0] * len(call)
+            for rank, original in enumerate(order):
+                offsets[original] = entry.slot_completion_seconds[rank]
+        return BatchExecution(
+            device=self.name,
+            lengths=list(call),
+            latency_seconds=entry.latency_seconds,
+            completion_offsets=offsets,
+            admit_seconds=entry.admit_seconds,
+            utilization=entry.utilization,
+            energy_joules=entry.latency_seconds * self.power_watts,
+            schedule=entry.result,
+        )
+
+    def schedule_cache_stats(self) -> dict | None:
+        """Per-run hit/miss counters (reset with the serving clocks).
+
+        ``None`` when the cache is disabled (``REPRO_SCHEDULE_CACHE=off``),
+        so reports do not claim cache behavior that never happened.
+        """
+        if not self._cache_active:
+            return None
+        total = self.cache_hits + self.cache_misses
+        return {
+            "length_bucket": self.cache_length_bucket,
+            "hits": self.cache_hits,
+            "misses": self.cache_misses,
+            "hit_rate": self.cache_hits / total if total else 0.0,
+        }
+
+    def schedule_cache_probes(self) -> dict | None:
+        """Per-run probe stream summary for deterministic replay.
+
+        The sweep harness unions these over its grid (in canonical order) to
+        report hit rates that are byte-identical regardless of how many
+        worker processes executed the runs.
+        """
+        if not self._cache_active:
+            return None
+        return {
+            "total": self.cache_probe_total,
+            "unique": sorted(self.cache_probe_unique),
+        }
 
     def describe(self) -> dict:
         return {
@@ -100,6 +311,10 @@ class CycleAccurateDevice(Device):
             "power_watts": self.power_watts,
             "top_k": self.accelerator.top_k,
             "stages": [stage.name for stage in self.accelerator.stages],
+            "schedule_cache": {
+                **(self.schedule_cache_stats() or {}),
+                "shared": self._schedule_cache.stats(),
+            },
         }
 
 

@@ -69,6 +69,7 @@ def sparse_fpga_device(
     top_k: int = global_config.DEFAULT_TOP_K,
     quant_bits: int = global_config.DEFAULT_QK_QUANT_BITS,
     replication: int = 1,
+    cache_length_bucket: int | None = None,
 ) -> Device:
     """The proposed design: sparse attention + length-aware scheduling."""
     model_config, dataset_config = _model(model), _dataset(dataset)
@@ -81,7 +82,10 @@ def sparse_fpga_device(
         replication=replication,
     )
     return CycleAccurateDevice(
-        accelerator, scheduler=LengthAwareScheduler(), name=name or "sparse-fpga"
+        accelerator,
+        scheduler=LengthAwareScheduler(),
+        name=name or "sparse-fpga",
+        cache_length_bucket=cache_length_bucket,
     )
 
 
@@ -90,6 +94,7 @@ def baseline_fpga_device(
     model: ModelConfig | str = "bert-base",
     dataset: DatasetConfig | str = "mrpc",
     name: str | None = None,
+    cache_length_bucket: int | None = None,
 ) -> Device:
     """The Fig. 7 FPGA baseline: dense attention, max-length padding."""
     model_config, dataset_config = _model(model), _dataset(dataset)
@@ -99,7 +104,12 @@ def baseline_fpga_device(
         max_seq=dataset_config.max_length,
     )
     scheduler = PaddedScheduler(pad_to=None, pipelined=True, buffer_slots=None)
-    return CycleAccurateDevice(accelerator, scheduler=scheduler, name=name or "baseline-fpga")
+    return CycleAccurateDevice(
+        accelerator,
+        scheduler=scheduler,
+        name=name or "baseline-fpga",
+        cache_length_bucket=cache_length_bucket,
+    )
 
 
 def _register_analytical(key: str, platform, aliases: tuple[str, ...]) -> None:
@@ -128,7 +138,7 @@ _register_analytical("gpu-v100-et", V100_ET, aliases=("v100-et",))
 #: Shared fleet knobs that not every device declares; build_device drops
 #: exactly these when the chosen factory has no such parameter, so one knob
 #: set can drive a mixed fleet while typos still raise TypeError.
-_OPTIONAL_DEVICE_KNOBS = frozenset({"top_k"})
+_OPTIONAL_DEVICE_KNOBS = frozenset({"top_k", "cache_length_bucket"})
 
 
 def build_device(

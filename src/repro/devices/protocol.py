@@ -133,6 +133,14 @@ class Device:
         """Name of the batch scheduler, when the backend drives one."""
         return None
 
+    def schedule_cache_stats(self) -> dict | None:
+        """Per-run schedule-cache counters, when the backend caches schedules."""
+        return None
+
+    def schedule_cache_probes(self) -> dict | None:
+        """Per-run schedule-cache probe summary (replayable hit accounting)."""
+        return None
+
     # ------------------------------------------------------------------
     # Serving state (the engine resets, dispatches, and reads this)
     # ------------------------------------------------------------------

@@ -1,0 +1,129 @@
+"""Process-wide schedule cache shared by every cycle-accurate device.
+
+A fleet of identical FPGA designs (``build_fleet(..., replicas=8)``) used to
+pay for the same coarse-pipeline simulation once *per device*: each
+:class:`~repro.devices.adapters.CycleAccurateDevice` kept a private
+``OrderedDict`` keyed by the exact, order-sensitive length tuple.  This
+module replaces that with one process-wide LRU shared by all devices:
+
+* **Provably exact sharing** -- entries are keyed by everything the
+  simulator can observe: the canonicalized batch tuple, the per-unique-length
+  stage-latency rows, the stage structure (names / replication /
+  intra-pipelining), the layer count, the clock, and the scheduler's
+  configuration.  Two devices produce the same key only when their schedules
+  are cycle-for-cycle identical, so replicas (and identical designs built
+  independently) share hits without any approximation.
+* **Canonicalized length tuples** -- the batch schedulers sort the batch
+  anyway, so batches that are permutations of each other share one entry;
+  per-request completion offsets are reconstructed through the scheduler's
+  own issue order.
+* **Optional length quantization** -- ``cache_length_bucket=Q`` rounds every
+  length up to the next multiple of ``Q`` before scheduling, trading a
+  slightly conservative (never optimistic) latency for a much smaller key
+  space and hit rates above 90% on Poisson traffic.  Default off (exact).
+
+``REPRO_SCHEDULE_CACHE=off`` disables lookups entirely (every batch is
+re-simulated), which is the knob the cache-correctness tests and debugging
+sessions use.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from collections import OrderedDict
+from typing import Any, Hashable
+
+__all__ = [
+    "GLOBAL_SCHEDULE_CACHE",
+    "ScheduleCache",
+    "quantize_lengths",
+    "schedule_cache_enabled",
+]
+
+#: Retained canonical schedules across the whole process.  Entries are small
+#: (one ScheduleResult summary plus per-slot offsets), so this comfortably
+#: covers multi-dataset sweeps over heterogeneous fleets.
+DEFAULT_MAX_ENTRIES = 4096
+
+_CACHE_ENV = "REPRO_SCHEDULE_CACHE"
+_OFF_WORDS = frozenset({"off", "0", "false", "no", "disabled"})
+
+
+def schedule_cache_enabled() -> bool:
+    """Whether the shared cache is active (``REPRO_SCHEDULE_CACHE=off`` kills it)."""
+    return os.environ.get(_CACHE_ENV, "on").strip().lower() not in _OFF_WORDS
+
+
+def quantize_lengths(lengths: tuple[int, ...], bucket: int) -> tuple[int, ...]:
+    """Round every length *up* to the next multiple of ``bucket``.
+
+    Rounding up (never down) keeps the cached schedule conservative: a
+    quantized batch is billed at least as long as the real one.
+    """
+    if bucket < 1:
+        raise ValueError("cache_length_bucket must be >= 1")
+    if bucket == 1:
+        return lengths
+    return tuple(-(-length // bucket) * bucket for length in lengths)
+
+
+class ScheduleCache:
+    """A thread-safe LRU mapping schedule keys to canonical batch executions."""
+
+    def __init__(self, max_entries: int = DEFAULT_MAX_ENTRIES) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_entries = int(max_entries)
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[Hashable, Any] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lookup(self, key: Hashable) -> Any | None:
+        """Return the cached entry (and count a hit) or ``None`` (a miss)."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry
+
+    def store(self, key: Hashable, value: Any) -> None:
+        """Insert an entry, evicting least-recently-used ones past the cap."""
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        """Drop every entry and reset the hit/miss counters."""
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> dict:
+        """JSON-ready counters (process lifetime, across all devices)."""
+        return {
+            "entries": len(self._entries),
+            "max_entries": self.max_entries,
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate,
+        }
+
+
+#: The process-wide cache every :class:`CycleAccurateDevice` shares by default.
+GLOBAL_SCHEDULE_CACHE = ScheduleCache()

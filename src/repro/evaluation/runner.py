@@ -12,11 +12,30 @@ machine-readable ``payload`` (config + ``result.to_dict()``).
 from __future__ import annotations
 
 import json
+from concurrent.futures import ProcessPoolExecutor
 from pathlib import Path
 
 from ..experiments import ExperimentReport, list_experiments, run_report
 
 __all__ = ["ExperimentReport", "run_all_experiments"]
+
+
+def _report_worker(name: str, config: dict | None) -> ExperimentReport:
+    """Run one experiment in a worker process.
+
+    The rendered text and the JSON payload travel back to the parent; the
+    in-memory ``result`` object stays in the worker (arbitrary result objects
+    are not guaranteed to pickle, and ``repro all`` only consumes text +
+    payload).
+    """
+    report = run_report(name, config)
+    return ExperimentReport(
+        name=report.name,
+        title=report.title,
+        result=None,
+        text=report.text,
+        payload=report.payload,
+    )
 
 
 def run_all_experiments(
@@ -25,6 +44,7 @@ def run_all_experiments(
     fig6_examples: int = 4,
     fig6_max_length: int = 80,
     write_json: bool = False,
+    jobs: int = 1,
 ) -> dict[str, ExperimentReport]:
     """Run every registered paper experiment and return the reports by name.
 
@@ -37,7 +57,15 @@ def run_all_experiments(
     include_fig6:
         The Fig. 6 accuracy sweep runs real NumPy forward passes and takes
         tens of seconds; it is opt-in.
+    jobs:
+        Worker processes to fan the experiments across (each experiment is
+        deterministic given its config, so reports and files are identical
+        to a serial run).  With ``jobs > 1`` the returned reports carry
+        ``result=None`` -- only the rendered text and JSON payload cross the
+        process boundary.
     """
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1")
     # list_experiments() is sorted by spec.order, which already slots fig6
     # between fig5 and fig7a.
     names = [
@@ -45,13 +73,24 @@ def run_all_experiments(
         for spec in list_experiments()
         if spec.include_in_all or (include_fig6 and spec.name == "fig6")
     ]
+    configs: dict[str, dict | None] = {
+        name: (
+            {"examples": fig6_examples, "max_length": fig6_max_length}
+            if name == "fig6"
+            else None
+        )
+        for name in names
+    }
 
     collected: dict[str, ExperimentReport] = {}
-    for name in names:
-        config = None
-        if name == "fig6":
-            config = {"examples": fig6_examples, "max_length": fig6_max_length}
-        collected[name] = run_report(name, config)
+    if jobs > 1:
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            futures = [pool.submit(_report_worker, name, configs[name]) for name in names]
+            for name, future in zip(names, futures):
+                collected[name] = future.result()
+    else:
+        for name in names:
+            collected[name] = run_report(name, configs[name])
 
     if output_dir is not None:
         directory = Path(output_dir)

@@ -110,6 +110,13 @@ class ServeConfig(ExperimentConfig):
     trace_file: str | None = cfg_field(
         None, help="JSON trace of arrival times (or [time, length] pairs)"
     )
+    cache_length_bucket: int | None = cfg_field(
+        None,
+        help=(
+            "schedule-cache length quantization in tokens (round lengths up "
+            "before scheduling); default exact (serving-sweep defaults to 16)"
+        ),
+    )
     model: str = cfg_field("bert-base", choices=sorted(MODEL_ZOO), help="model zoo key")
     seed: int = global_config.DEFAULT_SEED
 
@@ -129,6 +136,8 @@ class ServeConfig(ExperimentConfig):
             raise ValueError("max_queue_depth must be >= 1 (or none)")
         if not 0.0 <= self.warmup_fraction < 1.0:
             raise ValueError("warmup_fraction must be in [0, 1)")
+        if self.cache_length_bucket is not None and self.cache_length_bucket < 1:
+            raise ValueError("cache_length_bucket must be >= 1 (or none for exact)")
         names = split_fleet_spec(self.devices)
         if not names:
             raise ValueError("devices must name at least one registered device")
@@ -239,6 +248,7 @@ def _run_spec(config: ServeConfig) -> ServeResult:
             continuous_batching=config.continuous_batching,
             max_queue_depth=config.max_queue_depth,
             warmup_fraction=config.warmup_fraction,
+            cache_length_bucket=config.cache_length_bucket,
             model=model,
             seed=config.seed,
         )
@@ -255,6 +265,7 @@ def _run_spec(config: ServeConfig) -> ServeResult:
         model=model,
         dataset=config.dataset,
         replicas=config.num_accelerators,
+        cache_length_bucket=config.cache_length_bucket,
     )
     report = simulate_online(
         fleet,

@@ -16,6 +16,7 @@ devices, empty queues) does not dilute the steady-state statistics.
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 
 from ..devices import Device, build_fleet, split_fleet_spec
@@ -53,6 +54,13 @@ DEFAULT_LOAD_FRACTIONS = (0.25, 0.5, 0.75, 0.9, 1.1)
 #: Fraction of the horizon discarded as warm-up in the sweep statistics.
 DEFAULT_WARMUP_FRACTION = 0.1
 
+#: Default schedule-cache length quantization of the sweep (tokens).  The
+#: sweep replays the same length stream at several load fractions, so rounding
+#: lengths up to multiples of 16 pushes the shared schedule cache's hit rate
+#: past 80% while perturbing billed lengths by under half a bucket on
+#: average; pass ``cache_length_bucket=None`` for exact (unquantized) billing.
+DEFAULT_CACHE_LENGTH_BUCKET = 16
+
 
 @dataclass
 class SweepPoint:
@@ -66,13 +74,16 @@ class SweepPoint:
     report: OnlineServingReport
     #: Warm-up fraction applied to this point's percentiles / QPS.
     warmup_fraction: float = 0.0
+    #: Deterministic (replayed) schedule-cache accounting for this point;
+    #: independent of how many worker processes executed the sweep.
+    cache_stats: dict | None = None
 
     def as_row(self) -> dict:
         # qps and latency percentiles are steady-state (warm-up discarded);
         # waiting / device_util / shed_rate stay whole-run diagnostics (queue
         # build-up and duty cycle are properties of the entire simulation).
         warmup = self.warmup_fraction
-        return {
+        row = {
             "dataset": self.dataset,
             "policy": self.batch_policy,
             "load": round(self.load_fraction, 2),
@@ -85,6 +96,9 @@ class SweepPoint:
             "device_util": round(self.report.average_device_utilization, 3),
             "shed_rate": round(self.report.shed_rate, 3),
         }
+        if self.cache_stats is not None:
+            row["cache_hit"] = round(self.cache_stats["hit_rate"], 3)
+        return row
 
 
 @dataclass
@@ -98,6 +112,10 @@ class ServingSweepResult:
     devices: tuple[str, ...] = ("sparse-fpga",)
     warmup_fraction: float = 0.0
     continuous_batching: bool = False
+    cache_length_bucket: int | None = None
+    #: Sweep-wide schedule-cache accounting (replayed in canonical grid
+    #: order, so identical for any --jobs setting).
+    schedule_cache: dict | None = None
     capacity_qps: dict[str, float] = field(default_factory=dict)
     points: list[SweepPoint] = field(default_factory=list)
 
@@ -123,6 +141,8 @@ class ServingSweepResult:
             "num_requests": self.num_requests,
             "warmup_fraction": self.warmup_fraction,
             "continuous_batching": self.continuous_batching,
+            "cache_length_bucket": self.cache_length_bucket,
+            "schedule_cache": self.schedule_cache,
             "capacity_qps": dict(self.capacity_qps),
             "points": self.as_rows(),
         }
@@ -171,11 +191,29 @@ class ServingSweepConfig(ExperimentConfig):
         DEFAULT_WARMUP_FRACTION,
         help="fraction of the arrival horizon discarded as warm-up in the statistics",
     )
+    cache_length_bucket: int | None = cfg_field(
+        DEFAULT_CACHE_LENGTH_BUCKET,
+        help=(
+            "schedule-cache length quantization in tokens (lengths round up "
+            "to the next multiple before scheduling); 'none' = exact billing"
+        ),
+    )
+    jobs: int = cfg_field(
+        1,
+        help=(
+            "worker processes for the (dataset, policy, load) grid; results "
+            "are byte-identical to jobs=1 for a fixed seed"
+        ),
+    )
     model: str = cfg_field("bert-base", choices=sorted(MODEL_ZOO), help="model zoo key")
     seed: int = global_config.DEFAULT_SEED
 
     def validate(self) -> None:
         super().validate()
+        if self.cache_length_bucket is not None and self.cache_length_bucket < 1:
+            raise ValueError("cache_length_bucket must be >= 1 (or none for exact)")
+        if self.jobs < 1:
+            raise ValueError("jobs must be >= 1")
         if not self.datasets:
             raise ValueError("datasets must not be empty")
         if not self.load_fractions:
@@ -238,32 +276,95 @@ def build_serving_fleet(
     )
 
 
-def _measure_capacity(
-    fleet: list[Device],
-    dataset_name: str,
-    num_requests: int,
-    batch_size: int,
-    router: str,
-    continuous_batching: bool,
-    seed: int,
-) -> float:
+def _build_sweep_fleet(options: dict, dataset_name: str) -> list[Device]:
+    return build_fleet(
+        options["devices"],
+        model=options["model"],
+        dataset=dataset_name,
+        replicas=options["num_accelerators"],
+        cache_length_bucket=options["cache_length_bucket"],
+    )
+
+
+def _capacity_worker(
+    options: dict, dataset_name: str, fleet: list[Device] | None = None
+) -> tuple[float, dict | None]:
     """Closed-loop drain rate of the whole fleet (sequences/second).
 
     Every request is queued at t=0 in globally sorted order and drained in
     fixed batches -- the fleet generalization of the legacy single-device
-    capacity measurement, valid for heterogeneous fleets too.
+    capacity measurement, valid for heterogeneous fleets too.  Returns the
+    drain rate plus the run's schedule-cache probe summary (for the sweep's
+    deterministic hit accounting).  Runs inline (``fleet`` provided) or in a
+    worker process (``fleet`` built here).
     """
+    if fleet is None:
+        fleet = _build_sweep_fleet(options, dataset_name)
     closed = simulate_online(
         fleet,
         dataset_name,
         arrivals=ClosedLoopArrivals(sort_by_length=True),
-        num_requests=num_requests,
-        batch_policy=FixedSizeBatcher(batch_size=batch_size),
-        router=get_router(router),
-        continuous_batching=continuous_batching,
-        seed=seed,
+        num_requests=options["num_requests"],
+        batch_policy=FixedSizeBatcher(batch_size=options["batch_size"]),
+        router=get_router(options["router"]),
+        continuous_batching=options["continuous_batching"],
+        seed=options["seed"],
     )
-    return closed.sustained_qps
+    return closed.sustained_qps, closed.schedule_cache_probes
+
+
+def _point_worker(
+    options: dict,
+    dataset_name: str,
+    policy_name: str,
+    fraction: float,
+    capacity: float,
+    fleet: list[Device] | None = None,
+) -> SweepPoint:
+    """One (dataset, policy, load) grid point.
+
+    Runs inline (``fleet`` provided) or in a worker process (``fleet`` built
+    here).  Every point seeds its own arrival process from the config seed,
+    so results are identical regardless of which process runs the point.
+    """
+    remote = fleet is None
+    if fleet is None:
+        fleet = _build_sweep_fleet(options, dataset_name)
+    offered = capacity * fraction
+    policy = get_batch_policy(
+        policy_name,
+        batch_size=options["batch_size"],
+        timeout_s=options["timeout_s"],
+        num_buckets=options["num_buckets"],
+        bucket_width=options["bucket_width"],
+    )
+    report = simulate_online(
+        fleet,
+        dataset_name,
+        arrivals=get_arrival_process(options["arrival"], rate_qps=offered),
+        num_requests=options["num_requests"],
+        batch_policy=policy,
+        router=get_router(options["router"]),
+        continuous_batching=options["continuous_batching"],
+        max_queue_depth=options["max_queue_depth"],
+        seed=options["seed"],
+    )
+    if remote:
+        # The embedded cycle-accurate schedules carry lazily-materialized
+        # timelines (closures), which do not pickle; the JSON payload never
+        # includes them, so parallel runs ship the reports without the
+        # in-memory schedule objects.
+        for batch in report.batches:
+            batch.execution.schedule = None
+    return SweepPoint(
+        dataset=report.dataset,
+        batch_policy=policy.name,
+        load_fraction=fraction,
+        offered_qps=offered,
+        capacity_qps=capacity,
+        report=report,
+        warmup_fraction=options["warmup_fraction"],
+    )
 
 
 def _sweep_impl(
@@ -282,6 +383,8 @@ def _sweep_impl(
     continuous_batching: bool = False,
     max_queue_depth: int | None = None,
     warmup_fraction: float = 0.0,
+    cache_length_bucket: int | None = None,
+    jobs: int = 1,
     model: ModelConfig = BERT_BASE,
     seed: int = global_config.DEFAULT_SEED,
 ) -> ServingSweepResult:
@@ -290,7 +393,17 @@ def _sweep_impl(
     The offered QPS at each point is ``load_fraction`` times the fleet's
     measured closed-loop capacity, so a load of 1.0 is the drain rate the
     closed-batch benchmarks report and anything above it is overload.
+
+    ``jobs > 1`` fans the capacity measurements and the (dataset, policy,
+    load) grid across a :class:`~concurrent.futures.ProcessPoolExecutor`.
+    Results are collected in grid order and every point is seeded
+    independently, so the sweep (and its JSON payload) is byte-identical to
+    the serial run for a fixed seed; the only observable difference is that
+    parallel runs drop the in-memory ``BatchRecord.execution.schedule``
+    objects (they never appear in the payload).
     """
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1")
     result = ServingSweepResult(
         model=model.name,
         num_accelerators=num_accelerators,
@@ -299,49 +412,118 @@ def _sweep_impl(
         devices=tuple(split_fleet_spec(devices)),
         warmup_fraction=warmup_fraction,
         continuous_batching=continuous_batching,
+        cache_length_bucket=cache_length_bucket,
     )
+    options = {
+        "devices": tuple(devices),
+        "model": model,
+        "num_accelerators": num_accelerators,
+        "cache_length_bucket": cache_length_bucket,
+        "num_requests": num_requests,
+        "batch_size": batch_size,
+        "router": router,
+        "arrival": arrival,
+        "timeout_s": timeout_s,
+        "num_buckets": num_buckets,
+        "bucket_width": bucket_width,
+        "continuous_batching": continuous_batching,
+        "max_queue_depth": max_queue_depth,
+        "warmup_fraction": warmup_fraction,
+        "seed": seed,
+    }
+    grid = [
+        (dataset_name, policy_name, fraction)
+        for dataset_name in datasets
+        for policy_name in batch_policies
+        for fraction in load_fractions
+    ]
+
+    capacities: dict[str, float] = {}
+    capacity_probes: list[dict | None] = []
+    if jobs > 1:
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            capacity_futures = [
+                pool.submit(_capacity_worker, options, dataset_name)
+                for dataset_name in datasets
+            ]
+            for dataset_name, future in zip(datasets, capacity_futures):
+                capacities[dataset_name], probes = future.result()
+                capacity_probes.append(probes)
+            point_futures = [
+                pool.submit(
+                    _point_worker, options, dataset_name, policy_name, fraction,
+                    capacities[dataset_name],
+                )
+                for dataset_name, policy_name, fraction in grid
+            ]
+            points = [future.result() for future in point_futures]
+    else:
+        fleets: dict[str, list[Device]] = {}
+        for dataset_name in datasets:
+            fleets[dataset_name] = _build_sweep_fleet(options, dataset_name)
+            capacities[dataset_name], probes = _capacity_worker(
+                options, dataset_name, fleet=fleets[dataset_name]
+            )
+            capacity_probes.append(probes)
+        points = [
+            _point_worker(
+                options, dataset_name, policy_name, fraction,
+                capacities[dataset_name], fleet=fleets[dataset_name],
+            )
+            for dataset_name, policy_name, fraction in grid
+        ]
     for dataset_name in datasets:
-        fleet = build_fleet(
-            devices, model=model, dataset=dataset_name, replicas=num_accelerators
-        )
-        capacity = _measure_capacity(
-            fleet, dataset_name, num_requests, batch_size, router,
-            continuous_batching, seed,
-        )
-        result.capacity_qps[get_dataset_config(dataset_name).name] = capacity
-        for policy_name in batch_policies:
-            for fraction in load_fractions:
-                offered = capacity * fraction
-                policy = get_batch_policy(
-                    policy_name,
-                    batch_size=batch_size,
-                    timeout_s=timeout_s,
-                    num_buckets=num_buckets,
-                    bucket_width=bucket_width,
-                )
-                report = simulate_online(
-                    fleet,
-                    dataset_name,
-                    arrivals=get_arrival_process(arrival, rate_qps=offered),
-                    num_requests=num_requests,
-                    batch_policy=policy,
-                    router=get_router(router),
-                    continuous_batching=continuous_batching,
-                    max_queue_depth=max_queue_depth,
-                    seed=seed,
-                )
-                result.points.append(
-                    SweepPoint(
-                        dataset=report.dataset,
-                        batch_policy=policy.name,
-                        load_fraction=fraction,
-                        offered_qps=offered,
-                        capacity_qps=capacity,
-                        report=report,
-                        warmup_fraction=warmup_fraction,
-                    )
-                )
+        result.capacity_qps[get_dataset_config(dataset_name).name] = capacities[dataset_name]
+    result.points = points
+    _replay_cache_accounting(result, capacity_probes)
     return result
+
+
+def _replay_cache_accounting(
+    result: ServingSweepResult, capacity_probes: list[dict | None]
+) -> None:
+    """Fill deterministic schedule-cache statistics for every sweep point.
+
+    Replays each run's probe summary (total lookups + distinct key
+    fingerprints) against a cumulative seen-set in canonical order --
+    capacity runs first, then the (dataset, policy, load) grid -- which is
+    exactly the shared cache's behavior in a fresh serial process.  The
+    resulting hit rates are byte-identical for any ``jobs`` setting (the
+    replay assumes no LRU eviction, which holds for any sweep with fewer
+    unique batch shapes than the cache capacity).
+    """
+    seen: set[str] = set()
+    total_hits = 0
+    total_probes = 0
+    any_probes = False
+
+    def account(probes: dict | None) -> dict | None:
+        nonlocal total_hits, total_probes, any_probes
+        if probes is None:
+            return None
+        any_probes = True
+        unique = set(probes["unique"])
+        misses = len(unique - seen)
+        hits = probes["total"] - misses
+        seen.update(unique)
+        total_hits += hits
+        total_probes += probes["total"]
+        return {
+            "hits": hits,
+            "misses": misses,
+            "hit_rate": hits / probes["total"] if probes["total"] else 0.0,
+        }
+
+    for probes in capacity_probes:
+        account(probes)
+    for point in result.points:
+        point.cache_stats = account(point.report.schedule_cache_probes)
+    if any_probes:
+        result.schedule_cache = {
+            "hits": total_hits,
+            "misses": total_probes - total_hits,
+            "hit_rate": total_hits / total_probes if total_probes else 0.0,
+        }
 
 
 def _run_spec(config: ServingSweepConfig) -> ServingSweepResult:
@@ -361,6 +543,8 @@ def _run_spec(config: ServingSweepConfig) -> ServingSweepResult:
         continuous_batching=config.continuous_batching,
         max_queue_depth=config.max_queue_depth,
         warmup_fraction=config.warmup_fraction,
+        cache_length_bucket=config.cache_length_bucket,
+        jobs=config.jobs,
         model=get_model_config(config.model),
         seed=config.seed,
     )
@@ -381,6 +565,10 @@ def render_sweep(result: ServingSweepResult) -> str:
     }
     footer["warm-up fraction discarded"] = result.warmup_fraction
     footer["continuous batching"] = result.continuous_batching
+    if result.cache_length_bucket is not None:
+        footer["schedule-cache length bucket"] = result.cache_length_bucket
+    if result.schedule_cache is not None:
+        footer["schedule-cache hit rate"] = f"{result.schedule_cache['hit_rate']:.1%}"
     text += format_key_values(footer)
     return text
 

@@ -98,9 +98,27 @@ class Accelerator:
     # Latency
     # ------------------------------------------------------------------
 
+    def stage_latency_row(self, seq: int) -> tuple[int, ...]:
+        """Per-stage latencies as an immutable (memoized) tuple.
+
+        Memoized per instance: the stage hardware is fixed once the factory
+        returns, and the schedulers / serving stack ask for the same lengths
+        thousands of times per sweep.  (Anything rebuilding a design builds a
+        fresh :class:`Accelerator`, so the memo can never go stale.)
+        """
+        memo = self.__dict__.get("_stage_latency_memo")
+        if memo is None:
+            memo = {}
+            self.__dict__["_stage_latency_memo"] = memo
+        row = memo.get(seq)
+        if row is None:
+            row = tuple(stage.latency_cycles(seq) for stage in self.stages)
+            memo[seq] = row
+        return row
+
     def stage_latencies(self, seq: int) -> list[int]:
         """Per-stage latency in cycles for one sequence of length ``seq``."""
-        return [stage.latency_cycles(seq) for stage in self.stages]
+        return list(self.stage_latency_row(seq))
 
     def layer_latency_cycles(self, seq: int) -> int:
         """Latency of one encoder layer when the stages run back to back."""

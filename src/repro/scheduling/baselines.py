@@ -21,7 +21,7 @@ from dataclasses import dataclass
 
 from ..hardware.accelerator import Accelerator
 from .length_aware import build_layer_ordered_jobs, sort_batch_by_length
-from .pipeline import ScheduleResult, simulate_coarse_pipeline
+from .pipeline import ScheduleResult, simulate_coarse_pipeline, simulate_layered
 
 __all__ = ["PaddedScheduler", "MicroBatchScheduler", "SequentialScheduler"]
 
@@ -35,6 +35,11 @@ class PaddedScheduler:
     buffer_slots: int | None = None
     name: str = "padded"
 
+    #: Every slot is billed at the same padded length, so per-slot schedules
+    #: are independent of which request sits where: the shared schedule cache
+    #: may canonicalize the batch and map offsets back by position.
+    cache_canonicalization = "uniform"
+
     def schedule(self, accelerator: Accelerator, lengths: list[int]) -> ScheduleResult:
         """Schedule the batch with every sequence billed at the padded length."""
         lengths = [int(x) for x in lengths]
@@ -46,9 +51,14 @@ class PaddedScheduler:
         billed = [pad_target] * len(lengths)
         order = list(range(len(lengths)))  # padding makes the order irrelevant
         num_layers = accelerator.model_config.num_layers
-        jobs = build_layer_ordered_jobs(lengths, order, num_layers, billed_lengths=billed)
-        timeline = simulate_coarse_pipeline(
-            accelerator, jobs, pipelined=self.pipelined, buffer_slots=self.buffer_slots
+        timeline = simulate_layered(
+            accelerator,
+            billed,
+            order,
+            num_layers,
+            lambda: build_layer_ordered_jobs(lengths, order, num_layers, billed_lengths=billed),
+            pipelined=self.pipelined,
+            buffer_slots=self.buffer_slots,
         )
         return ScheduleResult(
             scheduler=self.name,
@@ -73,6 +83,10 @@ class MicroBatchScheduler:
     micro_batch_size: int = 4
     buffer_slots: int | None = None
     name: str = "micro-batch"
+
+    #: Micro-batch grouping, billing, and barriers all derive from the
+    #: descending-sorted batch, so the cache may canonicalize by that order.
+    cache_canonicalization = "sort-desc"
 
     def __post_init__(self) -> None:
         if self.micro_batch_size < 1:
@@ -124,6 +138,9 @@ class SequentialScheduler:
     padded: bool = False
     name: str = "sequential"
 
+    #: Issues the descending-sorted batch back to back; see MicroBatchScheduler.
+    cache_canonicalization = "sort-desc"
+
     def schedule(self, accelerator: Accelerator, lengths: list[int]) -> ScheduleResult:
         """Schedule the batch with stages running strictly back to back."""
         lengths = [int(x) for x in lengths]
@@ -132,8 +149,15 @@ class SequentialScheduler:
         billed = [max(lengths)] * len(lengths) if self.padded else list(lengths)
         order = sort_batch_by_length(lengths, descending=True)
         num_layers = accelerator.model_config.num_layers
-        jobs = build_layer_ordered_jobs(lengths, order, num_layers, billed_lengths=billed)
-        timeline = simulate_coarse_pipeline(accelerator, jobs, pipelined=False, buffer_slots=None)
+        timeline = simulate_layered(
+            accelerator,
+            [billed[i] for i in order],
+            order,
+            num_layers,
+            lambda: build_layer_ordered_jobs(lengths, order, num_layers, billed_lengths=billed),
+            pipelined=False,
+            buffer_slots=None,
+        )
         return ScheduleResult(
             scheduler=self.name + ("-padded" if self.padded else ""),
             accelerator_name=accelerator.name,

@@ -17,7 +17,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..hardware.accelerator import Accelerator
-from .pipeline import PipelineJob, ScheduleResult, simulate_coarse_pipeline
+from .pipeline import PipelineJob, ScheduleResult, simulate_layered
 
 __all__ = ["LengthAwareScheduler", "sort_batch_by_length", "build_layer_ordered_jobs"]
 
@@ -81,6 +81,16 @@ class LengthAwareScheduler:
     sort_descending: bool = True
     name: str = "length-aware"
 
+    @property
+    def cache_canonicalization(self) -> str:
+        """Batch canonicalization the shared schedule cache may apply.
+
+        The scheduler re-sorts the batch anyway, so permutations of one
+        length multiset produce identical schedules (slot-for-slot) and may
+        share one cache entry.
+        """
+        return "sort-desc" if self.sort_descending else "sort-asc"
+
     def schedule(self, accelerator: Accelerator, lengths: list[int]) -> ScheduleResult:
         """Schedule a batch of sequences with the given actual lengths."""
         lengths = [int(x) for x in lengths]
@@ -90,9 +100,14 @@ class LengthAwareScheduler:
             raise ValueError("sequence lengths must be >= 1")
         order = sort_batch_by_length(lengths, descending=self.sort_descending)
         num_layers = accelerator.model_config.num_layers
-        jobs = build_layer_ordered_jobs(lengths, order, num_layers)
-        timeline = simulate_coarse_pipeline(
-            accelerator, jobs, pipelined=True, buffer_slots=self.buffer_slots
+        timeline = simulate_layered(
+            accelerator,
+            [lengths[i] for i in order],
+            order,
+            num_layers,
+            lambda: build_layer_ordered_jobs(lengths, order, num_layers),
+            pipelined=True,
+            buffer_slots=self.buffer_slots,
         )
         return ScheduleResult(
             scheduler=self.name,

@@ -21,12 +21,46 @@ Constraints modeled, matching Section 4.2 and Fig. 2/5 of the paper:
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
 
 from ..hardware.accelerator import Accelerator
+from .fast_pipeline import (
+    FastSchedule,
+    fast_path_supported,
+    simulate_fast,
+    simulate_fast_arrays,
+    simulate_fast_layered,
+)
 from .timeline import Timeline, TimelineEvent
 
-__all__ = ["PipelineJob", "ScheduleResult", "simulate_coarse_pipeline"]
+__all__ = [
+    "LazyTimeline",
+    "PipelineJob",
+    "ScheduleResult",
+    "pipeline_engine",
+    "simulate_coarse_pipeline",
+    "simulate_coarse_pipeline_reference",
+    "simulate_layered",
+]
+
+#: Environment switch selecting the simulation engine: ``fast`` (default,
+#: vectorized with automatic fallback) or ``reference`` (the pure-Python
+#: oracle, useful to debug or cross-check the vectorized recurrence).
+_ENGINE_ENV = "REPRO_PIPELINE_ENGINE"
+
+
+def pipeline_engine() -> str:
+    """The active simulation engine (``fast`` or ``reference``)."""
+    engine = os.environ.get(_ENGINE_ENV, "fast").strip().lower()
+    if engine not in ("fast", "reference"):
+        raise ValueError(
+            f"{_ENGINE_ENV} must be 'fast' or 'reference', got {engine!r}"
+        )
+    return engine
 
 
 @dataclass(frozen=True)
@@ -43,6 +77,49 @@ class PipelineJob:
             raise ValueError("actual_length must be >= 1")
         if self.billed_length < self.actual_length:
             raise ValueError("billed_length cannot be smaller than the actual length")
+
+
+class LazyTimeline(Timeline):
+    """A timeline whose per-event list materializes only on demand.
+
+    The vectorized engine produces a :class:`FastSchedule` summary; the hot
+    aggregate queries (makespan, utilization, bubbles) answer from it in
+    O(stages), and the full event list is rebuilt by the reference simulator
+    only if someone actually iterates events (Fig. 5 rendering, tests).
+    Materialized events stay attached to the instance (and, for schedules
+    held by the shared schedule cache, live as long as the cache entry);
+    long-lived processes that render many cached schedules can call
+    :meth:`release_events` to drop them -- the next access re-materializes.
+    """
+
+    def __init__(self, fast: FastSchedule, materialize: Callable[[], Timeline]) -> None:
+        # Deliberately skip Timeline.__init__: `_events` is a property here.
+        self.fast_schedule = fast
+        self._materialize = materialize
+        self._cache: list[TimelineEvent] | None = None
+
+    @property
+    def _events(self) -> list[TimelineEvent]:
+        if self._cache is None:
+            self._cache = self._materialize()._events
+        return self._cache
+
+    def release_events(self) -> None:
+        """Drop the materialized event list (it rebuilds on next access)."""
+        self._cache = None
+
+    def __len__(self) -> int:
+        return self.fast_schedule.num_jobs * self.fast_schedule.num_stages
+
+    @property
+    def makespan(self) -> int:
+        return self.fast_schedule.makespan
+
+    def average_utilization(self) -> float:
+        return self.fast_schedule.average_utilization()
+
+    def total_bubble_cycles(self) -> int:
+        return self.fast_schedule.total_bubble_cycles()
 
 
 @dataclass
@@ -90,6 +167,46 @@ class ScheduleResult:
             return float("inf")
         return other.makespan_cycles / self.makespan_cycles
 
+    # ------------------------------------------------------------------
+    # Hot-path accessors (answered from the vectorized summary when the
+    # schedule was simulated by the fast engine; otherwise derived from the
+    # event list).
+    # ------------------------------------------------------------------
+
+    @property
+    def _fast_schedule(self) -> FastSchedule | None:
+        return getattr(self.timeline, "fast_schedule", None)
+
+    def sequence_completion_cycles(self) -> dict[int, int]:
+        """Cycle at which each sequence's last job leaves the last stage."""
+        fast = self._fast_schedule
+        if fast is not None:
+            return dict(fast.sequence_completion)
+        completion: dict[int, int] = {}
+        for event in self.timeline.events:
+            if event.end > completion.get(event.sequence_id, 0):
+                completion[event.sequence_id] = event.end
+        return completion
+
+    def entry_admit_cycles(self) -> int:
+        """Latest cycle at which any job leaves the *entry* stage.
+
+        This is the instant the pipeline's first stage is free again -- the
+        admission gate device-level continuous batching opens on.
+        """
+        fast = self._fast_schedule
+        if fast is not None:
+            return fast.entry_admit_cycles
+        events = self.timeline.events
+        if not events:
+            return 0
+        # Replicated entry stages are labeled "<name>[replica]".
+        first = events[0].stage.split("[", 1)[0]
+        return max(
+            (e.end for e in events if e.stage == first or e.stage.startswith(first + "[")),
+            default=0,
+        )
+
 
 def simulate_coarse_pipeline(
     accelerator: Accelerator,
@@ -97,6 +214,7 @@ def simulate_coarse_pipeline(
     pipelined: bool = True,
     buffer_slots: int | None = 2,
     barriers: set[int] | None = None,
+    engine: str | None = None,
 ) -> Timeline:
     """Simulate the coarse-grained pipeline over ``jobs`` in the given order.
 
@@ -116,6 +234,106 @@ def simulate_coarse_pipeline(
     barriers:
         Job indices that must wait for every earlier job to fully drain
         before starting (micro-batch boundaries).
+    engine:
+        ``"fast"`` answers through the vectorized NumPy recurrence
+        (:mod:`repro.scheduling.fast_pipeline`) and returns a
+        :class:`LazyTimeline` whose events materialize on demand;
+        ``"reference"`` forces the pure-Python oracle.  ``None`` (default)
+        reads ``REPRO_PIPELINE_ENGINE`` (default ``fast``).  The fast engine
+        falls back to the reference automatically for configurations it
+        cannot express (finite ``buffer_slots`` while pipelined).  Both
+        engines produce cycle-for-cycle identical schedules.
+    """
+    if engine is None:
+        engine = pipeline_engine()
+    elif engine not in ("fast", "reference"):
+        raise ValueError(f"engine must be 'fast' or 'reference', got {engine!r}")
+    if not jobs:
+        return Timeline()
+    if engine == "fast" and fast_path_supported(pipelined, buffer_slots):
+        fast = simulate_fast(
+            accelerator, jobs, pipelined=pipelined, buffer_slots=buffer_slots, barriers=barriers
+        )
+
+        def materialize() -> Timeline:
+            return simulate_coarse_pipeline_reference(
+                accelerator, jobs, pipelined=pipelined, buffer_slots=buffer_slots, barriers=barriers
+            )
+
+        return LazyTimeline(fast, materialize)
+    return simulate_coarse_pipeline_reference(
+        accelerator, jobs, pipelined=pipelined, buffer_slots=buffer_slots, barriers=barriers
+    )
+
+
+def simulate_layered(
+    accelerator: Accelerator,
+    slot_billed: Sequence[int],
+    slot_sequences: Sequence[int],
+    num_layers: int,
+    jobs_factory: Callable[[], "list[PipelineJob]"],
+    pipelined: bool = True,
+    buffer_slots: int | None = None,
+    barriers: set[int] | None = None,
+    engine: str | None = None,
+) -> Timeline:
+    """Simulate a layer-ordered workload without materializing the job list.
+
+    ``slot_billed[i]`` / ``slot_sequences[i]`` describe slot ``i`` of one
+    layer's issue order; the same pattern repeats for every encoder layer.
+    On the fast engine the job arrays are tiled directly and
+    ``jobs_factory`` is only invoked if the lazy timeline's events are
+    actually materialized; otherwise the factory's job list feeds the
+    reference simulator.
+    """
+    if engine is None:
+        engine = pipeline_engine()
+    if num_layers < 1:
+        raise ValueError("num_layers must be >= 1")
+
+    def reference() -> Timeline:
+        return simulate_coarse_pipeline_reference(
+            accelerator,
+            jobs_factory(),
+            pipelined=pipelined,
+            buffer_slots=buffer_slots,
+            barriers=barriers,
+        )
+
+    if engine == "fast" and fast_path_supported(pipelined, buffer_slots):
+        if barriers:
+            fast = simulate_fast_arrays(
+                accelerator,
+                np.tile(np.asarray(slot_billed, dtype=np.int64), num_layers),
+                np.tile(np.asarray(slot_sequences, dtype=np.int64), num_layers),
+                pipelined=pipelined,
+                buffer_slots=buffer_slots,
+                barriers=barriers,
+            )
+        else:
+            fast = simulate_fast_layered(
+                accelerator,
+                np.asarray(slot_billed, dtype=np.int64),
+                np.asarray(slot_sequences, dtype=np.int64),
+                num_layers,
+                pipelined=pipelined,
+                buffer_slots=buffer_slots,
+            )
+        return LazyTimeline(fast, reference)
+    return reference()
+
+
+def simulate_coarse_pipeline_reference(
+    accelerator: Accelerator,
+    jobs: list[PipelineJob],
+    pipelined: bool = True,
+    buffer_slots: int | None = 2,
+    barriers: set[int] | None = None,
+) -> Timeline:
+    """The pure-Python reference oracle (one event appended per job x stage).
+
+    Kept verbatim as the ground truth the vectorized engine is verified
+    against; see ``tests/scheduling/test_fast_pipeline.py``.
     """
     timeline = Timeline()
     if not jobs:

@@ -101,6 +101,8 @@ class DeviceSummary:
     #: Total energy of the dispatched batches (None when the backend has no
     #: power model).
     energy_joules: float | None = None
+    #: Per-run schedule-cache counters (None when the backend has no cache).
+    schedule_cache: dict | None = None
     pipeline_utilizations: list[float] = field(default_factory=list)
 
     @property
@@ -138,6 +140,9 @@ class OnlineServingReport:
     devices: list[DeviceSummary] = field(default_factory=list)
     #: Stepwise (time, waiting-requests) samples of the central queue.
     queue_depth_timeline: list[tuple[float, int]] = field(default_factory=list)
+    #: Fleet-merged schedule-cache probe summary (``{"total", "unique"}``)
+    #: for deterministic cross-run hit accounting; not serialized.
+    schedule_cache_probes: dict | None = None
 
     # ------------------------------------------------------------------
     # Latency / throughput
@@ -160,6 +165,26 @@ class OnlineServingReport:
         """End-to-end per-request latencies in completion order."""
         return [record.latency for record in self.records]
 
+    def _metric_array(self, metric: str) -> np.ndarray:
+        """Memoized metric vector over the records (percentile inputs).
+
+        Percentiles are queried several times per report (p50/p95/p99, table
+        and JSON renderers); rebuilding a Python list for each query was a
+        measurable slice of large sweeps.  The memo keys on the record count,
+        so reports still under construction never serve stale data.
+        """
+        memo = self.__dict__.setdefault("_metric_memo", {})
+        cached = memo.get(metric)
+        if cached is not None and cached[0] == len(self.records):
+            return cached[1]
+        values = np.fromiter(
+            (getattr(record, metric) for record in self.records),
+            dtype=np.float64,
+            count=len(self.records),
+        )
+        memo[metric] = (len(self.records), values)
+        return values
+
     @property
     def makespan_seconds(self) -> float:
         """Time at which the last request completed."""
@@ -178,13 +203,13 @@ class OnlineServingReport:
         """End-to-end latency percentile in seconds."""
         if not self.records:
             raise ValueError("no requests were served")
-        return float(np.percentile(self.latencies_seconds, percentile))
+        return float(np.percentile(self._metric_array("latency"), percentile))
 
     def queueing_delay_percentile(self, percentile: float) -> float:
         """Queueing-delay percentile (arrival to execution start) in seconds."""
         if not self.records:
             raise ValueError("no requests were served")
-        return float(np.percentile([r.queueing_delay for r in self.records], percentile))
+        return float(np.percentile(self._metric_array("queueing_delay"), percentile))
 
     # ------------------------------------------------------------------
     # Warm-up / steady-state statistics
@@ -214,14 +239,26 @@ class OnlineServingReport:
         steady = [r for r in self.records if r.request.arrival_time >= cutoff]
         return steady or list(self.records)
 
+    def _steady_latency_array(self, warmup_fraction: float) -> np.ndarray:
+        """Memoized post-warm-up latency vector (see :meth:`_metric_array`)."""
+        memo = self.__dict__.setdefault("_steady_memo", {})
+        cached = memo.get(warmup_fraction)
+        if cached is not None and cached[0] == len(self.records):
+            return cached[1]
+        values = np.array(
+            [r.latency for r in self.steady_records(warmup_fraction)], dtype=np.float64
+        )
+        memo[warmup_fraction] = (len(self.records), values)
+        return values
+
     def steady_latency_percentile(
         self, percentile: float, warmup_fraction: float = 0.0
     ) -> float:
         """Latency percentile over the post-warm-up records."""
-        records = self.steady_records(warmup_fraction)
-        if not records:
+        values = self._steady_latency_array(warmup_fraction)
+        if values.size == 0:
             raise ValueError("no requests were served")
-        return float(np.percentile([r.latency for r in records], percentile))
+        return float(np.percentile(values, percentile))
 
     def steady_qps(self, warmup_fraction: float = 0.0) -> float:
         """Completed requests per second over the post-warm-up window."""
@@ -296,6 +333,25 @@ class OnlineServingReport:
         measured = [d.energy_joules for d in self.devices if d.energy_joules is not None]
         return float(sum(measured)) if measured else None
 
+    @property
+    def schedule_cache(self) -> dict | None:
+        """Fleet-aggregate schedule-cache counters for this run.
+
+        ``None`` when no device in the fleet caches schedules (for example a
+        purely analytical fleet).
+        """
+        stats = [d.schedule_cache for d in self.devices if d.schedule_cache is not None]
+        if not stats:
+            return None
+        hits = sum(s["hits"] for s in stats)
+        misses = sum(s["misses"] for s in stats)
+        total = hits + misses
+        return {
+            "hits": hits,
+            "misses": misses,
+            "hit_rate": hits / total if total else 0.0,
+        }
+
     def to_dict(self) -> dict:
         """Machine-readable summary (JSON-ready; omits per-request records)."""
         return {
@@ -329,6 +385,7 @@ class OnlineServingReport:
             "average_device_utilization": self.average_device_utilization,
             "average_pipeline_utilization": self.average_pipeline_utilization,
             "total_energy_joules": self.total_energy_joules,
+            "schedule_cache": self.schedule_cache,
             "devices": [
                 {
                     "device": device.index,
@@ -340,6 +397,7 @@ class OnlineServingReport:
                     "duty_cycle": device.duty_cycle(self.makespan_seconds),
                     "pipeline_utilization": device.mean_pipeline_utilization,
                     "energy_joules": device.energy_joules,
+                    "schedule_cache": device.schedule_cache,
                 }
                 for device in self.devices
             ],
@@ -362,6 +420,9 @@ class OnlineServingReport:
             "device_util": round(self.average_device_utilization, 3),
             "shed_rate": round(self.shed_rate, 3),
         }
+        cache = self.schedule_cache
+        if cache is not None:
+            row["cache_hit"] = round(cache["hit_rate"], 3)
         return row
 
 
@@ -378,10 +439,11 @@ def _as_fleet(
     if isinstance(devices, (Accelerator, Device)):
         devices = [devices]
     fleet: list[Device] = []
+    seen_ids: set[int] = set()
     wrap_scheduler = None
     for entry in devices:
         if isinstance(entry, Device):
-            if any(entry is seen for seen in fleet):
+            if id(entry) in seen_ids:
                 # Serving state lives on the Device (admission/drain clocks),
                 # so one instance in two slots would silently serialize the
                 # "fleet" and double-count its busy time and energy.
@@ -390,6 +452,7 @@ def _as_fleet(
                     "separate instance per slot (e.g. repro.devices.build_fleet "
                     "with replicas=2)"
                 )
+            seen_ids.add(id(entry))
             fleet.append(entry)
         elif isinstance(entry, Accelerator):
             if wrap_scheduler is None:
@@ -619,14 +682,28 @@ def simulate_online(
             raise RuntimeError(f"batch policy '{batch_policy.name}' is not making progress")
         now = max(now, next_event)
 
+    probe_total = 0
+    probe_unique: set[str] = set()
+    probes_seen = False
     for index, device in enumerate(fleet):
         summary = report.devices[index]
         summary.busy_seconds = device.busy_seconds()
+        summary.schedule_cache = device.schedule_cache_stats()
+        probes = device.schedule_cache_probes()
+        if probes is not None:
+            probes_seen = True
+            probe_total += probes["total"]
+            probe_unique.update(probes["unique"])
         # Power-modeled devices charge power over merged busy intervals, so
         # overlapping admissions under continuous batching are not
         # double-counted; other backends keep the per-batch accumulation.
         served_energy = device.served_energy_joules()
         if served_energy is not None and summary.num_batches > 0:
             summary.energy_joules = served_energy
+    if probes_seen:
+        report.schedule_cache_probes = {
+            "total": probe_total,
+            "unique": sorted(probe_unique),
+        }
     report.records.sort(key=lambda r: (r.completion_time, r.request.request_id))
     return report

@@ -136,7 +136,24 @@ class TestAdapters:
         device = build_device("sparse-fpga", model=_SMALL_MODEL, dataset="mrpc")
         a = device.execute([60, 80, 100])
         b = device.execute([60, 80, 100])
-        assert a is b  # cached simulation, not a re-run
+        # The shared cache returns the same simulated schedule, not a re-run.
+        assert b.schedule is a.schedule
+        assert b.completion_offsets == a.completion_offsets
+        assert b.latency_seconds == a.latency_seconds
+        assert device.cache_hits >= 1
+
+    def test_execution_cache_shared_across_permutations_and_devices(self):
+        device = build_device("sparse-fpga", model=_SMALL_MODEL, dataset="mrpc")
+        twin = build_device("sparse-fpga", model=_SMALL_MODEL, dataset="mrpc")
+        a = device.execute([60, 80, 100])
+        b = twin.execute([100, 60, 80])  # same multiset, different order & device
+        assert twin.cache_hits >= 1
+        assert b.schedule is a.schedule
+        assert b.latency_seconds == a.latency_seconds
+        # Offsets follow each call's own request order.
+        by_length_a = dict(zip(a.lengths, a.completion_offsets))
+        by_length_b = dict(zip(b.lengths, b.completion_offsets))
+        assert by_length_a == by_length_b
 
     def test_analytical_device_requires_model_config(self):
         from repro.platforms.devices import RTX_6000

@@ -1,0 +1,54 @@
+"""Parallel sweep execution: determinism and knob plumbing."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments import run_report
+
+#: One dataset, two load points, few requests: enough to cross the process
+#: boundary without making CI slow.
+_SMALL = {
+    "datasets": ("mrpc",),
+    "load_fractions": (0.5, 1.1),
+    "requests": 32,
+    "batch_size": 8,
+}
+
+
+@pytest.mark.parametrize("jobs", [2])
+def test_parallel_sweep_matches_serial_byte_for_byte(jobs):
+    serial = run_report("serving-sweep", {**_SMALL, "jobs": 1})
+    parallel = run_report("serving-sweep", {**_SMALL, "jobs": jobs})
+    # The config payload records the jobs knob; everything else -- including
+    # the replayed schedule-cache statistics -- must be byte-identical.
+    assert json.dumps(serial.payload["result"], indent=2) == json.dumps(
+        parallel.payload["result"], indent=2
+    )
+    assert serial.payload["config"]["jobs"] == 1
+    assert parallel.payload["config"]["jobs"] == jobs
+
+
+def test_sweep_reports_cache_hit_rate_and_bucket():
+    report = run_report("serving-sweep", _SMALL)
+    result = report.payload["result"]
+    assert result["cache_length_bucket"] == 16  # sweep default: quantized
+    assert result["schedule_cache"] is not None
+    assert 0.0 <= result["schedule_cache"]["hit_rate"] <= 1.0
+    assert all("cache_hit" in point for point in result["points"])
+
+
+def test_exact_billing_opt_out():
+    report = run_report("serving-sweep", {**_SMALL, "cache_length_bucket": None})
+    result = report.payload["result"]
+    assert result["cache_length_bucket"] is None
+    assert result["schedule_cache"] is not None
+
+
+def test_jobs_validation():
+    with pytest.raises(ValueError, match="jobs"):
+        run_report("serving-sweep", {**_SMALL, "jobs": 0})
+    with pytest.raises(ValueError, match="cache_length_bucket"):
+        run_report("serving-sweep", {**_SMALL, "cache_length_bucket": 0})

@@ -1,0 +1,226 @@
+"""Equivalence tests: the vectorized engine vs the pure-Python reference oracle.
+
+The fast path must reproduce the reference simulator *cycle-for-cycle* for
+every configuration it claims to support: random length batches, replicated
+stages, micro-batch barriers, the non-pipelined (drain) mode, and every
+batch scheduler.  Where it cannot (finite buffer slots while pipelined), it
+must fall back to the reference transparently.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware.accelerator import build_sparse_accelerator
+from repro.scheduling.baselines import (
+    MicroBatchScheduler,
+    PaddedScheduler,
+    SequentialScheduler,
+)
+from repro.scheduling.fast_pipeline import (
+    FastPathUnsupported,
+    fast_path_supported,
+    simulate_fast,
+)
+from repro.scheduling.length_aware import (
+    LengthAwareScheduler,
+    build_layer_ordered_jobs,
+    sort_batch_by_length,
+)
+from repro.scheduling.pipeline import (
+    LazyTimeline,
+    pipeline_engine,
+    simulate_coarse_pipeline,
+    simulate_coarse_pipeline_reference,
+)
+from repro.transformer.configs import ModelConfig
+
+_MODEL = ModelConfig(name="fastsim-3L", num_layers=3, hidden_dim=768, num_heads=12)
+_DEEP_MODEL = ModelConfig(name="fastsim-12L", num_layers=12, hidden_dim=768, num_heads=12)
+
+
+@pytest.fixture(scope="module")
+def accelerator():
+    return build_sparse_accelerator(_MODEL, top_k=30, avg_seq=96, max_seq=160)
+
+
+@pytest.fixture(scope="module")
+def replicated_accelerator():
+    return build_sparse_accelerator(_MODEL, top_k=30, avg_seq=96, max_seq=160, replication=2)
+
+
+def _jobs(lengths, num_layers=_MODEL.num_layers, billed=None):
+    order = sort_batch_by_length(lengths)
+    return build_layer_ordered_jobs(list(lengths), order, num_layers, billed_lengths=billed)
+
+
+def _assert_equivalent(accelerator, jobs, **kwargs):
+    reference = simulate_coarse_pipeline_reference(accelerator, jobs, **kwargs)
+    fast = simulate_coarse_pipeline(accelerator, jobs, engine="fast", **kwargs)
+    assert fast.makespan == reference.makespan
+    assert fast.average_utilization() == reference.average_utilization()
+    assert fast.total_bubble_cycles() == reference.total_bubble_cycles()
+    assert len(fast) == len(reference)
+    # Materializing the lazy timeline must reproduce the exact event list.
+    assert fast.events == reference.events
+
+
+class TestVectorizedEquivalence:
+    @given(
+        lengths=st.lists(st.integers(16, 160), min_size=1, max_size=7),
+        num_layers=st.integers(1, 5),
+        replicated=st.booleans(),
+        pipelined=st.booleans(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_random_batches_match_reference_cycle_for_cycle(
+        self, lengths, num_layers, replicated, pipelined
+    ):
+        accelerator = build_sparse_accelerator(
+            _MODEL, top_k=30, avg_seq=96, max_seq=160, replication=2 if replicated else 1
+        )
+        jobs = _jobs(lengths, num_layers=num_layers)
+        _assert_equivalent(
+            accelerator, jobs, pipelined=pipelined, buffer_slots=None
+        )
+
+    @given(
+        lengths=st.lists(st.integers(16, 160), min_size=2, max_size=6),
+        barrier_seed=st.integers(0, 1000),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_barriers_match_reference(self, lengths, barrier_seed):
+        accelerator = build_sparse_accelerator(_MODEL, top_k=30, avg_seq=96, max_seq=160)
+        jobs = _jobs(lengths)
+        barriers = {1 + barrier_seed % (len(jobs) - 1)} if len(jobs) > 1 else set()
+        _assert_equivalent(
+            accelerator, jobs, pipelined=True, buffer_slots=None, barriers=barriers
+        )
+
+    def test_micro_batch_scheduler_matches_reference(self, replicated_accelerator):
+        lengths = [150, 120, 90, 60, 45, 33, 100]
+        for scheduler in (
+            MicroBatchScheduler(micro_batch_size=2),
+            MicroBatchScheduler(micro_batch_size=3),
+        ):
+            fast = scheduler.schedule(replicated_accelerator, lengths)
+            ref = simulate_coarse_pipeline_reference(
+                replicated_accelerator,
+                _jobs_for(scheduler, replicated_accelerator, lengths),
+                pipelined=True,
+                buffer_slots=None,
+                barriers=_barriers_for(scheduler, lengths),
+            )
+            assert fast.makespan_cycles == ref.makespan
+
+    def test_every_scheduler_matches_reference_engine(self, replicated_accelerator, monkeypatch):
+        lengths = [150, 120, 90, 60, 33, 45, 100]
+        schedulers = (
+            LengthAwareScheduler(),
+            LengthAwareScheduler(sort_descending=False),
+            MicroBatchScheduler(),
+            SequentialScheduler(),
+            SequentialScheduler(padded=True),
+            PaddedScheduler(),
+            PaddedScheduler(pad_to=200),
+        )
+        for scheduler in schedulers:
+            fast = scheduler.schedule(replicated_accelerator, lengths)
+            monkeypatch.setenv("REPRO_PIPELINE_ENGINE", "reference")
+            ref = scheduler.schedule(replicated_accelerator, lengths)
+            monkeypatch.delenv("REPRO_PIPELINE_ENGINE")
+            assert fast.makespan_cycles == ref.makespan_cycles, scheduler.name
+            assert fast.average_utilization == ref.average_utilization, scheduler.name
+            assert (
+                fast.sequence_completion_cycles() == ref.sequence_completion_cycles()
+            ), scheduler.name
+            assert fast.entry_admit_cycles() == ref.entry_admit_cycles(), scheduler.name
+            assert fast.timeline.events == ref.timeline.events, scheduler.name
+
+    def test_deep_model_exercises_steady_state_extrapolation(self):
+        accelerator = build_sparse_accelerator(_DEEP_MODEL, top_k=30, avg_seq=96, max_seq=160)
+        jobs = _jobs([140, 100, 82, 78, 72], num_layers=_DEEP_MODEL.num_layers)
+        _assert_equivalent(accelerator, jobs, pipelined=True, buffer_slots=None)
+
+
+def _jobs_for(scheduler, accelerator, lengths):
+    """Rebuild the micro-batch scheduler's job list for the oracle run."""
+    order = sort_batch_by_length(lengths)
+    billed = list(lengths)
+    for start in range(0, len(order), scheduler.micro_batch_size):
+        group = order[start : start + scheduler.micro_batch_size]
+        group_max = max(lengths[i] for i in group)
+        for i in group:
+            billed[i] = group_max
+    return build_layer_ordered_jobs(
+        lengths, order, accelerator.model_config.num_layers, billed_lengths=billed
+    )
+
+
+def _barriers_for(scheduler, lengths):
+    order = sort_batch_by_length(lengths)
+    micro_batch_of = {
+        idx: position // scheduler.micro_batch_size
+        for position, idx in enumerate(order)
+    }
+    jobs = build_layer_ordered_jobs(lengths, order, _MODEL.num_layers)
+    return {
+        j
+        for j, job in enumerate(jobs)
+        if j > 0
+        and micro_batch_of[job.sequence_id] != micro_batch_of[jobs[j - 1].sequence_id]
+    }
+
+
+class TestEngineSelection:
+    def test_env_selects_reference_engine(self, accelerator, monkeypatch):
+        monkeypatch.setenv("REPRO_PIPELINE_ENGINE", "reference")
+        assert pipeline_engine() == "reference"
+        timeline = simulate_coarse_pipeline(accelerator, _jobs([100, 80]), buffer_slots=None)
+        assert not isinstance(timeline, LazyTimeline)
+
+    def test_default_engine_is_fast(self, accelerator, monkeypatch):
+        monkeypatch.delenv("REPRO_PIPELINE_ENGINE", raising=False)
+        assert pipeline_engine() == "fast"
+        timeline = simulate_coarse_pipeline(accelerator, _jobs([100, 80]), buffer_slots=None)
+        assert isinstance(timeline, LazyTimeline)
+
+    def test_invalid_engine_rejected(self, accelerator, monkeypatch):
+        monkeypatch.setenv("REPRO_PIPELINE_ENGINE", "warp-drive")
+        with pytest.raises(ValueError, match="REPRO_PIPELINE_ENGINE"):
+            simulate_coarse_pipeline(accelerator, _jobs([100]))
+        monkeypatch.delenv("REPRO_PIPELINE_ENGINE")
+        with pytest.raises(ValueError, match="engine"):
+            simulate_coarse_pipeline(accelerator, _jobs([100]), engine="warp-drive")
+
+    def test_finite_buffers_fall_back_to_reference(self, accelerator):
+        jobs = _jobs([150, 120, 90, 60])
+        assert not fast_path_supported(True, 2)
+        with pytest.raises(FastPathUnsupported):
+            simulate_fast(accelerator, jobs, pipelined=True, buffer_slots=2)
+        # The public entry silently falls back and still answers correctly.
+        fast = simulate_coarse_pipeline(accelerator, jobs, engine="fast", buffer_slots=2)
+        ref = simulate_coarse_pipeline_reference(accelerator, jobs, buffer_slots=2)
+        assert not isinstance(fast, LazyTimeline)
+        assert fast.events == ref.events
+
+    def test_non_pipelined_supported_for_any_buffers(self, accelerator):
+        jobs = _jobs([150, 120, 90])
+        assert fast_path_supported(False, 2)
+        _assert_equivalent(accelerator, jobs, pipelined=False, buffer_slots=2)
+
+
+class TestLazyTimeline:
+    def test_hot_queries_answer_without_materializing(self, accelerator):
+        timeline = simulate_coarse_pipeline(
+            accelerator, _jobs([150, 120, 90]), engine="fast", buffer_slots=None
+        )
+        assert isinstance(timeline, LazyTimeline)
+        assert timeline.makespan > 0
+        assert 0.0 < timeline.average_utilization() <= 1.0
+        assert timeline.total_bubble_cycles() >= 0
+        assert timeline._cache is None  # no events were built
+        assert len(timeline.events) == len(timeline)  # materializes on demand
+        assert timeline._cache is not None

@@ -277,3 +277,74 @@ class TestOpenLoopBehaviour:
         for batch in full_batches:
             lengths = batch.result.lengths
             assert max(lengths) - min(lengths) <= band + 1
+
+
+class TestFleetNormalization:
+    def test_large_fleet_builds_in_linear_time(self):
+        """Regression: _as_fleet used an O(n^2) identity scan over the fleet."""
+        from repro.devices import CycleAccurateDevice
+
+        accelerator = _build(MRPC)
+        scheduler = LengthAwareScheduler()
+        fleet = [
+            CycleAccurateDevice(accelerator, scheduler=scheduler, name=f"dev-{i}")
+            for i in range(512)
+        ]
+        from repro.serving.engine import _as_fleet
+
+        import time
+
+        start = time.perf_counter()
+        normalized = _as_fleet(fleet, None)
+        elapsed = time.perf_counter() - start
+        assert len(normalized) == 512
+        # The old quadratic scan took ~0.5s at this size; the id()-set is
+        # effectively instant.  Generous bound to stay CI-safe.
+        assert elapsed < 0.25
+
+    def test_duplicate_device_instance_still_rejected(self):
+        from repro.devices import CycleAccurateDevice
+
+        device = CycleAccurateDevice(_build(MRPC), scheduler=LengthAwareScheduler())
+        with pytest.raises(ValueError, match="appears twice"):
+            simulate_online(
+                [device, device],
+                MRPC,
+                ClosedLoopArrivals(),
+                num_requests=8,
+                batch_policy=FixedSizeBatcher(batch_size=4),
+            )
+
+
+class TestScheduleCacheReporting:
+    def test_simulate_online_reports_cache_hit_rate(self, accelerator):
+        report = simulate_online(
+            accelerator,
+            MRPC,
+            ClosedLoopArrivals(sort_by_length=True),
+            num_requests=64,
+            batch_policy=FixedSizeBatcher(batch_size=8),
+        )
+        cache = report.schedule_cache
+        assert cache is not None
+        assert cache["hits"] + cache["misses"] > 0
+        assert 0.0 <= cache["hit_rate"] <= 1.0
+        payload = report.to_dict()
+        assert payload["schedule_cache"] == cache
+        assert all("schedule_cache" in device for device in payload["devices"])
+        assert "cache_hit" in report.as_row()
+        probes = report.schedule_cache_probes
+        assert probes is not None and probes["total"] == cache["hits"] + cache["misses"]
+
+    def test_cache_disabled_reports_none(self, accelerator, monkeypatch):
+        monkeypatch.setenv("REPRO_SCHEDULE_CACHE", "off")
+        report = simulate_online(
+            accelerator,
+            MRPC,
+            ClosedLoopArrivals(),
+            num_requests=16,
+            batch_policy=FixedSizeBatcher(batch_size=8),
+        )
+        assert report.schedule_cache is None
+        assert report.schedule_cache_probes is None
+        assert "cache_hit" not in report.as_row()

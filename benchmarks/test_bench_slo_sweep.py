@@ -1,0 +1,61 @@
+"""SLO-aware serving benchmark: deadline attainment at equal offered load.
+
+Runs the serving sweep with a 50 ms per-request budget, comparing the
+deadline-blind stack (timeout batching + least-loaded routing) against the
+SLO-aware stack (EDF deadline batching + cost-model routing) on the same
+deadline-stamped Poisson streams at the same fractions of measured
+capacity.  The rendered table is the checked-in evidence that the SLO-aware
+pair achieves strictly higher attainment at every load point, and the
+recorded metrics start the serving-side performance trajectory in
+``bench_latest.json``.
+"""
+
+from __future__ import annotations
+
+from conftest import record_metric, run_once
+
+from repro.evaluation.serving_sweep import render_sweep
+from repro.experiments import run_experiment
+
+SLO_MS = 50.0
+LOADS = (0.25, 0.5, 0.75, 0.9, 1.1)
+
+
+def test_bench_slo_sweep(benchmark, write_report):
+    result = run_once(
+        benchmark,
+        run_experiment,
+        "serving-sweep",
+        {
+            "datasets": ("mrpc",),
+            "load_fractions": LOADS,
+            "batch_policies": ("timeout", "deadline"),
+            "routers": ("least-loaded", "cost-model"),
+            "slo_ms": SLO_MS,
+            "requests": 192,
+        },
+    )
+    write_report("slo_sweep", render_sweep(result))
+
+    blind = dict(result.attainment_curve("MRPC", "timeout"))
+    aware = dict(result.attainment_curve("MRPC", "deadline"))
+    assert set(blind) == set(aware) == set(LOADS)
+    # Acceptance: strictly higher deadline attainment at every equal load.
+    for load in LOADS:
+        assert aware[load] > blind[load], (load, aware[load], blind[load])
+
+    goodput = {
+        (point.batch_policy, point.load_fraction): point.report.steady_goodput_qps(
+            point.warmup_fraction
+        )
+        for point in result.points
+    }
+    record_metric(
+        slo_ms=SLO_MS,
+        capacity_qps_mrpc=round(result.capacity_qps["MRPC"], 1),
+        attainment_timeout_at_0_9=round(blind[0.9], 3),
+        attainment_deadline_at_0_9=round(aware[0.9], 3),
+        attainment_gain_at_0_9=round(aware[0.9] - blind[0.9], 3),
+        goodput_timeout_at_0_9=round(goodput[("timeout", 0.9)], 1),
+        goodput_deadline_at_0_9=round(goodput[("deadline", 0.9)], 1),
+    )

@@ -1,0 +1,56 @@
+"""SLO-aware serving: deadline attainment at equal offered load.
+
+Every request gets a 50 ms latency budget.  The deadline-blind stack
+(timeout batching + least-loaded routing) lets requests age the full
+batching timeout and serves hopeless ones late, so attainment collapses as
+load rises.  The SLO-aware stack (EDF deadline batching + cost-model
+routing) dispatches on deadline pressure and sheds provably-late requests,
+holding p99 near the budget and attainment several times higher at the
+same offered load -- goodput (on-time completions/s) keeps climbing where
+the blind stack's falls to zero.
+
+Run with:  python examples/slo_serving.py
+"""
+
+from __future__ import annotations
+
+from repro.evaluation.report import format_key_values, format_table
+from repro.experiments import run_experiment
+
+
+def main() -> None:
+    result = run_experiment(
+        "serving-sweep",
+        {
+            "datasets": ("mrpc",),
+            "load_fractions": (0.25, 0.5, 0.75, 0.9, 1.1),
+            "batch_policies": ("timeout", "deadline"),
+            "routers": ("least-loaded", "cost-model"),
+            "slo_ms": 50.0,
+            "requests": 96,
+        },
+    )
+    print(
+        format_table(
+            result.as_rows(),
+            title="Deadline attainment at equal offered load (50 ms SLO, MRPC)",
+        )
+    )
+
+    blind = dict(result.attainment_curve("MRPC", "timeout"))
+    aware = dict(result.attainment_curve("MRPC", "deadline"))
+    print(
+        format_key_values(
+            {
+                f"attainment at load {load}": (
+                    f"{blind[load]:.1%} (timeout+least-loaded) vs "
+                    f"{aware[load]:.1%} (deadline+cost-model)"
+                )
+                for load in sorted(blind)
+            }
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

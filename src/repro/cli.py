@@ -12,7 +12,11 @@ Usage (after installation)::
     python -m repro all                  # everything except fig6
     python -m repro serve --dataset mrpc --qps 800   # online serving at a fixed load
     python -m repro serve --dataset rte              # latency-vs-load sweep
+    python -m repro serve --qps 80 --slo-ms 50 --batch-policy deadline \
+        --routing cost-model                         # SLO-aware serving
     python -m repro serving-sweep --datasets mrpc rte --num-accelerators 4
+    python -m repro serving-sweep --slo-ms 50 --batch-policies timeout deadline \
+        --routers least-loaded cost-model            # attainment comparison
 
 Every subcommand and its flags are generated from the experiment registry
 (:mod:`repro.experiments`): each registered spec contributes one subcommand

@@ -109,6 +109,8 @@ class CycleAccurateDevice(Device):
         power_watts: float = global_config.FPGA_BOARD_POWER_W,
         cache_length_bucket: int | None = None,
         schedule_cache: ScheduleCache | None = None,
+        max_batch_size: int | None = None,
+        max_batch_tokens: int | None = None,
     ) -> None:
         self.accelerator = accelerator
         self.scheduler = scheduler or LengthAwareScheduler()
@@ -136,7 +138,7 @@ class CycleAccurateDevice(Device):
             float(accelerator.clock_hz),
         )
         self._scheduler_key = _scheduler_cache_key(self.scheduler)
-        super().__init__()
+        super().__init__(max_batch_size=max_batch_size, max_batch_tokens=max_batch_tokens)
 
     @property
     def scheduler_name(self) -> str | None:
@@ -311,6 +313,7 @@ class CycleAccurateDevice(Device):
             "power_watts": self.power_watts,
             "top_k": self.accelerator.top_k,
             "stages": [stage.name for stage in self.accelerator.stages],
+            **self.batch_limits(),
             "schedule_cache": {
                 **(self.schedule_cache_stats() or {}),
                 "shared": self._schedule_cache.stats(),
@@ -329,6 +332,8 @@ class AnalyticalDevice(Device):
         model_config=None,
         name: str | None = None,
         workload: str = "end_to_end",
+        max_batch_size: int | None = None,
+        max_batch_tokens: int | None = None,
     ) -> None:
         if workload not in ("end_to_end", "attention"):
             raise ValueError("workload must be 'end_to_end' or 'attention'")
@@ -344,7 +349,7 @@ class AnalyticalDevice(Device):
         if self._needs_model and model_config is None:
             raise ValueError("an AnalyticalPlatform device needs a model_config")
         self.name = name or platform.name
-        super().__init__()
+        super().__init__(max_batch_size=max_batch_size, max_batch_tokens=max_batch_tokens)
 
     def _platform_result(self, lengths: list[int]) -> PlatformResult:
         method = (
@@ -380,6 +385,7 @@ class AnalyticalDevice(Device):
             "platform": self.platform.name,
             "workload": self.workload,
             "power_watts": getattr(self.platform, "power_watts", None),
+            **self.batch_limits(),
         }
         if self.model_config is not None:
             description["model"] = self.model_config.name

@@ -70,8 +70,18 @@ def sparse_fpga_device(
     quant_bits: int = global_config.DEFAULT_QK_QUANT_BITS,
     replication: int = 1,
     cache_length_bucket: int | None = None,
+    max_batch_size: int | None = None,
+    max_batch_tokens: int | None = None,
 ) -> Device:
-    """The proposed design: sparse attention + length-aware scheduling."""
+    """The proposed design: sparse attention + length-aware scheduling.
+
+    Config knobs: ``top_k`` (attended keys per query), ``quant_bits``
+    (Q/K quantization bits), ``replication`` (attention-stage copies),
+    ``cache_length_bucket`` (tokens; schedule-cache length quantization,
+    None = exact), and the per-device admission limits ``max_batch_size``
+    (requests per batch) / ``max_batch_tokens`` (total tokens per batch).
+    The design is balanced for the dataset's average/max length.
+    """
     model_config, dataset_config = _model(model), _dataset(dataset)
     accelerator = build_sparse_accelerator(
         model_config,
@@ -86,6 +96,8 @@ def sparse_fpga_device(
         scheduler=LengthAwareScheduler(),
         name=name or "sparse-fpga",
         cache_length_bucket=cache_length_bucket,
+        max_batch_size=max_batch_size,
+        max_batch_tokens=max_batch_tokens,
     )
 
 
@@ -95,8 +107,17 @@ def baseline_fpga_device(
     dataset: DatasetConfig | str = "mrpc",
     name: str | None = None,
     cache_length_bucket: int | None = None,
+    max_batch_size: int | None = None,
+    max_batch_tokens: int | None = None,
 ) -> Device:
-    """The Fig. 7 FPGA baseline: dense attention, max-length padding."""
+    """The Fig. 7 FPGA baseline: dense attention, max-length padding.
+
+    Config knobs: ``cache_length_bucket`` (tokens; schedule-cache length
+    quantization, None = exact) and the per-device admission limits
+    ``max_batch_size`` (requests per batch) / ``max_batch_tokens`` (total
+    tokens per batch).  Every sequence is billed at the dataset's max
+    length, which is what makes this device padding-bound.
+    """
     model_config, dataset_config = _model(model), _dataset(dataset)
     accelerator = build_baseline_accelerator(
         model_config,
@@ -109,6 +130,8 @@ def baseline_fpga_device(
         scheduler=scheduler,
         name=name or "baseline-fpga",
         cache_length_bucket=cache_length_bucket,
+        max_batch_size=max_batch_size,
+        max_batch_tokens=max_batch_tokens,
     )
 
 
@@ -118,14 +141,27 @@ def _register_analytical(key: str, platform, aliases: tuple[str, ...]) -> None:
         dataset: DatasetConfig | str = "mrpc",  # noqa: ARG001 - uniform signature
         name: str | None = None,
         workload: str = "end_to_end",
+        max_batch_size: int | None = None,
+        max_batch_tokens: int | None = None,
     ) -> Device:
         del dataset  # analytical platforms have no length-balanced design point
         return AnalyticalDevice(
-            platform, model_config=_model(model), name=name or key, workload=workload
+            platform,
+            model_config=_model(model),
+            name=name or key,
+            workload=workload,
+            max_batch_size=max_batch_size,
+            max_batch_tokens=max_batch_tokens,
         )
 
     build.__name__ = f"{key.replace('-', '_')}_device"
-    build.__doc__ = f"Analytical roofline model of {platform.name}."
+    build.__doc__ = (
+        f"Analytical roofline model of {platform.name}.\n\n"
+        "Config knobs: ``workload`` ('end_to_end' or 'attention') and the "
+        "per-device admission limits ``max_batch_size`` (requests per "
+        "batch) / ``max_batch_tokens`` (total tokens per batch).  Batches "
+        "are padded dense and serialize (no internal pipeline)."
+    )
     REGISTRY.add("device", key, build, aliases=aliases)
 
 
@@ -138,7 +174,9 @@ _register_analytical("gpu-v100-et", V100_ET, aliases=("v100-et",))
 #: Shared fleet knobs that not every device declares; build_device drops
 #: exactly these when the chosen factory has no such parameter, so one knob
 #: set can drive a mixed fleet while typos still raise TypeError.
-_OPTIONAL_DEVICE_KNOBS = frozenset({"top_k", "cache_length_bucket"})
+_OPTIONAL_DEVICE_KNOBS = frozenset(
+    {"top_k", "cache_length_bucket", "max_batch_size", "max_batch_tokens"}
+)
 
 
 def build_device(

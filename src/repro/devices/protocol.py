@@ -15,7 +15,10 @@ serving engine, routers, and evaluation harnesses talk to instead:
   (0 idle .. 1 cannot admit a batch), a gauge for plug-in routers/admission
   policies and reports (the built-in router reads backlogs through
   ``next_start``, and built-in admission control counts waiting requests);
-* ``describe()`` -- a JSON-ready self-description for reports.
+* ``describe()`` -- a JSON-ready self-description for reports;
+* ``max_batch_size`` / ``max_batch_tokens`` -- per-device admission limits
+  (requests / total tokens per batch, ``None`` = unlimited) the serving
+  engine enforces through :meth:`Device.admissible_prefix`.
 
 A backend implements :meth:`Device.execute`, returning one
 :class:`BatchExecution` -- latency, per-request completion offsets, and the
@@ -105,8 +108,50 @@ class Device:
     name: str = "device"
     backend: str = "abstract"
 
-    def __init__(self) -> None:
+    def __init__(
+        self,
+        max_batch_size: int | None = None,
+        max_batch_tokens: int | None = None,
+    ) -> None:
+        if max_batch_size is not None and max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1 (or None for no limit)")
+        if max_batch_tokens is not None and max_batch_tokens < 1:
+            raise ValueError("max_batch_tokens must be >= 1 (or None for no limit)")
+        #: Per-device admission limits the serving engine enforces: at most
+        #: ``max_batch_size`` requests and ``max_batch_tokens`` total tokens
+        #: per dispatched batch (None = unlimited).  A heterogeneous fleet
+        #: can cap a memory-bound board without capping the whole system.
+        self.max_batch_size = max_batch_size
+        self.max_batch_tokens = max_batch_tokens
         self.reset()
+
+    def admissible_prefix(self, lengths: Sequence[int]) -> int:
+        """Largest batch prefix this device's limits admit (always >= 1).
+
+        The engine dispatches ``lengths[:n]`` and returns the remainder to
+        the formation queue.  A single request above ``max_batch_tokens``
+        still dispatches alone (the token limit bounds batch aggregation,
+        not request size), exactly like a max-length sequence on a padded
+        backend.
+        """
+        limit = len(lengths)
+        if self.max_batch_size is not None:
+            limit = min(limit, self.max_batch_size)
+        if self.max_batch_tokens is not None:
+            total = 0
+            for index, length in enumerate(lengths[:limit]):
+                total += int(length)
+                if total > self.max_batch_tokens and index > 0:
+                    limit = index
+                    break
+        return max(limit, 1)
+
+    def batch_limits(self) -> dict:
+        """JSON-ready admission-limit metadata (merged into ``describe()``)."""
+        return {
+            "max_batch_size": self.max_batch_size,
+            "max_batch_tokens": self.max_batch_tokens,
+        }
 
     # ------------------------------------------------------------------
     # Cost-model queries (pure)
@@ -126,7 +171,7 @@ class Device:
 
     def describe(self) -> dict:
         """JSON-ready self-description (reports, ``repro list`` output)."""
-        return {"name": self.name, "backend": self.backend}
+        return {"name": self.name, "backend": self.backend, **self.batch_limits()}
 
     @property
     def scheduler_name(self) -> str | None:

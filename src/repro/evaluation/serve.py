@@ -4,7 +4,11 @@ This is the registry-facing face of the serving engine, built on the unified
 Device API: ``--devices`` takes any registered device names (mixed fleets
 like ``sparse-fpga,gpu-rtx6000`` included), ``--continuous-batching``
 enables device-level continuous batching, and ``--max-queue-depth`` turns on
-admission control.  With a rate-driven arrival process (``poisson`` /
+admission control.  ``--slo-ms`` (plus ``--slo-per-token-ms``) stamps every
+request with a deadline and reports attainment/goodput -- pair it with
+``--batch-policy deadline --routing cost-model`` for the SLO-aware serving
+stack -- and ``--device-max-batch-size`` / ``--device-max-batch-tokens``
+cap what any single device may admit per batch.  With a rate-driven arrival process (``poisson`` /
 ``bursty``) and an explicit ``qps`` the experiment runs one open-loop
 simulation; without ``qps`` it falls back to the latency-vs-load sweep over
 that single dataset.  The ``trace`` and ``closed-loop`` arrival processes
@@ -40,6 +44,8 @@ from .serving_sweep import (
     ServingSweepResult,
     _sweep_impl,
     render_sweep,
+    slo_spec_from_ms,
+    validate_slo_knobs,
 )
 
 __all__ = ["ServeConfig", "ServeResult"]
@@ -93,6 +99,22 @@ class ServeConfig(ExperimentConfig):
     max_queue_depth: int | None = cfg_field(
         None, help="shed arrivals beyond this many waiting requests"
     )
+    slo_ms: float | None = cfg_field(
+        None,
+        help=(
+            "per-request latency budget (ms): deadline = arrival + slo-ms + "
+            "slo-per-token-ms * length; enables attainment/goodput reporting"
+        ),
+    )
+    slo_per_token_ms: float = cfg_field(
+        0.0, help="length-proportional part of the latency budget (ms per token)"
+    )
+    device_max_batch_size: int | None = cfg_field(
+        None, help="per-device admission limit: requests per dispatched batch"
+    )
+    device_max_batch_tokens: int | None = cfg_field(
+        None, help="per-device admission limit: total tokens per dispatched batch"
+    )
     # Matches the serving-sweep default so `serve` without --qps and
     # `serving-sweep` report identical statistics for the same simulation.
     warmup_fraction: float = cfg_field(
@@ -134,6 +156,12 @@ class ServeConfig(ExperimentConfig):
             raise ValueError("timeout_ms must be >= 0")
         if self.max_queue_depth is not None and self.max_queue_depth < 1:
             raise ValueError("max_queue_depth must be >= 1 (or none)")
+        validate_slo_knobs(
+            self.slo_ms,
+            self.slo_per_token_ms,
+            self.device_max_batch_size,
+            self.device_max_batch_tokens,
+        )
         if not 0.0 <= self.warmup_fraction < 1.0:
             raise ValueError("warmup_fraction must be in [0, 1)")
         if self.cache_length_bucket is not None and self.cache_length_bucket < 1:
@@ -183,7 +211,7 @@ class ServeResult:
         if self.report is None or self.warmup_fraction <= 0.0:
             return None
         warmup = self.warmup_fraction
-        return {
+        stats = {
             "warmup_fraction": warmup,
             "sustained_qps": self.report.steady_qps(warmup),
             "latency_ms": {
@@ -192,6 +220,11 @@ class ServeResult:
                 "p99": self.report.steady_latency_percentile(99, warmup) * 1e3,
             },
         }
+        attainment = self.report.steady_attainment_rate(warmup)
+        if attainment is not None:
+            stats["attainment_rate"] = attainment
+            stats["goodput_qps"] = self.report.steady_goodput_qps(warmup)
+        return stats
 
     def to_dict(self) -> dict:
         """Machine-readable form (JSON-ready)."""
@@ -231,6 +264,7 @@ def _build_arrivals(config: ServeConfig):
 def _run_spec(config: ServeConfig) -> ServeResult:
     model = get_model_config(config.model)
     timeout_s = config.timeout_ms * 1e-3
+    slo = slo_spec_from_ms(config.slo_ms, config.slo_per_token_ms)
     device_names = tuple(split_fleet_spec(config.devices))
     if config.is_rate_driven() and config.qps is None:
         sweep = _sweep_impl(
@@ -247,6 +281,10 @@ def _run_spec(config: ServeConfig) -> ServeResult:
             bucket_width=config.bucket_width,
             continuous_batching=config.continuous_batching,
             max_queue_depth=config.max_queue_depth,
+            slo_s=None if slo is None else slo.base_s,
+            slo_per_token_s=0.0 if slo is None else slo.per_token_s,
+            device_max_batch_size=config.device_max_batch_size,
+            device_max_batch_tokens=config.device_max_batch_tokens,
             warmup_fraction=config.warmup_fraction,
             cache_length_bucket=config.cache_length_bucket,
             model=model,
@@ -266,6 +304,8 @@ def _run_spec(config: ServeConfig) -> ServeResult:
         dataset=config.dataset,
         replicas=config.num_accelerators,
         cache_length_bucket=config.cache_length_bucket,
+        max_batch_size=config.device_max_batch_size,
+        max_batch_tokens=config.device_max_batch_tokens,
     )
     report = simulate_online(
         fleet,
@@ -282,6 +322,7 @@ def _run_spec(config: ServeConfig) -> ServeResult:
         router=get_router(config.routing),
         continuous_batching=config.continuous_batching,
         max_queue_depth=config.max_queue_depth,
+        slo=slo,
         seed=config.seed,
     )
     return ServeResult(
@@ -328,6 +369,12 @@ def _render(result: ServeResult) -> str:
         "continuous batching": report.continuous_batching,
         "router": report.router,
     }
+    if report.attainment_rate is not None:
+        footer["deadline attainment"] = f"{report.attainment_rate:.1%}"
+        footer["goodput (on-time seq/s)"] = round(report.goodput_qps, 1)
+        footer["shed as provably late"] = report.num_shed_late
+    if report.num_limit_splits:
+        footer["batches split by device limits"] = report.num_limit_splits
     steady = result.steady_stats()
     if steady is not None:
         footer["steady-state p99 (ms)"] = round(steady["latency_ms"]["p99"], 2)

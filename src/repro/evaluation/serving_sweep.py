@@ -28,6 +28,7 @@ from ..serving.arrivals import ClosedLoopArrivals, _is_rate_driven, get_arrival_
 from ..serving.engine import OnlineServingReport, simulate_online
 from ..serving.policies import FixedSizeBatcher, get_batch_policy
 from ..serving.routing import get_router
+from ..serving.slo import SLOSpec
 from ..transformer.configs import (
     BERT_BASE,
     DATASET_ZOO,
@@ -64,7 +65,7 @@ DEFAULT_CACHE_LENGTH_BUCKET = 16
 
 @dataclass
 class SweepPoint:
-    """One (dataset, policy, load) measurement."""
+    """One (dataset, policy+router, load) measurement."""
 
     dataset: str
     batch_policy: str
@@ -72,6 +73,8 @@ class SweepPoint:
     offered_qps: float
     capacity_qps: float
     report: OnlineServingReport
+    #: Routing policy this point ran with (policies may pair with routers).
+    router: str = "least-loaded"
     #: Warm-up fraction applied to this point's percentiles / QPS.
     warmup_fraction: float = 0.0
     #: Deterministic (replayed) schedule-cache accounting for this point;
@@ -86,6 +89,7 @@ class SweepPoint:
         row = {
             "dataset": self.dataset,
             "policy": self.batch_policy,
+            "router": self.router,
             "load": round(self.load_fraction, 2),
             "offered_qps": round(self.offered_qps, 1),
             "sustained_qps": round(self.report.steady_qps(warmup), 1),
@@ -96,6 +100,14 @@ class SweepPoint:
             "device_util": round(self.report.average_device_utilization, 3),
             "shed_rate": round(self.report.shed_rate, 3),
         }
+        attainment = self.report.steady_attainment_rate(warmup)
+        if attainment is not None:
+            # Deadline attainment and goodput are steady-state like the
+            # percentiles; `shed_late` is the whole-run count of provably
+            # late drops (0 for deadline-blind policies).
+            row["attainment"] = round(attainment, 3)
+            row["goodput_qps"] = round(self.report.steady_goodput_qps(warmup), 1)
+            row["shed_late"] = self.report.num_shed_late
         if self.cache_stats is not None:
             row["cache_hit"] = round(self.cache_stats["hit_rate"], 3)
         return row
@@ -113,6 +125,8 @@ class ServingSweepResult:
     warmup_fraction: float = 0.0
     continuous_batching: bool = False
     cache_length_bucket: int | None = None
+    #: SLO spec of the sweep (JSON form; None = deadline-blind sweep).
+    slo: dict | None = None
     #: Sweep-wide schedule-cache accounting (replayed in canonical grid
     #: order, so identical for any --jobs setting).
     schedule_cache: dict | None = None
@@ -122,14 +136,49 @@ class ServingSweepResult:
     def as_rows(self) -> list[dict]:
         return [point.as_row() for point in self.points]
 
-    def p99_curve(self, dataset: str, batch_policy: str | None = None) -> list[tuple[float, float]]:
-        """(load fraction, steady-state p99 seconds) pairs, sorted by load."""
+    def _select_points(
+        self, dataset: str, batch_policy: str | None, router: str | None
+    ) -> list[SweepPoint]:
+        return [
+            p
+            for p in self.points
+            if p.dataset == dataset
+            and (batch_policy is None or p.batch_policy == batch_policy)
+            and (router is None or p.router == router)
+        ]
+
+    def p99_curve(
+        self, dataset: str, batch_policy: str | None = None, router: str | None = None
+    ) -> list[tuple[float, float]]:
+        """(load fraction, steady-state p99 seconds) pairs, sorted by load.
+
+        Filter by ``batch_policy`` and/or ``router`` when the sweep compares
+        pairings -- a sweep of one policy under two routers needs the
+        ``router`` filter, or the curves interleave.
+        """
         curve = [
             (p.load_fraction, p.report.steady_latency_percentile(99, p.warmup_fraction))
-            for p in self.points
-            if p.dataset == dataset and (batch_policy is None or p.batch_policy == batch_policy)
+            for p in self._select_points(dataset, batch_policy, router)
         ]
         return sorted(curve)
+
+    def attainment_curve(
+        self, dataset: str, batch_policy: str | None = None, router: str | None = None
+    ) -> list[tuple[float, float | None]]:
+        """(load fraction, steady-state deadline attainment) pairs, sorted.
+
+        Attainment entries are ``None`` on deadline-blind sweeps (no
+        ``slo``); SLO-aware and SLO-blind policies in the same sweep are
+        directly comparable point by point because every policy sees the
+        same deadline-stamped stream at the same offered load.  As with
+        :meth:`p99_curve`, pass ``router`` when one policy runs under
+        several routers.
+        """
+        curve = [
+            (p.load_fraction, p.report.steady_attainment_rate(p.warmup_fraction))
+            for p in self._select_points(dataset, batch_policy, router)
+        ]
+        return sorted(curve, key=lambda pair: pair[0])
 
     def to_dict(self) -> dict:
         """Machine-readable form (JSON-ready summary rows)."""
@@ -142,6 +191,7 @@ class ServingSweepResult:
             "warmup_fraction": self.warmup_fraction,
             "continuous_batching": self.continuous_batching,
             "cache_length_bucket": self.cache_length_bucket,
+            "slo": self.slo,
             "schedule_cache": self.schedule_cache,
             "capacity_qps": dict(self.capacity_qps),
             "points": self.as_rows(),
@@ -160,6 +210,14 @@ class ServingSweepConfig(ExperimentConfig):
     )
     batch_policies: tuple[str, ...] = cfg_field(
         ("timeout",), help="batch-formation policies to compare"
+    )
+    routers: tuple[str, ...] = cfg_field(
+        (),
+        help=(
+            "per-policy routers paired elementwise with batch-policies "
+            "(e.g. --batch-policies timeout deadline --routers least-loaded "
+            "cost-model); empty = --router for every policy"
+        ),
     )
     requests: int = cfg_field(192, help="requests per sweep point")
     batch_size: int = global_config.DEFAULT_BATCH_SIZE
@@ -186,6 +244,23 @@ class ServingSweepConfig(ExperimentConfig):
     )
     max_queue_depth: int | None = cfg_field(
         None, help="shed arrivals beyond this many waiting requests"
+    )
+    slo_ms: float | None = cfg_field(
+        None,
+        help=(
+            "per-request latency budget (ms): each request's deadline is "
+            "arrival + slo-ms + slo-per-token-ms * length; enables "
+            "attainment/goodput columns (none = deadline-blind sweep)"
+        ),
+    )
+    slo_per_token_ms: float = cfg_field(
+        0.0, help="length-proportional part of the latency budget (ms per token)"
+    )
+    device_max_batch_size: int | None = cfg_field(
+        None, help="per-device admission limit: requests per dispatched batch"
+    )
+    device_max_batch_tokens: int | None = cfg_field(
+        None, help="per-device admission limit: total tokens per dispatched batch"
     )
     warmup_fraction: float = cfg_field(
         DEFAULT_WARMUP_FRACTION,
@@ -225,9 +300,22 @@ class ServingSweepConfig(ExperimentConfig):
         unknown = sorted(set(self.datasets) - set(DATASET_ZOO))
         if unknown:
             raise ValueError(f"unknown datasets {unknown}; valid: {sorted(DATASET_ZOO)}")
+        if self.routers and len(self.routers) != len(self.batch_policies):
+            raise ValueError(
+                "routers must pair elementwise with batch_policies "
+                f"({len(self.batch_policies)} policies, {len(self.routers)} routers)"
+            )
+        validate_slo_knobs(
+            self.slo_ms,
+            self.slo_per_token_ms,
+            self.device_max_batch_size,
+            self.device_max_batch_tokens,
+        )
         try:
             for policy in self.batch_policies:
                 REGISTRY.resolve("batch-policy", policy)
+            for paired_router in self.routers:
+                REGISTRY.resolve("router", paired_router)
             REGISTRY.resolve("router", self.router)
             device_names = split_fleet_spec(self.devices)
             for name in device_names:
@@ -276,6 +364,39 @@ def build_serving_fleet(
     )
 
 
+def validate_slo_knobs(
+    slo_ms: float | None,
+    slo_per_token_ms: float,
+    device_max_batch_size: int | None,
+    device_max_batch_tokens: int | None,
+) -> None:
+    """Shared validation of the SLO / per-device-limit config fields.
+
+    One definition for both the ``serve`` and ``serving-sweep`` configs, so
+    the two commands can never drift on what budgets/limits are legal.
+    """
+    if slo_ms is not None and slo_ms < 0:
+        raise ValueError("slo_ms must be >= 0 (or none for no deadlines)")
+    if slo_per_token_ms < 0:
+        raise ValueError("slo_per_token_ms must be >= 0")
+    if slo_per_token_ms > 0 and slo_ms is None:
+        raise ValueError(
+            "slo_per_token_ms needs slo_ms (use --slo-ms 0 for purely "
+            "proportional budgets)"
+        )
+    if device_max_batch_size is not None and device_max_batch_size < 1:
+        raise ValueError("device_max_batch_size must be >= 1 (or none)")
+    if device_max_batch_tokens is not None and device_max_batch_tokens < 1:
+        raise ValueError("device_max_batch_tokens must be >= 1 (or none)")
+
+
+def slo_spec_from_ms(slo_ms: float | None, slo_per_token_ms: float = 0.0) -> SLOSpec | None:
+    """Build the deadline spec from millisecond config knobs (None = no SLO)."""
+    if slo_ms is None:
+        return None
+    return SLOSpec(base_s=slo_ms * 1e-3, per_token_s=slo_per_token_ms * 1e-3)
+
+
 def _build_sweep_fleet(options: dict, dataset_name: str) -> list[Device]:
     return build_fleet(
         options["devices"],
@@ -283,7 +404,16 @@ def _build_sweep_fleet(options: dict, dataset_name: str) -> list[Device]:
         dataset=dataset_name,
         replicas=options["num_accelerators"],
         cache_length_bucket=options["cache_length_bucket"],
+        max_batch_size=options["device_max_batch_size"],
+        max_batch_tokens=options["device_max_batch_tokens"],
     )
+
+
+def _slo_spec(options: dict) -> SLOSpec | None:
+    """The sweep's deadline assignment (None = deadline-blind)."""
+    if options["slo_s"] is None:
+        return None
+    return SLOSpec(base_s=options["slo_s"], per_token_s=options["slo_per_token_s"])
 
 
 def _capacity_worker(
@@ -317,11 +447,12 @@ def _point_worker(
     options: dict,
     dataset_name: str,
     policy_name: str,
+    router_name: str,
     fraction: float,
     capacity: float,
     fleet: list[Device] | None = None,
 ) -> SweepPoint:
-    """One (dataset, policy, load) grid point.
+    """One (dataset, policy+router, load) grid point.
 
     Runs inline (``fleet`` provided) or in a worker process (``fleet`` built
     here).  Every point seeds its own arrival process from the config seed,
@@ -338,15 +469,17 @@ def _point_worker(
         num_buckets=options["num_buckets"],
         bucket_width=options["bucket_width"],
     )
+    router = get_router(router_name)
     report = simulate_online(
         fleet,
         dataset_name,
         arrivals=get_arrival_process(options["arrival"], rate_qps=offered),
         num_requests=options["num_requests"],
         batch_policy=policy,
-        router=get_router(options["router"]),
+        router=router,
         continuous_batching=options["continuous_batching"],
         max_queue_depth=options["max_queue_depth"],
+        slo=_slo_spec(options),
         seed=options["seed"],
     )
     if remote:
@@ -359,6 +492,7 @@ def _point_worker(
     return SweepPoint(
         dataset=report.dataset,
         batch_policy=policy.name,
+        router=router.name,
         load_fraction=fraction,
         offered_qps=offered,
         capacity_qps=capacity,
@@ -376,12 +510,17 @@ def _sweep_impl(
     devices: tuple[str, ...] = ("sparse-fpga",),
     num_accelerators: int = 1,
     router: str = "least-loaded",
+    routers: tuple[str, ...] = (),
     arrival: str = "poisson",
     timeout_s: float = 20e-3,
     num_buckets: int = 4,
     bucket_width: float | None = None,
     continuous_batching: bool = False,
     max_queue_depth: int | None = None,
+    slo_s: float | None = None,
+    slo_per_token_s: float = 0.0,
+    device_max_batch_size: int | None = None,
+    device_max_batch_tokens: int | None = None,
     warmup_fraction: float = 0.0,
     cache_length_bucket: int | None = None,
     jobs: int = 1,
@@ -393,6 +532,11 @@ def _sweep_impl(
     The offered QPS at each point is ``load_fraction`` times the fleet's
     measured closed-loop capacity, so a load of 1.0 is the drain rate the
     closed-batch benchmarks report and anything above it is overload.
+    ``routers`` pairs a routing policy with each batch policy (SLO
+    comparisons run e.g. ``timeout``+``least-loaded`` against
+    ``deadline``+``cost-model`` at the same offered loads); empty means
+    every policy uses ``router``.  ``slo_s``/``slo_per_token_s`` stamp every
+    stream with deadlines, turning on the attainment/goodput columns.
 
     ``jobs > 1`` fans the capacity measurements and the (dataset, policy,
     load) grid across a :class:`~concurrent.futures.ProcessPoolExecutor`.
@@ -404,6 +548,14 @@ def _sweep_impl(
     """
     if jobs < 1:
         raise ValueError("jobs must be >= 1")
+    if routers and len(routers) != len(batch_policies):
+        raise ValueError("routers must pair elementwise with batch_policies")
+    pairs = list(zip(batch_policies, routers or (router,) * len(batch_policies)))
+    slo = (
+        None
+        if slo_s is None
+        else SLOSpec(base_s=slo_s, per_token_s=slo_per_token_s)
+    )
     result = ServingSweepResult(
         model=model.name,
         num_accelerators=num_accelerators,
@@ -413,6 +565,7 @@ def _sweep_impl(
         warmup_fraction=warmup_fraction,
         continuous_batching=continuous_batching,
         cache_length_bucket=cache_length_bucket,
+        slo=slo.to_dict() if slo is not None else None,
     )
     options = {
         "devices": tuple(devices),
@@ -428,13 +581,17 @@ def _sweep_impl(
         "bucket_width": bucket_width,
         "continuous_batching": continuous_batching,
         "max_queue_depth": max_queue_depth,
+        "slo_s": slo_s,
+        "slo_per_token_s": slo_per_token_s,
+        "device_max_batch_size": device_max_batch_size,
+        "device_max_batch_tokens": device_max_batch_tokens,
         "warmup_fraction": warmup_fraction,
         "seed": seed,
     }
     grid = [
-        (dataset_name, policy_name, fraction)
+        (dataset_name, policy_name, router_name, fraction)
         for dataset_name in datasets
-        for policy_name in batch_policies
+        for policy_name, router_name in pairs
         for fraction in load_fractions
     ]
 
@@ -451,10 +608,10 @@ def _sweep_impl(
                 capacity_probes.append(probes)
             point_futures = [
                 pool.submit(
-                    _point_worker, options, dataset_name, policy_name, fraction,
-                    capacities[dataset_name],
+                    _point_worker, options, dataset_name, policy_name, router_name,
+                    fraction, capacities[dataset_name],
                 )
-                for dataset_name, policy_name, fraction in grid
+                for dataset_name, policy_name, router_name, fraction in grid
             ]
             points = [future.result() for future in point_futures]
     else:
@@ -467,10 +624,10 @@ def _sweep_impl(
             capacity_probes.append(probes)
         points = [
             _point_worker(
-                options, dataset_name, policy_name, fraction,
+                options, dataset_name, policy_name, router_name, fraction,
                 capacities[dataset_name], fleet=fleets[dataset_name],
             )
-            for dataset_name, policy_name, fraction in grid
+            for dataset_name, policy_name, router_name, fraction in grid
         ]
     for dataset_name in datasets:
         result.capacity_qps[get_dataset_config(dataset_name).name] = capacities[dataset_name]
@@ -536,12 +693,17 @@ def _run_spec(config: ServingSweepConfig) -> ServingSweepResult:
         devices=config.devices,
         num_accelerators=config.num_accelerators,
         router=config.router,
+        routers=config.routers,
         arrival=config.arrival,
         timeout_s=config.timeout_ms * 1e-3,
         num_buckets=config.num_buckets,
         bucket_width=config.bucket_width,
         continuous_batching=config.continuous_batching,
         max_queue_depth=config.max_queue_depth,
+        slo_s=None if config.slo_ms is None else config.slo_ms * 1e-3,
+        slo_per_token_s=config.slo_per_token_ms * 1e-3,
+        device_max_batch_size=config.device_max_batch_size,
+        device_max_batch_tokens=config.device_max_batch_tokens,
         warmup_fraction=config.warmup_fraction,
         cache_length_bucket=config.cache_length_bucket,
         jobs=config.jobs,
@@ -565,6 +727,15 @@ def render_sweep(result: ServingSweepResult) -> str:
     }
     footer["warm-up fraction discarded"] = result.warmup_fraction
     footer["continuous batching"] = result.continuous_batching
+    if result.slo is not None:
+        footer["SLO budget"] = (
+            f"{result.slo['base_s'] * 1e3:.1f} ms"
+            + (
+                f" + {result.slo['per_token_s'] * 1e3:.3f} ms/token"
+                if result.slo["per_token_s"]
+                else ""
+            )
+        )
     if result.cache_length_bucket is not None:
         footer["schedule-cache length bucket"] = result.cache_length_bucket
     if result.schedule_cache is not None:

@@ -1,10 +1,13 @@
 """Deprecated location of the batch-serving simulation.
 
 The closed-loop stream drain that used to live here is now a thin special
-case of the event-driven online serving engine: see
-:mod:`repro.serving.closed_loop` (implementation) and
-:mod:`repro.serving.engine` (the general open-loop simulator with arrival
-processes, batch-formation policies, and multi-accelerator routing).
+case of the event-driven online serving engine in :mod:`repro.serving`:
+:mod:`repro.serving.closed_loop` holds the implementation, and
+:mod:`repro.serving.engine` is the general open-loop simulator (arrival
+processes, batch-formation policies incl. the SLO-aware
+:class:`~repro.serving.slo.DeadlineBatcher`, multi-device routing over
+:mod:`repro.devices` fleets, continuous batching, admission control, and
+deadline-attainment reporting).
 
 This module remains as a re-export shim so existing imports keep working::
 

@@ -13,6 +13,10 @@ service simulator:
   (latency percentiles, sustained QPS, queue-depth timeline, fleet
   utilization and energy, admission control, device-level continuous
   batching).
+* :mod:`~repro.serving.slo` -- SLO-aware serving: per-request deadlines
+  (:class:`SLOSpec`), EDF batch formation with provably-late shedding
+  (:class:`DeadlineBatcher`), and cost-model routing
+  (:class:`CostModelRouter`).
 * :mod:`~repro.serving.closed_loop` -- the legacy batch-drain API
   (``simulate_serving``) expressed as a special case of the engine.
 """
@@ -42,6 +46,7 @@ from .routing import (
     Router,
     get_router,
 )
+from .slo import CostModelRouter, DeadlineBatcher, SLOSpec, assign_deadlines
 
 __all__ = [
     "ArrivalProcess",
@@ -49,6 +54,8 @@ __all__ = [
     "BatchRecord",
     "BurstyArrivals",
     "ClosedLoopArrivals",
+    "CostModelRouter",
+    "DeadlineBatcher",
     "DeviceSummary",
     "FixedSizeBatcher",
     "LeastLoadedRouter",
@@ -60,9 +67,11 @@ __all__ = [
     "RequestRecord",
     "RoundRobinRouter",
     "Router",
+    "SLOSpec",
     "ServingReport",
     "TimeoutBatcher",
     "TraceArrivals",
+    "assign_deadlines",
     "get_arrival_process",
     "get_batch_policy",
     "get_router",

@@ -95,7 +95,11 @@ class ArrivalProcess:
 @register("arrival", "poisson")
 @dataclass
 class PoissonArrivals(ArrivalProcess):
-    """Memoryless arrivals at a fixed offered rate."""
+    """Memoryless arrivals at a fixed offered rate.
+
+    Config knobs: ``rate_qps`` (requests/second) -- the standard open-loop
+    load model behind latency-vs-throughput curves.
+    """
 
     rate_qps: float = 100.0
     name: str = "poisson"
@@ -114,6 +118,9 @@ class PoissonArrivals(ArrivalProcess):
 class BurstyArrivals(ArrivalProcess):
     """Two-state MMPP: quiet periods interleaved with high-rate bursts.
 
+    Config knobs: ``rate_qps`` (requests/second, long-run average),
+    ``burst_ratio`` (multiplier), ``burst_fraction`` (0-1), and
+    ``mean_dwell_s`` (seconds).
     ``burst_fraction`` of the time is spent in the burst state, whose rate is
     ``burst_ratio`` times the quiet rate; the quiet rate is solved so the
     long-run average equals ``rate_qps``.  State dwell times are exponential
@@ -170,6 +177,8 @@ class BurstyArrivals(ArrivalProcess):
 class TraceArrivals(ArrivalProcess):
     """Replay an explicit arrival-time trace (optionally with lengths).
 
+    Config knobs: ``trace`` (arrival times in seconds, or ``(time, length)``
+    pairs with lengths in tokens).
     ``trace`` is a sequence of arrival times, or of ``(time, length)`` pairs.
     When lengths are omitted they are drawn from the dataset distribution, so
     a recorded timing trace can be re-weighted onto any Table 1 dataset.  The
@@ -218,6 +227,7 @@ class TraceArrivals(ArrivalProcess):
 class ClosedLoopArrivals(ArrivalProcess):
     """Every request is already queued at t=0 (the legacy batch-drain mode).
 
+    Config knobs: ``sort_by_length`` (bool).
     ``sort_by_length`` reproduces the serving-side global sort of
     :func:`repro.datasets.batching.sorted_batches`: requests enter the FIFO
     queue in decreasing length order, so fixed-size batches match the legacy

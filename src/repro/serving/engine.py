@@ -23,7 +23,13 @@ Two serving disciplines are modeled per device:
   serialize either way.
 
 Admission control is available via ``max_queue_depth``: arrivals beyond that
-queue depth are shed, and the shed rate is part of the report.
+queue depth are shed, and the shed rate is part of the report.  Per-device
+batch limits (``max_batch_size`` / ``max_batch_tokens``) are honored at
+dispatch by splitting oversized batches, and an optional
+:class:`~repro.serving.slo.SLOSpec` stamps the stream with per-request
+deadlines, turning on deadline-attainment / goodput accounting (and, with
+the :class:`~repro.serving.slo.DeadlineBatcher`, EDF formation and
+provably-late shedding).
 
 The report answers the deployment questions the closed-batch benchmarks
 cannot: per-request latency percentiles (p50/p95/p99) at a given offered
@@ -51,6 +57,7 @@ from .arrivals import ArrivalProcess
 from .policies import BatchPolicy, FixedSizeBatcher, LengthBucketedBatcher
 from .request import Request, RequestRecord
 from .routing import LeastLoadedRouter, LengthShardedRouter, Router
+from .slo import SLOSpec, assign_deadlines
 
 __all__ = ["BatchRecord", "DeviceSummary", "OnlineServingReport", "simulate_online"]
 
@@ -133,8 +140,20 @@ class OnlineServingReport:
     continuous_batching: bool = False
     #: Admission-control limit the run was configured with (None = no shedding).
     queue_limit: int | None = None
+    #: SLO spec the run was configured with (JSON form; None = no deadline
+    #: assignment -- requests may still carry their own deadlines).
+    slo: dict | None = None
     #: Requests dropped by admission control (queue at the limit on arrival).
     num_shed: int = 0
+    #: Requests dropped by the batch policy as provably late (deadline
+    #: unattainable on any device even if dispatched immediately, alone).
+    num_shed_late: int = 0
+    #: Batches the engine split to honor a device's admission limits
+    #: (``max_batch_size`` / ``max_batch_tokens``).
+    num_limit_splits: int = 0
+    #: Every dropped request (admission control + late shedding), kept so
+    #: deadline attainment can charge misses to the right warm-up window.
+    shed_requests: list[Request] = field(default_factory=list)
     records: list[RequestRecord] = field(default_factory=list)
     batches: list[BatchRecord] = field(default_factory=list)
     devices: list[DeviceSummary] = field(default_factory=list)
@@ -150,7 +169,7 @@ class OnlineServingReport:
 
     @property
     def num_completed(self) -> int:
-        """Requests actually served (offered minus shed)."""
+        """Requests actually served (offered minus admission/late sheds)."""
         return len(self.records)
 
     @property
@@ -275,6 +294,75 @@ class OnlineServingReport:
         return len(records) / window
 
     # ------------------------------------------------------------------
+    # SLO attainment / goodput
+    # ------------------------------------------------------------------
+
+    @property
+    def has_slo(self) -> bool:
+        """Whether any offered request (served or shed) carried a deadline."""
+        return any(r.deadline is not None for r in self.records) or any(
+            r.deadline is not None for r in self.shed_requests
+        )
+
+    def steady_attainment_rate(self, warmup_fraction: float = 0.0) -> float | None:
+        """Fraction of SLO-carrying requests that completed by their deadline.
+
+        The denominator is every offered post-warm-up request with a
+        deadline -- completed *and* shed (admission control or late
+        shedding): a dropped request missed its SLO just as surely as a
+        late one.  ``None`` when no request in the window carried a
+        deadline.
+        """
+        cutoff = (
+            warmup_fraction * self.arrival_horizon_seconds if warmup_fraction else 0.0
+        )
+        served = [
+            r for r in self.steady_records(warmup_fraction) if r.deadline is not None
+        ]
+        shed = [
+            r
+            for r in self.shed_requests
+            if r.deadline is not None and r.arrival_time >= cutoff
+        ]
+        total = len(served) + len(shed)
+        if total == 0:
+            return None
+        return sum(1 for r in served if r.on_time) / total
+
+    @property
+    def attainment_rate(self) -> float | None:
+        """Whole-run deadline attainment (no warm-up discarded)."""
+        return self.steady_attainment_rate(0.0)
+
+    def steady_goodput_qps(self, warmup_fraction: float = 0.0) -> float | None:
+        """On-time completions per second over the post-warm-up window.
+
+        Goodput is the SLO-aware sibling of :meth:`steady_qps`: late
+        completions are work the fleet did that no one could use.  ``None``
+        when no offered request carried a deadline.
+        """
+        if not self.has_slo:
+            return None
+        records = self.steady_records(warmup_fraction)
+        on_time = sum(1 for r in records if r.deadline is not None and r.on_time)
+        if not records:
+            return 0.0
+        if warmup_fraction == 0.0:
+            window = self.makespan_seconds
+        else:
+            cutoff = warmup_fraction * self.arrival_horizon_seconds
+            start = min(cutoff, min(r.request.arrival_time for r in records))
+            window = max(r.completion_time for r in records) - start
+        if window <= 0:
+            return 0.0
+        return on_time / window
+
+    @property
+    def goodput_qps(self) -> float | None:
+        """Whole-run goodput (no warm-up discarded)."""
+        return self.steady_goodput_qps(0.0)
+
+    # ------------------------------------------------------------------
     # Queue / fleet accounting
     # ------------------------------------------------------------------
 
@@ -362,11 +450,16 @@ class OnlineServingReport:
             "scheduler": self.scheduler,
             "continuous_batching": self.continuous_batching,
             "queue_limit": self.queue_limit,
+            "slo": self.slo,
             "offered_qps": self.offered_qps,
             "num_requests": self.num_requests,
             "num_completed": self.num_completed,
             "num_shed": self.num_shed,
+            "num_shed_late": self.num_shed_late,
+            "num_limit_splits": self.num_limit_splits,
             "shed_rate": self.shed_rate,
+            "attainment_rate": self.attainment_rate,
+            "goodput_qps": self.goodput_qps,
             "num_batches": len(self.batches),
             "sustained_qps": self.sustained_qps,
             "makespan_seconds": self.makespan_seconds,
@@ -420,6 +513,10 @@ class OnlineServingReport:
             "device_util": round(self.average_device_utilization, 3),
             "shed_rate": round(self.shed_rate, 3),
         }
+        attainment = self.attainment_rate
+        if attainment is not None:
+            row["attainment"] = round(attainment, 3)
+            row["goodput_qps"] = round(self.goodput_qps, 1)
         cache = self.schedule_cache
         if cache is not None:
             row["cache_hit"] = round(cache["hit_rate"], 3)
@@ -485,6 +582,7 @@ def simulate_online(
     seed: int = global_config.DEFAULT_SEED,
     continuous_batching: bool = False,
     max_queue_depth: int | None = None,
+    slo: SLOSpec | None = None,
 ) -> OnlineServingReport:
     """Run the event-driven serving simulation.
 
@@ -523,6 +621,19 @@ def simulate_online(
         formation queue or cut into a batch that has not reached its device
         yet.  Shed traffic is reported via ``num_shed`` / ``shed_rate``.
         ``None`` disables shedding.
+    slo:
+        Deadline assignment: every generated request without a deadline gets
+        ``arrival + base_s + per_token_s * length``
+        (:class:`~repro.serving.slo.SLOSpec`).  Requests that already carry
+        deadlines (explicit streams, traces) keep them.  Deadline attainment
+        and goodput are then reported via ``attainment_rate`` /
+        ``goodput_qps`` whether or not the batch policy is deadline-aware.
+
+    Per-device admission limits (``Device.max_batch_size`` /
+    ``Device.max_batch_tokens``) are enforced here: a batch routed to a
+    device that cannot admit it whole is split at the device's admissible
+    prefix and the remainder returns to the front of the formation queue
+    (counted in ``num_limit_splits``).
     """
     if isinstance(dataset, str):
         dataset = get_dataset_config(dataset)
@@ -543,11 +654,20 @@ def simulate_online(
         offered_qps = len(requests) / last if last > 0 else None
     if not requests:
         raise ValueError("the arrival stream is empty")
+    if slo is not None:
+        requests = assign_deadlines(requests, slo)
 
     batch_policy = batch_policy or FixedSizeBatcher()
     router = router or LeastLoadedRouter()
     batch_policy.prepare(dataset)
     router.prepare(len(fleet), dataset)
+    # SLO-aware policies estimate batch latencies through the fleet's cost
+    # models; the hook is a no-op for FIFO policies (and absent on plug-in
+    # policies written before it existed).
+    bind_fleet = getattr(batch_policy, "bind_fleet", None)
+    if bind_fleet is not None:
+        bind_fleet(fleet)
+    take_shed = getattr(batch_policy, "take_shed", None)
     if (
         isinstance(router, LengthShardedRouter)
         and len(fleet) > 1
@@ -577,11 +697,14 @@ def simulate_online(
         num_requests=len(requests),
         continuous_batching=continuous_batching,
         queue_limit=max_queue_depth,
+        slo=slo.to_dict() if slo is not None else None,
         devices=[
             DeviceSummary(index=i, accelerator=device.name, backend=device.backend)
             for i, device in enumerate(fleet)
         ],
     )
+
+    queue: list[Request] = []
 
     #: Start times of dispatched requests that have not begun executing yet;
     #: together with the formation queue they are the "waiting" population
@@ -598,6 +721,14 @@ def simulate_online(
         if not 0 <= index < len(fleet):
             raise IndexError(f"router '{router.name}' picked invalid device {index}")
         device = fleet[index]
+        admitted = device.admissible_prefix([r.length for r in batch])
+        if admitted < len(batch):
+            # The device's admission limits cap this batch: run the prefix
+            # and hand the remainder back to the head of the formation queue
+            # (those requests arrived before anything still waiting there).
+            report.num_limit_splits += 1
+            queue[:0] = batch[admitted:]
+            batch = batch[:admitted]
         start = device.next_start(now)
         execution = device.execute([r.length for r in batch])
         if max_queue_depth is not None and start > now + _EPS:
@@ -639,7 +770,6 @@ def simulate_online(
         if execution.energy_joules is not None and device.served_energy_joules() is None:
             summary.energy_joules = (summary.energy_joules or 0.0) + execution.energy_joules
 
-    queue: list[Request] = []
     depth_timeline = report.queue_depth_timeline
     next_index = 0
     total = len(requests)
@@ -654,6 +784,7 @@ def simulate_online(
                 and waiting_requests(queue, now) >= max_queue_depth
             ):
                 report.num_shed += 1
+                report.shed_requests.append(request)
             else:
                 queue.append(request)
         depth_timeline.append((now, len(queue)))
@@ -667,6 +798,11 @@ def simulate_online(
                 raise RuntimeError(f"batch policy '{batch_policy.name}' formed an empty batch")
             dispatch(batch, now)
             depth_timeline.append((now, len(queue)))
+        for request in take_shed() if take_shed is not None else ():
+            # Deadline-aware policies drop requests that are provably late;
+            # they count against attainment, not against admission control.
+            report.num_shed_late += 1
+            report.shed_requests.append(request)
 
         if next_index >= total and not queue:
             break

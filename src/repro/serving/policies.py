@@ -16,6 +16,10 @@ timeout deadline), which is how the event loop schedules timer wake-ups.
   requests are grouped into length buckets so a batch mixes similar lengths
   (keeping the padding/sorting benefit of the length-aware scheduler under
   open-loop traffic), with the same timeout escape hatch.
+
+The SLO-aware :class:`~repro.serving.slo.DeadlineBatcher` (EDF formation,
+deadline-pressure dispatch, provably-late shedding) lives in
+:mod:`repro.serving.slo` and registers under the same ``batch-policy`` kind.
 """
 
 from __future__ import annotations
@@ -51,6 +55,22 @@ class BatchPolicy:
     def prepare(self, dataset: DatasetConfig) -> None:
         """Optional hook: learn dataset statistics before the run starts."""
 
+    def bind_fleet(self, fleet: list) -> None:
+        """Optional hook: see the device fleet before the run starts.
+
+        SLO-aware policies use this to query the fleet's cost models
+        (:meth:`repro.devices.Device.batch_latency_seconds`); FIFO policies
+        ignore it.
+        """
+
+    def take_shed(self) -> list[Request]:
+        """Return and clear the requests the policy dropped as unservable.
+
+        The engine drains this after every formation round and reports the
+        drops as ``num_shed_late``; only deadline-aware policies shed.
+        """
+        return []
+
     def next_action_time(self, queue: list[Request], now: float) -> float | None:
         """Earliest time the policy will act without a new arrival (or None)."""
         return None
@@ -65,7 +85,11 @@ class BatchPolicy:
 @register("batch-policy", "fixed-size", aliases=("fixed",))
 @dataclass
 class FixedSizeBatcher(BatchPolicy):
-    """Dispatch only full batches of ``batch_size`` (flush the tail at drain)."""
+    """Dispatch only full batches of ``batch_size`` (flush the tail at drain).
+
+    Config knobs: ``batch_size`` (requests per batch).  With all requests
+    present at t=0 this is exactly the legacy closed-batch drain.
+    """
 
     batch_size: int = global_config.DEFAULT_BATCH_SIZE
     name: str = "fixed-size"
@@ -87,7 +111,12 @@ class FixedSizeBatcher(BatchPolicy):
 @register("batch-policy", "timeout")
 @dataclass
 class TimeoutBatcher(BatchPolicy):
-    """Dispatch on a full batch or when the oldest request ages past the timeout."""
+    """Dispatch on a full batch or when the oldest request ages past the timeout.
+
+    Config knobs: ``batch_size`` (requests per batch) and ``timeout_s``
+    (seconds the oldest request may wait before the partial batch fires) --
+    the classic server-side dynamic-batching knob.
+    """
 
     batch_size: int = global_config.DEFAULT_BATCH_SIZE
     timeout_s: float = 5e-3
@@ -122,12 +151,15 @@ class TimeoutBatcher(BatchPolicy):
 class LengthBucketedBatcher(BatchPolicy):
     """Continuous batching with per-length-bucket queues.
 
-    The queue is partitioned by sequence length into ``num_buckets`` bands
-    between the dataset's min and max length; a band dispatches as soon as it
-    holds a full batch, and the oldest waiting request (across all bands)
-    forces its band out after ``timeout_s``.  ``bucket_width`` switches the
-    banding to fixed-width bands of that many tokens, and explicit
-    ``bucket_edges`` override both automatic schemes.
+    Config knobs: ``batch_size`` (requests per batch), ``timeout_s``
+    (seconds), ``num_buckets`` (count), ``bucket_width`` (tokens), and
+    ``bucket_edges`` (token thresholds).  The queue is partitioned by
+    sequence length into ``num_buckets`` bands between the dataset's min and
+    max length; a band dispatches as soon as it holds a full batch, and the
+    oldest waiting request (across all bands) forces its band out after
+    ``timeout_s``.  ``bucket_width`` switches the banding to fixed-width
+    bands of that many tokens, and explicit ``bucket_edges`` override both
+    automatic schemes.
     """
 
     batch_size: int = global_config.DEFAULT_BATCH_SIZE

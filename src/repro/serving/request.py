@@ -1,11 +1,13 @@
 """Request objects flowing through the online serving simulator.
 
 A :class:`Request` is one inference call: a sequence of a given length that
-arrives at a given wall-clock time.  Once the engine has dispatched and
-finished it, the request is wrapped in a :class:`RequestRecord` that pins down
-every timestamp of its life cycle -- arrival, batch formation (dispatch),
-execution start on the device, and completion -- so that queueing delay,
-service time, and end-to-end latency can all be reported separately.
+arrives at a given wall-clock time, optionally carrying an absolute
+**deadline** (its service-level objective).  Once the engine has dispatched
+and finished it, the request is wrapped in a :class:`RequestRecord` that pins
+down every timestamp of its life cycle -- arrival, batch formation
+(dispatch), execution start on the device, and completion -- so that queueing
+delay, service time, end-to-end latency, and deadline attainment can all be
+reported separately.
 """
 
 from __future__ import annotations
@@ -14,20 +16,41 @@ from dataclasses import dataclass
 
 __all__ = ["Request", "RequestRecord"]
 
+#: Tolerance when comparing completion times against deadlines.
+_DEADLINE_EPS = 1e-9
+
 
 @dataclass(frozen=True)
 class Request:
-    """One inference request in the open-loop stream."""
+    """One inference request in the open-loop stream.
+
+    ``deadline`` is the absolute wall-clock time (seconds, same axis as
+    ``arrival_time``) by which the request should complete; ``None`` means
+    the request carries no SLO.  Deadlines are usually assigned by an
+    :class:`~repro.serving.slo.SLOSpec` (base + per-token slack), but a
+    trace or an explicit request list may carry arbitrary deadlines, as
+    long as each is at or after the arrival (zero slack is allowed).
+    """
 
     request_id: int
     length: int
     arrival_time: float
+    deadline: float | None = None
 
     def __post_init__(self) -> None:
         if self.length < 1:
             raise ValueError("request length must be >= 1")
         if self.arrival_time < 0:
             raise ValueError("arrival_time must be >= 0")
+        if self.deadline is not None and self.deadline < self.arrival_time:
+            raise ValueError("deadline must be at or after arrival_time")
+
+    @property
+    def slo_seconds(self) -> float | None:
+        """The latency budget this request arrived with (deadline - arrival)."""
+        if self.deadline is None:
+            return None
+        return self.deadline - self.arrival_time
 
 
 @dataclass(frozen=True)
@@ -55,3 +78,23 @@ class RequestRecord:
     def service_time(self) -> float:
         """Time spent inside the accelerator pipeline."""
         return self.completion_time - self.start_time
+
+    @property
+    def deadline(self) -> float | None:
+        """The request's absolute deadline (None when it carried no SLO)."""
+        return self.request.deadline
+
+    @property
+    def on_time(self) -> bool:
+        """Whether the request completed by its deadline (vacuously true
+        for requests without one)."""
+        if self.request.deadline is None:
+            return True
+        return self.completion_time <= self.request.deadline + _DEADLINE_EPS
+
+    @property
+    def slack_seconds(self) -> float | None:
+        """Deadline minus completion time (negative = missed), or None."""
+        if self.request.deadline is None:
+            return None
+        return self.request.deadline - self.completion_time

@@ -14,6 +14,11 @@ the batch policy cuts a batch, the router decides which device executes it:
   an operating length, sharding keeps batches near their device's sweet spot
   (the multi-device analogue of length bucketing).
 
+The cost-model-driven :class:`~repro.serving.slo.CostModelRouter` (predicted
+completion time = backlog + the device's own ``batch_latency_seconds`` on
+the batch) lives in :mod:`repro.serving.slo` and registers under the same
+``router`` kind.
+
 ``select`` receives the fleet itself, so routers can inspect per-device
 state (backlog via :meth:`~repro.devices.Device.next_start`, fullness via
 :meth:`~repro.devices.Device.occupancy`, speed via ``describe()``).
@@ -78,7 +83,11 @@ class Router:
 @register("router", "round-robin")
 @dataclass
 class RoundRobinRouter(Router):
-    """Cycle through the devices in index order."""
+    """Cycle through the devices in index order.
+
+    Config knobs: none -- load-blind rotation, the baseline every other
+    router is compared against.
+    """
 
     name: str = "round-robin"
     _next: int = field(default=0, repr=False)
@@ -96,7 +105,14 @@ class RoundRobinRouter(Router):
 @register("router", "least-loaded")
 @dataclass
 class LeastLoadedRouter(Router):
-    """Send the batch to the device with the smallest backlog."""
+    """Send the batch to the device with the smallest backlog.
+
+    Config knobs: none.  The backlog is seconds until the device can admit
+    a batch (:meth:`Router.backlog_seconds`); ties break on device index so
+    the simulation stays deterministic.  Blind to what the batch itself
+    would cost on each device -- see
+    :class:`~repro.serving.slo.CostModelRouter` for the cost-aware variant.
+    """
 
     name: str = "least-loaded"
 
@@ -110,8 +126,9 @@ class LeastLoadedRouter(Router):
 class LengthShardedRouter(Router):
     """Shard the length axis: device ``i`` owns the ``i``-th length band.
 
-    Bands are equal-width between the dataset min and max length unless
-    explicit ``edges`` are given; a batch routes by its mean length.
+    Config knobs: ``edges`` (token thresholds separating the bands).  Bands
+    are equal-width between the dataset min and max length unless explicit
+    ``edges`` are given; a batch routes by its mean length.
     """
 
     edges: tuple[float, ...] | None = None

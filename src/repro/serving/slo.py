@@ -1,0 +1,300 @@
+"""SLO-aware serving: deadlines, EDF batch formation, cost-model routing.
+
+The rest of the serving stack is deadline-blind: :class:`TimeoutBatcher`
+fires on a wall-clock knob that knows nothing about individual requests, and
+:class:`LeastLoadedRouter` reads backlogs but never asks a device how long
+the batch at hand would actually take.  This module adds the SLO-aware
+counterparts on top of the unified :class:`~repro.devices.Device` cost-model
+protocol:
+
+* :class:`SLOSpec` -- how deadlines are assigned: each request gets
+  ``arrival + base_s + per_token_s * length`` (absolute or
+  length-proportional budgets, or a mix).  :func:`assign_deadlines` stamps a
+  request stream with the resulting absolute deadlines.
+* :class:`DeadlineBatcher` -- earliest-deadline-first batch formation.  The
+  queue is kept in EDF order and the batcher *asks the fleet* what the
+  candidate batch would cost (``Device.batch_latency_seconds``); it
+  dispatches exactly when waiting any longer would make the tightest
+  admissible deadline unattainable, and sheds requests that are provably
+  late (no device could finish them in time even if dispatched alone,
+  immediately).
+* :class:`CostModelRouter` -- scores every candidate device with its actual
+  predicted completion time for *this* batch -- current backlog plus the
+  device's own ``batch_latency_seconds`` on the batch, split into
+  limit-sized chunks where per-device batch limits apply -- so long
+  sequences route away from padding-bound devices for free.
+
+All three plug into the shared registry (``batch-policy``/``deadline``,
+``router``/``cost-model``) and are therefore reachable from the CLI:
+``python -m repro serve --batch-policy deadline --routing cost-model
+--slo-ms 50``.  The engine reports the outcome as ``attainment_rate`` (the
+fraction of SLO-carrying requests that finished on time) and
+``goodput_qps`` (on-time completions per second).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from .. import config as global_config
+from ..registry import register
+from .policies import _TIME_EPS, BatchPolicy
+from .request import Request
+from .routing import Router
+
+__all__ = [
+    "SLOSpec",
+    "assign_deadlines",
+    "DeadlineBatcher",
+    "CostModelRouter",
+]
+
+
+@dataclass(frozen=True)
+class SLOSpec:
+    """How per-request deadlines are derived from the arrival stream.
+
+    Each request's absolute deadline is ``arrival_time + base_s +
+    per_token_s * length`` -- a fixed latency budget (``base_s``, seconds),
+    a length-proportional budget (``per_token_s``, seconds per token), or
+    any mix of the two.  A pure zero budget (both knobs 0) is legal and
+    models zero-slack requests: nothing can meet them, so an SLO-aware
+    policy sheds them immediately while a deadline-blind one wastes device
+    time serving them late.
+    """
+
+    base_s: float = 0.05
+    per_token_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.base_s < 0:
+            raise ValueError("base_s must be >= 0")
+        if self.per_token_s < 0:
+            raise ValueError("per_token_s must be >= 0")
+
+    def budget_seconds(self, length: int) -> float:
+        """The latency budget for a request of ``length`` tokens."""
+        return self.base_s + self.per_token_s * length
+
+    def deadline_for(self, request: Request) -> float:
+        """The absolute deadline this spec assigns to ``request``."""
+        return request.arrival_time + self.budget_seconds(request.length)
+
+    def to_dict(self) -> dict:
+        """JSON-ready form (reports)."""
+        return {"base_s": self.base_s, "per_token_s": self.per_token_s}
+
+
+def assign_deadlines(requests: list[Request], slo: SLOSpec) -> list[Request]:
+    """Stamp a request stream with the deadlines ``slo`` assigns.
+
+    Requests that already carry a deadline (an explicit stream or a trace
+    with recorded SLOs) keep it; only deadline-less requests are stamped.
+    """
+    return [
+        r if r.deadline is not None else replace(r, deadline=slo.deadline_for(r))
+        for r in requests
+    ]
+
+
+@register("batch-policy", "deadline", aliases=("edf", "slo"))
+@dataclass
+class DeadlineBatcher(BatchPolicy):
+    """EDF batch formation that dispatches on deadline pressure.
+
+    Config knobs: ``batch_size`` (max requests per batch), ``timeout_s``
+    (seconds; fallback maximum wait for deadline-less requests, exactly the
+    :class:`~repro.serving.policies.TimeoutBatcher` knob), ``margin_s``
+    (seconds of safety slack subtracted from the computed
+    latest-dispatch time), and ``shed_late`` (drop provably-late requests
+    instead of serving them past their deadline).
+
+    The queue is kept in earliest-deadline-first order (ties break on
+    arrival, then id).  The candidate batch is the ``batch_size`` tightest
+    requests; it dispatches when it is full, when the stream is draining, or
+    when the clock reaches ``tightest deadline - estimated batch latency -
+    margin_s`` -- the last instant the fleet's fastest device could still
+    meet the tightest admissible deadline (the estimate is the minimum of
+    ``Device.batch_latency_seconds`` over the fleet the engine bound via
+    :meth:`bind_fleet`).  Before forming a batch the policy sheds every
+    queued request that is *provably* late: even dispatched alone and
+    immediately, no device could finish it by its deadline.  Shed requests
+    are handed back to the engine through :meth:`take_shed` and reported as
+    ``num_shed_late`` / counted against ``attainment_rate``.
+    """
+
+    batch_size: int = global_config.DEFAULT_BATCH_SIZE
+    timeout_s: float = 20e-3
+    margin_s: float = 0.0
+    shed_late: bool = True
+    name: str = "deadline"
+    _fleet: list = field(default_factory=list, repr=False)
+    _shed: list[Request] = field(default_factory=list, repr=False)
+    _estimates: dict = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if self.timeout_s < 0:
+            raise ValueError("timeout_s must be >= 0")
+        if self.margin_s < 0:
+            raise ValueError("margin_s must be >= 0")
+
+    def bind_fleet(self, fleet: list) -> None:
+        self._fleet = [d for d in fleet if hasattr(d, "batch_latency_seconds")]
+        self._shed = []
+        self._estimates = {}
+
+    # ------------------------------------------------------------------
+    # Cost estimates (through the Device protocol)
+    # ------------------------------------------------------------------
+
+    def _estimate(self, lengths: tuple[int, ...]) -> float:
+        """Fastest-device service estimate for a batch (0 when unbound).
+
+        Memoized on the length multiset; the devices' own schedule cache
+        makes the underlying simulations cheap, but analytical platforms
+        recompute, so the local memo keeps EDF formation O(1) per probe.
+        """
+        sorted_lengths = tuple(sorted(lengths))
+        key = ("batch", sorted_lengths)
+        cached = self._estimates.get(key)
+        if cached is None:
+            if not self._fleet:
+                cached = 0.0
+            else:
+                cached = min(
+                    device.batch_latency_seconds(list(sorted_lengths))
+                    for device in self._fleet
+                )
+            self._estimates[key] = cached
+        return cached
+
+    def _single_estimate(self, index: int, length: int) -> float:
+        """Memoized single-request service estimate on fleet device ``index``."""
+        key = ("single", index, length)
+        cached = self._estimates.get(key)
+        if cached is None:
+            cached = self._fleet[index].batch_latency_seconds([length])
+            self._estimates[key] = cached
+        return cached
+
+    def _provably_late(self, request: Request, now: float) -> bool:
+        """No device could meet the deadline, even dispatched alone right now.
+
+        Provable because a batch dispatched at ``now`` cannot start before
+        the device's admission clock (``next_start(now)``), and that clock
+        only moves *later* as more batches dispatch; so if every device's
+        earliest start plus its own single-request service estimate already
+        overshoots the deadline, the request is unsalvageable.
+        """
+        if request.deadline is None:
+            return False
+        deadline = request.deadline + _TIME_EPS
+        for index, device in enumerate(self._fleet):
+            next_start = getattr(device, "next_start", None)
+            start = next_start(now) if next_start is not None else now
+            if start + self._single_estimate(index, request.length) <= deadline:
+                return False
+        return True
+
+    @staticmethod
+    def _edf_key(request: Request) -> tuple:
+        deadline = request.deadline if request.deadline is not None else float("inf")
+        return (deadline, request.arrival_time, request.request_id)
+
+    def _latest_start(self, candidate: list[Request]) -> float:
+        """Last instant the tightest deadline in ``candidate`` is attainable."""
+        deadlines = [r.deadline for r in candidate if r.deadline is not None]
+        if not deadlines:
+            return float("inf")
+        lengths = tuple(r.length for r in candidate)
+        return min(deadlines) - self._estimate(lengths) - self.margin_s
+
+    # ------------------------------------------------------------------
+    # BatchPolicy interface
+    # ------------------------------------------------------------------
+
+    def take_shed(self) -> list[Request]:
+        shed, self._shed = self._shed, []
+        return shed
+
+    def next_action_time(self, queue: list[Request], now: float) -> float | None:
+        if not queue:
+            return None
+        ordered = sorted(queue, key=self._edf_key)
+        latest = self._latest_start(ordered[: self.batch_size])
+        oldest = min(r.arrival_time for r in queue)
+        action = min(latest, oldest + self.timeout_s)
+        # Never hand the engine a timer in the past: act at `now` instead
+        # (form_batch dispatches under the same comparison, so the engine's
+        # progress guarantee holds).
+        return max(action, now)
+
+    def form_batch(
+        self, queue: list[Request], now: float, draining: bool
+    ) -> list[Request] | None:
+        if self.shed_late and self._fleet:
+            late = [r for r in queue if self._provably_late(r, now)]
+            if late:
+                dropped = {r.request_id for r in late}
+                queue[:] = [r for r in queue if r.request_id not in dropped]
+                self._shed.extend(late)
+        if not queue:
+            return None
+        ordered = sorted(queue, key=self._edf_key)
+        candidate = ordered[: self.batch_size]
+        timed_out = now + _TIME_EPS >= min(r.arrival_time for r in queue) + self.timeout_s
+        pressured = now + _TIME_EPS >= self._latest_start(candidate)
+        if len(candidate) >= self.batch_size or draining or pressured or timed_out:
+            taken = {r.request_id for r in candidate}
+            queue[:] = [r for r in queue if r.request_id not in taken]
+            return candidate
+        return None
+
+
+@register("router", "cost-model", aliases=("cost",))
+@dataclass
+class CostModelRouter(Router):
+    """Route each batch to the device that would finish it earliest.
+
+    Config knobs: none -- the router is entirely driven by the fleet's own
+    cost models.  Every candidate device is scored with its predicted
+    completion time for *this* batch: seconds of backlog until it could
+    start (:meth:`~repro.serving.routing.Router.backlog_seconds`) plus its
+    own ``batch_latency_seconds`` on the batch.  Where a per-device batch
+    limit (``max_batch_size`` / ``max_batch_tokens``) would force the engine
+    to split the batch, the score sums the latencies of the limit-sized
+    chunks, so capped devices are penalized by exactly the serial work they
+    would cause.  On a heterogeneous fleet this routes long sequences away
+    from padding-bound devices for free: a padding-bound device quotes a
+    long batch at its max-length cost while the length-aware design quotes
+    the actual lengths.  Ties break on device index, keeping runs
+    deterministic.  Legacy float fleets (backlog clocks only) fall back to
+    least-loaded scoring.
+    """
+
+    name: str = "cost-model"
+
+    @staticmethod
+    def _service_seconds(entry, lengths: list[int]) -> float:
+        """Predicted service time of ``lengths`` on ``entry`` (0 for floats)."""
+        estimator = getattr(entry, "batch_latency_seconds", None)
+        if estimator is None:
+            return 0.0
+        prefix = getattr(entry, "admissible_prefix", None)
+        total = 0.0
+        remaining = list(lengths)
+        while remaining:
+            take = len(remaining) if prefix is None else prefix(remaining)
+            total += estimator(remaining[:take])
+            remaining = remaining[take:]
+        return total
+
+    def select(self, fleet: list, batch: list[Request], now: float) -> int:
+        lengths = [r.length for r in batch]
+        scores = [
+            self.backlog_seconds(entry, now) + self._service_seconds(entry, lengths)
+            for entry in fleet
+        ]
+        return min(range(len(scores)), key=lambda i: (scores[i], i))

@@ -76,6 +76,26 @@ DEFAULT_QK_QUANT_BITS = 4
 MODEL_QUANT_BITS = 8
 
 # ---------------------------------------------------------------------------
+# Decoder-workload (KV-cache) modeling defaults
+# ---------------------------------------------------------------------------
+
+#: Bytes per cached K/V element on the FPGA: activations are stored in the
+#: same 8-bit fixed point as the model weights (Section 5.1).
+KV_BYTES_PER_ELEMENT_FPGA = MODEL_QUANT_BITS // 8
+
+#: Bytes per cached K/V element on analytical GPU/CPU platforms (fp16).
+KV_BYTES_PER_ELEMENT_ANALYTICAL = 2
+
+#: Fixed per-decode-step control overhead (seconds): weight streaming setup,
+#: sampling, and host round trip.  Small but nonzero so a one-token step can
+#: never be free.
+DECODE_STEP_OVERHEAD_S = 10e-6
+
+#: Default memory bandwidth assumed for analytical platforms that do not
+#: declare one (bytes / second); decode steps are bandwidth-bound reads.
+DEFAULT_ANALYTICAL_MEM_BANDWIDTH = 300e9
+
+# ---------------------------------------------------------------------------
 # Paper-reported headline numbers (used to sanity-check the reproduction and
 # to fill the literature rows of Table 2).
 # ---------------------------------------------------------------------------

@@ -24,10 +24,9 @@ import numpy as np
 
 from ..transformer.attention import AttentionOutput, merge_heads, project_qkv, split_heads
 from ..transformer.functional import linear
-from .loop_fusion import fused_attention_row
 from .lut import MultiplyLUT
-from .quantization import quantize
-from .topk import topk_indices
+from .quantization import quantization_levels, quantize
+from .topk import topk_select
 
 __all__ = [
     "SparseAttentionConfig",
@@ -141,7 +140,10 @@ def approximate_scores(
     if use_lut and quant_bits > 1:
         lut = MultiplyLUT(quant_bits)
         return lut.matmul(q_quant.values, k_quant.values.T)
-    return q_quant.values @ k_quant.values.T
+    # Integer matmul has no BLAS kernel in NumPy; float64 holds every
+    # quantized product exactly (|value| <= 2^(bits-1), d << 2^53), so the
+    # result is the same integer score matrix, computed ~10x faster.
+    return q_quant.values.astype(np.float64) @ k_quant.values.T.astype(np.float64)
 
 
 def select_candidates(
@@ -154,31 +156,30 @@ def select_candidates(
     Padding keys (``key_mask == False``) are never selected.  The returned
     indices are sorted in ascending order, which is how the data-loading
     stage (2.1) gathers the Ks / Vs rows from memory.
+
+    The key mask is shared by every query row, so the effective k is
+    uniform and all rows rank at once through :func:`~repro.core.topk.
+    topk_select` -- the selection per row is identical to ranking each row
+    separately (same stable tie-break toward the lower index).
     """
     approx_scores = np.asarray(approx_scores)
     if approx_scores.ndim != 2:
         raise ValueError("approx_scores must be 2-D (queries, keys)")
-    n_keys = approx_scores.shape[1]
+    n_rows, n_keys = approx_scores.shape
+    scores = approx_scores.astype(np.float64)
     if key_mask is not None:
         key_mask = np.asarray(key_mask, dtype=bool)
         if key_mask.shape != (n_keys,):
             raise ValueError("key_mask must have one entry per key")
-
-    selected: list[np.ndarray] = []
-    for row in approx_scores:
-        scores = row.astype(np.float64)
-        if key_mask is not None:
-            scores = np.where(key_mask, scores, -np.inf)
-            valid = int(key_mask.sum())
-        else:
-            valid = n_keys
-        k_eff = min(top_k, valid) if valid > 0 else 0
-        if k_eff == 0:
-            selected.append(np.empty(0, dtype=np.int64))
-            continue
-        result = topk_indices(scores, k_eff)
-        selected.append(np.sort(result.indices))
-    return selected
+        scores = np.where(key_mask, scores, -np.inf)
+        valid = int(key_mask.sum())
+    else:
+        valid = n_keys
+    k_eff = min(top_k, valid)
+    if k_eff == 0:
+        return [np.empty(0, dtype=np.int64) for _ in range(n_rows)]
+    chosen = np.sort(topk_select(scores, k_eff), axis=1)
+    return list(chosen)
 
 
 def sparse_attention_head(
@@ -213,20 +214,30 @@ def sparse_attention_head(
 
     candidates = select_candidates(approx, config.top_k, key_mask)
 
+    # The exact path batches every query row at once: gather the selected
+    # K/V rows into (seq, c, d) blocks, compute the exact scores as one
+    # batched matmul, and run a row-wise stable softmax.  This computes the
+    # same quantities as the row-at-a-time fused stage-2.2 kernel
+    # (:func:`~repro.core.loop_fusion.fused_attention_row`) up to float
+    # summation order; the hardware cycle model still charges the fused
+    # loop nest.
     context = np.zeros((seq, d), dtype=np.float64)
     probs = np.zeros((seq, seq), dtype=np.float64)
-    for i, selected in enumerate(candidates):
-        if selected.size == 0:
-            continue
-        result = fused_attention_row(
-            q[i], k[selected], v[selected], mask=None, unroll=config.unroll
-        )
-        context[i] = result.context
-        probs[i, selected] = result.probs
-        c = selected.size
-        stats.selected_candidates += c
-        stats.exact_score_flops += 2 * c * d
-        stats.context_flops += 2 * c * d
+    num_selected = candidates[0].size if candidates else 0
+    if num_selected > 0:
+        selected = np.stack(candidates)  # (seq, c); uniform c per call
+        keys_sel = k[selected]  # (seq, c, d)
+        values_sel = v[selected]
+        scores = (keys_sel @ q[:, :, None])[:, :, 0]  # (seq, c)
+        scores *= 1.0 / np.sqrt(d)
+        shift = scores.max(axis=1, keepdims=True)
+        exp_scores = np.exp(scores - shift)
+        row_probs = exp_scores / exp_scores.sum(axis=1, keepdims=True)
+        context = (row_probs[:, None, :] @ values_sel)[:, 0, :]
+        np.put_along_axis(probs, selected, row_probs, axis=1)
+        stats.selected_candidates = seq * num_selected
+        stats.exact_score_flops = seq * 2 * num_selected * d
+        stats.context_flops = seq * 2 * num_selected * d
 
     return SparseHeadResult(
         context=context,
@@ -260,18 +271,91 @@ def sparse_multi_head_attention(
 
     key_mask = np.asarray(mask, dtype=bool) if mask is not None else None
 
-    contexts = []
-    probs = []
-    scores = []
-    for h in range(num_heads):
-        result = sparse_attention_head(qh[h], kh[h], vh[h], config, key_mask)
-        contexts.append(result.context)
-        probs.append(result.probs)
-        scores.append(result.approx_scores.astype(np.float64))
+    if config.use_lut:
+        # The LUT multiply model is row-at-a-time by construction; keep the
+        # per-head reference path for it.
+        contexts = []
+        probs = []
+        scores = []
+        for h in range(num_heads):
+            result = sparse_attention_head(qh[h], kh[h], vh[h], config, key_mask)
+            contexts.append(result.context)
+            probs.append(result.probs)
+            scores.append(result.approx_scores.astype(np.float64))
+        merged = merge_heads(np.stack(contexts, axis=0))
+        output = linear(merged, weights.wo, weights.bo)
+        return AttentionOutput(
+            output=output, probs=np.stack(probs), scores=np.stack(scores)
+        )
 
-    merged = merge_heads(np.stack(contexts, axis=0))
+    contexts_h, probs_h, scores_h = _batched_sparse_heads(qh, kh, vh, config, key_mask)
+    merged = merge_heads(contexts_h)
     output = linear(merged, weights.wo, weights.bo)
-    return AttentionOutput(output=output, probs=np.stack(probs), scores=np.stack(scores))
+    return AttentionOutput(output=output, probs=probs_h, scores=scores_h)
+
+
+def _quantize_heads(x: np.ndarray, bits: int) -> np.ndarray:
+    """Per-head symmetric quantization of a ``(heads, seq, d)`` stack.
+
+    Produces the same integer code books as calling
+    :func:`~repro.core.quantization.quantize` on each head slice (max / sign
+    are order-independent, so the per-head scales match bit for bit), but
+    returns them as float64 so the score matmul below runs on BLAS.
+    """
+    if bits == 1:
+        return np.where(x >= 0.0, 1.0, -1.0)
+    levels = quantization_levels(bits)
+    max_abs = np.max(np.abs(x), axis=(1, 2), keepdims=True)
+    scale = np.where(max_abs == 0.0, 1.0, max_abs / levels)
+    return np.clip(np.round(x / scale), -levels, levels)
+
+
+def _batched_sparse_heads(
+    qh: np.ndarray,
+    kh: np.ndarray,
+    vh: np.ndarray,
+    config: SparseAttentionConfig,
+    key_mask: np.ndarray | None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """All heads of Fig. 3 steps 2-6 in one batched pass.
+
+    Same selection and numerics as :func:`sparse_attention_head` applied per
+    head (the scale computation and integer scores are exact, so the Top-k
+    choice is identical); only float summation order in the exact path can
+    differ at the last ulp.
+    """
+    num_heads, seq, d = qh.shape
+    q_codes = _quantize_heads(qh, config.quant_bits)
+    k_codes = _quantize_heads(kh, config.quant_bits)
+    approx = q_codes @ k_codes.transpose(0, 2, 1)  # (H, seq, seq), exact ints
+
+    ranked = approx
+    if key_mask is not None:
+        ranked = np.where(key_mask[None, None, :], approx, -np.inf)
+        valid = int(key_mask.sum())
+    else:
+        valid = seq
+    k_eff = min(config.top_k, valid)
+
+    probs = np.zeros((num_heads, seq, seq), dtype=np.float64)
+    contexts = np.zeros((num_heads, seq, d), dtype=np.float64)
+    if k_eff == 0:
+        return contexts, probs, approx
+
+    order = np.argsort(-ranked, axis=2, kind="stable")[:, :, :k_eff]
+    selected = np.sort(order, axis=2)  # (H, seq, c), ascending like the gather stage
+
+    head_idx = np.arange(num_heads)[:, None, None]
+    keys_sel = kh[head_idx, selected]  # (H, seq, c, d)
+    values_sel = vh[head_idx, selected]
+    scores = (keys_sel @ qh[:, :, :, None])[..., 0]  # (H, seq, c)
+    scores *= 1.0 / np.sqrt(d)
+    scores -= scores.max(axis=2, keepdims=True)
+    np.exp(scores, out=scores)
+    scores /= scores.sum(axis=2, keepdims=True)
+    contexts = (scores[:, :, None, :] @ values_sel)[:, :, 0, :]
+    np.put_along_axis(probs, selected, scores, axis=2)
+    return contexts, probs, approx
 
 
 def make_sparse_attention_impl(

@@ -21,7 +21,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["TopKResult", "StreamingTopK", "topk_indices", "topk_mask"]
+__all__ = ["TopKResult", "StreamingTopK", "topk_indices", "topk_select", "topk_mask"]
 
 
 @dataclass
@@ -115,11 +115,31 @@ def topk_indices(scores: np.ndarray, k: int) -> TopKResult:
     return TopKResult(indices=selected, values=scores[selected])
 
 
+def topk_select(scores: np.ndarray, k: int) -> np.ndarray:
+    """Vectorized per-row Top-k over a 2-D score matrix.
+
+    Returns an ``(rows, k)`` index matrix in descending-value order per row,
+    with ties broken toward the lower index -- row for row the same
+    selection as :func:`topk_indices`: a stable argsort of the negated
+    scores keeps equal-valued elements in original (ascending-index) order,
+    which is exactly the lexsort-on-(index, -value) rule of the 1-D path.
+    ``k`` is clipped to the row length.
+    """
+    scores = np.asarray(scores, dtype=np.float64)
+    if scores.ndim != 2:
+        raise ValueError("topk_select expects a 2-D score matrix")
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    k = min(k, scores.shape[1])
+    return np.argsort(-scores, axis=1, kind="stable")[:, :k]
+
+
 def topk_mask(scores: np.ndarray, k: int) -> np.ndarray:
     """Boolean mask (same shape as ``scores``) of the Top-k entries per row.
 
     ``scores`` may be 1-D or 2-D; for 2-D input the selection is applied to
-    every row independently (one query row at a time, as the hardware does).
+    every row independently (the hardware ranks one query row at a time;
+    :func:`topk_select` batches the rows without changing the outcome).
     """
     scores = np.asarray(scores, dtype=np.float64)
     if scores.ndim == 1:
@@ -128,7 +148,6 @@ def topk_mask(scores: np.ndarray, k: int) -> np.ndarray:
         return mask
     if scores.ndim == 2:
         mask = np.zeros(scores.shape, dtype=bool)
-        for row in range(scores.shape[0]):
-            mask[row, topk_indices(scores[row], k).indices] = True
+        np.put_along_axis(mask, topk_select(scores, k), True, axis=1)
         return mask
     raise ValueError("topk_mask supports 1-D or 2-D score arrays")

@@ -22,6 +22,7 @@ from typing import Sequence
 
 from .. import config as global_config
 from ..hardware.accelerator import Accelerator
+from ..hardware.hbm import HbmModel
 from ..platforms.base import AnalyticalPlatform, PlatformResult
 from ..scheduling.length_aware import LengthAwareScheduler, sort_batch_by_length
 from ..scheduling.pipeline import ScheduleResult
@@ -67,6 +68,12 @@ def _key_digest(key: tuple) -> str:
 #: Serial for schedulers whose repr is not value-based (see _scheduler_cache_key).
 _SCHEDULER_SERIAL = itertools.count()
 
+#: Process-wide monotonic stamp for schedule-cache probes.  Each ``execute``
+#: call takes one, so merging the per-device probe streams of one run by
+#: stamp recovers the exact order in which the shared LRU saw the lookups
+#: (devices within a run execute in one process, so stamps are comparable).
+_PROBE_SERIAL = itertools.count()
+
 
 def _scheduler_cache_key(scheduler) -> str:
     """Cache-key component pinning the scheduler's configuration.
@@ -111,11 +118,16 @@ class CycleAccurateDevice(Device):
         schedule_cache: ScheduleCache | None = None,
         max_batch_size: int | None = None,
         max_batch_tokens: int | None = None,
+        kv_cache_bytes: int | None = None,
+        hbm: HbmModel | None = None,
     ) -> None:
         self.accelerator = accelerator
         self.scheduler = scheduler or LengthAwareScheduler()
         self.name = name or accelerator.name
         self.power_watts = power_watts
+        #: HBM substrate for decode-phase KV streaming (prefill cost comes
+        #: from the cycle-accurate schedule, which already folds bandwidth in).
+        self.hbm = hbm or HbmModel(clock_hz=accelerator.clock_hz)
         if cache_length_bucket is not None and cache_length_bucket < 1:
             raise ValueError("cache_length_bucket must be >= 1 (or None for exact)")
         self.cache_length_bucket = cache_length_bucket
@@ -138,11 +150,51 @@ class CycleAccurateDevice(Device):
             float(accelerator.clock_hz),
         )
         self._scheduler_key = _scheduler_cache_key(self.scheduler)
-        super().__init__(max_batch_size=max_batch_size, max_batch_tokens=max_batch_tokens)
+        super().__init__(
+            max_batch_size=max_batch_size,
+            max_batch_tokens=max_batch_tokens,
+            kv_cache_bytes=kv_cache_bytes,
+        )
 
     @property
     def scheduler_name(self) -> str | None:
         return getattr(self.scheduler, "name", type(self.scheduler).__name__)
+
+    # ------------------------------------------------------------------
+    # Decode-phase cost model (two-phase serving)
+    # ------------------------------------------------------------------
+
+    @property
+    def decode_top_k(self) -> int | None:
+        """Sparse designs reuse their attention top-k as the KV-read cap."""
+        return self.accelerator.top_k
+
+    def kv_bytes_per_token(self) -> int:
+        model = self.accelerator.model_config
+        return (
+            2  # K and V
+            * model.num_layers
+            * model.hidden_dim
+            * global_config.KV_BYTES_PER_ELEMENT_FPGA
+        )
+
+    def kv_read_bandwidth(self) -> float:
+        return self.hbm.effective_bandwidth
+
+    def decode_compute_seconds(self, batch_size: int) -> float:
+        """Weight-side work of one step: batched GEMV through the stack.
+
+        The weights stream once per step (shared by the whole batch), so the
+        step sits on a roofline between the weight-stream time and the MAC
+        time at the design's peak rate.
+        """
+        model = self.accelerator.model_config
+        weight_bytes = model.num_parameters * (global_config.MODEL_QUANT_BITS // 8)
+        weight_seconds = weight_bytes / self.kv_read_bandwidth()
+        mac_seconds = (
+            batch_size * 2.0 * model.num_parameters / self.accelerator.peak_ops()
+        )
+        return max(weight_seconds, mac_seconds)
 
     def reset(self, continuous_batching: bool = False) -> None:
         super().reset(continuous_batching=continuous_batching)
@@ -151,9 +203,11 @@ class CycleAccurateDevice(Device):
         self.cache_hits = 0
         self.cache_misses = 0
         #: Probe accounting for deterministic replay: how many schedule
-        #: lookups this run issued and the set of distinct key fingerprints.
+        #: lookups this run issued, the set of distinct key fingerprints,
+        #: and the stamped lookup stream in issue order.
         self.cache_probe_total = 0
         self.cache_probe_unique: set[str] = set()
+        self.cache_probe_sequence: list[tuple[int, str]] = []
         self._cache_active = schedule_cache_enabled()
 
     # ------------------------------------------------------------------
@@ -254,6 +308,7 @@ class CycleAccurateDevice(Device):
         if use_cache:
             self.cache_probe_total += 1
             self.cache_probe_unique.add(entry.key_digest)
+            self.cache_probe_sequence.append((next(_PROBE_SERIAL), entry.key_digest))
         order = self._issue_order(billed, mode)
         if order is None:
             offsets = list(entry.slot_completion_seconds)
@@ -300,6 +355,7 @@ class CycleAccurateDevice(Device):
         return {
             "total": self.cache_probe_total,
             "unique": sorted(self.cache_probe_unique),
+            "sequence": list(self.cache_probe_sequence),
         }
 
     def describe(self) -> dict:
@@ -334,12 +390,23 @@ class AnalyticalDevice(Device):
         workload: str = "end_to_end",
         max_batch_size: int | None = None,
         max_batch_tokens: int | None = None,
+        kv_cache_bytes: int | None = None,
+        mem_bandwidth_bytes: float | None = None,
+        decode_top_k: int | None = None,
     ) -> None:
         if workload not in ("end_to_end", "attention"):
             raise ValueError("workload must be 'end_to_end' or 'attention'")
         self.platform = platform
         self.model_config = model_config
         self.workload = workload
+        #: Decode steps stream KV at this rate; explicit knob wins, then a
+        #: platform-declared bandwidth, then a generic default.
+        self.mem_bandwidth_bytes = (
+            mem_bandwidth_bytes
+            if mem_bandwidth_bytes is not None
+            else getattr(platform, "mem_bandwidth_bytes", None)
+        )
+        self.decode_top_k = decode_top_k
         #: Drives :meth:`Device.served_energy_joules`; analytical batches
         #: never overlap, so power x busy time equals the per-batch sum.
         self.power_watts = getattr(platform, "power_watts", None)
@@ -349,7 +416,47 @@ class AnalyticalDevice(Device):
         if self._needs_model and model_config is None:
             raise ValueError("an AnalyticalPlatform device needs a model_config")
         self.name = name or platform.name
-        super().__init__(max_batch_size=max_batch_size, max_batch_tokens=max_batch_tokens)
+        super().__init__(
+            max_batch_size=max_batch_size,
+            max_batch_tokens=max_batch_tokens,
+            kv_cache_bytes=kv_cache_bytes,
+        )
+
+    # ------------------------------------------------------------------
+    # Decode-phase cost model (two-phase serving)
+    # ------------------------------------------------------------------
+
+    def kv_bytes_per_token(self) -> int | None:
+        if self.model_config is None:
+            return None  # platform wrappers without a model cannot size KV
+        return (
+            2  # K and V
+            * self.model_config.num_layers
+            * self.model_config.hidden_dim
+            * global_config.KV_BYTES_PER_ELEMENT_ANALYTICAL
+        )
+
+    def kv_read_bandwidth(self) -> float:
+        if self.mem_bandwidth_bytes is not None:
+            return float(self.mem_bandwidth_bytes)
+        return global_config.DEFAULT_ANALYTICAL_MEM_BANDWIDTH
+
+    def decode_compute_seconds(self, batch_size: int) -> float:
+        """Weight-side roofline of one step (fp16 weights stream once)."""
+        if self.model_config is None:
+            return 0.0
+        weight_bytes = (
+            self.model_config.num_parameters
+            * global_config.KV_BYTES_PER_ELEMENT_ANALYTICAL
+        )
+        weight_seconds = weight_bytes / self.kv_read_bandwidth()
+        gops = getattr(self.platform, "effective_gops", None)
+        mac_seconds = (
+            0.0
+            if gops is None
+            else batch_size * 2.0 * self.model_config.num_parameters / (gops * 1e9)
+        )
+        return max(weight_seconds, mac_seconds)
 
     def _platform_result(self, lengths: list[int]) -> PlatformResult:
         method = (

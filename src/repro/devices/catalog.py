@@ -72,14 +72,16 @@ def sparse_fpga_device(
     cache_length_bucket: int | None = None,
     max_batch_size: int | None = None,
     max_batch_tokens: int | None = None,
+    kv_cache_bytes: int | None = None,
 ) -> Device:
     """The proposed design: sparse attention + length-aware scheduling.
 
     Config knobs: ``top_k`` (attended keys per query), ``quant_bits``
     (Q/K quantization bits), ``replication`` (attention-stage copies),
     ``cache_length_bucket`` (tokens; schedule-cache length quantization,
-    None = exact), and the per-device admission limits ``max_batch_size``
-    (requests per batch) / ``max_batch_tokens`` (total tokens per batch).
+    None = exact), the per-device admission limits ``max_batch_size``
+    (requests per batch) / ``max_batch_tokens`` (total tokens per batch),
+    and ``kv_cache_bytes`` (decoder KV-cache capacity, None = uncapped).
     The design is balanced for the dataset's average/max length.
     """
     model_config, dataset_config = _model(model), _dataset(dataset)
@@ -98,6 +100,7 @@ def sparse_fpga_device(
         cache_length_bucket=cache_length_bucket,
         max_batch_size=max_batch_size,
         max_batch_tokens=max_batch_tokens,
+        kv_cache_bytes=kv_cache_bytes,
     )
 
 
@@ -109,13 +112,15 @@ def baseline_fpga_device(
     cache_length_bucket: int | None = None,
     max_batch_size: int | None = None,
     max_batch_tokens: int | None = None,
+    kv_cache_bytes: int | None = None,
 ) -> Device:
     """The Fig. 7 FPGA baseline: dense attention, max-length padding.
 
     Config knobs: ``cache_length_bucket`` (tokens; schedule-cache length
-    quantization, None = exact) and the per-device admission limits
+    quantization, None = exact), the per-device admission limits
     ``max_batch_size`` (requests per batch) / ``max_batch_tokens`` (total
-    tokens per batch).  Every sequence is billed at the dataset's max
+    tokens per batch), and ``kv_cache_bytes`` (decoder KV-cache capacity,
+    None = uncapped).  Every sequence is billed at the dataset's max
     length, which is what makes this device padding-bound.
     """
     model_config, dataset_config = _model(model), _dataset(dataset)
@@ -132,10 +137,16 @@ def baseline_fpga_device(
         cache_length_bucket=cache_length_bucket,
         max_batch_size=max_batch_size,
         max_batch_tokens=max_batch_tokens,
+        kv_cache_bytes=kv_cache_bytes,
     )
 
 
-def _register_analytical(key: str, platform, aliases: tuple[str, ...]) -> None:
+def _register_analytical(
+    key: str,
+    platform,
+    aliases: tuple[str, ...],
+    mem_bandwidth_bytes: float | None = None,
+) -> None:
     def build(
         model: ModelConfig | str = "bert-base",
         dataset: DatasetConfig | str = "mrpc",  # noqa: ARG001 - uniform signature
@@ -143,6 +154,7 @@ def _register_analytical(key: str, platform, aliases: tuple[str, ...]) -> None:
         workload: str = "end_to_end",
         max_batch_size: int | None = None,
         max_batch_tokens: int | None = None,
+        kv_cache_bytes: int | None = None,
     ) -> Device:
         del dataset  # analytical platforms have no length-balanced design point
         return AnalyticalDevice(
@@ -152,30 +164,35 @@ def _register_analytical(key: str, platform, aliases: tuple[str, ...]) -> None:
             workload=workload,
             max_batch_size=max_batch_size,
             max_batch_tokens=max_batch_tokens,
+            kv_cache_bytes=kv_cache_bytes,
+            mem_bandwidth_bytes=mem_bandwidth_bytes,
         )
 
     build.__name__ = f"{key.replace('-', '_')}_device"
     build.__doc__ = (
         f"Analytical roofline model of {platform.name}.\n\n"
-        "Config knobs: ``workload`` ('end_to_end' or 'attention') and the "
+        "Config knobs: ``workload`` ('end_to_end' or 'attention'), the "
         "per-device admission limits ``max_batch_size`` (requests per "
-        "batch) / ``max_batch_tokens`` (total tokens per batch).  Batches "
-        "are padded dense and serialize (no internal pipeline)."
+        "batch) / ``max_batch_tokens`` (total tokens per batch), and "
+        "``kv_cache_bytes`` (decoder KV-cache capacity, None = uncapped). "
+        "Batches are padded dense and serialize (no internal pipeline)."
     )
     REGISTRY.add("device", key, build, aliases=aliases)
 
 
-_register_analytical("gpu-rtx6000", RTX_6000, aliases=("gpu", "rtx6000"))
-_register_analytical("gpu-jetson", JETSON_TX2, aliases=("jetson", "jetson-tx2"))
-_register_analytical("cpu-xeon", XEON_5218, aliases=("cpu", "xeon"))
-_register_analytical("gpu-v100-et", V100_ET, aliases=("v100-et",))
+# Decode-phase KV streaming rates come from the public datasheets of the
+# platforms the paper compares against (GDDR6 / LPDDR4 / DDR4 / HBM2).
+_register_analytical("gpu-rtx6000", RTX_6000, aliases=("gpu", "rtx6000"), mem_bandwidth_bytes=672e9)
+_register_analytical("gpu-jetson", JETSON_TX2, aliases=("jetson", "jetson-tx2"), mem_bandwidth_bytes=59.7e9)
+_register_analytical("cpu-xeon", XEON_5218, aliases=("cpu", "xeon"), mem_bandwidth_bytes=115e9)
+_register_analytical("gpu-v100-et", V100_ET, aliases=("v100-et",), mem_bandwidth_bytes=900e9)
 
 
 #: Shared fleet knobs that not every device declares; build_device drops
 #: exactly these when the chosen factory has no such parameter, so one knob
 #: set can drive a mixed fleet while typos still raise TypeError.
 _OPTIONAL_DEVICE_KNOBS = frozenset(
-    {"top_k", "cache_length_bucket", "max_batch_size", "max_batch_tokens"}
+    {"top_k", "cache_length_bucket", "max_batch_size", "max_batch_tokens", "kv_cache_bytes"}
 )
 
 

@@ -39,6 +39,8 @@ from typing import TYPE_CHECKING, Sequence
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..scheduling.pipeline import ScheduleResult
 
+from ..config import DECODE_STEP_OVERHEAD_S as _DECODE_STEP_OVERHEAD_S
+
 __all__ = ["BatchExecution", "Device"]
 
 #: Slack when validating float bookkeeping (admission never exceeds latency).
@@ -112,17 +114,23 @@ class Device:
         self,
         max_batch_size: int | None = None,
         max_batch_tokens: int | None = None,
+        kv_cache_bytes: int | None = None,
     ) -> None:
         if max_batch_size is not None and max_batch_size < 1:
             raise ValueError("max_batch_size must be >= 1 (or None for no limit)")
         if max_batch_tokens is not None and max_batch_tokens < 1:
             raise ValueError("max_batch_tokens must be >= 1 (or None for no limit)")
+        if kv_cache_bytes is not None and kv_cache_bytes < 1:
+            raise ValueError("kv_cache_bytes must be >= 1 (or None for no limit)")
         #: Per-device admission limits the serving engine enforces: at most
         #: ``max_batch_size`` requests and ``max_batch_tokens`` total tokens
         #: per dispatched batch (None = unlimited).  A heterogeneous fleet
         #: can cap a memory-bound board without capping the whole system.
         self.max_batch_size = max_batch_size
         self.max_batch_tokens = max_batch_tokens
+        #: KV-cache capacity (bytes) for decoder workloads; the decode engine
+        #: admits requests token-by-token against this budget (None = no cap).
+        self.kv_cache_bytes = kv_cache_bytes
         self.reset()
 
     def admissible_prefix(self, lengths: Sequence[int]) -> int:
@@ -151,6 +159,7 @@ class Device:
         return {
             "max_batch_size": self.max_batch_size,
             "max_batch_tokens": self.max_batch_tokens,
+            "kv_cache_bytes": self.kv_cache_bytes,
         }
 
     # ------------------------------------------------------------------
@@ -172,6 +181,80 @@ class Device:
     def describe(self) -> dict:
         """JSON-ready self-description (reports, ``repro list`` output)."""
         return {"name": self.name, "backend": self.backend, **self.batch_limits()}
+
+    # ------------------------------------------------------------------
+    # Two-phase (prefill / decode) cost model
+    # ------------------------------------------------------------------
+
+    #: Top-k sparse attention during decode: each step reads at most this many
+    #: KV rows per request instead of the full context (None = dense reads).
+    decode_top_k: int | None = None
+
+    #: Fixed per-step control overhead (sampling, host round trip).
+    decode_step_overhead_s: float = _DECODE_STEP_OVERHEAD_S
+
+    def kv_bytes_per_token(self) -> int | None:
+        """KV-cache bytes one token occupies (K and V, all layers).
+
+        ``None`` means the backend carries no decode cost model; the decode
+        engine refuses such devices up front.
+        """
+        return None
+
+    def kv_read_bandwidth(self) -> float | None:
+        """Sustained bytes/second at which decode steps stream KV rows."""
+        return None
+
+    def decode_compute_seconds(self, batch_size: int) -> float:
+        """Compute-side floor of one decode step for ``batch_size`` requests."""
+        return 0.0
+
+    def supports_decode(self) -> bool:
+        """Whether this backend models the decode phase at all."""
+        return self.kv_bytes_per_token() is not None and self.kv_read_bandwidth() is not None
+
+    def effective_kv_tokens(self, context_length: int) -> int:
+        """KV rows actually read per step for one request's context.
+
+        Top-k sparse attention caps the reads at ``decode_top_k`` rows: the
+        pre-selection picks the k highest-scoring keys, so a long context
+        costs no more bandwidth than a k-token one (the paper's accuracy knob
+        becomes a serving-capacity knob).
+        """
+        context = max(int(context_length), 0)
+        if self.decode_top_k is None:
+            return context
+        return min(context, int(self.decode_top_k))
+
+    def prefill_latency_seconds(self, lengths: Sequence[int]) -> float:
+        """Service time of the prompt pass (reuses the encoder batch path)."""
+        return self.batch_latency_seconds(lengths)
+
+    def decode_step_latency_seconds(self, context_lengths: Sequence[int]) -> float:
+        """One iteration of the running batch: generate one token per request.
+
+        Each request streams ``effective_kv_tokens(context) *
+        kv_bytes_per_token()`` of KV rows on top of the weight-side work of
+        the dense stack (``decode_compute_seconds``).  The two are additive:
+        within every layer the QKV projection, the KV-reading attention, and
+        the FFN form a dependency chain, so the KV stream cannot hide behind
+        the weight pass.  A fixed control overhead closes the step.
+        """
+        contexts = [int(c) for c in context_lengths]
+        if not contexts:
+            raise ValueError("a decode step needs at least one running request")
+        if any(c < 1 for c in contexts):
+            raise ValueError("decode context lengths must be >= 1")
+        per_token = self.kv_bytes_per_token()
+        bandwidth = self.kv_read_bandwidth()
+        if per_token is None or bandwidth is None:
+            raise NotImplementedError(
+                f"device '{self.name}' ({self.backend}) has no decode cost model"
+            )
+        kv_bytes = per_token * sum(self.effective_kv_tokens(c) for c in contexts)
+        read_seconds = kv_bytes / bandwidth
+        compute_seconds = self.decode_compute_seconds(len(contexts))
+        return read_seconds + compute_seconds + self.decode_step_overhead_s
 
     @property
     def scheduler_name(self) -> str | None:

@@ -79,6 +79,7 @@ class ScheduleCache:
         self._entries: OrderedDict[Hashable, Any] = OrderedDict()
         self.hits = 0
         self.misses = 0
+        self.num_evictions = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -101,6 +102,7 @@ class ScheduleCache:
             self._entries.move_to_end(key)
             while len(self._entries) > self.max_entries:
                 self._entries.popitem(last=False)
+                self.num_evictions += 1
 
     def clear(self) -> None:
         """Drop every entry and reset the hit/miss counters."""
@@ -108,6 +110,7 @@ class ScheduleCache:
             self._entries.clear()
             self.hits = 0
             self.misses = 0
+            self.num_evictions = 0
 
     @property
     def hit_rate(self) -> float:
@@ -122,6 +125,7 @@ class ScheduleCache:
             "hits": self.hits,
             "misses": self.misses,
             "hit_rate": self.hit_rate,
+            "num_evictions": self.num_evictions,
         }
 
 

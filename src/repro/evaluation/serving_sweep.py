@@ -16,10 +16,12 @@ devices, empty queues) does not dilute the steady-state statistics.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 
 from ..devices import Device, build_fleet, split_fleet_spec
+from ..devices.schedule_cache import GLOBAL_SCHEDULE_CACHE
 from ..experiments import ExperimentSpec, cfg_field, register_experiment
 from ..experiments.config import ExperimentConfig
 from ..experiments.spec import deprecated_call
@@ -637,39 +639,80 @@ def _sweep_impl(
 
 
 def _replay_cache_accounting(
-    result: ServingSweepResult, capacity_probes: list[dict | None]
+    result: ServingSweepResult,
+    capacity_probes: list[dict | None],
+    max_entries: int | None = None,
 ) -> None:
     """Fill deterministic schedule-cache statistics for every sweep point.
 
-    Replays each run's probe summary (total lookups + distinct key
-    fingerprints) against a cumulative seen-set in canonical order --
+    Replays each run's ordered probe stream (``sequence`` of key digests)
+    against an LRU of the shared cache's capacity in canonical order --
     capacity runs first, then the (dataset, policy, load) grid -- which is
-    exactly the shared cache's behavior in a fresh serial process.  The
-    resulting hit rates are byte-identical for any ``jobs`` setting (the
-    replay assumes no LRU eviction, which holds for any sweep with fewer
-    unique batch shapes than the cache capacity).
+    exactly the shared cache's behavior in a fresh serial process,
+    *including* evictions past ``max_entries`` unique batch shapes.  The
+    resulting hit rates are byte-identical for any ``jobs`` setting.
+
+    Probe summaries without a ``sequence`` (produced by older serialized
+    reports) fall back to the seen-set approximation, which is exact only
+    while the replay never evicts; ``num_evictions`` stays authoritative
+    either way because the fallback cannot insert past the cap unnoticed.
     """
-    seen: set[str] = set()
+    if max_entries is None:
+        max_entries = GLOBAL_SCHEDULE_CACHE.max_entries
+    lru: OrderedDict[str, None] = OrderedDict()
     total_hits = 0
     total_probes = 0
+    total_evictions = 0
     any_probes = False
 
     def account(probes: dict | None) -> dict | None:
-        nonlocal total_hits, total_probes, any_probes
+        nonlocal total_hits, total_probes, total_evictions, any_probes
         if probes is None:
             return None
         any_probes = True
-        unique = set(probes["unique"])
-        misses = len(unique - seen)
-        hits = probes["total"] - misses
-        seen.update(unique)
+        sequence = probes.get("sequence")
+        hits = 0
+        misses = 0
+        evictions = 0
+        if sequence is None:
+            # Legacy summary: distinct digests only.  Treat every distinct
+            # digest as one miss (exact below capacity) and touch the LRU so
+            # later runs still see them.
+            for digest in probes["unique"]:
+                if digest in lru:
+                    lru.move_to_end(digest)
+                else:
+                    misses += 1
+                    lru[digest] = None
+                    if len(lru) > max_entries:
+                        lru.popitem(last=False)
+                        evictions += 1
+            hits = probes["total"] - misses
+        else:
+            for item in sequence:
+                # Fleet-merged streams carry bare digests; per-device streams
+                # still carry their (stamp, digest) merge keys.
+                digest = item[1] if isinstance(item, tuple) else item
+                if digest in lru:
+                    lru.move_to_end(digest)
+                    hits += 1
+                else:
+                    misses += 1
+                    lru[digest] = None
+                    if len(lru) > max_entries:
+                        lru.popitem(last=False)
+                        evictions += 1
         total_hits += hits
         total_probes += probes["total"]
-        return {
+        total_evictions += evictions
+        stats = {
             "hits": hits,
             "misses": misses,
             "hit_rate": hits / probes["total"] if probes["total"] else 0.0,
         }
+        if evictions:
+            stats["num_evictions"] = evictions
+        return stats
 
     for probes in capacity_probes:
         account(probes)
@@ -680,6 +723,7 @@ def _replay_cache_accounting(
             "hits": total_hits,
             "misses": total_probes - total_hits,
             "hit_rate": total_hits / total_probes if total_probes else 0.0,
+            "num_evictions": total_evictions,
         }
 
 

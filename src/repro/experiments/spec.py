@@ -91,6 +91,7 @@ def register_experiment(spec: ExperimentSpec) -> ExperimentSpec:
 
 def _ensure_builtin_specs() -> None:
     """Import the modules whose import side-effect registers the built-ins."""
+    from .. import decode  # noqa: F401  (registers output-length dists + decode-sweep)
     from .. import devices  # noqa: F401  (registers the device catalog)
     from .. import evaluation  # noqa: F401  (registers all experiment specs)
     from .. import serving  # noqa: F401  (registers arrival/policy/router kinds)

@@ -159,8 +159,9 @@ class OnlineServingReport:
     devices: list[DeviceSummary] = field(default_factory=list)
     #: Stepwise (time, waiting-requests) samples of the central queue.
     queue_depth_timeline: list[tuple[float, int]] = field(default_factory=list)
-    #: Fleet-merged schedule-cache probe summary (``{"total", "unique"}``)
-    #: for deterministic cross-run hit accounting; not serialized.
+    #: Fleet-merged schedule-cache probe summary (``{"total", "unique",
+    #: "sequence"}``) for deterministic cross-run hit accounting (the
+    #: ordered digest stream enables exact LRU replay); not serialized.
     schedule_cache_probes: dict | None = None
 
     # ------------------------------------------------------------------
@@ -820,6 +821,7 @@ def simulate_online(
 
     probe_total = 0
     probe_unique: set[str] = set()
+    probe_sequence: list[tuple[int, str]] = []
     probes_seen = False
     for index, device in enumerate(fleet):
         summary = report.devices[index]
@@ -830,6 +832,7 @@ def simulate_online(
             probes_seen = True
             probe_total += probes["total"]
             probe_unique.update(probes["unique"])
+            probe_sequence.extend(probes.get("sequence", []))
         # Power-modeled devices charge power over merged busy intervals, so
         # overlapping admissions under continuous batching are not
         # double-counted; other backends keep the per-batch accumulation.
@@ -837,9 +840,13 @@ def simulate_online(
         if served_energy is not None and summary.num_batches > 0:
             summary.energy_joules = served_energy
     if probes_seen:
+        # Merging the per-device streams by their process-wide stamp
+        # recovers the exact order the shared LRU saw the lookups.
+        probe_sequence.sort(key=lambda item: item[0])
         report.schedule_cache_probes = {
             "total": probe_total,
             "unique": sorted(probe_unique),
+            "sequence": [digest for _, digest in probe_sequence],
         }
     report.records.sort(key=lambda r: (r.completion_time, r.request.request_id))
     return report

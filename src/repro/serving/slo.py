@@ -65,24 +65,43 @@ class SLOSpec:
 
     base_s: float = 0.05
     per_token_s: float = 0.0
+    #: Decoder workloads: extra budget per *generated* token, so a request
+    #: sampling a long output earns a proportionally later deadline (an
+    #: inter-token-latency SLO).  Encoder requests have no ``output_len``
+    #: and are treated as generating one token.
+    per_output_token_s: float = 0.0
 
     def __post_init__(self) -> None:
         if self.base_s < 0:
             raise ValueError("base_s must be >= 0")
         if self.per_token_s < 0:
             raise ValueError("per_token_s must be >= 0")
+        if self.per_output_token_s < 0:
+            raise ValueError("per_output_token_s must be >= 0")
 
-    def budget_seconds(self, length: int) -> float:
-        """The latency budget for a request of ``length`` tokens."""
-        return self.base_s + self.per_token_s * length
+    def budget_seconds(self, length: int, output_len: int = 1) -> float:
+        """The latency budget for a request of ``length`` prompt tokens."""
+        return (
+            self.base_s
+            + self.per_token_s * length
+            + self.per_output_token_s * output_len
+        )
 
     def deadline_for(self, request: Request) -> float:
         """The absolute deadline this spec assigns to ``request``."""
-        return request.arrival_time + self.budget_seconds(request.length)
+        output_len = int(getattr(request, "output_len", 1))
+        return request.arrival_time + self.budget_seconds(request.length, output_len)
 
     def to_dict(self) -> dict:
-        """JSON-ready form (reports)."""
-        return {"base_s": self.base_s, "per_token_s": self.per_token_s}
+        """JSON-ready form (reports).
+
+        ``per_output_token_s`` appears only when set: encoder-side reports
+        (and their downstream consumers) keep their historical two-key shape.
+        """
+        payload = {"base_s": self.base_s, "per_token_s": self.per_token_s}
+        if self.per_output_token_s:
+            payload["per_output_token_s"] = self.per_output_token_s
+        return payload
 
 
 def assign_deadlines(requests: list[Request], slo: SLOSpec) -> list[Request]:

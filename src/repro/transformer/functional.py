@@ -63,7 +63,15 @@ def masked_softmax(scores: np.ndarray, mask: np.ndarray | None, axis: int = -1) 
 
 def gelu(x: np.ndarray) -> np.ndarray:
     """Gaussian Error Linear Unit (tanh approximation used by BERT)."""
-    return 0.5 * x * (1.0 + np.tanh(np.sqrt(2.0 / np.pi) * (x + 0.044715 * x**3)))
+    # x * x * x instead of x**3: NumPy lowers integer powers through libm
+    # pow, which is ~6x slower than two multiplies and differs only in the
+    # last ulp.  This is the hottest elementwise op in every encoder FFN.
+    inner = x + 0.044715 * (x * x * x)
+    inner *= np.sqrt(2.0 / np.pi)
+    np.tanh(inner, out=inner)
+    inner += 1.0
+    inner *= 0.5 * x
+    return inner
 
 
 def relu(x: np.ndarray) -> np.ndarray:
@@ -91,7 +99,7 @@ def linear(x: np.ndarray, weight: np.ndarray, bias: np.ndarray | None = None) ->
     """
     out = x @ weight
     if bias is not None:
-        out = out + bias
+        out += bias
     return out
 
 

@@ -1,0 +1,188 @@
+"""Equivalence tests for the vectorized Top-k / sparse attention kernels.
+
+The functional path batches every query row (and every head) into single
+NumPy calls; these tests pin it against the row-at-a-time reference
+implementations that model the hardware: :func:`topk_indices` /
+:class:`StreamingTopK` for selection and :func:`fused_attention_row` for the
+exact sparse path.  The vectorized kernels must select exactly the same
+candidates and reproduce the reference probabilities and contexts to float
+round-off.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.loop_fusion import fused_attention_row
+from repro.core.quantization import quantize
+from repro.core.sparse_attention import (
+    SparseAttentionConfig,
+    _batched_sparse_heads,
+    approximate_scores,
+    select_candidates,
+    sparse_attention_head,
+    sparse_multi_head_attention,
+)
+from repro.core.topk import StreamingTopK, topk_indices, topk_mask, topk_select
+from repro.transformer.attention import multi_head_attention
+
+
+class TestTopkSelect:
+    def test_matches_topk_indices_per_row(self, rng):
+        scores = rng.normal(size=(40, 64))
+        selected = topk_select(scores, 7)
+        for row in range(scores.shape[0]):
+            reference = topk_indices(scores[row], 7).indices
+            assert np.array_equal(np.sort(selected[row]), np.sort(reference))
+
+    def test_ties_break_toward_lower_index(self):
+        scores = np.array([[1.0, 3.0, 3.0, 3.0, 0.0]])
+        assert np.array_equal(topk_select(scores, 2)[0], [1, 2])
+
+    def test_matches_streaming_unit_on_integer_ties(self, rng):
+        scores = rng.integers(-3, 4, size=(12, 30)).astype(np.float64)
+        selected = topk_select(scores, 5)
+        for row in range(scores.shape[0]):
+            unit = StreamingTopK(5)
+            for index, value in enumerate(scores[row]):
+                unit.push(float(value), index)
+            assert np.array_equal(selected[row], unit.result().indices)
+
+    def test_k_clipped_to_row_length(self, rng):
+        scores = rng.normal(size=(4, 6))
+        assert topk_select(scores, 99).shape == (4, 6)
+
+    def test_rejects_bad_inputs(self, rng):
+        with pytest.raises(ValueError):
+            topk_select(rng.normal(size=10), 3)
+        with pytest.raises(ValueError):
+            topk_select(rng.normal(size=(4, 6)), 0)
+
+    @given(
+        seq=st.integers(min_value=1, max_value=12),
+        keys=st.integers(min_value=1, max_value=20),
+        k=st.integers(min_value=1, max_value=25),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_matches_per_row_lexsort(self, seq, keys, k, seed):
+        scores = np.random.default_rng(seed).integers(-5, 6, size=(seq, keys))
+        selected = topk_select(scores, k)
+        for row in range(seq):
+            order = np.lexsort((np.arange(keys), -scores[row].astype(np.float64)))
+            assert np.array_equal(selected[row], order[: min(k, keys)])
+
+
+class TestTopkMaskVectorized:
+    def test_2d_matches_per_row_reference(self, rng):
+        scores = rng.integers(-3, 4, size=(15, 25)).astype(np.float64)
+        mask = topk_mask(scores, 6)
+        for row in range(scores.shape[0]):
+            reference = np.zeros(scores.shape[1], dtype=bool)
+            reference[topk_indices(scores[row], 6).indices] = True
+            assert np.array_equal(mask[row], reference)
+
+
+def _reference_sparse_head(q, k, v, config, key_mask=None):
+    """Row-at-a-time sparse head built from the hardware-model kernels."""
+    seq, d = q.shape
+    approx = approximate_scores(q, k, config.quant_bits, config.use_lut)
+    candidates = select_candidates(approx, config.top_k, key_mask)
+    context = np.zeros((seq, d), dtype=np.float64)
+    probs = np.zeros((seq, seq), dtype=np.float64)
+    for i, selected in enumerate(candidates):
+        if selected.size == 0:
+            continue
+        result = fused_attention_row(q[i], k[selected], v[selected], mask=None)
+        context[i] = result.context
+        probs[i, selected] = result.probs
+    return candidates, probs, context
+
+
+class TestSparseHeadVectorized:
+    @pytest.mark.parametrize(
+        "seq,dim,top_k,quant_bits,masked",
+        [
+            (20, 16, 5, 4, False),
+            (33, 8, 30, 1, True),
+            (12, 8, 12, 8, False),
+            (40, 16, 8, 4, True),
+        ],
+    )
+    def test_matches_fused_row_reference(self, rng, seq, dim, top_k, quant_bits, masked):
+        q = rng.normal(size=(seq, dim))
+        k = rng.normal(size=(seq, dim))
+        v = rng.normal(size=(seq, dim))
+        key_mask = None
+        if masked:
+            key_mask = np.ones(seq, dtype=bool)
+            key_mask[-4:] = False
+        config = SparseAttentionConfig(top_k=top_k, quant_bits=quant_bits)
+        result = sparse_attention_head(q, k, v, config, key_mask)
+        candidates, probs, context = _reference_sparse_head(q, k, v, config, key_mask)
+        for got, expected in zip(result.selected, candidates):
+            assert np.array_equal(got, expected)
+        assert np.allclose(result.probs, probs, atol=1e-12)
+        assert np.allclose(result.context, context, atol=1e-12)
+
+    def test_batched_heads_match_per_head_path(self, rng):
+        num_heads, seq, dim = 4, 24, 8
+        qh = rng.normal(size=(num_heads, seq, dim))
+        kh = rng.normal(size=(num_heads, seq, dim))
+        vh = rng.normal(size=(num_heads, seq, dim))
+        key_mask = np.ones(seq, dtype=bool)
+        key_mask[-3:] = False
+        for quant_bits in (1, 4):
+            config = SparseAttentionConfig(top_k=6, quant_bits=quant_bits)
+            contexts, probs, approx = _batched_sparse_heads(qh, kh, vh, config, key_mask)
+            for h in range(num_heads):
+                reference = sparse_attention_head(qh[h], kh[h], vh[h], config, key_mask)
+                assert np.array_equal(approx[h], reference.approx_scores.astype(np.float64))
+                assert np.allclose(probs[h], reference.probs, atol=1e-12)
+                assert np.allclose(contexts[h], reference.context, atol=1e-12)
+
+    def test_batched_quantization_scales_match_per_head(self, rng):
+        stacked = rng.normal(size=(3, 10, 6))
+        for bits in (1, 4, 8):
+            from repro.core.sparse_attention import _quantize_heads
+
+            codes = _quantize_heads(stacked, bits)
+            for h in range(stacked.shape[0]):
+                reference = quantize(stacked[h], bits)
+                assert np.array_equal(codes[h], reference.values.astype(np.float64))
+
+    def test_multi_head_lut_and_batched_paths_agree(self, rng, tiny_weights):
+        seq, hidden, num_heads = 16, 64, 4
+        hidden_states = rng.normal(size=(seq, hidden))
+        weights = tiny_weights.layers[0].attention
+        batched = sparse_multi_head_attention(
+            hidden_states,
+            weights,
+            num_heads,
+            config=SparseAttentionConfig(top_k=4, quant_bits=4, use_lut=False),
+        )
+        lut = sparse_multi_head_attention(
+            hidden_states,
+            weights,
+            num_heads,
+            config=SparseAttentionConfig(top_k=4, quant_bits=4, use_lut=True),
+        )
+        assert np.array_equal(batched.scores, lut.scores)
+        assert np.allclose(batched.probs, lut.probs, atol=1e-12)
+        assert np.allclose(batched.output, lut.output, atol=1e-12)
+
+    def test_full_top_k_matches_dense_attention(self, rng, tiny_weights):
+        seq, hidden, num_heads = 12, 64, 4
+        hidden_states = rng.normal(size=(seq, hidden))
+        weights = tiny_weights.layers[0].attention
+        sparse = sparse_multi_head_attention(
+            hidden_states,
+            weights,
+            num_heads,
+            config=SparseAttentionConfig(top_k=seq, quant_bits=8),
+        )
+        dense = multi_head_attention(hidden_states, weights, num_heads)
+        assert np.allclose(sparse.output, dense.output, atol=1e-6)

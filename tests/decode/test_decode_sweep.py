@@ -1,0 +1,151 @@
+"""Decode sweep: config validation, top-k concurrency search, end-to-end run."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.decode.sweep import (
+    DecodeSweepConfig,
+    _topk_accuracy_drops,
+    decode_concurrency_limit,
+    run_decode_sweep,
+)
+from repro.devices import build_device
+from repro.transformer.configs import get_model_config
+
+ITL_BUDGET_S = 4e-3
+CONTEXT_TOKENS = 245
+
+
+def _sweep_device(top_k: int | None = None):
+    knobs = {
+        "model": get_model_config("bert-base"),
+        "dataset": "mrpc",
+        "kv_cache_bytes": int(32.0 * 2**20),
+    }
+    if top_k is not None:
+        knobs["top_k"] = top_k
+    return build_device("sparse-fpga", **knobs)
+
+
+class TestConfigValidation:
+    def test_defaults_validate(self):
+        DecodeSweepConfig().validate()
+
+    @pytest.mark.parametrize(
+        ("knobs", "match"),
+        [
+            ({"load_fractions": ()}, "load_fractions"),
+            ({"load_fractions": (0.5, -1.0)}, "load_fractions"),
+            ({"modes": ()}, "modes"),
+            ({"modes": ("iteration", "bogus")}, "unknown modes"),
+            ({"modes": ("iteration", "iteration")}, "repeat"),
+            ({"requests": 0}, "requests"),
+            ({"kv_cache_mb": 0.0}, "kv_cache_mb"),
+            ({"slo_per_output_token_ms": 1.0}, "slo_ms"),
+            ({"topk": (5, 0)}, "topk"),
+            ({"itl_budget_ms": 0.0}, "itl_budget_ms"),
+            ({"accuracy_examples": -1}, "accuracy_examples"),
+            ({"warmup_fraction": 1.0}, "warmup_fraction"),
+            ({"device": "no-such-device"}, "no-such-device"),
+            ({"output_lengths": "no-such-dist"}, "no-such-dist"),
+            ({"arrival": "closed-loop"}, "rate-driven"),
+        ],
+    )
+    def test_invalid_configs_rejected(self, knobs, match):
+        with pytest.raises(ValueError, match=match):
+            # Frozen configs validate on construction; replace() re-runs it.
+            dataclasses.replace(DecodeSweepConfig(), **knobs).validate()
+
+
+class TestConcurrencyLimit:
+    def test_topk_raises_concurrency_over_dense(self):
+        """Capping KV reads per step buys strictly more concurrent decodes
+        inside the same inter-token budget on the same device."""
+        device = _sweep_device(top_k=5)
+        dense, dense_step = decode_concurrency_limit(
+            device, CONTEXT_TOKENS, ITL_BUDGET_S, top_k=None
+        )
+        sparse, sparse_step = decode_concurrency_limit(
+            device, CONTEXT_TOKENS, ITL_BUDGET_S, top_k=5
+        )
+        assert dense >= 1
+        assert sparse > dense
+        assert dense_step <= ITL_BUDGET_S
+        assert sparse_step <= ITL_BUDGET_S
+
+    def test_concurrency_monotone_in_k(self):
+        device = _sweep_device()
+        limits = [
+            decode_concurrency_limit(device, CONTEXT_TOKENS, ITL_BUDGET_S, top_k=k)[0]
+            for k in (5, 30, None)
+        ]
+        assert limits == sorted(limits, reverse=True)
+
+    def test_budget_smaller_than_one_step_reports_zero(self):
+        device = _sweep_device()
+        limit, step = decode_concurrency_limit(device, CONTEXT_TOKENS, 1e-9, top_k=None)
+        assert limit == 0
+        assert step > 1e-9  # the latency of the unschedulable single step
+
+    def test_device_without_decode_model_refused(self):
+        from repro.devices import Device
+
+        with pytest.raises(ValueError, match="decode cost model"):
+            decode_concurrency_limit(Device(), CONTEXT_TOKENS, ITL_BUDGET_S, top_k=None)
+
+
+class TestTopKAccuracyTrade:
+    def test_aggressive_k_trades_accuracy_for_concurrency(self):
+        """The paper's operating point: small k costs accuracy, buys KV-bound
+        concurrency; the default k is accuracy-neutral."""
+        drops = _topk_accuracy_drops(DecodeSweepConfig())
+        assert drops[5] > 0.0
+        assert drops[30] == pytest.approx(0.0)
+
+    def test_skipped_when_no_examples(self):
+        config = dataclasses.replace(DecodeSweepConfig(), accuracy_examples=0)
+        assert _topk_accuracy_drops(config) == {}
+
+
+class TestRunDecodeSweep:
+    @pytest.fixture(scope="class")
+    def result(self):
+        config = dataclasses.replace(
+            DecodeSweepConfig(),
+            requests=60,
+            load_fractions=(1.1,),
+            accuracy_examples=0,
+        )
+        return run_decode_sweep(config)
+
+    def test_iteration_beats_request_at_saturation(self, result):
+        assert result.saturation_gain() > 1.0
+
+    def test_points_cover_mode_grid(self, result):
+        assert {(p.mode, p.load_fraction) for p in result.points} == {
+            ("iteration", 1.1),
+            ("request", 1.1),
+        }
+        for point in result.points:
+            assert point.offered_qps == pytest.approx(1.1 * result.capacity_qps)
+            assert point.report.num_completed == 60
+
+    def test_topk_points_expose_concurrency_trade(self, result):
+        ks = [p.top_k for p in result.topk_points]
+        assert ks == sorted(DecodeSweepConfig().topk)
+        aggressive = result.topk_points[0]
+        assert aggressive.concurrency > aggressive.dense_concurrency
+        assert aggressive.accuracy_drop is None  # probe disabled in fixture
+
+    def test_to_dict_round_trips_summary(self, result):
+        payload = result.to_dict()
+        assert payload["dataset"] == "MRPC"
+        assert payload["kv_cache_bytes"] == int(32.0 * 2**20)
+        assert payload["saturation_gain"] == pytest.approx(result.saturation_gain())
+        assert len(payload["points"]) == 2
+        assert {row["top_k"] for row in payload["topk_points"]} == set(
+            DecodeSweepConfig().topk
+        )

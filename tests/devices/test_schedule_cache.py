@@ -201,3 +201,80 @@ class TestCacheMechanics:
         assert len(cache) == 1  # shared entries survive across runs
         device.execute([80, 40])
         assert device.cache_hits == 1
+
+
+class TestEvictionAccounting:
+    def test_num_evictions_counter(self):
+        cache = ScheduleCache(max_entries=2)
+        cache.store("a", 1)
+        cache.store("b", 2)
+        assert cache.num_evictions == 0
+        cache.store("c", 3)
+        assert cache.num_evictions == 1
+        assert cache.stats()["num_evictions"] == 1
+        cache.clear()
+        assert cache.num_evictions == 0
+
+    def test_probe_sequence_recorded_in_order(self, accelerator):
+        cache = ScheduleCache()
+        device = _device(accelerator, schedule_cache=cache)
+        device.execute([80, 40])
+        device.execute([40, 80])
+        device.execute([32])
+        probes = device.schedule_cache_probes()
+        assert len(probes["sequence"]) == probes["total"] == 3
+        stamps = [stamp for stamp, _ in probes["sequence"]]
+        assert stamps == sorted(stamps)
+        digests = [digest for _, digest in probes["sequence"]]
+        assert digests[0] == digests[1] != digests[2]  # permutation shares a key
+
+    def test_replay_is_exact_past_capacity(self):
+        """Sequence replay must count re-misses after eviction; set replay can't."""
+        from types import SimpleNamespace
+
+        from repro.evaluation.serving_sweep import _replay_cache_accounting
+
+        # Stream A B C A against a 2-entry LRU: storing C evicts A, so the
+        # second A probe is a miss again (4 misses, 2 evictions, 0 hits).
+        probes = {
+            "total": 4,
+            "unique": ["A", "B", "C"],
+            "sequence": ["A", "B", "C", "A"],
+        }
+        point = SimpleNamespace(
+            report=SimpleNamespace(schedule_cache_probes=probes), cache_stats=None
+        )
+        result = SimpleNamespace(points=[point], schedule_cache=None)
+        _replay_cache_accounting(result, [], max_entries=2)
+        assert point.cache_stats == {
+            "hits": 0,
+            "misses": 4,
+            "hit_rate": 0.0,
+            "num_evictions": 2,
+        }
+        assert result.schedule_cache == {
+            "hits": 0,
+            "misses": 4,
+            "hit_rate": 0.0,
+            "num_evictions": 2,
+        }
+
+    def test_replay_matches_live_cache_counters(self, accelerator):
+        """Replaying a run's probe stream reproduces the live hit/miss split."""
+        from types import SimpleNamespace
+
+        from repro.evaluation.serving_sweep import _replay_cache_accounting
+
+        cache = ScheduleCache(max_entries=2)
+        device = _device(accelerator, schedule_cache=cache)
+        for batch in ([10], [20], [30], [10], [30], [20]):
+            device.execute(batch)
+        probes = device.schedule_cache_probes()
+        point = SimpleNamespace(
+            report=SimpleNamespace(schedule_cache_probes=probes), cache_stats=None
+        )
+        result = SimpleNamespace(points=[point], schedule_cache=None)
+        _replay_cache_accounting(result, [], max_entries=2)
+        assert point.cache_stats["hits"] == device.cache_hits
+        assert point.cache_stats["misses"] == device.cache_misses
+        assert point.cache_stats.get("num_evictions", 0) == cache.num_evictions

@@ -29,6 +29,7 @@ EXPECTED_EXPERIMENTS = {
     "table2",
     "serve",
     "serving-sweep",
+    "decode-sweep",
 }
 
 

@@ -227,6 +227,87 @@ def _cmd_bench(args: argparse.Namespace) -> str:
     return text
 
 
+def _cmd_live(args: argparse.Namespace) -> str:
+    """Serve over HTTP with the simulator's policies, or validate against it.
+
+    ``repro live`` starts the asyncio gateway (:mod:`repro.live`) on the
+    requested fleet and blocks until ``POST /shutdown`` (or Ctrl-C); the
+    final stats payload -- the same ``to_dict()`` metrics the simulator
+    reports -- is printed on exit.  ``repro live --validate`` instead
+    replays the checked-in validation trace through both the simulator and
+    a loopback gateway and prints the agreement report, failing when the
+    two disagree (counts exactly, rates beyond the tolerance).
+    """
+    import asyncio
+
+    from .live import LiveServer, run_live_validation
+    from .live.gateway import LiveGateway
+
+    if args.validate:
+        result = run_live_validation(tolerance=args.tolerance)
+        agreement = result["agreement"]
+        if args.format == "json":
+            text = json.dumps(result, indent=2)
+        else:
+            lines = [f"sim-vs-live validation ({result['trace_entries']} requests)"]
+            for key, entry in agreement["counts"].items():
+                mark = "ok" if entry["match"] else "MISMATCH"
+                lines.append(f"  {key:20s} sim={entry['sim']:<6} live={entry['live']:<6} {mark}")
+            for key, entry in agreement["rates"].items():
+                error = entry["relative_error"]
+                mark = "ok" if entry["within_tolerance"] else "OUT OF TOLERANCE"
+                lines.append(
+                    f"  {key:20s} sim={entry['sim']:<10.4f} live={entry['live']:<10.4f} "
+                    f"err={error:.4%} {mark}"
+                )
+            verdict = "within" if agreement["within_tolerance"] else "OUTSIDE"
+            lines.append(f"  agreement {verdict} tolerance ({agreement['tolerance']:.0%})")
+            text = "\n".join(lines)
+        _write_output(args.output_dir, "live-validation", args.format, text)
+        if not agreement["within_tolerance"]:
+            print(text)
+            raise _CliInputError("sim-vs-live agreement outside tolerance")
+        return text
+
+    from .devices import build_fleet
+    from .serving import SLOSpec, get_batch_policy, get_router
+
+    fleet = build_fleet(tuple(args.devices), dataset=args.dataset)
+    gateway = LiveGateway(
+        fleet,
+        args.dataset,
+        batch_policy=get_batch_policy(
+            args.batch_policy,
+            batch_size=args.batch_size,
+            timeout_s=args.timeout_ms / 1e3,
+        ),
+        router=get_router(args.routing),
+        max_queue_depth=args.max_queue_depth,
+        slo=SLOSpec(base_s=args.slo_ms / 1e3) if args.slo_ms is not None else None,
+        shed_on_predicted_miss=args.shed_on_predicted_miss,
+        continuous_batching=args.continuous_batching,
+    )
+
+    async def _serve() -> dict:
+        server = LiveServer(gateway, host=args.host, port=args.port)
+        await server.start()
+        print(
+            f"repro live: serving {len(fleet)} device(s) on "
+            f"http://{args.host}:{server.port} (POST /shutdown to stop)",
+            file=sys.stderr,
+            flush=True,
+        )
+        return await server.serve_until_shutdown()
+
+    try:
+        stats = asyncio.run(_serve())
+    except KeyboardInterrupt:
+        stats = gateway.stats()
+    text = json.dumps(stats, indent=2)
+    _write_output(args.output_dir, "live", "json", text)
+    return text
+
+
 def _cmd_list(args: argparse.Namespace) -> str:
     """List every registered component kind/name (devices, arrivals, ...)."""
     from .evaluation.report import format_table
@@ -327,6 +408,84 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write the JSON record to this directory (bench.json)",
     )
     bench_parser.set_defaults(func=_cmd_bench)
+    live_parser = subparsers.add_parser(
+        "live",
+        help="serve over HTTP with the simulator's policies (repro.live), or --validate against it",
+    )
+    live_parser.add_argument("--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)")
+    live_parser.add_argument(
+        "--port", type=int, default=8100, help="bind port; 0 picks an ephemeral port (default: 8100)"
+    )
+    live_parser.add_argument("--dataset", default="mrpc", help="dataset whose statistics prepare the policies (default: mrpc)")
+    live_parser.add_argument(
+        "--devices",
+        nargs="+",
+        default=["gpu-rtx6000"],
+        metavar="DEVICE",
+        help="catalog device fleet (default: gpu-rtx6000)",
+    )
+    live_parser.add_argument(
+        "--batch-policy",
+        default="timeout",
+        help="registered batch policy: fixed, timeout, bucketed, deadline (default: timeout)",
+    )
+    live_parser.add_argument("--batch-size", type=int, default=16, help="requests per batch (default: 16)")
+    live_parser.add_argument(
+        "--timeout-ms",
+        type=float,
+        default=50.0,
+        help="dynamic-batching timeout for policies that take one (default: 50)",
+    )
+    live_parser.add_argument(
+        "--routing",
+        default="least-loaded",
+        help="registered router: round-robin, least-loaded, length-sharded, cost-model (default: least-loaded)",
+    )
+    live_parser.add_argument(
+        "--max-queue-depth",
+        type=int,
+        default=None,
+        help="bounded-queue admission control; arrivals past this depth get HTTP 429 (default: unbounded)",
+    )
+    live_parser.add_argument(
+        "--slo-ms",
+        type=float,
+        default=None,
+        help="assign each request a deadline of arrival + SLO_MS (default: no deadlines)",
+    )
+    live_parser.add_argument(
+        "--shed-on-predicted-miss",
+        action="store_true",
+        help="shed at arrival when no device could meet the deadline even dispatched alone",
+    )
+    live_parser.add_argument(
+        "--continuous-batching",
+        action="store_true",
+        help="device-level continuous batching (admit at entry-stage free, not full drain)",
+    )
+    live_parser.add_argument(
+        "--validate",
+        action="store_true",
+        help="replay the checked-in trace through the simulator and a loopback gateway; fail on disagreement",
+    )
+    live_parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.02,
+        help="relative tolerance for the --validate rate metrics (default: 0.02)",
+    )
+    live_parser.add_argument(
+        "--format",
+        choices=("table", "json"),
+        default="table",
+        help="--validate report format (server mode always prints final stats as JSON)",
+    )
+    live_parser.add_argument(
+        "--output-dir",
+        default=None,
+        help="also write the report to this directory (live-validation.* or live.json)",
+    )
+    live_parser.set_defaults(func=_cmd_live)
     list_parser = subparsers.add_parser(
         "list",
         help="list every registered component (devices, arrivals, policies, routers, experiments)",

@@ -34,7 +34,6 @@ from __future__ import annotations
 
 import heapq
 import math
-import warnings
 from dataclasses import dataclass, field
 from typing import Sequence
 
@@ -45,17 +44,18 @@ from ..devices import BatchExecution, Device
 from ..hardware.accelerator import Accelerator
 from ..transformer.configs import DatasetConfig, get_dataset_config
 from ..serving.arrivals import ArrivalProcess
+from ..serving.clock import SimClock
+from ..serving.core import _EPS, DispatchCore, collect_device_stats, prepare_components
 from ..serving.engine import (
-    _EPS,
     BatchRecord,
     DeviceSummary,
     OnlineServingReport,
     _as_fleet,
     _fleet_scheduler_label,
 )
-from ..serving.policies import BatchPolicy, FixedSizeBatcher, LengthBucketedBatcher
+from ..serving.policies import BatchPolicy
 from ..serving.request import Request
-from ..serving.routing import LeastLoadedRouter, LengthShardedRouter, Router
+from ..serving.routing import Router
 from ..serving.slo import SLOSpec, assign_deadlines
 from .output_lengths import (
     OutputLengthDistribution,
@@ -262,6 +262,7 @@ def simulate_decode_online(
     max_queue_depth: int | None = None,
     slo: SLOSpec | None = None,
     iteration_level: bool = True,
+    shed_on_predicted_miss: bool = False,
 ) -> DecodeServingReport:
     """Run the two-phase (prefill/decode) serving simulation.
 
@@ -323,26 +324,7 @@ def simulate_decode_online(
     if slo is not None:
         requests = assign_deadlines(requests, slo)
 
-    batch_policy = batch_policy or FixedSizeBatcher()
-    router = router or LeastLoadedRouter()
-    batch_policy.prepare(dataset)
-    router.prepare(len(fleet), dataset)
-    bind_fleet = getattr(batch_policy, "bind_fleet", None)
-    if bind_fleet is not None:
-        bind_fleet(fleet)
-    take_shed = getattr(batch_policy, "take_shed", None)
-    if (
-        isinstance(router, LengthShardedRouter)
-        and len(fleet) > 1
-        and not isinstance(batch_policy, LengthBucketedBatcher)
-    ):
-        warnings.warn(
-            "length-sharded routing needs length-bucketed batching to spread "
-            "batches across devices; with a FIFO batch policy most batches "
-            "route to a single shard",
-            UserWarning,
-            stacklevel=2,
-        )
+    batch_policy, router = prepare_components(batch_policy, router, fleet, dataset)
 
     for device in fleet:
         device.reset(continuous_batching=continuous_batching)
@@ -367,13 +349,18 @@ def simulate_decode_online(
     )
 
     states = [_DeviceDecodeState() for _ in fleet]
-    queue: list[DecodeRequest] = []
-    pending_starts: list[float] = []
-
-    def waiting_requests(queue: list, now: float) -> int:
-        while pending_starts and pending_starts[0] <= now + _EPS:
-            heapq.heappop(pending_starts)
-        return len(queue) + len(pending_starts)
+    # The core owns the formation queue and shed/admission accounting; the
+    # decode engine keeps its own dispatch path (KV-admitted prefill feeding
+    # the per-device decode states) and so never calls core.dispatch.
+    core = DispatchCore(
+        fleet,
+        report,
+        batch_policy,
+        router,
+        max_queue_depth=max_queue_depth,
+        shed_on_predicted_miss=shed_on_predicted_miss,
+    )
+    queue = core.queue
 
     def drain_kv_releases(index: int, now: float) -> None:
         state = states[index]
@@ -444,9 +431,7 @@ def simulate_decode_online(
         per_token = device.kv_bytes_per_token()
         start = device.next_start(now)
         execution = device.execute([r.length for r in batch])
-        if max_queue_depth is not None and start > now + _EPS:
-            for _ in batch:
-                heapq.heappush(pending_starts, start)
+        core.note_pending_starts(start, len(batch), now)
         batch_id = len(report.batches)
         for position, request in enumerate(batch):
             first_token = start + execution.completion_offsets[position]
@@ -583,9 +568,9 @@ def simulate_decode_online(
         state.num_steps += 1
 
     depth_timeline = report.queue_depth_timeline
+    clock = SimClock()
     next_index = 0
     total = len(requests)
-    now = 0.0
 
     def decode_active() -> bool:
         return any(
@@ -593,18 +578,11 @@ def simulate_decode_online(
         )
 
     while next_index < total or queue or decode_active():
+        now = clock.now()
         while next_index < total and requests[next_index].arrival_time <= now + _EPS:
-            request = requests[next_index]
+            core.offer(requests[next_index], now)
             next_index += 1
-            if (
-                max_queue_depth is not None
-                and waiting_requests(queue, now) >= max_queue_depth
-            ):
-                report.num_shed += 1
-                report.shed_requests.append(request)
-            else:
-                queue.append(request)
-        depth_timeline.append((now, len(queue)))
+        core.note_queue_depth(now)
 
         for index, state in enumerate(states):
             if fleet[index].kv_cache_bytes is not None:
@@ -627,9 +605,7 @@ def simulate_decode_online(
                 depth_timeline.append((now, len(queue)))
                 break
             depth_timeline.append((now, len(queue)))
-        for request in take_shed() if take_shed is not None else ():
-            report.num_shed_late += 1
-            report.shed_requests.append(request)
+        core.collect_policy_shed()
 
         for index in range(len(fleet)):
             maybe_start_step(index, now)
@@ -637,7 +613,7 @@ def simulate_decode_online(
         if next_index >= total and not queue and not decode_active():
             break
         next_event = requests[next_index].arrival_time if next_index < total else math.inf
-        deadline = batch_policy.next_action_time(queue, now)
+        deadline = core.next_action_time(now)
         if deadline is not None and not (kv_blocked and deadline <= now + _EPS):
             next_event = min(next_event, deadline)
         for state in states:
@@ -657,27 +633,17 @@ def simulate_decode_online(
             raise RuntimeError(
                 f"batch policy '{batch_policy.name}' is not making progress"
             )
-        now = max(now, next_event)
+        clock.advance_to(next_event)
 
-    probe_total = 0
-    probe_unique: set[str] = set()
-    probe_sequence: list[tuple[int, str]] = []
-    probes_seen = False
+    collect_device_stats(
+        report,
+        fleet,
+        active=[
+            report.devices[i].num_batches > 0 or states[i].num_steps > 0
+            for i in range(len(fleet))
+        ],
+    )
     for index, device in enumerate(fleet):
-        summary = report.devices[index]
-        summary.busy_seconds = device.busy_seconds()
-        summary.schedule_cache = device.schedule_cache_stats()
-        probes = device.schedule_cache_probes()
-        if probes is not None:
-            probes_seen = True
-            probe_total += probes["total"]
-            probe_unique.update(probes["unique"])
-            probe_sequence.extend(probes.get("sequence", []))
-        served_energy = device.served_energy_joules()
-        if served_energy is not None and (
-            summary.num_batches > 0 or states[index].num_steps > 0
-        ):
-            summary.energy_joules = served_energy
         report.decode_devices.append(
             {
                 "device": index,
@@ -691,14 +657,5 @@ def simulate_decode_online(
                 ),
             }
         )
-    if probes_seen:
-        # Merging the per-device streams by their process-wide stamp
-        # recovers the exact order the shared LRU saw the lookups.
-        probe_sequence.sort(key=lambda item: item[0])
-        report.schedule_cache_probes = {
-            "total": probe_total,
-            "unique": sorted(probe_unique),
-            "sequence": [digest for _, digest in probe_sequence],
-        }
     report.records.sort(key=lambda r: (r.completion_time, r.request.request_id))
     return report

@@ -205,6 +205,22 @@ class Device:
         """Sustained bytes/second at which decode steps stream KV rows."""
         return None
 
+    def kv_reservation_bytes(self, total_tokens: int) -> int | None:
+        """KV-cache bytes ``total_tokens`` of context occupy on this backend.
+
+        The decode engine reserves ``kv_reservation_bytes(request.total_tokens)``
+        per admitted request and the live gateway tracks the same quantity for
+        its in-flight batches (releasing it when a batch finalizes or its
+        worker crashes).  ``None`` means the backend has no decode cost model,
+        so nothing is reserved.
+        """
+        per_token = self.kv_bytes_per_token()
+        if per_token is None:
+            return None
+        if total_tokens < 0:
+            raise ValueError("total_tokens must be >= 0")
+        return int(total_tokens) * per_token
+
     def decode_compute_seconds(self, batch_size: int) -> float:
         """Compute-side floor of one decode step for ``batch_size`` requests."""
         return 0.0

@@ -16,18 +16,27 @@ from concurrent.futures import ProcessPoolExecutor
 from pathlib import Path
 
 from ..experiments import ExperimentReport, list_experiments, run_report
+from .env_overrides import apply_env_overrides, capture_env_overrides
 
 __all__ = ["ExperimentReport", "run_all_experiments"]
 
+#: Multiprocessing context for the worker pool (None = platform default).
+#: Tests point this at a spawn context to exercise submit-time env capture.
+_MP_CONTEXT = None
 
-def _report_worker(name: str, config: dict | None) -> ExperimentReport:
+
+def _report_worker(
+    name: str, config: dict | None, env: dict[str, str | None] | None = None
+) -> ExperimentReport:
     """Run one experiment in a worker process.
 
     The rendered text and the JSON payload travel back to the parent; the
     in-memory ``result`` object stays in the worker (arbitrary result objects
     are not guaranteed to pickle, and ``repro all`` only consumes text +
-    payload).
+    payload).  The submit-time ``env`` snapshot is re-exported first, so the
+    worker honors the same ``REPRO_*`` overrides as a serial run.
     """
+    apply_env_overrides(env)
     report = run_report(name, config)
     return ExperimentReport(
         name=report.name,
@@ -84,8 +93,12 @@ def run_all_experiments(
 
     collected: dict[str, ExperimentReport] = {}
     if jobs > 1:
-        with ProcessPoolExecutor(max_workers=jobs) as pool:
-            futures = [pool.submit(_report_worker, name, configs[name]) for name in names]
+        env = capture_env_overrides()
+        with ProcessPoolExecutor(max_workers=jobs, mp_context=_MP_CONTEXT) as pool:
+            futures = [
+                pool.submit(_report_worker, name, configs[name], env=env)
+                for name in names
+            ]
             for name, future in zip(names, futures):
                 collected[name] = future.result()
     else:

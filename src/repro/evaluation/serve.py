@@ -99,6 +99,14 @@ class ServeConfig(ExperimentConfig):
     max_queue_depth: int | None = cfg_field(
         None, help="shed arrivals beyond this many waiting requests"
     )
+    shed_on_predicted_miss: bool = cfg_field(
+        False,
+        help=(
+            "deadline-aware admission: shed a request at arrival when no "
+            "device could meet its deadline even dispatched alone "
+            "(reported as num_shed_predicted)"
+        ),
+    )
     slo_ms: float | None = cfg_field(
         None,
         help=(
@@ -211,13 +219,20 @@ class ServeResult:
         if self.report is None or self.warmup_fraction <= 0.0:
             return None
         warmup = self.warmup_fraction
+        served = bool(self.report.steady_records(warmup))
         stats = {
             "warmup_fraction": warmup,
             "sustained_qps": self.report.steady_qps(warmup),
             "latency_ms": {
-                "p50": self.report.steady_latency_percentile(50, warmup) * 1e3,
-                "p95": self.report.steady_latency_percentile(95, warmup) * 1e3,
-                "p99": self.report.steady_latency_percentile(99, warmup) * 1e3,
+                "p50": self.report.steady_latency_percentile(50, warmup) * 1e3
+                if served
+                else None,
+                "p95": self.report.steady_latency_percentile(95, warmup) * 1e3
+                if served
+                else None,
+                "p99": self.report.steady_latency_percentile(99, warmup) * 1e3
+                if served
+                else None,
             },
         }
         attainment = self.report.steady_attainment_rate(warmup)
@@ -324,6 +339,7 @@ def _run_spec(config: ServeConfig) -> ServeResult:
         max_queue_depth=config.max_queue_depth,
         slo=slo,
         seed=config.seed,
+        shed_on_predicted_miss=config.shed_on_predicted_miss,
     )
     return ServeResult(
         mode="online",
@@ -361,9 +377,14 @@ def _render(result: ServeResult) -> str:
         ],
         title="Per-device utilization",
     )
+    served = bool(report.records)
     footer = {
-        "queueing delay p50 (ms)": round(report.queueing_delay_percentile(50) * 1e3, 2),
-        "queueing delay p99 (ms)": round(report.queueing_delay_percentile(99) * 1e3, 2),
+        "queueing delay p50 (ms)": (
+            round(report.queueing_delay_percentile(50) * 1e3, 2) if served else None
+        ),
+        "queueing delay p99 (ms)": (
+            round(report.queueing_delay_percentile(99) * 1e3, 2) if served else None
+        ),
         "max queue depth": report.max_queue_depth,
         "shed requests": report.num_shed,
         "continuous batching": report.continuous_batching,
@@ -373,11 +394,16 @@ def _render(result: ServeResult) -> str:
         footer["deadline attainment"] = f"{report.attainment_rate:.1%}"
         footer["goodput (on-time seq/s)"] = round(report.goodput_qps, 1)
         footer["shed as provably late"] = report.num_shed_late
+        if report.num_shed_predicted:
+            footer["shed at arrival (predicted miss)"] = report.num_shed_predicted
     if report.num_limit_splits:
         footer["batches split by device limits"] = report.num_limit_splits
     steady = result.steady_stats()
     if steady is not None:
-        footer["steady-state p99 (ms)"] = round(steady["latency_ms"]["p99"], 2)
+        steady_p99 = steady["latency_ms"]["p99"]
+        footer["steady-state p99 (ms)"] = (
+            round(steady_p99, 2) if steady_p99 is not None else None
+        )
         footer["steady-state qps"] = round(steady["sustained_qps"], 1)
         footer["warm-up fraction discarded"] = steady["warmup_fraction"]
     text += format_key_values(footer)

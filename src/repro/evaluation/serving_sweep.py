@@ -20,10 +20,16 @@ from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 
+#: Multiprocessing context for the sweep's worker pool (None = platform
+#: default).  Tests point this at a spawn context to prove the submit-time
+#: environment capture works without relying on fork inheritance.
+_MP_CONTEXT = None
+
 from ..devices import Device, build_fleet, split_fleet_spec
 from ..devices.schedule_cache import GLOBAL_SCHEDULE_CACHE
 from ..experiments import ExperimentSpec, cfg_field, register_experiment
 from ..experiments.config import ExperimentConfig
+from .env_overrides import apply_env_overrides, capture_env_overrides
 from ..experiments.spec import deprecated_call
 from ..registry import REGISTRY
 from ..serving.arrivals import ClosedLoopArrivals, _is_rate_driven, get_arrival_process
@@ -419,7 +425,10 @@ def _slo_spec(options: dict) -> SLOSpec | None:
 
 
 def _capacity_worker(
-    options: dict, dataset_name: str, fleet: list[Device] | None = None
+    options: dict,
+    dataset_name: str,
+    fleet: list[Device] | None = None,
+    env: dict[str, str | None] | None = None,
 ) -> tuple[float, dict | None]:
     """Closed-loop drain rate of the whole fleet (sequences/second).
 
@@ -428,8 +437,9 @@ def _capacity_worker(
     capacity measurement, valid for heterogeneous fleets too.  Returns the
     drain rate plus the run's schedule-cache probe summary (for the sweep's
     deterministic hit accounting).  Runs inline (``fleet`` provided) or in a
-    worker process (``fleet`` built here).
+    worker process (``fleet`` built here, submit-time ``env`` re-exported).
     """
+    apply_env_overrides(env)
     if fleet is None:
         fleet = _build_sweep_fleet(options, dataset_name)
     closed = simulate_online(
@@ -453,13 +463,16 @@ def _point_worker(
     fraction: float,
     capacity: float,
     fleet: list[Device] | None = None,
+    env: dict[str, str | None] | None = None,
 ) -> SweepPoint:
     """One (dataset, policy+router, load) grid point.
 
     Runs inline (``fleet`` provided) or in a worker process (``fleet`` built
-    here).  Every point seeds its own arrival process from the config seed,
-    so results are identical regardless of which process runs the point.
+    here, submit-time ``env`` re-exported).  Every point seeds its own
+    arrival process from the config seed, so results are identical
+    regardless of which process runs the point.
     """
+    apply_env_overrides(env)
     remote = fleet is None
     if fleet is None:
         fleet = _build_sweep_fleet(options, dataset_name)
@@ -600,9 +613,14 @@ def _sweep_impl(
     capacities: dict[str, float] = {}
     capacity_probes: list[dict | None] = []
     if jobs > 1:
-        with ProcessPoolExecutor(max_workers=jobs) as pool:
+        # Captured at submit time and re-exported inside every worker, so
+        # --jobs N honors REPRO_PIPELINE_ENGINE / REPRO_SCHEDULE_CACHE
+        # identically to a serial run regardless of what environment the
+        # worker processes started with.
+        env = capture_env_overrides()
+        with ProcessPoolExecutor(max_workers=jobs, mp_context=_MP_CONTEXT) as pool:
             capacity_futures = [
-                pool.submit(_capacity_worker, options, dataset_name)
+                pool.submit(_capacity_worker, options, dataset_name, env=env)
                 for dataset_name in datasets
             ]
             for dataset_name, future in zip(datasets, capacity_futures):
@@ -611,7 +629,7 @@ def _sweep_impl(
             point_futures = [
                 pool.submit(
                     _point_worker, options, dataset_name, policy_name, router_name,
-                    fraction, capacities[dataset_name],
+                    fraction, capacities[dataset_name], env=env,
                 )
                 for dataset_name, policy_name, router_name, fraction in grid
             ]

@@ -1,0 +1,111 @@
+"""A minimal asyncio HTTP client for the live gateway (stdlib only).
+
+Enough HTTP/1.1 to talk to :class:`~repro.live.http.LiveServer` -- one
+request per connection, JSON bodies -- plus the trace-replay helper the
+validation harness and the CLI smoke test are built on.  Not a general HTTP
+client; it exists so the repo's tests and CI can exercise the real socket
+path without adding dependencies.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+__all__ = ["http_json", "replay_trace", "stream_trace"]
+
+
+async def http_json(
+    host: str,
+    port: int,
+    method: str,
+    path: str,
+    body: dict | None = None,
+) -> tuple[int, dict | None]:
+    """One JSON-over-HTTP round trip; returns ``(status, parsed_body)``."""
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        payload = json.dumps(body).encode() if body is not None else b""
+        head = (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"Host: {host}:{port}\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(payload)}\r\n"
+            "Connection: close\r\n\r\n"
+        )
+        writer.write(head.encode("latin-1") + payload)
+        await writer.drain()
+        raw = await reader.read()
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+    status_line, _, rest = raw.partition(b"\r\n")
+    status = int(status_line.split(b" ", 2)[1])
+    _, _, response_body = raw.partition(b"\r\n\r\n")
+    parsed = json.loads(response_body) if response_body.strip() else None
+    return status, parsed
+
+
+async def replay_trace(
+    host: str,
+    port: int,
+    entries: list[dict],
+    *,
+    speed: float = 1.0,
+) -> dict:
+    """Replay a trace against ``POST /v1/requests``, paced by the wall clock.
+
+    Each entry is ``{"t": seconds, "length": tokens, "slo_ms"?: float,
+    "output_len"?: int}``; submissions are scheduled at absolute instants
+    (``start + t / speed``) so one slow round trip does not skew every
+    subsequent arrival.  Returns per-verdict counts.
+    """
+    if speed <= 0:
+        raise ValueError("speed must be > 0")
+    loop = asyncio.get_running_loop()
+    start = loop.time()
+    counts = {"submitted": 0, "queued": 0, "shed": 0, "shed-predicted": 0, "draining": 0}
+    for entry in sorted(entries, key=lambda e: e["t"]):
+        delay = start + entry["t"] / speed - loop.time()
+        if delay > 0:
+            await asyncio.sleep(delay)
+        body = {"length": entry["length"]}
+        if entry.get("slo_ms") is not None:
+            body["slo_ms"] = entry["slo_ms"]
+        if entry.get("output_len", 1) > 1:
+            body["output_len"] = entry["output_len"]
+        status, payload = await http_json(host, port, "POST", "/v1/requests", body)
+        counts["submitted"] += 1
+        verdict = (payload or {}).get("status", "draining" if status == 503 else "queued")
+        counts[verdict] = counts.get(verdict, 0) + 1
+    return counts
+
+
+async def stream_trace(host: str, port: int, entries: list[dict]) -> dict:
+    """Send a trace as one NDJSON stream to ``POST /v1/stream`` (unpaced)."""
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        head = (
+            "POST /v1/stream HTTP/1.1\r\n"
+            f"Host: {host}:{port}\r\n"
+            "Content-Type: application/x-ndjson\r\n"
+            "Connection: close\r\n\r\n"
+        )
+        writer.write(head.encode("latin-1"))
+        for entry in entries:
+            line = {key: value for key, value in entry.items() if key != "t"}
+            writer.write((json.dumps(line) + "\n").encode())
+        writer.write(b"\n")
+        await writer.drain()
+        raw = await reader.read()
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+    _, _, response_body = raw.partition(b"\r\n\r\n")
+    return json.loads(response_body)

@@ -1,0 +1,413 @@
+"""The live serving gateway: the wall-clock driver of the dispatch core.
+
+:class:`LiveGateway` is the second driver of
+:class:`repro.serving.core.DispatchCore` (the simulator's
+:func:`~repro.serving.engine.simulate_online` is the first).  It runs the
+*same* registered batch policies, routers, admission control, and SLO
+machinery over the same report type -- the only differences are who owns time
+and who finalizes batches:
+
+* time is a :class:`~repro.serving.clock.WallClock` (re-based to 0 at first
+  ingest so a replayed trace's timestamps share the simulator's axis);
+* arrivals come from :meth:`submit` (HTTP ingest, trace replay, tests)
+  instead of a pre-generated stream;
+* batch formation runs in an asyncio dispatcher task that wakes on ingest,
+  on batch completion, and on the policy's own timers;
+* each planned batch is executed by a per-device :class:`~repro.live.actors.
+  DeviceActor` that sleeps through the cost model's predicted latency and
+  only then finalizes -- so ``/stats`` never counts a batch that did not
+  actually finish, and a crashed worker's batch can be requeued without ever
+  having touched the report.
+
+Because both drivers share the dispatch core, a trace replayed through the
+gateway and through ``simulate_online`` agrees on attainment, goodput, and
+shed accounting up to wall-clock jitter (see :mod:`repro.live.validation`
+for the checked-in contract).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+
+from ..devices import Device
+from ..serving.clock import WallClock
+from ..serving.core import DispatchCore, PlannedBatch, collect_device_stats, prepare_components
+from ..serving.engine import DeviceSummary, OnlineServingReport, _as_fleet, _fleet_scheduler_label
+from ..serving.policies import BatchPolicy
+from ..serving.request import Request, RequestRecord
+from ..serving.routing import Router
+from ..serving.slo import SLOSpec
+from ..transformer.configs import DatasetConfig, get_dataset_config
+from .actors import DeviceActor
+
+__all__ = ["LiveGateway", "SubmitResult"]
+
+#: Poll interval while draining (the dispatcher is event-driven; this only
+#: bounds how quickly shutdown notices that the last actor went idle).
+_DRAIN_POLL_S = 0.005
+
+
+@dataclass
+class SubmitResult:
+    """Outcome of one ingest attempt.
+
+    ``status`` is the dispatch core's admission verdict (``"queued"``,
+    ``"shed"``, ``"shed-predicted"``) or ``"draining"`` when the gateway is
+    shutting down and refuses new work; ``request`` is the stamped request
+    object for admitted *and* shed arrivals (None only when draining).
+    """
+
+    status: str
+    request: Request | None
+
+    @property
+    def accepted(self) -> bool:
+        return self.status == "queued"
+
+
+class LiveGateway:
+    """An asyncio serving gateway over a fleet of catalog devices.
+
+    Construction mirrors :func:`~repro.serving.engine.simulate_online`:
+    any :class:`~repro.devices.Device` fleet, any registered batch policy and
+    router, optional bounded-queue admission control (``max_queue_depth``),
+    optional deadline assignment (``slo``) and deadline-aware arrival
+    shedding (``shed_on_predicted_miss``).  Lifecycle::
+
+        gateway = LiveGateway(build_fleet(("gpu-rtx6000",)), "mrpc")
+        await gateway.start()
+        result = gateway.submit(length=64, slo_ms=100.0)
+        record = await gateway.wait_for(result.request.request_id)
+        stats = await gateway.shutdown()          # drains, then final stats
+
+    The gateway is single-event-loop: ``submit`` is synchronous and must be
+    called from the loop that ran :meth:`start` (the HTTP front end in
+    :mod:`repro.live.http` does exactly that).
+    """
+
+    def __init__(
+        self,
+        devices,
+        dataset: DatasetConfig | str = "mrpc",
+        *,
+        batch_policy: BatchPolicy | None = None,
+        router: Router | None = None,
+        max_queue_depth: int | None = None,
+        slo: SLOSpec | None = None,
+        shed_on_predicted_miss: bool = False,
+        continuous_batching: bool = False,
+        rebase_on_first_ingest: bool = True,
+    ) -> None:
+        if isinstance(dataset, str):
+            dataset = get_dataset_config(dataset)
+        fleet = _as_fleet(devices, None)
+        if not fleet:
+            raise ValueError("need at least one device")
+        if max_queue_depth is not None and max_queue_depth < 1:
+            raise ValueError("max_queue_depth must be >= 1 (or None to disable shedding)")
+        batch_policy, router = prepare_components(batch_policy, router, fleet, dataset)
+        for device in fleet:
+            device.reset(continuous_batching=continuous_batching)
+
+        self.fleet: list[Device] = fleet
+        self.dataset = dataset
+        self.slo = slo
+        self.rebase_on_first_ingest = rebase_on_first_ingest
+        self.report = OnlineServingReport(
+            dataset=dataset.name,
+            arrival_process="live",
+            batch_policy=batch_policy.name,
+            router=router.name,
+            scheduler=_fleet_scheduler_label(fleet),
+            offered_qps=None,
+            num_requests=0,
+            continuous_batching=continuous_batching,
+            queue_limit=max_queue_depth,
+            slo=slo.to_dict() if slo is not None else None,
+            devices=[
+                DeviceSummary(index=i, accelerator=device.name, backend=device.backend)
+                for i, device in enumerate(fleet)
+            ],
+        )
+        # The gateway finalizes batches itself (auto_finalize=False): records
+        # land only after the device actor has slept through the execution.
+        self.core = DispatchCore(
+            fleet,
+            self.report,
+            batch_policy,
+            router,
+            max_queue_depth=max_queue_depth,
+            shed_on_predicted_miss=shed_on_predicted_miss,
+            auto_finalize=False,
+        )
+        self.clock = WallClock()
+        self.actors = [DeviceActor(self, index) for index in range(len(fleet))]
+        #: Bytes of KV cache currently reserved by in-flight batches, per
+        #: device (observational; released at finalize or worker crash).
+        self.kv_reserved_bytes = [0] * len(fleet)
+        self._kv_in_flight: dict[int, tuple[int, int]] = {}
+        self._requeued_batches: set[int] = set()
+        self._next_request_id = 0
+        self._ingested_any = False
+        self._started = False
+        self._draining = False
+        self._stopped = False
+        self._wake = asyncio.Event()
+        self._dispatcher: asyncio.Task | None = None
+        self._waiters: dict[int, asyncio.Future] = {}
+        self._done: dict[int, RequestRecord] = {}
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    async def start(self) -> None:
+        """Start the dispatcher task and every device actor."""
+        if self._started:
+            raise RuntimeError("gateway already started")
+        self._started = True
+        for actor in self.actors:
+            actor.start()
+        self._dispatcher = asyncio.create_task(self._dispatch_loop())
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    @property
+    def total_restarts(self) -> int:
+        return sum(actor.restarts for actor in self.actors)
+
+    async def shutdown(self, abort_in_flight: bool = False) -> dict:
+        """Drain and stop the gateway; returns the final :meth:`stats`.
+
+        Graceful by default: ingest is refused immediately (``"draining"``),
+        the formation queue is flushed (the policy sees ``draining=True``,
+        exactly like the simulator at end-of-stream), and every in-flight
+        batch runs to completion.  With ``abort_in_flight`` the in-flight
+        batches are interrupted instead: each is requeued exactly once, cut
+        into fresh batches, and served during the drain -- no request is
+        lost and none is recorded twice.
+        """
+        if self._stopped:
+            return self.stats()
+        self._draining = True
+        if abort_in_flight:
+            for actor in self.actors:
+                actor.abort()
+        self._wake.set()
+        while self.core.queue or any(actor.pending for actor in self.actors):
+            self._wake.set()
+            await asyncio.sleep(_DRAIN_POLL_S)
+        self._stopped = True
+        if self._dispatcher is not None:
+            self._dispatcher.cancel()
+            try:
+                await self._dispatcher
+            except asyncio.CancelledError:
+                pass
+        await asyncio.gather(*(actor.stop() for actor in self.actors))
+        collect_device_stats(self.report, self.fleet)
+        self.report.records.sort(key=lambda r: (r.completion_time, r.request.request_id))
+        return self.stats()
+
+    # ------------------------------------------------------------------
+    # Ingest
+    # ------------------------------------------------------------------
+
+    def submit(
+        self,
+        length: int,
+        *,
+        output_len: int = 1,
+        slo_ms: float | None = None,
+    ) -> SubmitResult:
+        """Offer one request to the dispatch core at the current wall time.
+
+        ``output_len > 1`` builds a :class:`~repro.decode.DecodeRequest`
+        (the device actor runs decode steps after prefill on decode-capable
+        backends); ``slo_ms`` stamps an explicit relative deadline, else the
+        gateway-level :class:`~repro.serving.slo.SLOSpec` applies (if any).
+        """
+        if not self._started or self._draining:
+            return SubmitResult(status="draining", request=None)
+        if not self._ingested_any:
+            self._ingested_any = True
+            if self.rebase_on_first_ingest:
+                # A replayed trace's first arrival defines t=0 in the
+                # simulator; re-basing here removes the gateway's startup
+                # delay from every wall-clock timestamp so the two reports
+                # share one axis.
+                self.clock.rebase()
+        now = self.clock.now()
+        request_id = self._next_request_id
+        self._next_request_id += 1
+        if output_len > 1:
+            from ..decode import DecodeRequest
+
+            request = DecodeRequest(
+                request_id=request_id,
+                length=length,
+                arrival_time=now,
+                output_len=output_len,
+            )
+        else:
+            request = Request(request_id=request_id, length=length, arrival_time=now)
+        if slo_ms is not None:
+            request = self._with_deadline(request, now + slo_ms / 1e3)
+        elif self.slo is not None:
+            request = self._with_deadline(request, self.slo.deadline_for(request))
+        self.report.num_requests += 1
+        status = self.core.offer(request, now)
+        self.core.note_queue_depth(now)
+        if status == "queued":
+            self._wake.set()
+        return SubmitResult(status=status, request=request)
+
+    @staticmethod
+    def _with_deadline(request: Request, deadline: float) -> Request:
+        from dataclasses import replace
+
+        return replace(request, deadline=deadline)
+
+    async def wait_for(self, request_id: int) -> RequestRecord:
+        """Await the completion record of an admitted request."""
+        record = self._done.get(request_id)
+        if record is not None:
+            return record
+        future = self._waiters.get(request_id)
+        if future is None:
+            future = asyncio.get_running_loop().create_future()
+            self._waiters[request_id] = future
+        return await future
+
+    # ------------------------------------------------------------------
+    # Dispatcher
+    # ------------------------------------------------------------------
+
+    async def _dispatch_loop(self) -> None:
+        """Pump the core on ingest, completions, and the policy's timers."""
+        while True:
+            self._wake.clear()
+            now = self.clock.now()
+            for planned in self.core.pump(now, self._draining):
+                self._reserve_kv(planned)
+                self.actors[planned.device_index].put(planned)
+            deadline = self.core.next_action_time(self.clock.now())
+            if deadline is None:
+                await self._wake.wait()
+                continue
+            delay = self.clock.seconds_until(deadline)
+            if delay <= 0:
+                # The policy's timer is due but it formed nothing this round
+                # (sub-millisecond scheduling skew); yield briefly instead of
+                # spinning the loop hot.
+                await asyncio.sleep(0.001)
+                continue
+            try:
+                await asyncio.wait_for(self._wake.wait(), timeout=delay)
+            except asyncio.TimeoutError:
+                pass
+
+    # ------------------------------------------------------------------
+    # Actor callbacks (finalize / requeue) and KV accounting
+    # ------------------------------------------------------------------
+
+    def _reserve_kv(self, planned: PlannedBatch) -> None:
+        device = self.fleet[planned.device_index]
+        if device.kv_cache_bytes is None:
+            return
+        total_tokens = sum(
+            request.length + getattr(request, "output_len", 1)
+            for request in planned.requests
+        )
+        reserved = device.kv_reservation_bytes(total_tokens)
+        if reserved is None:
+            return
+        self._kv_in_flight[planned.batch_id] = (planned.device_index, reserved)
+        self.kv_reserved_bytes[planned.device_index] += reserved
+
+    def _release_kv(self, planned: PlannedBatch) -> None:
+        entry = self._kv_in_flight.pop(planned.batch_id, None)
+        if entry is not None:
+            index, reserved = entry
+            self.kv_reserved_bytes[index] -= reserved
+
+    def _finalize(self, planned: PlannedBatch) -> None:
+        """A device actor finished a batch: land its records and wake waiters."""
+        self._release_kv(planned)
+        self.core.finalize(planned)
+        for record in self.report.records[-len(planned.requests):]:
+            request_id = record.request.request_id
+            self._done[request_id] = record
+            future = self._waiters.pop(request_id, None)
+            if future is not None and not future.done():
+                future.set_result(record)
+        self._wake.set()
+
+    def _requeue(self, planned: PlannedBatch) -> None:
+        """Return a crashed/aborted batch's requests to the queue, exactly once.
+
+        The batch never finalized, so nothing about it is in the report; its
+        requests rejoin the *front* of the formation queue (they arrived
+        before anything still waiting there) and will be cut into fresh
+        batches.  The ``batch_id`` guard makes a double failure report
+        (supervisor crash handling racing an explicit abort) a no-op.
+
+        The device's time booking for the crashed batch deliberately stands:
+        the cost model cannot know how much of the batch actually ran before
+        the failure, so the conservative choice is to treat the whole window
+        as lost and re-dispatch the requeued requests behind it.
+        """
+        self._release_kv(planned)
+        if planned.batch_id in self._requeued_batches:
+            return
+        self._requeued_batches.add(planned.batch_id)
+        self.core.queue[:0] = planned.requests
+        self.core.note_queue_depth(self.clock.now())
+        self._wake.set()
+
+    # ------------------------------------------------------------------
+    # Stats
+    # ------------------------------------------------------------------
+
+    def stats(self) -> dict:
+        """The report's ``to_dict()`` plus a ``"live"`` block of gateway state.
+
+        Exactly the metrics the simulator reports -- this is what the
+        sim-vs-live validation compares -- with live-only extras: uptime,
+        drain state, worker restarts, in-flight batch count, and the KV bytes
+        currently reserved per device.  Before the first completion the
+        latency percentiles are omitted (there is nothing to take a
+        percentile of).
+        """
+        collect_device_stats(self.report, self.fleet)
+        if self.report.records:
+            payload = self.report.to_dict()
+        else:
+            payload = {
+                "dataset": self.report.dataset,
+                "arrival_process": self.report.arrival_process,
+                "batch_policy": self.report.batch_policy,
+                "router": self.report.router,
+                "queue_limit": self.report.queue_limit,
+                "num_requests": self.report.num_requests,
+                "num_completed": 0,
+                "num_shed": self.report.num_shed,
+                "num_shed_late": self.report.num_shed_late,
+                "num_shed_predicted": self.report.num_shed_predicted,
+                "num_batches": 0,
+            }
+        payload["live"] = {
+            "uptime_seconds": self.clock.now(),
+            "draining": self._draining,
+            "stopped": self._stopped,
+            "queue_depth": len(self.core.queue),
+            "in_flight_batches": sum(
+                1 for actor in self.actors if actor.in_flight is not None
+            ),
+            "worker_restarts": [actor.restarts for actor in self.actors],
+            "kv_reserved_bytes": list(self.kv_reserved_bytes),
+        }
+        return payload

@@ -1,0 +1,228 @@
+"""The sim-vs-live validation contract: one trace, two engines, one report.
+
+The live gateway's reason to exist is that it runs the *same* dispatch core
+as the simulator -- so the simulator's predictions about a deployment
+(attainment, goodput, shed traffic) should hold on the wire.  This module
+pins that contract with a checked-in validation trace
+(``traces/live_validation.json``) replayed two ways:
+
+* through :func:`repro.serving.engine.simulate_online` (simulated clock);
+* through a real :class:`~repro.live.http.LiveServer` on loopback, paced by
+  the wall clock via :func:`repro.live.client.replay_trace`.
+
+Counts (offered / completed / shed) must agree **exactly** -- the trace is
+built so every admission decision has hundreds of milliseconds of margin
+against scheduling jitter -- and the rate metrics (goodput, sustained QPS,
+makespan) must agree within ``tolerance`` (2 % by default; the only live
+skew is pacing jitter plus the policy-timer asymmetry on the final batch,
+which the trace closes with a full batch that both engines dispatch
+instantly).
+
+The trace is encoder-only by design: live decode steps happen *after* the
+prefill sleep inside the device actor, while the decode engine interleaves
+them at simulated instants, so record-for-record agreement is an
+encoder-path property.
+
+Trace phases (single ``gpu-rtx6000``, ``TimeoutBatcher(batch_size=16,
+timeout_s=0.05)``, ``max_queue_depth=16``, generous 2 s SLOs):
+
+1. **steady** -- 12 spaced singles; every one times out into its own batch.
+2. **plug** -- 16 long requests at one instant: exactly the admission
+   window, so a full batch forms and keeps the device busy for ~0.8 s.
+3. **fill** -- 8 requests right behind the plug: they hold half the
+   admission window for the plug's entire service time (queued, then
+   dispatched-but-not-started).
+4. **burst** -- 25 requests while the fill still waits: the window has
+   exactly 8 slots left, so 8 are admitted and 17 shed -- and because the
+   waiting count is identical whether the fill is still queued or already
+   cut into a not-yet-started batch, the split cannot race the policy
+   timer.
+5. **tail + closer** -- spaced singles to separate the phases, then a final
+   full batch (size-triggered in both engines, killing the end-of-stream
+   drain asymmetry) to pin the makespan.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from pathlib import Path
+
+from ..devices import build_fleet
+from ..serving import Request, TimeoutBatcher, simulate_online
+from .client import replay_trace
+from .gateway import LiveGateway
+from .http import LiveServer
+
+__all__ = [
+    "VALIDATION_TRACE_PATH",
+    "build_validation_trace",
+    "load_validation_trace",
+    "run_live_validation",
+    "simulate_trace",
+    "trace_requests",
+    "validation_gateway",
+]
+
+#: The checked-in trace the agreement test and CI replay.
+VALIDATION_TRACE_PATH = Path(__file__).parent / "traces" / "live_validation.json"
+
+#: One serving configuration, shared verbatim by both engines.
+VALIDATION_CONFIG = {
+    "device": "gpu-rtx6000",
+    "dataset": "mrpc",
+    "batch_size": 16,
+    "timeout_s": 0.05,
+    "max_queue_depth": 16,
+}
+
+#: Generous relative deadline: every served request is on-time in both
+#: engines, so attainment reduces to served/offered -- an exact quantity.
+_SLO_MS = 2000.0
+
+
+def build_validation_trace() -> list[dict]:
+    """Construct the validation trace (the checked-in JSON is this output)."""
+    entries: list[dict] = []
+
+    def add(t: float, length: int) -> None:
+        entries.append({"t": round(t, 4), "length": length, "slo_ms": _SLO_MS})
+
+    for i in range(12):  # steady singles
+        add(i * 0.1, 64)
+    for _ in range(16):  # plug: one full batch, ~0.8 s of service
+        add(1.5, 384)
+    for _ in range(8):  # fill: saturate the admission window behind the plug
+        add(1.55, 64)
+    for _ in range(25):  # burst: all shed while the window is full
+        add(1.65, 64)
+    for i in range(3):  # tail singles
+        add(2.6 + i * 0.1, 64)
+    for _ in range(16):  # closer: a size-triggered full batch pins makespan
+        add(3.2, 64)
+    return entries
+
+
+def load_validation_trace(path: str | Path | None = None) -> list[dict]:
+    """Load a trace file (defaults to the checked-in validation trace)."""
+    raw = json.loads(Path(path or VALIDATION_TRACE_PATH).read_text())
+    entries = raw["entries"] if isinstance(raw, dict) else raw
+    return sorted(entries, key=lambda e: (e["t"]))
+
+
+def trace_requests(entries: list[dict]) -> list[Request]:
+    """The simulator-side view of a trace: explicit requests with deadlines."""
+    return [
+        Request(
+            request_id=index,
+            length=int(entry["length"]),
+            arrival_time=float(entry["t"]),
+            deadline=(
+                float(entry["t"]) + entry["slo_ms"] / 1e3
+                if entry.get("slo_ms") is not None
+                else None
+            ),
+        )
+        for index, entry in enumerate(sorted(entries, key=lambda e: e["t"]))
+    ]
+
+
+def _policy() -> TimeoutBatcher:
+    return TimeoutBatcher(
+        batch_size=VALIDATION_CONFIG["batch_size"],
+        timeout_s=VALIDATION_CONFIG["timeout_s"],
+    )
+
+
+def simulate_trace(entries: list[dict]):
+    """Replay the trace through the simulator at the validation config."""
+    fleet = build_fleet((VALIDATION_CONFIG["device"],), dataset=VALIDATION_CONFIG["dataset"])
+    return simulate_online(
+        fleet,
+        VALIDATION_CONFIG["dataset"],
+        arrivals=trace_requests(entries),
+        batch_policy=_policy(),
+        max_queue_depth=VALIDATION_CONFIG["max_queue_depth"],
+    )
+
+
+def validation_gateway() -> LiveGateway:
+    """A live gateway at exactly the simulator's validation config."""
+    fleet = build_fleet((VALIDATION_CONFIG["device"],), dataset=VALIDATION_CONFIG["dataset"])
+    return LiveGateway(
+        fleet,
+        VALIDATION_CONFIG["dataset"],
+        batch_policy=_policy(),
+        max_queue_depth=VALIDATION_CONFIG["max_queue_depth"],
+    )
+
+
+async def _replay_live(entries: list[dict], host: str, speed: float) -> dict:
+    server = LiveServer(validation_gateway(), host=host, port=0)
+    await server.start()
+    try:
+        await replay_trace(host, server.port, entries, speed=speed)
+        stats = await server.gateway.shutdown()
+    finally:
+        await server.close()
+    return stats
+
+
+def compare_reports(sim: dict, live: dict, tolerance: float) -> dict:
+    """Field-by-field agreement: exact counts, bounded-relative-error rates."""
+    counts = {}
+    for key in ("num_requests", "num_completed", "num_shed", "num_shed_late", "num_shed_predicted"):
+        counts[key] = {
+            "sim": sim[key],
+            "live": live[key],
+            "match": sim[key] == live[key],
+        }
+    rates = {}
+    for key in ("attainment_rate", "goodput_qps", "sustained_qps", "makespan_seconds"):
+        sim_value, live_value = sim.get(key), live.get(key)
+        if sim_value is None or live_value is None:
+            rates[key] = {"sim": sim_value, "live": live_value, "relative_error": None,
+                          "within_tolerance": sim_value == live_value}
+            continue
+        denom = abs(sim_value) if sim_value else 1.0
+        error = abs(live_value - sim_value) / denom
+        rates[key] = {
+            "sim": sim_value,
+            "live": live_value,
+            "relative_error": error,
+            "within_tolerance": error <= tolerance,
+        }
+    return {
+        "tolerance": tolerance,
+        "counts": counts,
+        "rates": rates,
+        "within_tolerance": all(c["match"] for c in counts.values())
+        and all(r["within_tolerance"] for r in rates.values()),
+    }
+
+
+def run_live_validation(
+    trace_path: str | Path | None = None,
+    *,
+    host: str = "127.0.0.1",
+    tolerance: float = 0.02,
+    speed: float = 1.0,
+) -> dict:
+    """Replay the validation trace through both engines and diff the reports.
+
+    Returns ``{"config", "sim", "live", "agreement"}``;
+    ``agreement["within_tolerance"]`` is the pass/fail verdict CI checks.
+    ``speed`` accelerates the wall-clock replay (pacing *and* service sleeps
+    are unscaled -- only use values > 1 for smoke runs, not for validation).
+    """
+    entries = load_validation_trace(trace_path)
+    sim_report = simulate_trace(entries)
+    live_stats = asyncio.run(_replay_live(entries, host, speed))
+    agreement = compare_reports(sim_report.to_dict(), live_stats, tolerance)
+    return {
+        "config": dict(VALIDATION_CONFIG),
+        "trace_entries": len(entries),
+        "sim": sim_report.to_dict(),
+        "live": live_stats,
+        "agreement": agreement,
+    }

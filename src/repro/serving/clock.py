@@ -1,0 +1,76 @@
+"""The clock interface behind both serving engines.
+
+The discrete-event simulator and the live gateway (:mod:`repro.live`) drive
+the *same* policy/routing/accounting loop (:mod:`repro.serving.core`); the
+only thing that differs is who owns time:
+
+* :class:`SimClock` -- time is a variable the simulator advances from event
+  to event (arrival instants, batch-policy timers).  Advancing is free, so a
+  million-request trace simulates in seconds.
+* :class:`WallClock` -- time is the operating system's monotonic clock,
+  re-based to 0 at construction so timestamps share the simulator's axis
+  (seconds since the run started).  The live gateway stamps arrivals with it
+  and its device actors sleep until predicted completion instants.
+
+Keeping both behind one two-method interface is what makes the simulator a
+*predictive* tool for the live service: every piece of serving logic reads
+``clock.now()`` and never cares which clock is underneath.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["Clock", "SimClock", "WallClock"]
+
+
+class Clock:
+    """Minimal time source: a monotone ``now()`` in seconds."""
+
+    def now(self) -> float:
+        """Current time in seconds on this clock's axis (starts near 0)."""
+        raise NotImplementedError
+
+
+class SimClock(Clock):
+    """Simulated time: the event loop advances it explicitly.
+
+    ``advance_to`` never moves backwards, mirroring the engine's historical
+    ``now = max(now, next_event)`` guard against stale policy timers.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def advance_to(self, instant: float) -> float:
+        """Move the clock forward to ``instant`` (no-op when in the past)."""
+        if instant > self._now:
+            self._now = float(instant)
+        return self._now
+
+
+class WallClock(Clock):
+    """Real time: the OS monotonic clock, re-based to 0 at construction."""
+
+    def __init__(self) -> None:
+        self._epoch = time.monotonic()
+
+    def now(self) -> float:
+        return time.monotonic() - self._epoch
+
+    def rebase(self) -> None:
+        """Reset the axis so ``now()`` restarts at 0.
+
+        The live gateway rebases at first ingest, so a replayed trace's
+        timestamps line up with the simulator's (whose first arrival defines
+        t=0 up to the trace's own offset) instead of carrying the gateway's
+        startup delay.
+        """
+        self._epoch = time.monotonic()
+
+    def seconds_until(self, instant: float) -> float:
+        """Seconds from now until ``instant`` on this clock (>= 0)."""
+        return max(instant - self.now(), 0.0)

@@ -1,0 +1,417 @@
+"""The dispatch core shared by the simulator and the live gateway.
+
+Historically :func:`repro.serving.engine.simulate_online` owned the whole
+serving loop -- queueing, admission control, batch formation, routing,
+per-device limit splits, and all the accounting that ends up in an
+:class:`~repro.serving.engine.OnlineServingReport`.  The live gateway
+(:mod:`repro.live`) needs the *same* loop driven by a wall clock and real
+sockets instead of simulated events, so the loop lives here as
+:class:`DispatchCore` and both engines are thin drivers over it:
+
+* the **simulator** feeds arrivals from a pre-generated stream, pumps the
+  core at every event instant, and finalizes each planned batch immediately
+  (completion times are fully determined at dispatch);
+* the **live gateway** feeds arrivals from HTTP ingest, pumps the core from
+  an asyncio dispatcher task, and hands each :class:`PlannedBatch` to a
+  device actor that sleeps until the predicted completion before finalizing
+  (so ``/stats`` only ever counts batches that actually finished).
+
+Because both drivers share this code path -- the same
+:class:`~repro.serving.policies.BatchPolicy`, the same
+:class:`~repro.serving.routing.Router`, the same admission bookkeeping, the
+same report -- a trace replayed through both produces the same attainment /
+goodput / shed accounting up to wall-clock jitter, which is the validation
+contract the live subsystem is built around.
+
+The core also implements **deadline-aware admission at arrival**
+(``shed_on_predicted_miss``): an arriving request is shed immediately when
+no device's earliest start plus its single-request service estimate can meet
+the request's deadline.  The bound is optimistic (device clocks only move
+later; the queue ahead is ignored), so every shed is a provable miss -- the
+arrival-time sibling of the EDF batcher's provably-late shedding.
+"""
+
+from __future__ import annotations
+
+import heapq
+import warnings
+from dataclasses import dataclass, field
+
+from ..devices import BatchExecution, Device
+from .arrivals import ArrivalProcess
+from .policies import BatchPolicy, FixedSizeBatcher, LengthBucketedBatcher
+from .request import Request, RequestRecord
+from .routing import LeastLoadedRouter, LengthShardedRouter, Router
+from .slo import SLOSpec, assign_deadlines
+
+__all__ = [
+    "DispatchCore",
+    "PlannedBatch",
+    "PredictedMissGate",
+    "collect_device_stats",
+    "prepare_components",
+    "prepare_stream",
+]
+
+#: Tolerance when comparing floating-point event times.
+_EPS = 1e-12
+
+
+def prepare_stream(
+    dataset,
+    arrivals: ArrivalProcess | list[Request],
+    num_requests: int | None,
+    seed: int,
+    slo: SLOSpec | None,
+) -> tuple[list[Request], str, float | None]:
+    """Materialize the request stream: (requests, arrival name, offered QPS).
+
+    An :class:`~repro.serving.arrivals.ArrivalProcess` generates the stream
+    (deterministic in ``seed``); an explicit request list is sorted by
+    arrival.  ``slo`` stamps deadline-less requests afterwards either way.
+    """
+    if isinstance(arrivals, ArrivalProcess):
+        requests = arrivals.generate(dataset, num_requests, seed=seed)
+        arrival_name = arrivals.name
+        offered_qps = arrivals.rate_qps
+    else:
+        requests = sorted(arrivals, key=lambda r: (r.arrival_time, r.request_id))
+        arrival_name = "explicit"
+        last = requests[-1].arrival_time if requests else 0.0
+        offered_qps = len(requests) / last if last > 0 else None
+    if not requests:
+        raise ValueError("the arrival stream is empty")
+    if slo is not None:
+        requests = assign_deadlines(requests, slo)
+    return requests, arrival_name, offered_qps
+
+
+def prepare_components(
+    batch_policy: BatchPolicy | None,
+    router: Router | None,
+    fleet: list[Device],
+    dataset,
+) -> tuple[BatchPolicy, Router]:
+    """Default, prepare, and fleet-bind the batch policy and router."""
+    batch_policy = batch_policy or FixedSizeBatcher()
+    router = router or LeastLoadedRouter()
+    batch_policy.prepare(dataset)
+    router.prepare(len(fleet), dataset)
+    # SLO-aware policies estimate batch latencies through the fleet's cost
+    # models; the hook is a no-op for FIFO policies (and absent on plug-in
+    # policies written before it existed).
+    bind_fleet = getattr(batch_policy, "bind_fleet", None)
+    if bind_fleet is not None:
+        bind_fleet(fleet)
+    if (
+        isinstance(router, LengthShardedRouter)
+        and len(fleet) > 1
+        and not isinstance(batch_policy, LengthBucketedBatcher)
+    ):
+        # FIFO-formed batches mix the whole length distribution, so every
+        # batch's mean length lands in the same shard and the rest of the
+        # fleet idles.
+        warnings.warn(
+            "length-sharded routing needs length-bucketed batching to spread "
+            "batches across devices; with a FIFO batch policy most batches "
+            "route to a single shard",
+            UserWarning,
+            stacklevel=3,
+        )
+    return batch_policy, router
+
+
+class PredictedMissGate:
+    """Arrival-time deadline check: is a request already unsalvageable?
+
+    A request is a *predicted miss* when every device's earliest possible
+    start (its admission clock at ``now``) plus that device's own
+    single-request service estimate overshoots the deadline.  The estimate
+    ignores everything queued ahead of the request, and the admission clocks
+    only move later as batches dispatch, so the bound is optimistic: a shed
+    is always a provable miss, never a guess.
+    """
+
+    def __init__(self, fleet: list[Device]) -> None:
+        self._fleet = [d for d in fleet if hasattr(d, "batch_latency_seconds")]
+        self._estimates: dict[tuple[int, int], float] = {}
+
+    def _single_estimate(self, index: int, length: int) -> float:
+        key = (index, length)
+        cached = self._estimates.get(key)
+        if cached is None:
+            cached = self._fleet[index].batch_latency_seconds([length])
+            self._estimates[key] = cached
+        return cached
+
+    def predicted_miss(self, request: Request, now: float) -> bool:
+        if request.deadline is None or not self._fleet:
+            return False
+        deadline = request.deadline + 1e-9
+        for index, device in enumerate(self._fleet):
+            next_start = getattr(device, "next_start", None)
+            start = next_start(now) if next_start is not None else now
+            if start + self._single_estimate(index, request.length) <= deadline:
+                return False
+        return True
+
+
+@dataclass
+class PlannedBatch:
+    """One batch the core has routed and costed but not yet finalized.
+
+    The simulator finalizes immediately (completion offsets are known at
+    dispatch); the live gateway finalizes once the device actor has actually
+    slept through the predicted execution, so a crashed worker's batch can
+    be requeued without ever having touched the report.
+    """
+
+    batch_id: int
+    device_index: int
+    requests: list[Request]
+    execution: BatchExecution
+    dispatch_time: float
+    start_time: float
+
+    @property
+    def end_time(self) -> float:
+        return self.start_time + self.execution.latency_seconds
+
+
+class DispatchCore:
+    """One policy/routing/accounting loop, driven by a sim or wall clock.
+
+    The core owns the central formation queue and every counter on the
+    report that the serving loop touches; the driver owns time (when to
+    ``offer`` arrivals and when to ``pump``) and, through ``auto_finalize``,
+    when a planned batch's records land in the report.
+    """
+
+    def __init__(
+        self,
+        fleet: list[Device],
+        report,
+        batch_policy: BatchPolicy,
+        router: Router,
+        max_queue_depth: int | None = None,
+        shed_on_predicted_miss: bool = False,
+        auto_finalize: bool = True,
+    ) -> None:
+        self.fleet = fleet
+        self.report = report
+        self.batch_policy = batch_policy
+        self.router = router
+        self.max_queue_depth = max_queue_depth
+        self.auto_finalize = auto_finalize
+        self.queue: list[Request] = []
+        #: Start times of dispatched requests that have not begun executing
+        #: yet; together with the formation queue they are the "waiting"
+        #: population the admission-control limit bounds.
+        self._pending_starts: list[float] = []
+        self._take_shed = getattr(batch_policy, "take_shed", None)
+        self._miss_gate = PredictedMissGate(fleet) if shed_on_predicted_miss else None
+        self._next_batch_id = 0
+
+    # ------------------------------------------------------------------
+    # Ingest / admission
+    # ------------------------------------------------------------------
+
+    def waiting_requests(self, now: float) -> int:
+        """Requests waiting to start service (queued or dispatched-not-started)."""
+        while self._pending_starts and self._pending_starts[0] <= now + _EPS:
+            heapq.heappop(self._pending_starts)
+        return len(self.queue) + len(self._pending_starts)
+
+    def offer(self, request: Request, now: float) -> str:
+        """Admit one arrival: ``"queued"``, ``"shed"``, or ``"shed-predicted"``.
+
+        Admission control (the bounded queue) is checked first, exactly as
+        the engine always has; deadline-aware arrival shedding then drops
+        requests whose deadline is provably unattainable, reported through
+        its own ``num_shed_predicted`` counter.  Both kinds of shed count
+        against attainment via ``shed_requests``.
+        """
+        if (
+            self.max_queue_depth is not None
+            and self.waiting_requests(now) >= self.max_queue_depth
+        ):
+            self.report.num_shed += 1
+            self.report.shed_requests.append(request)
+            return "shed"
+        if self._miss_gate is not None and self._miss_gate.predicted_miss(request, now):
+            self.report.num_shed_predicted += 1
+            self.report.shed_requests.append(request)
+            return "shed-predicted"
+        self.queue.append(request)
+        return "queued"
+
+    def note_queue_depth(self, now: float) -> None:
+        self.report.queue_depth_timeline.append((now, len(self.queue)))
+
+    def note_pending_starts(self, start: float, count: int, now: float) -> None:
+        """Register dispatched-not-yet-started requests for admission control.
+
+        Engines with a custom dispatch path (the decode engine's KV-admitted
+        prefill) call this instead of :meth:`dispatch`; only admission
+        control reads the waiting population, so the bookkeeping is skipped
+        entirely when no limit is set.
+        """
+        if self.max_queue_depth is not None and start > now + _EPS:
+            for _ in range(count):
+                heapq.heappush(self._pending_starts, start)
+
+    # ------------------------------------------------------------------
+    # Formation / dispatch
+    # ------------------------------------------------------------------
+
+    def dispatch(self, batch: list[Request], now: float) -> PlannedBatch:
+        """Route, limit-split, and cost one formed batch.
+
+        Updates the device's serving clocks and the fleet accounting that is
+        determined at dispatch time; the per-request records land via
+        :meth:`finalize` (immediately under ``auto_finalize``).
+        """
+        index = self.router.select(self.fleet, batch, now)
+        if not 0 <= index < len(self.fleet):
+            raise IndexError(f"router '{self.router.name}' picked invalid device {index}")
+        device = self.fleet[index]
+        admitted = device.admissible_prefix([r.length for r in batch])
+        if admitted < len(batch):
+            # The device's admission limits cap this batch: run the prefix
+            # and hand the remainder back to the head of the formation queue
+            # (those requests arrived before anything still waiting there).
+            self.report.num_limit_splits += 1
+            self.queue[:0] = batch[admitted:]
+            batch = batch[:admitted]
+        start = device.next_start(now)
+        execution = device.execute([r.length for r in batch])
+        self.note_pending_starts(start, len(batch), now)
+        batch_id = self._next_batch_id
+        self._next_batch_id += 1
+        planned = PlannedBatch(
+            batch_id=batch_id,
+            device_index=index,
+            requests=batch,
+            execution=execution,
+            dispatch_time=now,
+            start_time=start,
+        )
+        device.dispatch(execution, start)
+        return planned
+
+    def finalize(self, planned: PlannedBatch) -> None:
+        """Land one planned batch's records and summaries in the report."""
+        from .engine import BatchRecord  # local import: engine imports core
+
+        report = self.report
+        device = self.fleet[planned.device_index]
+        for position, request in enumerate(planned.requests):
+            report.records.append(
+                RequestRecord(
+                    request=request,
+                    dispatch_time=planned.dispatch_time,
+                    start_time=planned.start_time,
+                    completion_time=planned.start_time
+                    + planned.execution.completion_offsets[position],
+                    device_index=planned.device_index,
+                    batch_id=planned.batch_id,
+                )
+            )
+        report.batches.append(
+            BatchRecord(
+                batch_id=planned.batch_id,
+                device_index=planned.device_index,
+                dispatch_time=planned.dispatch_time,
+                start_time=planned.start_time,
+                execution=planned.execution,
+                request_ids=[r.request_id for r in planned.requests],
+            )
+        )
+        summary = report.devices[planned.device_index]
+        summary.num_batches += 1
+        summary.num_requests += len(planned.requests)
+        if planned.execution.utilization is not None:
+            summary.pipeline_utilizations.append(planned.execution.utilization)
+        # Power-modeled devices are charged over merged busy intervals at the
+        # end of the run (served_energy_joules); per-batch accumulation is
+        # only for backends whose energy is not power x time.
+        if (
+            planned.execution.energy_joules is not None
+            and device.served_energy_joules() is None
+        ):
+            summary.energy_joules = (
+                summary.energy_joules or 0.0
+            ) + planned.execution.energy_joules
+
+    def collect_policy_shed(self) -> None:
+        """Drain the policy's provably-late drops into the report."""
+        if self._take_shed is None:
+            return
+        for request in self._take_shed():
+            # Deadline-aware policies drop requests that are provably late;
+            # they count against attainment, not against admission control.
+            self.report.num_shed_late += 1
+            self.report.shed_requests.append(request)
+
+    def pump(self, now: float, draining: bool = False) -> list[PlannedBatch]:
+        """Cut and dispatch every batch the policy will form at ``now``."""
+        planned: list[PlannedBatch] = []
+        while True:
+            batch = self.batch_policy.form_batch(self.queue, now, draining)
+            if batch is None:
+                break
+            if not batch:
+                raise RuntimeError(
+                    f"batch policy '{self.batch_policy.name}' formed an empty batch"
+                )
+            plan = self.dispatch(batch, now)
+            if self.auto_finalize:
+                self.finalize(plan)
+            planned.append(plan)
+            self.note_queue_depth(now)
+        self.collect_policy_shed()
+        return planned
+
+    def next_action_time(self, now: float) -> float | None:
+        """The policy's next timer instant for the current queue (or None)."""
+        return self.batch_policy.next_action_time(self.queue, now)
+
+
+def collect_device_stats(report, fleet: list[Device], active=None) -> None:
+    """Fold end-of-run device state into the report's summaries.
+
+    Copies each device's merged busy time and schedule-cache counters into
+    its :class:`~repro.serving.engine.DeviceSummary`, charges power-modeled
+    devices over their merged busy intervals (continuous batching must not
+    double-count overlap), and merges the per-device cache probe streams by
+    their process-wide stamp so replayed hit accounting sees the exact order
+    the shared LRU did.  ``active[i]`` overrides "did device ``i`` do work"
+    for engines that run phases outside the batch path (decode steps).
+    """
+    probe_total = 0
+    probe_unique: set[str] = set()
+    probe_sequence: list[tuple[int, str]] = []
+    probes_seen = False
+    for index, device in enumerate(fleet):
+        summary = report.devices[index]
+        summary.busy_seconds = device.busy_seconds()
+        summary.schedule_cache = device.schedule_cache_stats()
+        probes = device.schedule_cache_probes()
+        if probes is not None:
+            probes_seen = True
+            probe_total += probes["total"]
+            probe_unique.update(probes["unique"])
+            probe_sequence.extend(probes.get("sequence", []))
+        served_energy = device.served_energy_joules()
+        did_work = active[index] if active is not None else summary.num_batches > 0
+        if served_energy is not None and did_work:
+            summary.energy_joules = served_energy
+    if probes_seen:
+        # Merging the per-device streams by their process-wide stamp
+        # recovers the exact order the shared LRU saw the lookups.
+        probe_sequence.sort(key=lambda item: item[0])
+        report.schedule_cache_probes = {
+            "total": probe_total,
+            "unique": sorted(probe_unique),
+            "sequence": [digest for _, digest in probe_sequence],
+        }

@@ -40,9 +40,7 @@ per-device energy where the backend has a power model.
 
 from __future__ import annotations
 
-import heapq
 import math
-import warnings
 from dataclasses import dataclass, field
 from typing import Sequence
 
@@ -54,14 +52,20 @@ from ..hardware.accelerator import Accelerator
 from ..scheduling.length_aware import LengthAwareScheduler
 from ..transformer.configs import DatasetConfig, get_dataset_config
 from .arrivals import ArrivalProcess
-from .policies import BatchPolicy, FixedSizeBatcher, LengthBucketedBatcher
+from .clock import SimClock
+from .core import (
+    _EPS,
+    DispatchCore,
+    collect_device_stats,
+    prepare_components,
+    prepare_stream,
+)
+from .policies import BatchPolicy
 from .request import Request, RequestRecord
-from .routing import LeastLoadedRouter, LengthShardedRouter, Router
-from .slo import SLOSpec, assign_deadlines
+from .routing import Router
+from .slo import SLOSpec
 
 __all__ = ["BatchRecord", "DeviceSummary", "OnlineServingReport", "simulate_online"]
-
-_EPS = 1e-12
 
 
 @dataclass
@@ -148,6 +152,10 @@ class OnlineServingReport:
     #: Requests dropped by the batch policy as provably late (deadline
     #: unattainable on any device even if dispatched immediately, alone).
     num_shed_late: int = 0
+    #: Requests shed at *arrival* because their deadline was already
+    #: unattainable (``shed_on_predicted_miss``): no device's earliest start
+    #: plus its single-request estimate could meet it.
+    num_shed_predicted: int = 0
     #: Batches the engine split to honor a device's admission limits
     #: (``max_batch_size`` / ``max_batch_tokens``).
     num_limit_splits: int = 0
@@ -457,6 +465,7 @@ class OnlineServingReport:
             "num_completed": self.num_completed,
             "num_shed": self.num_shed,
             "num_shed_late": self.num_shed_late,
+            "num_shed_predicted": self.num_shed_predicted,
             "num_limit_splits": self.num_limit_splits,
             "shed_rate": self.shed_rate,
             "attainment_rate": self.attainment_rate,
@@ -464,14 +473,16 @@ class OnlineServingReport:
             "num_batches": len(self.batches),
             "sustained_qps": self.sustained_qps,
             "makespan_seconds": self.makespan_seconds,
+            # An all-shed run (tight SLOs + predicted-miss admission) has no
+            # records; percentiles render as None rather than raising.
             "latency_ms": {
-                "p50": self.latency_percentile(50) * 1e3,
-                "p95": self.latency_percentile(95) * 1e3,
-                "p99": self.latency_percentile(99) * 1e3,
+                "p50": self.latency_percentile(50) * 1e3 if self.records else None,
+                "p95": self.latency_percentile(95) * 1e3 if self.records else None,
+                "p99": self.latency_percentile(99) * 1e3 if self.records else None,
             },
             "queueing_delay_ms": {
-                "p50": self.queueing_delay_percentile(50) * 1e3,
-                "p99": self.queueing_delay_percentile(99) * 1e3,
+                "p50": self.queueing_delay_percentile(50) * 1e3 if self.records else None,
+                "p99": self.queueing_delay_percentile(99) * 1e3 if self.records else None,
             },
             "max_queue_depth": self.max_queue_depth,
             "mean_queue_depth": self.mean_queue_depth,
@@ -507,9 +518,9 @@ class OnlineServingReport:
             "requests": self.num_requests,
             "offered_qps": round(self.offered_qps, 1) if self.offered_qps else None,
             "sustained_qps": round(self.sustained_qps, 1),
-            "p50_ms": round(self.latency_percentile(50) * 1e3, 2),
-            "p95_ms": round(self.latency_percentile(95) * 1e3, 2),
-            "p99_ms": round(self.latency_percentile(99) * 1e3, 2),
+            "p50_ms": round(self.latency_percentile(50) * 1e3, 2) if self.records else None,
+            "p95_ms": round(self.latency_percentile(95) * 1e3, 2) if self.records else None,
+            "p99_ms": round(self.latency_percentile(99) * 1e3, 2) if self.records else None,
             "waiting": round(self.mean_waiting_requests, 1),
             "device_util": round(self.average_device_utilization, 3),
             "shed_rate": round(self.shed_rate, 3),
@@ -584,6 +595,7 @@ def simulate_online(
     continuous_batching: bool = False,
     max_queue_depth: int | None = None,
     slo: SLOSpec | None = None,
+    shed_on_predicted_miss: bool = False,
 ) -> OnlineServingReport:
     """Run the event-driven serving simulation.
 
@@ -629,6 +641,12 @@ def simulate_online(
         deadlines (explicit streams, traces) keep them.  Deadline attainment
         and goodput are then reported via ``attainment_rate`` /
         ``goodput_qps`` whether or not the batch policy is deadline-aware.
+    shed_on_predicted_miss:
+        Deadline-aware admission at *arrival*: shed a request at enqueue
+        time when no device's earliest start plus its single-request
+        service estimate could meet the deadline (a provable miss -- the
+        arrival-time sibling of the EDF batcher's late shedding).  Reported
+        via ``num_shed_predicted`` and counted against attainment.
 
     Per-device admission limits (``Device.max_batch_size`` /
     ``Device.max_batch_tokens``) are enforced here: a batch routed to a
@@ -644,46 +662,10 @@ def simulate_online(
     if max_queue_depth is not None and max_queue_depth < 1:
         raise ValueError("max_queue_depth must be >= 1 (or None to disable shedding)")
 
-    if isinstance(arrivals, ArrivalProcess):
-        requests = arrivals.generate(dataset, num_requests, seed=seed)
-        arrival_name = arrivals.name
-        offered_qps = arrivals.rate_qps
-    else:
-        requests = sorted(arrivals, key=lambda r: (r.arrival_time, r.request_id))
-        arrival_name = "explicit"
-        last = requests[-1].arrival_time if requests else 0.0
-        offered_qps = len(requests) / last if last > 0 else None
-    if not requests:
-        raise ValueError("the arrival stream is empty")
-    if slo is not None:
-        requests = assign_deadlines(requests, slo)
-
-    batch_policy = batch_policy or FixedSizeBatcher()
-    router = router or LeastLoadedRouter()
-    batch_policy.prepare(dataset)
-    router.prepare(len(fleet), dataset)
-    # SLO-aware policies estimate batch latencies through the fleet's cost
-    # models; the hook is a no-op for FIFO policies (and absent on plug-in
-    # policies written before it existed).
-    bind_fleet = getattr(batch_policy, "bind_fleet", None)
-    if bind_fleet is not None:
-        bind_fleet(fleet)
-    take_shed = getattr(batch_policy, "take_shed", None)
-    if (
-        isinstance(router, LengthShardedRouter)
-        and len(fleet) > 1
-        and not isinstance(batch_policy, LengthBucketedBatcher)
-    ):
-        # FIFO-formed batches mix the whole length distribution, so every
-        # batch's mean length lands in the same shard and the rest of the
-        # fleet idles.
-        warnings.warn(
-            "length-sharded routing needs length-bucketed batching to spread "
-            "batches across devices; with a FIFO batch policy most batches "
-            "route to a single shard",
-            UserWarning,
-            stacklevel=2,
-        )
+    requests, arrival_name, offered_qps = prepare_stream(
+        dataset, arrivals, num_requests, seed, slo
+    )
+    batch_policy, router = prepare_components(batch_policy, router, fleet, dataset)
 
     for device in fleet:
         device.reset(continuous_batching=continuous_batching)
@@ -705,148 +687,47 @@ def simulate_online(
         ],
     )
 
-    queue: list[Request] = []
-
-    #: Start times of dispatched requests that have not begun executing yet;
-    #: together with the formation queue they are the "waiting" population
-    #: the admission-control limit bounds.
-    pending_starts: list[float] = []
-
-    def waiting_requests(queue: list[Request], now: float) -> int:
-        while pending_starts and pending_starts[0] <= now + _EPS:
-            heapq.heappop(pending_starts)
-        return len(queue) + len(pending_starts)
-
-    def dispatch(batch: list[Request], now: float) -> None:
-        index = router.select(fleet, batch, now)
-        if not 0 <= index < len(fleet):
-            raise IndexError(f"router '{router.name}' picked invalid device {index}")
-        device = fleet[index]
-        admitted = device.admissible_prefix([r.length for r in batch])
-        if admitted < len(batch):
-            # The device's admission limits cap this batch: run the prefix
-            # and hand the remainder back to the head of the formation queue
-            # (those requests arrived before anything still waiting there).
-            report.num_limit_splits += 1
-            queue[:0] = batch[admitted:]
-            batch = batch[:admitted]
-        start = device.next_start(now)
-        execution = device.execute([r.length for r in batch])
-        if max_queue_depth is not None and start > now + _EPS:
-            # Only admission control reads the waiting population; skip the
-            # bookkeeping entirely when no limit is set.
-            for _ in batch:
-                heapq.heappush(pending_starts, start)
-        batch_id = len(report.batches)
-        for position, request in enumerate(batch):
-            report.records.append(
-                RequestRecord(
-                    request=request,
-                    dispatch_time=now,
-                    start_time=start,
-                    completion_time=start + execution.completion_offsets[position],
-                    device_index=index,
-                    batch_id=batch_id,
-                )
-            )
-        report.batches.append(
-            BatchRecord(
-                batch_id=batch_id,
-                device_index=index,
-                dispatch_time=now,
-                start_time=start,
-                execution=execution,
-                request_ids=[r.request_id for r in batch],
-            )
-        )
-        device.dispatch(execution, start)
-        summary = report.devices[index]
-        summary.num_batches += 1
-        summary.num_requests += len(batch)
-        if execution.utilization is not None:
-            summary.pipeline_utilizations.append(execution.utilization)
-        # Power-modeled devices are charged over merged busy intervals at the
-        # end of the run (served_energy_joules); per-batch accumulation is
-        # only for backends whose energy is not power x time.
-        if execution.energy_joules is not None and device.served_energy_joules() is None:
-            summary.energy_joules = (summary.energy_joules or 0.0) + execution.energy_joules
-
-    depth_timeline = report.queue_depth_timeline
+    # The simulator is one driver of the shared dispatch core (the live
+    # gateway in repro.live is the other): it owns a SimClock, feeds arrivals
+    # from the pre-generated stream, and finalizes batches at dispatch time
+    # (auto_finalize) because completion offsets are fully determined there.
+    core = DispatchCore(
+        fleet,
+        report,
+        batch_policy,
+        router,
+        max_queue_depth=max_queue_depth,
+        shed_on_predicted_miss=shed_on_predicted_miss,
+        auto_finalize=True,
+    )
+    clock = SimClock()
     next_index = 0
     total = len(requests)
-    now = 0.0
 
-    while next_index < total or queue:
+    while next_index < total or core.queue:
+        now = clock.now()
         while next_index < total and requests[next_index].arrival_time <= now + _EPS:
-            request = requests[next_index]
+            core.offer(requests[next_index], now)
             next_index += 1
-            if (
-                max_queue_depth is not None
-                and waiting_requests(queue, now) >= max_queue_depth
-            ):
-                report.num_shed += 1
-                report.shed_requests.append(request)
-            else:
-                queue.append(request)
-        depth_timeline.append((now, len(queue)))
+        core.note_queue_depth(now)
 
         draining = next_index >= total
-        while True:
-            batch = batch_policy.form_batch(queue, now, draining)
-            if batch is None:
-                break
-            if not batch:
-                raise RuntimeError(f"batch policy '{batch_policy.name}' formed an empty batch")
-            dispatch(batch, now)
-            depth_timeline.append((now, len(queue)))
-        for request in take_shed() if take_shed is not None else ():
-            # Deadline-aware policies drop requests that are provably late;
-            # they count against attainment, not against admission control.
-            report.num_shed_late += 1
-            report.shed_requests.append(request)
+        core.pump(now, draining)
 
-        if next_index >= total and not queue:
+        if next_index >= total and not core.queue:
             break
         next_event = requests[next_index].arrival_time if next_index < total else math.inf
-        deadline = batch_policy.next_action_time(queue, now)
+        deadline = core.next_action_time(now)
         if deadline is not None:
             next_event = min(next_event, deadline)
         if math.isinf(next_event):
             raise RuntimeError(
-                f"batch policy '{batch_policy.name}' left {len(queue)} requests stranded"
+                f"batch policy '{batch_policy.name}' left {len(core.queue)} requests stranded"
             )
         if next_event <= now + _EPS and draining:
             raise RuntimeError(f"batch policy '{batch_policy.name}' is not making progress")
-        now = max(now, next_event)
+        clock.advance_to(next_event)
 
-    probe_total = 0
-    probe_unique: set[str] = set()
-    probe_sequence: list[tuple[int, str]] = []
-    probes_seen = False
-    for index, device in enumerate(fleet):
-        summary = report.devices[index]
-        summary.busy_seconds = device.busy_seconds()
-        summary.schedule_cache = device.schedule_cache_stats()
-        probes = device.schedule_cache_probes()
-        if probes is not None:
-            probes_seen = True
-            probe_total += probes["total"]
-            probe_unique.update(probes["unique"])
-            probe_sequence.extend(probes.get("sequence", []))
-        # Power-modeled devices charge power over merged busy intervals, so
-        # overlapping admissions under continuous batching are not
-        # double-counted; other backends keep the per-batch accumulation.
-        served_energy = device.served_energy_joules()
-        if served_energy is not None and summary.num_batches > 0:
-            summary.energy_joules = served_energy
-    if probes_seen:
-        # Merging the per-device streams by their process-wide stamp
-        # recovers the exact order the shared LRU saw the lookups.
-        probe_sequence.sort(key=lambda item: item[0])
-        report.schedule_cache_probes = {
-            "total": probe_total,
-            "unique": sorted(probe_unique),
-            "sequence": [digest for _, digest in probe_sequence],
-        }
+    collect_device_stats(report, fleet)
     report.records.sort(key=lambda r: (r.completion_time, r.request.request_id))
     return report

@@ -3,9 +3,16 @@
 from __future__ import annotations
 
 import json
+import multiprocessing
 
 import pytest
 
+from repro.evaluation import serving_sweep
+from repro.evaluation.env_overrides import (
+    ENV_OVERRIDE_VARS,
+    apply_env_overrides,
+    capture_env_overrides,
+)
 from repro.experiments import run_report
 
 #: One dataset, two load points, few requests: enough to cross the process
@@ -45,6 +52,53 @@ def test_exact_billing_opt_out():
     result = report.payload["result"]
     assert result["cache_length_bucket"] is None
     assert result["schedule_cache"] is not None
+
+
+@pytest.mark.parametrize(
+    "name, value",
+    [("REPRO_PIPELINE_ENGINE", "reference"), ("REPRO_SCHEDULE_CACHE", "off")],
+)
+def test_parallel_sweep_honors_env_overrides(monkeypatch, name, value):
+    """--jobs N must honor REPRO_* overrides byte-for-byte like a serial run.
+
+    The pool is forced onto a spawn context so workers inherit *nothing*
+    through fork -- the submit-time capture / in-worker re-export is the only
+    channel that can carry the override across, which is exactly the
+    regression under test.  ``REPRO_SCHEDULE_CACHE=off`` is detectable in the
+    payload (``schedule_cache`` goes null); the byte-equality assertion then
+    pins both overrides.
+    """
+    monkeypatch.setenv(name, value)
+    monkeypatch.setattr(
+        serving_sweep, "_MP_CONTEXT", multiprocessing.get_context("spawn")
+    )
+    serial = run_report("serving-sweep", {**_SMALL, "jobs": 1})
+    parallel = run_report("serving-sweep", {**_SMALL, "jobs": 2})
+    assert json.dumps(serial.payload["result"], indent=2) == json.dumps(
+        parallel.payload["result"], indent=2
+    )
+    if name == "REPRO_SCHEDULE_CACHE":
+        # Proof the override actually reached the workers: with the cache
+        # off no run may report cache statistics.
+        assert parallel.payload["result"]["schedule_cache"] is None
+
+
+def test_env_override_capture_roundtrip(monkeypatch):
+    """Capture snapshots present *and* absent variables; apply restores both."""
+    monkeypatch.setenv("REPRO_PIPELINE_ENGINE", "reference")
+    monkeypatch.delenv("REPRO_SCHEDULE_CACHE", raising=False)
+    snapshot = capture_env_overrides()
+    assert snapshot["REPRO_PIPELINE_ENGINE"] == "reference"
+    assert snapshot["REPRO_SCHEDULE_CACHE"] is None
+    # Emulate a worker whose environment drifted the other way.
+    monkeypatch.delenv("REPRO_PIPELINE_ENGINE")
+    monkeypatch.setenv("REPRO_SCHEDULE_CACHE", "off")
+    apply_env_overrides(snapshot)
+    import os
+
+    assert os.environ.get("REPRO_PIPELINE_ENGINE") == "reference"
+    assert "REPRO_SCHEDULE_CACHE" not in os.environ
+    assert set(snapshot) == set(ENV_OVERRIDE_VARS)
 
 
 def test_jobs_validation():

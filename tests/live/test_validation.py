@@ -1,0 +1,70 @@
+"""The sim-vs-live agreement contract on the checked-in validation trace.
+
+This is the acceptance test of the live subsystem: a trace replayed through
+real sockets and wall-clock sleeps must reproduce the simulator's report --
+counts exactly, rates within 2 %.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.live import (
+    VALIDATION_TRACE_PATH,
+    build_validation_trace,
+    load_validation_trace,
+    run_live_validation,
+    simulate_trace,
+    trace_requests,
+)
+
+
+def test_checked_in_trace_matches_builder():
+    """The JSON on disk is exactly the builder's output (no silent drift)."""
+    on_disk = json.loads(VALIDATION_TRACE_PATH.read_text())["entries"]
+    assert on_disk == build_validation_trace()
+
+
+def test_trace_requests_are_sorted_and_deadlined():
+    requests = trace_requests(load_validation_trace())
+    assert len(requests) == 80
+    assert all(r.deadline == pytest.approx(r.arrival_time + 2.0) for r in requests)
+    arrivals = [r.arrival_time for r in requests]
+    assert arrivals == sorted(arrivals)
+
+
+def test_simulator_baseline_on_validation_trace():
+    """Pin the simulated outcome the live gateway is validated against."""
+    report = simulate_trace(load_validation_trace())
+    assert report.num_requests == 80
+    assert report.num_completed == 63
+    assert report.num_shed == 17
+    assert report.num_shed_late == 0
+    # Generous SLOs: every served request lands on time.
+    assert report.attainment_rate == pytest.approx(63 / 80)
+
+
+def test_sim_vs_live_agreement_within_tolerance():
+    """Replay through HTTP + wall clock; diff against the simulator.
+
+    Counts must match exactly (the trace gives every admission decision
+    hundreds of milliseconds of margin); goodput / sustained QPS / makespan
+    must agree within 2 % (the only live skew is pacing jitter).
+    """
+    result = run_live_validation(tolerance=0.02)
+    agreement = result["agreement"]
+    assert agreement["within_tolerance"], json.dumps(agreement, indent=2)
+    for key, entry in agreement["counts"].items():
+        assert entry["match"], f"{key}: sim={entry['sim']} live={entry['live']}"
+    # /stats totals equal the replayed-trace simulator totals, exactly.
+    assert result["live"]["num_completed"] == result["sim"]["num_completed"] == 63
+    assert result["live"]["num_shed"] == result["sim"]["num_shed"] == 17
+    assert result["live"]["attainment_rate"] == result["sim"]["attainment_rate"]
+    # The live gateway drained cleanly.
+    live = result["live"]["live"]
+    assert live["stopped"] is True
+    assert live["queue_depth"] == 0
+    assert live["in_flight_batches"] == 0
+    assert live["worker_restarts"] == [0]

@@ -1,0 +1,34 @@
+"""Wall-time benchmark of the capacity-planning fleet search.
+
+Runs ``repro plan`` on the checked-in reference trace (16 compositions over
+the three-device catalog, 95% attainment target) and records how fast the
+price-ordered search clears the candidate space: total wall-time, candidates
+evaluated per second, and how many compositions the feasible-superset pruning
+rule skipped without simulating.
+"""
+
+from __future__ import annotations
+
+from conftest import record_metric, run_once
+
+from repro.experiments.spec import get_experiment, run_experiment
+
+
+def test_bench_planner_reference_search(benchmark, write_report):
+    result = run_once(benchmark, run_experiment, "plan")
+    search = result.search
+
+    assert search.chosen is not None
+    assert search.chosen.meets_target
+    assert search.num_enumerated == len(search.candidates) + len(search.pruned)
+
+    seconds = benchmark.stats.stats.mean
+    evaluated = len(search.candidates)
+    write_report("planner_reference_search", get_experiment("plan").render(result))
+    record_metric(
+        search_seconds=round(seconds, 3),
+        candidates_evaluated=evaluated,
+        candidates_per_second=round(evaluated / seconds, 2),
+        compositions_pruned=len(search.pruned),
+        chosen_price_per_hour_usd=search.chosen.price_per_hour_usd,
+    )

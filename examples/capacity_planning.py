@@ -1,0 +1,67 @@
+"""Capacity planning: how many devices do I buy?
+
+Runs the ``plan`` experiment on the checked-in diurnal reference trace: the
+planner enumerates every fleet composition over a three-device catalog
+(sparse FPGA, RTX 6000, Xeon), prices each at its catalog $/hr, simulates the
+trace through the fast-path serving engine, and reports the cheapest fleet
+that clears a 95% SLO-attainment target plus the full Pareto frontier over
+dollar cost, attainment, and energy per million requests.
+
+A second pass re-runs the winning fleet under the queue-depth autoscaler with
+a provisioning lag, showing what elasticity buys on the same workload.
+
+Run with:  python examples/capacity_planning.py
+Maintainers: ``--write-reference`` refreshes the checked-in frontier at
+benchmarks/results/planner_pareto.json after an intentional planner change.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+from repro.experiments.spec import get_experiment, run_experiment
+
+
+def write_reference(result) -> None:
+    """Refresh the checked-in reference frontier and its rendered report."""
+    results_dir = Path(__file__).resolve().parents[1] / "benchmarks" / "results"
+    payload = {
+        "description": "Reference Pareto frontier for `repro plan` on the checked-in "
+        "diurnal trace (300 requests, mrpc, 95% attainment target). "
+        "Regenerate with: PYTHONPATH=src python examples/capacity_planning.py --write-reference",
+        "attainment_target": 0.95,
+        "trace": "src/repro/planner/traces/reference_trace.json",
+        "chosen": result.search.chosen.to_dict(),
+        "pareto_frontier": [c.to_dict() for c in result.search.frontier],
+    }
+    (results_dir / "planner_pareto.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+    text = get_experiment("plan").render(result)
+    (results_dir / "planner_pareto.txt").write_text(
+        text if text.endswith("\n") else text + "\n"
+    )
+    print(f"wrote {results_dir / 'planner_pareto.json'}")
+
+
+def main() -> None:
+    result = run_experiment("plan", compare_autoscaler="queue-depth")
+    print(get_experiment("plan").render(result))
+
+    chosen = result.search.chosen
+    frontier = result.search.frontier
+    print(
+        f"Buy {chosen.fleet} (${chosen.price_per_hour_usd:.2f}/hr): the cheapest "
+        f"fleet that clears 95% attainment on the diurnal trace.\n"
+        f"The frontier keeps {len(frontier)} of {len(result.search.candidates)} "
+        "evaluated compositions -- the GPU fleets win on dollars, the sparse-FPGA "
+        "fleets on joules per million requests; everything else is dominated."
+    )
+    if "--write-reference" in sys.argv[1:]:
+        write_reference(result)
+
+
+if __name__ == "__main__":
+    main()

@@ -21,11 +21,18 @@ Importing this package registers the built-in devices under
 """
 
 from .adapters import AnalyticalDevice, CycleAccurateDevice
-from .catalog import build_device, build_fleet, split_fleet_spec
+from .catalog import (
+    DEFAULT_DEVICE_PRICES_USD_PER_HOUR,
+    build_device,
+    build_fleet,
+    split_fleet_spec,
+)
 from .protocol import BatchExecution, Device
 from .schedule_cache import (
     GLOBAL_SCHEDULE_CACHE,
     ScheduleCache,
+    persist_schedule_cache,
+    persistent_cache_dir,
     schedule_cache_enabled,
 )
 
@@ -33,11 +40,14 @@ __all__ = [
     "AnalyticalDevice",
     "BatchExecution",
     "CycleAccurateDevice",
+    "DEFAULT_DEVICE_PRICES_USD_PER_HOUR",
     "Device",
     "GLOBAL_SCHEDULE_CACHE",
     "ScheduleCache",
     "build_device",
     "build_fleet",
+    "persist_schedule_cache",
+    "persistent_cache_dir",
     "schedule_cache_enabled",
     "split_fleet_spec",
 ]

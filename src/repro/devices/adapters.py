@@ -30,6 +30,7 @@ from .protocol import BatchExecution, Device
 from .schedule_cache import (
     GLOBAL_SCHEDULE_CACHE,
     ScheduleCache,
+    ensure_persistent_cache_loaded,
     quantize_lengths,
     schedule_cache_enabled,
 )
@@ -54,6 +55,18 @@ class _CanonicalSchedule:
     admit_seconds: float
     utilization: float
     key_digest: str = ""
+
+    def __getstate__(self) -> dict:
+        # ScheduleResult carries lazily-materialized timeline closures that
+        # do not pickle; disk snapshots (REPRO_SCHEDULE_CACHE_DIR) keep the
+        # scalar summary and drop the schedule object, exactly like the
+        # parallel sweep workers do before shipping results across processes.
+        state = self.__dict__.copy()
+        state["result"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
 
 
 def _key_digest(key: tuple) -> str:
@@ -120,6 +133,7 @@ class CycleAccurateDevice(Device):
         max_batch_tokens: int | None = None,
         kv_cache_bytes: int | None = None,
         hbm: HbmModel | None = None,
+        price_per_hour_usd: float | None = None,
     ) -> None:
         self.accelerator = accelerator
         self.scheduler = scheduler or LengthAwareScheduler()
@@ -154,6 +168,7 @@ class CycleAccurateDevice(Device):
             max_batch_size=max_batch_size,
             max_batch_tokens=max_batch_tokens,
             kv_cache_bytes=kv_cache_bytes,
+            price_per_hour_usd=price_per_hour_usd,
         )
 
     @property
@@ -209,6 +224,10 @@ class CycleAccurateDevice(Device):
         self.cache_probe_unique: set[str] = set()
         self.cache_probe_sequence: list[tuple[int, str]] = []
         self._cache_active = schedule_cache_enabled()
+        if self._cache_active and self._schedule_cache is GLOBAL_SCHEDULE_CACHE:
+            # Opt-in disk warm start (REPRO_SCHEDULE_CACHE_DIR); no-op once
+            # loaded, and never applied to privately injected caches.
+            ensure_persistent_cache_loaded()
 
     # ------------------------------------------------------------------
     # Cache plumbing
@@ -367,6 +386,7 @@ class CycleAccurateDevice(Device):
             "scheduler": self.scheduler_name,
             "clock_hz": self.accelerator.clock_hz,
             "power_watts": self.power_watts,
+            "price_per_hour_usd": self.price_per_hour_usd,
             "top_k": self.accelerator.top_k,
             "stages": [stage.name for stage in self.accelerator.stages],
             **self.batch_limits(),
@@ -393,6 +413,7 @@ class AnalyticalDevice(Device):
         kv_cache_bytes: int | None = None,
         mem_bandwidth_bytes: float | None = None,
         decode_top_k: int | None = None,
+        price_per_hour_usd: float | None = None,
     ) -> None:
         if workload not in ("end_to_end", "attention"):
             raise ValueError("workload must be 'end_to_end' or 'attention'")
@@ -420,6 +441,7 @@ class AnalyticalDevice(Device):
             max_batch_size=max_batch_size,
             max_batch_tokens=max_batch_tokens,
             kv_cache_bytes=kv_cache_bytes,
+            price_per_hour_usd=price_per_hour_usd,
         )
 
     # ------------------------------------------------------------------
@@ -492,6 +514,7 @@ class AnalyticalDevice(Device):
             "platform": self.platform.name,
             "workload": self.workload,
             "power_watts": getattr(self.platform, "power_watts", None),
+            "price_per_hour_usd": self.price_per_hour_usd,
             **self.batch_limits(),
         }
         if self.model_config is not None:

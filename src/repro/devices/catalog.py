@@ -37,7 +37,23 @@ from ..transformer.configs import (
 from .adapters import AnalyticalDevice, CycleAccurateDevice
 from .protocol import Device
 
-__all__ = ["build_device", "build_fleet", "split_fleet_spec"]
+__all__ = ["DEFAULT_DEVICE_PRICES_USD_PER_HOUR", "build_device", "build_fleet", "split_fleet_spec"]
+
+
+#: Catalog list prices (USD per device-hour), in the ballpark of public-cloud
+#: on-demand rates for comparable hardware: FPGA boards at an F1-class
+#: instance share, the RTX 6000 at a workstation-GPU rental, the V100 at a
+#: datacenter-GPU rate, the Xeon at a dedicated-host share, and the Jetson at
+#: embedded-board amortization.  Every factory takes ``price_per_hour_usd``
+#: to override its default, so planner studies can re-price the catalog.
+DEFAULT_DEVICE_PRICES_USD_PER_HOUR = {
+    "sparse-fpga": 1.65,
+    "baseline-fpga": 1.65,
+    "gpu-rtx6000": 1.25,
+    "gpu-jetson": 0.08,
+    "cpu-xeon": 0.45,
+    "gpu-v100-et": 2.48,
+}
 
 
 def split_fleet_spec(specs: str | Iterable[str]) -> list[str]:
@@ -73,6 +89,7 @@ def sparse_fpga_device(
     max_batch_size: int | None = None,
     max_batch_tokens: int | None = None,
     kv_cache_bytes: int | None = None,
+    price_per_hour_usd: float = DEFAULT_DEVICE_PRICES_USD_PER_HOUR["sparse-fpga"],
 ) -> Device:
     """The proposed design: sparse attention + length-aware scheduling.
 
@@ -81,7 +98,8 @@ def sparse_fpga_device(
     ``cache_length_bucket`` (tokens; schedule-cache length quantization,
     None = exact), the per-device admission limits ``max_batch_size``
     (requests per batch) / ``max_batch_tokens`` (total tokens per batch),
-    and ``kv_cache_bytes`` (decoder KV-cache capacity, None = uncapped).
+    ``kv_cache_bytes`` (decoder KV-cache capacity, None = uncapped), and
+    ``price_per_hour_usd`` (rental price per device-hour for cost reports).
     The design is balanced for the dataset's average/max length.
     """
     model_config, dataset_config = _model(model), _dataset(dataset)
@@ -101,6 +119,7 @@ def sparse_fpga_device(
         max_batch_size=max_batch_size,
         max_batch_tokens=max_batch_tokens,
         kv_cache_bytes=kv_cache_bytes,
+        price_per_hour_usd=price_per_hour_usd,
     )
 
 
@@ -113,15 +132,17 @@ def baseline_fpga_device(
     max_batch_size: int | None = None,
     max_batch_tokens: int | None = None,
     kv_cache_bytes: int | None = None,
+    price_per_hour_usd: float = DEFAULT_DEVICE_PRICES_USD_PER_HOUR["baseline-fpga"],
 ) -> Device:
     """The Fig. 7 FPGA baseline: dense attention, max-length padding.
 
     Config knobs: ``cache_length_bucket`` (tokens; schedule-cache length
     quantization, None = exact), the per-device admission limits
     ``max_batch_size`` (requests per batch) / ``max_batch_tokens`` (total
-    tokens per batch), and ``kv_cache_bytes`` (decoder KV-cache capacity,
-    None = uncapped).  Every sequence is billed at the dataset's max
-    length, which is what makes this device padding-bound.
+    tokens per batch), ``kv_cache_bytes`` (decoder KV-cache capacity,
+    None = uncapped), and ``price_per_hour_usd`` (rental price per
+    device-hour for cost reports).  Every sequence is billed at the
+    dataset's max length, which is what makes this device padding-bound.
     """
     model_config, dataset_config = _model(model), _dataset(dataset)
     accelerator = build_baseline_accelerator(
@@ -138,6 +159,7 @@ def baseline_fpga_device(
         max_batch_size=max_batch_size,
         max_batch_tokens=max_batch_tokens,
         kv_cache_bytes=kv_cache_bytes,
+        price_per_hour_usd=price_per_hour_usd,
     )
 
 
@@ -155,6 +177,7 @@ def _register_analytical(
         max_batch_size: int | None = None,
         max_batch_tokens: int | None = None,
         kv_cache_bytes: int | None = None,
+        price_per_hour_usd: float = DEFAULT_DEVICE_PRICES_USD_PER_HOUR[key],
     ) -> Device:
         del dataset  # analytical platforms have no length-balanced design point
         return AnalyticalDevice(
@@ -166,6 +189,7 @@ def _register_analytical(
             max_batch_tokens=max_batch_tokens,
             kv_cache_bytes=kv_cache_bytes,
             mem_bandwidth_bytes=mem_bandwidth_bytes,
+            price_per_hour_usd=price_per_hour_usd,
         )
 
     build.__name__ = f"{key.replace('-', '_')}_device"
@@ -173,8 +197,9 @@ def _register_analytical(
         f"Analytical roofline model of {platform.name}.\n\n"
         "Config knobs: ``workload`` ('end_to_end' or 'attention'), the "
         "per-device admission limits ``max_batch_size`` (requests per "
-        "batch) / ``max_batch_tokens`` (total tokens per batch), and "
-        "``kv_cache_bytes`` (decoder KV-cache capacity, None = uncapped). "
+        "batch) / ``max_batch_tokens`` (total tokens per batch), "
+        "``kv_cache_bytes`` (decoder KV-cache capacity, None = uncapped), "
+        "and ``price_per_hour_usd`` (rental price per device-hour). "
         "Batches are padded dense and serialize (no internal pipeline)."
     )
     REGISTRY.add("device", key, build, aliases=aliases)
@@ -192,7 +217,14 @@ _register_analytical("gpu-v100-et", V100_ET, aliases=("v100-et",), mem_bandwidth
 #: exactly these when the chosen factory has no such parameter, so one knob
 #: set can drive a mixed fleet while typos still raise TypeError.
 _OPTIONAL_DEVICE_KNOBS = frozenset(
-    {"top_k", "cache_length_bucket", "max_batch_size", "max_batch_tokens", "kv_cache_bytes"}
+    {
+        "top_k",
+        "cache_length_bucket",
+        "max_batch_size",
+        "max_batch_tokens",
+        "kv_cache_bytes",
+        "price_per_hour_usd",
+    }
 )
 
 

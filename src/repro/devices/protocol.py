@@ -115,6 +115,7 @@ class Device:
         max_batch_size: int | None = None,
         max_batch_tokens: int | None = None,
         kv_cache_bytes: int | None = None,
+        price_per_hour_usd: float | None = None,
     ) -> None:
         if max_batch_size is not None and max_batch_size < 1:
             raise ValueError("max_batch_size must be >= 1 (or None for no limit)")
@@ -122,6 +123,8 @@ class Device:
             raise ValueError("max_batch_tokens must be >= 1 (or None for no limit)")
         if kv_cache_bytes is not None and kv_cache_bytes < 1:
             raise ValueError("kv_cache_bytes must be >= 1 (or None for no limit)")
+        if price_per_hour_usd is not None and price_per_hour_usd < 0:
+            raise ValueError("price_per_hour_usd must be >= 0 (or None when unpriced)")
         #: Per-device admission limits the serving engine enforces: at most
         #: ``max_batch_size`` requests and ``max_batch_tokens`` total tokens
         #: per dispatched batch (None = unlimited).  A heterogeneous fleet
@@ -131,6 +134,10 @@ class Device:
         #: KV-cache capacity (bytes) for decoder workloads; the decode engine
         #: admits requests token-by-token against this budget (None = no cap).
         self.kv_cache_bytes = kv_cache_bytes
+        #: Rental price of this device (USD per hour of *online* time); the
+        #: capacity planner and the autoscaled engine turn it into dollar
+        #: cost per run.  ``None`` = unpriced (cost accounting skips it).
+        self.price_per_hour_usd = price_per_hour_usd
         self.reset()
 
     def admissible_prefix(self, lengths: Sequence[int]) -> int:
@@ -180,7 +187,12 @@ class Device:
 
     def describe(self) -> dict:
         """JSON-ready self-description (reports, ``repro list`` output)."""
-        return {"name": self.name, "backend": self.backend, **self.batch_limits()}
+        return {
+            "name": self.name,
+            "backend": self.backend,
+            "price_per_hour_usd": self.price_per_hour_usd,
+            **self.batch_limits(),
+        }
 
     # ------------------------------------------------------------------
     # Two-phase (prefill / decode) cost model
@@ -307,6 +319,16 @@ class Device:
         """Earliest time a batch dispatched at ``now`` could start executing."""
         gate = self._admit_at if self._continuous else self._drained_at
         return max(now, gate)
+
+    @property
+    def pending_until(self) -> float:
+        """When the last dispatched batch fully drains (serving-state clock).
+
+        The autoscaled engine keeps a deprovisioned device billed until this
+        instant: scale-down stops new routing immediately, but in-flight work
+        still finishes (and still costs device-hours).
+        """
+        return self._drained_at
 
     def occupancy(self, now: float) -> float:
         """How full the device is at ``now``: 0 idle, 1 cannot admit a batch.

@@ -135,7 +135,10 @@ class ServeConfig(ExperimentConfig):
     )
     arrival: str = cfg_field(
         "poisson",
-        help="arrival process (poisson, bursty, trace, closed-loop, or plug-in)",
+        help=(
+            "arrival process (poisson, bursty, diurnal, flash-crowd, trace, "
+            "closed-loop, or plug-in)"
+        ),
     )
     trace_file: str | None = cfg_field(
         None, help="JSON trace of arrival times (or [time, length] pairs)"
@@ -146,6 +149,23 @@ class ServeConfig(ExperimentConfig):
             "schedule-cache length quantization in tokens (round lengths up "
             "before scheduling); default exact (serving-sweep defaults to 16)"
         ),
+    )
+    autoscaler: str | None = cfg_field(
+        None,
+        help=(
+            "treat the fleet as an elastic pool driven by this scaling "
+            "policy (queue-depth, predicted-attainment, or plug-in); "
+            "default static fleet"
+        ),
+    )
+    provisioning_lag_s: float = cfg_field(
+        2.0, help="seconds between a scale-up decision and the device coming online"
+    )
+    autoscale_interval_s: float = cfg_field(
+        1.0, help="seconds between autoscaler decisions"
+    )
+    min_devices: int = cfg_field(
+        1, help="devices the autoscaler must keep online (also the starting pool)"
     )
     model: str = cfg_field("bert-base", choices=sorted(MODEL_ZOO), help="model zoo key")
     seed: int = global_config.DEFAULT_SEED
@@ -192,6 +212,19 @@ class ServeConfig(ExperimentConfig):
                 f"arrival '{self.arrival}' is not rate-driven; drop qps "
                 "(trace replays its recorded times, closed-loop queues everything at t=0)"
             )
+        if self.provisioning_lag_s < 0:
+            raise ValueError("provisioning_lag_s must be >= 0")
+        if self.autoscale_interval_s <= 0:
+            raise ValueError("autoscale_interval_s must be > 0")
+        if self.min_devices < 1:
+            raise ValueError("min_devices must be >= 1")
+        if self.autoscaler is not None:
+            _resolve_component("autoscaler", self.autoscaler)
+            if self.is_rate_driven() and self.qps is None:
+                raise ValueError(
+                    "autoscaler needs a single online run: give qps or use a "
+                    "non-rate arrival (trace), not the load sweep"
+                )
 
     def is_rate_driven(self) -> bool:
         """Whether the configured arrival process is driven by an offered rate."""
@@ -340,6 +373,10 @@ def _run_spec(config: ServeConfig) -> ServeResult:
         slo=slo,
         seed=config.seed,
         shed_on_predicted_miss=config.shed_on_predicted_miss,
+        autoscaler=config.autoscaler,
+        provisioning_lag_s=config.provisioning_lag_s,
+        autoscale_interval_s=config.autoscale_interval_s,
+        min_devices=config.min_devices,
     )
     return ServeResult(
         mode="online",
@@ -372,6 +409,12 @@ def _render(result: ServeResult) -> str:
                     if device.energy_joules is not None
                     else None
                 ),
+                "price_per_hr": device.price_per_hour_usd,
+                "online_s": (
+                    round(device.online_seconds, 4)
+                    if device.online_seconds is not None
+                    else None
+                ),
             }
             for device in report.devices
         ],
@@ -398,6 +441,16 @@ def _render(result: ServeResult) -> str:
             footer["shed at arrival (predicted miss)"] = report.num_shed_predicted
     if report.num_limit_splits:
         footer["batches split by device limits"] = report.num_limit_splits
+    if report.cost_usd is not None:
+        footer["fleet cost (USD)"] = round(report.cost_usd, 6)
+        footer["avg fleet price (USD/hr)"] = round(report.average_price_per_hour_usd, 4)
+        if report.attainment_per_dollar_hour is not None:
+            footer["attainment per $/hr"] = round(report.attainment_per_dollar_hour, 4)
+    if report.autoscaler is not None:
+        footer["autoscaler"] = report.autoscaler
+        footer["provisioning lag (s)"] = report.provisioning_lag_s
+        footer["scaling steps"] = len(report.scaling_timeline)
+        footer["peak active devices"] = max(n for _, n in report.scaling_timeline)
     steady = result.steady_stats()
     if steady is not None:
         steady_p99 = steady["latency_ms"]["p99"]

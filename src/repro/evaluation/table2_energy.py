@@ -47,6 +47,10 @@ class Table2Result:
     fig7: Fig7Result
     #: Device-level serving-energy rows (present when serving_dataset is set).
     serving: list[dict] = field(default_factory=list)
+    #: Fleet total of the serving section, straight from the serving report's
+    #: ``total_energy_joules`` -- by construction the sum of the per-device
+    #: rows, which the heterogeneous-fleet tests pin down.
+    serving_total_energy_joules: float | None = None
 
     def row(self, platform: str) -> EnergyReport:
         """Look up one row by its platform label."""
@@ -67,6 +71,7 @@ class Table2Result:
         payload = {"rows": self.as_rows(), "paper_rows": self.paper_rows()}
         if self.serving:
             payload["serving"] = list(self.serving)
+            payload["serving_total_energy_joules"] = self.serving_total_energy_joules
         return payload
 
 
@@ -122,7 +127,7 @@ def _serving_energy_rows(
     top_k: int,
     seed: int,
     model: str = "bert-base",
-) -> list[dict]:
+) -> tuple[list[dict], float | None]:
     """Per-device serving energy through the unified Device API.
 
     Each listed device is instantiated at the dataset's operating point and
@@ -131,6 +136,10 @@ def _serving_energy_rows(
     like-for-like across cycle-accurate and analytical backends.  ``top_k``
     reaches the devices that take a Top-k budget, keeping the serving
     section at the same operating point as the main table rows.
+
+    Returns the per-device rows plus the fleet-total joules
+    (``OnlineServingReport.total_energy_joules``); the rows sum to the
+    total exactly, which the heterogeneous-fleet regression tests assert.
     """
     fleet = build_fleet(devices, model=model, dataset=dataset, top_k=top_k)
     report = simulate_online(
@@ -159,7 +168,7 @@ def _serving_energy_rows(
                 ),
             }
         )
-    return rows
+    return rows, report.total_energy_joules
 
 
 def _table2_impl(
@@ -223,8 +232,9 @@ def _table2_impl(
 
     rows = [gpu, ours] + list(LITERATURE_TABLE2_ROWS)
     serving: list[dict] = []
+    serving_total: float | None = None
     if serving_dataset is not None:
-        serving = _serving_energy_rows(
+        serving, serving_total = _serving_energy_rows(
             dataset=serving_dataset,
             devices=serving_devices,
             num_requests=serving_requests,
@@ -232,7 +242,12 @@ def _table2_impl(
             top_k=fig7_kwargs.get("top_k", global_config.DEFAULT_TOP_K),
             seed=fig7_kwargs.get("seed", global_config.DEFAULT_SEED),
         )
-    return Table2Result(rows=rows, fig7=fig7, serving=serving)
+    return Table2Result(
+        rows=rows,
+        fig7=fig7,
+        serving=serving,
+        serving_total_energy_joules=serving_total,
+    )
 
 
 def _run_spec(config: Table2Config) -> Table2Result:
@@ -254,6 +269,8 @@ def _render(result: Table2Result) -> str:
         text += format_table(
             result.serving, title="Device-level serving energy (equal traffic per device)"
         )
+        if result.serving_total_energy_joules is not None:
+            text += f"fleet total: {result.serving_total_energy_joules:.3f} J\n"
     return text
 
 

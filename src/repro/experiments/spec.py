@@ -94,6 +94,7 @@ def _ensure_builtin_specs() -> None:
     from .. import decode  # noqa: F401  (registers output-length dists + decode-sweep)
     from .. import devices  # noqa: F401  (registers the device catalog)
     from .. import evaluation  # noqa: F401  (registers all experiment specs)
+    from .. import planner  # noqa: F401  (registers the capacity-planning `plan`)
     from .. import serving  # noqa: F401  (registers arrival/policy/router kinds)
 
 

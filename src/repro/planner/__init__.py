@@ -1,0 +1,47 @@
+"""Capacity planning: "how many devices do I buy?"
+
+The serving stack can answer what one *given* fleet does under one workload;
+this subsystem inverts the question.  Given a device catalog (registered
+:mod:`repro.devices` names with per-hour prices), an arrival trace, and an
+SLO attainment target, the planner searches heterogeneous fleet
+compositions -- counts per catalog device -- for the **cheapest fleet that
+meets the target**, and reports the Pareto frontier over dollar cost,
+attainment, and energy per million requests:
+
+* :mod:`~repro.planner.search` -- deterministic composition enumeration in
+  price order, wave-parallel evaluation through the serving engine
+  (``--jobs``, byte-identical to serial), exact superset pruning, and the
+  Pareto frontier.
+* :mod:`~repro.planner.experiment` -- the registered ``plan`` experiment
+  (CLI: ``repro plan``), including the optional autoscaled-pool comparison
+  against the chosen static fleet.
+* ``traces/reference_trace.json`` -- the checked-in reference workload (a
+  diurnal day/night cycle compressed to simulation scale) the default plan
+  and its regression tests run against.
+
+Importing this package registers the ``plan`` experiment.
+"""
+
+from .search import (
+    CandidateResult,
+    PlanSearchResult,
+    enumerate_compositions,
+    fleet_price_per_hour,
+    pareto_frontier,
+    reference_trace_path,
+    search_fleets,
+)
+from . import experiment as _experiment  # noqa: F401  (registers `plan`)
+from .experiment import PlanConfig, PlanResult
+
+__all__ = [
+    "CandidateResult",
+    "PlanConfig",
+    "PlanResult",
+    "PlanSearchResult",
+    "enumerate_compositions",
+    "fleet_price_per_hour",
+    "pareto_frontier",
+    "reference_trace_path",
+    "search_fleets",
+]

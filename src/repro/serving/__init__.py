@@ -4,7 +4,7 @@ The subsystem turns the per-batch accelerator model into a traffic-facing
 service simulator:
 
 * :mod:`~repro.serving.arrivals` -- request streams (Poisson, bursty MMPP,
-  trace replay, closed-loop).
+  diurnal, flash-crowd, trace replay, closed-loop).
 * :mod:`~repro.serving.policies` -- batch formation (fixed-size, timeout
   dynamic batching, length-bucketed continuous batching).
 * :mod:`~repro.serving.routing` -- multi-device dispatch (round-robin,
@@ -17,6 +17,9 @@ service simulator:
   (:class:`SLOSpec`), EDF batch formation with provably-late shedding
   (:class:`DeadlineBatcher`), and cost-model routing
   (:class:`CostModelRouter`).
+* :mod:`~repro.serving.autoscaler` -- elastic-pool scaling policies
+  (queue-depth threshold, attainment feedback) driven inside the engine
+  with a provisioning lag and per-device billing.
 * :mod:`~repro.serving.closed_loop` -- the legacy batch-drain API
   (``simulate_serving``) expressed as a special case of the engine.
 """
@@ -25,9 +28,18 @@ from .arrivals import (
     ArrivalProcess,
     BurstyArrivals,
     ClosedLoopArrivals,
+    DiurnalArrivals,
+    FlashCrowdArrivals,
     PoissonArrivals,
     TraceArrivals,
     get_arrival_process,
+)
+from .autoscaler import (
+    Autoscaler,
+    PredictedAttainmentAutoscaler,
+    QueueDepthAutoscaler,
+    ScaleObservation,
+    get_autoscaler,
 )
 from .closed_loop import ServingReport, simulate_serving
 from .engine import BatchRecord, DeviceSummary, OnlineServingReport, simulate_online
@@ -50,6 +62,7 @@ from .slo import CostModelRouter, DeadlineBatcher, SLOSpec, assign_deadlines
 
 __all__ = [
     "ArrivalProcess",
+    "Autoscaler",
     "BatchPolicy",
     "BatchRecord",
     "BurstyArrivals",
@@ -57,22 +70,28 @@ __all__ = [
     "CostModelRouter",
     "DeadlineBatcher",
     "DeviceSummary",
+    "DiurnalArrivals",
     "FixedSizeBatcher",
+    "FlashCrowdArrivals",
     "LeastLoadedRouter",
     "LengthBucketedBatcher",
     "LengthShardedRouter",
     "OnlineServingReport",
     "PoissonArrivals",
+    "PredictedAttainmentAutoscaler",
+    "QueueDepthAutoscaler",
     "Request",
     "RequestRecord",
     "RoundRobinRouter",
     "Router",
     "SLOSpec",
+    "ScaleObservation",
     "ServingReport",
     "TimeoutBatcher",
     "TraceArrivals",
     "assign_deadlines",
     "get_arrival_process",
+    "get_autoscaler",
     "get_batch_policy",
     "get_router",
     "simulate_online",

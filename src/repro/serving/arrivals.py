@@ -12,6 +12,14 @@ distribution:
   whose rate is ``burst_ratio`` times higher, while the long-run average rate
   stays at the requested QPS.  This stresses queueing in a way Poisson traffic
   does not.
+* :class:`DiurnalArrivals` -- a sinusoidally rate-modulated Poisson process
+  (the classic day/night traffic shape, compressed to simulation scale).
+  This is the capacity planner's canonical workload: a fleet sized for the
+  mean rate misses the peak, a fleet sized for the peak idles off-peak.
+* :class:`FlashCrowdArrivals` -- baseline Poisson traffic with one
+  rectangular spike window at a multiple of the baseline rate (a launch, a
+  retry storm).  This is the autoscaling stress test: static fleets must
+  over-provision for the spike; reactive scaling pays the provisioning lag.
 * :class:`TraceArrivals` -- replay of an explicit (time, length) trace,
   e.g. recorded production traffic.
 * :class:`ClosedLoopArrivals` -- every request present at t=0; this reduces
@@ -41,6 +49,8 @@ __all__ = [
     "ArrivalProcess",
     "PoissonArrivals",
     "BurstyArrivals",
+    "DiurnalArrivals",
+    "FlashCrowdArrivals",
     "TraceArrivals",
     "ClosedLoopArrivals",
     "get_arrival_process",
@@ -169,6 +179,118 @@ class BurstyArrivals(ArrivalProcess):
                 now = state_end
                 bursting = not bursting
                 state_end = now + rng.exponential(dwell[bursting])
+        return times
+
+
+@register("arrival", "diurnal")
+@dataclass
+class DiurnalArrivals(ArrivalProcess):
+    """Sinusoidally rate-modulated Poisson traffic (day/night cycles).
+
+    Config knobs: ``rate_qps`` (requests/second, long-run average),
+    ``amplitude`` (0-1, peak deviation as a fraction of the average),
+    ``period_s`` (seconds per cycle), and ``phase`` (radians at t=0).
+    The instantaneous rate is
+    ``rate_qps * (1 + amplitude * sin(2*pi*t/period_s + phase))``, so the
+    offered load swings between ``(1-amplitude)`` and ``(1+amplitude)``
+    times the average.  Arrivals are drawn by thinning a homogeneous
+    Poisson stream at the peak rate, which is exact for any inhomogeneous
+    rate function bounded by that peak.
+    """
+
+    rate_qps: float = 100.0
+    amplitude: float = 0.6
+    period_s: float = 20.0
+    phase: float = 0.0
+    name: str = "diurnal"
+
+    def __post_init__(self) -> None:
+        if self.rate_qps <= 0:
+            raise ValueError("rate_qps must be > 0")
+        if not 0.0 <= self.amplitude < 1.0:
+            raise ValueError("amplitude must be in [0, 1)")
+        if self.period_s <= 0:
+            raise ValueError("period_s must be > 0")
+
+    def _rate_at(self, t: float) -> float:
+        return self.rate_qps * (
+            1.0 + self.amplitude * np.sin(2.0 * np.pi * t / self.period_s + self.phase)
+        )
+
+    def arrival_times(self, num_requests: int, rng: np.random.Generator) -> np.ndarray:
+        peak = self.rate_qps * (1.0 + self.amplitude)
+        times = np.empty(num_requests, dtype=np.float64)
+        now = 0.0
+        accepted = 0
+        while accepted < num_requests:
+            now += rng.exponential(1.0 / peak)
+            # Thinning: keep each candidate with probability rate(t)/peak.
+            if rng.random() * peak <= self._rate_at(now):
+                times[accepted] = now
+                accepted += 1
+        return times
+
+
+@register("arrival", "flash-crowd", aliases=("flash",))
+@dataclass
+class FlashCrowdArrivals(ArrivalProcess):
+    """Baseline Poisson traffic with one rectangular spike window.
+
+    Config knobs: ``rate_qps`` (requests/second, baseline rate),
+    ``spike_ratio`` (>= 1, spike rate as a multiple of the baseline),
+    ``spike_start_s`` (seconds) and ``spike_duration_s`` (seconds).
+    During ``[spike_start_s, spike_start_s + spike_duration_s)`` the rate is
+    ``spike_ratio * rate_qps``; outside it, ``rate_qps``.  Sampling is
+    piecewise-homogeneous with a memoryless redraw at each boundary (the
+    same construction :class:`BurstyArrivals` uses for its state flips).
+    This is the autoscaling stress test: a static fleet sized for the
+    baseline drowns during the spike, one sized for the spike idles the
+    rest of the run.
+    """
+
+    rate_qps: float = 100.0
+    spike_ratio: float = 5.0
+    spike_start_s: float = 5.0
+    spike_duration_s: float = 5.0
+    name: str = "flash-crowd"
+
+    def __post_init__(self) -> None:
+        if self.rate_qps <= 0:
+            raise ValueError("rate_qps must be > 0")
+        if self.spike_ratio < 1:
+            raise ValueError("spike_ratio must be >= 1")
+        if self.spike_start_s < 0:
+            raise ValueError("spike_start_s must be >= 0")
+        if self.spike_duration_s <= 0:
+            raise ValueError("spike_duration_s must be > 0")
+
+    def _next_boundary(self, t: float) -> float:
+        if t < self.spike_start_s:
+            return self.spike_start_s
+        end = self.spike_start_s + self.spike_duration_s
+        if t < end:
+            return end
+        return np.inf
+
+    def _rate_at(self, t: float) -> float:
+        if self.spike_start_s <= t < self.spike_start_s + self.spike_duration_s:
+            return self.rate_qps * self.spike_ratio
+        return self.rate_qps
+
+    def arrival_times(self, num_requests: int, rng: np.random.Generator) -> np.ndarray:
+        times = np.empty(num_requests, dtype=np.float64)
+        now = 0.0
+        for i in range(num_requests):
+            while True:
+                gap = rng.exponential(1.0 / self._rate_at(now))
+                boundary = self._next_boundary(now)
+                if now + gap <= boundary:
+                    now += gap
+                    times[i] = now
+                    break
+                # No arrival before the rate changes: jump to the boundary
+                # and redraw at the new rate (exact by memorylessness).
+                now = boundary
         return times
 
 

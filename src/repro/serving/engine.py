@@ -52,6 +52,7 @@ from ..hardware.accelerator import Accelerator
 from ..scheduling.length_aware import LengthAwareScheduler
 from ..transformer.configs import DatasetConfig, get_dataset_config
 from .arrivals import ArrivalProcess
+from .autoscaler import ScaleObservation, get_autoscaler
 from .clock import SimClock
 from .core import (
     _EPS,
@@ -115,6 +116,11 @@ class DeviceSummary:
     #: Per-run schedule-cache counters (None when the backend has no cache).
     schedule_cache: dict | None = None
     pipeline_utilizations: list[float] = field(default_factory=list)
+    #: Rental price (USD per device-hour); None when the device is unpriced.
+    price_per_hour_usd: float | None = None
+    #: Billed seconds this device was provisioned (autoscaled runs only;
+    #: None means the device was online for the whole run).
+    online_seconds: float | None = None
 
     @property
     def mean_pipeline_utilization(self) -> float:
@@ -171,6 +177,13 @@ class OnlineServingReport:
     #: "sequence"}``) for deterministic cross-run hit accounting (the
     #: ordered digest stream enables exact LRU replay); not serialized.
     schedule_cache_probes: dict | None = None
+    #: Autoscaling policy that drove the run (None = static fleet).
+    autoscaler: str | None = None
+    #: Seconds between a scale-up decision and the device coming online
+    #: (None = static fleet).
+    provisioning_lag_s: float | None = None
+    #: Stepwise (time, active-device-count) samples; empty for static fleets.
+    scaling_timeline: list[tuple[float, int]] = field(default_factory=list)
 
     # ------------------------------------------------------------------
     # Latency / throughput
@@ -430,6 +443,67 @@ class OnlineServingReport:
         measured = [d.energy_joules for d in self.devices if d.energy_joules is not None]
         return float(sum(measured)) if measured else None
 
+    # ------------------------------------------------------------------
+    # Dollar-cost accounting (capacity planning)
+    # ------------------------------------------------------------------
+
+    @property
+    def cost_usd(self) -> float | None:
+        """Dollar cost of the run: price x provisioned hours, per device.
+
+        A static fleet bills every device for the whole makespan (renting
+        capacity costs the same whether it is busy or idle -- that is the
+        whole point of capacity planning); an autoscaled run bills each
+        device's online intervals, with scale-downs billed until in-flight
+        work drains.  ``None`` when no device carries a price.
+        """
+        priced = [d for d in self.devices if d.price_per_hour_usd is not None]
+        if not priced:
+            return None
+        horizon = self.makespan_seconds
+        return sum(
+            d.price_per_hour_usd
+            * ((d.online_seconds if d.online_seconds is not None else horizon) / 3600.0)
+            for d in priced
+        )
+
+    @property
+    def average_price_per_hour_usd(self) -> float | None:
+        """Average fleet spend rate over the run (cost / makespan).
+
+        For a static fleet this is simply the sum of the device prices; for
+        an autoscaled run it is the schedule-weighted average, which is the
+        fair basis for comparing an autoscaled pool against a static fleet
+        of some fixed size.
+        """
+        cost = self.cost_usd
+        horizon = self.makespan_seconds
+        if cost is None or horizon <= 0:
+            return None
+        return cost / (horizon / 3600.0)
+
+    @property
+    def joules_per_million_requests(self) -> float | None:
+        """Fleet energy normalized per million served requests (J/Mreq)."""
+        energy = self.total_energy_joules
+        if energy is None or self.num_completed == 0:
+            return None
+        return energy / self.num_completed * 1e6
+
+    @property
+    def attainment_per_dollar_hour(self) -> float | None:
+        """Deadline attainment bought per dollar-hour of fleet spend.
+
+        The planner's figure of merit for scaling schedules: a policy that
+        holds the same attainment on a cheaper schedule scores higher.
+        ``None`` without an SLO or without priced devices.
+        """
+        attainment = self.attainment_rate
+        rate = self.average_price_per_hour_usd
+        if attainment is None or rate is None or rate <= 0:
+            return None
+        return attainment / rate
+
     @property
     def schedule_cache(self) -> dict | None:
         """Fleet-aggregate schedule-cache counters for this run.
@@ -490,6 +564,13 @@ class OnlineServingReport:
             "average_device_utilization": self.average_device_utilization,
             "average_pipeline_utilization": self.average_pipeline_utilization,
             "total_energy_joules": self.total_energy_joules,
+            "joules_per_million_requests": self.joules_per_million_requests,
+            "cost_usd": self.cost_usd,
+            "average_price_per_hour_usd": self.average_price_per_hour_usd,
+            "attainment_per_dollar_hour": self.attainment_per_dollar_hour,
+            "autoscaler": self.autoscaler,
+            "provisioning_lag_s": self.provisioning_lag_s,
+            "scaling_timeline": [[t, n] for t, n in self.scaling_timeline],
             "schedule_cache": self.schedule_cache,
             "devices": [
                 {
@@ -502,6 +583,8 @@ class OnlineServingReport:
                     "duty_cycle": device.duty_cycle(self.makespan_seconds),
                     "pipeline_utilization": device.mean_pipeline_utilization,
                     "energy_joules": device.energy_joules,
+                    "price_per_hour_usd": device.price_per_hour_usd,
+                    "online_seconds": device.online_seconds,
                     "schedule_cache": device.schedule_cache,
                 }
                 for device in self.devices
@@ -529,6 +612,9 @@ class OnlineServingReport:
         if attainment is not None:
             row["attainment"] = round(attainment, 3)
             row["goodput_qps"] = round(self.goodput_qps, 1)
+        cost = self.cost_usd
+        if cost is not None:
+            row["cost_usd"] = round(cost, 6)
         cache = self.schedule_cache
         if cache is not None:
             row["cache_hit"] = round(cache["hit_rate"], 3)
@@ -596,6 +682,11 @@ def simulate_online(
     max_queue_depth: int | None = None,
     slo: SLOSpec | None = None,
     shed_on_predicted_miss: bool = False,
+    autoscaler=None,
+    provisioning_lag_s: float = 0.0,
+    autoscale_interval_s: float = 1.0,
+    min_devices: int = 1,
+    initial_devices: int | None = None,
 ) -> OnlineServingReport:
     """Run the event-driven serving simulation.
 
@@ -647,6 +738,22 @@ def simulate_online(
         service estimate could meet the deadline (a provable miss -- the
         arrival-time sibling of the EDF batcher's late shedding).  Reported
         via ``num_shed_predicted`` and counted against attainment.
+    autoscaler:
+        Turn the fleet into an elastic *pool*: a registered policy name
+        (``"queue-depth"``, ``"predicted-attainment"``) or an
+        :class:`~repro.serving.autoscaler.Autoscaler` instance is consulted
+        every ``autoscale_interval_s`` simulated seconds with a
+        :class:`~repro.serving.autoscaler.ScaleObservation` and answers with
+        the desired provisioned-device count, clamped to
+        ``[min_devices, len(devices)]``.  Scale-ups come online
+        ``provisioning_lag_s`` seconds after the decision; scale-downs stop
+        routing immediately but bill until their in-flight work drains.
+        ``initial_devices`` sets the starting pool (default
+        ``min_devices``).  Billing lands in each device's
+        ``online_seconds`` and the report's ``cost_usd`` /
+        ``scaling_timeline``.  ``None`` (default) keeps the fleet static.
+        With a deadline-aware arrival gate (``shed_on_predicted_miss``),
+        the gate's device snapshot is the *initial* pool.
 
     Per-device admission limits (``Device.max_batch_size`` /
     ``Device.max_batch_tokens``) are enforced here: a batch routed to a
@@ -661,6 +768,19 @@ def simulate_online(
         raise ValueError("need at least one device")
     if max_queue_depth is not None and max_queue_depth < 1:
         raise ValueError("max_queue_depth must be >= 1 (or None to disable shedding)")
+    if isinstance(autoscaler, str):
+        autoscaler = get_autoscaler(autoscaler)
+    autoscaling = autoscaler is not None
+    if provisioning_lag_s < 0:
+        raise ValueError("provisioning_lag_s must be >= 0")
+    if autoscale_interval_s <= 0:
+        raise ValueError("autoscale_interval_s must be > 0")
+    if autoscaling:
+        if not 1 <= min_devices <= len(fleet):
+            raise ValueError("min_devices must be in [1, pool size]")
+        initial = min_devices if initial_devices is None else int(initial_devices)
+        if not min_devices <= initial <= len(fleet):
+            raise ValueError("initial_devices must be in [min_devices, pool size]")
 
     requests, arrival_name, offered_qps = prepare_stream(
         dataset, arrivals, num_requests, seed, slo
@@ -681,18 +801,32 @@ def simulate_online(
         continuous_batching=continuous_batching,
         queue_limit=max_queue_depth,
         slo=slo.to_dict() if slo is not None else None,
+        autoscaler=autoscaler.name if autoscaling else None,
+        provisioning_lag_s=provisioning_lag_s if autoscaling else None,
         devices=[
-            DeviceSummary(index=i, accelerator=device.name, backend=device.backend)
+            DeviceSummary(
+                index=i,
+                accelerator=device.name,
+                backend=device.backend,
+                price_per_hour_usd=getattr(device, "price_per_hour_usd", None),
+            )
             for i, device in enumerate(fleet)
         ],
     )
+
+    # The devices the routers see: the whole fleet when static, or the
+    # currently-online prefix of the pool when autoscaled.  The list object
+    # is shared with the dispatch core and mutated in place, so routers
+    # (which read ``len(fleet)`` at select time) always see the live pool,
+    # and ``device_index`` is always the pool index.
+    active: list[Device] = list(fleet[:initial]) if autoscaling else fleet
 
     # The simulator is one driver of the shared dispatch core (the live
     # gateway in repro.live is the other): it owns a SimClock, feeds arrivals
     # from the pre-generated stream, and finalizes batches at dispatch time
     # (auto_finalize) because completion offsets are fully determined there.
     core = DispatchCore(
-        fleet,
+        active,
         report,
         batch_policy,
         router,
@@ -704,10 +838,116 @@ def simulate_online(
     next_index = 0
     total = len(requests)
 
+    # ------------------------------------------------------------------
+    # Autoscaling state (pool billing, provisioning lag, decision cadence)
+    # ------------------------------------------------------------------
+    online_since: dict[int, float] = {}
+    online_seconds: dict[int, float] = {}
+    billed_until: dict[int, float] = {}
+    pending_online: list[float] = []
+    next_decision = autoscale_interval_s
+    window_start = 0.0
+    arrivals_in_window = 0
+    stall_signature: tuple | None = None
+    stall_steps = 0
+    if autoscaling:
+        for index in range(len(active)):
+            online_since[index] = 0.0
+        report.scaling_timeline.append((0.0, len(active)))
+
+    def _activate(now: float) -> None:
+        index = len(active)
+        active.append(fleet[index])
+        # A re-activated device may still be billed through its previous
+        # drain interval; never bill the same instant twice.
+        online_since[index] = max(now, billed_until.get(index, 0.0))
+
+    def _deactivate(now: float) -> None:
+        index = len(active) - 1
+        device = active.pop()
+        # Routing stops now, but billing runs until in-flight work drains.
+        off = max(now, device.pending_until, online_since[index])
+        online_seconds[index] = (
+            online_seconds.get(index, 0.0) + off - online_since.pop(index)
+        )
+        billed_until[index] = off
+
+    def _decide(now: float) -> None:
+        nonlocal window_start, arrivals_in_window
+        window = max(now - window_start, _EPS)
+        served = [
+            r
+            for r in report.records
+            if r.deadline is not None and window_start < r.completion_time <= now + _EPS
+        ]
+        shed = [
+            r
+            for r in report.shed_requests
+            if r.deadline is not None and window_start < r.arrival_time <= now + _EPS
+        ]
+        resolved = len(served) + len(shed)
+        # Overload lives in the waiting-to-start population: the central
+        # formation queue plus requests cut into batches that are still
+        # stuck behind a device's backlog (the pump drains the former into
+        # the latter at every event, so the queue alone understates load).
+        waiting = len(core.queue) + sum(
+            1 for r in report.records if r.start_time > now + _EPS
+        )
+        observation = ScaleObservation(
+            now=now,
+            queue_depth=waiting,
+            active_devices=len(active),
+            provisioned_devices=len(active) + len(pending_online),
+            min_devices=min_devices,
+            max_devices=len(fleet),
+            recent_attainment=(
+                sum(1 for r in served if r.on_time) / resolved if resolved else None
+            ),
+            recent_offered_qps=arrivals_in_window / window,
+        )
+        desired = max(min_devices, min(int(autoscaler.decide(observation)), len(fleet)))
+        provisioned = len(active) + len(pending_online)
+        while provisioned < desired:
+            # The lag is constant and `now` non-decreasing, so appending
+            # keeps the pending list sorted.
+            pending_online.append(now + provisioning_lag_s)
+            provisioned += 1
+        shrank = False
+        while provisioned > desired:
+            if pending_online:
+                pending_online.pop()  # cancel not-yet-online capacity first
+            elif len(active) > min_devices:
+                _deactivate(now)
+                shrank = True
+            else:
+                break
+            provisioned -= 1
+        if shrank:
+            report.scaling_timeline.append((now, len(active)))
+        window_start = now
+        arrivals_in_window = 0
+
+    def _apply_scaling(now: float) -> None:
+        nonlocal next_decision
+        while True:
+            if pending_online and pending_online[0] <= now + _EPS:
+                pending_online.pop(0)
+                _activate(now)
+                report.scaling_timeline.append((now, len(active)))
+                continue
+            if next_decision <= now + _EPS:
+                next_decision += autoscale_interval_s
+                _decide(now)
+                continue
+            break
+
     while next_index < total or core.queue:
         now = clock.now()
+        if autoscaling:
+            _apply_scaling(now)
         while next_index < total and requests[next_index].arrival_time <= now + _EPS:
             core.offer(requests[next_index], now)
+            arrivals_in_window += 1
             next_index += 1
         core.note_queue_depth(now)
 
@@ -720,6 +960,29 @@ def simulate_online(
         deadline = core.next_action_time(now)
         if deadline is not None:
             next_event = min(next_event, deadline)
+        if autoscaling:
+            if math.isinf(next_event):
+                # Scaling events alone cannot drain a stranded queue; detect
+                # a policy that never forms another batch while decisions
+                # keep the event stream alive, instead of spinning forever.
+                signature = (
+                    len(report.records),
+                    len(report.shed_requests),
+                    len(active),
+                    len(pending_online),
+                )
+                if signature == stall_signature:
+                    stall_steps += 1
+                else:
+                    stall_signature, stall_steps = signature, 0
+                if stall_steps > 1000:
+                    raise RuntimeError(
+                        f"batch policy '{batch_policy.name}' left "
+                        f"{len(core.queue)} requests stranded"
+                    )
+            next_event = min(next_event, next_decision)
+            if pending_online:
+                next_event = min(next_event, pending_online[0])
         if math.isinf(next_event):
             raise RuntimeError(
                 f"batch policy '{batch_policy.name}' left {len(core.queue)} requests stranded"
@@ -728,6 +991,18 @@ def simulate_online(
             raise RuntimeError(f"batch policy '{batch_policy.name}' is not making progress")
         clock.advance_to(next_event)
 
+    if autoscaling:
+        # Close every open billing interval at the later of the run's end and
+        # the device's own drain instant, then land the totals on the report.
+        horizon = max((r.completion_time for r in report.records), default=0.0)
+        for index in list(online_since):
+            device = fleet[index]
+            off = max(horizon, device.pending_until, online_since[index])
+            online_seconds[index] = (
+                online_seconds.get(index, 0.0) + off - online_since.pop(index)
+            )
+        for index, summary in enumerate(report.devices):
+            summary.online_seconds = online_seconds.get(index, 0.0)
     collect_device_stats(report, fleet)
     report.records.sort(key=lambda r: (r.completion_time, r.request.request_id))
     return report

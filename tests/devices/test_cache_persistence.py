@@ -1,0 +1,136 @@
+"""Opt-in disk persistence of the shared schedule cache."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.devices import CycleAccurateDevice, ScheduleCache
+from repro.devices import schedule_cache as sc
+from repro.hardware.accelerator import build_sparse_accelerator
+from repro.scheduling.length_aware import LengthAwareScheduler
+from repro.transformer.configs import ModelConfig
+
+_MODEL = ModelConfig(name="persist-2L", num_layers=2, hidden_dim=768, num_heads=12)
+
+
+@pytest.fixture(scope="module")
+def accelerator():
+    return build_sparse_accelerator(_MODEL, top_k=30, avg_seq=64, max_seq=128)
+
+
+def _device(accelerator, cache) -> CycleAccurateDevice:
+    return CycleAccurateDevice(
+        accelerator, scheduler=LengthAwareScheduler(), schedule_cache=cache
+    )
+
+
+def _fields(execution) -> tuple:
+    return (
+        execution.latency_seconds,
+        execution.admit_seconds,
+        execution.utilization,
+        execution.energy_joules,
+        tuple(execution.completion_offsets),
+    )
+
+
+class TestSnapshotRoundTrip:
+    def test_saved_entries_reload_with_exact_numbers(self, accelerator, tmp_path):
+        warm_cache = ScheduleCache()
+        warm = _device(accelerator, warm_cache)
+        batches = [[64, 48, 128], [32], [96, 96]]
+        expected = [_fields(warm.execute(batch)) for batch in batches]
+        assert warm_cache.save_dir(str(tmp_path)) == len(warm_cache)
+
+        cold_cache = ScheduleCache()
+        assert cold_cache.load_dir(str(tmp_path)) == len(warm_cache)
+        cold = _device(accelerator, cold_cache)
+        cold.reset()
+        results = [_fields(cold.execute(batch)) for batch in batches]
+        assert results == expected
+        assert cold.cache_hits == len(batches)
+        assert cold.cache_misses == 0
+
+    def test_disk_warmed_hit_drops_schedule_object_only(self, accelerator, tmp_path):
+        # The canonical ScheduleResult holds unpicklable closures; snapshots
+        # drop it, so a disk-warmed hit serves numbers but no schedule --
+        # the same contract the parallel sweep's remote workers have.
+        warm_cache = ScheduleCache()
+        _device(accelerator, warm_cache).execute([64, 48])
+        warm_cache.save_dir(str(tmp_path))
+        cold_cache = ScheduleCache()
+        cold_cache.load_dir(str(tmp_path))
+        execution = _device(accelerator, cold_cache).execute([64, 48])
+        assert execution.schedule is None
+        assert execution.latency_seconds > 0
+
+    def test_empty_cache_writes_nothing(self, tmp_path):
+        assert ScheduleCache().save_dir(str(tmp_path)) == 0
+        assert list(tmp_path.iterdir()) == []
+
+    def test_merge_skips_corrupt_and_foreign_files(self, accelerator, tmp_path):
+        cache = ScheduleCache()
+        _device(accelerator, cache).execute([64])
+        cache.save_dir(str(tmp_path))
+        (tmp_path / "schedule-cache-9999.pkl").write_bytes(b"torn snapshot")
+        (tmp_path / "schedule-cache-888.pkl").write_bytes(pickle.dumps({"not": "list"}))
+        (tmp_path / "unrelated.txt").write_text("ignore me")
+        merged = ScheduleCache()
+        assert merged.load_dir(str(tmp_path)) == len(cache)
+
+    def test_load_missing_directory_is_noop(self, tmp_path):
+        assert ScheduleCache().load_dir(str(tmp_path / "nope")) == 0
+
+
+class TestEnvironmentOptIn:
+    def test_disabled_without_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCHEDULE_CACHE_DIR", raising=False)
+        assert sc.persistent_cache_dir() is None
+        assert sc.persist_schedule_cache() == 0
+
+    def test_kill_switch_also_disables_persistence(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_SCHEDULE_CACHE_DIR", str(tmp_path))
+        monkeypatch.setenv("REPRO_SCHEDULE_CACHE", "off")
+        assert sc.persistent_cache_dir() is None
+
+    def test_persist_writes_global_cache(self, accelerator, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_SCHEDULE_CACHE_DIR", str(tmp_path))
+        device = CycleAccurateDevice(accelerator, scheduler=LengthAwareScheduler())
+        device.reset()
+        device.execute([64, 32])
+        assert sc.persist_schedule_cache() == len(sc.GLOBAL_SCHEDULE_CACHE)
+        snapshots = list(tmp_path.glob("schedule-cache-*.pkl"))
+        assert len(snapshots) == 1
+
+    def test_ensure_loaded_is_once_per_directory(self, accelerator, monkeypatch, tmp_path):
+        # Seed a snapshot from a private cache, then point the env at it.
+        seed_cache = ScheduleCache()
+        _device(accelerator, seed_cache).execute([48, 48, 96])
+        seed_cache.save_dir(str(tmp_path))
+
+        monkeypatch.setenv("REPRO_SCHEDULE_CACHE_DIR", str(tmp_path))
+        monkeypatch.setattr(sc, "_LOADED_DIRS", set())
+        before = len(sc.GLOBAL_SCHEDULE_CACHE)
+        sc.ensure_persistent_cache_loaded()
+        first = len(sc.GLOBAL_SCHEDULE_CACHE)
+        assert first >= before
+        assert str(tmp_path) in sc._LOADED_DIRS
+        # A second call must not re-read the directory.
+        sc.ensure_persistent_cache_loaded()
+        assert len(sc.GLOBAL_SCHEDULE_CACHE) == first
+
+    def test_device_reset_triggers_load(self, accelerator, monkeypatch, tmp_path):
+        seed_cache = ScheduleCache()
+        seed = _device(accelerator, seed_cache)
+        expected = _fields(seed.execute([80, 80]))
+        seed_cache.save_dir(str(tmp_path))
+
+        monkeypatch.setenv("REPRO_SCHEDULE_CACHE_DIR", str(tmp_path))
+        monkeypatch.setattr(sc, "_LOADED_DIRS", set())
+        device = CycleAccurateDevice(accelerator, scheduler=LengthAwareScheduler())
+        device.reset()  # loads the snapshot into the global cache
+        hits_before = device.cache_hits
+        assert _fields(device.execute([80, 80])) == expected
+        assert device.cache_hits == hits_before + 1

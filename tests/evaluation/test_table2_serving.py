@@ -1,0 +1,64 @@
+"""Serving-side energy accounting in the Table 2 harness.
+
+The planner ranks fleets by J/Mreq taken from the serving report's energy
+total; these tests pin that the total is exactly the sum of the per-device
+rows even on a heterogeneous fleet mixing FPGA, GPU, and CPU platforms.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import run_report
+from repro.experiments.spec import run_experiment
+
+_HETEROGENEOUS = ("sparse-fpga", "gpu-rtx6000", "cpu-xeon")
+
+
+@pytest.fixture(scope="module")
+def table2():
+    return run_experiment(
+        "table2",
+        serving_dataset="mrpc",
+        serving_devices=_HETEROGENEOUS,
+        serving_requests=24,
+        batch_size=8,
+    )
+
+
+class TestHeterogeneousServingEnergy:
+    def test_one_row_per_device(self, table2):
+        assert [row["device"] for row in table2.serving] == list(_HETEROGENEOUS)
+
+    def test_per_device_joules_sum_to_fleet_total(self, table2):
+        per_device = [row["energy_joules"] for row in table2.serving]
+        assert all(energy is not None and energy > 0 for energy in per_device)
+        # The rendered rows round to mJ; the fleet total is exact, so the sum
+        # must match to rounding tolerance only.
+        assert sum(per_device) == pytest.approx(
+            table2.serving_total_energy_joules, abs=1e-2
+        )
+
+    def test_total_present_in_payload(self):
+        report = run_report(
+            "table2",
+            {
+                "serving_dataset": "mrpc",
+                "serving_devices": _HETEROGENEOUS,
+                "serving_requests": 24,
+                "batch_size": 8,
+            },
+        )
+        payload = report.payload["result"]
+        assert payload["serving_total_energy_joules"] > 0
+        rows = payload["serving"]
+        assert sum(row["energy_joules"] for row in rows) == pytest.approx(
+            payload["serving_total_energy_joules"], abs=1e-2
+        )
+        assert "fleet total" in report.text
+
+    def test_closed_batch_table_unaffected(self, table2):
+        baseline = run_experiment("table2")
+        assert baseline.serving == []
+        assert baseline.serving_total_energy_joules is None
+        assert [r.platform for r in baseline.rows] == [r.platform for r in table2.rows]

@@ -30,6 +30,7 @@ EXPECTED_EXPERIMENTS = {
     "serve",
     "serving-sweep",
     "decode-sweep",
+    "plan",
 }
 
 

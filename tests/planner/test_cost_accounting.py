@@ -1,0 +1,83 @@
+"""Dollar-cost and energy accounting behind the planner's rankings."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.devices import DEFAULT_DEVICE_PRICES_USD_PER_HOUR, build_device, build_fleet
+from repro.serving import ClosedLoopArrivals, FixedSizeBatcher, simulate_online
+
+
+def _drain(fleet, num_requests=24):
+    return simulate_online(
+        fleet,
+        "mrpc",
+        arrivals=ClosedLoopArrivals(sort_by_length=True),
+        num_requests=num_requests,
+        batch_policy=FixedSizeBatcher(batch_size=8),
+        seed=3,
+    )
+
+
+class TestStaticFleetCostMath:
+    def test_cost_is_price_times_makespan_hand_computed(self):
+        # Pin the cost formula with explicit prices: a static fleet bills
+        # every device for the whole makespan, so
+        # cost = (p1 + p2) * makespan / 3600 exactly.
+        fleet = build_fleet(
+            ["sparse-fpga", "gpu-rtx6000"],
+            dataset="mrpc",
+            price_per_hour_usd=None,  # overridden per-device below
+        )
+        fleet[0].price_per_hour_usd = 1.80
+        fleet[1].price_per_hour_usd = 1.20
+        report = _drain(fleet)
+        expected = (1.80 + 1.20) * report.makespan_seconds / 3600.0
+        assert report.cost_usd == pytest.approx(expected, rel=1e-12)
+        assert report.average_price_per_hour_usd == pytest.approx(3.00)
+
+    def test_catalog_defaults_price_every_device(self):
+        for name, expected in DEFAULT_DEVICE_PRICES_USD_PER_HOUR.items():
+            device = build_device(name, dataset="mrpc")
+            assert device.price_per_hour_usd == pytest.approx(expected)
+            assert device.describe()["price_per_hour_usd"] == pytest.approx(expected)
+
+    def test_price_override_reaches_the_report(self):
+        fleet = build_fleet(["sparse-fpga"], dataset="mrpc", price_per_hour_usd=9.99)
+        report = _drain(fleet, num_requests=8)
+        assert report.devices[0].price_per_hour_usd == pytest.approx(9.99)
+        assert report.average_price_per_hour_usd == pytest.approx(9.99)
+        payload = report.to_dict()
+        assert payload["devices"][0]["price_per_hour_usd"] == pytest.approx(9.99)
+        assert payload["cost_usd"] == pytest.approx(report.cost_usd)
+
+    def test_unpriced_fleet_reports_no_cost(self):
+        fleet = build_fleet(["sparse-fpga"], dataset="mrpc", price_per_hour_usd=None)
+        fleet[0].price_per_hour_usd = None
+        report = _drain(fleet, num_requests=8)
+        assert report.cost_usd is None
+        assert report.average_price_per_hour_usd is None
+        assert report.attainment_per_dollar_hour is None
+
+    def test_negative_price_rejected(self):
+        with pytest.raises(ValueError):
+            build_device("sparse-fpga", dataset="mrpc", price_per_hour_usd=-0.01)
+
+
+class TestEnergyPerMillionRequests:
+    def test_j_per_mreq_hand_computed(self):
+        fleet = build_fleet(["sparse-fpga"], dataset="mrpc")
+        report = _drain(fleet)
+        expected = report.total_energy_joules / report.num_completed * 1e6
+        assert report.joules_per_million_requests == pytest.approx(expected)
+
+    def test_heterogeneous_fleet_energy_sums_per_device(self):
+        fleet = build_fleet(
+            ["sparse-fpga", "gpu-rtx6000", "cpu-xeon"], dataset="mrpc"
+        )
+        report = _drain(fleet)
+        per_device = [
+            d.energy_joules for d in report.devices if d.energy_joules is not None
+        ]
+        assert len(per_device) == 3
+        assert sum(per_device) == pytest.approx(report.total_energy_joules)

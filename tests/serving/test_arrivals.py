@@ -9,6 +9,8 @@ from repro.datasets.length_distributions import sample_lengths
 from repro.serving.arrivals import (
     BurstyArrivals,
     ClosedLoopArrivals,
+    DiurnalArrivals,
+    FlashCrowdArrivals,
     PoissonArrivals,
     TraceArrivals,
     get_arrival_process,
@@ -89,6 +91,80 @@ class TestTraceArrivals:
     def test_empty_trace_rejected(self):
         with pytest.raises(ValueError):
             TraceArrivals(trace=())
+
+
+class TestDiurnalArrivals:
+    def test_deterministic_given_seed(self):
+        process = DiurnalArrivals(rate_qps=120, amplitude=0.7, period_s=4.0)
+        assert process.generate(MRPC, 128, seed=9) == process.generate(MRPC, 128, seed=9)
+        assert process.generate(MRPC, 128, seed=9) != process.generate(MRPC, 128, seed=10)
+
+    def test_times_sorted_and_mean_rate_roughly_matches(self):
+        process = DiurnalArrivals(rate_qps=150, amplitude=0.6, period_s=2.0)
+        requests = process.generate(MRPC, 3000, seed=2)
+        times = [r.arrival_time for r in requests]
+        assert times == sorted(times)
+        measured = len(requests) / times[-1]
+        assert measured == pytest.approx(150, rel=0.2)
+
+    def test_peak_half_cycle_is_denser_than_trough(self):
+        # With phase=0 the sinusoid peaks in the first half of each period and
+        # troughs in the second, so the first half-cycle must carry more
+        # arrivals than the second.
+        process = DiurnalArrivals(rate_qps=100, amplitude=0.8, period_s=4.0)
+        times = [r.arrival_time for r in process.generate(MRPC, 2000, seed=4)]
+        in_window = [t % 4.0 for t in times if t <= 12.0]  # three full cycles
+        peak = sum(1 for t in in_window if t < 2.0)
+        trough = len(in_window) - peak
+        assert peak > 1.5 * trough
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            DiurnalArrivals(rate_qps=100, amplitude=1.0)
+        with pytest.raises(ValueError):
+            DiurnalArrivals(rate_qps=100, period_s=0.0)
+
+    def test_registered(self):
+        process = get_arrival_process("diurnal", rate_qps=10)
+        assert isinstance(process, DiurnalArrivals)
+
+
+class TestFlashCrowdArrivals:
+    def test_deterministic_given_seed(self):
+        process = FlashCrowdArrivals(rate_qps=50, spike_ratio=4.0)
+        assert process.generate(MRPC, 256, seed=1) == process.generate(MRPC, 256, seed=1)
+
+    def test_spike_window_is_denser(self):
+        process = FlashCrowdArrivals(
+            rate_qps=40, spike_ratio=6.0, spike_start_s=2.0, spike_duration_s=2.0
+        )
+        times = [r.arrival_time for r in process.generate(MRPC, 800, seed=11)]
+        assert times == sorted(times)
+        spike = sum(1 for t in times if 2.0 <= t < 4.0)
+        before = sum(1 for t in times if 0.0 <= t < 2.0)
+        # 6x rate over an equal-length window: far denser than the baseline.
+        assert spike > 3 * before
+
+    def test_baseline_rate_outside_the_spike(self):
+        process = FlashCrowdArrivals(
+            rate_qps=80, spike_ratio=10.0, spike_start_s=100.0, spike_duration_s=1.0
+        )
+        requests = process.generate(MRPC, 1500, seed=3)
+        times = [r.arrival_time for r in requests if r.arrival_time < 10.0]
+        measured = len(times) / 10.0
+        assert measured == pytest.approx(80, rel=0.2)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            FlashCrowdArrivals(rate_qps=50, spike_ratio=0.5)
+        with pytest.raises(ValueError):
+            FlashCrowdArrivals(rate_qps=50, spike_duration_s=-1.0)
+
+    def test_registered_with_alias(self):
+        assert isinstance(
+            get_arrival_process("flash-crowd", rate_qps=10), FlashCrowdArrivals
+        )
+        assert isinstance(get_arrival_process("flash", rate_qps=10), FlashCrowdArrivals)
 
 
 class TestClosedLoopArrivals:

@@ -1,0 +1,67 @@
+"""Wall-time benchmark of the chaos serving matrix.
+
+Runs the fault-axis serving sweep (none vs crash-restart on a three-GPU
+fleet) twice -- once unremedied, once with the full remedy stack (hedging +
+retry-with-backoff + blacklist routing) -- and records how much wall time
+the fault machinery costs and how much deadline attainment the remedies
+recover on the identical seeded schedule.
+"""
+
+from __future__ import annotations
+
+from conftest import record_metric, run_once
+
+from repro.experiments.spec import get_experiment, run_experiment
+
+BASE_CONFIG = {
+    "datasets": ("mrpc",),
+    "devices": ("gpu-rtx6000",),
+    "num_accelerators": 3,
+    "load_fractions": (0.5,),
+    "batch_policies": ("timeout",),
+    "routers": ("cost-model",),
+    "requests": 96,
+    "faults": ("none", "crash-restart"),
+    "fault_mtbf_s": 0.25,
+    "fault_downtime_s": 0.08,
+    "slo_ms": 300.0,
+}
+
+REMEDIES = {"hedging": True, "max_retries": 2, "blacklist_ms": 200.0}
+
+
+def _faulted_points(result):
+    return [p for p in result.points if p.fault == "crash-restart"]
+
+
+def test_bench_chaos_matrix(benchmark, write_report):
+    baseline = run_experiment("serving-sweep", BASE_CONFIG)
+    remedied = run_once(
+        benchmark, run_experiment, "serving-sweep", BASE_CONFIG | REMEDIES
+    )
+    seconds = benchmark.stats.stats.mean
+
+    base_points = _faulted_points(baseline)
+    remedy_points = _faulted_points(remedied)
+    assert base_points and remedy_points
+    assert all(p.report.num_crashes > 0 for p in base_points)
+    for base, cured in zip(base_points, remedy_points):
+        assert cured.report.attainment_rate >= base.report.attainment_rate
+
+    base_att = sum(p.report.attainment_rate for p in base_points) / len(base_points)
+    cured_att = sum(p.report.attainment_rate for p in remedy_points) / len(
+        remedy_points
+    )
+    write_report(
+        "chaos_matrix", get_experiment("serving-sweep").render(remedied)
+    )
+    record_metric(
+        matrix_seconds=round(seconds, 3),
+        baseline_attainment_under_faults=round(base_att, 4),
+        remedied_attainment_under_faults=round(cured_att, 4),
+        attainment_recovered=round(cured_att - base_att, 4),
+        crashes_injected=sum(p.report.num_crashes for p in base_points),
+        crash_sheds_avoided=sum(p.report.num_shed_crashed for p in base_points)
+        - sum(p.report.num_shed_crashed for p in remedy_points),
+        hedged_batches=sum(p.report.num_hedged for p in remedy_points),
+    )

@@ -1,0 +1,91 @@
+"""Chaos serving: fault injection and the remedied serving stack.
+
+A three-GPU fleet serves MRPC under a seeded crash+straggler schedule --
+devices crash and restart (losing in-flight batches) and intermittently
+run 3x slow.  The unremedied baseline replays lost batches once and hopes;
+the remedied stack layers retry-with-backoff, cross-device hedging, and a
+failure-aware cost-model router that blacklists crashed devices (with
+half-open probing), recovering strictly higher deadline attainment at the
+same offered load on the identical fault schedule.
+
+Run with:  python examples/chaos_serving.py
+"""
+
+from __future__ import annotations
+
+from repro.devices import build_fleet
+from repro.evaluation.report import format_key_values
+from repro.faults import CrashRestartFaults, StragglerFaults
+from repro.serving import (
+    PoissonArrivals,
+    SLOSpec,
+    TimeoutBatcher,
+    get_router,
+    simulate_online,
+)
+
+
+def run(*, remedied: bool):
+    return simulate_online(
+        build_fleet("gpu-rtx6000", replicas=3, dataset="mrpc"),
+        "mrpc",
+        arrivals=PoissonArrivals(rate_qps=80.0),
+        num_requests=128,
+        batch_policy=TimeoutBatcher(batch_size=8, timeout_s=0.02),
+        router=get_router("cost-model", blacklist_s=0.2 if remedied else 0.0),
+        slo=SLOSpec(base_s=0.15),
+        faults=[
+            CrashRestartFaults(mtbf_s=0.25, downtime_s=0.08),
+            StragglerFaults(mtbs_s=0.25, duration_s=0.15, multiplier=3.0),
+        ],
+        hedging=remedied,
+        max_retries=2 if remedied else 0,
+        retry_backoff_s=0.01,
+    )
+
+
+def describe(report) -> dict[str, str]:
+    return {
+        "attainment": f"{report.attainment_rate:.1%}",
+        "crashes (batches lost)": str(report.num_crashes),
+        "requests replayed / retried / shed": (
+            f"{report.num_replayed} / {report.num_retries} / "
+            f"{report.num_shed_crashed}"
+        ),
+        "hedged batches (mirror wins)": (
+            f"{report.num_hedged} ({report.num_hedge_wins})"
+        ),
+        "fleet downtime": f"{sum(d.downtime_s for d in report.devices) * 1e3:.0f} ms",
+        "blacklisted time": (
+            f"{sum(d.blacklisted_s for d in report.devices) * 1e3:.0f} ms"
+        ),
+    }
+
+
+def main() -> None:
+    baseline = run(remedied=False)
+    remedied = run(remedied=True)
+
+    print(format_key_values(describe(baseline), title="Baseline (no remedies)"))
+    print()
+    print(
+        format_key_values(
+            describe(remedied),
+            title="Remedied (hedging + retries + failure-aware routing)",
+        )
+    )
+    print()
+    print(
+        format_key_values(
+            {
+                "attainment delta": (
+                    f"{remedied.attainment_rate - baseline.attainment_rate:+.1%} "
+                    "at equal offered load on the identical fault schedule"
+                )
+            }
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -240,16 +240,22 @@ def _cmd_live(args: argparse.Namespace) -> str:
     """
     import asyncio
 
-    from .live import LiveServer, run_live_validation
+    from .live import LiveServer, run_crash_validation, run_live_validation
     from .live.gateway import LiveGateway
 
     if args.validate:
-        result = run_live_validation(tolerance=args.tolerance)
+        if args.scenario == "crash":
+            result = run_crash_validation(tolerance=args.tolerance)
+        else:
+            result = run_live_validation(tolerance=args.tolerance)
         agreement = result["agreement"]
         if args.format == "json":
             text = json.dumps(result, indent=2)
         else:
-            lines = [f"sim-vs-live validation ({result['trace_entries']} requests)"]
+            lines = [
+                f"sim-vs-live validation "
+                f"({args.scenario} scenario, {result['trace_entries']} requests)"
+            ]
             for key, entry in agreement["counts"].items():
                 mark = "ok" if entry["match"] else "MISMATCH"
                 lines.append(f"  {key:20s} sim={entry['sim']:<6} live={entry['live']:<6} {mark}")
@@ -260,10 +266,18 @@ def _cmd_live(args: argparse.Namespace) -> str:
                     f"  {key:20s} sim={entry['sim']:<10.4f} live={entry['live']:<10.4f} "
                     f"err={error:.4%} {mark}"
                 )
+            supervision = agreement.get("supervision")
+            if supervision is not None:
+                mark = "ok" if supervision["restarts_match_crashes"] else "MISMATCH"
+                lines.append(
+                    f"  {'worker_restarts':20s} live={supervision['worker_restarts']} "
+                    f"requeued={supervision['requeued_batches']} {mark}"
+                )
             verdict = "within" if agreement["within_tolerance"] else "OUTSIDE"
             lines.append(f"  agreement {verdict} tolerance ({agreement['tolerance']:.0%})")
             text = "\n".join(lines)
-        _write_output(args.output_dir, "live-validation", args.format, text)
+        stem = "live-validation" if args.scenario == "steady" else f"live-validation-{args.scenario}"
+        _write_output(args.output_dir, stem, args.format, text)
         if not agreement["within_tolerance"]:
             print(text)
             raise _CliInputError("sim-vs-live agreement outside tolerance")
@@ -467,6 +481,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--validate",
         action="store_true",
         help="replay the checked-in trace through the simulator and a loopback gateway; fail on disagreement",
+    )
+    live_parser.add_argument(
+        "--scenario",
+        choices=("steady", "crash"),
+        default="steady",
+        help="--validate scenario: steady (fault-free trace) or crash (scripted worker crash + requeue)",
     )
     live_parser.add_argument(
         "--tolerance",

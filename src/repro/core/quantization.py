@@ -75,7 +75,14 @@ def compute_scale(x: np.ndarray, bits: int) -> float:
     max_abs = float(np.max(np.abs(x))) if x.size else 0.0
     if max_abs == 0.0:
         return 1.0
-    return max_abs / levels
+    scale = max_abs / levels
+    if scale == 0.0:
+        # max_abs is subnormal and the quotient underflowed to zero; fall
+        # back to max_abs itself so x / scale stays finite (everything then
+        # lands on integer step 0 or +-1, which is all the precision a
+        # subnormal input carries anyway).
+        return max_abs
+    return scale
 
 
 def quantize(x: np.ndarray, bits: int) -> QuantizedTensor:

@@ -309,6 +309,23 @@ class Device:
         self._busy_accum = 0.0
         self._span_start = 0.0
         self._span_end = 0.0
+        self._fault_timeline = None
+
+    def bind_fault_timeline(self, timeline) -> None:
+        """Attach a per-device fault timeline for this serving run.
+
+        A bound :class:`~repro.faults.DeviceFaultTimeline` makes
+        :meth:`next_start` outage-aware: a batch cannot start while the
+        device is offline, so routers, deadline estimates, and admission
+        gates all see crash downtime without any code of their own.
+        :meth:`reset` clears the binding (timelines are per-run state).
+        """
+        self._fault_timeline = timeline
+
+    @property
+    def fault_timeline(self):
+        """The bound fault timeline, or ``None`` on a healthy run."""
+        return self._fault_timeline
 
     @property
     def continuous_batching(self) -> bool:
@@ -316,9 +333,17 @@ class Device:
         return self._continuous
 
     def next_start(self, now: float) -> float:
-        """Earliest time a batch dispatched at ``now`` could start executing."""
+        """Earliest time a batch dispatched at ``now`` could start executing.
+
+        With a bound fault timeline the start is additionally pushed past
+        any offline window it lands in, so crash downtime delays work the
+        same way a backlog does.
+        """
         gate = self._admit_at if self._continuous else self._drained_at
-        return max(now, gate)
+        start = max(now, gate)
+        if self._fault_timeline is not None:
+            start = self._fault_timeline.next_online(start)
+        return start
 
     @property
     def pending_until(self) -> float:
@@ -352,8 +377,24 @@ class Device:
 
     def dispatch(self, execution: BatchExecution, start: float) -> None:
         """Record that ``execution`` starts on this device at ``start``."""
-        end = start + execution.latency_seconds
-        self._admit_at = max(self._admit_at, start + execution.admit_seconds)
+        self.book_interval(
+            start,
+            start + execution.latency_seconds,
+            admit_at=start + execution.admit_seconds,
+        )
+
+    def book_interval(self, start: float, end: float, admit_at: float | None = None) -> None:
+        """Low-level booking: occupy ``[start, end]`` on the serving clocks.
+
+        :meth:`dispatch` is this with the execution's own latency and
+        admission interval; failure-aware engines also book partial windows
+        directly -- a cancelled hedge mirror occupies its device only until
+        the winning copy completed, not for the full predicted execution.
+        ``admit_at`` defaults to ``end`` (no overlapped admission).
+        """
+        if end < start:
+            raise ValueError("book_interval end must be >= start")
+        self._admit_at = max(self._admit_at, admit_at if admit_at is not None else end)
         self._drained_at = max(self._drained_at, end)
         # Merged busy-interval accounting: overlapping admissions must not be
         # double-counted in the duty cycle.

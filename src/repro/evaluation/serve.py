@@ -43,8 +43,11 @@ from .serving_sweep import (
     DEFAULT_WARMUP_FRACTION,
     ServingSweepResult,
     _sweep_impl,
+    build_failure_aware_router,
+    fault_schedules_from_knobs,
     render_sweep,
     slo_spec_from_ms,
+    validate_fault_knobs,
     validate_slo_knobs,
 )
 
@@ -123,6 +126,49 @@ class ServeConfig(ExperimentConfig):
     device_max_batch_tokens: int | None = cfg_field(
         None, help="per-device admission limit: total tokens per dispatched batch"
     )
+    faults: str | None = cfg_field(
+        None,
+        help=(
+            "fault injection: a registered fault schedule (crash-restart, "
+            "straggler, thermal-throttle; compose with '+'); default none"
+        ),
+    )
+    fault_mtbf_s: float = cfg_field(
+        5.0, help="mean seconds between faults per device (see serving-sweep)"
+    )
+    fault_downtime_s: float = cfg_field(
+        0.5, help="mean offline seconds per crash (crash-restart)"
+    )
+    fault_multiplier: float = cfg_field(
+        2.5, help="latency factor while degraded (straggler / thermal peak), >= 1"
+    )
+    fault_duration_s: float = cfg_field(
+        1.0, help="mean degraded-period seconds (straggler / thermal hold)"
+    )
+    hedging: bool = cfg_field(
+        False,
+        help=(
+            "remedy: duplicate every batch on a second device; first "
+            "completion wins, the loser is cancelled"
+        ),
+    )
+    max_retries: int = cfg_field(
+        0,
+        help=(
+            "remedy: crash retries per request after the free replay "
+            "(0 = the live gateway's requeue-exactly-once)"
+        ),
+    )
+    retry_backoff_ms: float = cfg_field(
+        50.0, help="base of the exponential backoff between crash retries (ms)"
+    )
+    blacklist_ms: float = cfg_field(
+        0.0,
+        help=(
+            "remedy (cost-model router): blacklist a crashed device this "
+            "long (ms; doubles per repeat failure; 0 = off)"
+        ),
+    )
     # Matches the serving-sweep default so `serve` without --qps and
     # `serving-sweep` report identical statistics for the same simulation.
     warmup_fraction: float = cfg_field(
@@ -189,6 +235,16 @@ class ServeConfig(ExperimentConfig):
             self.slo_per_token_ms,
             self.device_max_batch_size,
             self.device_max_batch_tokens,
+        )
+        validate_fault_knobs(
+            () if self.faults is None else (self.faults,),
+            fault_mtbf_s=self.fault_mtbf_s,
+            fault_downtime_s=self.fault_downtime_s,
+            fault_multiplier=self.fault_multiplier,
+            fault_duration_s=self.fault_duration_s,
+            max_retries=self.max_retries,
+            retry_backoff_ms=self.retry_backoff_ms,
+            blacklist_ms=self.blacklist_ms,
         )
         if not 0.0 <= self.warmup_fraction < 1.0:
             raise ValueError("warmup_fraction must be in [0, 1)")
@@ -314,6 +370,9 @@ def _run_spec(config: ServeConfig) -> ServeResult:
     timeout_s = config.timeout_ms * 1e-3
     slo = slo_spec_from_ms(config.slo_ms, config.slo_per_token_ms)
     device_names = tuple(split_fleet_spec(config.devices))
+    fault_axis = (
+        () if config.faults is None or config.faults == "none" else (config.faults,)
+    )
     if config.is_rate_driven() and config.qps is None:
         sweep = _sweep_impl(
             datasets=(config.dataset,),
@@ -333,6 +392,15 @@ def _run_spec(config: ServeConfig) -> ServeResult:
             slo_per_token_s=0.0 if slo is None else slo.per_token_s,
             device_max_batch_size=config.device_max_batch_size,
             device_max_batch_tokens=config.device_max_batch_tokens,
+            faults=fault_axis,
+            fault_mtbf_s=config.fault_mtbf_s,
+            fault_downtime_s=config.fault_downtime_s,
+            fault_multiplier=config.fault_multiplier,
+            fault_duration_s=config.fault_duration_s,
+            hedging=config.hedging,
+            max_retries=config.max_retries,
+            retry_backoff_s=config.retry_backoff_ms * 1e-3,
+            blacklist_s=config.blacklist_ms * 1e-3,
             warmup_fraction=config.warmup_fraction,
             cache_length_bucket=config.cache_length_bucket,
             model=model,
@@ -367,10 +435,20 @@ def _run_spec(config: ServeConfig) -> ServeResult:
             num_buckets=config.num_buckets,
             bucket_width=config.bucket_width,
         ),
-        router=get_router(config.routing),
+        router=build_failure_aware_router(config.routing, config.blacklist_ms * 1e-3),
         continuous_batching=config.continuous_batching,
         max_queue_depth=config.max_queue_depth,
         slo=slo,
+        faults=fault_schedules_from_knobs(
+            config.faults,
+            mtbf_s=config.fault_mtbf_s,
+            downtime_s=config.fault_downtime_s,
+            multiplier=config.fault_multiplier,
+            duration_s=config.fault_duration_s,
+        ),
+        hedging=config.hedging,
+        max_retries=config.max_retries,
+        retry_backoff_s=config.retry_backoff_ms * 1e-3,
         seed=config.seed,
         shed_on_predicted_miss=config.shed_on_predicted_miss,
         autoscaler=config.autoscaler,
@@ -441,6 +519,18 @@ def _render(result: ServeResult) -> str:
             footer["shed at arrival (predicted miss)"] = report.num_shed_predicted
     if report.num_limit_splits:
         footer["batches split by device limits"] = report.num_limit_splits
+    if report.faults is not None:
+        footer["fault schedules"] = ", ".join(
+            schedule.get("name", "?") for schedule in report.faults
+        )
+        footer["crashes (replayed / retried / shed)"] = (
+            f"{report.num_crashes} ({report.num_replayed} / "
+            f"{report.num_retries} / {report.num_shed_crashed})"
+        )
+        if report.num_hedged:
+            footer["hedged batches (mirror wins)"] = (
+                f"{report.num_hedged} ({report.num_hedge_wins})"
+            )
     if report.cost_usd is not None:
         footer["fleet cost (USD)"] = round(report.cost_usd, 6)
         footer["avg fleet price (USD/hr)"] = round(report.average_price_per_hour_usd, 4)

@@ -29,6 +29,7 @@ from ..devices import Device, build_fleet, split_fleet_spec
 from ..devices.schedule_cache import GLOBAL_SCHEDULE_CACHE
 from ..experiments import ExperimentSpec, cfg_field, register_experiment
 from ..experiments.config import ExperimentConfig
+from ..faults import FaultSchedule, get_fault_schedule
 from .env_overrides import apply_env_overrides, capture_env_overrides
 from ..experiments.spec import deprecated_call
 from ..registry import REGISTRY
@@ -52,7 +53,9 @@ __all__ = [
     "ServingSweepConfig",
     "ServingSweepResult",
     "SweepPoint",
+    "build_failure_aware_router",
     "build_serving_fleet",
+    "fault_schedules_from_knobs",
     "run_serving_sweep",
 ]
 
@@ -83,6 +86,10 @@ class SweepPoint:
     report: OnlineServingReport
     #: Routing policy this point ran with (policies may pair with routers).
     router: str = "least-loaded"
+    #: Fault-axis entry this point ran under ("none" = fault-free baseline);
+    #: None when the sweep has no fault axis, which keeps the default
+    #: sweep's rows and JSON payload byte-identical to a fault-unaware run.
+    fault: str | None = None
     #: Warm-up fraction applied to this point's percentiles / QPS.
     warmup_fraction: float = 0.0
     #: Deterministic (replayed) schedule-cache accounting for this point;
@@ -98,6 +105,10 @@ class SweepPoint:
             "dataset": self.dataset,
             "policy": self.batch_policy,
             "router": self.router,
+        }
+        if self.fault is not None:
+            row["fault"] = self.fault
+        row |= {
             "load": round(self.load_fraction, 2),
             "offered_qps": round(self.offered_qps, 1),
             "sustained_qps": round(self.report.steady_qps(warmup), 1),
@@ -116,6 +127,13 @@ class SweepPoint:
             row["attainment"] = round(attainment, 3)
             row["goodput_qps"] = round(self.report.steady_goodput_qps(warmup), 1)
             row["shed_late"] = self.report.num_shed_late
+        if self.fault is not None:
+            # Whole-run fault diagnostics, present only on fault-axis sweeps
+            # so fault-free sweeps keep their historical column set.
+            row["crashes"] = self.report.num_crashes
+            row["crash_shed"] = self.report.num_shed_crashed
+            row["hedged"] = self.report.num_hedged
+            row["retries"] = self.report.num_retries
         if self.cache_stats is not None:
             row["cache_hit"] = round(self.cache_stats["hit_rate"], 3)
         return row
@@ -135,6 +153,11 @@ class ServingSweepResult:
     cache_length_bucket: int | None = None
     #: SLO spec of the sweep (JSON form; None = deadline-blind sweep).
     slo: dict | None = None
+    #: Fault-injection axis of the sweep (empty = no fault axis).
+    faults: tuple[str, ...] = ()
+    #: Remedy knobs (hedging / retries / router blacklist) the fault-axis
+    #: points ran with; None when the sweep has no fault axis.
+    remedies: dict | None = None
     #: Sweep-wide schedule-cache accounting (replayed in canonical grid
     #: order, so identical for any --jobs setting).
     schedule_cache: dict | None = None
@@ -145,7 +168,11 @@ class ServingSweepResult:
         return [point.as_row() for point in self.points]
 
     def _select_points(
-        self, dataset: str, batch_policy: str | None, router: str | None
+        self,
+        dataset: str,
+        batch_policy: str | None,
+        router: str | None,
+        fault: str | None = None,
     ) -> list[SweepPoint]:
         return [
             p
@@ -153,25 +180,36 @@ class ServingSweepResult:
             if p.dataset == dataset
             and (batch_policy is None or p.batch_policy == batch_policy)
             and (router is None or p.router == router)
+            and (fault is None or p.fault == fault)
         ]
 
     def p99_curve(
-        self, dataset: str, batch_policy: str | None = None, router: str | None = None
+        self,
+        dataset: str,
+        batch_policy: str | None = None,
+        router: str | None = None,
+        fault: str | None = None,
     ) -> list[tuple[float, float]]:
         """(load fraction, steady-state p99 seconds) pairs, sorted by load.
 
         Filter by ``batch_policy`` and/or ``router`` when the sweep compares
         pairings -- a sweep of one policy under two routers needs the
-        ``router`` filter, or the curves interleave.
+        ``router`` filter, or the curves interleave.  Fault-axis sweeps need
+        the ``fault`` filter the same way (``"none"`` selects the fault-free
+        baseline points).
         """
         curve = [
             (p.load_fraction, p.report.steady_latency_percentile(99, p.warmup_fraction))
-            for p in self._select_points(dataset, batch_policy, router)
+            for p in self._select_points(dataset, batch_policy, router, fault)
         ]
         return sorted(curve)
 
     def attainment_curve(
-        self, dataset: str, batch_policy: str | None = None, router: str | None = None
+        self,
+        dataset: str,
+        batch_policy: str | None = None,
+        router: str | None = None,
+        fault: str | None = None,
     ) -> list[tuple[float, float | None]]:
         """(load fraction, steady-state deadline attainment) pairs, sorted.
 
@@ -179,12 +217,12 @@ class ServingSweepResult:
         ``slo``); SLO-aware and SLO-blind policies in the same sweep are
         directly comparable point by point because every policy sees the
         same deadline-stamped stream at the same offered load.  As with
-        :meth:`p99_curve`, pass ``router`` when one policy runs under
-        several routers.
+        :meth:`p99_curve`, pass ``router`` (and ``fault`` on fault-axis
+        sweeps) when points differ on those dimensions.
         """
         curve = [
             (p.load_fraction, p.report.steady_attainment_rate(p.warmup_fraction))
-            for p in self._select_points(dataset, batch_policy, router)
+            for p in self._select_points(dataset, batch_policy, router, fault)
         ]
         return sorted(curve, key=lambda pair: pair[0])
 
@@ -200,6 +238,8 @@ class ServingSweepResult:
             "continuous_batching": self.continuous_batching,
             "cache_length_bucket": self.cache_length_bucket,
             "slo": self.slo,
+            "faults": list(self.faults),
+            "remedies": self.remedies,
             "schedule_cache": self.schedule_cache,
             "capacity_qps": dict(self.capacity_qps),
             "points": self.as_rows(),
@@ -270,6 +310,55 @@ class ServingSweepConfig(ExperimentConfig):
     device_max_batch_tokens: int | None = cfg_field(
         None, help="per-device admission limit: total tokens per dispatched batch"
     )
+    faults: tuple[str, ...] = cfg_field(
+        (),
+        help=(
+            "fault-injection axis: registered fault schedules per grid point "
+            "(crash-restart, straggler, thermal-throttle; compose with '+', "
+            "'none' = fault-free baseline row); empty = no fault axis"
+        ),
+    )
+    fault_mtbf_s: float = cfg_field(
+        5.0,
+        help=(
+            "mean seconds between faults per device (crash-restart MTBF, "
+            "straggler mean time between slow periods, thermal cycle period)"
+        ),
+    )
+    fault_downtime_s: float = cfg_field(
+        0.5, help="mean offline seconds per crash (crash-restart)"
+    )
+    fault_multiplier: float = cfg_field(
+        2.5, help="latency factor while degraded (straggler / thermal peak), >= 1"
+    )
+    fault_duration_s: float = cfg_field(
+        1.0, help="mean degraded-period seconds (straggler / thermal hold)"
+    )
+    hedging: bool = cfg_field(
+        False,
+        help=(
+            "remedy: duplicate every batch on a second device; first "
+            "completion wins, the loser is cancelled"
+        ),
+    )
+    max_retries: int = cfg_field(
+        0,
+        help=(
+            "remedy: crash retries per request after the free replay "
+            "(0 = the live gateway's requeue-exactly-once)"
+        ),
+    )
+    retry_backoff_ms: float = cfg_field(
+        50.0, help="base of the exponential backoff between crash retries (ms)"
+    )
+    blacklist_ms: float = cfg_field(
+        0.0,
+        help=(
+            "remedy (cost-model router): blacklist a crashed device this "
+            "long (ms; doubles per repeat failure, half-open probe on "
+            "expiry; 0 = off)"
+        ),
+    )
     warmup_fraction: float = cfg_field(
         DEFAULT_WARMUP_FRACTION,
         help="fraction of the arrival horizon discarded as warm-up in the statistics",
@@ -318,6 +407,16 @@ class ServingSweepConfig(ExperimentConfig):
             self.slo_per_token_ms,
             self.device_max_batch_size,
             self.device_max_batch_tokens,
+        )
+        validate_fault_knobs(
+            self.faults,
+            fault_mtbf_s=self.fault_mtbf_s,
+            fault_downtime_s=self.fault_downtime_s,
+            fault_multiplier=self.fault_multiplier,
+            fault_duration_s=self.fault_duration_s,
+            max_retries=self.max_retries,
+            retry_backoff_ms=self.retry_backoff_ms,
+            blacklist_ms=self.blacklist_ms,
         )
         try:
             for policy in self.batch_policies:
@@ -405,6 +504,125 @@ def slo_spec_from_ms(slo_ms: float | None, slo_per_token_ms: float = 0.0) -> SLO
     return SLOSpec(base_s=slo_ms * 1e-3, per_token_s=slo_per_token_ms * 1e-3)
 
 
+def fault_schedules_from_knobs(
+    spec: str | None,
+    *,
+    mtbf_s: float = 5.0,
+    downtime_s: float = 0.5,
+    multiplier: float = 2.5,
+    duration_s: float = 1.0,
+) -> list[FaultSchedule] | None:
+    """Build the fault-injection spec for one axis entry.
+
+    ``spec`` is a registered fault-schedule name or a ``"+"``-composition
+    (``"crash-restart+straggler"``); ``None`` or ``"none"`` is the
+    fault-free baseline (no injector at all, so the run stays byte-identical
+    to a fault-unaware simulation).  The config knobs map onto each
+    schedule's own fields: ``mtbf_s`` is the crash MTBF, the straggler
+    mean-time-between-slowdowns, and the thermal cycle period;
+    ``duration_s`` is the straggler slow-period mean and the thermal hold;
+    ``multiplier`` is the degraded latency factor of both.  Registered
+    plug-in schedules outside the built-in three are constructed with their
+    own defaults.
+    """
+    if spec is None or spec == "none":
+        return None
+    schedules: list[FaultSchedule] = []
+    for part in (piece.strip() for piece in spec.split("+")):
+        if part in ("crash-restart", "crash"):
+            schedules.append(
+                get_fault_schedule(part, mtbf_s=mtbf_s, downtime_s=downtime_s)
+            )
+        elif part in ("straggler", "slow"):
+            schedules.append(
+                get_fault_schedule(
+                    part, mtbs_s=mtbf_s, duration_s=duration_s, multiplier=multiplier
+                )
+            )
+        elif part in ("thermal-throttle", "thermal"):
+            schedules.append(
+                get_fault_schedule(
+                    part,
+                    period_s=mtbf_s,
+                    ramp_s=0.0,
+                    hold_s=duration_s,
+                    peak_multiplier=multiplier,
+                )
+            )
+        else:
+            schedules.append(get_fault_schedule(part))
+    return schedules
+
+
+def validate_fault_knobs(
+    faults: tuple[str, ...],
+    *,
+    fault_mtbf_s: float,
+    fault_downtime_s: float,
+    fault_multiplier: float,
+    fault_duration_s: float,
+    max_retries: int,
+    retry_backoff_ms: float,
+    blacklist_ms: float,
+) -> None:
+    """Shared validation of the fault-injection / remedy config fields.
+
+    One definition for both the ``serve`` and ``serving-sweep`` configs (the
+    same contract as :func:`validate_slo_knobs`): every axis entry must
+    build against the knobs, ``"none"`` composes with nothing, and the
+    remedy knobs must be non-negative.
+    """
+    if fault_mtbf_s <= 0:
+        raise ValueError("fault_mtbf_s must be > 0")
+    if fault_downtime_s <= 0:
+        raise ValueError("fault_downtime_s must be > 0")
+    if fault_multiplier < 1.0:
+        raise ValueError("fault_multiplier must be >= 1")
+    if fault_duration_s <= 0:
+        raise ValueError("fault_duration_s must be > 0")
+    if max_retries < 0:
+        raise ValueError("max_retries must be >= 0")
+    if retry_backoff_ms < 0:
+        raise ValueError("retry_backoff_ms must be >= 0")
+    if blacklist_ms < 0:
+        raise ValueError("blacklist_ms must be >= 0")
+    for spec in faults:
+        parts = [piece.strip() for piece in spec.split("+")]
+        if "none" in parts and len(parts) > 1:
+            raise ValueError(
+                f"fault axis entry {spec!r}: 'none' is the baseline and "
+                "composes with nothing"
+            )
+        try:
+            fault_schedules_from_knobs(
+                spec,
+                mtbf_s=fault_mtbf_s,
+                downtime_s=fault_downtime_s,
+                multiplier=fault_multiplier,
+                duration_s=fault_duration_s,
+            )
+        except (KeyError, ValueError) as error:
+            message = error.args[0] if error.args else str(error)
+            raise ValueError(f"fault axis entry {spec!r}: {message}") from error
+
+
+def build_failure_aware_router(name: str, blacklist_s: float):
+    """Build a router, passing the circuit-breaker knob when it takes one.
+
+    ``blacklist_s > 0`` is forwarded to routers that accept it (the
+    cost-model router's crash blacklist); routers without the knob -- and
+    every router at ``blacklist_s == 0`` -- are built exactly as
+    :func:`~repro.serving.routing.get_router` would, so fault-free sweeps
+    keep their historical routing byte for byte.
+    """
+    if blacklist_s > 0:
+        try:
+            return get_router(name, blacklist_s=blacklist_s)
+        except TypeError:
+            pass
+    return get_router(name)
+
+
 def _build_sweep_fleet(options: dict, dataset_name: str) -> list[Device]:
     return build_fleet(
         options["devices"],
@@ -460,17 +678,20 @@ def _point_worker(
     dataset_name: str,
     policy_name: str,
     router_name: str,
+    fault_name: str | None,
     fraction: float,
     capacity: float,
     fleet: list[Device] | None = None,
     env: dict[str, str | None] | None = None,
 ) -> SweepPoint:
-    """One (dataset, policy+router, load) grid point.
+    """One (dataset, policy+router, fault, load) grid point.
 
     Runs inline (``fleet`` provided) or in a worker process (``fleet`` built
     here, submit-time ``env`` re-exported).  Every point seeds its own
     arrival process from the config seed, so results are identical
-    regardless of which process runs the point.
+    regardless of which process runs the point.  ``fault_name`` is None on
+    sweeps without a fault axis; faulty points build their injector spec
+    here (schedules are cheap to construct and avoid pickling).
     """
     apply_env_overrides(env)
     remote = fleet is None
@@ -484,7 +705,14 @@ def _point_worker(
         num_buckets=options["num_buckets"],
         bucket_width=options["bucket_width"],
     )
-    router = get_router(router_name)
+    faults = fault_schedules_from_knobs(
+        fault_name,
+        mtbf_s=options["fault_mtbf_s"],
+        downtime_s=options["fault_downtime_s"],
+        multiplier=options["fault_multiplier"],
+        duration_s=options["fault_duration_s"],
+    )
+    router = build_failure_aware_router(router_name, options["blacklist_s"])
     report = simulate_online(
         fleet,
         dataset_name,
@@ -495,6 +723,10 @@ def _point_worker(
         continuous_batching=options["continuous_batching"],
         max_queue_depth=options["max_queue_depth"],
         slo=_slo_spec(options),
+        faults=faults,
+        hedging=options["hedging"],
+        max_retries=options["max_retries"],
+        retry_backoff_s=options["retry_backoff_s"],
         seed=options["seed"],
     )
     if remote:
@@ -508,6 +740,7 @@ def _point_worker(
         dataset=report.dataset,
         batch_policy=policy.name,
         router=router.name,
+        fault=fault_name,
         load_fraction=fraction,
         offered_qps=offered,
         capacity_qps=capacity,
@@ -536,6 +769,15 @@ def _sweep_impl(
     slo_per_token_s: float = 0.0,
     device_max_batch_size: int | None = None,
     device_max_batch_tokens: int | None = None,
+    faults: tuple[str, ...] = (),
+    fault_mtbf_s: float = 5.0,
+    fault_downtime_s: float = 0.5,
+    fault_multiplier: float = 2.5,
+    fault_duration_s: float = 1.0,
+    hedging: bool = False,
+    max_retries: int = 0,
+    retry_backoff_s: float = 0.05,
+    blacklist_s: float = 0.0,
     warmup_fraction: float = 0.0,
     cache_length_bucket: int | None = None,
     jobs: int = 1,
@@ -552,6 +794,16 @@ def _sweep_impl(
     ``deadline``+``cost-model`` at the same offered loads); empty means
     every policy uses ``router``.  ``slo_s``/``slo_per_token_s`` stamp every
     stream with deadlines, turning on the attainment/goodput columns.
+
+    ``faults`` adds a fault-injection axis to the grid: every (dataset,
+    policy+router, load) cell runs once per entry (``"none"`` is the
+    fault-free baseline; ``"+"`` composes schedules), with the remedy knobs
+    (``hedging``, ``max_retries``/``retry_backoff_s``, ``blacklist_s``)
+    applied to every faulty point.  Capacity is always measured fault-free
+    -- the load fractions mean the same offered QPS on every row, so
+    attainment-under-faults is comparable across the fault axis.  An empty
+    ``faults`` keeps the sweep (rows and payload) byte-identical to a
+    fault-unaware run.
 
     ``jobs > 1`` fans the capacity measurements and the (dataset, policy,
     load) grid across a :class:`~concurrent.futures.ProcessPoolExecutor`.
@@ -571,6 +823,7 @@ def _sweep_impl(
         if slo_s is None
         else SLOSpec(base_s=slo_s, per_token_s=slo_per_token_s)
     )
+    fault_axis: tuple[str | None, ...] = tuple(faults) if faults else (None,)
     result = ServingSweepResult(
         model=model.name,
         num_accelerators=num_accelerators,
@@ -581,6 +834,17 @@ def _sweep_impl(
         continuous_batching=continuous_batching,
         cache_length_bucket=cache_length_bucket,
         slo=slo.to_dict() if slo is not None else None,
+        faults=tuple(faults),
+        remedies=(
+            {
+                "hedging": hedging,
+                "max_retries": max_retries,
+                "retry_backoff_s": retry_backoff_s,
+                "blacklist_s": blacklist_s,
+            }
+            if faults
+            else None
+        ),
     )
     options = {
         "devices": tuple(devices),
@@ -600,13 +864,22 @@ def _sweep_impl(
         "slo_per_token_s": slo_per_token_s,
         "device_max_batch_size": device_max_batch_size,
         "device_max_batch_tokens": device_max_batch_tokens,
+        "fault_mtbf_s": fault_mtbf_s,
+        "fault_downtime_s": fault_downtime_s,
+        "fault_multiplier": fault_multiplier,
+        "fault_duration_s": fault_duration_s,
+        "hedging": hedging,
+        "max_retries": max_retries,
+        "retry_backoff_s": retry_backoff_s,
+        "blacklist_s": blacklist_s,
         "warmup_fraction": warmup_fraction,
         "seed": seed,
     }
     grid = [
-        (dataset_name, policy_name, router_name, fraction)
+        (dataset_name, policy_name, router_name, fault_name, fraction)
         for dataset_name in datasets
         for policy_name, router_name in pairs
+        for fault_name in fault_axis
         for fraction in load_fractions
     ]
 
@@ -629,9 +902,9 @@ def _sweep_impl(
             point_futures = [
                 pool.submit(
                     _point_worker, options, dataset_name, policy_name, router_name,
-                    fraction, capacities[dataset_name], env=env,
+                    fault_name, fraction, capacities[dataset_name], env=env,
                 )
-                for dataset_name, policy_name, router_name, fraction in grid
+                for dataset_name, policy_name, router_name, fault_name, fraction in grid
             ]
             points = [future.result() for future in point_futures]
     else:
@@ -644,10 +917,10 @@ def _sweep_impl(
             capacity_probes.append(probes)
         points = [
             _point_worker(
-                options, dataset_name, policy_name, router_name, fraction,
-                capacities[dataset_name], fleet=fleets[dataset_name],
+                options, dataset_name, policy_name, router_name, fault_name,
+                fraction, capacities[dataset_name], fleet=fleets[dataset_name],
             )
-            for dataset_name, policy_name, router_name, fraction in grid
+            for dataset_name, policy_name, router_name, fault_name, fraction in grid
         ]
     for dataset_name in datasets:
         result.capacity_qps[get_dataset_config(dataset_name).name] = capacities[dataset_name]
@@ -766,6 +1039,15 @@ def _run_spec(config: ServingSweepConfig) -> ServingSweepResult:
         slo_per_token_s=config.slo_per_token_ms * 1e-3,
         device_max_batch_size=config.device_max_batch_size,
         device_max_batch_tokens=config.device_max_batch_tokens,
+        faults=config.faults,
+        fault_mtbf_s=config.fault_mtbf_s,
+        fault_downtime_s=config.fault_downtime_s,
+        fault_multiplier=config.fault_multiplier,
+        fault_duration_s=config.fault_duration_s,
+        hedging=config.hedging,
+        max_retries=config.max_retries,
+        retry_backoff_s=config.retry_backoff_ms * 1e-3,
+        blacklist_s=config.blacklist_ms * 1e-3,
         warmup_fraction=config.warmup_fraction,
         cache_length_bucket=config.cache_length_bucket,
         jobs=config.jobs,
@@ -789,6 +1071,14 @@ def render_sweep(result: ServingSweepResult) -> str:
     }
     footer["warm-up fraction discarded"] = result.warmup_fraction
     footer["continuous batching"] = result.continuous_batching
+    if result.faults:
+        footer["fault axis"] = ", ".join(result.faults)
+        remedies = result.remedies or {}
+        footer["remedies"] = (
+            f"hedging={remedies.get('hedging', False)} "
+            f"max_retries={remedies.get('max_retries', 0)} "
+            f"blacklist={remedies.get('blacklist_s', 0.0) * 1e3:.0f}ms"
+        )
     if result.slo is not None:
         footer["SLO budget"] = (
             f"{result.slo['base_s'] * 1e3:.1f} ms"

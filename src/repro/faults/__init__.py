@@ -1,0 +1,38 @@
+"""Fault injection and chaos scenarios for the serving stack.
+
+``repro.faults`` is the failure half of the serving story: deterministic,
+seeded fault schedules (``kind="fault"`` in the component registry) that
+the simulator injects through per-device health timelines, and that the
+live gateway mirrors with supervisor-visible crashes on cue.  The client
+remedies -- replay/retry with exponential backoff, cross-device request
+hedging, and failure-aware routing -- live in :mod:`repro.serving`; this
+package owns *when and how devices fail*.
+
+See ``docs/architecture.md`` ("Fault tolerance & chaos") for how the
+pieces compose, and :mod:`repro.live.validation` for the crash-scenario
+agreement contract between the simulator and the live gateway.
+"""
+
+from .schedules import (
+    CrashRestartFaults,
+    DeviceFaultTimeline,
+    FaultInjector,
+    FaultSchedule,
+    ScriptedFaults,
+    StragglerFaults,
+    ThermalThrottleFaults,
+    compose_timelines,
+    get_fault_schedule,
+)
+
+__all__ = [
+    "CrashRestartFaults",
+    "DeviceFaultTimeline",
+    "FaultInjector",
+    "FaultSchedule",
+    "ScriptedFaults",
+    "StragglerFaults",
+    "ThermalThrottleFaults",
+    "compose_timelines",
+    "get_fault_schedule",
+]

@@ -28,9 +28,12 @@ from .client import http_json, replay_trace, stream_trace
 from .gateway import LiveGateway, SubmitResult
 from .http import LiveServer
 from .validation import (
+    CRASH_TRACE_PATH,
     VALIDATION_TRACE_PATH,
+    build_crash_trace,
     build_validation_trace,
     load_validation_trace,
+    run_crash_validation,
     run_live_validation,
     simulate_trace,
     trace_requests,
@@ -38,15 +41,18 @@ from .validation import (
 )
 
 __all__ = [
+    "CRASH_TRACE_PATH",
     "DeviceActor",
     "LiveGateway",
     "LiveServer",
     "SubmitResult",
     "VALIDATION_TRACE_PATH",
+    "build_crash_trace",
     "build_validation_trace",
     "http_json",
     "load_validation_trace",
     "replay_trace",
+    "run_crash_validation",
     "run_live_validation",
     "simulate_trace",
     "stream_trace",

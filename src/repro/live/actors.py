@@ -20,9 +20,13 @@ Supervision contract:
   every batch already queued before exiting -- the graceful half of
   shutdown.
 
-Fault injection (``fail_next_batches``, ``fail_after_decode_steps``) exists
-so the supervision tree is testable without monkeypatching asyncio; both
-knobs are one-shot and unused in production paths.
+Fault injection (``fail_next_batches``, ``fail_on_pickups``,
+``fail_after_decode_steps``) exists so the supervision tree is testable --
+and the crash-scenario sim-vs-live contract reproducible -- without
+monkeypatching asyncio; the knobs are one-shot and unused in production
+paths.  ``fail_on_pickups`` crashes the worker when its monotonic pickup
+counter hits a cue, which is how the live half of a scripted fault schedule
+is pinned to a specific batch.
 """
 
 from __future__ import annotations
@@ -52,8 +56,15 @@ class DeviceActor:
         self.in_flight: PlannedBatch | None = None
         #: Times the supervisor restarted a crashed worker.
         self.restarts = 0
+        #: Batches this worker has picked up (monotonic across restarts).
+        self.pickups = 0
         #: Fault injection: crash the worker on pickup of the next N batches.
         self.fail_next_batches = 0
+        #: Fault injection: crash the worker when its pickup counter hits one
+        #: of these values (1-based; each cue fires once).  This is the
+        #: deterministic "crash on cue" the crash-scenario validation trace
+        #: uses to mirror the simulator's scripted fault schedule.
+        self.fail_on_pickups: set[int] = set()
         #: Fault injection: crash after this many decode steps of the next
         #: decode batch (one-shot; None = never).
         self.fail_after_decode_steps: int | None = None
@@ -99,16 +110,16 @@ class DeviceActor:
                 raise
             except _Aborted:
                 self._abort.clear()
-                self._hand_back()
+                self._hand_back(crashed=False)
             except Exception:
                 self.restarts += 1
-                self._hand_back()
+                self._hand_back(crashed=True)
 
-    def _hand_back(self) -> None:
+    def _hand_back(self, crashed: bool) -> None:
         planned = self.in_flight
         self.in_flight = None
         if planned is not None:
-            self.gateway._requeue(planned)
+            self.gateway._requeue(planned, crashed=crashed)
 
     # ------------------------------------------------------------------
     # Worker
@@ -131,10 +142,18 @@ class DeviceActor:
             item = await self.queue.get()
             if item is _STOP:
                 return
+            if self.gateway._hedge_cancelled(item):
+                # The hedge mirror on another device already won this batch
+                # while it sat in our queue; drop it without executing.
+                continue
             self.in_flight = item
+            self.pickups += 1
             if self.fail_next_batches > 0:
                 self.fail_next_batches -= 1
                 raise RuntimeError("injected fault: worker crashed before execution")
+            if self.pickups in self.fail_on_pickups:
+                self.fail_on_pickups.discard(self.pickups)
+                raise RuntimeError("injected fault: worker crashed on cue")
             # Sleep until the cost model says the batch has drained.  The
             # predicted start already accounts for the device's backlog
             # (DispatchCore used Device.next_start at dispatch), so actors

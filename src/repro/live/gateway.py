@@ -98,6 +98,7 @@ class LiveGateway:
         shed_on_predicted_miss: bool = False,
         continuous_batching: bool = False,
         rebase_on_first_ingest: bool = True,
+        hedging: bool = False,
     ) -> None:
         if isinstance(dataset, str):
             dataset = get_dataset_config(dataset)
@@ -148,6 +149,20 @@ class LiveGateway:
         self.kv_reserved_bytes = [0] * len(fleet)
         self._kv_in_flight: dict[int, tuple[int, int]] = {}
         self._requeued_batches: set[int] = set()
+        #: Cross-device request hedging (first completion wins; the losing
+        #: copy is aborted or dropped at pickup).  A no-op on 1-device fleets.
+        self.hedging = hedging and len(fleet) > 1
+        #: Hedge linkage: each live copy's batch_id -> its peer's batch_id.
+        #: A copy's entry is removed when that copy dies or is cancelled, so
+        #: "my peer's entry still exists" means the peer may still win.
+        self._hedge_peer: dict[int, int] = {}
+        #: batch_ids of mirror (secondary) hedge copies, for num_hedge_wins.
+        self._hedge_mirrors: set[int] = set()
+        #: Losing hedge copies: cancelled, never finalized, never requeued.
+        self._hedge_discarded: set[int] = set()
+        #: Crashes seen per request_id: the first crash replays the request
+        #: (requeue-exactly-once), the second sheds it (``num_shed_crashed``).
+        self._crash_counts: dict[int, int] = {}
         self._next_request_id = 0
         self._ingested_any = False
         self._started = False
@@ -293,7 +308,11 @@ class LiveGateway:
             now = self.clock.now()
             for planned in self.core.pump(now, self._draining):
                 self._reserve_kv(planned)
+                mirror = self._plan_hedge_mirror(planned, now) if self.hedging else None
                 self.actors[planned.device_index].put(planned)
+                if mirror is not None:
+                    self._reserve_kv(mirror)
+                    self.actors[mirror.device_index].put(mirror)
             deadline = self.core.next_action_time(self.clock.now())
             if deadline is None:
                 await self._wake.wait()
@@ -309,6 +328,64 @@ class LiveGateway:
                 await asyncio.wait_for(self._wake.wait(), timeout=delay)
             except asyncio.TimeoutError:
                 pass
+
+    # ------------------------------------------------------------------
+    # Hedging
+    # ------------------------------------------------------------------
+
+    def _plan_hedge_mirror(self, primary: PlannedBatch, now: float) -> PlannedBatch | None:
+        """Mirror ``primary`` on the best other device (first completion wins).
+
+        The mirror is a full second copy: it gets its own batch_id, books
+        the mirror device's serving clocks, and runs on that device's actor.
+        Whichever copy finalizes first wins; the loser is aborted (or
+        dropped at pickup) and never touches the report.  Unlike the
+        simulator -- which knows the winner at dispatch and books the loser
+        only up to the winner's completion -- the live loser's booking
+        stands in full: a wall-clock worker cannot un-sleep, so the device
+        clocks stay conservative.  ``None`` when no other device admits the
+        whole batch.
+        """
+        lengths = [r.length for r in primary.requests]
+        mirror_index = None
+        mirror_start = None
+        for index, device in enumerate(self.fleet):
+            if index == primary.device_index:
+                continue
+            if device.admissible_prefix(lengths) < len(lengths):
+                continue
+            start = device.next_start(now)
+            if mirror_start is None or (start, index) < (mirror_start, mirror_index):
+                mirror_index, mirror_start = index, start
+        if mirror_index is None:
+            return None
+        device = self.fleet[mirror_index]
+        execution = device.execute(lengths)
+        mirror_id = self.core._next_batch_id
+        self.core._next_batch_id += 1
+        mirror = PlannedBatch(
+            batch_id=mirror_id,
+            device_index=mirror_index,
+            requests=primary.requests,
+            execution=execution,
+            dispatch_time=now,
+            start_time=mirror_start,
+        )
+        device.dispatch(execution, mirror_start)
+        self._hedge_peer[primary.batch_id] = mirror_id
+        self._hedge_peer[mirror_id] = primary.batch_id
+        self._hedge_mirrors.add(mirror_id)
+        self.report.num_hedged += 1
+        self.report.devices[primary.device_index].num_hedged += 1
+        self.report.devices[mirror_index].num_hedged += 1
+        return mirror
+
+    def _hedge_cancelled(self, planned: PlannedBatch) -> bool:
+        """Actor pickup check: was this copy's peer already finalized?"""
+        if planned.batch_id in self._hedge_discarded:
+            self._release_kv(planned)
+            return True
+        return False
 
     # ------------------------------------------------------------------
     # Actor callbacks (finalize / requeue) and KV accounting
@@ -336,6 +413,24 @@ class LiveGateway:
 
     def _finalize(self, planned: PlannedBatch) -> None:
         """A device actor finished a batch: land its records and wake waiters."""
+        if planned.batch_id in self._hedge_discarded:
+            # The peer copy finalized in the same tick; this one lost.
+            self._release_kv(planned)
+            return
+        peer_id = self._hedge_peer.pop(planned.batch_id, None)
+        if peer_id is not None:
+            if self._hedge_peer.pop(peer_id, None) is not None:
+                # First completion wins: cancel the still-live losing copy
+                # (aborted mid-sleep, or dropped when its actor picks it up).
+                self._hedge_discarded.add(peer_id)
+                for actor in self.actors:
+                    flight = actor.in_flight
+                    if flight is not None and flight.batch_id == peer_id:
+                        actor.abort()
+                        break
+            if planned.batch_id in self._hedge_mirrors:
+                self._hedge_mirrors.discard(planned.batch_id)
+                self.report.num_hedge_wins += 1
         self._release_kv(planned)
         self.core.finalize(planned)
         for record in self.report.records[-len(planned.requests):]:
@@ -346,7 +441,7 @@ class LiveGateway:
                 future.set_result(record)
         self._wake.set()
 
-    def _requeue(self, planned: PlannedBatch) -> None:
+    def _requeue(self, planned: PlannedBatch, crashed: bool = False) -> None:
         """Return a crashed/aborted batch's requests to the queue, exactly once.
 
         The batch never finalized, so nothing about it is in the report; its
@@ -355,16 +450,56 @@ class LiveGateway:
         batches.  The ``batch_id`` guard makes a double failure report
         (supervisor crash handling racing an explicit abort) a no-op.
 
+        ``crashed`` batches (supervisor-visible worker deaths, as opposed to
+        explicit aborts) also feed the report's fault accounting: the crash
+        is counted against the device, each request is replayed exactly once
+        (``num_replayed``), and a request whose *replacement* batch crashes
+        again is shed (``num_shed_crashed``) instead of looping -- the live
+        twin of the simulator's replay/retry budget at ``max_retries=0``.
+        A crashed copy of a hedged batch requeues nothing while its peer is
+        still running (the peer may yet win); only the death of the last
+        copy releases the requests, once per group.
+
         The device's time booking for the crashed batch deliberately stands:
         the cost model cannot know how much of the batch actually ran before
         the failure, so the conservative choice is to treat the whole window
         as lost and re-dispatch the requeued requests behind it.
         """
         self._release_kv(planned)
+        if planned.batch_id in self._hedge_discarded:
+            return  # losing hedge copy: already cancelled, nothing to requeue
         if planned.batch_id in self._requeued_batches:
             return
         self._requeued_batches.add(planned.batch_id)
-        self.core.queue[:0] = planned.requests
+        if crashed:
+            self.report.num_crashes += 1
+            self.report.devices[planned.device_index].num_crashes += 1
+        peer_id = self._hedge_peer.pop(planned.batch_id, None)
+        if peer_id is not None and peer_id in self._hedge_peer:
+            return  # the other hedge copy is still running and may win
+        if crashed:
+            survivors = []
+            for request in planned.requests:
+                count = self._crash_counts.get(request.request_id, 0) + 1
+                self._crash_counts[request.request_id] = count
+                if count <= 1:
+                    survivors.append(request)
+                    self.report.num_replayed += 1
+                else:
+                    self.report.num_shed_crashed += 1
+                    self.report.shed_requests.append(request)
+                    future = self._waiters.pop(request.request_id, None)
+                    if future is not None and not future.done():
+                        future.set_exception(
+                            RuntimeError(
+                                f"request {request.request_id} shed after "
+                                "repeated worker crashes"
+                            )
+                        )
+        else:
+            survivors = list(planned.requests)
+        if survivors:
+            self.core.queue[:0] = survivors
         self.core.note_queue_depth(self.clock.now())
         self._wake.set()
 
@@ -398,6 +533,11 @@ class LiveGateway:
                 "num_shed_late": self.report.num_shed_late,
                 "num_shed_predicted": self.report.num_shed_predicted,
                 "num_batches": 0,
+                "num_crashes": self.report.num_crashes,
+                "num_shed_crashed": self.report.num_shed_crashed,
+                "num_hedged": self.report.num_hedged,
+                "num_hedge_wins": self.report.num_hedge_wins,
+                "num_replayed": self.report.num_replayed,
             }
         payload["live"] = {
             "uptime_seconds": self.clock.now(),
@@ -408,6 +548,8 @@ class LiveGateway:
                 1 for actor in self.actors if actor.in_flight is not None
             ),
             "worker_restarts": [actor.restarts for actor in self.actors],
+            "worker_pickups": [actor.pickups for actor in self.actors],
+            "requeued_batches": len(self._requeued_batches),
             "kv_reserved_bytes": list(self.kv_reserved_bytes),
         }
         return payload

@@ -49,16 +49,22 @@ import json
 from pathlib import Path
 
 from ..devices import build_fleet
+from ..faults import ScriptedFaults
 from ..serving import Request, TimeoutBatcher, simulate_online
 from .client import replay_trace
 from .gateway import LiveGateway
 from .http import LiveServer
 
 __all__ = [
+    "CRASH_TRACE_PATH",
     "VALIDATION_TRACE_PATH",
+    "build_crash_trace",
     "build_validation_trace",
+    "crash_gateway",
     "load_validation_trace",
+    "run_crash_validation",
     "run_live_validation",
+    "simulate_crash_trace",
     "simulate_trace",
     "trace_requests",
     "validation_gateway",
@@ -66,6 +72,9 @@ __all__ = [
 
 #: The checked-in trace the agreement test and CI replay.
 VALIDATION_TRACE_PATH = Path(__file__).parent / "traces" / "live_validation.json"
+
+#: The checked-in crash-scenario trace (fault-injection agreement contract).
+CRASH_TRACE_PATH = Path(__file__).parent / "traces" / "live_crash_scenario.json"
 
 #: One serving configuration, shared verbatim by both engines.
 VALIDATION_CONFIG = {
@@ -79,6 +88,26 @@ VALIDATION_CONFIG = {
 #: Generous relative deadline: every served request is on-time in both
 #: engines, so attainment reduces to served/offered -- an exact quantity.
 _SLO_MS = 2000.0
+
+#: The crash scenario: the same device/policy as the steady contract, but no
+#: admission limit (so a replayed batch can never race the window) and one
+#: scripted crash that both engines lose the *same* batch to.  The simulator
+#: crashes device 0 at ``crash_time_s`` (scripted fault schedule); the live
+#: gateway crashes the worker on pickup of the same batch
+#: (``crash_on_pickup``, the actor's monotonic pickup counter).  The crash
+#: times differ -- the live worker dies at pickup, the simulated device
+#: mid-execution -- but both engines keep the lost batch's device booking,
+#: so the replayed batch starts at the original drain instant either way and
+#: the completion records line up exactly.
+CRASH_CONFIG = {
+    "device": "gpu-rtx6000",
+    "dataset": "mrpc",
+    "batch_size": 16,
+    "timeout_s": 0.05,
+    "crash_time_s": 1.2,
+    "crash_downtime_s": 0.3,
+    "crash_on_pickup": 5,
+}
 
 
 def build_validation_trace() -> list[dict]:
@@ -100,6 +129,38 @@ def build_validation_trace() -> list[dict]:
         add(2.6 + i * 0.1, 64)
     for _ in range(16):  # closer: a size-triggered full batch pins makespan
         add(3.2, 64)
+    return entries
+
+
+def build_crash_trace() -> list[dict]:
+    """Construct the crash-scenario trace (the checked-in JSON is this output).
+
+    Phases (pickups counted on the single device's actor):
+
+    1. **warm-up** -- 4 spaced singles (pickups 1-4), each timing out into
+       its own batch, so the crash cue lands deterministically on pickup 5.
+    2. **plug** -- 16 long requests at one instant: a size-triggered full
+       batch (pickup 5) with ~0.8 s of service.  This is the batch both
+       engines lose: the simulator's scripted crash strikes mid-execution,
+       the live worker dies on pickup.  Its replay re-dispatches behind the
+       standing booking, so both engines complete it at the original drain
+       instant plus one service time.
+    3. **tail + closer** -- spaced singles after the replayed batch drains,
+       then a final size-triggered full batch to pin the makespan.
+    """
+    entries: list[dict] = []
+
+    def add(t: float, length: int) -> None:
+        entries.append({"t": round(t, 4), "length": length, "slo_ms": _SLO_MS})
+
+    for i in range(4):  # warm-up singles: pickups 1-4
+        add(i * 0.1, 64)
+    for _ in range(16):  # plug: pickup 5, the batch the crash takes down
+        add(1.0, 384)
+    for i in range(3):  # tail singles, after the replay drains (~2.6 s)
+        add(2.8 + i * 0.1, 64)
+    for _ in range(16):  # closer: a size-triggered full batch pins makespan
+        add(3.5, 64)
     return entries
 
 
@@ -157,8 +218,39 @@ def validation_gateway() -> LiveGateway:
     )
 
 
-async def _replay_live(entries: list[dict], host: str, speed: float) -> dict:
-    server = LiveServer(validation_gateway(), host=host, port=0)
+def _crash_policy() -> TimeoutBatcher:
+    return TimeoutBatcher(
+        batch_size=CRASH_CONFIG["batch_size"],
+        timeout_s=CRASH_CONFIG["timeout_s"],
+    )
+
+
+def simulate_crash_trace(entries: list[dict]):
+    """Replay the crash trace through the simulator (scripted fault schedule)."""
+    fleet = build_fleet((CRASH_CONFIG["device"],), dataset=CRASH_CONFIG["dataset"])
+    return simulate_online(
+        fleet,
+        CRASH_CONFIG["dataset"],
+        arrivals=trace_requests(entries),
+        batch_policy=_crash_policy(),
+        faults=ScriptedFaults(
+            crashes=((0, CRASH_CONFIG["crash_time_s"], CRASH_CONFIG["crash_downtime_s"]),)
+        ),
+    )
+
+
+def crash_gateway() -> LiveGateway:
+    """A live gateway at the crash config, with the worker crash cued up."""
+    fleet = build_fleet((CRASH_CONFIG["device"],), dataset=CRASH_CONFIG["dataset"])
+    gateway = LiveGateway(fleet, CRASH_CONFIG["dataset"], batch_policy=_crash_policy())
+    gateway.actors[0].fail_on_pickups = {CRASH_CONFIG["crash_on_pickup"]}
+    return gateway
+
+
+async def _replay_live(
+    entries: list[dict], host: str, speed: float, gateway_factory=validation_gateway
+) -> dict:
+    server = LiveServer(gateway_factory(), host=host, port=0)
     await server.start()
     try:
         await replay_trace(host, server.port, entries, speed=speed)
@@ -169,13 +261,28 @@ async def _replay_live(entries: list[dict], host: str, speed: float) -> dict:
 
 
 def compare_reports(sim: dict, live: dict, tolerance: float) -> dict:
-    """Field-by-field agreement: exact counts, bounded-relative-error rates."""
+    """Field-by-field agreement: exact counts, bounded-relative-error rates.
+
+    Fault accounting (crashes / replays / crash-sheds) is part of the exact
+    contract, and the live supervision tree is surfaced and checked too:
+    the supervisor's restart count must equal the simulator's crash count
+    (every simulated crash is a supervisor-visible worker death on the wire).
+    """
     counts = {}
-    for key in ("num_requests", "num_completed", "num_shed", "num_shed_late", "num_shed_predicted"):
+    for key in (
+        "num_requests",
+        "num_completed",
+        "num_shed",
+        "num_shed_late",
+        "num_shed_predicted",
+        "num_crashes",
+        "num_replayed",
+        "num_shed_crashed",
+    ):
         counts[key] = {
-            "sim": sim[key],
-            "live": live[key],
-            "match": sim[key] == live[key],
+            "sim": sim.get(key, 0),
+            "live": live.get(key, 0),
+            "match": sim.get(key, 0) == live.get(key, 0),
         }
     rates = {}
     for key in ("attainment_rate", "goodput_qps", "sustained_qps", "makespan_seconds"):
@@ -192,12 +299,21 @@ def compare_reports(sim: dict, live: dict, tolerance: float) -> dict:
             "relative_error": error,
             "within_tolerance": error <= tolerance,
         }
+    live_block = live.get("live") or {}
+    restarts = live_block.get("worker_restarts", [])
+    supervision = {
+        "worker_restarts": restarts,
+        "requeued_batches": live_block.get("requeued_batches", 0),
+        "restarts_match_crashes": sum(restarts) == sim.get("num_crashes", 0),
+    }
     return {
         "tolerance": tolerance,
         "counts": counts,
         "rates": rates,
+        "supervision": supervision,
         "within_tolerance": all(c["match"] for c in counts.values())
-        and all(r["within_tolerance"] for r in rates.values()),
+        and all(r["within_tolerance"] for r in rates.values())
+        and supervision["restarts_match_crashes"],
     }
 
 
@@ -221,6 +337,35 @@ def run_live_validation(
     agreement = compare_reports(sim_report.to_dict(), live_stats, tolerance)
     return {
         "config": dict(VALIDATION_CONFIG),
+        "trace_entries": len(entries),
+        "sim": sim_report.to_dict(),
+        "live": live_stats,
+        "agreement": agreement,
+    }
+
+
+def run_crash_validation(
+    trace_path: str | Path | None = None,
+    *,
+    host: str = "127.0.0.1",
+    tolerance: float = 0.02,
+    speed: float = 1.0,
+) -> dict:
+    """The crash-scenario agreement contract: one lost batch, two engines.
+
+    Same shape as :func:`run_live_validation`, over the checked-in crash
+    trace (``traces/live_crash_scenario.json``): the simulator injects a
+    scripted device crash, the live gateway crashes the worker on pickup of
+    the same batch, and the reports must agree -- completed / shed / crash /
+    replay counts exactly, rates within ``tolerance``, and the live
+    supervisor's restart count equal to the simulated crash count.
+    """
+    entries = load_validation_trace(trace_path or CRASH_TRACE_PATH)
+    sim_report = simulate_crash_trace(entries)
+    live_stats = asyncio.run(_replay_live(entries, host, speed, gateway_factory=crash_gateway))
+    agreement = compare_reports(sim_report.to_dict(), live_stats, tolerance)
+    return {
+        "config": dict(CRASH_CONFIG),
         "trace_entries": len(entries),
         "sim": sim_report.to_dict(),
         "live": live_stats,

@@ -35,7 +35,7 @@ from __future__ import annotations
 
 import heapq
 import warnings
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from ..devices import BatchExecution, Device
 from .arrivals import ArrivalProcess
@@ -172,6 +172,14 @@ class PlannedBatch:
     execution: BatchExecution
     dispatch_time: float
     start_time: float
+    #: Fault injection: this batch is lost to a device crash inside its
+    #: execution window (the simulator skips finalize and hands the
+    #: requests to the replay/retry machinery instead).
+    crashed: bool = False
+    #: When the crash strikes (the supervisor notices and requeues here).
+    crash_time: float | None = None
+    #: When the crashed device is back online.
+    recover_time: float | None = None
 
     @property
     def end_time(self) -> float:
@@ -196,6 +204,8 @@ class DispatchCore:
         max_queue_depth: int | None = None,
         shed_on_predicted_miss: bool = False,
         auto_finalize: bool = True,
+        fault_injector=None,
+        hedging: bool = False,
     ) -> None:
         self.fleet = fleet
         self.report = report
@@ -203,6 +213,14 @@ class DispatchCore:
         self.router = router
         self.max_queue_depth = max_queue_depth
         self.auto_finalize = auto_finalize
+        #: Optional :class:`repro.faults.FaultInjector`; when set, dispatch
+        #: consults each device's health timeline (latency multipliers,
+        #: crashes inside the execution window).
+        self.fault_injector = fault_injector
+        #: Cross-device request hedging: mirror each batch on the best other
+        #: device, first completion wins, the loser's booking is truncated
+        #: at the winner's completion.
+        self.hedging = hedging
         self.queue: list[Request] = []
         #: Start times of dispatched requests that have not begun executing
         #: yet; together with the formation queue they are the "waiting"
@@ -285,6 +303,9 @@ class DispatchCore:
             batch = batch[:admitted]
         start = device.next_start(now)
         execution = device.execute([r.length for r in batch])
+        crash = None
+        if self.fault_injector is not None:
+            execution, crash = self._apply_faults(index, start, execution)
         self.note_pending_starts(start, len(batch), now)
         batch_id = self._next_batch_id
         self._next_batch_id += 1
@@ -296,8 +317,135 @@ class DispatchCore:
             dispatch_time=now,
             start_time=start,
         )
-        device.dispatch(execution, start)
+        if crash is not None:
+            planned.crashed = True
+            planned.crash_time, planned.recover_time = crash
+        if self.hedging and len(self.fleet) > 1:
+            planned = self._dispatch_hedged(planned, now)
+        else:
+            device.dispatch(planned.execution, planned.start_time)
+            self._note_outcome(planned)
         return planned
+
+    # ------------------------------------------------------------------
+    # Fault injection / hedging
+    # ------------------------------------------------------------------
+
+    def _apply_faults(
+        self, index: int, start: float, execution: BatchExecution
+    ) -> tuple[BatchExecution, tuple[float, float] | None]:
+        """Stretch the execution by the device's health multiplier and detect
+        a crash inside the (stretched) execution window.
+
+        Returns the possibly-rescaled execution and ``(crash_time,
+        recover_time)`` or ``None``.  The fault-free path never reaches this
+        method, so the no-injector float arithmetic is untouched.
+        """
+        timeline = self.fault_injector.timeline(index)
+        factor = timeline.multiplier(start)
+        if factor != 1.0:
+            execution = replace(
+                execution,
+                latency_seconds=execution.latency_seconds * factor,
+                completion_offsets=[o * factor for o in execution.completion_offsets],
+                admit_seconds=execution.admit_seconds * factor,
+            )
+        crash = timeline.first_crash_in(start, start + execution.latency_seconds)
+        return execution, crash
+
+    def _note_outcome(self, planned: PlannedBatch) -> None:
+        """Record a dispatched copy's fate: crash counters + router health."""
+        if self.fault_injector is None:
+            return
+        if planned.crashed:
+            self.report.num_crashes += 1
+            self.report.devices[planned.device_index].num_crashes += 1
+            note = getattr(self.router, "note_failure", None)
+            if note is not None:
+                note(planned.device_index, planned.crash_time)
+        else:
+            note = getattr(self.router, "note_success", None)
+            if note is not None:
+                note(planned.device_index, planned.end_time)
+
+    def _dispatch_hedged(self, primary: PlannedBatch, now: float) -> PlannedBatch:
+        """Mirror ``primary`` on the best other device; first completion wins.
+
+        The loser's device time is released: its booking is truncated at the
+        winner's completion (it was cancelled there).  A crashed copy's
+        booking stands in full, mirroring the live gateway where a crashed
+        worker's reservation is never unwound.  When both copies crash the
+        batch is lost and the caller's replay/retry machinery takes over at
+        the later crash.
+        """
+        primary_device = self.fleet[primary.device_index]
+        lengths = [r.length for r in primary.requests]
+        mirror_index = None
+        mirror_start = None
+        for index, device in enumerate(self.fleet):
+            if index == primary.device_index:
+                continue
+            if device.admissible_prefix(lengths) < len(lengths):
+                continue
+            start = device.next_start(now)
+            if mirror_start is None or (start, index) < (mirror_start, mirror_index):
+                mirror_index, mirror_start = index, start
+        if mirror_index is None:
+            # No other device admits the whole batch: fall back to unhedged.
+            primary_device.dispatch(primary.execution, primary.start_time)
+            self._note_outcome(primary)
+            return primary
+        mirror_device = self.fleet[mirror_index]
+        mirror_execution = mirror_device.execute(lengths)
+        mirror_crash = None
+        if self.fault_injector is not None:
+            mirror_execution, mirror_crash = self._apply_faults(
+                mirror_index, mirror_start, mirror_execution
+            )
+        mirror = PlannedBatch(
+            batch_id=primary.batch_id,
+            device_index=mirror_index,
+            requests=primary.requests,
+            execution=mirror_execution,
+            dispatch_time=now,
+            start_time=mirror_start,
+        )
+        if mirror_crash is not None:
+            mirror.crashed = True
+            mirror.crash_time, mirror.recover_time = mirror_crash
+        self.report.num_hedged += 1
+        self.report.devices[primary.device_index].num_hedged += 1
+        self.report.devices[mirror_index].num_hedged += 1
+        primary_ok = not primary.crashed
+        mirror_ok = not mirror.crashed
+        if primary_ok and (not mirror_ok or primary.end_time <= mirror.end_time):
+            winner, loser = primary, mirror
+        elif mirror_ok:
+            winner, loser = mirror, primary
+            self.report.num_hedge_wins += 1
+        else:
+            # Both copies crash: book both windows in full (neither worker
+            # was cancelled before its crash) and surface the batch as lost
+            # at the moment the *last* copy dies.
+            primary_device.dispatch(primary.execution, primary.start_time)
+            mirror_device.dispatch(mirror.execution, mirror.start_time)
+            self._note_outcome(primary)
+            self._note_outcome(mirror)
+            if mirror.crash_time > primary.crash_time:
+                primary.crash_time = mirror.crash_time
+                primary.recover_time = mirror.recover_time
+            return primary
+        self.fleet[winner.device_index].dispatch(winner.execution, winner.start_time)
+        loser_device = self.fleet[loser.device_index]
+        if loser.crashed:
+            # The loser died before the cancel mattered: its window stands.
+            loser_device.dispatch(loser.execution, loser.start_time)
+        else:
+            cutoff = max(loser.start_time, min(loser.end_time, winner.end_time))
+            loser_device.book_interval(loser.start_time, cutoff)
+        self._note_outcome(winner)
+        self._note_outcome(loser)
+        return winner
 
     def finalize(self, planned: PlannedBatch) -> None:
         """Land one planned batch's records and summaries in the report."""
@@ -365,7 +513,9 @@ class DispatchCore:
                     f"batch policy '{self.batch_policy.name}' formed an empty batch"
                 )
             plan = self.dispatch(batch, now)
-            if self.auto_finalize:
+            if self.auto_finalize and not plan.crashed:
+                # A crashed plan never touches the report's records; the
+                # driver requeues/retries/sheds its requests instead.
                 self.finalize(plan)
             planned.append(plan)
             self.note_queue_depth(now)

@@ -40,6 +40,7 @@ per-device energy where the backend has a power model.
 
 from __future__ import annotations
 
+import heapq
 import math
 from dataclasses import dataclass, field
 from typing import Sequence
@@ -48,6 +49,7 @@ import numpy as np
 
 from .. import config as global_config
 from ..devices import BatchExecution, CycleAccurateDevice, Device
+from ..faults import FaultInjector, FaultSchedule, get_fault_schedule
 from ..hardware.accelerator import Accelerator
 from ..scheduling.length_aware import LengthAwareScheduler
 from ..transformer.configs import DatasetConfig, get_dataset_config
@@ -121,6 +123,16 @@ class DeviceSummary:
     #: Billed seconds this device was provisioned (autoscaled runs only;
     #: None means the device was online for the whole run).
     online_seconds: float | None = None
+    #: In-flight batches this device lost to injected crashes.
+    num_crashes: int = 0
+    #: Seconds this device spent offline (crash downtime) within the run.
+    downtime_s: float = 0.0
+    #: Batches this device ran a hedged copy of (winner or loser).
+    num_hedged: int = 0
+    #: Crashed requests re-dispatched to this device's batches with backoff.
+    num_retries: int = 0
+    #: Seconds a failure-aware router refused to route to this device.
+    blacklisted_s: float = 0.0
 
     @property
     def mean_pipeline_utilization(self) -> float:
@@ -177,6 +189,23 @@ class OnlineServingReport:
     #: "sequence"}``) for deterministic cross-run hit accounting (the
     #: ordered digest stream enables exact LRU replay); not serialized.
     schedule_cache_probes: dict | None = None
+    #: Fault schedules injected into the run (``FaultInjector.describe()``
+    #: form; None = no fault machinery attached).
+    faults: list | None = None
+    #: In-flight batches lost to injected device crashes (each loss counts
+    #: once per dispatched copy, so a hedged pair that both die counts 2).
+    num_crashes: int = 0
+    #: Requests dropped after exhausting their replay + retry budget.
+    num_shed_crashed: int = 0
+    #: Batches dispatched with a cross-device hedge copy.
+    num_hedged: int = 0
+    #: Hedged batches where the mirror copy beat (or outlived) the primary.
+    num_hedge_wins: int = 0
+    #: Crashed requests re-dispatched with exponential backoff.
+    num_retries: int = 0
+    #: Crashed requests replayed immediately (the free requeue-once that
+    #: mirrors the live gateway's supervision tree).
+    num_replayed: int = 0
     #: Autoscaling policy that drove the run (None = static fleet).
     autoscaler: str | None = None
     #: Seconds between a scale-up decision and the device coming online
@@ -572,6 +601,13 @@ class OnlineServingReport:
             "provisioning_lag_s": self.provisioning_lag_s,
             "scaling_timeline": [[t, n] for t, n in self.scaling_timeline],
             "schedule_cache": self.schedule_cache,
+            "faults": self.faults,
+            "num_crashes": self.num_crashes,
+            "num_shed_crashed": self.num_shed_crashed,
+            "num_hedged": self.num_hedged,
+            "num_hedge_wins": self.num_hedge_wins,
+            "num_retries": self.num_retries,
+            "num_replayed": self.num_replayed,
             "devices": [
                 {
                     "device": device.index,
@@ -586,6 +622,11 @@ class OnlineServingReport:
                     "price_per_hour_usd": device.price_per_hour_usd,
                     "online_seconds": device.online_seconds,
                     "schedule_cache": device.schedule_cache,
+                    "num_crashes": device.num_crashes,
+                    "downtime_s": device.downtime_s,
+                    "num_hedged": device.num_hedged,
+                    "num_retries": device.num_retries,
+                    "blacklisted_s": device.blacklisted_s,
                 }
                 for device in self.devices
             ],
@@ -618,6 +659,9 @@ class OnlineServingReport:
         cache = self.schedule_cache
         if cache is not None:
             row["cache_hit"] = round(cache["hit_rate"], 3)
+        if self.faults is not None:
+            row["crashes"] = self.num_crashes
+            row["crash_shed"] = self.num_shed_crashed
         return row
 
 
@@ -669,6 +713,33 @@ def _fleet_scheduler_label(fleet: list[Device]) -> str:
     return "mixed"
 
 
+def _as_fault_injector(faults, num_devices: int, seed: int) -> FaultInjector | None:
+    """Normalize the ``faults`` argument to a :class:`FaultInjector`.
+
+    Accepts a ready injector, one schedule or registered name, a sequence of
+    either, or ``"a+b"`` composites (the sweep's ``--faults`` axis syntax).
+    """
+    if faults is None:
+        return None
+    if isinstance(faults, FaultInjector):
+        return faults
+    if isinstance(faults, (str, FaultSchedule)):
+        faults = [faults]
+    schedules: list[FaultSchedule] = []
+    for entry in faults:
+        if isinstance(entry, FaultSchedule):
+            schedules.append(entry)
+        elif isinstance(entry, str):
+            for name in entry.split("+"):
+                schedules.append(get_fault_schedule(name))
+        else:
+            raise TypeError(
+                f"fault entries must be FaultSchedule or registered names, "
+                f"got {type(entry).__name__}"
+            )
+    return FaultInjector(tuple(schedules), num_devices=num_devices, seed=seed)
+
+
 def simulate_online(
     devices: Accelerator | Device | Sequence[Accelerator | Device],
     dataset: DatasetConfig | str,
@@ -687,6 +758,10 @@ def simulate_online(
     autoscale_interval_s: float = 1.0,
     min_devices: int = 1,
     initial_devices: int | None = None,
+    faults=None,
+    hedging: bool = False,
+    max_retries: int = 0,
+    retry_backoff_s: float = 0.05,
 ) -> OnlineServingReport:
     """Run the event-driven serving simulation.
 
@@ -754,6 +829,30 @@ def simulate_online(
         ``scaling_timeline``.  ``None`` (default) keeps the fleet static.
         With a deadline-aware arrival gate (``shed_on_predicted_miss``),
         the gate's device snapshot is the *initial* pool.
+    faults:
+        Fault injection: a registered schedule name (``"crash-restart"``,
+        ``"straggler"``, ``"thermal-throttle"``, ``"scripted"``; ``"a+b"``
+        composes), a :class:`~repro.faults.FaultSchedule` (or sequence of
+        either), or a prebuilt :class:`~repro.faults.FaultInjector`.  Each
+        device gets a deterministic health timeline seeded from ``seed`` on
+        a dedicated RNG stream, so the fault-free run is byte-identical
+        whether or not the machinery is attached.  Crashed batches are lost
+        and their requests replayed once (per the schedule's ``replay``
+        knob, mirroring the live supervision tree), then retried with
+        exponential backoff up to ``max_retries``, then shed
+        (``num_shed_crashed``).  ``None`` (default) injects nothing.
+    hedging:
+        Cross-device request hedging: every batch is mirrored on the best
+        other device; the first completion wins and the loser's device time
+        is released at the winner's completion.  A no-op on single-device
+        fleets.
+    max_retries:
+        Crash-retry budget per request *after* the free replay (exponential
+        backoff, base ``retry_backoff_s``).  ``0`` (default) sheds on the
+        second crash, exactly like the live gateway's requeue-once.
+    retry_backoff_s:
+        Base backoff before a crash retry; retry ``k`` waits
+        ``retry_backoff_s * 2**(k-1)`` after the crash.
 
     Per-device admission limits (``Device.max_batch_size`` /
     ``Device.max_batch_tokens``) are enforced here: a batch routed to a
@@ -781,14 +880,21 @@ def simulate_online(
         initial = min_devices if initial_devices is None else int(initial_devices)
         if not min_devices <= initial <= len(fleet):
             raise ValueError("initial_devices must be in [min_devices, pool size]")
+    if max_retries < 0:
+        raise ValueError("max_retries must be >= 0")
+    if retry_backoff_s < 0:
+        raise ValueError("retry_backoff_s must be >= 0")
+    injector = _as_fault_injector(faults, len(fleet), seed)
 
     requests, arrival_name, offered_qps = prepare_stream(
         dataset, arrivals, num_requests, seed, slo
     )
     batch_policy, router = prepare_components(batch_policy, router, fleet, dataset)
 
-    for device in fleet:
+    for index, device in enumerate(fleet):
         device.reset(continuous_batching=continuous_batching)
+        if injector is not None:
+            device.bind_fault_timeline(injector.timeline(index))
 
     report = OnlineServingReport(
         dataset=dataset.name,
@@ -803,6 +909,7 @@ def simulate_online(
         slo=slo.to_dict() if slo is not None else None,
         autoscaler=autoscaler.name if autoscaling else None,
         provisioning_lag_s=provisioning_lag_s if autoscaling else None,
+        faults=injector.describe() if injector is not None else None,
         devices=[
             DeviceSummary(
                 index=i,
@@ -833,10 +940,48 @@ def simulate_online(
         max_queue_depth=max_queue_depth,
         shed_on_predicted_miss=shed_on_predicted_miss,
         auto_finalize=True,
+        fault_injector=injector,
+        hedging=hedging,
     )
     clock = SimClock()
     next_index = 0
     total = len(requests)
+
+    # ------------------------------------------------------------------
+    # Crash recovery state (replay / retry-with-backoff / shed)
+    # ------------------------------------------------------------------
+    #: Min-heap of (re-offer time, tiebreak, request) for crashed requests.
+    requeue: list[tuple[float, int, Request]] = []
+    requeue_seq = 0
+    crash_counts: dict[int, int] = {}
+
+    def _recover_crashed(plan) -> None:
+        """Route one crashed batch's requests through replay/retry/shed.
+
+        Crash #1 replays immediately at the crash instant when the schedule
+        says so (the live gateway's requeue-once); further crashes consume
+        the ``max_retries`` budget with exponential backoff; after that the
+        request is shed and counted against attainment like any other drop.
+        """
+        nonlocal requeue_seq
+        free_replay = 1 if injector.replay else 0
+        for request in plan.requests:
+            count = crash_counts.get(request.request_id, 0) + 1
+            crash_counts[request.request_id] = count
+            retries_used = count - free_replay
+            if retries_used <= 0:
+                heapq.heappush(requeue, (plan.crash_time, requeue_seq, request))
+                requeue_seq += 1
+                report.num_replayed += 1
+            elif retries_used <= max_retries:
+                delay = retry_backoff_s * (2.0 ** (retries_used - 1))
+                heapq.heappush(requeue, (plan.crash_time + delay, requeue_seq, request))
+                requeue_seq += 1
+                report.num_retries += 1
+                report.devices[plan.device_index].num_retries += 1
+            else:
+                report.num_shed_crashed += 1
+                report.shed_requests.append(request)
 
     # ------------------------------------------------------------------
     # Autoscaling state (pool billing, provisioning lag, decision cadence)
@@ -941,10 +1086,18 @@ def simulate_online(
                 continue
             break
 
-    while next_index < total or core.queue:
+    while next_index < total or core.queue or requeue:
         now = clock.now()
         if autoscaling:
             _apply_scaling(now)
+        if requeue and requeue[0][0] <= now + _EPS:
+            # Crashed requests rejoin at the *front* of the formation queue
+            # (they arrived before anything still waiting there), exactly
+            # where the live gateway's supervisor requeues a lost batch.
+            due: list[Request] = []
+            while requeue and requeue[0][0] <= now + _EPS:
+                due.append(heapq.heappop(requeue)[2])
+            core.queue[:0] = due
         while next_index < total and requests[next_index].arrival_time <= now + _EPS:
             core.offer(requests[next_index], now)
             arrivals_in_window += 1
@@ -952,14 +1105,20 @@ def simulate_online(
         core.note_queue_depth(now)
 
         draining = next_index >= total
-        core.pump(now, draining)
+        planned = core.pump(now, draining)
+        if injector is not None:
+            for plan in planned:
+                if plan.crashed:
+                    _recover_crashed(plan)
 
-        if next_index >= total and not core.queue:
+        if next_index >= total and not core.queue and not requeue:
             break
         next_event = requests[next_index].arrival_time if next_index < total else math.inf
         deadline = core.next_action_time(now)
         if deadline is not None:
             next_event = min(next_event, deadline)
+        if requeue:
+            next_event = min(next_event, requeue[0][0])
         if autoscaling:
             if math.isinf(next_event):
                 # Scaling events alone cannot drain a stranded queue; detect
@@ -987,7 +1146,8 @@ def simulate_online(
             raise RuntimeError(
                 f"batch policy '{batch_policy.name}' left {len(core.queue)} requests stranded"
             )
-        if next_event <= now + _EPS and draining:
+        requeue_due = bool(requeue) and requeue[0][0] <= now + _EPS
+        if next_event <= now + _EPS and draining and not requeue_due:
             raise RuntimeError(f"batch policy '{batch_policy.name}' is not making progress")
         clock.advance_to(next_event)
 
@@ -1003,6 +1163,14 @@ def simulate_online(
             )
         for index, summary in enumerate(report.devices):
             summary.online_seconds = online_seconds.get(index, 0.0)
+    if injector is not None:
+        horizon = max((r.completion_time for r in report.records), default=0.0)
+        for index, summary in enumerate(report.devices):
+            summary.downtime_s = injector.timeline(index).downtime_before(horizon)
+        blacklisted = getattr(router, "blacklisted_seconds", None)
+        if blacklisted is not None:
+            for index, summary in enumerate(report.devices):
+                summary.blacklisted_s = blacklisted(index, horizon)
     collect_device_stats(report, fleet)
     report.records.sort(key=lambda r: (r.completion_time, r.request.request_id))
     return report

@@ -79,6 +79,23 @@ class Router:
         """
         raise NotImplementedError
 
+    # ------------------------------------------------------------------
+    # Device-health hooks (fault injection)
+    # ------------------------------------------------------------------
+
+    def note_failure(self, index: int, now: float) -> None:
+        """A batch on device ``index`` was lost to a crash at ``now``.
+
+        Called by the dispatch core only when fault injection is active.
+        Failure-aware routers (:class:`~repro.serving.slo.CostModelRouter`
+        with ``blacklist_s``) use this to steer traffic away from unhealthy
+        devices; the default is a no-op so every router stays fault-agnostic
+        by default.
+        """
+
+    def note_success(self, index: int, now: float) -> None:
+        """A batch on device ``index`` will complete cleanly at ``now``."""
+
 
 @register("router", "round-robin")
 @dataclass

@@ -277,8 +277,8 @@ class DeadlineBatcher(BatchPolicy):
 class CostModelRouter(Router):
     """Route each batch to the device that would finish it earliest.
 
-    Config knobs: none -- the router is entirely driven by the fleet's own
-    cost models.  Every candidate device is scored with its predicted
+    Config knobs: ``blacklist_s`` (seconds; ``0`` keeps the router purely
+    cost-driven).  Every candidate device is scored with its predicted
     completion time for *this* batch: seconds of backlog until it could
     start (:meth:`~repro.serving.routing.Router.backlog_seconds`) plus its
     own ``batch_latency_seconds`` on the batch.  Where a per-device batch
@@ -291,9 +291,47 @@ class CostModelRouter(Router):
     the actual lengths.  Ties break on device index, keeping runs
     deterministic.  Legacy float fleets (backlog clocks only) fall back to
     least-loaded scoring.
+
+    With ``blacklist_s > 0`` the router becomes **failure-aware** (circuit
+    breaker): a device whose batch crashes (the dispatch core's
+    :meth:`note_failure`) is blacklisted for ``blacklist_s`` seconds,
+    doubling on every further crash; once the window expires the device is
+    *half-open* -- it may win exactly one trial batch, and a clean
+    completion (:meth:`note_success`) closes the breaker and resets the
+    backoff, while another crash re-opens it at the doubled duration.  When
+    every device is blacklisted the router falls back to pure cost scoring
+    (serving degraded beats serving nothing).  Time spent refusing a device
+    is reported per device as ``blacklisted_s``.
     """
 
     name: str = "cost-model"
+    #: Base circuit-breaker window after a crash (seconds; 0 disables the
+    #: failure-aware path entirely -- the router is then byte-identical to
+    #: the historical cost-only scorer).
+    blacklist_s: float = 0.0
+    #: Blacklist expiry instant per device index (open breaker windows).
+    _until: dict = field(default_factory=dict, repr=False)
+    #: Start of the currently-open breaker window (accounting).
+    _open_start: dict = field(default_factory=dict, repr=False)
+    #: Next breaker duration per device (exponential backoff, base
+    #: ``blacklist_s``).
+    _backoff: dict = field(default_factory=dict, repr=False)
+    #: Devices whose half-open trial batch is outstanding.
+    _probing: set = field(default_factory=set, repr=False)
+    #: Closed breaker windows, accumulated seconds per device.
+    _accumulated: dict = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.blacklist_s < 0:
+            raise ValueError("blacklist_s must be >= 0")
+
+    def prepare(self, num_devices: int, dataset) -> None:
+        # Reset breaker state so a reused router gives identical runs.
+        self._until = {}
+        self._open_start = {}
+        self._backoff = {}
+        self._probing = set()
+        self._accumulated = {}
 
     @staticmethod
     def _service_seconds(entry, lengths: list[int]) -> float:
@@ -310,10 +348,75 @@ class CostModelRouter(Router):
             remaining = remaining[take:]
         return total
 
+    def _routable(self, index: int, now: float) -> bool:
+        until = self._until.get(index)
+        if until is None:
+            return True
+        if now + _TIME_EPS < until:
+            return False  # breaker open: still blacklisted
+        return index not in self._probing  # half-open: one trial at a time
+
     def select(self, fleet: list, batch: list[Request], now: float) -> int:
         lengths = [r.length for r in batch]
-        scores = [
-            self.backlog_seconds(entry, now) + self._service_seconds(entry, lengths)
-            for entry in fleet
-        ]
-        return min(range(len(scores)), key=lambda i: (scores[i], i))
+        if self.blacklist_s <= 0:
+            # Fault-agnostic fast path: exactly the historical scorer.
+            scores = [
+                self.backlog_seconds(entry, now) + self._service_seconds(entry, lengths)
+                for entry in fleet
+            ]
+            return min(range(len(scores)), key=lambda i: (scores[i], i))
+        candidates = [i for i in range(len(fleet)) if self._routable(i, now)]
+        if not candidates:
+            # Whole fleet blacklisted: degrade to pure cost scoring.
+            candidates = list(range(len(fleet)))
+        scores = {
+            i: self.backlog_seconds(fleet[i], now) + self._service_seconds(fleet[i], lengths)
+            for i in candidates
+        }
+        index = min(candidates, key=lambda i: (scores[i], i))
+        until = self._until.get(index)
+        if until is not None and now + _TIME_EPS >= until:
+            self._probing.add(index)  # this batch is the half-open trial
+        return index
+
+    # ------------------------------------------------------------------
+    # Device-health hooks (called by the dispatch core under injection)
+    # ------------------------------------------------------------------
+
+    def _close_window(self, index: int, at: float) -> None:
+        """Fold the open breaker window (clamped at ``at``) into the total."""
+        until = self._until.pop(index, None)
+        start = self._open_start.pop(index, None)
+        if until is None or start is None:
+            return
+        self._accumulated[index] = self._accumulated.get(index, 0.0) + max(
+            min(until, at) - start, 0.0
+        )
+
+    def note_failure(self, index: int, now: float) -> None:
+        if self.blacklist_s <= 0:
+            return
+        self._probing.discard(index)
+        self._close_window(index, now)
+        duration = self._backoff.get(index, self.blacklist_s)
+        self._open_start[index] = now
+        self._until[index] = now + duration
+        self._backoff[index] = duration * 2.0
+
+    def note_success(self, index: int, now: float) -> None:
+        if self.blacklist_s <= 0:
+            return
+        self._probing.discard(index)
+        if index in self._until:
+            # Half-open trial succeeded: close the breaker, reset backoff.
+            self._close_window(index, now)
+            self._backoff.pop(index, None)
+
+    def blacklisted_seconds(self, index: int, until: float) -> float:
+        """Total seconds device ``index`` was refused traffic, up to ``until``."""
+        total = self._accumulated.get(index, 0.0)
+        open_until = self._until.get(index)
+        if open_until is not None:
+            start = self._open_start[index]
+            total += max(min(open_until, until) - min(start, until), 0.0)
+        return total

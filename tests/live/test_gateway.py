@@ -282,3 +282,99 @@ class TestSupervision:
         assert mid["live"]["in_flight_batches"] == 1
         assert mid["num_completed"] == 0  # nothing finalizes before it finishes
         assert stats["num_completed"] == 1
+
+
+class TestFaultRemedies:
+    """Chaos semantics of the live gateway: double-crash shedding, hedging,
+    and KV-cache accounting when crashes interrupt a hedged pair."""
+
+    def test_double_crash_sheds_instead_of_looping(self):
+        """Requeue-exactly-once: the first crash replays the batch, the
+        second sheds its requests (waiters get the error) -- never an
+        infinite supervisor loop."""
+
+        async def scenario():
+            gateway = LiveGateway(
+                [FakeDevice(latency=0.02)],
+                "mrpc",
+                batch_policy=FixedSizeBatcher(batch_size=4),
+            )
+            await gateway.start()
+            gateway.actors[0].fail_next_batches = 2
+            results = [gateway.submit(length=32) for _ in range(4)]
+            outcomes = await asyncio.gather(
+                *(gateway.wait_for(r.request.request_id) for r in results),
+                return_exceptions=True,
+            )
+            stats = await gateway.shutdown()
+            return gateway, outcomes, stats
+
+        gateway, outcomes, stats = run(scenario())
+        assert gateway.actors[0].restarts == 2
+        assert all(isinstance(outcome, RuntimeError) for outcome in outcomes)
+        assert stats["num_crashes"] == 2
+        assert stats["num_replayed"] == 4
+        assert stats["num_shed_crashed"] == 4
+        assert stats["num_completed"] == 0
+        assert stats["live"]["worker_restarts"] == [2]
+
+    def test_hedged_batch_completes_exactly_once(self):
+        async def scenario():
+            gateway = LiveGateway(
+                [FakeDevice(latency=0.05), FakeDevice(latency=0.05)],
+                "mrpc",
+                batch_policy=FixedSizeBatcher(batch_size=4),
+                hedging=True,
+            )
+            await gateway.start()
+            results = [gateway.submit(length=32) for _ in range(8)]
+            records = await asyncio.gather(
+                *(gateway.wait_for(r.request.request_id) for r in results)
+            )
+            stats = await gateway.shutdown()
+            return gateway, records, stats
+
+        gateway, records, stats = run(scenario())
+        assert stats["num_completed"] == 8
+        assert stats["num_hedged"] > 0
+        # First completion won; the loser was cancelled, never finalized:
+        # every request appears exactly once.
+        assert _ids(gateway.report.records) == list(range(8))
+
+    def test_crash_during_hedge_mirror_wins_and_kv_released(self):
+        """A crashed primary must not strand its requests (the live mirror
+        finishes them) nor leak its KV-cache reservation."""
+
+        async def scenario():
+            devices = [
+                FakeDevice(latency=0.05, decode_step=0.001, kv_cache_bytes=1 << 30),
+                FakeDevice(latency=0.05, decode_step=0.001, kv_cache_bytes=1 << 30),
+            ]
+            gateway = LiveGateway(
+                devices,
+                "mrpc",
+                batch_policy=FixedSizeBatcher(batch_size=4),
+                hedging=True,
+            )
+            await gateway.start()
+            # Crash whichever copy device 0 picks up first; its hedge twin
+            # on device 1 survives and wins the pair.
+            gateway.actors[0].fail_next_batches = 1
+            results = [gateway.submit(length=32) for _ in range(4)]
+            records = await asyncio.gather(
+                *(gateway.wait_for(r.request.request_id) for r in results)
+            )
+            stats = await gateway.shutdown()
+            return gateway, records, stats
+
+        gateway, records, stats = run(scenario())
+        assert gateway.actors[0].restarts == 1
+        assert stats["num_crashes"] == 1
+        assert stats["num_completed"] == 4
+        assert stats["num_hedged"] >= 1
+        assert stats["num_hedge_wins"] >= 1
+        # No request was shed or duplicated, and no KV bytes leaked.
+        assert stats["num_shed_crashed"] == 0
+        assert _ids(gateway.report.records) == list(range(4))
+        assert gateway.kv_reserved_bytes == [0, 0]
+        assert stats["live"]["kv_reserved_bytes"] == [0, 0]

@@ -12,9 +12,12 @@ import json
 import pytest
 
 from repro.live import (
+    CRASH_TRACE_PATH,
     VALIDATION_TRACE_PATH,
+    build_crash_trace,
     build_validation_trace,
     load_validation_trace,
+    run_crash_validation,
     run_live_validation,
     simulate_trace,
     trace_requests,
@@ -68,3 +71,37 @@ def test_sim_vs_live_agreement_within_tolerance():
     assert live["queue_depth"] == 0
     assert live["in_flight_batches"] == 0
     assert live["worker_restarts"] == [0]
+
+
+def test_checked_in_crash_trace_matches_builder():
+    """The crash-scenario JSON on disk is exactly the builder's output."""
+    on_disk = json.loads(CRASH_TRACE_PATH.read_text())["entries"]
+    assert on_disk == build_crash_trace()
+
+
+def test_crash_scenario_sim_vs_live_agreement():
+    """The extended contract: a scripted device crash produces the same
+    record-level outcome in both engines -- the simulator crashes the batch
+    mid-execution at the scripted instant, the live gateway crashes the
+    worker on the matching pickup cue, and both replay the lost batch at
+    the original drain time (the crashed booking stands in both engines).
+
+    Counts (including crash/replay/shed counters) must match exactly, rates
+    within 2 %, and the live supervisor's restart count must equal the
+    simulator's crash count.
+    """
+    result = run_crash_validation(tolerance=0.02)
+    agreement = result["agreement"]
+    assert agreement["within_tolerance"], json.dumps(agreement, indent=2)
+    for key, entry in agreement["counts"].items():
+        assert entry["match"], f"{key}: sim={entry['sim']} live={entry['live']}"
+    # Pin the scenario itself: one crash, the whole 16-request batch replayed,
+    # nothing shed -- the requeued batch lands inside every deadline.
+    assert result["sim"]["num_crashes"] == result["live"]["num_crashes"] == 1
+    assert result["sim"]["num_replayed"] == result["live"]["num_replayed"] == 16
+    assert result["sim"]["num_shed_crashed"] == 0
+    assert result["sim"]["num_completed"] == result["live"]["num_completed"] == 39
+    supervision = agreement["supervision"]
+    assert supervision["worker_restarts"] == [1]
+    assert supervision["requeued_batches"] == 1
+    assert supervision["restarts_match_crashes"] is True

@@ -1,0 +1,59 @@
+"""Wall-time benchmark of the multi-tenant class-axis serving sweep.
+
+Runs the class-mix sweep (untagged baseline vs the three-tier mix on a
+two-GPU fleet under the priority-deadline policy) and records what the
+class machinery costs in wall time and how the tiers split attainment and
+shedding on the identical seeded schedule.
+"""
+
+from __future__ import annotations
+
+from conftest import record_metric, run_once
+
+from repro.experiments.spec import get_experiment, run_experiment
+
+MIX = "interactive:0.5,batch:0.3,best-effort:0.2"
+
+CONFIG = {
+    "datasets": ("mrpc",),
+    "devices": ("gpu-rtx6000",),
+    "num_accelerators": 2,
+    "load_fractions": (0.5, 0.9),
+    "batch_policies": ("priority-deadline",),
+    "requests": 96,
+    "classes": ("none", MIX),
+    "slo_ms": 50.0,
+}
+
+
+def test_bench_multitenant_sweep(benchmark, write_report):
+    result = run_once(benchmark, run_experiment, "serving-sweep", CONFIG)
+    seconds = benchmark.stats.stats.mean
+
+    mix_points = [p for p in result.points if p.classes == MIX]
+    base_points = [p for p in result.points if p.classes == "none"]
+    assert mix_points and base_points
+    for point in base_points:
+        assert point.report.class_summaries is None  # untagged rows stay classless
+
+    per_class: dict[str, list[float]] = {}
+    sheds: dict[str, int] = {}
+    for point in mix_points:
+        for name, summary in point.report.class_summaries.items():
+            if summary.attainment is not None:
+                per_class.setdefault(name, []).append(summary.attainment)
+            sheds[name] = sheds.get(name, 0) + summary.shed
+
+    write_report("multitenant_sweep", get_experiment("serving-sweep").render(result))
+    record_metric(
+        sweep_seconds=round(seconds, 3),
+        **{
+            f"attainment_{name.replace('-', '_')}": round(sum(values) / len(values), 4)
+            for name, values in per_class.items()
+        },
+        **{
+            f"shed_{name.replace('-', '_')}": count
+            for name, count in sheds.items()
+        },
+        preemptions=sum(p.report.num_preemptions or 0 for p in mix_points),
+    )

@@ -45,6 +45,7 @@ from ..hardware.accelerator import Accelerator
 from ..transformer.configs import DatasetConfig, get_dataset_config
 from ..serving.arrivals import ArrivalProcess
 from ..serving.clock import SimClock
+from ..serving.classes import collect_class_stats
 from ..serving.core import _EPS, DispatchCore, collect_device_stats, prepare_components
 from ..serving.engine import (
     BatchRecord,
@@ -263,6 +264,7 @@ def simulate_decode_online(
     slo: SLOSpec | None = None,
     iteration_level: bool = True,
     shed_on_predicted_miss: bool = False,
+    class_queue_limits: dict[str, int] | None = None,
 ) -> DecodeServingReport:
     """Run the two-phase (prefill/decode) serving simulation.
 
@@ -359,6 +361,7 @@ def simulate_decode_online(
         router,
         max_queue_depth=max_queue_depth,
         shed_on_predicted_miss=shed_on_predicted_miss,
+        class_queue_limits=class_queue_limits,
     )
     queue = core.queue
 
@@ -658,4 +661,8 @@ def simulate_decode_online(
             }
         )
     report.records.sort(key=lambda r: (r.completion_time, r.request.request_id))
+    preemptions = getattr(batch_policy, "num_preemptions", None)
+    if preemptions is not None:
+        report.num_preemptions = preemptions
+    collect_class_stats(report)
     return report

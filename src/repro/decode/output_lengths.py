@@ -165,6 +165,7 @@ def as_decode_requests(requests: Sequence[Request]) -> list[DecodeRequest]:
                     length=request.length,
                     arrival_time=request.arrival_time,
                     deadline=request.deadline,
+                    request_class=request.request_class,
                 )
             )
     return coerced
@@ -192,6 +193,7 @@ def generate_decode_requests(
             length=request.length,
             arrival_time=request.arrival_time,
             deadline=request.deadline,
+            request_class=request.request_class,
             output_len=int(output),
         )
         for request, output in zip(base, outputs)

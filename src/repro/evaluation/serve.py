@@ -8,7 +8,10 @@ admission control.  ``--slo-ms`` (plus ``--slo-per-token-ms``) stamps every
 request with a deadline and reports attainment/goodput -- pair it with
 ``--batch-policy deadline --routing cost-model`` for the SLO-aware serving
 stack -- and ``--device-max-batch-size`` / ``--device-max-batch-tokens``
-cap what any single device may admit per batch.  With a rate-driven arrival process (``poisson`` /
+cap what any single device may admit per batch.  ``--classes`` tags the
+stream with a request-class mix (multi-tenant SLO tiers; pair with
+``--batch-policy priority-deadline`` for preemptive tiering) and
+``--class-queue-limits`` bounds each class's share of the formation queue.  With a rate-driven arrival process (``poisson`` /
 ``bursty``) and an explicit ``qps`` the experiment runs one open-loop
 simulation; without ``qps`` it falls back to the latency-vs-load sweep over
 that single dataset.  The ``trace`` and ``closed-loop`` arrival processes
@@ -39,14 +42,17 @@ from ..serving import (
 from ..serving.arrivals import _is_rate_driven
 from ..transformer.configs import DATASET_ZOO, MODEL_ZOO, get_model_config
 from .report import format_key_values, format_table
+from ..serving.classes import parse_class_queue_limits
 from .serving_sweep import (
     DEFAULT_WARMUP_FRACTION,
     ServingSweepResult,
     _sweep_impl,
     build_failure_aware_router,
+    class_mix_arrivals,
     fault_schedules_from_knobs,
     render_sweep,
     slo_spec_from_ms,
+    validate_class_axis,
     validate_fault_knobs,
     validate_slo_knobs,
 )
@@ -131,6 +137,22 @@ class ServeConfig(ExperimentConfig):
         help=(
             "fault injection: a registered fault schedule (crash-restart, "
             "straggler, thermal-throttle; compose with '+'); default none"
+        ),
+    )
+    classes: str | None = cfg_field(
+        None,
+        help=(
+            "request-class mix tagging the arrival stream (e.g. "
+            "interactive:0.5,batch:0.3,best-effort:0.2); enables per-class "
+            "attainment/shed reporting; default untagged"
+        ),
+    )
+    class_queue_limits: str | None = cfg_field(
+        None,
+        help=(
+            "per-class admission limits on the formation queue (e.g. "
+            "best-effort:8,batch:16); arrivals beyond a class's limit are "
+            "shed; online mode only"
         ),
     )
     fault_mtbf_s: float = cfg_field(
@@ -246,6 +268,8 @@ class ServeConfig(ExperimentConfig):
             retry_backoff_ms=self.retry_backoff_ms,
             blacklist_ms=self.blacklist_ms,
         )
+        if self.classes is not None:
+            validate_class_axis((self.classes,))
         if not 0.0 <= self.warmup_fraction < 1.0:
             raise ValueError("warmup_fraction must be in [0, 1)")
         if self.cache_length_bucket is not None and self.cache_length_bucket < 1:
@@ -280,6 +304,17 @@ class ServeConfig(ExperimentConfig):
                 raise ValueError(
                     "autoscaler needs a single online run: give qps or use a "
                     "non-rate arrival (trace), not the load sweep"
+                )
+        if self.class_queue_limits is not None:
+            try:
+                parse_class_queue_limits(self.class_queue_limits)
+            except (KeyError, ValueError) as error:
+                message = error.args[0] if error.args else str(error)
+                raise ValueError(f"class_queue_limits: {message}") from error
+            if self.is_rate_driven() and self.qps is None:
+                raise ValueError(
+                    "class_queue_limits needs a single online run: give qps "
+                    "or use a non-rate arrival, not the load sweep"
                 )
 
     def is_rate_driven(self) -> bool:
@@ -373,6 +408,9 @@ def _run_spec(config: ServeConfig) -> ServeResult:
     fault_axis = (
         () if config.faults is None or config.faults == "none" else (config.faults,)
     )
+    class_axis = (
+        () if config.classes is None or config.classes == "none" else (config.classes,)
+    )
     if config.is_rate_driven() and config.qps is None:
         sweep = _sweep_impl(
             datasets=(config.dataset,),
@@ -393,6 +431,7 @@ def _run_spec(config: ServeConfig) -> ServeResult:
             device_max_batch_size=config.device_max_batch_size,
             device_max_batch_tokens=config.device_max_batch_tokens,
             faults=fault_axis,
+            classes=class_axis,
             fault_mtbf_s=config.fault_mtbf_s,
             fault_downtime_s=config.fault_downtime_s,
             fault_multiplier=config.fault_multiplier,
@@ -426,7 +465,7 @@ def _run_spec(config: ServeConfig) -> ServeResult:
     report = simulate_online(
         fleet,
         config.dataset,
-        arrivals=_build_arrivals(config),
+        arrivals=class_mix_arrivals(_build_arrivals(config), config.classes),
         num_requests=config.requests,
         batch_policy=get_batch_policy(
             config.batch_policy,
@@ -451,6 +490,11 @@ def _run_spec(config: ServeConfig) -> ServeResult:
         retry_backoff_s=config.retry_backoff_ms * 1e-3,
         seed=config.seed,
         shed_on_predicted_miss=config.shed_on_predicted_miss,
+        class_queue_limits=(
+            None
+            if config.class_queue_limits is None
+            else parse_class_queue_limits(config.class_queue_limits)
+        ),
         autoscaler=config.autoscaler,
         provisioning_lag_s=config.provisioning_lag_s,
         autoscale_interval_s=config.autoscale_interval_s,
@@ -530,6 +574,17 @@ def _render(result: ServeResult) -> str:
         if report.num_hedged:
             footer["hedged batches (mirror wins)"] = (
                 f"{report.num_hedged} ({report.num_hedge_wins})"
+            )
+    if report.num_preemptions is not None:
+        footer["lower-tier preemptions"] = report.num_preemptions
+    if report.class_summaries is not None:
+        for name, summary in report.class_summaries.items():
+            attainment = (
+                f"{summary.attainment:.1%}" if summary.attainment is not None else "n/a"
+            )
+            footer[f"class {name}"] = (
+                f"{summary.offered} offered, {summary.completed} completed, "
+                f"{summary.shed} shed, attainment {attainment}"
             )
     if report.cost_usd is not None:
         footer["fleet cost (USD)"] = round(report.cost_usd, 6)

@@ -34,6 +34,7 @@ from .env_overrides import apply_env_overrides, capture_env_overrides
 from ..experiments.spec import deprecated_call
 from ..registry import REGISTRY
 from ..serving.arrivals import ClosedLoopArrivals, _is_rate_driven, get_arrival_process
+from ..serving.classes import ClassMixArrivals, parse_class_mix
 from ..serving.engine import OnlineServingReport, simulate_online
 from ..serving.policies import FixedSizeBatcher, get_batch_policy
 from ..serving.routing import get_router
@@ -55,8 +56,10 @@ __all__ = [
     "SweepPoint",
     "build_failure_aware_router",
     "build_serving_fleet",
+    "class_mix_arrivals",
     "fault_schedules_from_knobs",
     "run_serving_sweep",
+    "validate_class_axis",
 ]
 
 #: Offered-load grid (fractions of the measured closed-loop capacity); the
@@ -90,6 +93,9 @@ class SweepPoint:
     #: None when the sweep has no fault axis, which keeps the default
     #: sweep's rows and JSON payload byte-identical to a fault-unaware run.
     fault: str | None = None
+    #: Class-mix axis entry ("none" = untagged baseline); None when the
+    #: sweep has no class axis -- same byte-identity contract as ``fault``.
+    classes: str | None = None
     #: Warm-up fraction applied to this point's percentiles / QPS.
     warmup_fraction: float = 0.0
     #: Deterministic (replayed) schedule-cache accounting for this point;
@@ -108,6 +114,8 @@ class SweepPoint:
         }
         if self.fault is not None:
             row["fault"] = self.fault
+        if self.classes is not None:
+            row["classes"] = self.classes
         row |= {
             "load": round(self.load_fraction, 2),
             "offered_qps": round(self.offered_qps, 1),
@@ -136,6 +144,13 @@ class SweepPoint:
             row["retries"] = self.report.num_retries
         if self.cache_stats is not None:
             row["cache_hit"] = round(self.cache_stats["hit_rate"], 3)
+        if self.classes is not None and self.report.class_summaries is not None:
+            # Per-class columns, present only on class-axis sweeps so
+            # class-free sweeps keep their historical column set.
+            for name, summary in self.report.class_summaries.items():
+                if summary.attainment is not None:
+                    row[f"att[{name}]"] = round(summary.attainment, 3)
+                row[f"shed[{name}]"] = summary.shed
         return row
 
 
@@ -158,6 +173,8 @@ class ServingSweepResult:
     #: Remedy knobs (hedging / retries / router blacklist) the fault-axis
     #: points ran with; None when the sweep has no fault axis.
     remedies: dict | None = None
+    #: Class-mix axis of the sweep (empty = no class axis).
+    classes: tuple[str, ...] = ()
     #: Sweep-wide schedule-cache accounting (replayed in canonical grid
     #: order, so identical for any --jobs setting).
     schedule_cache: dict | None = None
@@ -173,6 +190,7 @@ class ServingSweepResult:
         batch_policy: str | None,
         router: str | None,
         fault: str | None = None,
+        classes: str | None = None,
     ) -> list[SweepPoint]:
         return [
             p
@@ -181,6 +199,7 @@ class ServingSweepResult:
             and (batch_policy is None or p.batch_policy == batch_policy)
             and (router is None or p.router == router)
             and (fault is None or p.fault == fault)
+            and (classes is None or p.classes == classes)
         ]
 
     def p99_curve(
@@ -189,6 +208,7 @@ class ServingSweepResult:
         batch_policy: str | None = None,
         router: str | None = None,
         fault: str | None = None,
+        classes: str | None = None,
     ) -> list[tuple[float, float]]:
         """(load fraction, steady-state p99 seconds) pairs, sorted by load.
 
@@ -196,11 +216,11 @@ class ServingSweepResult:
         pairings -- a sweep of one policy under two routers needs the
         ``router`` filter, or the curves interleave.  Fault-axis sweeps need
         the ``fault`` filter the same way (``"none"`` selects the fault-free
-        baseline points).
+        baseline points), and class-axis sweeps the ``classes`` filter.
         """
         curve = [
             (p.load_fraction, p.report.steady_latency_percentile(99, p.warmup_fraction))
-            for p in self._select_points(dataset, batch_policy, router, fault)
+            for p in self._select_points(dataset, batch_policy, router, fault, classes)
         ]
         return sorted(curve)
 
@@ -210,6 +230,7 @@ class ServingSweepResult:
         batch_policy: str | None = None,
         router: str | None = None,
         fault: str | None = None,
+        classes: str | None = None,
     ) -> list[tuple[float, float | None]]:
         """(load fraction, steady-state deadline attainment) pairs, sorted.
 
@@ -217,18 +238,18 @@ class ServingSweepResult:
         ``slo``); SLO-aware and SLO-blind policies in the same sweep are
         directly comparable point by point because every policy sees the
         same deadline-stamped stream at the same offered load.  As with
-        :meth:`p99_curve`, pass ``router`` (and ``fault`` on fault-axis
-        sweeps) when points differ on those dimensions.
+        :meth:`p99_curve`, pass ``router`` (and ``fault`` / ``classes`` on
+        axis sweeps) when points differ on those dimensions.
         """
         curve = [
             (p.load_fraction, p.report.steady_attainment_rate(p.warmup_fraction))
-            for p in self._select_points(dataset, batch_policy, router, fault)
+            for p in self._select_points(dataset, batch_policy, router, fault, classes)
         ]
         return sorted(curve, key=lambda pair: pair[0])
 
     def to_dict(self) -> dict:
         """Machine-readable form (JSON-ready summary rows)."""
-        return {
+        payload = {
             "model": self.model,
             "num_accelerators": self.num_accelerators,
             "devices": list(self.devices),
@@ -240,10 +261,17 @@ class ServingSweepResult:
             "slo": self.slo,
             "faults": list(self.faults),
             "remedies": self.remedies,
+        }
+        if self.classes:
+            # Present only on class-axis sweeps: class-free payloads stay
+            # byte-identical to their historical shape.
+            payload["classes"] = list(self.classes)
+        payload |= {
             "schedule_cache": self.schedule_cache,
             "capacity_qps": dict(self.capacity_qps),
             "points": self.as_rows(),
         }
+        return payload
 
 
 @dataclass(frozen=True)
@@ -316,6 +344,15 @@ class ServingSweepConfig(ExperimentConfig):
             "fault-injection axis: registered fault schedules per grid point "
             "(crash-restart, straggler, thermal-throttle; compose with '+', "
             "'none' = fault-free baseline row); empty = no fault axis"
+        ),
+    )
+    classes: tuple[str, ...] = cfg_field(
+        (),
+        help=(
+            "request-class axis: class mixes per grid point (e.g. "
+            "interactive:0.5,batch:0.3,best-effort:0.2; 'none' = untagged "
+            "baseline row); adds per-class attainment/shed columns; empty = "
+            "no class axis"
         ),
     )
     fault_mtbf_s: float = cfg_field(
@@ -418,6 +455,7 @@ class ServingSweepConfig(ExperimentConfig):
             retry_backoff_ms=self.retry_backoff_ms,
             blacklist_ms=self.blacklist_ms,
         )
+        validate_class_axis(self.classes)
         try:
             for policy in self.batch_policies:
                 REGISTRY.resolve("batch-policy", policy)
@@ -606,6 +644,33 @@ def validate_fault_knobs(
             raise ValueError(f"fault axis entry {spec!r}: {message}") from error
 
 
+def validate_class_axis(classes: tuple[str, ...]) -> None:
+    """Shared validation of the request-class axis (``serve`` + sweep).
+
+    Every entry must be either the ``"none"`` untagged baseline or a class
+    mix that parses against the registered request classes.
+    """
+    for spec in classes:
+        if spec == "none":
+            continue
+        try:
+            parse_class_mix(spec)
+        except (KeyError, ValueError) as error:
+            message = error.args[0] if error.args else str(error)
+            raise ValueError(f"class axis entry {spec!r}: {message}") from error
+
+
+def class_mix_arrivals(arrivals, mix_name: str | None):
+    """Wrap an arrival process in a class-mix tagger when a mix is given.
+
+    ``None`` and ``"none"`` return ``arrivals`` unchanged (the untagged
+    baseline keeps the run byte-identical to a class-unaware simulation).
+    """
+    if mix_name is None or mix_name == "none":
+        return arrivals
+    return ClassMixArrivals(base=arrivals, mix=mix_name)
+
+
 def build_failure_aware_router(name: str, blacklist_s: float):
     """Build a router, passing the circuit-breaker knob when it takes one.
 
@@ -679,12 +744,13 @@ def _point_worker(
     policy_name: str,
     router_name: str,
     fault_name: str | None,
+    mix_name: str | None,
     fraction: float,
     capacity: float,
     fleet: list[Device] | None = None,
     env: dict[str, str | None] | None = None,
 ) -> SweepPoint:
-    """One (dataset, policy+router, fault, load) grid point.
+    """One (dataset, policy+router, fault, classes, load) grid point.
 
     Runs inline (``fleet`` provided) or in a worker process (``fleet`` built
     here, submit-time ``env`` re-exported).  Every point seeds its own
@@ -692,6 +758,9 @@ def _point_worker(
     regardless of which process runs the point.  ``fault_name`` is None on
     sweeps without a fault axis; faulty points build their injector spec
     here (schedules are cheap to construct and avoid pickling).
+    ``mix_name`` works the same for the request-class axis: class tags ride
+    on their own salted RNG stream, so a ``"none"`` (or axis-free) point is
+    byte-identical to a class-unaware run.
     """
     apply_env_overrides(env)
     remote = fleet is None
@@ -713,10 +782,13 @@ def _point_worker(
         duration_s=options["fault_duration_s"],
     )
     router = build_failure_aware_router(router_name, options["blacklist_s"])
+    arrivals = class_mix_arrivals(
+        get_arrival_process(options["arrival"], rate_qps=offered), mix_name
+    )
     report = simulate_online(
         fleet,
         dataset_name,
-        arrivals=get_arrival_process(options["arrival"], rate_qps=offered),
+        arrivals=arrivals,
         num_requests=options["num_requests"],
         batch_policy=policy,
         router=router,
@@ -741,6 +813,7 @@ def _point_worker(
         batch_policy=policy.name,
         router=router.name,
         fault=fault_name,
+        classes=mix_name,
         load_fraction=fraction,
         offered_qps=offered,
         capacity_qps=capacity,
@@ -770,6 +843,7 @@ def _sweep_impl(
     device_max_batch_size: int | None = None,
     device_max_batch_tokens: int | None = None,
     faults: tuple[str, ...] = (),
+    classes: tuple[str, ...] = (),
     fault_mtbf_s: float = 5.0,
     fault_downtime_s: float = 0.5,
     fault_multiplier: float = 2.5,
@@ -805,6 +879,13 @@ def _sweep_impl(
     ``faults`` keeps the sweep (rows and payload) byte-identical to a
     fault-unaware run.
 
+    ``classes`` adds a request-class axis the same way: every cell runs once
+    per class-mix entry (``"none"`` is the untagged baseline), tagging the
+    arrival stream via :class:`~repro.serving.classes.ClassMixArrivals` and
+    adding per-class attainment/shed columns.  Class tags ride on a
+    dedicated RNG stream, so the ``"none"`` rows -- and any sweep with an
+    empty ``classes`` -- stay byte-identical to a class-unaware run.
+
     ``jobs > 1`` fans the capacity measurements and the (dataset, policy,
     load) grid across a :class:`~concurrent.futures.ProcessPoolExecutor`.
     Results are collected in grid order and every point is seeded
@@ -824,6 +905,7 @@ def _sweep_impl(
         else SLOSpec(base_s=slo_s, per_token_s=slo_per_token_s)
     )
     fault_axis: tuple[str | None, ...] = tuple(faults) if faults else (None,)
+    class_axis: tuple[str | None, ...] = tuple(classes) if classes else (None,)
     result = ServingSweepResult(
         model=model.name,
         num_accelerators=num_accelerators,
@@ -845,6 +927,7 @@ def _sweep_impl(
             if faults
             else None
         ),
+        classes=tuple(classes),
     )
     options = {
         "devices": tuple(devices),
@@ -876,10 +959,11 @@ def _sweep_impl(
         "seed": seed,
     }
     grid = [
-        (dataset_name, policy_name, router_name, fault_name, fraction)
+        (dataset_name, policy_name, router_name, fault_name, mix_name, fraction)
         for dataset_name in datasets
         for policy_name, router_name in pairs
         for fault_name in fault_axis
+        for mix_name in class_axis
         for fraction in load_fractions
     ]
 
@@ -902,9 +986,9 @@ def _sweep_impl(
             point_futures = [
                 pool.submit(
                     _point_worker, options, dataset_name, policy_name, router_name,
-                    fault_name, fraction, capacities[dataset_name], env=env,
+                    fault_name, mix_name, fraction, capacities[dataset_name], env=env,
                 )
-                for dataset_name, policy_name, router_name, fault_name, fraction in grid
+                for dataset_name, policy_name, router_name, fault_name, mix_name, fraction in grid
             ]
             points = [future.result() for future in point_futures]
     else:
@@ -918,9 +1002,9 @@ def _sweep_impl(
         points = [
             _point_worker(
                 options, dataset_name, policy_name, router_name, fault_name,
-                fraction, capacities[dataset_name], fleet=fleets[dataset_name],
+                mix_name, fraction, capacities[dataset_name], fleet=fleets[dataset_name],
             )
-            for dataset_name, policy_name, router_name, fault_name, fraction in grid
+            for dataset_name, policy_name, router_name, fault_name, mix_name, fraction in grid
         ]
     for dataset_name in datasets:
         result.capacity_qps[get_dataset_config(dataset_name).name] = capacities[dataset_name]
@@ -1040,6 +1124,7 @@ def _run_spec(config: ServingSweepConfig) -> ServingSweepResult:
         device_max_batch_size=config.device_max_batch_size,
         device_max_batch_tokens=config.device_max_batch_tokens,
         faults=config.faults,
+        classes=config.classes,
         fault_mtbf_s=config.fault_mtbf_s,
         fault_downtime_s=config.fault_downtime_s,
         fault_multiplier=config.fault_multiplier,
@@ -1079,6 +1164,8 @@ def render_sweep(result: ServingSweepResult) -> str:
             f"max_retries={remedies.get('max_retries', 0)} "
             f"blacklist={remedies.get('blacklist_s', 0.0) * 1e3:.0f}ms"
         )
+    if result.classes:
+        footer["class axis"] = "; ".join(result.classes)
     if result.slo is not None:
         footer["SLO budget"] = (
             f"{result.slo['base_s'] * 1e3:.1f} ms"

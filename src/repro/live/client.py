@@ -59,7 +59,7 @@ async def replay_trace(
     """Replay a trace against ``POST /v1/requests``, paced by the wall clock.
 
     Each entry is ``{"t": seconds, "length": tokens, "slo_ms"?: float,
-    "output_len"?: int}``; submissions are scheduled at absolute instants
+    "output_len"?: int, "class"?: str}``; submissions are scheduled at absolute instants
     (``start + t / speed``) so one slow round trip does not skew every
     subsequent arrival.  Returns per-verdict counts.
     """
@@ -77,6 +77,8 @@ async def replay_trace(
             body["slo_ms"] = entry["slo_ms"]
         if entry.get("output_len", 1) > 1:
             body["output_len"] = entry["output_len"]
+        if entry.get("class") is not None:
+            body["class"] = entry["class"]
         status, payload = await http_json(host, port, "POST", "/v1/requests", body)
         counts["submitted"] += 1
         verdict = (payload or {}).get("status", "draining" if status == 503 else "queued")

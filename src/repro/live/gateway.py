@@ -31,8 +31,15 @@ import asyncio
 from dataclasses import dataclass
 
 from ..devices import Device
+from ..serving.classes import collect_class_stats, get_request_class
 from ..serving.clock import WallClock
-from ..serving.core import DispatchCore, PlannedBatch, collect_device_stats, prepare_components
+from ..serving.core import (
+    DispatchCore,
+    PlannedBatch,
+    collect_device_stats,
+    note_shed,
+    prepare_components,
+)
 from ..serving.engine import DeviceSummary, OnlineServingReport, _as_fleet, _fleet_scheduler_label
 from ..serving.policies import BatchPolicy
 from ..serving.request import Request, RequestRecord
@@ -99,6 +106,7 @@ class LiveGateway:
         continuous_batching: bool = False,
         rebase_on_first_ingest: bool = True,
         hedging: bool = False,
+        class_queue_limits: dict[str, int] | None = None,
     ) -> None:
         if isinstance(dataset, str):
             dataset = get_dataset_config(dataset)
@@ -141,6 +149,7 @@ class LiveGateway:
             max_queue_depth=max_queue_depth,
             shed_on_predicted_miss=shed_on_predicted_miss,
             auto_finalize=False,
+            class_queue_limits=class_queue_limits,
         )
         self.clock = WallClock()
         self.actors = [DeviceActor(self, index) for index in range(len(fleet))]
@@ -237,14 +246,18 @@ class LiveGateway:
         *,
         output_len: int = 1,
         slo_ms: float | None = None,
+        request_class: str | None = None,
     ) -> SubmitResult:
         """Offer one request to the dispatch core at the current wall time.
 
         ``output_len > 1`` builds a :class:`~repro.decode.DecodeRequest`
         (the device actor runs decode steps after prefill on decode-capable
         backends); ``slo_ms`` stamps an explicit relative deadline, else the
-        gateway-level :class:`~repro.serving.slo.SLOSpec` applies (if any).
+        request's class SLO (``request_class``, a registered
+        ``request-class`` name), else the gateway-level
+        :class:`~repro.serving.slo.SLOSpec` applies (if any).
         """
+        cls = get_request_class(request_class) if request_class is not None else None
         if not self._started or self._draining:
             return SubmitResult(status="draining", request=None)
         if not self._ingested_any:
@@ -265,12 +278,20 @@ class LiveGateway:
                 request_id=request_id,
                 length=length,
                 arrival_time=now,
+                request_class=cls.name if cls is not None else None,
                 output_len=output_len,
             )
         else:
-            request = Request(request_id=request_id, length=length, arrival_time=now)
+            request = Request(
+                request_id=request_id,
+                length=length,
+                arrival_time=now,
+                request_class=cls.name if cls is not None else None,
+            )
         if slo_ms is not None:
             request = self._with_deadline(request, now + slo_ms / 1e3)
+        elif cls is not None and cls.slo is not None:
+            request = self._with_deadline(request, cls.slo.deadline_for(request))
         elif self.slo is not None:
             request = self._with_deadline(request, self.slo.deadline_for(request))
         self.report.num_requests += 1
@@ -487,7 +508,7 @@ class LiveGateway:
                     self.report.num_replayed += 1
                 else:
                     self.report.num_shed_crashed += 1
-                    self.report.shed_requests.append(request)
+                    note_shed(self.report, request, "crashed")
                     future = self._waiters.pop(request.request_id, None)
                     if future is not None and not future.done():
                         future.set_exception(
@@ -518,6 +539,7 @@ class LiveGateway:
         percentile of).
         """
         collect_device_stats(self.report, self.fleet)
+        collect_class_stats(self.report)
         if self.report.records:
             payload = self.report.to_dict()
         else:
@@ -539,6 +561,11 @@ class LiveGateway:
                 "num_hedge_wins": self.report.num_hedge_wins,
                 "num_replayed": self.report.num_replayed,
             }
+            if self.report.class_summaries is not None:
+                payload["classes"] = {
+                    name: summary.to_dict()
+                    for name, summary in self.report.class_summaries.items()
+                }
         payload["live"] = {
             "uptime_seconds": self.clock.now(),
             "draining": self._draining,

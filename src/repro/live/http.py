@@ -5,7 +5,9 @@ the live subsystem adds no third-party requirements.  One connection per
 request (``Connection: close``), JSON in and out:
 
 * ``POST /v1/requests`` -- ingest one request.  Body: ``{"length": int,
-  "output_len"?: int, "slo_ms"?: float, "wait"?: bool}``.  ``200`` with the
+  "output_len"?: int, "slo_ms"?: float, "class"?: str, "wait"?: bool}``.
+  ``"class"`` names a registered request class (multi-tenant SLO tiers);
+  unknown names are a ``400``.  ``200`` with the
   admission verdict (or, with ``"wait": true``, the completion record once
   the batch actually finishes); ``429`` when admission control or the
   predicted-miss gate sheds it (bounded-queue backpressure); ``503`` while
@@ -195,17 +197,32 @@ class LiveServer:
         if length < 1:
             raise _BadRequest("'length' must be >= 1")
         slo_ms = body.get("slo_ms")
+        request_class = body.get("class")
+        if request_class is not None and not isinstance(request_class, str):
+            raise _BadRequest("'class' must be a registered request-class name")
         return {
             "length": length,
             "output_len": int(body.get("output_len", 1)),
             "slo_ms": float(slo_ms) if slo_ms is not None else None,
+            "request_class": request_class,
         }
+
+    def _submit_entry(self, entry: dict):
+        try:
+            return self.gateway.submit(
+                entry["length"],
+                output_len=entry["output_len"],
+                slo_ms=entry["slo_ms"],
+                request_class=entry["request_class"],
+            )
+        except KeyError as error:
+            # An unknown request-class name is the client's mistake, not a
+            # server fault: surface the registry's message as a 400.
+            raise _BadRequest(str(error)) from None
 
     async def _ingest_one(self, writer: asyncio.StreamWriter, body: dict) -> None:
         entry = self._parse_entry(body)
-        result = self.gateway.submit(
-            entry["length"], output_len=entry["output_len"], slo_ms=entry["slo_ms"]
-        )
+        result = self._submit_entry(entry)
         if result.status == "draining":
             await self._respond(writer, 503, {"status": "draining"})
             return
@@ -256,9 +273,7 @@ class LiveServer:
             except json.JSONDecodeError as error:
                 raise _BadRequest(f"invalid NDJSON line: {error}") from None
             counts["submitted"] += 1
-            result = self.gateway.submit(
-                entry["length"], output_len=entry["output_len"], slo_ms=entry["slo_ms"]
-            )
+            result = self._submit_entry(entry)
             if result.status == "queued":
                 counts["queued"] += 1
             elif result.status == "draining":

@@ -183,6 +183,7 @@ def trace_requests(entries: list[dict]) -> list[Request]:
                 if entry.get("slo_ms") is not None
                 else None
             ),
+            request_class=entry.get("class"),
         )
         for index, entry in enumerate(sorted(entries, key=lambda e: e["t"]))
     ]

@@ -41,6 +41,17 @@ from .autoscaler import (
     ScaleObservation,
     get_autoscaler,
 )
+from .classes import (
+    ClassMixArrivals,
+    ClassSummary,
+    PriorityDeadlineBatcher,
+    RequestClass,
+    collect_class_stats,
+    get_request_class,
+    parse_class_mix,
+    parse_class_queue_limits,
+    register_request_class,
+)
 from .closed_loop import ServingReport, simulate_serving
 from .engine import BatchRecord, DeviceSummary, OnlineServingReport, simulate_online
 from .policies import (
@@ -66,6 +77,8 @@ __all__ = [
     "BatchPolicy",
     "BatchRecord",
     "BurstyArrivals",
+    "ClassMixArrivals",
+    "ClassSummary",
     "ClosedLoopArrivals",
     "CostModelRouter",
     "DeadlineBatcher",
@@ -79,8 +92,10 @@ __all__ = [
     "OnlineServingReport",
     "PoissonArrivals",
     "PredictedAttainmentAutoscaler",
+    "PriorityDeadlineBatcher",
     "QueueDepthAutoscaler",
     "Request",
+    "RequestClass",
     "RequestRecord",
     "RoundRobinRouter",
     "Router",
@@ -90,10 +105,15 @@ __all__ = [
     "TimeoutBatcher",
     "TraceArrivals",
     "assign_deadlines",
+    "collect_class_stats",
     "get_arrival_process",
     "get_autoscaler",
     "get_batch_policy",
+    "get_request_class",
     "get_router",
+    "parse_class_mix",
+    "parse_class_queue_limits",
+    "register_request_class",
     "simulate_online",
     "simulate_serving",
 ]

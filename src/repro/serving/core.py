@@ -49,12 +49,27 @@ __all__ = [
     "PlannedBatch",
     "PredictedMissGate",
     "collect_device_stats",
+    "note_shed",
     "prepare_components",
     "prepare_stream",
 ]
 
 #: Tolerance when comparing floating-point event times.
 _EPS = 1e-12
+
+
+def note_shed(report, request: Request, cause: str) -> None:
+    """Append one shed request to the report, remembering its cause.
+
+    The cause map (``report.shed_causes``, request_id -> ``"shed"`` /
+    ``"shed-predicted"`` / ``"late"`` / ``"crashed"``) is what per-class
+    accounting uses to keep the per-cause counters disjoint; reports that
+    predate it (plain dict stand-ins) just skip the bookkeeping.
+    """
+    report.shed_requests.append(request)
+    causes = getattr(report, "shed_causes", None)
+    if causes is not None:
+        causes[request.request_id] = cause
 
 
 def prepare_stream(
@@ -206,12 +221,19 @@ class DispatchCore:
         auto_finalize: bool = True,
         fault_injector=None,
         hedging: bool = False,
+        class_queue_limits: dict[str, int] | None = None,
     ) -> None:
         self.fleet = fleet
         self.report = report
         self.batch_policy = batch_policy
         self.router = router
         self.max_queue_depth = max_queue_depth
+        #: Per-class admission control: a request whose class already has
+        #: this many members in the formation queue is shed on arrival
+        #: (``None`` / absent class = unbounded).  Counts toward ``num_shed``
+        #: exactly like the global bound; per-class accounting charges the
+        #: drop to the request's own class.
+        self.class_queue_limits = class_queue_limits or None
         self.auto_finalize = auto_finalize
         #: Optional :class:`repro.faults.FaultInjector`; when set, dispatch
         #: consults each device's health timeline (latency multipliers,
@@ -254,11 +276,21 @@ class DispatchCore:
             and self.waiting_requests(now) >= self.max_queue_depth
         ):
             self.report.num_shed += 1
-            self.report.shed_requests.append(request)
+            note_shed(self.report, request, "shed")
             return "shed"
+        if self.class_queue_limits is not None:
+            limit = self.class_queue_limits.get(request.request_class)
+            if limit is not None:
+                queued = sum(
+                    1 for r in self.queue if r.request_class == request.request_class
+                )
+                if queued >= limit:
+                    self.report.num_shed += 1
+                    note_shed(self.report, request, "shed")
+                    return "shed"
         if self._miss_gate is not None and self._miss_gate.predicted_miss(request, now):
             self.report.num_shed_predicted += 1
-            self.report.shed_requests.append(request)
+            note_shed(self.report, request, "shed-predicted")
             return "shed-predicted"
         self.queue.append(request)
         return "queued"
@@ -499,7 +531,7 @@ class DispatchCore:
             # Deadline-aware policies drop requests that are provably late;
             # they count against attainment, not against admission control.
             self.report.num_shed_late += 1
-            self.report.shed_requests.append(request)
+            note_shed(self.report, request, "late")
 
     def pump(self, now: float, draining: bool = False) -> list[PlannedBatch]:
         """Cut and dispatch every batch the policy will form at ``now``."""

@@ -55,11 +55,13 @@ from ..scheduling.length_aware import LengthAwareScheduler
 from ..transformer.configs import DatasetConfig, get_dataset_config
 from .arrivals import ArrivalProcess
 from .autoscaler import ScaleObservation, get_autoscaler
+from .classes import collect_class_stats
 from .clock import SimClock
 from .core import (
     _EPS,
     DispatchCore,
     collect_device_stats,
+    note_shed,
     prepare_components,
     prepare_stream,
 )
@@ -180,6 +182,10 @@ class OnlineServingReport:
     #: Every dropped request (admission control + late shedding), kept so
     #: deadline attainment can charge misses to the right warm-up window.
     shed_requests: list[Request] = field(default_factory=list)
+    #: Shed cause per dropped request_id (``"shed"`` / ``"shed-predicted"``
+    #: / ``"late"`` / ``"crashed"``); feeds per-class accounting, not
+    #: serialized.
+    shed_causes: dict = field(default_factory=dict)
     records: list[RequestRecord] = field(default_factory=list)
     batches: list[BatchRecord] = field(default_factory=list)
     devices: list[DeviceSummary] = field(default_factory=list)
@@ -213,6 +219,14 @@ class OnlineServingReport:
     provisioning_lag_s: float | None = None
     #: Stepwise (time, active-device-count) samples; empty for static fleets.
     scaling_timeline: list[tuple[float, int]] = field(default_factory=list)
+    #: Per-class accounting (name -> :class:`~repro.serving.classes.ClassSummary`),
+    #: populated by :func:`~repro.serving.classes.collect_class_stats` when
+    #: at least one offered request carries a class; ``None`` keeps untagged
+    #: reports byte-identical to their historical shape.
+    class_summaries: dict | None = None
+    #: Lower-tier batches the priority batcher deferred in favor of a
+    #: pressured higher tier (None = the run's policy has no such notion).
+    num_preemptions: int | None = None
 
     # ------------------------------------------------------------------
     # Latency / throughput
@@ -553,8 +567,14 @@ class OnlineServingReport:
         }
 
     def to_dict(self) -> dict:
-        """Machine-readable summary (JSON-ready; omits per-request records)."""
-        return {
+        """Machine-readable summary (JSON-ready; omits per-request records).
+
+        Class-free runs produce exactly the historical key set; the
+        ``num_preemptions`` and ``classes`` keys appear only when the run
+        used a preemption-aware policy / carried tagged requests, so adding
+        the multi-tenant machinery never perturbs existing reports.
+        """
+        payload = {
             "dataset": self.dataset,
             "arrival_process": self.arrival_process,
             "batch_policy": self.batch_policy,
@@ -608,29 +628,36 @@ class OnlineServingReport:
             "num_hedge_wins": self.num_hedge_wins,
             "num_retries": self.num_retries,
             "num_replayed": self.num_replayed,
-            "devices": [
-                {
-                    "device": device.index,
-                    "accelerator": device.accelerator,
-                    "backend": device.backend,
-                    "batches": device.num_batches,
-                    "requests": device.num_requests,
-                    "busy_seconds": device.busy_seconds,
-                    "duty_cycle": device.duty_cycle(self.makespan_seconds),
-                    "pipeline_utilization": device.mean_pipeline_utilization,
-                    "energy_joules": device.energy_joules,
-                    "price_per_hour_usd": device.price_per_hour_usd,
-                    "online_seconds": device.online_seconds,
-                    "schedule_cache": device.schedule_cache,
-                    "num_crashes": device.num_crashes,
-                    "downtime_s": device.downtime_s,
-                    "num_hedged": device.num_hedged,
-                    "num_retries": device.num_retries,
-                    "blacklisted_s": device.blacklisted_s,
-                }
-                for device in self.devices
-            ],
         }
+        if self.num_preemptions is not None:
+            payload["num_preemptions"] = self.num_preemptions
+        if self.class_summaries is not None:
+            payload["classes"] = {
+                name: summary.to_dict() for name, summary in self.class_summaries.items()
+            }
+        payload["devices"] = [
+            {
+                "device": device.index,
+                "accelerator": device.accelerator,
+                "backend": device.backend,
+                "batches": device.num_batches,
+                "requests": device.num_requests,
+                "busy_seconds": device.busy_seconds,
+                "duty_cycle": device.duty_cycle(self.makespan_seconds),
+                "pipeline_utilization": device.mean_pipeline_utilization,
+                "energy_joules": device.energy_joules,
+                "price_per_hour_usd": device.price_per_hour_usd,
+                "online_seconds": device.online_seconds,
+                "schedule_cache": device.schedule_cache,
+                "num_crashes": device.num_crashes,
+                "downtime_s": device.downtime_s,
+                "num_hedged": device.num_hedged,
+                "num_retries": device.num_retries,
+                "blacklisted_s": device.blacklisted_s,
+            }
+            for device in self.devices
+        ]
+        return payload
 
     def as_row(self) -> dict:
         """Summary row for reports."""
@@ -662,6 +689,13 @@ class OnlineServingReport:
         if self.faults is not None:
             row["crashes"] = self.num_crashes
             row["crash_shed"] = self.num_shed_crashed
+        if self.num_preemptions is not None:
+            row["preempt"] = self.num_preemptions
+        if self.class_summaries is not None:
+            for name, summary in self.class_summaries.items():
+                if summary.attainment is not None:
+                    row[f"att[{name}]"] = round(summary.attainment, 3)
+                row[f"shed[{name}]"] = summary.shed
         return row
 
 
@@ -753,6 +787,7 @@ def simulate_online(
     max_queue_depth: int | None = None,
     slo: SLOSpec | None = None,
     shed_on_predicted_miss: bool = False,
+    class_queue_limits: dict[str, int] | None = None,
     autoscaler=None,
     provisioning_lag_s: float = 0.0,
     autoscale_interval_s: float = 1.0,
@@ -813,6 +848,12 @@ def simulate_online(
         service estimate could meet the deadline (a provable miss -- the
         arrival-time sibling of the EDF batcher's late shedding).  Reported
         via ``num_shed_predicted`` and counted against attainment.
+    class_queue_limits:
+        Per-class admission control: ``{class name: max queued}``.  An
+        arrival whose class already has that many members in the formation
+        queue is shed (counted in ``num_shed`` and charged to its class in
+        the per-class summaries).  Classes without an entry are unbounded;
+        ``None`` disables the check entirely.
     autoscaler:
         Turn the fleet into an elastic *pool*: a registered policy name
         (``"queue-depth"``, ``"predicted-attainment"``) or an
@@ -942,6 +983,7 @@ def simulate_online(
         auto_finalize=True,
         fault_injector=injector,
         hedging=hedging,
+        class_queue_limits=class_queue_limits,
     )
     clock = SimClock()
     next_index = 0
@@ -981,7 +1023,7 @@ def simulate_online(
                 report.devices[plan.device_index].num_retries += 1
             else:
                 report.num_shed_crashed += 1
-                report.shed_requests.append(request)
+                note_shed(report, request, "crashed")
 
     # ------------------------------------------------------------------
     # Autoscaling state (pool billing, provisioning lag, decision cadence)
@@ -1173,4 +1215,8 @@ def simulate_online(
                 summary.blacklisted_s = blacklisted(index, horizon)
     collect_device_stats(report, fleet)
     report.records.sort(key=lambda r: (r.completion_time, r.request.request_id))
+    preemptions = getattr(batch_policy, "num_preemptions", None)
+    if preemptions is not None:
+        report.num_preemptions = preemptions
+    collect_class_stats(report)
     return report

@@ -36,6 +36,10 @@ class Request:
     length: int
     arrival_time: float
     deadline: float | None = None
+    #: Name of the :class:`~repro.serving.classes.RequestClass` this request
+    #: belongs to (``None`` = untagged single-tenant traffic; the report then
+    #: keeps its historical class-free shape).
+    request_class: str | None = None
 
     def __post_init__(self) -> None:
         if self.length < 1:

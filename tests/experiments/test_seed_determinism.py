@@ -1,0 +1,116 @@
+"""Seed determinism across fresh processes, for every registered experiment.
+
+Two brand-new interpreters run the full experiment matrix at the default
+seed with shrunk-but-representative configs; each emits one JSON blob of
+``{experiment name: payload}``.  Every payload must come back byte-identical
+-- schedule caches, RNG stream salts, dict ordering, float formatting and
+all.  A drift here means a hidden source of nondeterminism (wall clock,
+set iteration, uncached randomness) crept into some engine.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import list_experiments
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+#: Shrink overrides keeping every experiment's subprocess run in seconds
+#: while still exercising its real pipeline (no experiment is skipped).
+OVERRIDES: dict[str, dict] = {
+    "table1": {"num_sampled_sequences": 200},
+    "fig6": {
+        "pairs": ["bert-base:mrpc"],
+        "top_k_values": [30],
+        "examples": 2,
+        "max_length": 64,
+    },
+    "fig7a": {"pairs": ["bert-base:mrpc"]},
+    "fig7b": {"pairs": ["bert-base:mrpc"]},
+    "table2": {"serving_requests": 32},
+    "serve": {"qps": 200.0, "requests": 32, "slo_ms": 50.0},
+    "serving-sweep": {
+        "datasets": ["mrpc"],
+        "load_fractions": [0.5],
+        "requests": 32,
+        "classes": ["none", "interactive:0.5,best-effort:0.5"],
+        "slo_ms": 50.0,
+    },
+    "decode-sweep": {
+        "load_fractions": [0.5],
+        "requests": 24,
+        "topk": [5],
+        "accuracy_examples": 2,
+    },
+    "plan": {
+        "devices": ["gpu-rtx6000"],
+        "max_per_type": 1,
+        "max_total": 1,
+        "arrival": "poisson",
+        "qps": 150.0,
+        "requests": 32,
+    },
+}
+
+#: The subprocess body: run every registered experiment and print the
+#: payload map as JSON.  Runs under a fresh interpreter so nothing leaks
+#: between the two matrix passes (caches, registries, RNG state).
+RUNNER = """
+import json, sys
+from repro.experiments import list_experiments, run_report
+
+overrides = json.loads(sys.argv[1])
+payloads = {}
+for spec in list_experiments():
+    config = spec.config_cls.from_dict(
+        {**spec.config_cls().to_dict(), **overrides.get(spec.name, {})}
+    )
+    payloads[spec.name] = run_report(spec.name, config=config).payload
+print(json.dumps(payloads, sort_keys=True))
+"""
+
+
+def _run_matrix() -> dict[str, str]:
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    result = subprocess.run(
+        [sys.executable, "-c", RUNNER, json.dumps(OVERRIDES)],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=REPO_ROOT,
+        check=True,
+    )
+    payloads = json.loads(result.stdout)
+    # Byte-level comparison: re-serialize each payload canonically so the
+    # assertion diff names the drifting experiment, not a 100 kB blob.
+    return {name: json.dumps(payload, sort_keys=True) for name, payload in payloads.items()}
+
+
+@pytest.fixture(scope="module")
+def matrix_runs():
+    return _run_matrix(), _run_matrix()
+
+
+EXPERIMENT_NAMES = [spec.name for spec in list_experiments()]
+
+
+def test_matrix_covers_every_registered_experiment(matrix_runs):
+    first, _ = matrix_runs
+    assert sorted(first) == sorted(EXPERIMENT_NAMES)
+
+
+@pytest.mark.parametrize("name", EXPERIMENT_NAMES)
+def test_reports_are_byte_identical_across_fresh_processes(matrix_runs, name):
+    first, second = matrix_runs
+    assert first[name] == second[name]

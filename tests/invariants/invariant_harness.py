@@ -1,0 +1,231 @@
+"""Property-based invariant harness for the serving engines.
+
+Seeded generators enumerate scenarios over the cross product the engines
+actually serve -- arrival processes x batch policies x routers x fault
+schedules x request-class mixes -- and a shared set of checkers asserts the
+invariants every engine must uphold on every scenario:
+
+* **Conservation** -- every offered request is accounted for exactly once:
+  ``completed + shed == offered``, in total and per class, and the
+  per-cause shed counters partition the shed set.
+* **Class immutability** -- no request changes class between admission and
+  its completion/shed record.
+* **Work conservation** -- no request completes twice and no completed
+  request also appears shed (preemption defers batches, it never loses or
+  duplicates work).
+* **Zero-class shape** -- untagged runs serialize to the exact historical
+  key set (no ``classes`` / ``num_preemptions`` keys), so class-free
+  configs reproduce pre-class reports byte-identically.
+
+Scenarios are deterministic functions of one seed, so a failure reproduces
+from its printed :class:`Scenario` alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.devices import build_fleet
+from repro.serving import get_arrival_process, get_batch_policy, get_router
+from repro.serving.classes import ClassMixArrivals
+
+#: The scenario space.  Every entry is a registered name (or None = off).
+ARRIVAL_CHOICES = ("poisson", "bursty")
+POLICY_CHOICES = ("timeout", "deadline", "priority-deadline", "fixed")
+ROUTER_CHOICES = ("round-robin", "least-loaded")
+FAULT_CHOICES = (None, "crash-restart")
+CLASS_CHOICES = (
+    None,
+    "interactive:0.5,batch:0.3,best-effort:0.2",
+    "interactive,best-effort",
+)
+
+#: Small streams keep every scenario in the low tens of milliseconds while
+#: still exercising queueing, shedding, and preemption.
+NUM_REQUESTS = 32
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One sampled point of the scenario space (self-reproducing)."""
+
+    index: int
+    arrival: str
+    policy: str
+    router: str
+    fault: str | None
+    mix: str | None
+    qps: float
+    max_queue_depth: int | None
+    shed_on_predicted_miss: bool
+    class_queue_limits: dict | None
+    slo_ms: float | None
+    seed: int
+
+    def __str__(self) -> str:  # pytest id / failure reproduction line
+        return (
+            f"s{self.index}-{self.arrival}-{self.policy}-{self.router}"
+            f"-fault={self.fault or 'none'}-mix={'yes' if self.mix else 'no'}"
+        )
+
+
+def generate_scenarios(count: int = 16, seed: int = 0x1A7) -> list[Scenario]:
+    """Sample ``count`` scenarios deterministically from ``seed``."""
+    rng = np.random.default_rng(seed)
+    scenarios = []
+    for index in range(count):
+        mix = CLASS_CHOICES[rng.integers(len(CLASS_CHOICES))]
+        policy = POLICY_CHOICES[rng.integers(len(POLICY_CHOICES))]
+        # Deadline-driven policies need deadlines from somewhere: give the
+        # classless scenarios an explicit SLO (classes stamp their own).
+        slo_ms = None
+        if mix is None and policy in ("deadline", "priority-deadline"):
+            slo_ms = float(rng.choice((30.0, 80.0)))
+        limits = None
+        if mix is not None and rng.random() < 0.5:
+            limits = {"best-effort": int(rng.integers(1, 5))}
+        scenarios.append(
+            Scenario(
+                index=index,
+                arrival=ARRIVAL_CHOICES[rng.integers(len(ARRIVAL_CHOICES))],
+                policy=policy,
+                router=ROUTER_CHOICES[rng.integers(len(ROUTER_CHOICES))],
+                fault=FAULT_CHOICES[rng.integers(len(FAULT_CHOICES))],
+                mix=mix,
+                qps=float(rng.choice((150.0, 400.0, 900.0))),
+                max_queue_depth=(int(rng.integers(4, 16)) if rng.random() < 0.4 else None),
+                shed_on_predicted_miss=bool(rng.random() < 0.3),
+                class_queue_limits=limits,
+                slo_ms=slo_ms,
+                seed=int(rng.integers(1, 10_000)),
+            )
+        )
+    return scenarios
+
+
+def build_arrivals(scenario: Scenario):
+    """The scenario's arrival process (fresh instance, safe to regenerate)."""
+    arrivals = get_arrival_process(scenario.arrival, rate_qps=scenario.qps)
+    if scenario.mix is not None:
+        arrivals = ClassMixArrivals(base=arrivals, mix=scenario.mix)
+    return arrivals
+
+
+def offered_requests(scenario: Scenario, dataset: str = "mrpc"):
+    """The exact request stream the engine will see (same seed, same draws)."""
+    return build_arrivals(scenario).generate(dataset, NUM_REQUESTS, seed=scenario.seed)
+
+
+def build_scenario_fleet(scenario: Scenario, dataset: str = "mrpc"):
+    return build_fleet(("gpu-rtx6000",), dataset=dataset, replicas=2)
+
+
+def scenario_engine_kwargs(scenario: Scenario) -> dict:
+    """The simulate_online / simulate_decode_online keyword set."""
+    from repro.serving.slo import SLOSpec
+
+    return {
+        "arrivals": build_arrivals(scenario),
+        "num_requests": NUM_REQUESTS,
+        "batch_policy": get_batch_policy(
+            scenario.policy, batch_size=8, timeout_s=0.01
+        ),
+        "router": get_router(scenario.router),
+        "max_queue_depth": scenario.max_queue_depth,
+        "shed_on_predicted_miss": scenario.shed_on_predicted_miss,
+        "class_queue_limits": scenario.class_queue_limits,
+        "slo": (
+            SLOSpec(base_s=scenario.slo_ms * 1e-3) if scenario.slo_ms is not None else None
+        ),
+        "seed": scenario.seed,
+    }
+
+
+# ----------------------------------------------------------------------
+# Checkers (shared by the sim / decode / live invariant tests)
+# ----------------------------------------------------------------------
+
+#: Exact key order of a zero-class OnlineServingReport.to_dict() -- the
+#: historical report shape class-free runs must keep reproducing.
+ZERO_CLASS_REPORT_KEYS = [
+    "dataset", "arrival_process", "batch_policy", "router", "scheduler",
+    "continuous_batching", "queue_limit", "slo", "offered_qps",
+    "num_requests", "num_completed", "num_shed", "num_shed_late",
+    "num_shed_predicted", "num_limit_splits", "shed_rate",
+    "attainment_rate", "goodput_qps", "num_batches", "sustained_qps",
+    "makespan_seconds", "latency_ms", "queueing_delay_ms",
+    "max_queue_depth", "mean_queue_depth", "mean_waiting_requests",
+    "average_device_utilization", "average_pipeline_utilization",
+    "total_energy_joules", "joules_per_million_requests", "cost_usd",
+    "average_price_per_hour_usd", "attainment_per_dollar_hour",
+    "autoscaler", "provisioning_lag_s", "scaling_timeline",
+    "schedule_cache", "faults", "num_crashes", "num_shed_crashed",
+    "num_hedged", "num_hedge_wins", "num_retries", "num_replayed",
+    "devices",
+]
+
+#: The shed-cause vocabulary each request must fall into exactly once.
+SHED_CAUSES = ("shed_admission", "shed_predicted", "shed_late", "shed_crashed")
+
+
+def check_conservation(report, offered) -> None:
+    """completed + shed == offered, in total and per class + cause."""
+    assert report.num_completed == len(report.records)
+    # The report's counters partition the shed set by cause: admission
+    # (num_shed), predicted miss, provably late, and crash-exhausted.
+    total_shed = (
+        report.num_shed
+        + report.num_shed_predicted
+        + report.num_shed_late
+        + report.num_shed_crashed
+    )
+    assert total_shed == len(report.shed_requests)
+    assert report.num_completed + total_shed == len(offered) == report.num_requests
+    summaries = report.class_summaries
+    if summaries is None:
+        return
+    assert sum(s.offered for s in summaries.values()) == len(offered)
+    assert sum(s.completed for s in summaries.values()) == report.num_completed
+    assert sum(s.shed for s in summaries.values()) == total_shed
+    for name, summary in summaries.items():
+        assert summary.completed + summary.shed == summary.offered, name
+        causes = sum(getattr(summary, cause) for cause in SHED_CAUSES)
+        assert causes == summary.shed, f"{name}: causes {causes} != shed {summary.shed}"
+
+
+def check_class_immutability(report, offered) -> None:
+    """Every completion / shed carries the class it was offered with."""
+    offered_class = {r.request_id: r.request_class for r in offered}
+    for record in report.records:
+        assert (
+            record.request.request_class == offered_class[record.request.request_id]
+        ), record.request.request_id
+    for request in report.shed_requests:
+        assert request.request_class == offered_class[request.request_id], (
+            request.request_id
+        )
+
+
+def check_work_conservation(report) -> None:
+    """No request completes twice; no completed request is also shed."""
+    completed_ids = [r.request.request_id for r in report.records]
+    assert len(completed_ids) == len(set(completed_ids))
+    shed_ids = [r.request_id for r in report.shed_requests]
+    assert len(shed_ids) == len(set(shed_ids))
+    assert not set(completed_ids) & set(shed_ids)
+
+
+def check_zero_class_shape(report) -> None:
+    """Untagged runs keep the historical report keys (no class machinery)."""
+    assert report.class_summaries is None
+    payload = report.to_dict()
+    assert "classes" not in payload
+    assert "num_preemptions" not in payload
+
+
+def check_all(report, offered) -> None:
+    check_conservation(report, offered)
+    check_class_immutability(report, offered)
+    check_work_conservation(report)

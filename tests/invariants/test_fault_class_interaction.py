@@ -1,0 +1,129 @@
+"""Fault x class interaction: crashes respect tiers and per-class accounting.
+
+Two contracts ride on the fault injector once classes exist:
+
+* a crashed *high-priority* batch's free replay re-enters formation ahead
+  of queued lower-tier work (the replay is just a re-offer, and the
+  priority policy orders tiers on every pump);
+* the per-cause shed counters stay disjoint per class -- a request shed for
+  a crash is charged to ``shed_crashed`` of its own class, never smeared
+  across causes or classes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from invariant_harness import SHED_CAUSES, check_all
+from repro.devices import build_fleet
+from repro.faults import ScriptedFaults
+from repro.serving import (
+    PoissonArrivals,
+    PriorityDeadlineBatcher,
+    Request,
+    simulate_online,
+)
+from repro.serving.classes import get_request_class
+
+
+def _request(request_id, length, arrival, cls, deadline=None):
+    return Request(
+        request_id=request_id,
+        length=length,
+        arrival_time=arrival,
+        deadline=deadline,
+        request_class=cls,
+    )
+
+
+def test_crashed_high_priority_batch_replays_before_lower_tier():
+    """One device, one crash: the interactive replay outruns best-effort."""
+    fleet = build_fleet(("gpu-rtx6000",), dataset="mrpc", replicas=1)
+    # Full interactive batch at t=0 (dispatches immediately, size-triggered);
+    # generous deadlines so nothing sheds as provably late.  A *partial*
+    # best-effort batch queues right behind it under a long formation
+    # timeout, and a best-effort straggler at t=0.05 keeps the engine out of
+    # drain mode (draining flushes partial batches) until well after the
+    # crash.  The replay re-enters formation while the best-effort tier is
+    # still waiting, so the two meet in the same queue -- where tier order
+    # must dispatch the replayed interactive batch first.
+    interactive = [
+        _request(i, 64, 0.0, "interactive", deadline=5.0) for i in range(8)
+    ]
+    best_effort = [_request(100 + i, 64, 0.001, "best-effort") for i in range(4)]
+    best_effort.append(_request(110, 64, 0.05, "best-effort"))
+    report = simulate_online(
+        fleet,
+        "mrpc",
+        arrivals=sorted(interactive + best_effort, key=lambda r: r.request_id),
+        batch_policy=PriorityDeadlineBatcher(batch_size=8, timeout_s=0.2),
+        faults=ScriptedFaults(crashes=((0, 0.002, 0.01),)),
+        seed=3,
+    )
+    check_all(report, interactive + best_effort)
+    assert report.num_crashes == 1
+    assert report.num_replayed == 8  # the whole interactive batch, for free
+    assert report.num_shed_crashed == 0
+    # The replayed interactive batch is dispatched before the queued
+    # best-effort work and completes before any of it starts: tier order
+    # survives the crash.
+    replay_batch = min(
+        (b for b in report.batches if all(i < 100 for i in b.request_ids)),
+        key=lambda b: b.dispatch_time,
+    )
+    best_effort_batch = min(
+        (b for b in report.batches if all(i >= 100 for i in b.request_ids)),
+        key=lambda b: b.dispatch_time,
+    )
+    assert replay_batch.dispatch_time <= best_effort_batch.dispatch_time
+    interactive_end = max(
+        r.completion_time
+        for r in report.records
+        if r.request.request_class == "interactive"
+    )
+    assert interactive_end <= best_effort_batch.start_time
+    # Everyone still completes; the crash cost latency, not work.
+    assert report.num_completed == 13
+
+
+def test_per_cause_shed_counters_stay_disjoint_per_class():
+    """Admission, predicted, late, and crash sheds partition per class."""
+    fleet = build_fleet(("gpu-rtx6000",), dataset="mrpc", replicas=2)
+    interactive_cls = get_request_class("interactive")
+    base = PoissonArrivals(rate_qps=600).generate("mrpc", 48, seed=21)
+    tagged = []
+    for index, request in enumerate(base):
+        name = ("interactive", "batch", "best-effort")[index % 3]
+        deadline = (
+            interactive_cls.slo.deadline_for(request) if name == "interactive" else None
+        )
+        tagged.append(replace(request, request_class=name, deadline=deadline))
+    report = simulate_online(
+        fleet,
+        "mrpc",
+        arrivals=tagged,
+        batch_policy=PriorityDeadlineBatcher(batch_size=8, timeout_s=0.005),
+        max_queue_depth=10,
+        shed_on_predicted_miss=True,
+        class_queue_limits={"best-effort": 2},
+        faults=ScriptedFaults(crashes=((0, 0.01, 0.05), (1, 0.02, 0.05))),
+        seed=3,
+    )
+    check_all(report, tagged)
+    summaries = report.class_summaries
+    # Per-class causes partition that class's sheds (check_all asserts the
+    # sums); on top, the report-level cause totals equal the class totals.
+    assert sum(s.shed_crashed for s in summaries.values()) == report.num_shed_crashed
+    assert sum(s.shed_late for s in summaries.values()) == report.num_shed_late
+    assert sum(s.shed_predicted for s in summaries.values()) == report.num_shed_predicted
+    assert sum(s.shed_admission for s in summaries.values()) == report.num_shed
+    # Every shed request has exactly one recorded cause.
+    assert set(report.shed_causes) == {r.request_id for r in report.shed_requests}
+    # The scenario actually exercised multiple causes (else the partition
+    # claim is vacuous).
+    exercised = [
+        cause
+        for cause in SHED_CAUSES
+        if any(getattr(s, cause) for s in summaries.values())
+    ]
+    assert len(exercised) >= 2, exercised

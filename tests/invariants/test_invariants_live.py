@@ -1,0 +1,94 @@
+"""The invariants hold on the live gateway (real asyncio, fake device).
+
+The gateway runs the same dispatch core as the simulator, so the same
+conservation / immutability / work-conservation checkers apply to its
+report.  A deterministic constant-latency device keeps every scenario in
+tens of milliseconds of wall time.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from invariant_harness import check_all
+from repro.devices import BatchExecution, Device
+from repro.live import LiveGateway
+from repro.serving import TimeoutBatcher
+
+
+class ConstantDevice(Device):
+    """Fixed-latency device: every batch takes exactly ``latency`` seconds."""
+
+    name = "constant"
+    backend = "fake"
+
+    def __init__(self, latency=0.01, **kwargs):
+        self.latency = latency
+        super().__init__(**kwargs)
+
+    def execute(self, lengths):
+        return BatchExecution(
+            device=self.name,
+            lengths=list(lengths),
+            latency_seconds=self.latency,
+            completion_offsets=[self.latency] * len(lengths),
+            admit_seconds=self.latency,
+        )
+
+
+#: Submission plan: (class name or None, count) bursts, submitted
+#: back-to-back so the per-class queue limit actually binds.
+PLAN = [("interactive", 8), ("batch", 6), ("best-effort", 10), (None, 4)]
+
+
+def _run_gateway(class_queue_limits=None, max_queue_depth=None):
+    async def scenario():
+        gateway = LiveGateway(
+            [ConstantDevice(latency=0.02), ConstantDevice(latency=0.02)],
+            "mrpc",
+            batch_policy=TimeoutBatcher(batch_size=4, timeout_s=0.005),
+            max_queue_depth=max_queue_depth,
+            class_queue_limits=class_queue_limits,
+        )
+        await gateway.start()
+        offered = []
+        for name, count in PLAN:
+            for _ in range(count):
+                result = gateway.submit(length=32, request_class=name)
+                offered.append(result.request)
+        stats = await gateway.shutdown()
+        return gateway, offered, stats
+
+    return asyncio.run(scenario())
+
+
+def test_live_invariants_with_class_limits():
+    gateway, offered, stats = _run_gateway(class_queue_limits={"best-effort": 2})
+    report = gateway.report
+    check_all(report, offered)
+    # The best-effort burst of 10 against a limit of 2 must shed, and every
+    # shed lands in the admission bucket of its own class.
+    classes = stats["classes"]
+    assert classes["best-effort"]["shed"] > 0
+    assert classes["best-effort"]["shed"] == classes["best-effort"]["shed_admission"]
+    for name in ("interactive", "batch", "untagged"):
+        assert classes[name]["shed"] == 0, name
+    assert sum(c["offered"] for c in classes.values()) == len(offered)
+
+
+def test_live_invariants_untagged_run_has_no_class_block():
+    async def scenario():
+        gateway = LiveGateway(
+            [ConstantDevice(latency=0.01)],
+            "mrpc",
+            batch_policy=TimeoutBatcher(batch_size=4, timeout_s=0.005),
+        )
+        await gateway.start()
+        offered = [gateway.submit(length=32).request for _ in range(8)]
+        stats = await gateway.shutdown()
+        return gateway, offered, stats
+
+    gateway, offered, stats = asyncio.run(scenario())
+    check_all(gateway.report, offered)
+    assert "classes" not in stats
+    assert gateway.report.class_summaries is None

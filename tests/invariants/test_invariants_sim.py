@@ -1,0 +1,88 @@
+"""Cross-scenario invariants of the event-driven serving simulator.
+
+Each seeded scenario (arrivals x policies x routers x faults x classes)
+runs once through :func:`repro.serving.engine.simulate_online`; the shared
+checkers assert conservation, class immutability, work conservation, and
+the zero-class report shape on every one.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from invariant_harness import (
+    NUM_REQUESTS,
+    ZERO_CLASS_REPORT_KEYS,
+    Scenario,
+    build_scenario_fleet,
+    check_all,
+    check_zero_class_shape,
+    generate_scenarios,
+    offered_requests,
+    scenario_engine_kwargs,
+)
+from repro.serving.engine import simulate_online
+
+SCENARIOS = generate_scenarios(count=16)
+
+
+def _run(scenario: Scenario):
+    fleet = build_scenario_fleet(scenario)
+    kwargs = scenario_engine_kwargs(scenario)
+    if scenario.fault is not None:
+        from repro.faults import get_fault_schedule
+
+        kwargs["faults"] = [
+            get_fault_schedule(scenario.fault, mtbf_s=0.2, downtime_s=0.05)
+        ]
+    return simulate_online(fleet, "mrpc", **kwargs)
+
+
+@pytest.mark.parametrize("scenario", SCENARIOS, ids=str)
+def test_scenario_invariants(scenario):
+    report = _run(scenario)
+    offered = offered_requests(scenario)
+    check_all(report, offered)
+    if scenario.mix is None:
+        assert report.class_summaries is None
+        if scenario.policy != "priority-deadline":
+            check_zero_class_shape(report)
+    else:
+        assert report.class_summaries is not None
+        # Every class named by the mix with nonzero draws appears.
+        seen = {r.request_class for r in offered if r.request_class is not None}
+        assert set(report.class_summaries) == seen
+
+
+def test_zero_class_report_keys_are_pinned():
+    """A class-free simulation serializes to the exact historical key list."""
+    scenario = next(
+        s for s in SCENARIOS if s.mix is None and s.policy != "priority-deadline"
+    )
+    report = _run(scenario)
+    assert list(report.to_dict().keys()) == ZERO_CLASS_REPORT_KEYS
+
+
+def test_class_mix_wrapper_never_perturbs_base_stream():
+    """Tagging rides a dedicated RNG stream: timing/length draws unchanged."""
+    tagged_scenario = next(s for s in SCENARIOS if s.mix is not None)
+    from invariant_harness import build_arrivals
+    import dataclasses
+
+    untagged_scenario = dataclasses.replace(tagged_scenario, mix=None)
+    tagged = offered_requests(tagged_scenario)
+    plain = build_arrivals(untagged_scenario).generate(
+        "mrpc", NUM_REQUESTS, seed=tagged_scenario.seed
+    )
+    assert len(tagged) == len(plain) == NUM_REQUESTS
+    for wrapped, bare in zip(tagged, plain):
+        assert wrapped.arrival_time == bare.arrival_time
+        assert wrapped.length == bare.length
+        assert wrapped.request_id == bare.request_id
+
+
+def test_preemption_counter_reports_only_on_priority_policy():
+    priority = next(s for s in SCENARIOS if s.policy == "priority-deadline")
+    other = next(s for s in SCENARIOS if s.policy != "priority-deadline")
+    assert _run(priority).num_preemptions is not None
+    assert _run(other).num_preemptions is None

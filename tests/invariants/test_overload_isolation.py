@@ -1,0 +1,126 @@
+"""The multi-tenant acceptance property: isolation under overload.
+
+A shared fleet running the priority-deadline policy must give the
+interactive class at least the deadline attainment it would get on its own
+*isolated fair-share fleet* (``weight * fleet_size`` devices serving only
+interactive traffic), while the best-effort class absorbs the shedding.
+This is the economic argument for multi-tenancy: sharing cannot cost the
+premium tier anything, and the background tier soaks up overload.
+
+The streams are explicit tagged request lists, so the interactive load is
+*identical* in the isolated and shared runs -- the comparison isolates the
+policy, not the traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from invariant_harness import check_all
+from repro.devices import build_fleet
+from repro.serving import (
+    DeadlineBatcher,
+    PoissonArrivals,
+    PriorityDeadlineBatcher,
+    simulate_online,
+)
+from repro.serving.classes import get_request_class
+
+#: Interactive offered at ~its isolated share's saturation point; the
+#: best-effort flood at 3x on top pushes the shared fleet well past
+#: capacity.  The per-class queue limit keeps the flood from monopolizing
+#: the formation queue (it sheds instead -- that's its job).
+INTERACTIVE_QPS = 100.0
+FLOOD_QPS = 300.0
+NUM_EACH = 64
+BEST_EFFORT_LIMIT = {"best-effort": 2}
+
+
+def _streams():
+    interactive = get_request_class("interactive")
+    base = PoissonArrivals(rate_qps=INTERACTIVE_QPS).generate("mrpc", NUM_EACH, seed=11)
+    tagged = [
+        replace(r, request_class="interactive", deadline=interactive.slo.deadline_for(r))
+        for r in base
+    ]
+    flood_base = PoissonArrivals(rate_qps=FLOOD_QPS).generate("mrpc", NUM_EACH, seed=12)
+    flood = [
+        replace(r, request_id=r.request_id + 1000, request_class="best-effort")
+        for r in flood_base
+    ]
+    merged = sorted(tagged + flood, key=lambda r: (r.arrival_time, r.request_id))
+    return tagged, merged
+
+
+def _isolated_attainment(tagged):
+    # The interactive fair share: weight 0.5 of the 2-device shared fleet.
+    fleet = build_fleet(("gpu-rtx6000",), dataset="mrpc", replicas=1)
+    report = simulate_online(
+        fleet,
+        "mrpc",
+        arrivals=tagged,
+        batch_policy=DeadlineBatcher(batch_size=8, timeout_s=0.01),
+        seed=5,
+    )
+    return report.attainment_rate, report
+
+
+def _shared_report(merged, policy):
+    fleet = build_fleet(("gpu-rtx6000",), dataset="mrpc", replicas=2)
+    return simulate_online(
+        fleet,
+        "mrpc",
+        arrivals=merged,
+        batch_policy=policy,
+        class_queue_limits=BEST_EFFORT_LIMIT,
+        seed=5,
+    )
+
+
+def test_interactive_holds_isolated_attainment_under_overload():
+    tagged, merged = _streams()
+    isolated_attainment, isolated_report = _isolated_attainment(tagged)
+    shared = _shared_report(merged, PriorityDeadlineBatcher(batch_size=8, timeout_s=0.01))
+    check_all(shared, merged)
+    summaries = shared.class_summaries
+    # The premium tier is stressed on its own slice (else the property is
+    # vacuous) yet loses nothing by sharing.
+    assert 0.0 < isolated_attainment < 1.0
+    assert summaries["interactive"].attainment >= isolated_attainment
+    # Best-effort absorbs the overload: it takes every shed, interactive none.
+    assert summaries["interactive"].shed == 0
+    assert summaries["best-effort"].shed > 0
+    assert summaries["best-effort"].shed == len(shared.shed_requests)
+    # Cross-check: the isolated run is itself invariant-clean.
+    check_all(isolated_report, tagged)
+
+
+def test_priority_policy_beats_tier_blind_deadline_policy():
+    """Same stream, same fleet: tiering must not be a no-op."""
+    _, merged = _streams()
+    prio = _shared_report(merged, PriorityDeadlineBatcher(batch_size=8, timeout_s=0.01))
+    plain = _shared_report(merged, DeadlineBatcher(batch_size=8, timeout_s=0.01))
+    prio_att = prio.class_summaries["interactive"].attainment
+    plain_att = plain.class_summaries["interactive"].attainment
+    assert prio_att >= plain_att
+    assert prio_att == pytest.approx(1.0)
+
+
+def test_preemption_defers_but_never_loses_best_effort_work():
+    """Every best-effort request is either completed or an accounted shed."""
+    _, merged = _streams()
+    shared = _shared_report(merged, PriorityDeadlineBatcher(batch_size=8, timeout_s=0.01))
+    summary = shared.class_summaries["best-effort"]
+    assert summary.completed + summary.shed == summary.offered == NUM_EACH
+    completed_ids = {
+        r.request.request_id
+        for r in shared.records
+        if r.request.request_class == "best-effort"
+    }
+    shed_ids = {
+        r.request_id for r in shared.shed_requests if r.request_class == "best-effort"
+    }
+    assert not completed_ids & shed_ids
+    assert len(completed_ids) + len(shed_ids) == NUM_EACH
